@@ -1,0 +1,62 @@
+//! Throughput benchmarks of the two simulation engines: events per second of
+//! the type-count CTMC simulator and of the peer-level (agent-based)
+//! simulator, as a function of the population size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pieceset::PieceId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use swarm::sim::{AgentConfig, AgentSwarm};
+use swarm::{policy, SwarmModel, SwarmParams};
+
+fn params(k: usize) -> SwarmParams {
+    SwarmParams::builder(k)
+        .seed_rate(1.0)
+        .contact_rate(1.0)
+        .seed_departure_rate(2.0)
+        .fresh_arrivals(2.0)
+        .build()
+        .expect("valid parameters")
+}
+
+fn ctmc_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ctmc_simulator_events");
+    for &club in &[50u32, 200, 800] {
+        group.bench_with_input(BenchmarkId::from_parameter(club), &club, |b, &club| {
+            let model = SwarmModel::new(params(3));
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                let initial = model.one_club_state(PieceId::new(0), club);
+                let sim = markov::Simulator::new(&model).observe(|s| s.total_peers() as f64);
+                sim.run(initial, markov::StopRule::after_events(5_000), &mut rng)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn agent_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("agent_simulator_horizon50");
+    for &club in &[50usize, 200, 800] {
+        group.bench_with_input(BenchmarkId::from_parameter(club), &club, |b, &club| {
+            let sim = AgentSwarm::with_config(
+                params(4),
+                AgentConfig { snapshot_interval: 10.0, ..Default::default() },
+                Box::new(policy::RandomUseful),
+            )
+            .expect("valid configuration");
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                sim.run_from_one_club(club, 50.0, &mut rng)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = ctmc_engine, agent_engine
+}
+criterion_main!(benches);

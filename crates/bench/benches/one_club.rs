@@ -1,0 +1,21 @@
+//! Regenerates experiment `one_club_growth` (see DESIGN.md §4 / EXPERIMENTS.md) and
+//! tracks its runtime at a reduced scale.
+
+use bench::{measured_config, print_report, report_config};
+use criterion::{criterion_group, criterion_main, Criterion};
+use workload::experiments;
+
+fn bench(c: &mut Criterion) {
+    print_report(&experiments::one_club_growth(&report_config()));
+    let config = measured_config();
+    c.bench_function("experiment_one_club_growth_small", |b| {
+        b.iter(|| experiments::one_club_growth(&config));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Regenerates experiment `policy_insensitivity` (see DESIGN.md §4 / EXPERIMENTS.md) and
+//! tracks its runtime at a reduced scale.
+
+use bench::{measured_config, print_report, report_config};
+use criterion::{criterion_group, criterion_main, Criterion};
+use workload::experiments;
+
+fn bench(c: &mut Criterion) {
+    print_report(&experiments::policy_insensitivity(&report_config()));
+    let config = measured_config();
+    c.bench_function("experiment_policy_insensitivity_small", |b| {
+        b.iter(|| experiments::policy_insensitivity(&config));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Shared helpers for the experiment-regeneration benches.
+//!
+//! Each bench target in `benches/` does two things:
+//!
+//! 1. prints the corresponding experiment report once (this regenerates the
+//!    paper artifact — table, figure series, or theorem check), and
+//! 2. registers a Criterion benchmark of a scaled-down version of the same
+//!    experiment so its runtime is tracked over time.
+
+use workload::experiments::ExperimentConfig;
+use workload::ExperimentReport;
+
+/// The configuration used for the one-off report printed by each bench.
+#[must_use]
+pub fn report_config() -> ExperimentConfig {
+    ExperimentConfig { horizon: 1_500.0, seed: 0xA11CE, threads: 4 }
+}
+
+/// The configuration used inside the Criterion measurement loop (kept small
+/// so `cargo bench` finishes in minutes).
+#[must_use]
+pub fn measured_config() -> ExperimentConfig {
+    ExperimentConfig { horizon: 120.0, seed: 0xA11CE, threads: 2 }
+}
+
+/// Prints an experiment report with a banner, once, outside the measurement
+/// loop.
+pub fn print_report(report: &ExperimentReport) {
+    println!("\n==================== {} ====================", report.id);
+    println!("{report}");
+}

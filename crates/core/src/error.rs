@@ -1,0 +1,73 @@
+//! Error type for the swarm model.
+
+use pieceset::PieceSetError;
+
+/// Errors produced when building or analysing a swarm model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SwarmError {
+    /// A parameter was outside its valid range.
+    InvalidParameter(String),
+    /// Problem with a piece set or the number of pieces.
+    Pieces(PieceSetError),
+    /// The requested analysis needs `0 < µ < γ` but the parameters have
+    /// `γ ≤ µ` (or vice versa).
+    WrongRegime(String),
+    /// An underlying numeric routine failed.
+    Numeric(String),
+}
+
+impl core::fmt::Display for SwarmError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SwarmError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            SwarmError::Pieces(e) => write!(f, "piece-set error: {e}"),
+            SwarmError::WrongRegime(msg) => write!(f, "wrong parameter regime: {msg}"),
+            SwarmError::Numeric(msg) => write!(f, "numeric failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SwarmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SwarmError::Pieces(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PieceSetError> for SwarmError {
+    fn from(e: PieceSetError) -> Self {
+        SwarmError::Pieces(e)
+    }
+}
+
+impl From<markov::MarkovError> for SwarmError {
+    fn from(e: markov::MarkovError) -> Self {
+        SwarmError::Numeric(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = SwarmError::InvalidParameter("mu must be positive".into());
+        assert!(e.to_string().contains("mu must be positive"));
+        let e: SwarmError = PieceSetError::ZeroPieces.into();
+        assert!(e.to_string().contains("piece-set error"));
+        let e: SwarmError = markov::MarkovError::SingularMatrix.into();
+        assert!(e.to_string().contains("singular"));
+    }
+
+    #[test]
+    fn source_is_exposed_for_piece_errors() {
+        use std::error::Error;
+        let e: SwarmError = PieceSetError::ZeroPieces.into();
+        assert!(e.source().is_some());
+        let e = SwarmError::WrongRegime("x".into());
+        assert!(e.source().is_none());
+    }
+}

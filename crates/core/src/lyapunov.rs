@@ -1,0 +1,314 @@
+//! The Lyapunov function of the positive-recurrence proof (Section VII).
+//!
+//! The proof of Theorem 1(b) uses the function (eq. (11))
+//!
+//! `W(x) = Σ_C r^{|C|} T_C(x)`,  `T_C = ½ E_C² + α E_C φ(H_C)` for `C ≠ F`
+//! and `T_F = ½ n²`, where `E_C` counts peers that are or can become type-`C`
+//! peers, `H_C` measures the stored "helping potential" of peers that can
+//! help type-`C` peers, and `φ` is a clipped-linear potential with parameters
+//! `d` and `β`.
+//!
+//! This module evaluates `W` and its drift numerically, so experiments can
+//! verify `QW(x) ≤ −ξ n` on sampled large-`n` states inside the stability
+//! region (experiment E11).
+
+use crate::{SwarmError, SwarmModel, SwarmParams, SwarmState};
+use pieceset::PieceSet;
+use serde::{Deserialize, Serialize};
+
+/// Parameters `(r, d, β, α)` of the Lyapunov function.
+///
+/// The proof only requires `r` and `β` small enough, `d` large enough and `α`
+/// close to one; [`LyapunovParams::recommended`] picks values that work well
+/// numerically for small `K`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LyapunovParams {
+    /// Geometric weight `r ∈ (0, ½)` applied per piece held.
+    pub r: f64,
+    /// Potential threshold `d > 1`.
+    pub d: f64,
+    /// Quadratic-smoothing parameter `β ∈ (0, ½)`.
+    pub beta: f64,
+    /// Mixing weight `α ∈ (½, 1)`.
+    pub alpha: f64,
+}
+
+impl LyapunovParams {
+    /// A numerically reasonable choice satisfying the constraints of
+    /// Lemma 10/12 for the given model parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::WrongRegime`] when `γ ≤ µ` (the Section VII.A
+    /// function applies to the `µ < γ` case).
+    pub fn recommended(params: &SwarmParams) -> Result<Self, SwarmError> {
+        let ratio = params.mu_over_gamma();
+        if ratio >= 1.0 {
+            return Err(SwarmError::WrongRegime("the Lyapunov function of Sec. VII.A requires µ < γ".into()));
+        }
+        let k = params.num_pieces() as f64;
+        let alpha = 0.9;
+        // β ((K + µ/γ)/(1 − µ/γ))² ≤ 1/α − 1 with some margin.
+        let jump = (k + ratio) / (1.0 - ratio);
+        let beta = (0.5 * (1.0 / alpha - 1.0) / (jump * jump)).min(0.45);
+        // d > (1 + µ/γ)/(1 − µ/γ) and > K + µ/γ … with margin.
+        let d = 4.0 * ((1.0 + ratio) / (1.0 - ratio)).max(k + 1.0);
+        let r = 0.1_f64.min(0.4);
+        Ok(LyapunovParams { r, d, beta, alpha })
+    }
+
+    /// The clipped potential `φ` of the paper, with this parameter set.
+    #[must_use]
+    pub fn phi(&self, x: f64) -> f64 {
+        let two_d = 2.0 * self.d;
+        if x <= two_d {
+            two_d + 0.5 / self.beta - x
+        } else if x <= two_d + 1.0 / self.beta {
+            0.5 * self.beta * (x - two_d - 1.0 / self.beta).powi(2)
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The Lyapunov function `W` for a model, ready to evaluate on states.
+#[derive(Debug, Clone)]
+pub struct LyapunovFunction {
+    params: SwarmParams,
+    lyap: LyapunovParams,
+}
+
+impl LyapunovFunction {
+    /// Builds the function with recommended parameters.
+    ///
+    /// # Errors
+    ///
+    /// See [`LyapunovParams::recommended`].
+    pub fn new(params: &SwarmParams) -> Result<Self, SwarmError> {
+        Ok(Self::with_params(params, LyapunovParams::recommended(params)?))
+    }
+
+    /// Builds the function with explicit Lyapunov parameters.
+    #[must_use]
+    pub fn with_params(params: &SwarmParams, lyap: LyapunovParams) -> Self {
+        LyapunovFunction { params: params.clone(), lyap }
+    }
+
+    /// The Lyapunov parameters in use.
+    #[must_use]
+    pub fn lyapunov_params(&self) -> LyapunovParams {
+        self.lyap
+    }
+
+    /// `E_C(x) = Σ_{C' ⊆ C} x_{C'}` — peers that are or can become type `C`.
+    #[must_use]
+    pub fn e(&self, state: &SwarmState, c: PieceSet) -> f64 {
+        state.count_subsets_of(c) as f64
+    }
+
+    /// `H_C(x) = (1 − µ/γ)^{-1} Σ_{C' ⊄ C} (K − |C'| + µ/γ) x_{C'}` — the
+    /// helping potential stored in peers that can help type-`C` peers.
+    #[must_use]
+    pub fn h(&self, state: &SwarmState, c: PieceSet) -> f64 {
+        let ratio = self.params.mu_over_gamma();
+        let k = self.params.num_pieces() as f64;
+        let sum: f64 = state
+            .occupied_types()
+            .filter(|(t, _)| !t.is_subset_of(c))
+            .map(|(t, n)| (k - t.len() as f64 + ratio) * f64::from(n))
+            .sum();
+        sum / (1.0 - ratio)
+    }
+
+    /// The per-type term `T_C` of eq. (11).
+    #[must_use]
+    pub fn term(&self, state: &SwarmState, c: PieceSet) -> f64 {
+        let full = self.params.full_type();
+        if c == full {
+            let n = state.total_peers() as f64;
+            0.5 * n * n
+        } else {
+            let e = self.e(state, c);
+            0.5 * e * e + self.lyap.alpha * e * self.lyap.phi(self.h(state, c))
+        }
+    }
+
+    /// The full Lyapunov function `W(x)`.
+    #[must_use]
+    pub fn value(&self, state: &SwarmState) -> f64 {
+        let space = self.params.type_space();
+        let full = self.params.full_type();
+        let skip_full = self.params.departs_immediately();
+        space
+            .iter()
+            .filter(|&c| !(skip_full && c == full))
+            .map(|c| self.lyap.r.powi(c.len() as i32) * self.term(state, c))
+            .sum()
+    }
+
+    /// The drift `QW(x)` under the model's generator, computed numerically.
+    #[must_use]
+    pub fn drift(&self, model: &SwarmModel, state: &SwarmState) -> f64 {
+        markov::drift::drift(model, state, |s| self.value(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pieceset::{PieceId, TypeSpace};
+
+    fn set(indices: &[usize]) -> PieceSet {
+        indices.iter().map(|&i| PieceId::new(i)).collect()
+    }
+
+    fn stable_params() -> SwarmParams {
+        // Example-1-like, well inside the stability region.
+        SwarmParams::builder(2)
+            .seed_rate(2.0)
+            .contact_rate(1.0)
+            .seed_departure_rate(2.0)
+            .fresh_arrivals(1.0)
+            .build()
+            .unwrap()
+    }
+
+    fn unstable_params() -> SwarmParams {
+        SwarmParams::builder(2)
+            .seed_rate(0.1)
+            .contact_rate(1.0)
+            .seed_departure_rate(4.0)
+            .fresh_arrivals(5.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn recommended_parameters_satisfy_constraints() {
+        let p = stable_params();
+        let l = LyapunovParams::recommended(&p).unwrap();
+        assert!(l.r > 0.0 && l.r < 0.5);
+        assert!(l.beta > 0.0 && l.beta < 0.5);
+        assert!(l.alpha > 0.5 && l.alpha < 1.0);
+        let ratio = p.mu_over_gamma();
+        assert!(l.d > (1.0 + ratio) / (1.0 - ratio));
+        let jump = (p.num_pieces() as f64 + ratio) / (1.0 - ratio);
+        assert!(l.beta * jump * jump <= 1.0 / l.alpha - 1.0 + 1e-12);
+        // wrong regime rejected
+        let slow = SwarmParams::builder(2)
+            .contact_rate(1.0)
+            .seed_departure_rate(0.5)
+            .fresh_arrivals(1.0)
+            .build()
+            .unwrap();
+        assert!(LyapunovParams::recommended(&slow).is_err());
+    }
+
+    #[test]
+    fn phi_shape() {
+        let l = LyapunovParams { r: 0.1, d: 5.0, beta: 0.1, alpha: 0.9 };
+        // slope -1 region
+        assert!((l.phi(0.0) - (10.0 + 5.0)).abs() < 1e-12);
+        assert!((l.phi(1.0) - l.phi(0.0) + 1.0).abs() < 1e-12);
+        // vanishes beyond 2d + 1/β = 20
+        assert_eq!(l.phi(20.0), 0.0);
+        assert_eq!(l.phi(100.0), 0.0);
+        // continuous at the knots
+        let eps = 1e-9;
+        assert!((l.phi(10.0 - eps) - l.phi(10.0 + eps)).abs() < 1e-6);
+        assert!((l.phi(20.0 - eps) - l.phi(20.0 + eps)).abs() < 1e-6);
+        // non-negative and non-increasing
+        let mut prev = f64::INFINITY;
+        for i in 0..200 {
+            let v = l.phi(i as f64 * 0.2);
+            assert!(v >= 0.0);
+            assert!(v <= prev + 1e-12);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn e_and_h_match_hand_computation() {
+        let p = stable_params(); // K = 2, µ/γ = 0.5
+        let f = LyapunovFunction::new(&p).unwrap();
+        let space = TypeSpace::new(2).unwrap();
+        let mut x = SwarmState::empty(&space);
+        x.set_count(PieceSet::empty(), 3);
+        x.set_count(set(&[0]), 2);
+        x.set_count(set(&[0, 1]), 1);
+        // E_{{1}} = x_∅ + x_{1} = 5
+        assert_eq!(f.e(&x, set(&[0])), 5.0);
+        // H_{{1}} = (1/(1-0.5)) * [ (K - |{1,2}| + 0.5) x_F ] = 2 * 0.5 * 1 = 1
+        assert!((f.h(&x, set(&[0])) - 1.0).abs() < 1e-12);
+        // H_∅ counts everyone with at least one piece.
+        let expected = ((2.0 - 1.0 + 0.5) * 2.0 + (2.0 - 2.0 + 0.5) * 1.0) / 0.5;
+        assert!((f.h(&x, PieceSet::empty()) - expected).abs() < 1e-12);
+        // E_F = n
+        assert_eq!(f.e(&x, set(&[0, 1])), 6.0);
+    }
+
+    #[test]
+    fn value_is_nonnegative_and_grows_with_population() {
+        let p = stable_params();
+        let f = LyapunovFunction::new(&p).unwrap();
+        let space = TypeSpace::new(2).unwrap();
+        let small = SwarmState::uniform(&space, PieceSet::empty(), 5);
+        let large = SwarmState::uniform(&space, PieceSet::empty(), 50);
+        assert!(f.value(&SwarmState::empty(&space)) >= 0.0);
+        assert!(f.value(&small) > 0.0);
+        assert!(f.value(&large) > f.value(&small));
+    }
+
+    #[test]
+    fn drift_negative_on_large_one_club_inside_stability_region() {
+        let p = stable_params();
+        assert!(crate::stability::classify(&p).verdict.is_stable());
+        let model = SwarmModel::new(p.clone());
+        let f = LyapunovFunction::new(&p).unwrap();
+        // Large one-club states (the binding heavy-load configuration).
+        for n in [200u32, 400, 800] {
+            let x = model.one_club_state(PieceId::new(0), n);
+            let d = f.drift(&model, &x);
+            assert!(d < 0.0, "drift {d} should be negative at one-club size {n}");
+        }
+    }
+
+    #[test]
+    fn drift_positive_on_large_one_club_outside_stability_region() {
+        let p = unstable_params();
+        assert_eq!(crate::stability::classify(&p).verdict, crate::StabilityVerdict::Transient);
+        let model = SwarmModel::new(p.clone());
+        let f = LyapunovFunction::new(&p).unwrap();
+        let x = model.one_club_state(PieceId::new(0), 500);
+        let d = f.drift(&model, &x);
+        assert!(d > 0.0, "drift {d} should be positive for a transient configuration");
+    }
+
+    #[test]
+    fn drift_negative_on_large_seed_population() {
+        // A huge pile of peer seeds must always drain (infinite-server shape).
+        let p = stable_params();
+        let model = SwarmModel::new(p.clone());
+        let f = LyapunovFunction::new(&p).unwrap();
+        let space = TypeSpace::new(2).unwrap();
+        let x = SwarmState::uniform(&space, set(&[0, 1]), 500);
+        assert!(f.drift(&model, &x) < 0.0);
+    }
+
+    #[test]
+    fn gamma_infinite_variant_skips_full_type_term() {
+        let p = SwarmParams::builder(2)
+            .seed_rate(5.0)
+            .contact_rate(1.0)
+            .fresh_arrivals(1.0)
+            .build()
+            .unwrap();
+        let f = LyapunovFunction::new(&p).unwrap();
+        let space = TypeSpace::new(2).unwrap();
+        // A state can never hold type-F peers when γ = ∞, but the function
+        // must still be finite and well defined on any state vector.
+        let x = SwarmState::uniform(&space, set(&[0]), 10);
+        assert!(f.value(&x).is_finite());
+        assert!(f.value(&x) > 0.0);
+    }
+}

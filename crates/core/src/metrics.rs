@@ -1,0 +1,189 @@
+//! Observables recorded by the peer-level simulator.
+
+use crate::groups::GroupCounts;
+use serde::{Deserialize, Serialize};
+
+/// A snapshot of the swarm taken by the agent-based simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimSnapshot {
+    /// Simulated time of the snapshot.
+    pub time: f64,
+    /// Total number of peers in the system (`N_t`).
+    pub total_peers: u64,
+    /// Number of peer seeds (complete collections) in the system.
+    pub peer_seeds: u64,
+    /// Fig.-2 group decomposition relative to the watch piece.
+    pub groups: GroupCounts,
+    /// Cumulative downloads of the watch piece (`D_t` in Section VI; arrivals
+    /// already holding it are not counted).
+    pub watch_piece_downloads: u64,
+    /// Cumulative arrivals of peers *without* the watch piece (`A_t`).
+    pub arrivals_without_watch: u64,
+    /// Number of copies of the watch piece currently held across the swarm.
+    pub watch_piece_copies: u64,
+}
+
+/// Aggregate statistics of completed peer sojourns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SojournStats {
+    /// Number of peers that departed during the run.
+    pub departures: u64,
+    /// Sum of sojourn times of departed peers.
+    total_sojourn: f64,
+    /// Maximum sojourn time observed.
+    pub max_sojourn: f64,
+}
+
+impl SojournStats {
+    /// Records a departure with the given sojourn time.
+    pub fn record(&mut self, sojourn: f64) {
+        self.departures += 1;
+        self.total_sojourn += sojourn;
+        if sojourn > self.max_sojourn {
+            self.max_sojourn = sojourn;
+        }
+    }
+
+    /// Mean sojourn time of departed peers (zero if none departed).
+    #[must_use]
+    pub fn mean_sojourn(&self) -> f64 {
+        if self.departures == 0 {
+            0.0
+        } else {
+            self.total_sojourn / self.departures as f64
+        }
+    }
+}
+
+/// Outcome of an agent-based simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Snapshots at the configured sampling interval (first at time 0, last
+    /// at the horizon).
+    pub snapshots: Vec<SimSnapshot>,
+    /// Sojourn statistics of departed peers.
+    pub sojourns: SojournStats,
+    /// Total number of piece transfers executed.
+    pub transfers: u64,
+    /// Total number of contacts that found no useful piece.
+    pub unsuccessful_contacts: u64,
+    /// Total number of simulated events.
+    pub events: u64,
+    /// The simulated horizon actually reached.
+    pub horizon: f64,
+}
+
+impl SimResult {
+    /// The final snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: the simulator always records at least the initial
+    /// snapshot.
+    #[must_use]
+    pub fn final_snapshot(&self) -> &SimSnapshot {
+        self.snapshots.last().expect("at least one snapshot")
+    }
+
+    /// The peer-count sample path as a [`markov::SamplePath`] for trend and
+    /// classification analysis.
+    #[must_use]
+    pub fn peer_count_path(&self) -> markov::SamplePath {
+        let first = self.snapshots.first().expect("at least one snapshot");
+        let mut path = markov::SamplePath::new(first.time, first.total_peers as f64);
+        for s in &self.snapshots[1..] {
+            path.record(s.time, s.total_peers as f64);
+        }
+        path.finish(self.horizon.max(first.time));
+        path
+    }
+
+    /// The one-club size sample path.
+    #[must_use]
+    pub fn one_club_path(&self) -> markov::SamplePath {
+        let first = self.snapshots.first().expect("at least one snapshot");
+        let mut path = markov::SamplePath::new(first.time, first.groups.one_club as f64);
+        for s in &self.snapshots[1..] {
+            path.record(s.time, s.groups.one_club as f64);
+        }
+        path.finish(self.horizon.max(first.time));
+        path
+    }
+
+    /// Fraction of contacts that carried a piece (the paper's efficiency
+    /// intuition: unsuccessful contacts dominate when the one club is large).
+    #[must_use]
+    pub fn contact_success_fraction(&self) -> f64 {
+        let total = self.transfers + self.unsuccessful_contacts;
+        if total == 0 {
+            0.0
+        } else {
+            self.transfers as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(time: f64, peers: u64, one_club: u64) -> SimSnapshot {
+        let mut groups = GroupCounts::default();
+        for _ in 0..one_club {
+            groups.add(crate::groups::PeerGroup::OneClub);
+        }
+        for _ in one_club..peers {
+            groups.add(crate::groups::PeerGroup::NormalYoung);
+        }
+        SimSnapshot {
+            time,
+            total_peers: peers,
+            peer_seeds: 0,
+            groups,
+            watch_piece_downloads: 0,
+            arrivals_without_watch: peers,
+            watch_piece_copies: 0,
+        }
+    }
+
+    fn result() -> SimResult {
+        SimResult {
+            snapshots: vec![snapshot(0.0, 10, 2), snapshot(5.0, 20, 12), snapshot(10.0, 30, 25)],
+            sojourns: SojournStats::default(),
+            transfers: 30,
+            unsuccessful_contacts: 10,
+            events: 100,
+            horizon: 10.0,
+        }
+    }
+
+    #[test]
+    fn sojourn_stats_accumulate() {
+        let mut s = SojournStats::default();
+        assert_eq!(s.mean_sojourn(), 0.0);
+        s.record(2.0);
+        s.record(4.0);
+        assert_eq!(s.departures, 2);
+        assert!((s.mean_sojourn() - 3.0).abs() < 1e-12);
+        assert_eq!(s.max_sojourn, 4.0);
+    }
+
+    #[test]
+    fn paths_are_constructed_from_snapshots() {
+        let r = result();
+        let path = r.peer_count_path();
+        assert_eq!(path.len(), 3);
+        assert_eq!(path.value_at(6.0), 20.0);
+        let club = r.one_club_path();
+        assert_eq!(club.value_at(10.0), 25.0);
+        assert_eq!(r.final_snapshot().total_peers, 30);
+    }
+
+    #[test]
+    fn contact_success_fraction_computed() {
+        let r = result();
+        assert!((r.contact_success_fraction() - 0.75).abs() < 1e-12);
+        let empty = SimResult { transfers: 0, unsuccessful_contacts: 0, ..result() };
+        assert_eq!(empty.contact_success_fraction(), 0.0);
+    }
+}

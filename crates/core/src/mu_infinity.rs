@@ -1,0 +1,290 @@
+//! The `µ = ∞` watched process of the borderline analysis
+//! (Section VIII-D, Figure 3).
+//!
+//! For the symmetric flat network (no fixed seed, `γ = ∞`, arrivals carry one
+//! uniformly random piece at rate `λ` each), the process watched on its
+//! *slow* states (all peers share the same type) in the limit `µ → ∞` lives
+//! on the reduced state space `{(0,0)} ∪ {(n,k) : n ≥ 1, 1 ≤ k ≤ K−1}`,
+//! where `(n, k)` means `n` peers all holding the same `k` pieces.
+//!
+//! The paper shows the top layer `(·, K−1)` evolves as a zero-drift random
+//! walk (the coin-flip variable `Z` has mean `K−1`), hence the process is
+//! null recurrent — the borderline case Theorem 1 leaves open.
+
+use crate::SwarmError;
+use markov::Ctmc;
+use serde::{Deserialize, Serialize};
+
+/// A state of the watched process: `Empty` is `(0,0)`; `Uniform { peers, pieces }`
+/// means `peers ≥ 1` peers all hold the same `pieces` (with `1 ≤ pieces ≤ K−1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MuInfinityState {
+    /// No peers in the system.
+    Empty,
+    /// `peers` peers all holding the same set of `pieces` pieces.
+    Uniform {
+        /// Number of peers, `n ≥ 1`.
+        peers: u64,
+        /// Number of pieces each of them holds, `1 ≤ pieces ≤ K−1`.
+        pieces: usize,
+    },
+}
+
+/// The `µ = ∞` watched process for a `K`-piece symmetric flat network with
+/// per-piece arrival rate `λ`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MuInfinityProcess {
+    num_pieces: usize,
+    lambda: f64,
+}
+
+impl MuInfinityProcess {
+    /// Creates the process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::InvalidParameter`] unless `K ≥ 2` and `λ > 0`
+    /// (with `K = 1` there is no piece exchange to model).
+    pub fn new(num_pieces: usize, lambda: f64) -> Result<Self, SwarmError> {
+        if num_pieces < 2 {
+            return Err(SwarmError::InvalidParameter("the µ = ∞ process needs K ≥ 2".into()));
+        }
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(SwarmError::InvalidParameter(format!("λ = {lambda} must be finite and positive")));
+        }
+        Ok(MuInfinityProcess { num_pieces, lambda })
+    }
+
+    /// Number of pieces `K`.
+    #[must_use]
+    pub fn num_pieces(&self) -> usize {
+        self.num_pieces
+    }
+
+    /// Per-piece arrival rate `λ`.
+    #[must_use]
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Probability that the coin-flip variable `Z` (heads before the
+    /// `(K−1)`-th tail of a fair coin) equals `z`:
+    /// `P(Z = z) = C(z + K − 2, z) 2^{−(z + K − 1)}`.
+    #[must_use]
+    pub fn z_pmf(&self, z: u64) -> f64 {
+        let k = self.num_pieces as u64;
+        binomial(z + k - 2, z) * 0.5_f64.powi((z + k - 1) as i32)
+    }
+
+    /// `E[Z] = K − 1`: the top layer has zero drift, the source of null
+    /// recurrence.
+    #[must_use]
+    pub fn z_mean(&self) -> f64 {
+        (self.num_pieces - 1) as f64
+    }
+
+    /// Probability that the missing-piece arrival empties the old population
+    /// of `n` peers before completing, ending with the new peer alone holding
+    /// `1 + t` pieces (it downloaded `t ≤ K−2` pieces): the probability of
+    /// observing `n` heads before the `(K−1)`-th tail with exactly `t` tails
+    /// first, `C(n−1+t, t) 2^{−(n+t)}`.
+    #[must_use]
+    pub fn takeover_pmf(&self, n: u64, t: usize) -> f64 {
+        if t > self.num_pieces - 2 {
+            return 0.0;
+        }
+        binomial(n - 1 + t as u64, t as u64) * 0.5_f64.powi((n + t as u64) as i32)
+    }
+}
+
+/// Binomial coefficient as `f64` (adequate for the modest arguments used by
+/// the jump distribution).
+fn binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1.0_f64;
+    for i in 0..k {
+        acc = acc * (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+/// Cap on the enumerated support of `Z` in the generator; the tail beyond the
+/// cap is folded into the largest jump so row sums stay exact.
+const MAX_Z_SUPPORT: u64 = 512;
+
+impl Ctmc for MuInfinityProcess {
+    type State = MuInfinityState;
+
+    fn transitions(&self, state: &MuInfinityState, out: &mut Vec<(MuInfinityState, f64)>) {
+        let k = self.num_pieces;
+        let lambda = self.lambda;
+        match *state {
+            MuInfinityState::Empty => {
+                // Any arrival leaves a single peer holding its one piece.
+                out.push((MuInfinityState::Uniform { peers: 1, pieces: 1 }, k as f64 * lambda));
+            }
+            MuInfinityState::Uniform { peers: n, pieces } if pieces < k - 1 => {
+                // Arrival with a piece the group already has: the newcomer
+                // instantly downloads everything the group holds.
+                out.push((MuInfinityState::Uniform { peers: n + 1, pieces }, pieces as f64 * lambda));
+                // Arrival with a new piece: after the fast exchange everyone
+                // holds `pieces + 1` pieces (nobody can complete yet).
+                out.push((
+                    MuInfinityState::Uniform { peers: n + 1, pieces: pieces + 1 },
+                    (k - pieces) as f64 * lambda,
+                ));
+            }
+            MuInfinityState::Uniform { peers: n, pieces } => {
+                debug_assert_eq!(pieces, k - 1);
+                // Arrival holding a piece the one club already has.
+                out.push((MuInfinityState::Uniform { peers: n + 1, pieces }, (k - 1) as f64 * lambda));
+                // Arrival holding the missing piece: resolve the coin-flip
+                // exchange. Departing old peers: Z ≤ n−1 → (n − Z, K−1).
+                let mut remaining = 1.0;
+                for z in 0..n.min(MAX_Z_SUPPORT) {
+                    let p = self.z_pmf(z);
+                    remaining -= p;
+                    out.push((MuInfinityState::Uniform { peers: n - z, pieces }, lambda * p));
+                }
+                // Z ≥ n (or beyond the enumeration cap): the old population is
+                // wiped out and the newcomer remains alone with 1 + t pieces.
+                if remaining > 1e-15 {
+                    let mut takeover_total = 0.0;
+                    let mut takeover = Vec::with_capacity(k - 1);
+                    for t in 0..=(k - 2) {
+                        let p = self.takeover_pmf(n, t);
+                        takeover_total += p;
+                        takeover.push(p);
+                    }
+                    if takeover_total > 0.0 {
+                        for (t, p) in takeover.into_iter().enumerate() {
+                            // Normalise within the takeover block so the total
+                            // transition rate is exactly λ · remaining.
+                            out.push((
+                                MuInfinityState::Uniform { peers: 1, pieces: 1 + t },
+                                lambda * remaining * p / takeover_total,
+                            ));
+                        }
+                    } else {
+                        out.push((MuInfinityState::Uniform { peers: 1, pieces: 1 }, lambda * remaining));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use markov::gillespie::{Simulator, StopRule};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn peers_of(state: &MuInfinityState) -> u64 {
+        match state {
+            MuInfinityState::Empty => 0,
+            MuInfinityState::Uniform { peers, .. } => *peers,
+        }
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(MuInfinityProcess::new(1, 1.0).is_err());
+        assert!(MuInfinityProcess::new(3, 0.0).is_err());
+        assert!(MuInfinityProcess::new(3, f64::NAN).is_err());
+        assert!(MuInfinityProcess::new(3, 1.0).is_ok());
+    }
+
+    #[test]
+    fn z_pmf_sums_to_one_and_has_mean_k_minus_one() {
+        let p = MuInfinityProcess::new(4, 1.0).unwrap();
+        let total: f64 = (0..2_000).map(|z| p.z_pmf(z)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+        let mean: f64 = (0..2_000).map(|z| z as f64 * p.z_pmf(z)).sum();
+        assert!((mean - 3.0).abs() < 1e-6, "mean {mean}");
+        assert!((p.z_mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transition_rates_from_empty_and_lower_layers() {
+        let p = MuInfinityProcess::new(3, 2.0).unwrap();
+        let mut out = Vec::new();
+        p.transitions(&MuInfinityState::Empty, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, MuInfinityState::Uniform { peers: 1, pieces: 1 });
+        assert!((out[0].1 - 6.0).abs() < 1e-12);
+
+        out.clear();
+        p.transitions(&MuInfinityState::Uniform { peers: 4, pieces: 1 }, &mut out);
+        // (5,1) at rate 1·λ = 2 and (5,2) at rate 2·λ = 4.
+        assert_eq!(out.len(), 2);
+        let up_same = out.iter().find(|(s, _)| *s == MuInfinityState::Uniform { peers: 5, pieces: 1 }).unwrap();
+        let up_next = out.iter().find(|(s, _)| *s == MuInfinityState::Uniform { peers: 5, pieces: 2 }).unwrap();
+        assert!((up_same.1 - 2.0).abs() < 1e-12);
+        assert!((up_next.1 - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_layer_row_sum_is_k_lambda() {
+        // Total outgoing rate from any top-layer state is (K−1)λ + λ = Kλ.
+        let p = MuInfinityProcess::new(3, 1.5).unwrap();
+        for n in [1u64, 2, 5, 40] {
+            let rate = p.total_rate(&MuInfinityState::Uniform { peers: n, pieces: 2 });
+            assert!((rate - 4.5).abs() < 1e-9, "n = {n}: rate {rate}");
+        }
+    }
+
+    #[test]
+    fn top_layer_mean_jump_is_zero_drift() {
+        // From (n, K−1) with n large, the expected change in the peer count is
+        // (K−1)λ·(+1) + λ·E[−Z] = 0.
+        let p = MuInfinityProcess::new(4, 1.0).unwrap();
+        let n = 200u64;
+        let state = MuInfinityState::Uniform { peers: n, pieces: 3 };
+        let drift = markov::drift::drift(&p, &state, |s| peers_of(s) as f64);
+        assert!(drift.abs() < 1e-6, "drift {drift}");
+    }
+
+    #[test]
+    fn takeover_probabilities_are_a_distribution_given_wipeout() {
+        let p = MuInfinityProcess::new(5, 1.0).unwrap();
+        let n = 3u64;
+        // P(Z >= n) should equal the total takeover probability.
+        let p_wipe: f64 = 1.0 - (0..n).map(|z| p.z_pmf(z)).sum::<f64>();
+        let takeover_total: f64 = (0..=(5 - 2)).map(|t| p.takeover_pmf(n, t)).sum();
+        assert!((p_wipe - takeover_total).abs() < 1e-9, "{p_wipe} vs {takeover_total}");
+        assert_eq!(p.takeover_pmf(n, 10), 0.0);
+    }
+
+    #[test]
+    fn simulated_process_returns_to_small_states_but_wanders() {
+        // Null recurrence cannot be proven by simulation; we check the two
+        // qualitative signatures: the process keeps returning to small
+        // populations, yet its running maximum keeps growing.
+        let p = MuInfinityProcess::new(3, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let sim = Simulator::new(&p).observe(|s| peers_of(s) as f64);
+        let run = sim.run(MuInfinityState::Empty, StopRule::time_or_events(200_000.0, 2_000_000), &mut rng);
+        let path = &run.path;
+        assert!(path.upcrossings_of(3.0) > 50, "many returns near the origin");
+        let early_max = path
+            .resample(1000)
+            .iter()
+            .take(500)
+            .map(|&(_, v)| v)
+            .fold(0.0_f64, f64::max);
+        assert!(path.max_value() > early_max, "the excursion maxima keep growing");
+    }
+
+    #[test]
+    fn binomial_helper() {
+        assert_eq!(binomial(5, 0), 1.0);
+        assert_eq!(binomial(5, 5), 1.0);
+        assert_eq!(binomial(5, 2), 10.0);
+        assert_eq!(binomial(3, 7), 0.0);
+    }
+}

@@ -1,0 +1,625 @@
+//! Peer-level (agent-based) discrete-event simulator.
+//!
+//! The type-count CTMC of [`crate::SwarmModel`] is exact but cannot express
+//! per-peer identities: which peers are gifted or infected (Fig. 2), how a
+//! non-random piece-selection policy behaves (Theorem 14), or the
+//! faster-retry variant of Section VIII-C. This simulator keeps every peer as
+//! an agent with its own piece collection and simulates the same stochastic
+//! dynamics exactly (exponential clocks, uniform random contacts), with
+//! pluggable [`crate::policy::PiecePolicy`] and optional retry speed-up.
+
+use crate::groups::{classify_peer, GroupCounts};
+use crate::metrics::{SimResult, SimSnapshot, SojournStats};
+use crate::policy::{PiecePolicy, RandomUseful};
+use crate::{SwarmError, SwarmParams};
+use markov::poisson::{sample_exp, sample_weighted_index};
+use pieceset::{PieceId, PieceSet};
+use rand::Rng;
+
+/// Configuration of the agent-based simulator beyond the model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AgentConfig {
+    /// The piece whose spread is tracked for the Fig.-2 decomposition
+    /// (piece one in the paper).
+    pub watch_piece: PieceId,
+    /// Retry speed-up factor `η ≥ 1` of Section VIII-C: a peer (or the fixed
+    /// seed) whose last contact found nothing useful runs its clock `η`
+    /// times faster until its next contact. `1.0` recovers the base model.
+    pub retry_speedup: f64,
+    /// Interval between recorded snapshots.
+    pub snapshot_interval: f64,
+    /// Hard cap on the number of simulated events (safety valve).
+    pub max_events: u64,
+}
+
+impl Default for AgentConfig {
+    fn default() -> Self {
+        AgentConfig {
+            watch_piece: PieceId::new(0),
+            retry_speedup: 1.0,
+            snapshot_interval: 10.0,
+            max_events: 50_000_000,
+        }
+    }
+}
+
+/// One peer in the agent-based simulation.
+#[derive(Debug, Clone)]
+struct Peer {
+    pieces: PieceSet,
+    arrival_time: f64,
+    arrived_with_watch: bool,
+    was_one_club: bool,
+    boosted: bool,
+}
+
+/// The agent-based swarm simulator.
+///
+/// # Examples
+///
+/// ```
+/// use swarm::{sim::AgentSwarm, SwarmParams};
+/// use rand::SeedableRng;
+///
+/// let params = SwarmParams::builder(2)
+///     .seed_rate(1.0)
+///     .contact_rate(1.0)
+///     .seed_departure_rate(2.0)
+///     .fresh_arrivals(0.5)
+///     .build()
+///     .unwrap();
+/// let sim = AgentSwarm::new(params).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let result = sim.run(&[], 200.0, &mut rng);
+/// assert!(result.final_snapshot().time >= 199.9);
+/// ```
+pub struct AgentSwarm {
+    params: SwarmParams,
+    config: AgentConfig,
+    policy: Box<dyn PiecePolicy>,
+}
+
+impl AgentSwarm {
+    /// Creates a simulator with the default configuration and the paper's
+    /// random-useful policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::InvalidParameter`] if the configuration is
+    /// invalid (see [`AgentSwarm::with_config`]).
+    pub fn new(params: SwarmParams) -> Result<Self, SwarmError> {
+        Self::with_config(params, AgentConfig::default(), Box::new(RandomUseful))
+    }
+
+    /// Creates a simulator with an explicit configuration and policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::InvalidParameter`] if the watch piece is outside
+    /// the file, the retry speed-up is less than one, or the snapshot
+    /// interval is not positive.
+    pub fn with_config(
+        params: SwarmParams,
+        config: AgentConfig,
+        policy: Box<dyn PiecePolicy>,
+    ) -> Result<Self, SwarmError> {
+        if config.watch_piece.index() >= params.num_pieces() {
+            return Err(SwarmError::InvalidParameter(format!(
+                "watch piece {} outside a {}-piece file",
+                config.watch_piece,
+                params.num_pieces()
+            )));
+        }
+        if !(config.retry_speedup >= 1.0 && config.retry_speedup.is_finite()) {
+            return Err(SwarmError::InvalidParameter(format!(
+                "retry speed-up η = {} must be a finite value ≥ 1",
+                config.retry_speedup
+            )));
+        }
+        if !(config.snapshot_interval > 0.0) {
+            return Err(SwarmError::InvalidParameter("snapshot interval must be positive".into()));
+        }
+        Ok(AgentSwarm { params, config, policy })
+    }
+
+    /// The model parameters.
+    #[must_use]
+    pub fn params(&self) -> &SwarmParams {
+        &self.params
+    }
+
+    /// The name of the piece-selection policy in use.
+    #[must_use]
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Runs the simulation from an initial population (`initial[i]` is the
+    /// piece collection of the `i`-th initial peer) up to `horizon`.
+    #[must_use]
+    pub fn run<R: Rng>(&self, initial: &[PieceSet], horizon: f64, rng: &mut R) -> SimResult {
+        Engine::new(self, initial, rng).run(horizon, rng)
+    }
+
+    /// Runs from a one-club initial condition: `n` peers all missing exactly
+    /// the watch piece.
+    #[must_use]
+    pub fn run_from_one_club<R: Rng>(&self, n: usize, horizon: f64, rng: &mut R) -> SimResult {
+        let club = self.params.full_type().without(self.config.watch_piece);
+        let initial = vec![club; n];
+        self.run(&initial, horizon, rng)
+    }
+}
+
+/// Internal mutable simulation state.
+struct Engine<'a> {
+    sim: &'a AgentSwarm,
+    peers: Vec<Peer>,
+    piece_copies: Vec<u64>,
+    boosted_count: usize,
+    /// Number of peers currently holding the complete collection, maintained
+    /// incrementally so per-event rate computation stays O(1).
+    seeds: usize,
+    seed_boosted: bool,
+    time: f64,
+    watch_downloads: u64,
+    arrivals_without_watch: u64,
+    transfers: u64,
+    unsuccessful: u64,
+    events: u64,
+    sojourns: SojournStats,
+    snapshots: Vec<SimSnapshot>,
+    next_snapshot: f64,
+    arrival_types: Vec<(PieceSet, f64)>,
+}
+
+impl<'a> Engine<'a> {
+    fn new<R: Rng>(sim: &'a AgentSwarm, initial: &[PieceSet], _rng: &mut R) -> Self {
+        let k = sim.params.num_pieces();
+        let watch = sim.config.watch_piece;
+        let full = sim.params.full_type();
+        let club = full.without(watch);
+        let mut piece_copies = vec![0u64; k];
+        let peers: Vec<Peer> = initial
+            .iter()
+            .map(|&pieces| {
+                debug_assert!(pieces.is_subset_of(full));
+                for p in pieces.iter() {
+                    piece_copies[p.index()] += 1;
+                }
+                Peer {
+                    pieces,
+                    arrival_time: 0.0,
+                    arrived_with_watch: pieces.contains(watch),
+                    was_one_club: pieces == club,
+                    boosted: false,
+                }
+            })
+            .collect();
+        let arrival_types: Vec<(PieceSet, f64)> = sim.params.arrivals().collect();
+        let seeds = peers.iter().filter(|p| p.pieces == full).count();
+        let mut engine = Engine {
+            sim,
+            peers,
+            piece_copies,
+            boosted_count: 0,
+            seeds,
+            seed_boosted: false,
+            time: 0.0,
+            watch_downloads: 0,
+            arrivals_without_watch: 0,
+            transfers: 0,
+            unsuccessful: 0,
+            events: 0,
+            sojourns: SojournStats::default(),
+            snapshots: Vec::new(),
+            next_snapshot: 0.0,
+            arrival_types,
+        };
+        engine.record_snapshot(0.0);
+        engine.next_snapshot = sim.config.snapshot_interval;
+        engine
+    }
+
+    fn full(&self) -> PieceSet {
+        self.sim.params.full_type()
+    }
+
+
+    fn record_snapshot(&mut self, time: f64) {
+        let watch = self.sim.config.watch_piece;
+        let k = self.sim.params.num_pieces();
+        let full = self.full();
+        let mut groups = GroupCounts::default();
+        let mut seeds = 0u64;
+        for p in &self.peers {
+            groups.add(classify_peer(p.pieces, p.arrived_with_watch, p.was_one_club, watch, k));
+            if p.pieces == full {
+                seeds += 1;
+            }
+        }
+        self.snapshots.push(SimSnapshot {
+            time,
+            total_peers: self.peers.len() as u64,
+            peer_seeds: seeds,
+            groups,
+            watch_piece_downloads: self.watch_downloads,
+            arrivals_without_watch: self.arrivals_without_watch,
+            watch_piece_copies: self.piece_copies[watch.index()],
+        });
+    }
+
+    fn run<R: Rng>(mut self, horizon: f64, rng: &mut R) -> SimResult {
+        let params = &self.sim.params;
+        let eta = self.sim.config.retry_speedup;
+        let gamma_finite = !params.departs_immediately();
+
+        loop {
+            if self.events >= self.sim.config.max_events {
+                break;
+            }
+            let n = self.peers.len();
+            let seed_count = if gamma_finite { self.seeds } else { 0 };
+
+            let arrival_rate = params.total_arrival_rate();
+            let seed_tick_rate = if n > 0 {
+                params.seed_rate() * if self.seed_boosted { eta } else { 1.0 }
+            } else {
+                0.0
+            };
+            let peer_tick_rate = params.contact_rate()
+                * ((n - self.boosted_count) as f64 + eta * self.boosted_count as f64);
+            let departure_rate = if gamma_finite {
+                params.seed_departure_rate() * seed_count as f64
+            } else {
+                0.0
+            };
+            let rates = [arrival_rate, seed_tick_rate, peer_tick_rate, departure_rate];
+            let total: f64 = rates.iter().sum();
+            debug_assert!(total > 0.0, "λ_total > 0 guarantees a positive total rate");
+
+            let dt = sample_exp(rng, total);
+            let new_time = self.time + dt;
+            // Emit snapshots for every interval boundary crossed before the event.
+            while self.next_snapshot <= new_time.min(horizon) {
+                let t = self.next_snapshot;
+                self.record_snapshot(t);
+                self.next_snapshot += self.sim.config.snapshot_interval;
+            }
+            if new_time > horizon {
+                self.time = horizon;
+                break;
+            }
+            self.time = new_time;
+            self.events += 1;
+
+            match sample_weighted_index(rng, &rates).expect("positive total rate") {
+                0 => self.handle_arrival(rng),
+                1 => self.handle_seed_tick(rng),
+                2 => self.handle_peer_tick(rng),
+                _ => self.handle_seed_departure(rng),
+            }
+        }
+
+        // Final snapshot at the horizon.
+        let end = self.time.max(self.snapshots.last().map_or(0.0, |s| s.time));
+        self.record_snapshot(end);
+        SimResult {
+            snapshots: self.snapshots,
+            sojourns: self.sojourns,
+            transfers: self.transfers,
+            unsuccessful_contacts: self.unsuccessful,
+            events: self.events,
+            horizon: end,
+        }
+    }
+
+    fn handle_arrival<R: Rng>(&mut self, rng: &mut R) {
+        let weights: Vec<f64> = self.arrival_types.iter().map(|(_, r)| *r).collect();
+        let idx = sample_weighted_index(rng, &weights).expect("λ_total > 0");
+        let pieces = self.arrival_types[idx].0;
+        let watch = self.sim.config.watch_piece;
+        if !pieces.contains(watch) {
+            self.arrivals_without_watch += 1;
+        }
+        for p in pieces.iter() {
+            self.piece_copies[p.index()] += 1;
+        }
+        let club = self.full().without(watch);
+        if pieces == self.full() {
+            self.seeds += 1;
+        }
+        self.peers.push(Peer {
+            pieces,
+            arrival_time: self.time,
+            arrived_with_watch: pieces.contains(watch),
+            was_one_club: pieces == club,
+            boosted: false,
+        });
+    }
+
+    fn handle_seed_tick<R: Rng>(&mut self, rng: &mut R) {
+        if self.peers.is_empty() {
+            return;
+        }
+        let target = rng.gen_range(0..self.peers.len());
+        let useful = self.full().difference(self.peers[target].pieces);
+        if useful.is_empty() {
+            self.unsuccessful += 1;
+            self.seed_boosted = self.sim.config.retry_speedup > 1.0;
+            return;
+        }
+        self.seed_boosted = false;
+        let piece = self.sim.policy.select(useful, &self.piece_copies, rng);
+        self.give_piece(target, piece, rng);
+    }
+
+    fn handle_peer_tick<R: Rng>(&mut self, rng: &mut R) {
+        let n = self.peers.len();
+        if n == 0 {
+            return;
+        }
+        let eta = self.sim.config.retry_speedup;
+        // Rejection-sample the uploader proportionally to its clock rate.
+        let uploader = loop {
+            let i = rng.gen_range(0..n);
+            if eta <= 1.0 || self.peers[i].boosted || rng.gen::<f64>() < 1.0 / eta {
+                break i;
+            }
+        };
+        let target = rng.gen_range(0..n);
+        let useful = self.peers[uploader].pieces.difference(self.peers[target].pieces);
+        if useful.is_empty() {
+            self.unsuccessful += 1;
+            if eta > 1.0 && !self.peers[uploader].boosted {
+                self.peers[uploader].boosted = true;
+                self.boosted_count += 1;
+            }
+            return;
+        }
+        if self.peers[uploader].boosted {
+            self.peers[uploader].boosted = false;
+            self.boosted_count -= 1;
+        }
+        let piece = self.sim.policy.select(useful, &self.piece_copies, rng);
+        self.give_piece(target, piece, rng);
+    }
+
+    /// Delivers `piece` to peer `target`, updating counters, the one-club
+    /// history flag, and handling immediate departure when `γ = ∞`.
+    fn give_piece<R: Rng>(&mut self, target: usize, piece: PieceId, _rng: &mut R) {
+        let watch = self.sim.config.watch_piece;
+        let full = self.full();
+        let club = full.without(watch);
+        debug_assert!(!self.peers[target].pieces.contains(piece));
+        self.peers[target].pieces.insert(piece);
+        self.piece_copies[piece.index()] += 1;
+        self.transfers += 1;
+        if piece == watch {
+            self.watch_downloads += 1;
+        }
+        // Receiving a piece changes what the peer can offer, so any pending
+        // fast-retry boost (Section VIII-C) no longer reflects a failed
+        // attempt with the current collection.
+        if self.peers[target].boosted {
+            self.peers[target].boosted = false;
+            self.boosted_count -= 1;
+        }
+        if self.peers[target].pieces == club {
+            self.peers[target].was_one_club = true;
+        }
+        if self.peers[target].pieces == full {
+            self.seeds += 1;
+            if self.sim.params.departs_immediately() {
+                self.depart(target);
+            }
+        }
+    }
+
+    fn handle_seed_departure<R: Rng>(&mut self, rng: &mut R) {
+        let full = self.full();
+        let n = self.peers.len();
+        if n == 0 {
+            return;
+        }
+        // Try a few uniform samples, then fall back to a scan; the departing
+        // peer must be chosen uniformly among the peer seeds.
+        for _ in 0..64 {
+            let i = rng.gen_range(0..n);
+            if self.peers[i].pieces == full {
+                self.depart(i);
+                return;
+            }
+        }
+        let seeds: Vec<usize> = (0..n).filter(|&i| self.peers[i].pieces == full).collect();
+        if let Some(&i) = seeds.get(rng.gen_range(0..seeds.len().max(1)).min(seeds.len().saturating_sub(1))) {
+            self.depart(i);
+        }
+    }
+
+    fn depart(&mut self, index: usize) {
+        let peer = self.peers.swap_remove(index);
+        if peer.pieces == self.full() {
+            self.seeds -= 1;
+        }
+        if peer.boosted {
+            self.boosted_count -= 1;
+        }
+        for p in peer.pieces.iter() {
+            self.piece_copies[p.index()] -= 1;
+        }
+        self.sojourns.record(self.time - peer.arrival_time);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{RarestFirst, Sequential};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params(k: usize, us: f64, mu: f64, gamma: f64, lambda0: f64) -> SwarmParams {
+        let mut b = SwarmParams::builder(k).seed_rate(us).contact_rate(mu).fresh_arrivals(lambda0);
+        if gamma.is_finite() {
+            b = b.seed_departure_rate(gamma);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        let p = params(2, 1.0, 1.0, 1.0, 1.0);
+        let bad_watch = AgentConfig { watch_piece: PieceId::new(5), ..Default::default() };
+        assert!(AgentSwarm::with_config(p.clone(), bad_watch, Box::new(RandomUseful)).is_err());
+        let bad_eta = AgentConfig { retry_speedup: 0.5, ..Default::default() };
+        assert!(AgentSwarm::with_config(p.clone(), bad_eta, Box::new(RandomUseful)).is_err());
+        let bad_snap = AgentConfig { snapshot_interval: 0.0, ..Default::default() };
+        assert!(AgentSwarm::with_config(p.clone(), bad_snap, Box::new(RandomUseful)).is_err());
+        assert!(AgentSwarm::new(p).is_ok());
+    }
+
+    #[test]
+    fn stable_system_keeps_population_bounded() {
+        // Example 1 inside the stability region: λ0 = 1 < U_s/(1−µ/γ) = 4.
+        let p = params(1, 2.0, 1.0, 2.0, 1.0);
+        let sim = AgentSwarm::new(p).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let result = sim.run(&[], 2_000.0, &mut rng);
+        let path = result.peer_count_path();
+        let classifier = markov::PathClassifier::new(1.0, 30.0);
+        assert_eq!(classifier.classify(&path).class, markov::PathClass::Stable);
+        assert!(result.sojourns.departures > 100, "plenty of peers complete and leave");
+    }
+
+    #[test]
+    fn transient_system_grows_at_predicted_rate() {
+        // Example 1 outside the region: λ0 = 4 > U_s/(1−µ/γ) = 2.
+        // The one-club (= type ∅ here) grows at rate ≈ λ0 − U_s/(1−µ/γ) = 2.
+        let p = params(1, 1.0, 1.0, 2.0, 4.0);
+        let sim = AgentSwarm::new(p).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let result = sim.run(&[], 1_500.0, &mut rng);
+        let trend = result.peer_count_path().trend(0.5);
+        assert!(trend.slope > 1.0, "slope {}", trend.slope);
+        assert!((trend.slope - 2.0).abs() < 0.7, "slope {} should be near 2", trend.slope);
+    }
+
+    #[test]
+    fn one_club_initial_condition_grows_when_unstable() {
+        // K = 3, no seed help for the watch piece beyond a weak fixed seed.
+        let p = params(3, 0.2, 1.0, 4.0, 3.0);
+        assert_eq!(crate::stability::classify(&p).verdict, crate::StabilityVerdict::Transient);
+        let sim = AgentSwarm::new(p).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let result = sim.run_from_one_club(100, 500.0, &mut rng);
+        let first = result.snapshots.first().unwrap();
+        let last = result.final_snapshot();
+        assert_eq!(first.groups.one_club, 100);
+        assert!(
+            last.groups.one_club > 200,
+            "one club should keep growing, got {}",
+            last.groups.one_club
+        );
+    }
+
+    #[test]
+    fn group_decomposition_partitions_the_population() {
+        let p = SwarmParams::builder(3)
+            .seed_rate(0.5)
+            .contact_rate(1.0)
+            .seed_departure_rate(1.5)
+            .fresh_arrivals(1.0)
+            .arrival(PieceSet::singleton(PieceId::new(0)), 0.3)
+            .build()
+            .unwrap();
+        let sim = AgentSwarm::new(p).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let result = sim.run(&[], 500.0, &mut rng);
+        for snap in &result.snapshots {
+            assert_eq!(snap.groups.total(), snap.total_peers, "groups partition peers at t = {}", snap.time);
+        }
+        // gifted peers exist because some arrivals carry the watch piece
+        assert!(result.final_snapshot().groups.gifted > 0 || result.snapshots.iter().any(|s| s.groups.gifted > 0));
+    }
+
+    #[test]
+    fn counters_are_monotone_and_consistent() {
+        let p = params(2, 1.0, 1.0, 2.0, 1.0);
+        let sim = AgentSwarm::new(p).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let result = sim.run(&[], 300.0, &mut rng);
+        let mut prev_d = 0;
+        let mut prev_a = 0;
+        for s in &result.snapshots {
+            assert!(s.watch_piece_downloads >= prev_d);
+            assert!(s.arrivals_without_watch >= prev_a);
+            prev_d = s.watch_piece_downloads;
+            prev_a = s.arrivals_without_watch;
+            assert!(s.watch_piece_copies <= s.total_peers, "at most one copy per peer");
+        }
+        assert!(result.transfers > 0);
+        assert!(result.events > 0);
+    }
+
+    #[test]
+    fn gamma_infinite_leaves_no_seeds_in_system() {
+        let p = params(2, 1.0, 1.0, f64::INFINITY, 1.0);
+        let sim = AgentSwarm::new(p).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let result = sim.run(&[], 400.0, &mut rng);
+        for s in &result.snapshots {
+            assert_eq!(s.peer_seeds, 0, "peers depart the instant they complete");
+        }
+        assert!(result.sojourns.departures > 0);
+    }
+
+    #[test]
+    fn policies_do_not_change_stability_at_stable_point() {
+        // Theorem 14 sanity at small scale: a stable parameter point stays
+        // stable under sequential and rarest-first selection.
+        let p = params(3, 2.0, 1.0, 2.0, 1.0);
+        for policy in [
+            Box::new(RarestFirst) as Box<dyn PiecePolicy>,
+            Box::new(Sequential) as Box<dyn PiecePolicy>,
+        ] {
+            let sim = AgentSwarm::with_config(p.clone(), AgentConfig::default(), policy).unwrap();
+            let mut rng = StdRng::seed_from_u64(7);
+            let result = sim.run(&[], 1_000.0, &mut rng);
+            let classifier = markov::PathClassifier::new(1.0, 40.0);
+            assert_eq!(classifier.classify(&result.peer_count_path()).class, markov::PathClass::Stable,
+                "policy {}", sim.policy_name());
+        }
+    }
+
+    #[test]
+    fn retry_speedup_increases_contact_attempts() {
+        // With η > 1 a starved uploader retries faster, so the number of
+        // unsuccessful contacts grows relative to the base model.
+        let p = params(1, 0.2, 1.0, 2.0, 2.0);
+        let mut rng = StdRng::seed_from_u64(8);
+        let base = AgentSwarm::new(p.clone()).unwrap().run(&[], 500.0, &mut rng);
+        let mut rng = StdRng::seed_from_u64(8);
+        let boosted_cfg = AgentConfig { retry_speedup: 10.0, ..Default::default() };
+        let boosted = AgentSwarm::with_config(p, boosted_cfg, Box::new(RandomUseful))
+            .unwrap()
+            .run(&[], 500.0, &mut rng);
+        assert!(
+            boosted.unsuccessful_contacts > base.unsuccessful_contacts,
+            "boosted {} vs base {}",
+            boosted.unsuccessful_contacts,
+            base.unsuccessful_contacts
+        );
+    }
+
+    #[test]
+    fn sojourn_times_are_positive_and_reasonable() {
+        let p = params(2, 2.0, 1.0, 2.0, 1.0);
+        let sim = AgentSwarm::new(p).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let result = sim.run(&[], 1_000.0, &mut rng);
+        assert!(result.sojourns.departures > 50);
+        assert!(result.sojourns.mean_sojourn() > 0.0);
+        assert!(result.sojourns.max_sojourn >= result.sojourns.mean_sojourn());
+    }
+}

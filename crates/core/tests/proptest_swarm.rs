@@ -1,0 +1,162 @@
+//! Property-based tests of the swarm model's structural invariants:
+//! transition rates (eq. 1), stability-region monotonicity, and the
+//! relationship between the Lyapunov ingredients `E_C` / `H_C` and the state.
+
+use pieceset::{PieceId, PieceSet, TypeSpace};
+use proptest::prelude::*;
+use swarm::lyapunov::LyapunovFunction;
+use swarm::{rates, stability, SwarmParams, SwarmState};
+
+fn arb_small_params() -> impl Strategy<Value = SwarmParams> {
+    (2usize..=4, 0.0f64..2.0, 0.2f64..2.0, 1.1f64..6.0, 0.1f64..3.0).prop_map(
+        |(k, us, mu, gamma_over_mu, lambda0)| {
+            SwarmParams::builder(k)
+                .seed_rate(us)
+                .contact_rate(mu)
+                .seed_departure_rate(gamma_over_mu * mu)
+                .fresh_arrivals(lambda0)
+                .build()
+                .expect("valid parameters")
+        },
+    )
+}
+
+fn state_from_counts(k: usize, counts: &[u32]) -> SwarmState {
+    let space = TypeSpace::new(k).unwrap();
+    let mut state = SwarmState::empty(&space);
+    for (bits, &count) in counts.iter().enumerate().take(space.num_types()) {
+        state.set_count(PieceSet::from_bits(bits as u64), count);
+    }
+    state
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transfer_rates_are_bounded_by_upload_capacity(
+        params in arb_small_params(),
+        counts in proptest::collection::vec(0u32..8, 16),
+    ) {
+        let state = state_from_counts(params.num_pieces(), &counts);
+        let total = rates::total_transfer_rate(&params, &state);
+        prop_assert!(total >= 0.0);
+        let capacity = params.seed_rate() + params.contact_rate() * state.total_peers() as f64;
+        prop_assert!(total <= capacity + 1e-9, "total {total} exceeds capacity {capacity}");
+    }
+
+    #[test]
+    fn transfer_rate_zero_without_holders_or_seed(
+        counts in proptest::collection::vec(0u32..5, 16),
+        lambda0 in 0.1f64..2.0,
+    ) {
+        // No fixed seed: a piece nobody holds can never be transferred.
+        let params = SwarmParams::builder(3)
+            .contact_rate(1.0)
+            .seed_departure_rate(2.0)
+            .fresh_arrivals(lambda0)
+            .build()
+            .unwrap();
+        let space = TypeSpace::new(3).unwrap();
+        let mut state = SwarmState::empty(&space);
+        // Only allow types that avoid piece 3 (index 2).
+        for (bits, &count) in counts.iter().enumerate().take(space.num_types()) {
+            let c = PieceSet::from_bits(bits as u64);
+            if !c.contains(PieceId::new(2)) {
+                state.set_count(c, count);
+            }
+        }
+        for (c, _) in state.occupied_types() {
+            prop_assert_eq!(rates::transfer_rate(&params, &state, c, PieceId::new(2)), 0.0);
+        }
+    }
+
+    #[test]
+    fn departure_rate_never_exceeds_total_transfer_plus_seed_departures(
+        params in arb_small_params(),
+        counts in proptest::collection::vec(0u32..8, 16),
+    ) {
+        let state = state_from_counts(params.num_pieces(), &counts);
+        let full = params.full_type();
+        let mut sum_of_type_departures = 0.0;
+        for (c, _) in state.occupied_types() {
+            sum_of_type_departures += rates::departure_rate_from_type(&params, &state, c);
+        }
+        let expected = rates::total_transfer_rate(&params, &state)
+            + params.seed_departure_rate() * f64::from(state.count(full));
+        prop_assert!((sum_of_type_departures - expected).abs() <= 1e-9 * expected.max(1.0));
+    }
+
+    #[test]
+    fn stability_monotone_in_gamma(params in arb_small_params()) {
+        // Longer peer-seed dwell (smaller γ) never destabilises the system.
+        let verdict = stability::classify(&params).verdict;
+        if verdict.is_stable() {
+            let slower = SwarmParams::builder(params.num_pieces())
+                .seed_rate(params.seed_rate())
+                .contact_rate(params.contact_rate())
+                .seed_departure_rate(params.seed_departure_rate() * 0.5)
+                .fresh_arrivals(params.arrival_rate(PieceSet::empty()))
+                .build()
+                .unwrap();
+            prop_assert!(stability::classify(&slower).verdict.is_stable());
+        }
+    }
+
+    #[test]
+    fn stability_monotone_in_load(params in arb_small_params()) {
+        // Reducing the arrival rate never destabilises the system.
+        let verdict = stability::classify(&params).verdict;
+        if verdict.is_stable() {
+            let lighter = SwarmParams::builder(params.num_pieces())
+                .seed_rate(params.seed_rate())
+                .contact_rate(params.contact_rate())
+                .seed_departure_rate(params.seed_departure_rate())
+                .fresh_arrivals(params.arrival_rate(PieceSet::empty()) * 0.5)
+                .build()
+                .unwrap();
+            prop_assert!(stability::classify(&lighter).verdict.is_stable());
+        }
+    }
+
+    #[test]
+    fn one_club_delta_is_the_binding_constraint(params in arb_small_params()) {
+        // The remark after Theorem 1: Δ_S < 0 for all S iff it holds for the
+        // one-club sets F − {k}; equivalently no other S produces a larger Δ.
+        if params.mu_over_gamma() >= 1.0 {
+            return Ok(());
+        }
+        let space = params.type_space();
+        let worst_one_club = stability::one_club_deltas(&params)
+            .unwrap()
+            .into_iter()
+            .map(|(_, d)| d)
+            .fold(f64::NEG_INFINITY, f64::max);
+        for s in space.iter_non_full() {
+            let d = stability::delta(&params, s).unwrap();
+            prop_assert!(d <= worst_one_club + 1e-9,
+                "Δ_{} = {} exceeds the worst one-club Δ = {}", s.paper_notation(), d, worst_one_club);
+        }
+    }
+
+    #[test]
+    fn lyapunov_ingredients_match_state_counts(
+        params in arb_small_params(),
+        counts in proptest::collection::vec(0u32..8, 16),
+    ) {
+        let state = state_from_counts(params.num_pieces(), &counts);
+        let w = LyapunovFunction::new(&params).unwrap();
+        let space = params.type_space();
+        for c in space.iter_non_full() {
+            // E_C counts peers whose type is a subset of C.
+            prop_assert_eq!(w.e(&state, c) as u64, state.count_subsets_of(c));
+            // H_C is zero exactly when nobody can help type-C peers.
+            let helpers = state.count_helpers_of(c);
+            prop_assert_eq!(w.h(&state, c) == 0.0, helpers == 0);
+        }
+        // E_F equals the total population and W is finite and non-negative.
+        prop_assert_eq!(w.e(&state, params.full_type()) as u64, state.total_peers());
+        let value = w.value(&state);
+        prop_assert!(value.is_finite() && value >= 0.0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Birth–death chains: classification and stationary distributions.
+//!
+//! Two special cases of the P2P model reduce to birth–death chains: the
+//! `K = 1` network of Example 1 (in the regime where the type-∅ population is
+//! the only meaningful coordinate) and the top layer of the `µ = ∞` watched
+//! process of Section VIII-D, whose null recurrence is the paper's borderline
+//! result. This module provides exact tools for such chains.
+
+use crate::MarkovError;
+
+/// Recurrence classification of a countable-state chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recurrence {
+    /// Positive recurrent: a stationary distribution exists.
+    PositiveRecurrent,
+    /// Null recurrent: returns are certain but take infinite expected time.
+    NullRecurrent,
+    /// Transient: with positive probability the chain never returns.
+    Transient,
+}
+
+/// A birth–death CTMC on `{0, 1, 2, …}` with state-dependent birth rate
+/// `λ(n)` and death rate `µ(n)` (with `µ(0) = 0` implicitly).
+pub struct BirthDeath<Fb, Fd>
+where
+    Fb: Fn(u64) -> f64,
+    Fd: Fn(u64) -> f64,
+{
+    birth: Fb,
+    death: Fd,
+}
+
+impl<Fb, Fd> BirthDeath<Fb, Fd>
+where
+    Fb: Fn(u64) -> f64,
+    Fd: Fn(u64) -> f64,
+{
+    /// Creates a birth–death chain from its rate functions.
+    pub fn new(birth: Fb, death: Fd) -> Self {
+        BirthDeath { birth, death }
+    }
+
+    /// Birth rate at `n`.
+    #[must_use]
+    pub fn birth_rate(&self, n: u64) -> f64 {
+        (self.birth)(n)
+    }
+
+    /// Death rate at `n` (forced to 0 at the origin).
+    #[must_use]
+    pub fn death_rate(&self, n: u64) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            (self.death)(n)
+        }
+    }
+
+    /// Classifies the chain by examining the standard birth–death series up
+    /// to `horizon` states (the decision is numerical: the series are deemed
+    /// convergent/divergent by their partial sums at the horizon).
+    ///
+    /// * The chain is positive recurrent iff `Σ π̃(n)` converges, where
+    ///   `π̃(n) = Π_{k<n} λ(k)/µ(k+1)`.
+    /// * It is recurrent (possibly null) iff `Σ 1/(λ(n) π̃(n))` diverges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::InvalidParameter`] if a rate is negative or not
+    /// finite, or if a death rate is zero for some `n ≥ 1` (the chain would
+    /// not be irreducible on the non-negative integers).
+    pub fn classify(&self, horizon: u64) -> Result<Recurrence, MarkovError> {
+        let mut pi_tilde = 1.0_f64; // un-normalised stationary weight of state n
+        let mut pi_sum = 1.0_f64;
+        let mut escape_sum = 0.0_f64; // sum of 1/(lambda_n pi_tilde_n)
+        for n in 0..horizon {
+            let b = self.birth_rate(n);
+            let d = self.death_rate(n + 1);
+            if !(b.is_finite() && b >= 0.0) || !(d.is_finite() && d >= 0.0) {
+                return Err(MarkovError::InvalidParameter(format!("rates at n={n} must be finite and non-negative")));
+            }
+            if b == 0.0 {
+                // Birth stops: the chain is confined to a finite set, hence
+                // positive recurrent.
+                return Ok(Recurrence::PositiveRecurrent);
+            }
+            if d == 0.0 {
+                return Err(MarkovError::InvalidParameter(format!("death rate at n={} must be positive", n + 1)));
+            }
+            escape_sum += 1.0 / (b * pi_tilde);
+            pi_tilde *= b / d;
+            pi_sum += pi_tilde;
+            if !pi_sum.is_finite() {
+                break;
+            }
+        }
+        // Heuristic numerical thresholds: the model-level callers use rate
+        // functions with geometric behaviour, for which these are decisive.
+        let pi_converges = pi_sum.is_finite() && pi_tilde < 1e-8;
+        let escape_diverges = escape_sum > 1e8 || !escape_sum.is_finite();
+        Ok(if pi_converges {
+            Recurrence::PositiveRecurrent
+        } else if escape_diverges {
+            Recurrence::NullRecurrent
+        } else {
+            // Neither: decide by comparing asymptotic drift.
+            let n = horizon;
+            if self.birth_rate(n) > self.death_rate(n) {
+                Recurrence::Transient
+            } else {
+                Recurrence::NullRecurrent
+            }
+        })
+    }
+
+    /// Stationary distribution truncated to `{0, …, max_state}`, normalised
+    /// over that range. Exact for chains that are positive recurrent and
+    /// essentially supported below the truncation point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::InvalidParameter`] on invalid rates.
+    pub fn stationary_truncated(&self, max_state: u64) -> Result<Vec<f64>, MarkovError> {
+        let mut weights = Vec::with_capacity(max_state as usize + 1);
+        let mut w = 1.0_f64;
+        weights.push(w);
+        for n in 0..max_state {
+            let b = self.birth_rate(n);
+            let d = self.death_rate(n + 1);
+            if !(b.is_finite() && b >= 0.0) || !(d.is_finite() && d > 0.0) {
+                return Err(MarkovError::InvalidParameter(format!("invalid rates at n={n}")));
+            }
+            w *= b / d;
+            weights.push(w);
+        }
+        let total: f64 = weights.iter().sum();
+        Ok(weights.into_iter().map(|x| x / total).collect())
+    }
+
+    /// Mean of the truncated stationary distribution.
+    ///
+    /// # Errors
+    ///
+    /// See [`BirthDeath::stationary_truncated`].
+    pub fn stationary_mean_truncated(&self, max_state: u64) -> Result<f64, MarkovError> {
+        let pi = self.stationary_truncated(max_state)?;
+        Ok(pi.iter().enumerate().map(|(n, p)| n as f64 * p).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mm1_classification() {
+        // rho < 1: positive recurrent
+        let stable = BirthDeath::new(|_| 0.5, |_| 1.0);
+        assert_eq!(stable.classify(5_000).unwrap(), Recurrence::PositiveRecurrent);
+        // rho > 1: transient
+        let unstable = BirthDeath::new(|_| 2.0, |_| 1.0);
+        assert_eq!(unstable.classify(5_000).unwrap(), Recurrence::Transient);
+        // rho = 1: null recurrent
+        let critical = BirthDeath::new(|_| 1.0, |_| 1.0);
+        assert_eq!(critical.classify(5_000).unwrap(), Recurrence::NullRecurrent);
+    }
+
+    #[test]
+    fn mm_infinity_is_positive_recurrent() {
+        let q = BirthDeath::new(|_| 3.0, |n| n as f64);
+        assert_eq!(q.classify(5_000).unwrap(), Recurrence::PositiveRecurrent);
+    }
+
+    #[test]
+    fn mm1_stationary_distribution_is_geometric() {
+        let q = BirthDeath::new(|_| 0.5, |_| 1.0);
+        let pi = q.stationary_truncated(200).unwrap();
+        // pi(n) = (1 - rho) rho^n with rho = 0.5
+        for n in 0..10 {
+            let expected = 0.5 * 0.5_f64.powi(n as i32);
+            assert!((pi[n] - expected).abs() < 1e-9, "pi[{n}] = {}", pi[n]);
+        }
+        let mean = q.stationary_mean_truncated(200).unwrap();
+        assert!((mean - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mm_infinity_stationary_is_poisson() {
+        let q = BirthDeath::new(|_| 2.0, |n| n as f64);
+        let pi = q.stationary_truncated(100).unwrap();
+        let expected0 = (-2.0_f64).exp();
+        assert!((pi[0] - expected0).abs() < 1e-9);
+        let mean = q.stationary_mean_truncated(100).unwrap();
+        assert!((mean - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn finite_chain_is_positive_recurrent() {
+        // Births stop at 10.
+        let q = BirthDeath::new(|n| if n < 10 { 1.0 } else { 0.0 }, |_| 1.0);
+        assert_eq!(q.classify(1_000).unwrap(), Recurrence::PositiveRecurrent);
+    }
+
+    #[test]
+    fn invalid_rates_rejected() {
+        let q = BirthDeath::new(|_| 1.0, |_| 0.0);
+        assert!(q.classify(100).is_err());
+        assert!(q.stationary_truncated(10).is_err());
+        let q = BirthDeath::new(|_| f64::NAN, |_| 1.0);
+        assert!(q.classify(100).is_err());
+    }
+
+    #[test]
+    fn death_rate_zero_at_origin() {
+        let q = BirthDeath::new(|_| 1.0, |_| 5.0);
+        assert_eq!(q.death_rate(0), 0.0);
+        assert_eq!(q.death_rate(1), 5.0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Small dense linear-algebra helpers (no external dependency).
+//!
+//! The branching-process and stationary-distribution computations need to
+//! solve modest dense linear systems (dimension ≤ a few thousand) and to
+//! estimate spectral radii. Row-major dense matrices and straightforward
+//! Gaussian elimination are more than adequate.
+
+use crate::MarkovError;
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` zero matrix.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates an identity matrix of size `n`.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a nested slice of rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    #[must_use]
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        assert!(rows.iter().all(|row| row.len() == c), "ragged rows");
+        Matrix { rows: r, cols: c, data: rows.concat() }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix–vector product `A · x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions do not match.
+    #[must_use]
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch");
+        let mut out = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            out[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        out
+    }
+
+    /// Solves `A · x = b` by Gaussian elimination with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::SingularMatrix`] if the matrix is (numerically)
+    /// singular, or [`MarkovError::DimensionMismatch`] if shapes disagree.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, MarkovError> {
+        if self.rows != self.cols {
+            return Err(MarkovError::DimensionMismatch { expected: self.rows, got: self.cols });
+        }
+        if b.len() != self.rows {
+            return Err(MarkovError::DimensionMismatch { expected: self.rows, got: b.len() });
+        }
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+
+        for col in 0..n {
+            // Partial pivot.
+            let mut pivot = col;
+            let mut best = a[col * n + col].abs();
+            for row in (col + 1)..n {
+                let v = a[row * n + col].abs();
+                if v > best {
+                    best = v;
+                    pivot = row;
+                }
+            }
+            if best < 1e-12 {
+                return Err(MarkovError::SingularMatrix);
+            }
+            if pivot != col {
+                for k in 0..n {
+                    a.swap(col * n + k, pivot * n + k);
+                }
+                x.swap(col, pivot);
+            }
+            // Eliminate below.
+            for row in (col + 1)..n {
+                let factor = a[row * n + col] / a[col * n + col];
+                if factor == 0.0 {
+                    continue;
+                }
+                for k in col..n {
+                    a[row * n + k] -= factor * a[col * n + k];
+                }
+                x[row] -= factor * x[col];
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut acc = x[col];
+            for k in (col + 1)..n {
+                acc -= a[col * n + k] * x[k];
+            }
+            x[col] = acc / a[col * n + col];
+        }
+        Ok(x)
+    }
+
+    /// Estimates the spectral radius of a non-negative matrix by power
+    /// iteration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::NoConvergence`] if the iteration does not settle
+    /// within `max_iters` iterations (tolerance `1e-10`), and
+    /// [`MarkovError::InvalidParameter`] for an empty or non-square matrix.
+    pub fn spectral_radius(&self, max_iters: usize) -> Result<f64, MarkovError> {
+        if self.rows != self.cols || self.rows == 0 {
+            return Err(MarkovError::InvalidParameter("spectral radius needs a non-empty square matrix".into()));
+        }
+        let n = self.rows;
+        let mut v = vec![1.0 / n as f64; n];
+        let mut prev = 0.0;
+        for it in 0..max_iters {
+            let w = self.mul_vec(&v);
+            let norm: f64 = w.iter().map(|x| x.abs()).sum();
+            if norm == 0.0 {
+                return Ok(0.0);
+            }
+            let estimate = norm;
+            v = w.into_iter().map(|x| x / norm).collect();
+            if (estimate - prev).abs() <= 1e-10 * estimate.max(1.0) && it > 2 {
+                return Ok(estimate);
+            }
+            prev = estimate;
+        }
+        Err(MarkovError::NoConvergence { iterations: max_iters })
+    }
+}
+
+impl core::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl core::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve_returns_rhs() {
+        let a = Matrix::identity(3);
+        let x = a.solve(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5; x + 3y = 10 → x = 1, y = 3
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let x = a.solve(&[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // first pivot is zero; partial pivoting must handle it
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert_eq!(a.solve(&[1.0, 2.0]), Err(MarkovError::SingularMatrix));
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(a.solve(&[1.0, 2.0]), Err(MarkovError::DimensionMismatch { .. })));
+        let b = Matrix::identity(2);
+        assert!(matches!(b.solve(&[1.0]), Err(MarkovError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn mul_vec_matches_manual() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(a.mul_vec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn spectral_radius_of_diagonal() {
+        let mut a = Matrix::zeros(3, 3);
+        a[(0, 0)] = 0.5;
+        a[(1, 1)] = 2.0;
+        a[(2, 2)] = 1.0;
+        let r = a.spectral_radius(10_000).unwrap();
+        assert!((r - 2.0).abs() < 1e-6, "r {r}");
+    }
+
+    #[test]
+    fn spectral_radius_of_rank_one_branching_matrix() {
+        // The ABS offspring matrix in the paper has rank one; e.g. rows
+        // [xi*a, a; xi*b, b] has spectral radius xi*a + b.
+        let (xi, a_val, b_val) = (0.1, 3.0, 0.6);
+        let a = Matrix::from_rows(&[vec![xi * a_val, a_val], vec![xi * b_val, b_val]]);
+        let r = a.spectral_radius(10_000).unwrap();
+        assert!((r - (xi * a_val + b_val)).abs() < 1e-8, "r {r}");
+    }
+
+    #[test]
+    fn spectral_radius_zero_matrix() {
+        let a = Matrix::zeros(4, 4);
+        assert_eq!(a.spectral_radius(100).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 1)] = 7.5;
+        assert_eq!(a[(0, 1)], 7.5);
+        assert_eq!(a[(1, 0)], 0.0);
+    }
+}

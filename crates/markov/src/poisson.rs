@@ -1,0 +1,204 @@
+//! Sampling helpers for exponential waiting times and Poisson processes.
+//!
+//! The `rand` crate alone (without `rand_distr`) does not ship an exponential
+//! distribution; the model only needs exponential and Poisson-process
+//! sampling, both of which are implemented here by inverse transform.
+
+use rand::Rng;
+
+/// Samples an `Exp(rate)` waiting time (mean `1/rate`) by inverse transform.
+///
+/// # Panics
+///
+/// Panics if `rate` is not strictly positive and finite.
+pub fn sample_exp<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate.is_finite() && rate > 0.0, "exponential rate must be positive and finite");
+    // Use 1 - u to avoid ln(0); u in [0, 1).
+    let u: f64 = rng.gen();
+    -(1.0 - u).ln() / rate
+}
+
+/// Samples a `Poisson(mean)` count using Knuth's multiplication method for
+/// small means and a normal approximation for large means.
+///
+/// # Panics
+///
+/// Panics if `mean` is negative or not finite.
+pub fn sample_poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    assert!(mean.is_finite() && mean >= 0.0, "Poisson mean must be non-negative and finite");
+    if mean == 0.0 {
+        return 0;
+    }
+    if mean < 30.0 {
+        let l = (-mean).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        // Normal approximation with continuity correction; adequate for the
+        // workload generators where mean is large.
+        let z = sample_standard_normal(rng);
+        let v = mean + mean.sqrt() * z + 0.5;
+        if v < 0.0 {
+            0
+        } else {
+            v.floor() as u64
+        }
+    }
+}
+
+/// Samples a standard normal variate via the Box–Muller transform.
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()
+}
+
+/// Samples the jump times of a rate-`rate` Poisson process on `[0, horizon]`.
+///
+/// Returns the (sorted) jump times. If `rate == 0.0` the result is empty.
+///
+/// # Panics
+///
+/// Panics if `rate` is negative or `horizon` is negative / not finite.
+pub fn poisson_process_times<R: Rng + ?Sized>(rng: &mut R, rate: f64, horizon: f64) -> Vec<f64> {
+    assert!(rate >= 0.0 && rate.is_finite(), "rate must be non-negative and finite");
+    assert!(horizon >= 0.0 && horizon.is_finite(), "horizon must be non-negative and finite");
+    let mut times = Vec::new();
+    if rate == 0.0 {
+        return times;
+    }
+    let mut t = 0.0;
+    loop {
+        t += sample_exp(rng, rate);
+        if t > horizon {
+            break;
+        }
+        times.push(t);
+    }
+    times
+}
+
+/// Samples a categorical index with the given non-negative weights.
+///
+/// Returns `None` if all weights are zero or the slice is empty.
+pub fn sample_weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> Option<usize> {
+    let total: f64 = weights.iter().sum();
+    if !(total > 0.0) {
+        return None;
+    }
+    let mut target = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if w <= 0.0 {
+            continue;
+        }
+        if target < w {
+            return Some(i);
+        }
+        target -= w;
+    }
+    // Floating-point slack: return the last positive-weight index.
+    weights.iter().rposition(|&w| w > 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let rate = 2.5;
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| sample_exp(&mut rng, rate)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0 / rate).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exponential_rejects_zero_rate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = sample_exp(&mut rng, 0.0);
+    }
+
+    #[test]
+    fn poisson_small_mean() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mean = 3.0;
+        let n = 100_000;
+        let avg: f64 = (0..n).map(|_| sample_poisson(&mut rng, mean) as f64).sum::<f64>() / n as f64;
+        assert!((avg - mean).abs() < 0.05, "avg {avg}");
+    }
+
+    #[test]
+    fn poisson_large_mean_uses_normal_approx() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mean = 500.0;
+        let n = 20_000;
+        let avg: f64 = (0..n).map(|_| sample_poisson(&mut rng, mean) as f64).sum::<f64>() / n as f64;
+        assert!((avg - mean).abs() < 2.0, "avg {avg}");
+    }
+
+    #[test]
+    fn poisson_zero_mean_is_zero() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(sample_poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_standard_normal(&mut rng)).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn poisson_process_count_matches_rate_times_horizon() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let rate = 4.0;
+        let horizon = 1000.0;
+        let times = poisson_process_times(&mut rng, rate, horizon);
+        let expected = rate * horizon;
+        assert!((times.len() as f64 - expected).abs() < 4.0 * expected.sqrt());
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "times sorted");
+        assert!(times.iter().all(|&t| t <= horizon));
+    }
+
+    #[test]
+    fn poisson_process_zero_rate_is_empty() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(poisson_process_times(&mut rng, 0.0, 100.0).is_empty());
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let weights = [0.0, 1.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[sample_weighted_index(&mut rng, &weights).unwrap()] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let ratio = counts[2] as f64 / counts[1] as f64;
+        assert!((ratio - 3.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn weighted_index_all_zero_returns_none() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert_eq!(sample_weighted_index(&mut rng, &[0.0, 0.0]), None);
+        assert_eq!(sample_weighted_index(&mut rng, &[]), None);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for finite-field and subspace invariants.
+
+use netcoding::{CodingVector, GaloisField, Subspace};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const FIELD_ORDERS: [u64; 6] = [2, 3, 4, 8, 16, 251];
+
+fn arb_field() -> impl Strategy<Value = GaloisField> {
+    (0usize..FIELD_ORDERS.len()).prop_map(|i| GaloisField::new(FIELD_ORDERS[i]).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn field_axioms_hold_on_random_elements(field in arb_field(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = field.random_element(&mut rng);
+        let b = field.random_element(&mut rng);
+        let c = field.random_element(&mut rng);
+        // commutativity, associativity, distributivity
+        prop_assert_eq!(field.add(a, b), field.add(b, a));
+        prop_assert_eq!(field.mul(a, b), field.mul(b, a));
+        prop_assert_eq!(field.add(field.add(a, b), c), field.add(a, field.add(b, c)));
+        prop_assert_eq!(field.mul(field.mul(a, b), c), field.mul(a, field.mul(b, c)));
+        prop_assert_eq!(field.mul(a, field.add(b, c)), field.add(field.mul(a, b), field.mul(a, c)));
+        // identities and inverses
+        prop_assert_eq!(field.add(a, 0), a);
+        prop_assert_eq!(field.mul(a, 1), a);
+        prop_assert_eq!(field.add(a, field.neg(a)), 0);
+        if a != 0 {
+            prop_assert_eq!(field.mul(a, field.inv(a).unwrap()), 1);
+        }
+        // subtraction / division invert addition / multiplication
+        prop_assert_eq!(field.sub(field.add(a, b), b), a);
+        if b != 0 {
+            prop_assert_eq!(field.div(field.mul(a, b), b).unwrap(), a);
+        }
+    }
+
+    #[test]
+    fn vector_space_axioms(field in arb_field(), seed in any::<u64>(), len in 1usize..8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u = CodingVector::random(field, len, &mut rng);
+        let v = CodingVector::random(field, len, &mut rng);
+        let a = field.random_element(&mut rng);
+        // commutativity of vector addition
+        prop_assert_eq!(u.add(&v).unwrap(), v.add(&u).unwrap());
+        // scaling distributes over vector addition
+        let lhs = u.add(&v).unwrap().scale(a).unwrap();
+        let rhs = u.scale(a).unwrap().add(&v.scale(a).unwrap()).unwrap();
+        prop_assert_eq!(lhs, rhs);
+        // zero and one
+        prop_assert!(u.scale(0).unwrap().is_zero());
+        prop_assert_eq!(u.scale(1).unwrap(), u);
+    }
+
+    #[test]
+    fn subspace_dimension_laws(field in arb_field(), seed in any::<u64>(), dim in 1usize..6) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ambient = 6;
+        let vectors: Vec<CodingVector> = (0..dim).map(|_| CodingVector::random(field, ambient, &mut rng)).collect();
+        let s = Subspace::span(field, ambient, &vectors).unwrap();
+        // dimension bounded by both the number of generators and the ambient dim
+        prop_assert!(s.dimension() <= dim.min(ambient));
+        // every generator is contained
+        for v in &vectors {
+            prop_assert!(s.contains(v));
+            prop_assert!(!s.is_useful(v));
+        }
+        // sum with itself is itself; intersection with itself has same dim
+        prop_assert_eq!(s.sum(&s).unwrap().dimension(), s.dimension());
+        prop_assert_eq!(s.intersection_dim(&s).unwrap(), s.dimension());
+        // subspace of the full space
+        let full = Subspace::full(field, ambient);
+        prop_assert!(s.is_subspace_of(&full));
+        // Grassmann bound for a second random subspace
+        let t = Subspace::span(
+            field,
+            ambient,
+            &(0..dim).map(|_| CodingVector::random(field, ambient, &mut rng)).collect::<Vec<_>>(),
+        ).unwrap();
+        let sum = s.sum(&t).unwrap();
+        let inter = s.intersection_dim(&t).unwrap();
+        prop_assert_eq!(sum.dimension() + inter, s.dimension() + t.dimension());
+        prop_assert!(sum.dimension() <= ambient);
+    }
+
+    #[test]
+    fn inserting_subspace_vectors_never_grows_dimension(field in arb_field(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ambient = 5;
+        let vectors: Vec<CodingVector> = (0..3).map(|_| CodingVector::random(field, ambient, &mut rng)).collect();
+        let mut s = Subspace::span(field, ambient, &vectors).unwrap();
+        let d = s.dimension();
+        for _ in 0..10 {
+            let v = s.random_vector(&mut rng);
+            prop_assert!(s.contains(&v));
+            prop_assert!(!s.insert(&v).unwrap());
+        }
+        prop_assert_eq!(s.dimension(), d);
+    }
+
+    #[test]
+    fn useful_probability_in_unit_interval(field in arb_field(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ambient = 4;
+        let a = Subspace::span(field, ambient, &[CodingVector::random(field, ambient, &mut rng)]).unwrap();
+        let b = Subspace::span(
+            field,
+            ambient,
+            &(0..2).map(|_| CodingVector::random(field, ambient, &mut rng)).collect::<Vec<_>>(),
+        ).unwrap();
+        let p = a.useful_probability_from(&b).unwrap();
+        prop_assert!((0.0..=1.0).contains(&p));
+        // If b cannot help a, the probability must be zero; if it can, at least 1 - 1/q.
+        if b.can_help(&a) {
+            let q = f64::from(field.order());
+            prop_assert!(p >= 1.0 - 1.0 / q - 1e-12, "p = {p}");
+        } else {
+            prop_assert!(p.abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,432 @@
+//! Bitset representation of a peer type (set of held pieces).
+
+use crate::{PieceId, PieceSetError};
+use serde::{Deserialize, Serialize};
+
+/// Maximum number of pieces supported by [`PieceSet`].
+pub const MAX_PIECES: usize = 64;
+
+/// A set of pieces, i.e. the *type* of a peer in the Zhu–Hajek model.
+///
+/// Backed by a `u64` bitmask, so it supports files of up to [`MAX_PIECES`]
+/// pieces. The empty set corresponds to a newly-arrived peer with no pieces;
+/// the full set (of size `K`) corresponds to a peer seed.
+///
+/// `PieceSet` is deliberately *not* tied to a specific `K`: set algebra is
+/// defined on raw bitmasks and the caller provides `K` where needed (e.g.
+/// [`PieceSet::full`], [`PieceSet::complement`]). The model layer validates
+/// that all sets fit within its `K`.
+///
+/// # Examples
+///
+/// ```
+/// use pieceset::{PieceSet, PieceId};
+///
+/// let mut c = PieceSet::empty();
+/// c.insert(PieceId::new(1));
+/// c.insert(PieceId::new(3));
+/// assert_eq!(c.len(), 2);
+///
+/// let full = PieceSet::full(4);
+/// // useful pieces a full seed could upload to `c`:
+/// let useful = full.difference(c);
+/// assert_eq!(useful.len(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct PieceSet(u64);
+
+impl PieceSet {
+    /// The empty set (a peer holding no pieces).
+    #[must_use]
+    pub const fn empty() -> Self {
+        PieceSet(0)
+    }
+
+    /// The full collection `{1, …, K}` for a `K`-piece file (a peer seed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_pieces` is zero or exceeds [`MAX_PIECES`].
+    #[must_use]
+    pub fn full(num_pieces: usize) -> Self {
+        assert!(num_pieces >= 1, "a file must have at least one piece");
+        assert!(num_pieces <= MAX_PIECES, "at most {MAX_PIECES} pieces are supported");
+        if num_pieces == MAX_PIECES {
+            PieceSet(u64::MAX)
+        } else {
+            PieceSet((1u64 << num_pieces) - 1)
+        }
+    }
+
+    /// Fallible counterpart of [`PieceSet::full`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PieceSetError::ZeroPieces`] or [`PieceSetError::TooManyPieces`].
+    pub fn try_full(num_pieces: usize) -> Result<Self, PieceSetError> {
+        if num_pieces == 0 {
+            return Err(PieceSetError::ZeroPieces);
+        }
+        if num_pieces > MAX_PIECES {
+            return Err(PieceSetError::TooManyPieces { requested: num_pieces });
+        }
+        Ok(Self::full(num_pieces))
+    }
+
+    /// Builds a set from an iterator of pieces.
+    #[must_use]
+    pub fn from_pieces<I: IntoIterator<Item = PieceId>>(pieces: I) -> Self {
+        let mut s = PieceSet::empty();
+        for p in pieces {
+            s.insert(p);
+        }
+        s
+    }
+
+    /// Builds a set from a raw bitmask. Bit `i` set means piece `i` is held.
+    #[must_use]
+    pub const fn from_bits(bits: u64) -> Self {
+        PieceSet(bits)
+    }
+
+    /// Returns the raw bitmask.
+    #[must_use]
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Builds a singleton set `{piece}`.
+    #[must_use]
+    pub fn singleton(piece: PieceId) -> Self {
+        let mut s = PieceSet::empty();
+        s.insert(piece);
+        s
+    }
+
+    /// Number of pieces in the set (`|C|` in the paper).
+    #[must_use]
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Returns `true` if the set holds no pieces.
+    #[must_use]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns `true` if the set equals the full collection of a `num_pieces` file.
+    #[must_use]
+    pub fn is_full(self, num_pieces: usize) -> bool {
+        self == PieceSet::full(num_pieces)
+    }
+
+    /// Returns `true` if `piece` is held.
+    #[must_use]
+    pub fn contains(self, piece: PieceId) -> bool {
+        debug_assert!(piece.index() < MAX_PIECES);
+        self.0 & (1u64 << piece.index()) != 0
+    }
+
+    /// Inserts `piece` into the set; returns `true` if it was newly added.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `piece.index() >= MAX_PIECES`.
+    pub fn insert(&mut self, piece: PieceId) -> bool {
+        assert!(piece.index() < MAX_PIECES, "piece index exceeds MAX_PIECES");
+        let bit = 1u64 << piece.index();
+        let newly = self.0 & bit == 0;
+        self.0 |= bit;
+        newly
+    }
+
+    /// Removes `piece` from the set; returns `true` if it was present.
+    pub fn remove(&mut self, piece: PieceId) -> bool {
+        let bit = 1u64 << piece.index();
+        let had = self.0 & bit != 0;
+        self.0 &= !bit;
+        had
+    }
+
+    /// Returns a copy of this set with `piece` added (`C ∪ {i}`).
+    #[must_use]
+    pub fn with(self, piece: PieceId) -> Self {
+        let mut s = self;
+        s.insert(piece);
+        s
+    }
+
+    /// Returns a copy of this set with `piece` removed (`C − {i}`).
+    #[must_use]
+    pub fn without(self, piece: PieceId) -> Self {
+        let mut s = self;
+        s.remove(piece);
+        s
+    }
+
+    /// Set union `self ∪ other`.
+    #[must_use]
+    pub const fn union(self, other: Self) -> Self {
+        PieceSet(self.0 | other.0)
+    }
+
+    /// Set intersection `self ∩ other`.
+    #[must_use]
+    pub const fn intersection(self, other: Self) -> Self {
+        PieceSet(self.0 & other.0)
+    }
+
+    /// Set difference `self − other`: the pieces `self` has that `other` lacks.
+    ///
+    /// In the model this is exactly the set of pieces a type-`self` peer could
+    /// usefully upload to a type-`other` peer.
+    #[must_use]
+    pub const fn difference(self, other: Self) -> Self {
+        PieceSet(self.0 & !other.0)
+    }
+
+    /// Complement within a `num_pieces` file: the pieces still needed.
+    #[must_use]
+    pub fn complement(self, num_pieces: usize) -> Self {
+        PieceSet::full(num_pieces).difference(self)
+    }
+
+    /// Returns `true` if `self ⊆ other`.
+    #[must_use]
+    pub const fn is_subset_of(self, other: Self) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Returns `true` if `self ⊇ other`.
+    #[must_use]
+    pub const fn is_superset_of(self, other: Self) -> bool {
+        other.is_subset_of(self)
+    }
+
+    /// Returns `true` if `self ⊊ other` (strict subset).
+    #[must_use]
+    pub fn is_strict_subset_of(self, other: Self) -> bool {
+        self.is_subset_of(other) && self != other
+    }
+
+    /// Returns `true` if a type-`self` peer can help a type-`other` peer,
+    /// i.e. `self ⊄ other` — `self` holds at least one piece `other` lacks.
+    #[must_use]
+    pub fn can_help(self, other: Self) -> bool {
+        !self.is_subset_of(other)
+    }
+
+    /// Number of pieces `self` has that `other` lacks (`|self − other|`).
+    #[must_use]
+    pub const fn useful_count_for(self, other: Self) -> usize {
+        self.difference(other).len()
+    }
+
+    /// Iterates over the held pieces in increasing index order.
+    pub fn iter(self) -> PieceSetIter {
+        PieceSetIter { bits: self.0 }
+    }
+
+    /// Returns the held piece with the smallest index, if any.
+    #[must_use]
+    pub fn first(self) -> Option<PieceId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(PieceId::new(self.0.trailing_zeros() as usize))
+        }
+    }
+
+    /// Formats the set using the paper's `{i, j, …}` notation (1-based).
+    #[must_use]
+    pub fn paper_notation(self) -> String {
+        if self.is_empty() {
+            return "∅".to_owned();
+        }
+        let inner: Vec<String> = self.iter().map(|p| p.paper_number().to_string()).collect();
+        format!("{{{}}}", inner.join(","))
+    }
+}
+
+impl core::fmt::Display for PieceSet {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.paper_notation())
+    }
+}
+
+impl FromIterator<PieceId> for PieceSet {
+    fn from_iter<I: IntoIterator<Item = PieceId>>(iter: I) -> Self {
+        PieceSet::from_pieces(iter)
+    }
+}
+
+impl Extend<PieceId> for PieceSet {
+    fn extend<I: IntoIterator<Item = PieceId>>(&mut self, iter: I) {
+        for p in iter {
+            self.insert(p);
+        }
+    }
+}
+
+impl IntoIterator for PieceSet {
+    type Item = PieceId;
+    type IntoIter = PieceSetIter;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Iterator over the pieces of a [`PieceSet`], in increasing index order.
+#[derive(Debug, Clone)]
+pub struct PieceSetIter {
+    bits: u64,
+}
+
+impl Iterator for PieceSetIter {
+    type Item = PieceId;
+
+    fn next(&mut self) -> Option<PieceId> {
+        if self.bits == 0 {
+            None
+        } else {
+            let idx = self.bits.trailing_zeros() as usize;
+            self.bits &= self.bits - 1;
+            Some(PieceId::new(idx))
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.bits.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for PieceSetIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(indices: &[usize]) -> PieceSet {
+        PieceSet::from_pieces(indices.iter().map(|&i| PieceId::new(i)))
+    }
+
+    #[test]
+    fn empty_set_properties() {
+        let e = PieceSet::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert_eq!(e.iter().count(), 0);
+        assert_eq!(e.paper_notation(), "∅");
+    }
+
+    #[test]
+    fn full_set_has_k_pieces() {
+        for k in 1..=MAX_PIECES {
+            assert_eq!(PieceSet::full(k).len(), k);
+        }
+    }
+
+    #[test]
+    fn try_full_rejects_bad_sizes() {
+        assert_eq!(PieceSet::try_full(0), Err(PieceSetError::ZeroPieces));
+        assert_eq!(
+            PieceSet::try_full(MAX_PIECES + 1),
+            Err(PieceSetError::TooManyPieces { requested: MAX_PIECES + 1 })
+        );
+        assert!(PieceSet::try_full(MAX_PIECES).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one piece")]
+    fn full_panics_on_zero() {
+        let _ = PieceSet::full(0);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = PieceSet::empty();
+        assert!(s.insert(PieceId::new(3)));
+        assert!(!s.insert(PieceId::new(3)));
+        assert!(s.contains(PieceId::new(3)));
+        assert!(!s.contains(PieceId::new(2)));
+        assert!(s.remove(PieceId::new(3)));
+        assert!(!s.remove(PieceId::new(3)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn with_without_are_pure() {
+        let s = set(&[0, 2]);
+        let t = s.with(PieceId::new(1));
+        assert_eq!(s.len(), 2);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.without(PieceId::new(1)), s);
+    }
+
+    #[test]
+    fn union_intersection_difference() {
+        let a = set(&[0, 1, 2]);
+        let b = set(&[2, 3]);
+        assert_eq!(a.union(b), set(&[0, 1, 2, 3]));
+        assert_eq!(a.intersection(b), set(&[2]));
+        assert_eq!(a.difference(b), set(&[0, 1]));
+        assert_eq!(b.difference(a), set(&[3]));
+    }
+
+    #[test]
+    fn subset_and_help_relations() {
+        let a = set(&[0, 1]);
+        let b = set(&[0, 1, 2]);
+        assert!(a.is_subset_of(b));
+        assert!(a.is_strict_subset_of(b));
+        assert!(b.is_superset_of(a));
+        assert!(!b.is_subset_of(a));
+        // b can help a (it has piece 2), a cannot help b.
+        assert!(b.can_help(a));
+        assert!(!a.can_help(b));
+        assert_eq!(b.useful_count_for(a), 1);
+        assert_eq!(a.useful_count_for(b), 0);
+    }
+
+    #[test]
+    fn complement_is_needed_pieces() {
+        let c = set(&[1]);
+        let needed = c.complement(3);
+        assert_eq!(needed, set(&[0, 2]));
+        assert_eq!(PieceSet::full(3).complement(3), PieceSet::empty());
+    }
+
+    #[test]
+    fn iteration_order_is_increasing() {
+        let s = set(&[5, 1, 3]);
+        let got: Vec<usize> = s.iter().map(PieceId::index).collect();
+        assert_eq!(got, vec![1, 3, 5]);
+        assert_eq!(s.first(), Some(PieceId::new(1)));
+    }
+
+    #[test]
+    fn paper_notation_formatting() {
+        assert_eq!(set(&[0, 2]).paper_notation(), "{1,3}");
+        assert_eq!(set(&[0, 2]).to_string(), "{1,3}");
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let s: PieceSet = [PieceId::new(0), PieceId::new(4)].into_iter().collect();
+        assert_eq!(s.len(), 2);
+        let mut t = PieceSet::empty();
+        t.extend(s);
+        assert_eq!(t, s);
+    }
+
+    #[test]
+    fn max_piece_index_supported() {
+        let mut s = PieceSet::empty();
+        s.insert(PieceId::new(MAX_PIECES - 1));
+        assert!(s.contains(PieceId::new(MAX_PIECES - 1)));
+        assert!(s.is_subset_of(PieceSet::full(MAX_PIECES)));
+    }
+}

@@ -1,0 +1,222 @@
+//! Two-parameter stability-region maps rendered as ASCII grids.
+//!
+//! The paper draws its stability region as inequalities; the closest
+//! "figure" a reproduction can offer is a grid over two parameters showing,
+//! in each cell, Theorem 1's verdict and the simulated behaviour. Experiment
+//! E5 uses this to render the region of Example 1 over `(λ0, γ/µ)`.
+
+use crate::sweep::{run_sweep, SweepOptions, SweepOutcome, SweepPoint};
+use markov::PathClass;
+use serde::{Deserialize, Serialize};
+use swarm::{SwarmParams, StabilityVerdict};
+
+/// Outcome of one grid cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CellOutcome {
+    /// Theory: positive recurrent; simulation agrees (bounded path).
+    StableAgreed,
+    /// Theory: transient; simulation agrees (growing path).
+    TransientAgreed,
+    /// Theory and simulation disagree (or the simulation was indeterminate).
+    Mismatch,
+    /// Theory places the point on the boundary left open by Theorem 1.
+    Borderline,
+}
+
+impl CellOutcome {
+    /// The single character used in the ASCII rendering.
+    #[must_use]
+    pub fn glyph(self) -> char {
+        match self {
+            CellOutcome::StableAgreed => '·',
+            CellOutcome::TransientAgreed => '#',
+            CellOutcome::Mismatch => '?',
+            CellOutcome::Borderline => 'B',
+        }
+    }
+
+    fn from_outcome(outcome: &SweepOutcome) -> Self {
+        match (outcome.theory, outcome.simulated) {
+            (StabilityVerdict::Borderline, _) => CellOutcome::Borderline,
+            (StabilityVerdict::PositiveRecurrent, PathClass::Stable) => CellOutcome::StableAgreed,
+            (StabilityVerdict::Transient, PathClass::Growing) => CellOutcome::TransientAgreed,
+            _ => CellOutcome::Mismatch,
+        }
+    }
+}
+
+/// A rendered two-parameter stability map.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionGrid {
+    /// Label of the horizontal axis.
+    pub x_label: String,
+    /// Label of the vertical axis.
+    pub y_label: String,
+    /// Horizontal axis values (one per column).
+    pub x_values: Vec<f64>,
+    /// Vertical axis values (one per row, rendered top row last).
+    pub y_values: Vec<f64>,
+    /// `cells[row][col]` outcome.
+    pub cells: Vec<Vec<CellOutcome>>,
+}
+
+impl RegionGrid {
+    /// Number of cells where theory and simulation agree (borderline cells
+    /// are not counted either way).
+    #[must_use]
+    pub fn agreements(&self) -> usize {
+        self.cells
+            .iter()
+            .flatten()
+            .filter(|c| matches!(c, CellOutcome::StableAgreed | CellOutcome::TransientAgreed))
+            .count()
+    }
+
+    /// Number of mismatching cells.
+    #[must_use]
+    pub fn mismatches(&self) -> usize {
+        self.cells.iter().flatten().filter(|c| matches!(c, CellOutcome::Mismatch)).count()
+    }
+
+    /// Total number of cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.iter().map(Vec::len).sum()
+    }
+
+    /// Returns `true` if the grid has no cells.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Renders the map as ASCII art (y increases upward).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "stability map — rows: {} (top = largest), columns: {}\n",
+            self.y_label, self.x_label
+        ));
+        out.push_str("legend: '·' stable (agreed)   '#' transient (agreed)   '?' mismatch   'B' borderline\n");
+        for (row_idx, row) in self.cells.iter().enumerate().rev() {
+            let y = self.y_values[row_idx];
+            out.push_str(&format!("{y:>10.3} | "));
+            for cell in row {
+                out.push(cell.glyph());
+                out.push(' ');
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("{:>10}   ", ""));
+        out.push_str(&"-".repeat(self.x_values.len() * 2));
+        out.push('\n');
+        out.push_str(&format!("{:>10}   ", ""));
+        for x in &self.x_values {
+            out.push_str(&format!("{x:<4.1}"));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+impl core::fmt::Display for RegionGrid {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+/// Builds a stability map over a grid of two parameters. `make_params(x, y)`
+/// constructs the model at each cell; cells where construction fails are
+/// marked as [`CellOutcome::Mismatch`].
+pub fn stability_map<F>(
+    x_label: &str,
+    x_values: &[f64],
+    y_label: &str,
+    y_values: &[f64],
+    make_params: F,
+    options: SweepOptions,
+) -> RegionGrid
+where
+    F: Fn(f64, f64) -> Option<SwarmParams>,
+{
+    let mut points = Vec::new();
+    let mut index: Vec<Vec<Option<usize>>> = Vec::new();
+    for &y in y_values {
+        let mut row = Vec::new();
+        for &x in x_values {
+            match make_params(x, y) {
+                Some(params) => {
+                    row.push(Some(points.len()));
+                    points.push(SweepPoint::new(format!("{x_label}={x},{y_label}={y}"), params));
+                }
+                None => row.push(None),
+            }
+        }
+        index.push(row);
+    }
+    let outcomes = run_sweep(&points, options);
+    let cells = index
+        .into_iter()
+        .map(|row| {
+            row.into_iter()
+                .map(|slot| slot.map_or(CellOutcome::Mismatch, |i| CellOutcome::from_outcome(&outcomes[i])))
+                .collect()
+        })
+        .collect();
+    RegionGrid {
+        x_label: x_label.to_owned(),
+        y_label: y_label.to_owned(),
+        x_values: x_values.to_vec(),
+        y_values: y_values.to_vec(),
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario;
+
+    #[test]
+    fn glyphs_are_distinct() {
+        let glyphs: std::collections::HashSet<char> = [
+            CellOutcome::StableAgreed,
+            CellOutcome::TransientAgreed,
+            CellOutcome::Mismatch,
+            CellOutcome::Borderline,
+        ]
+        .iter()
+        .map(|c| c.glyph())
+        .collect();
+        assert_eq!(glyphs.len(), 4);
+    }
+
+    #[test]
+    fn example1_map_has_stable_and_transient_regions() {
+        // Small 2×2 map far from the boundary on both sides.
+        let options = SweepOptions { horizon: 600.0, seed: 3, threads: 2, initial_one_club: 0 };
+        let grid = stability_map(
+            "λ0",
+            &[0.5, 4.0],
+            "γ",
+            &[2.0, 8.0],
+            |lambda0, gamma| scenario::example1(lambda0, 1.0, 1.0, gamma).ok(),
+            options,
+        );
+        assert_eq!(grid.len(), 4);
+        let rendered = grid.render();
+        assert!(rendered.contains('·'), "a stable cell appears:\n{rendered}");
+        assert!(rendered.contains('#'), "a transient cell appears:\n{rendered}");
+        assert!(grid.agreements() >= 3, "most cells agree:\n{rendered}");
+    }
+
+    #[test]
+    fn failed_construction_is_marked_mismatch() {
+        let options = SweepOptions { horizon: 100.0, seed: 1, threads: 1, initial_one_club: 0 };
+        let grid = stability_map("x", &[1.0], "y", &[1.0], |_, _| None, options);
+        assert_eq!(grid.mismatches(), 1);
+        assert!(!grid.is_empty());
+        assert!(grid.render().contains('?'));
+    }
+}

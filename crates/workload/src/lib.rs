@@ -1,0 +1,40 @@
+//! Workloads, parameter sweeps, and experiment harnesses for the
+//! reproduction of *Stability of a Peer-to-Peer Communication System*
+//! (Zhu & Hajek, PODC 2011).
+//!
+//! The paper's "evaluation" consists of Theorem 1, three worked examples
+//! (Fig. 1), the peer-flow picture of the missing-piece syndrome (Fig. 2),
+//! the `µ = ∞` borderline process (Fig. 3) and the extension theorems. Every
+//! one of these maps to an experiment in [`experiments`]; `DESIGN.md` and
+//! `EXPERIMENTS.md` in the repository root index them.
+//!
+//! * [`scenario`] — builders for the paper's example networks and the
+//!   workloads the experiments sweep over,
+//! * [`sweep`] — a small parallel parameter-sweep runner that simulates each
+//!   point and compares against the Theorem 1 / Theorem 15 prediction,
+//! * [`report`] — plain-text tables, the output format of every experiment,
+//! * [`experiments`] — one entry point per table/figure/claim (E1–E12).
+//!
+//! # Examples
+//!
+//! ```
+//! use workload::scenario;
+//! use swarm::stability;
+//!
+//! // The K = 1 network of Example 1 at a stable operating point.
+//! let params = scenario::example1(1.0, 1.0, 1.0, 2.0).unwrap();
+//! assert!(stability::classify(&params).verdict.is_stable());
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod grid;
+pub mod report;
+pub mod scenario;
+pub mod sweep;
+
+pub use grid::{CellOutcome, RegionGrid};
+pub use report::{ExperimentReport, Table};
+pub use sweep::{SweepOutcome, SweepPoint, SweepSummary};

@@ -1,0 +1,274 @@
+//! Plain-text tables: the output format of every experiment.
+
+use serde::{Deserialize, Serialize};
+
+/// A simple column-aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use workload::Table;
+/// let mut t = Table::new("demo", &["x", "y"]);
+/// t.row(&["1", "2"]);
+/// let text = t.render();
+/// assert!(text.contains("demo"));
+/// assert!(text.contains('1'));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    #[must_use]
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (missing cells are rendered empty, extra cells are kept).
+    pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) {
+        self.rows.push(cells.iter().map(|c| c.as_ref().to_owned()).collect());
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The table title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Access to the raw rows (for assertions in tests and integration
+    /// checks).
+    #[must_use]
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// The column headers.
+    #[must_use]
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Renders the table as column-aligned text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.headers.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let render_row = |cells: &[String]| -> String {
+            let mut line = String::from("| ");
+            for i in 0..cols {
+                let cell = cells.get(i).map_or("", String::as_str);
+                line.push_str(cell);
+                line.push_str(&" ".repeat(widths[i].saturating_sub(cell.chars().count())));
+                line.push_str(" | ");
+            }
+            line.trim_end().to_owned()
+        };
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        out.push_str(&render_row(&self.headers));
+        out.push('\n');
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&render_row(&sep));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl core::fmt::Display for Table {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+/// The result of one experiment: a set of tables plus free-form notes, with
+/// the paper artifact it reproduces.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// Experiment identifier (e.g. `"E1"`).
+    pub id: String,
+    /// Human-readable title naming the paper artifact.
+    pub title: String,
+    /// Free-form notes: observed vs predicted, caveats, parameters.
+    pub notes: Vec<String>,
+    /// Result tables.
+    pub tables: Vec<Table>,
+    /// Preformatted figures (title, ASCII body), e.g. stability-region maps.
+    pub figures: Vec<(String, String)>,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report.
+    #[must_use]
+    pub fn new(id: &str, title: &str) -> Self {
+        ExperimentReport {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            notes: Vec::new(),
+            tables: Vec::new(),
+            figures: Vec::new(),
+        }
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, line: impl Into<String>) {
+        self.notes.push(line.into());
+    }
+
+    /// Appends a table.
+    pub fn push_table(&mut self, table: Table) {
+        self.tables.push(table);
+    }
+
+    /// Appends a preformatted ASCII figure.
+    pub fn push_figure(&mut self, title: impl Into<String>, body: impl Into<String>) {
+        self.figures.push((title.into(), body.into()));
+    }
+
+    /// Renders the full report as text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!("# {} — {}\n\n", self.id, self.title);
+        for n in &self.notes {
+            out.push_str("- ");
+            out.push_str(n);
+            out.push('\n');
+        }
+        if !self.notes.is_empty() {
+            out.push('\n');
+        }
+        for t in &self.tables {
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        for (title, body) in &self.figures {
+            out.push_str(&format!("## {title}\n"));
+            out.push_str(body);
+            if !body.ends_with('\n') {
+                out.push('\n');
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl core::fmt::Display for ExperimentReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+/// Formats a float compactly for table cells.
+#[must_use]
+pub fn fmt_num(x: f64) -> String {
+    if x.is_infinite() {
+        return if x > 0.0 { "inf".into() } else { "-inf".into() };
+    }
+    if x == 0.0 {
+        return "0".into();
+    }
+    let a = x.abs();
+    if a >= 1000.0 || a < 0.001 {
+        format!("{x:.3e}")
+    } else if a >= 10.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.row(&["alpha", "1"]);
+        t.row(&["b", "12345"]);
+        let s = t.render();
+        assert!(s.contains("## Demo"));
+        assert!(s.contains("| alpha | 1     |"));
+        assert!(s.contains("| b     | 12345 |"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.headers().len(), 2);
+        assert_eq!(t.title(), "Demo");
+    }
+
+    #[test]
+    fn table_handles_ragged_rows() {
+        let mut t = Table::new("Ragged", &["a", "b", "c"]);
+        t.row(&["1"]);
+        t.row(&["1", "2", "3", "4"]);
+        let s = t.render();
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    fn report_renders_notes_and_tables() {
+        let mut r = ExperimentReport::new("E1", "Example 1 boundary");
+        r.note("threshold = 2.0");
+        let mut t = Table::new("sweep", &["load", "verdict"]);
+        t.row(&["0.5", "stable"]);
+        r.push_table(t);
+        let s = r.render();
+        assert!(s.starts_with("# E1 — Example 1 boundary"));
+        assert!(s.contains("- threshold = 2.0"));
+        assert!(s.contains("## sweep"));
+        assert_eq!(r.to_string(), s);
+    }
+
+    #[test]
+    fn report_renders_figures() {
+        let mut r = ExperimentReport::new("E5", "region map");
+        r.push_figure("map", "· # ·\n# · #");
+        let s = r.render();
+        assert!(s.contains("## map"));
+        assert!(s.contains("· # ·"));
+        assert!(s.ends_with('\n'));
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(fmt_num(0.0), "0");
+        assert_eq!(fmt_num(f64::INFINITY), "inf");
+        assert_eq!(fmt_num(f64::NEG_INFINITY), "-inf");
+        assert_eq!(fmt_num(1.23456), "1.2346");
+        assert_eq!(fmt_num(42.123), "42.12");
+        assert!(fmt_num(1.0e6).contains('e'));
+        assert!(fmt_num(1.0e-6).contains('e'));
+    }
+}

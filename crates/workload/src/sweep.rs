@@ -1,0 +1,233 @@
+//! Parallel parameter sweeps: simulate each point and compare the simulated
+//! classification against the Theorem 1 prediction.
+
+use markov::{PathClass, PathClassifier};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use swarm::{stability, SwarmModel, SwarmParams, StabilityVerdict};
+
+/// One point of a parameter sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Label shown in the report (e.g. `"load=0.8"`).
+    pub label: String,
+    /// Model parameters of the point.
+    pub params: SwarmParams,
+}
+
+impl SweepPoint {
+    /// Creates a labelled sweep point.
+    #[must_use]
+    pub fn new(label: impl Into<String>, params: SwarmParams) -> Self {
+        SweepPoint { label: label.into(), params }
+    }
+}
+
+/// Outcome of simulating one sweep point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepOutcome {
+    /// The point's label.
+    pub label: String,
+    /// Theorem 1's verdict for the point.
+    pub theory: StabilityVerdict,
+    /// The simulated classification of the peer-count path.
+    pub simulated: PathClass,
+    /// Tail growth rate of the simulated peer count (peers per unit time).
+    pub tail_slope: f64,
+    /// Time-average of the peer count over the tail window.
+    pub tail_average: f64,
+    /// Whether simulation and theory agree (borderline points are counted as
+    /// agreeing with either outcome).
+    pub agrees: bool,
+}
+
+/// Options for the sweep runner.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepOptions {
+    /// Simulated horizon per point.
+    pub horizon: f64,
+    /// Base RNG seed; point `i` uses `seed + i`.
+    pub seed: u64,
+    /// Number of worker threads (1 = run inline).
+    pub threads: usize,
+    /// Initial one-club size (0 = start from an empty system).
+    pub initial_one_club: u32,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions { horizon: 2_000.0, seed: 0x5eed, threads: 4, initial_one_club: 0 }
+    }
+}
+
+/// Aggregate summary of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepSummary {
+    /// Number of points swept.
+    pub points: usize,
+    /// Number of points where simulation agreed with theory.
+    pub agreements: usize,
+    /// Number of points Theorem 1 classifies as borderline.
+    pub borderline: usize,
+}
+
+impl SweepSummary {
+    /// Agreement rate over non-borderline points (1.0 if none).
+    #[must_use]
+    pub fn agreement_rate(&self) -> f64 {
+        let decidable = self.points - self.borderline;
+        if decidable == 0 {
+            1.0
+        } else {
+            self.agreements as f64 / decidable as f64
+        }
+    }
+}
+
+fn verdict_agrees(theory: StabilityVerdict, simulated: PathClass) -> bool {
+    match theory {
+        StabilityVerdict::PositiveRecurrent => simulated == PathClass::Stable,
+        StabilityVerdict::Transient => simulated == PathClass::Growing,
+        StabilityVerdict::Borderline => true,
+    }
+}
+
+fn run_point(point: &SweepPoint, options: &SweepOptions, seed: u64) -> SweepOutcome {
+    let theory = stability::classify(&point.params).verdict;
+    let model = SwarmModel::new(point.params.clone());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let initial = if options.initial_one_club > 0 {
+        model.one_club_state(pieceset::PieceId::new(0), options.initial_one_club)
+    } else {
+        model.empty_state()
+    };
+    let initial_n = initial.total_peers() as f64;
+    let path = model.simulate_peer_count(initial, options.horizon, &mut rng);
+    let classifier =
+        PathClassifier::new(point.params.total_arrival_rate(), (3.0 * initial_n).max(30.0));
+    let verdict = classifier.classify(&path);
+    SweepOutcome {
+        label: point.label.clone(),
+        theory,
+        simulated: verdict.class,
+        tail_slope: verdict.tail_slope,
+        tail_average: verdict.tail_average,
+        agrees: verdict_agrees(theory, verdict.class),
+    }
+}
+
+/// Runs every sweep point (in parallel when `options.threads > 1`) and
+/// returns the outcomes in input order.
+#[must_use]
+pub fn run_sweep(points: &[SweepPoint], options: SweepOptions) -> Vec<SweepOutcome> {
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let threads = options.threads.max(1).min(points.len());
+    if threads == 1 {
+        return points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| run_point(p, &options, options.seed.wrapping_add(i as u64)))
+            .collect();
+    }
+    let mut outcomes: Vec<Option<SweepOutcome>> = vec![None; points.len()];
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let outcomes_mutex = std::sync::Mutex::new(&mut outcomes);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                if i >= points.len() {
+                    break;
+                }
+                let outcome = run_point(&points[i], &options, options.seed.wrapping_add(i as u64));
+                let mut guard = outcomes_mutex.lock().expect("no poisoned lock");
+                guard[i] = Some(outcome);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    outcomes.into_iter().map(|o| o.expect("every point processed")).collect()
+}
+
+/// Summarises sweep outcomes.
+#[must_use]
+pub fn summarise(outcomes: &[SweepOutcome]) -> SweepSummary {
+    SweepSummary {
+        points: outcomes.len(),
+        agreements: outcomes
+            .iter()
+            .filter(|o| o.theory != StabilityVerdict::Borderline && o.agrees)
+            .count(),
+        borderline: outcomes.iter().filter(|o| o.theory == StabilityVerdict::Borderline).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario;
+
+    fn quick_options() -> SweepOptions {
+        SweepOptions { horizon: 800.0, seed: 7, threads: 2, initial_one_club: 0 }
+    }
+
+    #[test]
+    fn example1_sweep_agrees_with_theory_away_from_boundary() {
+        let points = vec![
+            SweepPoint::new("load=0.5", scenario::example1_at_load(0.5, 1.0, 1.0, 2.0).unwrap()),
+            SweepPoint::new("load=2.0", scenario::example1_at_load(2.0, 1.0, 1.0, 2.0).unwrap()),
+        ];
+        let outcomes = run_sweep(&points, quick_options());
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(outcomes[0].theory, StabilityVerdict::PositiveRecurrent);
+        assert_eq!(outcomes[1].theory, StabilityVerdict::Transient);
+        let summary = summarise(&outcomes);
+        assert_eq!(summary.points, 2);
+        assert_eq!(summary.borderline, 0);
+        assert!(summary.agreement_rate() >= 0.5, "summary {summary:?}");
+    }
+
+    #[test]
+    fn sequential_and_parallel_runs_agree() {
+        let points = vec![
+            SweepPoint::new("a", scenario::example1_at_load(0.4, 1.0, 1.0, 2.0).unwrap()),
+            SweepPoint::new("b", scenario::example1_at_load(2.5, 1.0, 1.0, 2.0).unwrap()),
+        ];
+        let seq = run_sweep(&points, SweepOptions { threads: 1, ..quick_options() });
+        let par = run_sweep(&points, SweepOptions { threads: 2, ..quick_options() });
+        assert_eq!(seq, par, "same seeds → identical outcomes regardless of threading");
+    }
+
+    #[test]
+    fn empty_sweep_is_empty() {
+        assert!(run_sweep(&[], quick_options()).is_empty());
+        let summary = summarise(&[]);
+        assert_eq!(summary.points, 0);
+        assert_eq!(summary.agreement_rate(), 1.0);
+    }
+
+    #[test]
+    fn borderline_points_always_count_as_agreeing() {
+        assert!(verdict_agrees(StabilityVerdict::Borderline, PathClass::Growing));
+        assert!(verdict_agrees(StabilityVerdict::Borderline, PathClass::Stable));
+        assert!(!verdict_agrees(StabilityVerdict::PositiveRecurrent, PathClass::Growing));
+        assert!(!verdict_agrees(StabilityVerdict::Transient, PathClass::Stable));
+        assert!(verdict_agrees(StabilityVerdict::Transient, PathClass::Growing));
+    }
+
+    #[test]
+    fn one_club_initial_condition_is_used() {
+        let points = vec![SweepPoint::new(
+            "club",
+            scenario::example3([1.0, 1.0, 1.0], 1.0, 2.0).unwrap(),
+        )];
+        let options = SweepOptions { initial_one_club: 50, horizon: 300.0, threads: 1, seed: 1 };
+        let outcomes = run_sweep(&points, options);
+        // The run starts from 50 one-club peers; tail average should reflect a
+        // populated system rather than zero.
+        assert!(outcomes[0].tail_average > 0.0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Network coding with gifted coded pieces (Theorem 15, Section VIII-B).
+//!
+//! Without coding, peers arriving with one random *data* piece cannot save a
+//! swarm from the missing-piece syndrome for any gifted fraction `f < 1`.
+//! With random linear coding over `GF(q)`, a tiny `f` suffices: the paper's
+//! headline numbers are `q = 64, K = 200`, where `f ≈ 0.005` already
+//! stabilises the system. This example prints the closed-form thresholds and
+//! then simulates a laptop-scale coded swarm (`q = 8, K = 4`) on both sides
+//! of its threshold.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example network_coding_gift
+//! ```
+
+use p2p_stability::markov::PathClassifier;
+use p2p_stability::swarm::coded;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Closed-form gifted-fraction thresholds (Theorem 15):");
+    println!("{:>6} {:>6} {:>18} {:>18}", "q", "K", "transient below", "recurrent above");
+    for (q, k) in [(8u64, 4usize), (16, 8), (64, 200), (256, 200)] {
+        let (lo, hi) = coded::theorem15_gift_thresholds(q, k);
+        println!("{q:>6} {k:>6} {lo:>18.6} {hi:>18.6}");
+    }
+    println!(
+        "\nPaper example (q = 64, K = 200): transient below ≈ 0.00507, recurrent above ≈ 0.00516.\n\
+         Without coding the same system is transient for ANY gifted fraction f < 1.\n"
+    );
+
+    // Simulate the coded swarm at laptop scale.
+    let (q, k) = (8u64, 4usize);
+    let (lo, hi) = coded::theorem15_gift_thresholds(q, k);
+    println!("Coded swarm simulation at q = {q}, K = {k} (λ = 1, U_s = 0, γ = ∞):");
+    println!("{:>12} {:>14} {:>12} {:>12} {:>12}", "fraction f", "Theorem 15", "sim class", "tail slope", "departures");
+    for f in [0.3 * lo, 0.8 * lo, 1.5 * hi, 4.0 * hi] {
+        let params = coded::CodedParams::gift_example(k, q, 1.0, f.min(1.0), 0.0, 1.0, f64::INFINITY)?;
+        let theory = coded::theorem15_classify(&params)?;
+        let sim = coded::CodedSwarmSim::new(params).snapshot_interval(10.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let result = sim.run(2_000.0, &mut rng);
+        let verdict = PathClassifier::new(1.0, 40.0).classify(&result.peer_count_path());
+        println!(
+            "{:>12.4} {:>14} {:>12} {:>12.3} {:>12}",
+            f,
+            format!("{theory:?}"),
+            format!("{:?}", verdict.class),
+            verdict.tail_slope,
+            result.departures,
+        );
+    }
+    Ok(())
+}

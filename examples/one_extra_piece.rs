@@ -1,0 +1,48 @@
+//! The "one extra piece" corollary of Theorem 1.
+//!
+//! If every peer, after completing its download, dwells in the swarm just
+//! long enough to upload **one** more piece on average (`γ ≤ µ`), the system
+//! is positive recurrent for *any* arrival rate and any positive seed rate.
+//! This example hammers a 3-piece swarm with a heavy load (λ0 = 20, a seed a
+//! hundred times slower) and shows the verdict flip as the mean dwell time
+//! crosses `1/µ`.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example one_extra_piece
+//! ```
+
+use p2p_stability::swarm::{stability, SwarmModel};
+use p2p_stability::workload::scenario;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lambda0 = 20.0;
+    println!("K = 3, µ = 1, U_s = 0.05, λ0 = {lambda0}");
+    println!("{:>8} {:>12} {:>12} {:>14} {:>12}", "γ/µ", "dwell 1/γ", "Theorem 1", "sim class", "tail slope");
+
+    for gamma_over_mu in [0.5, 0.9, 1.0, 1.1, 1.5, 3.0] {
+        let params = scenario::one_extra_piece(3, lambda0, gamma_over_mu)?;
+        let verdict = stability::classify(&params).verdict;
+        let model = SwarmModel::new(params.clone());
+        let mut rng = StdRng::seed_from_u64(11);
+        let sim = model.simulate_and_classify(model.empty_state(), 1_500.0, &mut rng);
+        println!(
+            "{:>8.2} {:>12.3} {:>12} {:>14} {:>12.3}",
+            gamma_over_mu,
+            params.mean_seed_dwell(),
+            format!("{verdict:?}"),
+            format!("{:?}", sim.class),
+            sim.tail_slope,
+        );
+    }
+
+    println!(
+        "\nThe corollary: for γ ≤ µ (dwell ≥ one piece upload time) the swarm is stable\n\
+         regardless of the arrival rate; pushing γ above µ re-opens the missing-piece\n\
+         instability once the load exceeds the seed-driven threshold."
+    );
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! Piece-selection policies: same stability region, different quasi-stable
+//! behaviour (Theorem 14 and the Section IX discussion).
+//!
+//! Theorem 14 says the stability region of Theorem 1 does not depend on the
+//! piece-selection policy, as long as a useful piece is transferred whenever
+//! one exists. But the *time until a large one club emerges* in a transient
+//! configuration — the quasi-stability horizon — can differ substantially.
+//! This example runs the same two parameter points under four policies.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example piece_policy_comparison
+//! ```
+
+use p2p_stability::markov::PathClassifier;
+use p2p_stability::swarm::sim::{AgentConfig, AgentSwarm};
+use p2p_stability::swarm::{policy, stability};
+use p2p_stability::workload::scenario;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let stable = scenario::example3([1.0, 1.0, 1.0], 1.0, 2.0)?;
+    // Piece 1 is the rare piece, so the default watch piece tracks the right club.
+    let transient = scenario::example3([0.2, 2.0, 2.0], 1.0, 4.0)?;
+    println!(
+        "stable point    : Example 3 with λ = (1, 1, 1), γ = 2µ   → Theorem 1: {:?}",
+        stability::classify(&stable).verdict
+    );
+    println!(
+        "transient point : Example 3 with λ = (0.2, 2, 2), γ = 4µ → Theorem 1: {:?}",
+        stability::classify(&transient).verdict
+    );
+    println!();
+    println!(
+        "{:<18} {:>14} {:>16} {:>22} {:>16}",
+        "policy", "stable → class", "transient → class", "one-club ≥ 100 at t =", "success rate %"
+    );
+
+    for name in ["random-useful", "rarest-first", "sequential", "most-common-first"] {
+        let mut cells: Vec<String> = vec![name.to_owned()];
+        let mut onset = f64::INFINITY;
+        let mut success = 0.0;
+        for (which, params) in [("stable", &stable), ("transient", &transient)] {
+            let sim = AgentSwarm::with_config(
+                params.clone(),
+                AgentConfig { snapshot_interval: 5.0, ..Default::default() },
+                policy::by_name(name).expect("known policy"),
+            )?;
+            let mut rng = StdRng::seed_from_u64(99);
+            let result = sim.run(&[], 1_500.0, &mut rng);
+            let class = PathClassifier::new(params.total_arrival_rate(), 40.0)
+                .classify(&result.peer_count_path())
+                .class;
+            cells.push(format!("{class:?}"));
+            if which == "transient" {
+                onset = result
+                    .snapshots
+                    .iter()
+                    .find(|s| s.groups.one_club >= 100)
+                    .map_or(f64::INFINITY, |s| s.time);
+                success = 100.0 * result.contact_success_fraction();
+            }
+        }
+        println!(
+            "{:<18} {:>14} {:>16} {:>22.0} {:>16.1}",
+            cells[0], cells[1], cells[2], onset, success
+        );
+    }
+
+    println!(
+        "\nAll useful-piece policies agree with Theorem 1 on both points (Theorem 14);\n\
+         they differ only in how quickly the transient configuration develops its one club\n\
+         and in how efficiently contacts are used — the quasi-stability effect the paper\n\
+         flags as future work in Section IX."
+    );
+    Ok(())
+}

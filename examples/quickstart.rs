@@ -1,0 +1,56 @@
+//! Quickstart: build a swarm model, ask Theorem 1 whether it is stable, and
+//! confirm the answer by simulating the exact CTMC and the peer-level
+//! simulator.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use p2p_stability::swarm::sim::AgentSwarm;
+use p2p_stability::swarm::{stability, SwarmModel, SwarmParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 4-piece file, a fixed seed uploading at rate 1, peers contacting at
+    // rate 1, peer seeds dwelling for 1/γ = 0.5 on average, and fresh peers
+    // arriving at rate 1.2.
+    let params = SwarmParams::builder(4)
+        .seed_rate(1.0)
+        .contact_rate(1.0)
+        .seed_departure_rate(2.0)
+        .fresh_arrivals(1.2)
+        .build()?;
+
+    // 1. What does Theorem 1 say?
+    let report = stability::classify(&params);
+    println!("Theorem 1 verdict        : {:?}", report.verdict);
+    println!("per-piece thresholds     : {:?}", report.piece_thresholds);
+    println!("total arrival rate λ     : {}", report.total_arrival_rate);
+    println!(
+        "critical dwell rate γ*   : {:.3} (γ ≤ µ always suffices — the 'one extra piece' corollary)",
+        stability::critical_departure_rate(&params)
+    );
+
+    // 2. Simulate the exact type-count CTMC.
+    let model = SwarmModel::new(params.clone());
+    let mut rng = StdRng::seed_from_u64(1);
+    let verdict = model.simulate_and_classify(model.empty_state(), 2_000.0, &mut rng);
+    println!("\nCTMC simulation          : {:?}", verdict.class);
+    println!("  tail growth rate       : {:+.4} peers per unit time", verdict.tail_slope);
+    println!("  tail average population: {:.1}", verdict.tail_average);
+
+    // 3. Simulate the peer-level (agent-based) engine and look at sojourns.
+    let sim = AgentSwarm::new(params)?;
+    let mut rng = StdRng::seed_from_u64(2);
+    let result = sim.run(&[], 2_000.0, &mut rng);
+    let last = result.final_snapshot();
+    println!("\nAgent-based simulation   : {} peers at t = {:.0}", last.total_peers, last.time);
+    println!("  departures             : {}", result.sojourns.departures);
+    println!("  mean sojourn time      : {:.2}", result.sojourns.mean_sojourn());
+    println!("  contact success rate   : {:.1}%", 100.0 * result.contact_success_fraction());
+
+    Ok(())
+}

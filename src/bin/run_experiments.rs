@@ -1,0 +1,24 @@
+//! Regenerates every experiment report (E1–E12) in one go.
+//!
+//! ```text
+//! cargo run --release --bin run_experiments          # full budget
+//! cargo run --release --bin run_experiments -- quick # reduced budget
+//! ```
+//!
+//! The same reports are printed by the individual `cargo bench` targets; this
+//! binary is the convenient way to refresh `EXPERIMENTS.md`.
+
+use p2p_stability::workload::experiments::{self, ExperimentConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "quick");
+    let config = if quick { ExperimentConfig::quick() } else { ExperimentConfig::full() };
+    eprintln!(
+        "running all experiments with horizon {} (threads {}, seed {:#x})",
+        config.horizon, config.threads, config.seed
+    );
+    for report in experiments::run_all(&config) {
+        println!("==================== {} ====================", report.id);
+        println!("{report}");
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based integration tests on the model invariants, spanning the
+//! `pieceset`, `markov`, and `swarm` crates.
+
+use p2p_stability::markov::Ctmc;
+use p2p_stability::pieceset::{PieceId, PieceSet, TypeSpace};
+use p2p_stability::swarm::{stability, SwarmModel, SwarmParams, SwarmState};
+use proptest::prelude::*;
+
+/// Random but valid parameters for a small file.
+fn arb_params() -> impl Strategy<Value = SwarmParams> {
+    (
+        1usize..=4,                       // K
+        0.0f64..3.0,                      // U_s
+        0.1f64..3.0,                      // µ
+        prop_oneof![Just(f64::INFINITY), (0.2f64..5.0)], // γ
+        0.05f64..4.0,                     // λ_∅
+        proptest::collection::vec(0.0f64..1.5, 4), // per-piece gifted rates
+    )
+        .prop_map(|(k, us, mu, gamma, lambda0, gifted)| {
+            let mut b = SwarmParams::builder(k).seed_rate(us).contact_rate(mu).fresh_arrivals(lambda0);
+            if gamma.is_finite() {
+                b = b.seed_departure_rate(gamma);
+            }
+            for (i, rate) in gifted.iter().take(k).enumerate() {
+                let set = PieceSet::singleton(PieceId::new(i));
+                // With K = 1 a single-piece arrival is a full collection,
+                // which the γ = ∞ convention forbids (λ_F = 0).
+                let forbidden = gamma.is_infinite() && set == PieceSet::full(k);
+                if *rate > 0.0 && !forbidden {
+                    b = b.arrival(set, *rate);
+                }
+            }
+            b.build().expect("constructed parameters are valid")
+        })
+}
+
+/// A random small state for the given parameters.
+fn arb_state(k: usize) -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0u32..6, 1 << k)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generator_rows_are_well_formed(params in arb_params(), raw in arb_state(4), seed in any::<u64>()) {
+        let _ = seed;
+        let model = SwarmModel::new(params.clone());
+        let space = TypeSpace::new(params.num_pieces()).unwrap();
+        let mut state = SwarmState::empty(&space);
+        for (bits, count) in raw.iter().enumerate().take(space.num_types()) {
+            let c = PieceSet::from_bits(bits as u64);
+            // γ = ∞ states never hold full-collection peers.
+            if params.departs_immediately() && c == params.full_type() {
+                continue;
+            }
+            state.set_count(c, *count);
+        }
+        let n = state.total_peers();
+        let mut out = Vec::new();
+        model.transitions(&state, &mut out);
+
+        let mut total_rate = 0.0;
+        for (next, rate) in &out {
+            prop_assert!(rate.is_finite() && *rate > 0.0, "rate {rate}");
+            let diff = next.total_peers() as i64 - n as i64;
+            prop_assert!((-1..=1).contains(&diff), "population jumped by {diff}");
+            total_rate += rate;
+        }
+        // Total outgoing rate is bounded by arrivals + seed + peer uploads + departures.
+        let gamma_term = if params.departs_immediately() {
+            params.contact_rate() * n as f64 + params.seed_rate()
+        } else {
+            params.seed_departure_rate() * f64::from(state.count(params.full_type()))
+        };
+        let bound = params.total_arrival_rate()
+            + params.seed_rate()
+            + params.contact_rate() * n as f64
+            + gamma_term
+            + 1e-9;
+        prop_assert!(total_rate <= bound, "total rate {total_rate} exceeds bound {bound}");
+    }
+
+    #[test]
+    fn threshold_and_delta_formulations_agree(params in arb_params()) {
+        // eq. (3) for every piece  ⇔  Δ_{F−{k}} < 0 for every piece (µ < γ only).
+        if params.mu_over_gamma() >= 1.0 {
+            return Ok(());
+        }
+        let lambda_total = params.total_arrival_rate();
+        for i in 0..params.num_pieces() {
+            let piece = PieceId::new(i);
+            let threshold = stability::piece_threshold(&params, piece).unwrap();
+            let delta = stability::delta(&params, params.full_type().without(piece)).unwrap();
+            // Strict comparisons must agree except exactly on the boundary.
+            if (lambda_total - threshold).abs() > 1e-9 * threshold.max(1.0) {
+                prop_assert_eq!(lambda_total < threshold, delta < 0.0,
+                    "piece {}: λ_total = {}, threshold = {}, Δ = {}", i, lambda_total, threshold, delta);
+            }
+        }
+    }
+
+    #[test]
+    fn classification_is_monotone_in_the_seed_rate(params in arb_params()) {
+        // Adding seed capacity can only help: if stable at U_s, still stable at 2 U_s + 1.
+        let verdict = stability::classify(&params).verdict;
+        if verdict.is_stable() {
+            let boosted = SwarmParams::builder(params.num_pieces())
+                .seed_rate(params.seed_rate() * 2.0 + 1.0)
+                .contact_rate(params.contact_rate())
+                .seed_departure_rate(params.seed_departure_rate())
+                .fresh_arrivals(params.arrival_rate(PieceSet::empty()));
+            let boosted = params
+                .arrivals()
+                .filter(|(c, _)| !c.is_empty())
+                .fold(boosted, |b, (c, r)| b.arrival(c, r))
+                .build()
+                .unwrap();
+            prop_assert!(stability::classify(&boosted).verdict.is_stable());
+        }
+    }
+
+    #[test]
+    fn critical_departure_rate_is_consistent(params in arb_params()) {
+        let gamma_crit = stability::critical_departure_rate(&params);
+        prop_assert!(gamma_crit >= params.contact_rate() || !params.all_pieces_can_enter());
+        if gamma_crit.is_finite() && params.all_pieces_can_enter() {
+            // Just below the critical rate the system is stable.
+            let stable = SwarmParams::builder(params.num_pieces())
+                .seed_rate(params.seed_rate())
+                .contact_rate(params.contact_rate())
+                .seed_departure_rate(gamma_crit * 0.95)
+                .fresh_arrivals(params.arrival_rate(PieceSet::empty()).max(0.0));
+            let stable = params
+                .arrivals()
+                .filter(|(c, _)| !c.is_empty())
+                .fold(stable, |b, (c, r)| b.arrival(c, r))
+                .build();
+            if let Ok(stable) = stable {
+                prop_assert!(stability::classify(&stable).verdict.is_stable(),
+                    "γ* = {}, params: {:?}", gamma_crit, stable);
+            }
+        }
+    }
+
+    #[test]
+    fn simulation_preserves_population_accounting(params in arb_params(), seed in any::<u64>()) {
+        use p2p_stability::swarm::sim::{AgentConfig, AgentSwarm};
+        use rand::SeedableRng;
+        let sim = AgentSwarm::with_config(
+            params.clone(),
+            AgentConfig { snapshot_interval: 10.0, ..Default::default() },
+            Box::new(p2p_stability::swarm::policy::RandomUseful),
+        ).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let result = sim.run(&[], 60.0, &mut rng);
+        for snap in &result.snapshots {
+            // The five Fig.-2 groups partition the population.
+            prop_assert_eq!(snap.groups.total(), snap.total_peers);
+            // Nobody holds more copies of the watch piece than there are peers.
+            prop_assert!(snap.watch_piece_copies <= snap.total_peers);
+            // With γ = ∞ no peer seeds remain in the system.
+            if params.departs_immediately() {
+                prop_assert_eq!(snap.peer_seeds, 0);
+            }
+        }
+    }
+}

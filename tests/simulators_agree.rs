@@ -1,0 +1,126 @@
+//! Integration tests: the type-count CTMC simulator and the peer-level
+//! agent-based simulator implement the same stochastic model, so on identical
+//! parameters they must agree on the qualitative behaviour and, for stable
+//! points, on the time-average population.
+
+use p2p_stability::markov::{PathClass, PathClassifier};
+use p2p_stability::pieceset::PieceSet;
+use p2p_stability::swarm::sim::{AgentConfig, AgentSwarm};
+use p2p_stability::swarm::{policy, SwarmModel, SwarmParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn agent_config() -> AgentConfig {
+    AgentConfig { snapshot_interval: 2.0, ..Default::default() }
+}
+
+fn ctmc_average(params: &SwarmParams, horizon: f64, seed: u64) -> f64 {
+    let model = SwarmModel::new(params.clone());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let path = model.simulate_peer_count(model.empty_state(), horizon, &mut rng);
+    path.time_average_over(horizon * 0.3, horizon)
+}
+
+fn agent_average(params: &SwarmParams, horizon: f64, seed: u64) -> f64 {
+    let sim = AgentSwarm::with_config(params.clone(), agent_config(), Box::new(policy::RandomUseful)).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let result = sim.run(&[], horizon, &mut rng);
+    result.peer_count_path().time_average_over(horizon * 0.3, horizon)
+}
+
+#[test]
+fn stationary_averages_agree_on_a_stable_point() {
+    // Example-1-like stable system.
+    let params = SwarmParams::builder(2)
+        .seed_rate(1.5)
+        .contact_rate(1.0)
+        .seed_departure_rate(2.0)
+        .fresh_arrivals(1.0)
+        .build()
+        .unwrap();
+    let horizon = 4_000.0;
+    let a = ctmc_average(&params, horizon, 1);
+    let b = agent_average(&params, horizon, 2);
+    let rel = (a - b).abs() / a.max(b).max(1.0);
+    assert!(rel < 0.2, "CTMC average {a:.2} vs agent average {b:.2}");
+}
+
+#[test]
+fn both_simulators_classify_a_transient_point_as_growing() {
+    let params = SwarmParams::builder(2)
+        .seed_rate(0.2)
+        .contact_rate(1.0)
+        .seed_departure_rate(4.0)
+        .fresh_arrivals(3.0)
+        .build()
+        .unwrap();
+    let horizon = 1_200.0;
+    let classifier = PathClassifier::new(params.total_arrival_rate(), 30.0);
+
+    let model = SwarmModel::new(params.clone());
+    let mut rng = StdRng::seed_from_u64(3);
+    let ctmc_path = model.simulate_peer_count(model.empty_state(), horizon, &mut rng);
+    assert_eq!(classifier.classify(&ctmc_path).class, PathClass::Growing);
+
+    let sim = AgentSwarm::with_config(params, agent_config(), Box::new(policy::RandomUseful)).unwrap();
+    let mut rng = StdRng::seed_from_u64(4);
+    let agent_path = sim.run(&[], horizon, &mut rng).peer_count_path();
+    assert_eq!(classifier.classify(&agent_path).class, PathClass::Growing);
+
+    // And the growth rates agree to within simulation noise.
+    let s1 = ctmc_path.trend(0.5).slope;
+    let s2 = agent_path.trend(0.5).slope;
+    assert!((s1 - s2).abs() < 0.5 * s1.max(s2), "slopes {s1:.2} vs {s2:.2}");
+}
+
+#[test]
+fn growth_rates_agree_from_a_one_club_start() {
+    // Start both engines from the same 100-peer one club in a transient
+    // configuration with gifted arrivals and compare one-club growth rates.
+    let params = SwarmParams::builder(3)
+        .seed_rate(0.2)
+        .contact_rate(1.0)
+        .seed_departure_rate(4.0)
+        .fresh_arrivals(2.5)
+        .arrival(PieceSet::singleton(p2p_stability::pieceset::PieceId::new(0)), 0.1)
+        .build()
+        .unwrap();
+    let horizon = 800.0;
+    let watch = p2p_stability::pieceset::PieceId::new(0);
+
+    let model = SwarmModel::new(params.clone());
+    let mut rng = StdRng::seed_from_u64(5);
+    let ctmc_path =
+        model.simulate_peer_count(model.one_club_state(watch, 100), horizon, &mut rng);
+
+    let sim = AgentSwarm::with_config(params, agent_config(), Box::new(policy::RandomUseful)).unwrap();
+    let mut rng = StdRng::seed_from_u64(6);
+    let agent_path = sim.run_from_one_club(100, horizon, &mut rng).peer_count_path();
+
+    let s1 = ctmc_path.trend(0.5).slope;
+    let s2 = agent_path.trend(0.5).slope;
+    assert!(s1 > 0.3 && s2 > 0.3, "both engines grow: {s1:.2}, {s2:.2}");
+    assert!((s1 - s2).abs() < 0.6 * s1.max(s2), "slopes {s1:.2} vs {s2:.2}");
+}
+
+#[test]
+fn peer_seed_population_behaves_like_mm_infinity() {
+    // In a stable, well-seeded system the peer-seed pool is an M/M/∞-like
+    // population: its time-average should be close to (completion rate)/γ.
+    // We check the weaker, structural fact that the agent simulator's seed
+    // count stays bounded and positive on average.
+    let params = SwarmParams::builder(2)
+        .seed_rate(2.0)
+        .contact_rate(1.0)
+        .seed_departure_rate(1.0)
+        .fresh_arrivals(1.0)
+        .build()
+        .unwrap();
+    let sim = AgentSwarm::with_config(params, agent_config(), Box::new(policy::RandomUseful)).unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    let result = sim.run(&[], 3_000.0, &mut rng);
+    let tail: Vec<_> = result.snapshots.iter().filter(|s| s.time > 500.0).collect();
+    let mean_seeds: f64 = tail.iter().map(|s| s.peer_seeds as f64).sum::<f64>() / tail.len() as f64;
+    // Completions happen at rate ≈ λ0 = 1 in steady state, so E[seeds] ≈ λ0/γ = 1.
+    assert!(mean_seeds > 0.3 && mean_seeds < 3.0, "mean peer seeds {mean_seeds:.2}");
+}
