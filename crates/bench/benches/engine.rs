@@ -1,8 +1,9 @@
-//! Throughput benchmarks of the two simulation engines: events per second of
-//! the type-count CTMC simulator and of the peer-level (agent-based)
-//! simulator, as a function of the population size.
+//! Throughput benchmarks of the Monte-Carlo replication engine: batch
+//! wall-clock versus worker count and replication budget, plus the
+//! underlying single-replication simulators for reference.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use engine::{run_batch, EngineConfig, Scenario};
 use pieceset::PieceId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -17,6 +18,61 @@ fn params(k: usize) -> SwarmParams {
         .fresh_arrivals(2.0)
         .build()
         .expect("valid parameters")
+}
+
+/// A small boundary-straddling scenario set (stable, near-critical,
+/// transient), the shape every phase-diagram cell batch takes.
+fn scenario_set() -> Vec<Scenario> {
+    [0.5, 0.95, 2.0]
+        .iter()
+        .enumerate()
+        .map(|(i, &load)| {
+            let p = SwarmParams::builder(2)
+                .seed_rate(1.0)
+                .contact_rate(1.0)
+                .seed_departure_rate(2.0)
+                .fresh_arrivals(load * 2.0)
+                .build()
+                .expect("valid parameters");
+            Scenario::new(i as u64, format!("load={load}"), p)
+        })
+        .collect()
+}
+
+fn engine_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_batch_16rep_horizon200");
+    for &jobs in &[1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(jobs), &jobs, |b, &jobs| {
+            let scenarios = scenario_set();
+            let config = EngineConfig::default()
+                .with_replications(16)
+                .with_horizon(200.0)
+                .with_master_seed(7)
+                .with_jobs(jobs);
+            b.iter(|| run_batch(&scenarios, &config));
+        });
+    }
+    group.finish();
+}
+
+fn engine_replication_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_replications_horizon200");
+    for &replications in &[4u32, 16, 64] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(replications),
+            &replications,
+            |b, &replications| {
+                let scenarios = scenario_set();
+                let config = EngineConfig::default()
+                    .with_replications(replications)
+                    .with_horizon(200.0)
+                    .with_master_seed(7)
+                    .with_jobs(0);
+                b.iter(|| run_batch(&scenarios, &config));
+            },
+        );
+    }
+    group.finish();
 }
 
 fn ctmc_engine(c: &mut Criterion) {
@@ -41,7 +97,10 @@ fn agent_engine(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(club), &club, |b, &club| {
             let sim = AgentSwarm::with_config(
                 params(4),
-                AgentConfig { snapshot_interval: 10.0, ..Default::default() },
+                AgentConfig {
+                    snapshot_interval: 10.0,
+                    ..Default::default()
+                },
                 Box::new(policy::RandomUseful),
             )
             .expect("valid configuration");
@@ -57,6 +116,6 @@ fn agent_engine(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = ctmc_engine, agent_engine
+    targets = engine_batch, engine_replication_scaling, ctmc_engine, agent_engine
 }
 criterion_main!(benches);

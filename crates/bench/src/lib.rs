@@ -13,14 +13,24 @@ use workload::ExperimentReport;
 /// The configuration used for the one-off report printed by each bench.
 #[must_use]
 pub fn report_config() -> ExperimentConfig {
-    ExperimentConfig { horizon: 1_500.0, seed: 0xA11CE, threads: 4 }
+    ExperimentConfig {
+        horizon: 1_500.0,
+        seed: 0xA11CE,
+        threads: 0,
+        replications: 4,
+    }
 }
 
 /// The configuration used inside the Criterion measurement loop (kept small
 /// so `cargo bench` finishes in minutes).
 #[must_use]
 pub fn measured_config() -> ExperimentConfig {
-    ExperimentConfig { horizon: 120.0, seed: 0xA11CE, threads: 2 }
+    ExperimentConfig {
+        horizon: 120.0,
+        seed: 0xA11CE,
+        threads: 2,
+        replications: 2,
+    }
 }
 
 /// Prints an experiment report with a banner, once, outside the measurement

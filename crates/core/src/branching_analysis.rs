@@ -41,10 +41,14 @@ pub struct AbsMeans {
 pub fn abs_means(params: &SwarmParams, xi: f64) -> Result<AbsMeans, SwarmError> {
     let ratio = params.mu_over_gamma();
     if ratio >= 1.0 {
-        return Err(SwarmError::WrongRegime(format!("the ABS analysis requires µ < γ, got µ/γ = {ratio}")));
+        return Err(SwarmError::WrongRegime(format!(
+            "the ABS analysis requires µ < γ, got µ/γ = {ratio}"
+        )));
     }
     if !(0.0..1.0).contains(&xi) {
-        return Err(SwarmError::InvalidParameter(format!("ξ = {xi} must lie in [0, 1)")));
+        return Err(SwarmError::InvalidParameter(format!(
+            "ξ = {xi} must lie in [0, 1)"
+        )));
     }
     let k = params.num_pieces() as f64;
     let a = (k - 1.0) / (1.0 - xi) + ratio; // downloads-needed factor of a group (b) peer
@@ -59,7 +63,11 @@ pub fn abs_means(params: &SwarmParams, xi: f64) -> Result<AbsMeans, SwarmError> 
     //   M = [[ξ a, a], [ξ b, b]].
     let bp = BranchingProcess::from_rows(&[vec![xi * a, a], vec![xi * b, b]])?;
     let m = bp.expected_total_progeny()?;
-    Ok(AbsMeans { xi, m_b: m[0], m_f: m[1] })
+    Ok(AbsMeans {
+        xi,
+        m_b: m[0],
+        m_f: m[1],
+    })
 }
 
 /// `m_g(C)`: the expected total number of descendants of a gifted peer that
@@ -68,7 +76,12 @@ pub fn abs_means(params: &SwarmParams, xi: f64) -> Result<AbsMeans, SwarmError> 
 /// # Errors
 ///
 /// Same as [`abs_means`]; additionally requires `piece ∈ C`.
-pub fn gifted_mean(params: &SwarmParams, piece: PieceId, c: pieceset::PieceSet, xi: f64) -> Result<f64, SwarmError> {
+pub fn gifted_mean(
+    params: &SwarmParams,
+    piece: PieceId,
+    c: pieceset::PieceSet,
+    xi: f64,
+) -> Result<f64, SwarmError> {
     if !c.contains(piece) {
         return Err(SwarmError::InvalidParameter(format!(
             "gifted peers must arrive holding the missing piece: {} ∉ {}",
@@ -94,7 +107,11 @@ pub fn gifted_mean(params: &SwarmParams, piece: PieceId, c: pieceset::PieceSet, 
 /// # Errors
 ///
 /// Same as [`abs_means`].
-pub fn piece_download_rate_bound(params: &SwarmParams, piece: PieceId, xi: f64) -> Result<f64, SwarmError> {
+pub fn piece_download_rate_bound(
+    params: &SwarmParams,
+    piece: PieceId,
+    xi: f64,
+) -> Result<f64, SwarmError> {
     let means = abs_means(params, xi)?;
     let mut rate = params.seed_rate() * (xi * means.m_b + means.m_f);
     for (c, lambda) in params.arrivals() {
@@ -111,7 +128,11 @@ pub fn piece_download_rate_bound(params: &SwarmParams, piece: PieceId, xi: f64) 
 pub fn abs_means_limit(params: &SwarmParams) -> AbsMeans {
     let ratio = params.mu_over_gamma();
     let k = params.num_pieces() as f64;
-    AbsMeans { xi: 0.0, m_b: k / (1.0 - ratio), m_f: 1.0 / (1.0 - ratio) }
+    AbsMeans {
+        xi: 0.0,
+        m_b: k / (1.0 - ratio),
+        m_f: 1.0 / (1.0 - ratio),
+    }
 }
 
 #[cfg(test)]
@@ -148,7 +169,12 @@ mod tests {
         let p = params(5, 0.7, 1.0, 3.0);
         let limit = abs_means_limit(&p);
         let means = abs_means(&p, 1e-9).unwrap();
-        assert!((means.m_b - limit.m_b).abs() < 1e-5, "{} vs {}", means.m_b, limit.m_b);
+        assert!(
+            (means.m_b - limit.m_b).abs() < 1e-5,
+            "{} vs {}",
+            means.m_b,
+            limit.m_b
+        );
         assert!((means.m_f - limit.m_f).abs() < 1e-5);
         // And the limit matches the quoted formulas.
         assert!((limit.m_b - 5.0 / (1.0 - 1.0 / 3.0)).abs() < 1e-12);
@@ -167,7 +193,7 @@ mod tests {
     #[test]
     fn subcriticality_condition_enforced() {
         let p = params(10, 0.5, 1.0, 1.05); // µ/γ close to 1, K large
-        // With a large ξ, condition (6) fails.
+                                            // With a large ξ, condition (6) fails.
         assert!(abs_means(&p, 0.5).is_err());
         // With tiny ξ it may still fail because µ/γ ≈ 0.95 and ξ(K−1) term...
         // here ξ = 1e-4: ξ*(9/(1-ξ)+0.95)+0.95 ≈ 0.951 < 1 → ok.
@@ -193,8 +219,20 @@ mod tests {
             .arrival(PieceSet::singleton(PieceId::new(0)), 0.5)
             .build()
             .unwrap();
-        assert!(gifted_mean(&p, PieceId::new(0), PieceSet::singleton(PieceId::new(0)), 0.01).is_ok());
-        assert!(gifted_mean(&p, PieceId::new(1), PieceSet::singleton(PieceId::new(0)), 0.01).is_err());
+        assert!(gifted_mean(
+            &p,
+            PieceId::new(0),
+            PieceSet::singleton(PieceId::new(0)),
+            0.01
+        )
+        .is_ok());
+        assert!(gifted_mean(
+            &p,
+            PieceId::new(1),
+            PieceSet::singleton(PieceId::new(0)),
+            0.01
+        )
+        .is_err());
     }
 
     #[test]

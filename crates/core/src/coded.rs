@@ -80,7 +80,11 @@ impl CodedParams {
         if gifted > 0.0 {
             gift_dimensions.push((1, gifted));
         }
-        Ok(CodedParams { base, field, gift_dimensions })
+        Ok(CodedParams {
+            base,
+            field,
+            gift_dimensions,
+        })
     }
 
     /// Total arrival rate of the coded system.
@@ -96,7 +100,12 @@ impl CodedParams {
         if total == 0.0 {
             return 0.0;
         }
-        self.gift_dimensions.iter().filter(|(d, _)| *d > 0).map(|(_, r)| r).sum::<f64>() / total
+        self.gift_dimensions
+            .iter()
+            .filter(|(d, _)| *d > 0)
+            .map(|(_, r)| r)
+            .sum::<f64>()
+            / total
     }
 }
 
@@ -126,7 +135,11 @@ pub fn theorem15_gift_thresholds(field_order: u64, num_pieces: usize) -> (f64, f
 /// sufficiently symmetric loads). Returns the Theorem 1 verdict for that
 /// configuration so experiments can print the contrast.
 #[must_use]
-pub fn uncoded_gift_verdict(num_pieces: usize, lambda_total: f64, gift_fraction: f64) -> crate::StabilityVerdict {
+pub fn uncoded_gift_verdict(
+    num_pieces: usize,
+    lambda_total: f64,
+    gift_fraction: f64,
+) -> crate::StabilityVerdict {
     // The exact Theorem 1 machinery enumerates 2^K types; for file sizes
     // beyond the enumerable range the uncoded system is transient for any
     // f < 1 by the same argument (each individual data piece is gifted at
@@ -144,7 +157,10 @@ pub fn uncoded_gift_verdict(num_pieces: usize, lambda_total: f64, gift_fraction:
     let per_piece = lambda_total * gift_fraction / num_pieces as f64;
     if per_piece > 0.0 {
         for i in 0..num_pieces {
-            builder = builder.arrival(pieceset::PieceSet::singleton(pieceset::PieceId::new(i)), per_piece);
+            builder = builder.arrival(
+                pieceset::PieceSet::singleton(pieceset::PieceId::new(i)),
+                per_piece,
+            );
         }
     }
     match builder.build() {
@@ -196,7 +212,11 @@ pub fn theorem15_classify(params: &CodedParams) -> Result<crate::StabilityVerdic
 
     // Positive recurrence condition (Theorem 15(b)):
     // λ_total < (U_s + helpful·(K − 1 + q/(q−1))) · (1 − 1/q)/(1 − µ̃/γ).
-    let ratio_tilde = if gamma.is_finite() { mu_tilde / gamma } else { 0.0 };
+    let ratio_tilde = if gamma.is_finite() {
+        mu_tilde / gamma
+    } else {
+        0.0
+    };
     let recurrent_rhs = (base.seed_rate() + helpful * (k - 1.0 + q / (q - 1.0))) * (1.0 - 1.0 / q)
         / (1.0 - ratio_tilde);
 
@@ -262,7 +282,11 @@ impl CodedSwarmSim {
     /// Creates a simulator with a snapshot interval of 10 time units.
     #[must_use]
     pub fn new(params: CodedParams) -> Self {
-        CodedSwarmSim { params, snapshot_interval: 10.0, max_events: 20_000_000 }
+        CodedSwarmSim {
+            params,
+            snapshot_interval: 10.0,
+            max_events: 20_000_000,
+        }
     }
 
     /// Overrides the snapshot interval.
@@ -296,10 +320,17 @@ impl CodedSwarmSim {
         let mut useless_contacts = 0u64;
         let mut events = 0u64;
 
-        let arrival_weights: Vec<f64> = self.params.gift_dimensions.iter().map(|(_, r)| *r).collect();
+        let arrival_weights: Vec<f64> = self
+            .params
+            .gift_dimensions
+            .iter()
+            .map(|(_, r)| *r)
+            .collect();
         let arrival_rate: f64 = arrival_weights.iter().sum();
 
-        let record = |time: f64, peers: &Vec<(Subspace, f64)>, snapshots: &mut Vec<CodedSnapshot>| {
+        let record = |time: f64,
+                      peers: &Vec<(Subspace, f64)>,
+                      snapshots: &mut Vec<CodedSnapshot>| {
             let n = peers.len() as u64;
             let decoders = peers.iter().filter(|(v, _)| v.is_full()).count() as u64;
             let mean_dimension = if peers.is_empty() {
@@ -307,7 +338,12 @@ impl CodedSwarmSim {
             } else {
                 peers.iter().map(|(v, _)| v.dimension() as f64).sum::<f64>() / peers.len() as f64
             };
-            snapshots.push(CodedSnapshot { time, total_peers: n, decoders, mean_dimension });
+            snapshots.push(CodedSnapshot {
+                time,
+                total_peers: n,
+                decoders,
+                mean_dimension,
+            });
         };
         record(0.0, &peers, &mut snapshots);
         next_snapshot += self.snapshot_interval;
@@ -319,8 +355,16 @@ impl CodedSwarmSim {
             let n = peers.len();
             let seed_rate = if n > 0 { base.seed_rate() } else { 0.0 };
             let peer_rate = base.contact_rate() * n as f64;
-            let seeds = if gamma_finite { peers.iter().filter(|(v, _)| v.is_full()).count() } else { 0 };
-            let departure_rate = if gamma_finite { base.seed_departure_rate() * seeds as f64 } else { 0.0 };
+            let seeds = if gamma_finite {
+                peers.iter().filter(|(v, _)| v.is_full()).count()
+            } else {
+                0
+            };
+            let departure_rate = if gamma_finite {
+                base.seed_departure_rate() * seeds as f64
+            } else {
+                0.0
+            };
             let rates = [arrival_rate, seed_rate, peer_rate, departure_rate];
             let total: f64 = rates.iter().sum();
             if total <= 0.0 {
@@ -342,7 +386,8 @@ impl CodedSwarmSim {
             match sample_weighted_index(rng, &rates).expect("positive total rate") {
                 0 => {
                     // Arrival with d random coded pieces.
-                    let idx = sample_weighted_index(rng, &arrival_weights).expect("positive arrival rate");
+                    let idx = sample_weighted_index(rng, &arrival_weights)
+                        .expect("positive arrival rate");
                     let d = self.params.gift_dimensions[idx].0;
                     let mut space = Subspace::empty(field, full_dim);
                     for _ in 0..d {
@@ -408,7 +453,13 @@ impl CodedSwarmSim {
         }
 
         record(time, &peers, &mut snapshots);
-        CodedSimResult { snapshots, departures, useful_transfers, useless_contacts, horizon: time }
+        CodedSimResult {
+            snapshots,
+            departures,
+            useful_transfers,
+            useless_contacts,
+            horizon: time,
+        }
     }
 }
 
@@ -452,45 +503,76 @@ mod tests {
         let (lo, hi) = theorem15_gift_thresholds(8, 4);
         // Well below the transience threshold.
         let p = CodedParams::gift_example(4, 8, 1.0, lo * 0.5, 0.0, 1.0, f64::INFINITY).unwrap();
-        assert_eq!(theorem15_classify(&p).unwrap(), crate::StabilityVerdict::Transient);
+        assert_eq!(
+            theorem15_classify(&p).unwrap(),
+            crate::StabilityVerdict::Transient
+        );
         // Well above the recurrence threshold.
-        let p = CodedParams::gift_example(4, 8, 1.0, (hi * 2.0).min(1.0), 0.0, 1.0, f64::INFINITY).unwrap();
-        assert_eq!(theorem15_classify(&p).unwrap(), crate::StabilityVerdict::PositiveRecurrent);
+        let p = CodedParams::gift_example(4, 8, 1.0, (hi * 2.0).min(1.0), 0.0, 1.0, f64::INFINITY)
+            .unwrap();
+        assert_eq!(
+            theorem15_classify(&p).unwrap(),
+            crate::StabilityVerdict::PositiveRecurrent
+        );
         // In the gap: borderline.
-        let p = CodedParams::gift_example(4, 8, 1.0, (lo + hi) / 2.0, 0.0, 1.0, f64::INFINITY).unwrap();
-        assert_eq!(theorem15_classify(&p).unwrap(), crate::StabilityVerdict::Borderline);
+        let p =
+            CodedParams::gift_example(4, 8, 1.0, (lo + hi) / 2.0, 0.0, 1.0, f64::INFINITY).unwrap();
+        assert_eq!(
+            theorem15_classify(&p).unwrap(),
+            crate::StabilityVerdict::Borderline
+        );
     }
 
     #[test]
     fn theorem15_classify_slow_departure_regime() {
         // γ small relative to µ̃: stable as soon as coded pieces can enter.
         let p = CodedParams::gift_example(4, 8, 5.0, 0.1, 0.0, 1.0, 0.5).unwrap();
-        assert_eq!(theorem15_classify(&p).unwrap(), crate::StabilityVerdict::PositiveRecurrent);
+        assert_eq!(
+            theorem15_classify(&p).unwrap(),
+            crate::StabilityVerdict::PositiveRecurrent
+        );
         // ... but transient if nothing can ever enter (no seed, no gifts).
         let p = CodedParams::gift_example(4, 8, 5.0, 0.0, 0.0, 1.0, 0.5).unwrap();
-        assert_eq!(theorem15_classify(&p).unwrap(), crate::StabilityVerdict::Transient);
+        assert_eq!(
+            theorem15_classify(&p).unwrap(),
+            crate::StabilityVerdict::Transient
+        );
     }
 
     #[test]
     fn uncoded_gift_comparison_is_transient() {
         // Without coding, a 30% gifted fraction is still transient (K = 4).
-        assert_eq!(uncoded_gift_verdict(4, 1.0, 0.3), crate::StabilityVerdict::Transient);
+        assert_eq!(
+            uncoded_gift_verdict(4, 1.0, 0.3),
+            crate::StabilityVerdict::Transient
+        );
         // With every peer arriving with a piece the uncoded symmetric system
         // is the borderline case of Section VIII-D.
-        assert_eq!(uncoded_gift_verdict(4, 1.0, 1.0), crate::StabilityVerdict::Borderline);
+        assert_eq!(
+            uncoded_gift_verdict(4, 1.0, 1.0),
+            crate::StabilityVerdict::Borderline
+        );
     }
 
     #[test]
     fn coded_simulation_stable_case_keeps_population_bounded() {
         // Small system, generous gifts: stable per Theorem 15.
         let (_, hi) = theorem15_gift_thresholds(8, 3);
-        let params = CodedParams::gift_example(3, 8, 1.0, (3.0 * hi).min(1.0), 0.0, 1.0, f64::INFINITY).unwrap();
-        assert_eq!(theorem15_classify(&params).unwrap(), crate::StabilityVerdict::PositiveRecurrent);
+        let params =
+            CodedParams::gift_example(3, 8, 1.0, (3.0 * hi).min(1.0), 0.0, 1.0, f64::INFINITY)
+                .unwrap();
+        assert_eq!(
+            theorem15_classify(&params).unwrap(),
+            crate::StabilityVerdict::PositiveRecurrent
+        );
         let sim = CodedSwarmSim::new(params).snapshot_interval(5.0);
         let mut rng = StdRng::seed_from_u64(11);
         let result = sim.run(1_500.0, &mut rng);
         let classifier = markov::PathClassifier::new(1.0, 40.0);
-        assert_eq!(classifier.classify(&result.peer_count_path()).class, markov::PathClass::Stable);
+        assert_eq!(
+            classifier.classify(&result.peer_count_path()).class,
+            markov::PathClass::Stable
+        );
         assert!(result.departures > 100);
     }
 

@@ -144,35 +144,65 @@ mod tests {
 
     #[test]
     fn normal_young_missing_watch_and_more() {
-        assert_eq!(classify_peer(PieceSet::empty(), false, false, watch(), K), PeerGroup::NormalYoung);
-        assert_eq!(classify_peer(set(&[1]), false, false, watch(), K), PeerGroup::NormalYoung);
-        assert_eq!(classify_peer(set(&[1, 2]), false, false, watch(), K), PeerGroup::NormalYoung);
+        assert_eq!(
+            classify_peer(PieceSet::empty(), false, false, watch(), K),
+            PeerGroup::NormalYoung
+        );
+        assert_eq!(
+            classify_peer(set(&[1]), false, false, watch(), K),
+            PeerGroup::NormalYoung
+        );
+        assert_eq!(
+            classify_peer(set(&[1, 2]), false, false, watch(), K),
+            PeerGroup::NormalYoung
+        );
     }
 
     #[test]
     fn one_club_is_missing_only_watch() {
-        assert_eq!(classify_peer(set(&[1, 2, 3]), false, false, watch(), K), PeerGroup::OneClub);
+        assert_eq!(
+            classify_peer(set(&[1, 2, 3]), false, false, watch(), K),
+            PeerGroup::OneClub
+        );
     }
 
     #[test]
     fn gifted_peers_stay_gifted() {
-        assert_eq!(classify_peer(set(&[0]), true, false, watch(), K), PeerGroup::Gifted);
+        assert_eq!(
+            classify_peer(set(&[0]), true, false, watch(), K),
+            PeerGroup::Gifted
+        );
         // even as a seed
-        assert_eq!(classify_peer(set(&[0, 1, 2, 3]), true, false, watch(), K), PeerGroup::Gifted);
+        assert_eq!(
+            classify_peer(set(&[0, 1, 2, 3]), true, false, watch(), K),
+            PeerGroup::Gifted
+        );
     }
 
     #[test]
     fn infected_peers_obtained_watch_after_arrival() {
-        assert_eq!(classify_peer(set(&[0, 1]), false, false, watch(), K), PeerGroup::Infected);
+        assert_eq!(
+            classify_peer(set(&[0, 1]), false, false, watch(), K),
+            PeerGroup::Infected
+        );
         // an infected peer that later completes is still infected
-        assert_eq!(classify_peer(set(&[0, 1, 2, 3]), false, false, watch(), K), PeerGroup::Infected);
+        assert_eq!(
+            classify_peer(set(&[0, 1, 2, 3]), false, false, watch(), K),
+            PeerGroup::Infected
+        );
     }
 
     #[test]
     fn former_one_club_requires_the_flag() {
-        assert_eq!(classify_peer(set(&[0, 1, 2, 3]), false, true, watch(), K), PeerGroup::FormerOneClub);
+        assert_eq!(
+            classify_peer(set(&[0, 1, 2, 3]), false, true, watch(), K),
+            PeerGroup::FormerOneClub
+        );
         // the flag has no effect while the peer is still missing the watch piece
-        assert_eq!(classify_peer(set(&[1, 2, 3]), false, true, watch(), K), PeerGroup::OneClub);
+        assert_eq!(
+            classify_peer(set(&[1, 2, 3]), false, true, watch(), K),
+            PeerGroup::OneClub
+        );
     }
 
     #[test]

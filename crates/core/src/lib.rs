@@ -52,8 +52,8 @@ pub mod lyapunov;
 mod model;
 mod params;
 pub mod rates;
-mod state;
 pub mod stability;
+mod state;
 
 pub mod coded;
 pub mod groups;

@@ -44,7 +44,9 @@ impl LyapunovParams {
     pub fn recommended(params: &SwarmParams) -> Result<Self, SwarmError> {
         let ratio = params.mu_over_gamma();
         if ratio >= 1.0 {
-            return Err(SwarmError::WrongRegime("the Lyapunov function of Sec. VII.A requires µ < γ".into()));
+            return Err(SwarmError::WrongRegime(
+                "the Lyapunov function of Sec. VII.A requires µ < γ".into(),
+            ));
         }
         let k = params.num_pieces() as f64;
         let alpha = 0.9;
@@ -85,13 +87,19 @@ impl LyapunovFunction {
     ///
     /// See [`LyapunovParams::recommended`].
     pub fn new(params: &SwarmParams) -> Result<Self, SwarmError> {
-        Ok(Self::with_params(params, LyapunovParams::recommended(params)?))
+        Ok(Self::with_params(
+            params,
+            LyapunovParams::recommended(params)?,
+        ))
     }
 
     /// Builds the function with explicit Lyapunov parameters.
     #[must_use]
     pub fn with_params(params: &SwarmParams, lyap: LyapunovParams) -> Self {
-        LyapunovFunction { params: params.clone(), lyap }
+        LyapunovFunction {
+            params: params.clone(),
+            lyap,
+        }
     }
 
     /// The Lyapunov parameters in use.
@@ -206,7 +214,12 @@ mod tests {
 
     #[test]
     fn phi_shape() {
-        let l = LyapunovParams { r: 0.1, d: 5.0, beta: 0.1, alpha: 0.9 };
+        let l = LyapunovParams {
+            r: 0.1,
+            d: 5.0,
+            beta: 0.1,
+            alpha: 0.9,
+        };
         // slope -1 region
         assert!((l.phi(0.0) - (10.0 + 5.0)).abs() < 1e-12);
         assert!((l.phi(1.0) - l.phi(0.0) + 1.0).abs() < 1e-12);
@@ -276,12 +289,18 @@ mod tests {
     #[test]
     fn drift_positive_on_large_one_club_outside_stability_region() {
         let p = unstable_params();
-        assert_eq!(crate::stability::classify(&p).verdict, crate::StabilityVerdict::Transient);
+        assert_eq!(
+            crate::stability::classify(&p).verdict,
+            crate::StabilityVerdict::Transient
+        );
         let model = SwarmModel::new(p.clone());
         let f = LyapunovFunction::new(&p).unwrap();
         let x = model.one_club_state(PieceId::new(0), 500);
         let d = f.drift(&model, &x);
-        assert!(d > 0.0, "drift {d} should be positive for a transient configuration");
+        assert!(
+            d > 0.0,
+            "drift {d} should be positive for a transient configuration"
+        );
     }
 
     #[test]

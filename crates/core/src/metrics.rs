@@ -148,7 +148,11 @@ mod tests {
 
     fn result() -> SimResult {
         SimResult {
-            snapshots: vec![snapshot(0.0, 10, 2), snapshot(5.0, 20, 12), snapshot(10.0, 30, 25)],
+            snapshots: vec![
+                snapshot(0.0, 10, 2),
+                snapshot(5.0, 20, 12),
+                snapshot(10.0, 30, 25),
+            ],
             sojourns: SojournStats::default(),
             transfers: 30,
             unsuccessful_contacts: 10,
@@ -183,7 +187,11 @@ mod tests {
     fn contact_success_fraction_computed() {
         let r = result();
         assert!((r.contact_success_fraction() - 0.75).abs() < 1e-12);
-        let empty = SimResult { transfers: 0, unsuccessful_contacts: 0, ..result() };
+        let empty = SimResult {
+            transfers: 0,
+            unsuccessful_contacts: 0,
+            ..result()
+        };
         assert_eq!(empty.contact_success_fraction(), 0.0);
     }
 }

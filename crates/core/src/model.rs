@@ -76,7 +76,12 @@ impl SwarmModel {
 
     /// Simulates the chain for `horizon` time units and returns the sample
     /// path of the total peer count.
-    pub fn simulate_peer_count<R: Rng + ?Sized>(&self, initial: SwarmState, horizon: f64, rng: &mut R) -> SamplePath {
+    pub fn simulate_peer_count<R: Rng + ?Sized>(
+        &self,
+        initial: SwarmState,
+        horizon: f64,
+        rng: &mut R,
+    ) -> SamplePath {
         let sim = Simulator::new(self).observe(|s: &SwarmState| s.total_peers() as f64);
         sim.run(initial, StopRule::at_time(horizon), rng).path
     }
@@ -92,7 +97,10 @@ impl SwarmModel {
     ) -> markov::classify::PathVerdict {
         let initial_n = initial.total_peers() as f64;
         let path = self.simulate_peer_count(initial, horizon, rng);
-        let classifier = PathClassifier::new(self.params.total_arrival_rate(), (3.0 * initial_n).max(30.0));
+        let classifier = PathClassifier::new(
+            self.params.total_arrival_rate(),
+            (3.0 * initial_n).max(30.0),
+        );
         classifier.classify(&path)
     }
 }
@@ -218,7 +226,10 @@ mod tests {
         // arrival + completion transfer
         assert_eq!(ts.len(), 2);
         // The completing transfer removes the peer from the system entirely.
-        let completion = ts.iter().find(|(next, _)| next.total_peers() == 0).expect("completion transition");
+        let completion = ts
+            .iter()
+            .find(|(next, _)| next.total_peers() == 0)
+            .expect("completion transition");
         // seed rate 1 / (K - |C|) = 1/1 → rate 1
         assert!((completion.1 - 1.0).abs() < 1e-12);
     }
@@ -232,10 +243,14 @@ mod tests {
         s.set_count(set(&[0, 1]), 1);
         let ts = transitions_of(&m, &s);
         // Check one specific transfer: ∅ → {1}.
-        let expected = crate::rates::transfer_rate(m.params(), &s, PieceSet::empty(), PieceId::new(0));
+        let expected =
+            crate::rates::transfer_rate(m.params(), &s, PieceSet::empty(), PieceId::new(0));
         let mut target = s.clone();
         target.move_peer(PieceSet::empty(), set(&[0]));
-        let found = ts.iter().find(|(next, _)| *next == target).expect("transition exists");
+        let found = ts
+            .iter()
+            .find(|(next, _)| *next == target)
+            .expect("transition exists");
         assert!((found.1 - expected).abs() < 1e-12);
     }
 
@@ -277,7 +292,11 @@ mod tests {
         let m = SwarmModel::new(params);
         let mut rng = StdRng::seed_from_u64(7);
         let verdict = m.simulate_and_classify(m.empty_state(), 2_000.0, &mut rng);
-        assert_eq!(verdict.class, markov::PathClass::Stable, "verdict {verdict:?}");
+        assert_eq!(
+            verdict.class,
+            markov::PathClass::Stable,
+            "verdict {verdict:?}"
+        );
     }
 
     #[test]
@@ -294,6 +313,10 @@ mod tests {
         let m = SwarmModel::new(params);
         let mut rng = StdRng::seed_from_u64(8);
         let verdict = m.simulate_and_classify(m.empty_state(), 1_000.0, &mut rng);
-        assert_eq!(verdict.class, markov::PathClass::Growing, "verdict {verdict:?}");
+        assert_eq!(
+            verdict.class,
+            markov::PathClass::Growing,
+            "verdict {verdict:?}"
+        );
     }
 }

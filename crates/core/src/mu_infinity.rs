@@ -47,10 +47,14 @@ impl MuInfinityProcess {
     /// (with `K = 1` there is no piece exchange to model).
     pub fn new(num_pieces: usize, lambda: f64) -> Result<Self, SwarmError> {
         if num_pieces < 2 {
-            return Err(SwarmError::InvalidParameter("the µ = ∞ process needs K ≥ 2".into()));
+            return Err(SwarmError::InvalidParameter(
+                "the µ = ∞ process needs K ≥ 2".into(),
+            ));
         }
         if !(lambda.is_finite() && lambda > 0.0) {
-            return Err(SwarmError::InvalidParameter(format!("λ = {lambda} must be finite and positive")));
+            return Err(SwarmError::InvalidParameter(format!(
+                "λ = {lambda} must be finite and positive"
+            )));
         }
         Ok(MuInfinityProcess { num_pieces, lambda })
     }
@@ -124,30 +128,57 @@ impl Ctmc for MuInfinityProcess {
         match *state {
             MuInfinityState::Empty => {
                 // Any arrival leaves a single peer holding its one piece.
-                out.push((MuInfinityState::Uniform { peers: 1, pieces: 1 }, k as f64 * lambda));
+                out.push((
+                    MuInfinityState::Uniform {
+                        peers: 1,
+                        pieces: 1,
+                    },
+                    k as f64 * lambda,
+                ));
             }
             MuInfinityState::Uniform { peers: n, pieces } if pieces < k - 1 => {
                 // Arrival with a piece the group already has: the newcomer
                 // instantly downloads everything the group holds.
-                out.push((MuInfinityState::Uniform { peers: n + 1, pieces }, pieces as f64 * lambda));
+                out.push((
+                    MuInfinityState::Uniform {
+                        peers: n + 1,
+                        pieces,
+                    },
+                    pieces as f64 * lambda,
+                ));
                 // Arrival with a new piece: after the fast exchange everyone
                 // holds `pieces + 1` pieces (nobody can complete yet).
                 out.push((
-                    MuInfinityState::Uniform { peers: n + 1, pieces: pieces + 1 },
+                    MuInfinityState::Uniform {
+                        peers: n + 1,
+                        pieces: pieces + 1,
+                    },
                     (k - pieces) as f64 * lambda,
                 ));
             }
             MuInfinityState::Uniform { peers: n, pieces } => {
                 debug_assert_eq!(pieces, k - 1);
                 // Arrival holding a piece the one club already has.
-                out.push((MuInfinityState::Uniform { peers: n + 1, pieces }, (k - 1) as f64 * lambda));
+                out.push((
+                    MuInfinityState::Uniform {
+                        peers: n + 1,
+                        pieces,
+                    },
+                    (k - 1) as f64 * lambda,
+                ));
                 // Arrival holding the missing piece: resolve the coin-flip
                 // exchange. Departing old peers: Z ≤ n−1 → (n − Z, K−1).
                 let mut remaining = 1.0;
                 for z in 0..n.min(MAX_Z_SUPPORT) {
                     let p = self.z_pmf(z);
                     remaining -= p;
-                    out.push((MuInfinityState::Uniform { peers: n - z, pieces }, lambda * p));
+                    out.push((
+                        MuInfinityState::Uniform {
+                            peers: n - z,
+                            pieces,
+                        },
+                        lambda * p,
+                    ));
                 }
                 // Z ≥ n (or beyond the enumeration cap): the old population is
                 // wiped out and the newcomer remains alone with 1 + t pieces.
@@ -164,12 +195,21 @@ impl Ctmc for MuInfinityProcess {
                             // Normalise within the takeover block so the total
                             // transition rate is exactly λ · remaining.
                             out.push((
-                                MuInfinityState::Uniform { peers: 1, pieces: 1 + t },
+                                MuInfinityState::Uniform {
+                                    peers: 1,
+                                    pieces: 1 + t,
+                                },
                                 lambda * remaining * p / takeover_total,
                             ));
                         }
                     } else {
-                        out.push((MuInfinityState::Uniform { peers: 1, pieces: 1 }, lambda * remaining));
+                        out.push((
+                            MuInfinityState::Uniform {
+                                peers: 1,
+                                pieces: 1,
+                            },
+                            lambda * remaining,
+                        ));
                     }
                 }
             }
@@ -215,15 +255,43 @@ mod tests {
         let mut out = Vec::new();
         p.transitions(&MuInfinityState::Empty, &mut out);
         assert_eq!(out.len(), 1);
-        assert_eq!(out[0].0, MuInfinityState::Uniform { peers: 1, pieces: 1 });
+        assert_eq!(
+            out[0].0,
+            MuInfinityState::Uniform {
+                peers: 1,
+                pieces: 1
+            }
+        );
         assert!((out[0].1 - 6.0).abs() < 1e-12);
 
         out.clear();
-        p.transitions(&MuInfinityState::Uniform { peers: 4, pieces: 1 }, &mut out);
+        p.transitions(
+            &MuInfinityState::Uniform {
+                peers: 4,
+                pieces: 1,
+            },
+            &mut out,
+        );
         // (5,1) at rate 1·λ = 2 and (5,2) at rate 2·λ = 4.
         assert_eq!(out.len(), 2);
-        let up_same = out.iter().find(|(s, _)| *s == MuInfinityState::Uniform { peers: 5, pieces: 1 }).unwrap();
-        let up_next = out.iter().find(|(s, _)| *s == MuInfinityState::Uniform { peers: 5, pieces: 2 }).unwrap();
+        let up_same = out
+            .iter()
+            .find(|(s, _)| {
+                *s == MuInfinityState::Uniform {
+                    peers: 5,
+                    pieces: 1,
+                }
+            })
+            .unwrap();
+        let up_next = out
+            .iter()
+            .find(|(s, _)| {
+                *s == MuInfinityState::Uniform {
+                    peers: 5,
+                    pieces: 2,
+                }
+            })
+            .unwrap();
         assert!((up_same.1 - 2.0).abs() < 1e-12);
         assert!((up_next.1 - 4.0).abs() < 1e-12);
     }
@@ -233,7 +301,10 @@ mod tests {
         // Total outgoing rate from any top-layer state is (K−1)λ + λ = Kλ.
         let p = MuInfinityProcess::new(3, 1.5).unwrap();
         for n in [1u64, 2, 5, 40] {
-            let rate = p.total_rate(&MuInfinityState::Uniform { peers: n, pieces: 2 });
+            let rate = p.total_rate(&MuInfinityState::Uniform {
+                peers: n,
+                pieces: 2,
+            });
             assert!((rate - 4.5).abs() < 1e-9, "n = {n}: rate {rate}");
         }
     }
@@ -244,7 +315,10 @@ mod tests {
         // (K−1)λ·(+1) + λ·E[−Z] = 0.
         let p = MuInfinityProcess::new(4, 1.0).unwrap();
         let n = 200u64;
-        let state = MuInfinityState::Uniform { peers: n, pieces: 3 };
+        let state = MuInfinityState::Uniform {
+            peers: n,
+            pieces: 3,
+        };
         let drift = markov::drift::drift(&p, &state, |s| peers_of(s) as f64);
         assert!(drift.abs() < 1e-6, "drift {drift}");
     }
@@ -256,7 +330,10 @@ mod tests {
         // P(Z >= n) should equal the total takeover probability.
         let p_wipe: f64 = 1.0 - (0..n).map(|z| p.z_pmf(z)).sum::<f64>();
         let takeover_total: f64 = (0..=(5 - 2)).map(|t| p.takeover_pmf(n, t)).sum();
-        assert!((p_wipe - takeover_total).abs() < 1e-9, "{p_wipe} vs {takeover_total}");
+        assert!(
+            (p_wipe - takeover_total).abs() < 1e-9,
+            "{p_wipe} vs {takeover_total}"
+        );
         assert_eq!(p.takeover_pmf(n, 10), 0.0);
     }
 
@@ -268,16 +345,26 @@ mod tests {
         let p = MuInfinityProcess::new(3, 1.0).unwrap();
         let mut rng = StdRng::seed_from_u64(5);
         let sim = Simulator::new(&p).observe(|s| peers_of(s) as f64);
-        let run = sim.run(MuInfinityState::Empty, StopRule::time_or_events(200_000.0, 2_000_000), &mut rng);
+        let run = sim.run(
+            MuInfinityState::Empty,
+            StopRule::time_or_events(200_000.0, 2_000_000),
+            &mut rng,
+        );
         let path = &run.path;
-        assert!(path.upcrossings_of(3.0) > 50, "many returns near the origin");
+        assert!(
+            path.upcrossings_of(3.0) > 50,
+            "many returns near the origin"
+        );
         let early_max = path
             .resample(1000)
             .iter()
             .take(500)
             .map(|&(_, v)| v)
             .fold(0.0_f64, f64::max);
-        assert!(path.max_value() > early_max, "the excursion maxima keep growing");
+        assert!(
+            path.max_value() > early_max,
+            "the excursion maxima keep growing"
+        );
     }
 
     #[test]

@@ -129,7 +129,10 @@ impl SwarmParams {
 
     /// Iterates over the configured `(type, rate)` pairs with positive rate.
     pub fn arrivals(&self) -> impl Iterator<Item = (PieceSet, f64)> + '_ {
-        self.arrivals.iter().filter(|(_, &r)| r > 0.0).map(|(&c, &r)| (c, r))
+        self.arrivals
+            .iter()
+            .filter(|(_, &r)| r > 0.0)
+            .map(|(&c, &r)| (c, r))
     }
 
     /// Total arrival rate `λ_total = Σ_C λ_C`.
@@ -142,7 +145,10 @@ impl SwarmParams {
     /// (the "gifted" arrival rate for that piece).
     #[must_use]
     pub fn arrival_rate_with_piece(&self, piece: pieceset::PieceId) -> f64 {
-        self.arrivals().filter(|(c, _)| c.contains(piece)).map(|(_, r)| r).sum()
+        self.arrivals()
+            .filter(|(c, _)| c.contains(piece))
+            .map(|(_, r)| r)
+            .sum()
     }
 
     /// Total arrival rate of peers whose initial collection lacks piece `k`.
@@ -202,7 +208,11 @@ impl SwarmParamsBuilder {
     /// departure).
     #[must_use]
     pub fn mean_seed_dwell(mut self, dwell: f64) -> Self {
-        self.seed_departure_rate = if dwell <= 0.0 { f64::INFINITY } else { 1.0 / dwell };
+        self.seed_departure_rate = if dwell <= 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / dwell
+        };
         self
     }
 
@@ -242,7 +252,7 @@ impl SwarmParamsBuilder {
                 self.seed_rate
             )));
         }
-        if !(self.seed_departure_rate > 0.0) {
+        if self.seed_departure_rate.is_nan() || self.seed_departure_rate <= 0.0 {
             return Err(SwarmError::InvalidParameter(format!(
                 "seed departure rate γ = {} must be positive (use infinity for immediate departure)",
                 self.seed_departure_rate
@@ -266,7 +276,9 @@ impl SwarmParamsBuilder {
             total += rate;
         }
         if total <= 0.0 {
-            return Err(SwarmError::InvalidParameter("the total arrival rate λ_total must be positive".into()));
+            return Err(SwarmError::InvalidParameter(
+                "the total arrival rate λ_total must be positive".into(),
+            ));
         }
         if self.seed_departure_rate.is_infinite() {
             let full = PieceSet::full(self.num_pieces);
@@ -327,21 +339,36 @@ mod tests {
 
     #[test]
     fn mean_seed_dwell_setter() {
-        let p = SwarmParams::builder(2).fresh_arrivals(1.0).mean_seed_dwell(0.5).build().unwrap();
+        let p = SwarmParams::builder(2)
+            .fresh_arrivals(1.0)
+            .mean_seed_dwell(0.5)
+            .build()
+            .unwrap();
         assert_eq!(p.seed_departure_rate(), 2.0);
-        let p = SwarmParams::builder(2).fresh_arrivals(1.0).mean_seed_dwell(0.0).build().unwrap();
+        let p = SwarmParams::builder(2)
+            .fresh_arrivals(1.0)
+            .mean_seed_dwell(0.0)
+            .build()
+            .unwrap();
         assert!(p.departs_immediately());
     }
 
     #[test]
     fn piece_entry_checks() {
         // No seed; arrivals hold only piece 1 → piece 2 can never enter.
-        let p = SwarmParams::builder(2).arrival(set(&[0]), 1.0).build().unwrap();
+        let p = SwarmParams::builder(2)
+            .arrival(set(&[0]), 1.0)
+            .build()
+            .unwrap();
         assert!(p.piece_can_enter(PieceId::new(0)));
         assert!(!p.piece_can_enter(PieceId::new(1)));
         assert!(!p.all_pieces_can_enter());
         // With a fixed seed every piece can enter.
-        let p = SwarmParams::builder(2).seed_rate(0.1).arrival(set(&[0]), 1.0).build().unwrap();
+        let p = SwarmParams::builder(2)
+            .seed_rate(0.1)
+            .arrival(set(&[0]), 1.0)
+            .build()
+            .unwrap();
         assert!(p.all_pieces_can_enter());
     }
 
@@ -361,20 +388,49 @@ mod tests {
     #[test]
     fn validation_rejects_bad_parameters() {
         assert!(SwarmParams::builder(0).fresh_arrivals(1.0).build().is_err());
-        assert!(SwarmParams::builder(2).contact_rate(0.0).fresh_arrivals(1.0).build().is_err());
-        assert!(SwarmParams::builder(2).contact_rate(f64::INFINITY).fresh_arrivals(1.0).build().is_err());
-        assert!(SwarmParams::builder(2).seed_rate(-1.0).fresh_arrivals(1.0).build().is_err());
-        assert!(SwarmParams::builder(2).seed_departure_rate(0.0).fresh_arrivals(1.0).build().is_err());
-        assert!(SwarmParams::builder(2).seed_departure_rate(-3.0).fresh_arrivals(1.0).build().is_err());
+        assert!(SwarmParams::builder(2)
+            .contact_rate(0.0)
+            .fresh_arrivals(1.0)
+            .build()
+            .is_err());
+        assert!(SwarmParams::builder(2)
+            .contact_rate(f64::INFINITY)
+            .fresh_arrivals(1.0)
+            .build()
+            .is_err());
+        assert!(SwarmParams::builder(2)
+            .seed_rate(-1.0)
+            .fresh_arrivals(1.0)
+            .build()
+            .is_err());
+        assert!(SwarmParams::builder(2)
+            .seed_departure_rate(0.0)
+            .fresh_arrivals(1.0)
+            .build()
+            .is_err());
+        assert!(SwarmParams::builder(2)
+            .seed_departure_rate(-3.0)
+            .fresh_arrivals(1.0)
+            .build()
+            .is_err());
         // zero total arrivals
         assert!(SwarmParams::builder(2).build().is_err());
         assert!(SwarmParams::builder(2).fresh_arrivals(0.0).build().is_err());
         // negative arrival rate
-        assert!(SwarmParams::builder(2).fresh_arrivals(-1.0).build().is_err());
+        assert!(SwarmParams::builder(2)
+            .fresh_arrivals(-1.0)
+            .build()
+            .is_err());
         // arrival type outside the file
-        assert!(SwarmParams::builder(2).arrival(set(&[5]), 1.0).build().is_err());
+        assert!(SwarmParams::builder(2)
+            .arrival(set(&[5]), 1.0)
+            .build()
+            .is_err());
         // λ_F > 0 with γ = ∞
-        assert!(SwarmParams::builder(2).arrival(set(&[0, 1]), 1.0).build().is_err());
+        assert!(SwarmParams::builder(2)
+            .arrival(set(&[0, 1]), 1.0)
+            .build()
+            .is_err());
         // ... but λ_F > 0 with finite γ is fine
         assert!(SwarmParams::builder(2)
             .seed_departure_rate(1.0)

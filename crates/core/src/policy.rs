@@ -21,7 +21,12 @@ pub trait PiecePolicy: Send + Sync {
     /// Chooses a piece from `useful` (never empty). `piece_copies[i]` is the
     /// number of peers currently holding piece `i` (swarm-wide), allowing
     /// rarest-first style decisions.
-    fn select(&self, useful: PieceSet, piece_copies: &[u64], rng: &mut dyn rand::RngCore) -> PieceId;
+    fn select(
+        &self,
+        useful: PieceSet,
+        piece_copies: &[u64],
+        rng: &mut dyn rand::RngCore,
+    ) -> PieceId;
 
     /// Short human-readable name used in reports.
     fn name(&self) -> &'static str;
@@ -32,7 +37,12 @@ pub trait PiecePolicy: Send + Sync {
 pub struct RandomUseful;
 
 impl PiecePolicy for RandomUseful {
-    fn select(&self, useful: PieceSet, _piece_copies: &[u64], rng: &mut dyn rand::RngCore) -> PieceId {
+    fn select(
+        &self,
+        useful: PieceSet,
+        _piece_copies: &[u64],
+        rng: &mut dyn rand::RngCore,
+    ) -> PieceId {
         let count = useful.len();
         debug_assert!(count > 0, "policy invoked with no useful piece");
         let idx = rng.gen_range(0..count);
@@ -51,7 +61,12 @@ impl PiecePolicy for RandomUseful {
 pub struct RarestFirst;
 
 impl PiecePolicy for RarestFirst {
-    fn select(&self, useful: PieceSet, piece_copies: &[u64], rng: &mut dyn rand::RngCore) -> PieceId {
+    fn select(
+        &self,
+        useful: PieceSet,
+        piece_copies: &[u64],
+        rng: &mut dyn rand::RngCore,
+    ) -> PieceId {
         let min_copies = useful
             .iter()
             .map(|p| piece_copies.get(p.index()).copied().unwrap_or(0))
@@ -75,7 +90,12 @@ impl PiecePolicy for RarestFirst {
 pub struct Sequential;
 
 impl PiecePolicy for Sequential {
-    fn select(&self, useful: PieceSet, _piece_copies: &[u64], _rng: &mut dyn rand::RngCore) -> PieceId {
+    fn select(
+        &self,
+        useful: PieceSet,
+        _piece_copies: &[u64],
+        _rng: &mut dyn rand::RngCore,
+    ) -> PieceId {
         useful.first().expect("non-empty useful set")
     }
 
@@ -92,7 +112,12 @@ impl PiecePolicy for Sequential {
 pub struct MostCommonFirst;
 
 impl PiecePolicy for MostCommonFirst {
-    fn select(&self, useful: PieceSet, piece_copies: &[u64], rng: &mut dyn rand::RngCore) -> PieceId {
+    fn select(
+        &self,
+        useful: PieceSet,
+        piece_copies: &[u64],
+        rng: &mut dyn rand::RngCore,
+    ) -> PieceId {
         let max_copies = useful
             .iter()
             .map(|p| piece_copies.get(p.index()).copied().unwrap_or(0))
@@ -190,7 +215,12 @@ mod tests {
 
     #[test]
     fn policies_resolvable_by_name() {
-        for name in ["random-useful", "rarest-first", "sequential", "most-common-first"] {
+        for name in [
+            "random-useful",
+            "rarest-first",
+            "sequential",
+            "most-common-first",
+        ] {
             let p = by_name(name).expect("known policy");
             assert_eq!(p.name(), name);
         }

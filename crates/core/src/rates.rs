@@ -107,12 +107,18 @@ mod tests {
         let params = params2(1.0, 1.0, 1.0);
         let space = TypeSpace::new(2).unwrap();
         let empty = SwarmState::empty(&space);
-        assert_eq!(transfer_rate(&params, &empty, PieceSet::empty(), PieceId::new(0)), 0.0);
+        assert_eq!(
+            transfer_rate(&params, &empty, PieceSet::empty(), PieceId::new(0)),
+            0.0
+        );
         let mut s = SwarmState::empty(&space);
         s.add_peer(set(&[0]));
         assert_eq!(transfer_rate(&params, &s, set(&[0]), PieceId::new(0)), 0.0);
         // no type-∅ peers present
-        assert_eq!(transfer_rate(&params, &s, PieceSet::empty(), PieceId::new(1)), 0.0);
+        assert_eq!(
+            transfer_rate(&params, &s, PieceSet::empty(), PieceId::new(1)),
+            0.0
+        );
     }
 
     #[test]
@@ -192,7 +198,10 @@ mod tests {
         s.set_count(set(&[0, 1]), 1);
         let total = total_transfer_rate(&params, &s);
         let capacity = params.seed_rate() + params.contact_rate() * s.total_peers() as f64;
-        assert!(total <= capacity + 1e-12, "total {total} capacity {capacity}");
+        assert!(
+            total <= capacity + 1e-12,
+            "total {total} capacity {capacity}"
+        );
         assert!(total > 0.0);
     }
 

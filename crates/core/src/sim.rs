@@ -116,10 +116,16 @@ impl AgentSwarm {
                 config.retry_speedup
             )));
         }
-        if !(config.snapshot_interval > 0.0) {
-            return Err(SwarmError::InvalidParameter("snapshot interval must be positive".into()));
+        if config.snapshot_interval.is_nan() || config.snapshot_interval <= 0.0 {
+            return Err(SwarmError::InvalidParameter(
+                "snapshot interval must be positive".into(),
+            ));
         }
-        Ok(AgentSwarm { params, config, policy })
+        Ok(AgentSwarm {
+            params,
+            config,
+            policy,
+        })
     }
 
     /// The model parameters.
@@ -225,7 +231,6 @@ impl<'a> Engine<'a> {
         self.sim.params.full_type()
     }
 
-
     fn record_snapshot(&mut self, time: f64) {
         let watch = self.sim.config.watch_piece;
         let k = self.sim.params.num_pieces();
@@ -233,7 +238,13 @@ impl<'a> Engine<'a> {
         let mut groups = GroupCounts::default();
         let mut seeds = 0u64;
         for p in &self.peers {
-            groups.add(classify_peer(p.pieces, p.arrived_with_watch, p.was_one_club, watch, k));
+            groups.add(classify_peer(
+                p.pieces,
+                p.arrived_with_watch,
+                p.was_one_club,
+                watch,
+                k,
+            ));
             if p.pieces == full {
                 seeds += 1;
             }
@@ -368,7 +379,9 @@ impl<'a> Engine<'a> {
             }
         };
         let target = rng.gen_range(0..n);
-        let useful = self.peers[uploader].pieces.difference(self.peers[target].pieces);
+        let useful = self.peers[uploader]
+            .pieces
+            .difference(self.peers[target].pieces);
         if useful.is_empty() {
             self.unsuccessful += 1;
             if eta > 1.0 && !self.peers[uploader].boosted {
@@ -432,7 +445,10 @@ impl<'a> Engine<'a> {
             }
         }
         let seeds: Vec<usize> = (0..n).filter(|&i| self.peers[i].pieces == full).collect();
-        if let Some(&i) = seeds.get(rng.gen_range(0..seeds.len().max(1)).min(seeds.len().saturating_sub(1))) {
+        if let Some(&i) = seeds.get(
+            rng.gen_range(0..seeds.len().max(1))
+                .min(seeds.len().saturating_sub(1)),
+        ) {
             self.depart(i);
         }
     }
@@ -460,7 +476,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn params(k: usize, us: f64, mu: f64, gamma: f64, lambda0: f64) -> SwarmParams {
-        let mut b = SwarmParams::builder(k).seed_rate(us).contact_rate(mu).fresh_arrivals(lambda0);
+        let mut b = SwarmParams::builder(k)
+            .seed_rate(us)
+            .contact_rate(mu)
+            .fresh_arrivals(lambda0);
         if gamma.is_finite() {
             b = b.seed_departure_rate(gamma);
         }
@@ -470,11 +489,20 @@ mod tests {
     #[test]
     fn config_validation() {
         let p = params(2, 1.0, 1.0, 1.0, 1.0);
-        let bad_watch = AgentConfig { watch_piece: PieceId::new(5), ..Default::default() };
+        let bad_watch = AgentConfig {
+            watch_piece: PieceId::new(5),
+            ..Default::default()
+        };
         assert!(AgentSwarm::with_config(p.clone(), bad_watch, Box::new(RandomUseful)).is_err());
-        let bad_eta = AgentConfig { retry_speedup: 0.5, ..Default::default() };
+        let bad_eta = AgentConfig {
+            retry_speedup: 0.5,
+            ..Default::default()
+        };
         assert!(AgentSwarm::with_config(p.clone(), bad_eta, Box::new(RandomUseful)).is_err());
-        let bad_snap = AgentConfig { snapshot_interval: 0.0, ..Default::default() };
+        let bad_snap = AgentConfig {
+            snapshot_interval: 0.0,
+            ..Default::default()
+        };
         assert!(AgentSwarm::with_config(p.clone(), bad_snap, Box::new(RandomUseful)).is_err());
         assert!(AgentSwarm::new(p).is_ok());
     }
@@ -489,7 +517,10 @@ mod tests {
         let path = result.peer_count_path();
         let classifier = markov::PathClassifier::new(1.0, 30.0);
         assert_eq!(classifier.classify(&path).class, markov::PathClass::Stable);
-        assert!(result.sojourns.departures > 100, "plenty of peers complete and leave");
+        assert!(
+            result.sojourns.departures > 100,
+            "plenty of peers complete and leave"
+        );
     }
 
     #[test]
@@ -502,14 +533,21 @@ mod tests {
         let result = sim.run(&[], 1_500.0, &mut rng);
         let trend = result.peer_count_path().trend(0.5);
         assert!(trend.slope > 1.0, "slope {}", trend.slope);
-        assert!((trend.slope - 2.0).abs() < 0.7, "slope {} should be near 2", trend.slope);
+        assert!(
+            (trend.slope - 2.0).abs() < 0.7,
+            "slope {} should be near 2",
+            trend.slope
+        );
     }
 
     #[test]
     fn one_club_initial_condition_grows_when_unstable() {
         // K = 3, no seed help for the watch piece beyond a weak fixed seed.
         let p = params(3, 0.2, 1.0, 4.0, 3.0);
-        assert_eq!(crate::stability::classify(&p).verdict, crate::StabilityVerdict::Transient);
+        assert_eq!(
+            crate::stability::classify(&p).verdict,
+            crate::StabilityVerdict::Transient
+        );
         let sim = AgentSwarm::new(p).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         let result = sim.run_from_one_club(100, 500.0, &mut rng);
@@ -537,10 +575,18 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let result = sim.run(&[], 500.0, &mut rng);
         for snap in &result.snapshots {
-            assert_eq!(snap.groups.total(), snap.total_peers, "groups partition peers at t = {}", snap.time);
+            assert_eq!(
+                snap.groups.total(),
+                snap.total_peers,
+                "groups partition peers at t = {}",
+                snap.time
+            );
         }
         // gifted peers exist because some arrivals carry the watch piece
-        assert!(result.final_snapshot().groups.gifted > 0 || result.snapshots.iter().any(|s| s.groups.gifted > 0));
+        assert!(
+            result.final_snapshot().groups.gifted > 0
+                || result.snapshots.iter().any(|s| s.groups.gifted > 0)
+        );
     }
 
     #[test]
@@ -556,7 +602,10 @@ mod tests {
             assert!(s.arrivals_without_watch >= prev_a);
             prev_d = s.watch_piece_downloads;
             prev_a = s.arrivals_without_watch;
-            assert!(s.watch_piece_copies <= s.total_peers, "at most one copy per peer");
+            assert!(
+                s.watch_piece_copies <= s.total_peers,
+                "at most one copy per peer"
+            );
         }
         assert!(result.transfers > 0);
         assert!(result.events > 0);
@@ -587,8 +636,12 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(7);
             let result = sim.run(&[], 1_000.0, &mut rng);
             let classifier = markov::PathClassifier::new(1.0, 40.0);
-            assert_eq!(classifier.classify(&result.peer_count_path()).class, markov::PathClass::Stable,
-                "policy {}", sim.policy_name());
+            assert_eq!(
+                classifier.classify(&result.peer_count_path()).class,
+                markov::PathClass::Stable,
+                "policy {}",
+                sim.policy_name()
+            );
         }
     }
 
@@ -598,9 +651,14 @@ mod tests {
         // unsuccessful contacts grows relative to the base model.
         let p = params(1, 0.2, 1.0, 2.0, 2.0);
         let mut rng = StdRng::seed_from_u64(8);
-        let base = AgentSwarm::new(p.clone()).unwrap().run(&[], 500.0, &mut rng);
+        let base = AgentSwarm::new(p.clone())
+            .unwrap()
+            .run(&[], 500.0, &mut rng);
         let mut rng = StdRng::seed_from_u64(8);
-        let boosted_cfg = AgentConfig { retry_speedup: 10.0, ..Default::default() };
+        let boosted_cfg = AgentConfig {
+            retry_speedup: 10.0,
+            ..Default::default()
+        };
         let boosted = AgentSwarm::with_config(p, boosted_cfg, Box::new(RandomUseful))
             .unwrap()
             .run(&[], 500.0, &mut rng);

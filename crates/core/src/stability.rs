@@ -83,13 +83,21 @@ pub fn piece_threshold(params: &SwarmParams, piece: PieceId) -> Result<f64, Swar
 pub fn delta(params: &SwarmParams, s: PieceSet) -> Result<f64, SwarmError> {
     let ratio = params.mu_over_gamma();
     if ratio >= 1.0 {
-        return Err(SwarmError::WrongRegime(format!("Δ_S requires µ < γ, but µ/γ = {ratio}")));
+        return Err(SwarmError::WrongRegime(format!(
+            "Δ_S requires µ < γ, but µ/γ = {ratio}"
+        )));
     }
     if s == params.full_type() {
-        return Err(SwarmError::InvalidParameter("Δ_S is defined for S ⊊ F only".into()));
+        return Err(SwarmError::InvalidParameter(
+            "Δ_S is defined for S ⊊ F only".into(),
+        ));
     }
     let k = params.num_pieces() as f64;
-    let inflow: f64 = params.arrivals().filter(|(c, _)| c.is_subset_of(s)).map(|(_, r)| r).sum();
+    let inflow: f64 = params
+        .arrivals()
+        .filter(|(c, _)| c.is_subset_of(s))
+        .map(|(_, r)| r)
+        .sum();
     let help: f64 = params
         .arrivals()
         .filter(|(c, _)| !c.is_subset_of(s))
@@ -178,7 +186,11 @@ pub fn critical_arrival_scale(params: &SwarmParams) -> f64 {
     let mu = params.contact_rate();
     let gamma = params.seed_departure_rate();
     if gamma <= mu {
-        return if params.all_pieces_can_enter() { f64::INFINITY } else { 0.0 };
+        return if params.all_pieces_can_enter() {
+            f64::INFINITY
+        } else {
+            0.0
+        };
     }
     let ratio = params.mu_over_gamma();
     let k = params.num_pieces() as f64;
@@ -215,7 +227,9 @@ pub fn critical_arrival_scale(params: &SwarmParams) -> f64 {
 pub fn critical_seed_rate(params: &SwarmParams) -> Result<f64, SwarmError> {
     let ratio = params.mu_over_gamma();
     if ratio >= 1.0 {
-        return Err(SwarmError::WrongRegime("in the γ ≤ µ regime any positive seed rate stabilises the system".into()));
+        return Err(SwarmError::WrongRegime(
+            "in the γ ≤ µ regime any positive seed rate stabilises the system".into(),
+        ));
     }
     let k = params.num_pieces() as f64;
     let lambda_total = params.total_arrival_rate();
@@ -344,13 +358,25 @@ mod tests {
     #[test]
     fn example2_region_matches_paper() {
         // Stable point: λ12 = 1, λ34 = 0.8 (1 < 1.6 and 0.8 < 2).
-        assert_eq!(classify(&example2(1.0, 0.8)).verdict, StabilityVerdict::PositiveRecurrent);
+        assert_eq!(
+            classify(&example2(1.0, 0.8)).verdict,
+            StabilityVerdict::PositiveRecurrent
+        );
         // Unstable: λ12 = 3, λ34 = 1 (3 > 2).
-        assert_eq!(classify(&example2(3.0, 1.0)).verdict, StabilityVerdict::Transient);
+        assert_eq!(
+            classify(&example2(3.0, 1.0)).verdict,
+            StabilityVerdict::Transient
+        );
         // Unstable the other way.
-        assert_eq!(classify(&example2(1.0, 3.0)).verdict, StabilityVerdict::Transient);
+        assert_eq!(
+            classify(&example2(1.0, 3.0)).verdict,
+            StabilityVerdict::Transient
+        );
         // Borderline: λ12 = 2 λ34 exactly.
-        assert_eq!(classify(&example2(2.0, 1.0)).verdict, StabilityVerdict::Borderline);
+        assert_eq!(
+            classify(&example2(2.0, 1.0)).verdict,
+            StabilityVerdict::Borderline
+        );
     }
 
     #[test]
@@ -382,7 +408,7 @@ mod tests {
         let mu = 1.0;
         let gamma = 2.0;
         let factor = (2.0 + mu / gamma) / (1.0 - mu / gamma); // (2 + µ/γ)/(1 − µ/γ) = 5
-        // Symmetric rates are stable (λ1 + λ2 = 2 < 5 λ3 = 5).
+                                                              // Symmetric rates are stable (λ1 + λ2 = 2 < 5 λ3 = 5).
         let p = example3(1.0, 1.0, 1.0, mu, gamma);
         assert_eq!(classify(&p).verdict, StabilityVerdict::PositiveRecurrent);
         // Strongly asymmetric rates violate λ1 + λ2 < factor λ3.
@@ -415,7 +441,11 @@ mod tests {
             let piece = PieceId::new(i);
             let d = delta(&p, p.full_type().without(piece)).unwrap();
             let t = piece_threshold(&p, piece).unwrap();
-            assert_eq!(d < 0.0, p.total_arrival_rate() < t, "piece {i}: Δ = {d}, threshold = {t}");
+            assert_eq!(
+                d < 0.0,
+                p.total_arrival_rate() < t,
+                "piece {i}: Δ = {d}, threshold = {t}"
+            );
         }
     }
 
@@ -438,7 +468,11 @@ mod tests {
         let d3 = ds.iter().find(|(p, _)| p.index() == 2).unwrap().1;
         for (piece, d) in &ds {
             if piece.index() != 2 {
-                assert!(*d <= d3, "Δ for piece {} = {d} should not exceed {d3}", piece.index());
+                assert!(
+                    *d <= d3,
+                    "Δ for piece {} = {d} should not exceed {d3}",
+                    piece.index()
+                );
             }
         }
     }

@@ -33,7 +33,9 @@ impl SwarmState {
     /// The empty system (no peers) for the given type space.
     #[must_use]
     pub fn empty(space: &TypeSpace) -> Self {
-        SwarmState { counts: vec![0; space.num_types()] }
+        SwarmState {
+            counts: vec![0; space.num_types()],
+        }
     }
 
     /// A state with `n` peers all of type `c` ("heavy load" initial
@@ -169,7 +171,11 @@ impl SwarmState {
     /// number of peers of type `F − {k}`.
     #[must_use]
     pub fn largest_one_club(&self, space: &TypeSpace) -> u32 {
-        space.one_club_types().map(|c| self.count(c)).max().unwrap_or(0)
+        space
+            .one_club_types()
+            .map(|c| self.count(c))
+            .max()
+            .unwrap_or(0)
     }
 }
 

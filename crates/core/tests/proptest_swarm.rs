@@ -8,8 +8,14 @@ use swarm::lyapunov::LyapunovFunction;
 use swarm::{rates, stability, SwarmParams, SwarmState};
 
 fn arb_small_params() -> impl Strategy<Value = SwarmParams> {
-    (2usize..=4, 0.0f64..2.0, 0.2f64..2.0, 1.1f64..6.0, 0.1f64..3.0).prop_map(
-        |(k, us, mu, gamma_over_mu, lambda0)| {
+    (
+        2usize..=4,
+        0.0f64..2.0,
+        0.2f64..2.0,
+        1.1f64..6.0,
+        0.1f64..3.0,
+    )
+        .prop_map(|(k, us, mu, gamma_over_mu, lambda0)| {
             SwarmParams::builder(k)
                 .seed_rate(us)
                 .contact_rate(mu)
@@ -17,8 +23,7 @@ fn arb_small_params() -> impl Strategy<Value = SwarmParams> {
                 .fresh_arrivals(lambda0)
                 .build()
                 .expect("valid parameters")
-        },
-    )
+        })
 }
 
 fn state_from_counts(k: usize, counts: &[u32]) -> SwarmState {

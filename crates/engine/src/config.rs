@@ -1,0 +1,127 @@
+//! Engine configuration: replication budget, horizon, seeding, parallelism.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a Monte-Carlo batch run.
+///
+/// The worker count ([`EngineConfig::jobs`]) affects scheduling only; for a
+/// fixed `master_seed` every aggregate the engine reports is bit-for-bit
+/// identical at any `jobs` value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Replications simulated per scenario (the Monte-Carlo sample size).
+    pub replications: u32,
+    /// Simulated horizon per replication.
+    pub horizon: f64,
+    /// Master seed; every replication derives its own independent stream
+    /// from `(master_seed, scenario id, replication id)`.
+    pub master_seed: u64,
+    /// Worker threads (0 = one per available core).
+    pub jobs: usize,
+    /// Initial one-club size (0 = start from an empty system).
+    pub initial_one_club: u32,
+    /// Confidence level of the reported intervals (e.g. `0.95`).
+    pub confidence: f64,
+    /// Report batch progress on stderr.
+    pub progress: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            replications: 8,
+            horizon: 2_000.0,
+            master_seed: 0x5EED_0CAF_E5EE_D000,
+            jobs: 0,
+            initial_one_club: 0,
+            confidence: 0.95,
+            progress: false,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Sets the replication count (clamped to at least 1).
+    #[must_use]
+    pub fn with_replications(mut self, replications: u32) -> Self {
+        self.replications = replications.max(1);
+        self
+    }
+
+    /// Sets the simulated horizon per replication.
+    #[must_use]
+    pub fn with_horizon(mut self, horizon: f64) -> Self {
+        assert!(horizon > 0.0, "horizon must be positive");
+        self.horizon = horizon;
+        self
+    }
+
+    /// Sets the master seed.
+    #[must_use]
+    pub fn with_master_seed(mut self, master_seed: u64) -> Self {
+        self.master_seed = master_seed;
+        self
+    }
+
+    /// Sets the worker-thread count (0 = one per available core).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Sets the initial one-club size.
+    #[must_use]
+    pub fn with_initial_one_club(mut self, peers: u32) -> Self {
+        self.initial_one_club = peers;
+        self
+    }
+
+    /// Sets the confidence level of reported intervals.
+    #[must_use]
+    pub fn with_confidence(mut self, confidence: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&confidence),
+            "confidence must be in (0, 1)"
+        );
+        self.confidence = confidence;
+        self
+    }
+
+    /// Enables or disables stderr progress reporting.
+    #[must_use]
+    pub fn with_progress(mut self, progress: bool) -> Self {
+        self.progress = progress;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_methods_compose() {
+        let config = EngineConfig::default()
+            .with_replications(0)
+            .with_horizon(10.0)
+            .with_master_seed(1)
+            .with_jobs(3)
+            .with_initial_one_club(5)
+            .with_confidence(0.9)
+            .with_progress(true);
+        assert_eq!(config.replications, 1, "clamped to at least one");
+        assert_eq!(config.horizon, 10.0);
+        assert_eq!(config.master_seed, 1);
+        assert_eq!(config.jobs, 3);
+        assert_eq!(config.initial_one_club, 5);
+        assert_eq!(config.confidence, 0.9);
+        assert!(config.progress);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence")]
+    fn confidence_must_be_a_probability() {
+        let _ = EngineConfig::default().with_confidence(1.0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Parallel Monte-Carlo replication engine for the Zhu–Hajek reproduction.
+//!
+//! The paper's verdicts (Theorem 1/14/15) are checked against *simulated*
+//! sample paths, and near the stability boundary a single finite-horizon
+//! replication is noise: the same parameter point can classify as `Stable`
+//! or `Growing` depending on one exponential draw. This crate is the
+//! workspace's scale-and-speed substrate for doing that comparison honestly:
+//!
+//! * [`replicate`] — runs **batches of replications** per scenario and
+//!   aggregates them into majority-vote verdicts with streaming statistics,
+//! * [`rng`] — deterministic per-replication ChaCha streams keyed by
+//!   `(master seed, scenario id, replication id)`, so a batch's results are
+//!   bit-for-bit reproducible at *any* worker count,
+//! * [`stats`] — Welford mean/variance, min/max, and normal-approximation
+//!   confidence intervals, merged in a fixed order independent of thread
+//!   scheduling,
+//! * [`grid`] — sweeps `(λ₀, µ, γ, K)` rectangles into phase-diagram
+//!   tables with per-cell majority verdicts,
+//! * [`artifact`] — CSV and JSON emitters for batch and grid results,
+//! * [`progress`] — a thread-safe completed-replication counter.
+//!
+//! Parallelism is rayon-style data parallelism over the flat
+//! `(scenario, replication)` task list; the worker count only changes the
+//! schedule, never the numbers.
+//!
+//! # Example
+//!
+//! ```
+//! use engine::{EngineConfig, Scenario, run_batch};
+//! use swarm::SwarmParams;
+//!
+//! let params = SwarmParams::builder(1)
+//!     .seed_rate(1.0)
+//!     .contact_rate(1.0)
+//!     .seed_departure_rate(2.0)
+//!     .fresh_arrivals(1.0)
+//!     .build()?;
+//! let scenarios = vec![Scenario::new(0, "example-1 stable", params)];
+//! let config = EngineConfig::default()
+//!     .with_replications(4)
+//!     .with_horizon(300.0)
+//!     .with_master_seed(7)
+//!     .with_jobs(2);
+//! let outcomes = run_batch(&scenarios, &config);
+//! assert_eq!(outcomes.len(), 1);
+//! assert_eq!(outcomes[0].votes.total(), 4);
+//! # Ok::<(), swarm::SwarmError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod artifact;
+pub mod config;
+pub mod grid;
+pub mod progress;
+pub mod replicate;
+pub mod rng;
+pub mod stats;
+
+pub use config::EngineConfig;
+pub use grid::{run_grid, Axis, GridSpec, PhaseCell, PhaseDiagram};
+pub use replicate::{
+    run_batch, run_replication, run_replication_on, verdict_agrees, ClassVotes, ReplicationOutcome,
+    Scenario, ScenarioOutcome,
+};
+pub use rng::{derive_seed, replication_rng};
+pub use stats::{Estimate, Welford};

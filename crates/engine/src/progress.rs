@@ -1,0 +1,79 @@
+//! Thread-safe progress reporting for long batches.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A completed-replication counter shared by the batch workers. Reports to
+/// stderr at (roughly) decile boundaries when enabled; a disabled counter
+/// still counts, so callers can read totals either way.
+#[derive(Debug)]
+pub struct Progress {
+    label: String,
+    total: u64,
+    done: AtomicU64,
+    enabled: bool,
+}
+
+impl Progress {
+    /// A counter expecting `total` completions.
+    #[must_use]
+    pub fn new(label: impl Into<String>, total: u64, enabled: bool) -> Self {
+        Progress {
+            label: label.into(),
+            total,
+            done: AtomicU64::new(0),
+            enabled,
+        }
+    }
+
+    /// Records one completion (called from worker threads).
+    pub fn tick(&self) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if !self.enabled || self.total == 0 {
+            return;
+        }
+        // Report when `done` crosses a decile of the total (cheap integer
+        // check, no time source needed).
+        let decile = self.total.div_ceil(10);
+        if done == self.total || done.is_multiple_of(decile) {
+            eprintln!(
+                "[{}] {done}/{} replications ({}%)",
+                self.label,
+                self.total,
+                100 * done / self.total
+            );
+        }
+    }
+
+    /// Completions recorded so far.
+    #[must_use]
+    pub fn done(&self) -> u64 {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Expected total completions.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_across_threads() {
+        let progress = Progress::new("test", 64, false);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..16 {
+                        progress.tick();
+                    }
+                });
+            }
+        });
+        assert_eq!(progress.done(), 64);
+        assert_eq!(progress.total(), 64);
+    }
+}

@@ -1,0 +1,393 @@
+//! Batch execution: scenarios × replications, aggregated into
+//! majority-vote verdicts with streaming statistics.
+
+use crate::config::EngineConfig;
+use crate::progress::Progress;
+use crate::rng::replication_rng;
+use crate::stats::{Estimate, Welford};
+use markov::{PathClass, PathClassifier};
+use rayon::prelude::*;
+use rayon::ThreadPoolBuilder;
+use serde::{Deserialize, Serialize};
+use swarm::{stability, StabilityVerdict, SwarmModel, SwarmParams};
+
+/// One parameter point to replicate.
+///
+/// The `id` keys the scenario's random streams (see [`crate::rng`]); ids
+/// must be unique within a batch, and keeping an id stable across runs
+/// keeps the scenario's draws stable even if the batch around it changes.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Stream key of the scenario, unique within a batch.
+    pub id: u64,
+    /// Label carried into outcomes and artifacts.
+    pub label: String,
+    /// Model parameters of the point.
+    pub params: SwarmParams,
+}
+
+impl Scenario {
+    /// Creates a labelled scenario.
+    #[must_use]
+    pub fn new(id: u64, label: impl Into<String>, params: SwarmParams) -> Self {
+        Scenario {
+            id,
+            label: label.into(),
+            params,
+        }
+    }
+}
+
+/// The result of one replication of one scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReplicationOutcome {
+    /// Replication index within the scenario.
+    pub replication: u32,
+    /// Classification of the simulated peer-count path.
+    pub class: PathClass,
+    /// Tail growth rate of the peer count (peers per unit time).
+    pub tail_slope: f64,
+    /// Time-average of the peer count over the tail window.
+    pub tail_average: f64,
+}
+
+/// Vote counts over a scenario's replications.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassVotes {
+    /// Replications classified as stable.
+    pub stable: u32,
+    /// Replications classified as growing.
+    pub growing: u32,
+    /// Replications with no decisive classification.
+    pub indeterminate: u32,
+}
+
+impl ClassVotes {
+    /// Records one replication's class.
+    pub fn push(&mut self, class: PathClass) {
+        match class {
+            PathClass::Stable => self.stable += 1,
+            PathClass::Growing => self.growing += 1,
+            PathClass::Indeterminate => self.indeterminate += 1,
+        }
+    }
+
+    /// Total votes recorded.
+    #[must_use]
+    pub fn total(&self) -> u32 {
+        self.stable + self.growing + self.indeterminate
+    }
+
+    /// The majority-vote class; a stable/growing tie (or an indeterminate
+    /// plurality) is reported as [`PathClass::Indeterminate`].
+    #[must_use]
+    pub fn majority(&self) -> PathClass {
+        if self.stable > self.growing && self.stable >= self.indeterminate {
+            PathClass::Stable
+        } else if self.growing > self.stable && self.growing >= self.indeterminate {
+            PathClass::Growing
+        } else {
+            PathClass::Indeterminate
+        }
+    }
+
+    /// Fraction of votes matching `class` (1.0 for an empty tally).
+    #[must_use]
+    pub fn fraction(&self, class: PathClass) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 1.0;
+        }
+        let hits = match class {
+            PathClass::Stable => self.stable,
+            PathClass::Growing => self.growing,
+            PathClass::Indeterminate => self.indeterminate,
+        };
+        f64::from(hits) / f64::from(total)
+    }
+}
+
+/// Aggregated outcome of one scenario's replication batch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioOutcome {
+    /// The scenario's stream key.
+    pub scenario_id: u64,
+    /// The scenario's label.
+    pub label: String,
+    /// Theorem 1's verdict for the parameter point.
+    pub theory: StabilityVerdict,
+    /// Per-class vote counts.
+    pub votes: ClassVotes,
+    /// Majority-vote classification.
+    pub majority: PathClass,
+    /// Tail growth rate across replications, with confidence interval.
+    pub tail_slope: Estimate,
+    /// Tail-average peer count across replications, with confidence
+    /// interval.
+    pub tail_average: Estimate,
+    /// Fraction of replications whose class agrees with theory
+    /// (borderline points count every replication as agreeing).
+    pub agreement: f64,
+    /// Whether the majority vote agrees with theory (borderline → true).
+    pub agrees: bool,
+}
+
+/// Whether a simulated classification is consistent with Theorem 1's
+/// verdict. Borderline points (left open by the theorem) are counted as
+/// agreeing with any simulated behaviour.
+#[must_use]
+pub fn verdict_agrees(theory: StabilityVerdict, simulated: PathClass) -> bool {
+    match theory {
+        StabilityVerdict::PositiveRecurrent => simulated == PathClass::Stable,
+        StabilityVerdict::Transient => simulated == PathClass::Growing,
+        StabilityVerdict::Borderline => true,
+    }
+}
+
+/// Runs a single replication of `scenario` on its derived random stream.
+///
+/// This is the engine's unit of work: exposed so tests and callers can
+/// reproduce any replication of any batch in isolation. Batch callers
+/// should build the [`SwarmModel`] once per scenario and use
+/// [`run_replication_on`]; this convenience wrapper rebuilds it.
+#[must_use]
+pub fn run_replication(
+    scenario: &Scenario,
+    config: &EngineConfig,
+    replication: u32,
+) -> ReplicationOutcome {
+    run_replication_on(
+        &SwarmModel::new(scenario.params.clone()),
+        scenario,
+        config,
+        replication,
+    )
+}
+
+/// Runs a single replication against an already-constructed model
+/// (avoiding the per-replication `2^K` type-space rebuild on the batch
+/// hot path). `model` must be built from `scenario.params`.
+#[must_use]
+pub fn run_replication_on(
+    model: &SwarmModel,
+    scenario: &Scenario,
+    config: &EngineConfig,
+    replication: u32,
+) -> ReplicationOutcome {
+    let mut rng = replication_rng(config.master_seed, scenario.id, u64::from(replication));
+    let initial = if config.initial_one_club > 0 {
+        model.one_club_state(pieceset::PieceId::new(0), config.initial_one_club)
+    } else {
+        model.empty_state()
+    };
+    let initial_n = initial.total_peers() as f64;
+    let path = model.simulate_peer_count(initial, config.horizon, &mut rng);
+    let classifier = PathClassifier::new(
+        scenario.params.total_arrival_rate(),
+        (3.0 * initial_n).max(30.0),
+    );
+    let verdict = classifier.classify(&path);
+    ReplicationOutcome {
+        replication,
+        class: verdict.class,
+        tail_slope: verdict.tail_slope,
+        tail_average: verdict.tail_average,
+    }
+}
+
+/// Aggregates one scenario's replications (in replication order) into a
+/// [`ScenarioOutcome`].
+fn aggregate(
+    scenario: &Scenario,
+    replications: &[ReplicationOutcome],
+    config: &EngineConfig,
+) -> ScenarioOutcome {
+    let theory = stability::classify(&scenario.params).verdict;
+    let mut votes = ClassVotes::default();
+    let mut slope = Welford::new();
+    let mut average = Welford::new();
+    let mut agreeing = 0u32;
+    for outcome in replications {
+        votes.push(outcome.class);
+        slope.push(outcome.tail_slope);
+        average.push(outcome.tail_average);
+        if verdict_agrees(theory, outcome.class) {
+            agreeing += 1;
+        }
+    }
+    let majority = votes.majority();
+    ScenarioOutcome {
+        scenario_id: scenario.id,
+        label: scenario.label.clone(),
+        theory,
+        votes,
+        majority,
+        tail_slope: slope.estimate(config.confidence),
+        tail_average: average.estimate(config.confidence),
+        agreement: if replications.is_empty() {
+            1.0
+        } else {
+            f64::from(agreeing) / replications.len() as f64
+        },
+        agrees: verdict_agrees(theory, majority),
+    }
+}
+
+/// Runs `config.replications` replications of every scenario across
+/// `config.jobs` workers and returns one aggregated outcome per scenario,
+/// in input order.
+///
+/// Work is distributed over the flat `(scenario, replication)` task list,
+/// so a batch of few scenarios with many replications parallelises as well
+/// as a wide sweep. Every replication draws from its own deterministic
+/// stream and aggregation runs in fixed replication order, so for a fixed
+/// `master_seed` the result is bit-for-bit identical at any `jobs` value.
+///
+/// # Panics
+///
+/// Panics if two scenarios share an `id` (their replications would silently
+/// share random streams).
+#[must_use]
+pub fn run_batch(scenarios: &[Scenario], config: &EngineConfig) -> Vec<ScenarioOutcome> {
+    if scenarios.is_empty() {
+        return Vec::new();
+    }
+    {
+        let mut ids: Vec<u64> = scenarios.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(
+            ids.len(),
+            scenarios.len(),
+            "scenario ids must be unique within a batch"
+        );
+    }
+
+    let replications = config.replications.max(1);
+    let tasks: Vec<(usize, u32)> = (0..scenarios.len())
+        .flat_map(|scenario| (0..replications).map(move |replication| (scenario, replication)))
+        .collect();
+    let progress = Progress::new("engine", tasks.len() as u64, config.progress);
+
+    // One model per scenario, shared (read-only) by its replications.
+    let models: Vec<SwarmModel> = scenarios
+        .iter()
+        .map(|s| SwarmModel::new(s.params.clone()))
+        .collect();
+
+    let pool = ThreadPoolBuilder::new()
+        .num_threads(config.jobs)
+        .build()
+        .expect("thread pool");
+    let results: Vec<ReplicationOutcome> = pool.install(|| {
+        tasks
+            .into_par_iter()
+            .map(|(scenario, replication)| {
+                let outcome = run_replication_on(
+                    &models[scenario],
+                    &scenarios[scenario],
+                    config,
+                    replication,
+                );
+                progress.tick();
+                outcome
+            })
+            .collect()
+    });
+
+    // Tasks are scenario-major, so each scenario's replications are a
+    // contiguous chunk already in replication order.
+    scenarios
+        .iter()
+        .zip(results.chunks(replications as usize))
+        .map(|(scenario, chunk)| aggregate(scenario, chunk, config))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example1(lambda0: f64) -> SwarmParams {
+        SwarmParams::builder(1)
+            .seed_rate(1.0)
+            .contact_rate(1.0)
+            .seed_departure_rate(2.0)
+            .fresh_arrivals(lambda0)
+            .build()
+            .expect("valid parameters")
+    }
+
+    fn quick_config() -> EngineConfig {
+        EngineConfig::default()
+            .with_replications(4)
+            .with_horizon(250.0)
+            .with_master_seed(0xBEEF)
+            .with_jobs(2)
+    }
+
+    #[test]
+    fn majority_vote_rules() {
+        let mut votes = ClassVotes::default();
+        votes.push(PathClass::Stable);
+        votes.push(PathClass::Stable);
+        votes.push(PathClass::Growing);
+        assert_eq!(votes.majority(), PathClass::Stable);
+        votes.push(PathClass::Growing);
+        assert_eq!(
+            votes.majority(),
+            PathClass::Indeterminate,
+            "tie is indeterminate"
+        );
+        assert_eq!(votes.total(), 4);
+        assert!((votes.fraction(PathClass::Stable) - 0.5).abs() < 1e-12);
+        assert_eq!(ClassVotes::default().majority(), PathClass::Indeterminate);
+    }
+
+    #[test]
+    fn single_replication_is_reproducible() {
+        let scenario = Scenario::new(3, "point", example1(1.0));
+        let config = quick_config();
+        let a = run_replication(&scenario, &config, 2);
+        let b = run_replication(&scenario, &config, 2);
+        assert_eq!(a, b);
+        let c = run_replication(&scenario, &config, 3);
+        assert_ne!(
+            (a.tail_slope, a.tail_average),
+            (c.tail_slope, c.tail_average)
+        );
+    }
+
+    #[test]
+    fn batch_outcomes_keep_input_order_and_count_votes() {
+        let scenarios = vec![
+            Scenario::new(0, "stable", example1(0.5)),
+            Scenario::new(1, "transient", example1(4.0)),
+        ];
+        let outcomes = run_batch(&scenarios, &quick_config());
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(outcomes[0].label, "stable");
+        assert_eq!(outcomes[1].label, "transient");
+        for outcome in &outcomes {
+            assert_eq!(outcome.votes.total(), 4);
+            assert_eq!(outcome.tail_slope.n, 4);
+        }
+        assert_eq!(outcomes[0].theory, StabilityVerdict::PositiveRecurrent);
+        assert_eq!(outcomes[1].theory, StabilityVerdict::Transient);
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        assert!(run_batch(&[], &quick_config()).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unique")]
+    fn duplicate_scenario_ids_are_rejected() {
+        let scenarios = vec![
+            Scenario::new(7, "a", example1(0.5)),
+            Scenario::new(7, "b", example1(1.0)),
+        ];
+        let _ = run_batch(&scenarios, &quick_config());
+    }
+}

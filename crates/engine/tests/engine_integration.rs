@@ -1,0 +1,148 @@
+//! Integration tests of the replication engine's three contract-level
+//! properties: scheduling-independent determinism, √n confidence-interval
+//! shrinkage, and agreement with the Theorem 1 classifier.
+
+use engine::{artifact, run_batch, run_grid, Axis, EngineConfig, GridSpec, Scenario};
+use markov::PathClass;
+use swarm::{stability, StabilityVerdict, SwarmParams};
+
+fn example1(lambda0: f64) -> SwarmParams {
+    SwarmParams::builder(1)
+        .seed_rate(1.0)
+        .contact_rate(1.0)
+        .seed_departure_rate(2.0)
+        .fresh_arrivals(lambda0)
+        .build()
+        .expect("valid parameters")
+}
+
+fn boundary_scenarios() -> Vec<Scenario> {
+    // Stable, near-boundary, and transient points of Example 1
+    // (threshold λ0 < U_s/(1−µ/γ) = 2).
+    vec![
+        Scenario::new(0, "stable", example1(1.0)),
+        Scenario::new(1, "near-boundary", example1(1.9)),
+        Scenario::new(2, "transient", example1(4.0)),
+    ]
+}
+
+fn config(jobs: usize) -> EngineConfig {
+    EngineConfig::default()
+        .with_replications(6)
+        .with_horizon(400.0)
+        .with_master_seed(0xD5EED)
+        .with_jobs(jobs)
+}
+
+#[test]
+fn aggregates_are_bit_identical_at_any_thread_count() {
+    let scenarios = boundary_scenarios();
+    let reference = run_batch(&scenarios, &config(1));
+    for jobs in [2, 4, 8] {
+        let outcomes = run_batch(&scenarios, &config(jobs));
+        assert_eq!(
+            reference, outcomes,
+            "jobs = {jobs} must reproduce the single-threaded batch bit-for-bit"
+        );
+    }
+}
+
+#[test]
+fn artifacts_are_byte_identical_across_jobs() {
+    let scenarios = boundary_scenarios();
+    let csv_1 = artifact::outcomes_csv(&run_batch(&scenarios, &config(1)));
+    let csv_8 = artifact::outcomes_csv(&run_batch(&scenarios, &config(8)));
+    assert_eq!(csv_1, csv_8, "CSV identical across --jobs 1 and --jobs 8");
+
+    let json_1 = artifact::outcomes_json(&run_batch(&scenarios, &config(1)));
+    let json_8 = artifact::outcomes_json(&run_batch(&scenarios, &config(8)));
+    assert_eq!(
+        json_1, json_8,
+        "JSON identical across --jobs 1 and --jobs 8"
+    );
+
+    let spec = GridSpec {
+        lambda0: Axis::new("λ0", vec![0.5, 3.0]),
+        mu: Axis::fixed("µ", 1.0),
+        gamma: Axis::new("γ", vec![2.0, 6.0]),
+        pieces: vec![1],
+    };
+    let make = |_k: usize, _mu: f64, gamma: f64, lambda0: f64| {
+        SwarmParams::builder(1)
+            .seed_rate(1.0)
+            .contact_rate(1.0)
+            .seed_departure_rate(gamma)
+            .fresh_arrivals(lambda0)
+            .build()
+            .ok()
+    };
+    let grid_1 = run_grid(&spec, make, &config(1));
+    let grid_8 = run_grid(&spec, make, &config(8));
+    assert_eq!(artifact::phase_csv(&grid_1), artifact::phase_csv(&grid_8));
+    assert_eq!(artifact::phase_json(&grid_1), artifact::phase_json(&grid_8));
+}
+
+#[test]
+fn ci_width_shrinks_like_one_over_sqrt_n() {
+    // The tail-average of a stable scenario is a genuinely random quantity
+    // with finite variance; quadrupling … ×16 the sample size should cut
+    // the interval roughly ×4 (we assert a loose bracket to stay robust to
+    // the variance also being re-estimated).
+    let scenario = vec![Scenario::new(0, "stable", example1(1.2))];
+    let base = EngineConfig::default()
+        .with_horizon(150.0)
+        .with_master_seed(0xC1)
+        .with_jobs(0);
+    let narrow = run_batch(&scenario, &base.with_replications(8))[0].tail_average;
+    let wide = run_batch(&scenario, &base.with_replications(128))[0].tail_average;
+    assert_eq!(narrow.n, 8);
+    assert_eq!(wide.n, 128);
+    assert!(narrow.ci_half_width.is_finite() && narrow.ci_half_width > 0.0);
+    assert!(
+        wide.ci_half_width < narrow.ci_half_width * 0.6,
+        "128-replication interval ({}) should be well under 0.6× the 8-replication one ({})",
+        wide.ci_half_width,
+        narrow.ci_half_width
+    );
+}
+
+#[test]
+fn thirty_two_replications_agree_with_classify_on_example1() {
+    // The satellite acceptance check: a 32-replication engine run on
+    // Example 1, away from the boundary on both sides, must reproduce
+    // `stability::classify`'s verdicts by majority vote.
+    let scenarios = vec![
+        Scenario::new(0, "stable", example1(0.8)),
+        Scenario::new(1, "transient", example1(4.0)),
+    ];
+    let config = EngineConfig::default()
+        .with_replications(32)
+        .with_horizon(600.0)
+        .with_master_seed(0xE1)
+        .with_jobs(0);
+    let outcomes = run_batch(&scenarios, &config);
+
+    assert_eq!(outcomes[0].theory, StabilityVerdict::PositiveRecurrent);
+    assert_eq!(
+        outcomes[0].theory,
+        stability::classify(&scenarios[0].params).verdict
+    );
+    assert_eq!(outcomes[0].majority, PathClass::Stable);
+    assert!(outcomes[0].agrees);
+    assert!(
+        outcomes[0].agreement >= 0.75,
+        "agreement {}",
+        outcomes[0].agreement
+    );
+
+    assert_eq!(outcomes[1].theory, StabilityVerdict::Transient);
+    assert_eq!(outcomes[1].majority, PathClass::Growing);
+    assert!(outcomes[1].agrees);
+    assert!(
+        outcomes[1].agreement >= 0.75,
+        "agreement {}",
+        outcomes[1].agreement
+    );
+    // A transient path grows at a strictly positive rate.
+    assert!(outcomes[1].tail_slope.mean > 0.0);
+}

@@ -76,8 +76,10 @@ where
         for n in 0..horizon {
             let b = self.birth_rate(n);
             let d = self.death_rate(n + 1);
-            if !(b.is_finite() && b >= 0.0) || !(d.is_finite() && d >= 0.0) {
-                return Err(MarkovError::InvalidParameter(format!("rates at n={n} must be finite and non-negative")));
+            if !(b.is_finite() && b >= 0.0 && d.is_finite() && d >= 0.0) {
+                return Err(MarkovError::InvalidParameter(format!(
+                    "rates at n={n} must be finite and non-negative"
+                )));
             }
             if b == 0.0 {
                 // Birth stops: the chain is confined to a finite set, hence
@@ -85,7 +87,10 @@ where
                 return Ok(Recurrence::PositiveRecurrent);
             }
             if d == 0.0 {
-                return Err(MarkovError::InvalidParameter(format!("death rate at n={} must be positive", n + 1)));
+                return Err(MarkovError::InvalidParameter(format!(
+                    "death rate at n={} must be positive",
+                    n + 1
+                )));
             }
             escape_sum += 1.0 / (b * pi_tilde);
             pi_tilde *= b / d;
@@ -127,8 +132,10 @@ where
         for n in 0..max_state {
             let b = self.birth_rate(n);
             let d = self.death_rate(n + 1);
-            if !(b.is_finite() && b >= 0.0) || !(d.is_finite() && d > 0.0) {
-                return Err(MarkovError::InvalidParameter(format!("invalid rates at n={n}")));
+            if !(b.is_finite() && b >= 0.0 && d.is_finite() && d > 0.0) {
+                return Err(MarkovError::InvalidParameter(format!(
+                    "invalid rates at n={n}"
+                )));
             }
             w *= b / d;
             weights.push(w);
@@ -156,7 +163,10 @@ mod tests {
     fn mm1_classification() {
         // rho < 1: positive recurrent
         let stable = BirthDeath::new(|_| 0.5, |_| 1.0);
-        assert_eq!(stable.classify(5_000).unwrap(), Recurrence::PositiveRecurrent);
+        assert_eq!(
+            stable.classify(5_000).unwrap(),
+            Recurrence::PositiveRecurrent
+        );
         // rho > 1: transient
         let unstable = BirthDeath::new(|_| 2.0, |_| 1.0);
         assert_eq!(unstable.classify(5_000).unwrap(), Recurrence::Transient);
@@ -176,9 +186,9 @@ mod tests {
         let q = BirthDeath::new(|_| 0.5, |_| 1.0);
         let pi = q.stationary_truncated(200).unwrap();
         // pi(n) = (1 - rho) rho^n with rho = 0.5
-        for n in 0..10 {
+        for (n, &p) in pi.iter().take(10).enumerate() {
             let expected = 0.5 * 0.5_f64.powi(n as i32);
-            assert!((pi[n] - expected).abs() < 1e-9, "pi[{n}] = {}", pi[n]);
+            assert!((p - expected).abs() < 1e-9, "pi[{n}] = {p}");
         }
         let mean = q.stationary_mean_truncated(200).unwrap();
         assert!((mean - 1.0).abs() < 1e-6);

@@ -40,12 +40,14 @@ impl BranchingProcess {
     /// is empty, or has negative entries.
     pub fn new(mean_offspring: Matrix) -> Result<Self, MarkovError> {
         if mean_offspring.rows() == 0 || mean_offspring.rows() != mean_offspring.cols() {
-            return Err(MarkovError::InvalidParameter("mean offspring matrix must be square and non-empty".into()));
+            return Err(MarkovError::InvalidParameter(
+                "mean offspring matrix must be square and non-empty".into(),
+            ));
         }
         for i in 0..mean_offspring.rows() {
             for j in 0..mean_offspring.cols() {
                 let v = mean_offspring[(i, j)];
-                if !(v >= 0.0) || !v.is_finite() {
+                if !v.is_finite() || v < 0.0 {
                     return Err(MarkovError::InvalidParameter(format!(
                         "mean offspring entry ({i},{j}) = {v} must be finite and non-negative"
                     )));
@@ -143,7 +145,10 @@ impl BranchingProcess {
 /// Panics if `m` is negative or not finite.
 #[must_use]
 pub fn single_type_total_progeny(m: f64) -> f64 {
-    assert!(m >= 0.0 && m.is_finite(), "mean offspring must be finite and non-negative");
+    assert!(
+        m >= 0.0 && m.is_finite(),
+        "mean offspring must be finite and non-negative"
+    );
     if m >= 1.0 {
         f64::INFINITY
     } else {
@@ -198,14 +203,28 @@ mod tests {
         let (k, xi, mu_over_gamma) = (4.0_f64, 0.05_f64, 0.5_f64);
         let a_val = (k - 1.0) / (1.0 - xi) + mu_over_gamma;
         let b_val = mu_over_gamma;
-        let bp = BranchingProcess::from_rows(&[vec![xi * a_val, a_val], vec![xi * b_val, b_val]]).unwrap();
+        let bp = BranchingProcess::from_rows(&[vec![xi * a_val, a_val], vec![xi * b_val, b_val]])
+            .unwrap();
         let denom = 1.0 - xi * a_val - b_val;
-        assert!(denom > 0.0, "test parameters must satisfy the subcriticality condition (6)");
+        assert!(
+            denom > 0.0,
+            "test parameters must satisfy the subcriticality condition (6)"
+        );
         let m = bp.expected_total_progeny().unwrap();
         let expected_mb = 1.0 + (1.0 + xi) / denom * a_val;
         let expected_mf = 1.0 + (1.0 + xi) / denom * b_val;
-        assert!((m[0] - expected_mb).abs() < 1e-8, "m_b {} vs {}", m[0], expected_mb);
-        assert!((m[1] - expected_mf).abs() < 1e-8, "m_f {} vs {}", m[1], expected_mf);
+        assert!(
+            (m[0] - expected_mb).abs() < 1e-8,
+            "m_b {} vs {}",
+            m[0],
+            expected_mb
+        );
+        assert!(
+            (m[1] - expected_mf).abs() < 1e-8,
+            "m_f {} vs {}",
+            m[1],
+            expected_mf
+        );
     }
 
     #[test]

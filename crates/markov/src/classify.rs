@@ -79,7 +79,11 @@ impl PathClassifier {
     /// total arrival rate `λ_total`) and return level.
     #[must_use]
     pub fn new(slope_scale: f64, return_level: f64) -> Self {
-        PathClassifier { slope_scale: slope_scale.max(1e-9), return_level, ..Default::default() }
+        PathClassifier {
+            slope_scale: slope_scale.max(1e-9),
+            return_level,
+            ..Default::default()
+        }
     }
 
     /// Classifies a sample path of the population size.
@@ -99,7 +103,11 @@ impl PathClassifier {
         // population is far above `return_level`; a transient system keeps
         // climbing (ratio ≈ 2–3 for linear growth from a small start).
         let early_average = path.time_average_over(t0 + 0.25 * span, t0 + 0.5 * span);
-        let growth_ratio = if early_average > 1e-9 { tail_average / early_average } else { f64::INFINITY };
+        let growth_ratio = if early_average > 1e-9 {
+            tail_average / early_average
+        } else {
+            f64::INFINITY
+        };
 
         let slope_threshold = self.growth_slope_threshold * self.slope_scale;
         let growing = trend.slope > slope_threshold && trend.r_squared > 0.5;

@@ -26,9 +26,12 @@ where
         .sum()
 }
 
+/// A borrowed scalar function of the state, as accepted by [`drift_many`].
+pub type StateFn<'a, S> = &'a dyn Fn(&S) -> f64;
+
 /// Computes drifts of several functions at once, sharing one transition
 /// enumeration. Returns one drift per function in `vs`.
-pub fn drift_many<M>(model: &M, state: &M::State, vs: &[&dyn Fn(&M::State) -> f64]) -> Vec<f64>
+pub fn drift_many<M>(model: &M, state: &M::State, vs: &[StateFn<'_, M::State>]) -> Vec<f64>
 where
     M: Ctmc,
 {
@@ -73,7 +76,12 @@ where
     B: Fn(&M::State) -> f64,
     I: IntoIterator<Item = M::State>,
 {
-    let mut check = DriftCheck { states_checked: 0, violations: 0, max_drift: f64::NEG_INFINITY, min_drift: f64::INFINITY };
+    let mut check = DriftCheck {
+        states_checked: 0,
+        violations: 0,
+        max_drift: f64::NEG_INFINITY,
+        min_drift: f64::INFINITY,
+    };
     for s in states {
         let d = drift(model, &s, &v);
         check.states_checked += 1;
@@ -106,7 +114,10 @@ mod tests {
 
     #[test]
     fn linear_lyapunov_drift_of_mm1() {
-        let model = Mm1 { lambda: 0.4, mu: 1.0 };
+        let model = Mm1 {
+            lambda: 0.4,
+            mu: 1.0,
+        };
         // V(n) = n: drift is lambda - mu for n >= 1, lambda at 0.
         let d0 = drift(&model, &0, |s| *s as f64);
         let d5 = drift(&model, &5, |s| *s as f64);
@@ -116,7 +127,10 @@ mod tests {
 
     #[test]
     fn quadratic_lyapunov_drift_of_mm1() {
-        let model = Mm1 { lambda: 0.4, mu: 1.0 };
+        let model = Mm1 {
+            lambda: 0.4,
+            mu: 1.0,
+        };
         // V(n) = n^2: QV(n) = lambda((n+1)^2 - n^2) + mu((n-1)^2 - n^2)
         //            = lambda(2n+1) + mu(1-2n) for n >= 1.
         let n = 7u64;
@@ -127,7 +141,10 @@ mod tests {
 
     #[test]
     fn drift_many_matches_individual_drifts() {
-        let model = Mm1 { lambda: 0.7, mu: 0.9 };
+        let model = Mm1 {
+            lambda: 0.7,
+            mu: 0.9,
+        };
         let f1 = |s: &u64| *s as f64;
         let f2 = |s: &u64| (*s as f64).powi(2);
         let ds = drift_many(&model, &3, &[&f1, &f2]);
@@ -137,7 +154,10 @@ mod tests {
 
     #[test]
     fn drift_condition_check_for_stable_queue() {
-        let model = Mm1 { lambda: 0.4, mu: 1.0 };
+        let model = Mm1 {
+            lambda: 0.4,
+            mu: 1.0,
+        };
         // For n >= 1, drift of V(n) = n is -0.6 <= -0.5.
         let check = check_drift_condition(&model, 1u64..200, |s| *s as f64, |_| -0.5);
         assert!(check.holds());
@@ -147,7 +167,10 @@ mod tests {
 
     #[test]
     fn drift_condition_check_detects_violations() {
-        let model = Mm1 { lambda: 2.0, mu: 1.0 };
+        let model = Mm1 {
+            lambda: 2.0,
+            mu: 1.0,
+        };
         let check = check_drift_condition(&model, 1u64..50, |s| *s as f64, |_| 0.0);
         assert!(!check.holds());
         assert_eq!(check.violations, 49);

@@ -17,19 +17,28 @@ impl StopRule {
     /// Stop at simulated time `t` with a generous default event budget.
     #[must_use]
     pub fn at_time(t: f64) -> Self {
-        StopRule { max_time: t, max_events: u64::MAX }
+        StopRule {
+            max_time: t,
+            max_events: u64::MAX,
+        }
     }
 
     /// Stop after `n` jumps regardless of simulated time.
     #[must_use]
     pub fn after_events(n: u64) -> Self {
-        StopRule { max_time: f64::INFINITY, max_events: n }
+        StopRule {
+            max_time: f64::INFINITY,
+            max_events: n,
+        }
     }
 
     /// Stop at whichever of time `t` / `n` jumps comes first.
     #[must_use]
     pub fn time_or_events(t: f64, n: u64) -> Self {
-        StopRule { max_time: t, max_events: n }
+        StopRule {
+            max_time: t,
+            max_events: n,
+        }
     }
 }
 
@@ -61,20 +70,27 @@ pub struct SimulatorRun<S> {
     pub path: crate::path::ScalarPath,
 }
 
+/// A boxed scalar observable of the state (see [`Simulator::observe`]).
+type Observable<'a, S> = Box<dyn Fn(&S) -> f64 + 'a>;
+
 /// An exact-jump simulator for a [`Ctmc`].
 ///
 /// By default the recorded scalar observable is `0.0`; supply one with
 /// [`Simulator::observe`] (the P2P model records the total peer count).
 pub struct Simulator<'a, M: Ctmc> {
     model: &'a M,
-    observable: Box<dyn Fn(&M::State) -> f64 + 'a>,
+    observable: Observable<'a, M::State>,
     record_every: u64,
 }
 
 impl<'a, M: Ctmc> Simulator<'a, M> {
     /// Creates a simulator for `model`.
     pub fn new(model: &'a M) -> Self {
-        Simulator { model, observable: Box::new(|_| 0.0), record_every: 1 }
+        Simulator {
+            model,
+            observable: Box::new(|_| 0.0),
+            record_every: 1,
+        }
     }
 
     /// Sets the scalar observable recorded into the run's sample path.
@@ -93,7 +109,12 @@ impl<'a, M: Ctmc> Simulator<'a, M> {
     }
 
     /// Runs the chain from `initial` until the stop rule triggers.
-    pub fn run<R: Rng + ?Sized>(&self, initial: M::State, stop: StopRule, rng: &mut R) -> SimulatorRun<M::State> {
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        initial: M::State,
+        stop: StopRule,
+        rng: &mut R,
+    ) -> SimulatorRun<M::State> {
         self.run_with_observer(initial, stop, rng, |_, _| ObserverAction::Continue)
     }
 
@@ -149,7 +170,7 @@ impl<'a, M: Ctmc> Simulator<'a, M> {
             let idx = sample_weighted_index(rng, &weights).expect("total rate positive");
             state = buf.swap_remove(idx).0;
             events += 1;
-            if events % self.record_every == 0 {
+            if events.is_multiple_of(self.record_every) {
                 path.record(t, (self.observable)(&state));
             }
             if let ObserverAction::Stop = observer(t, &state) {
@@ -159,9 +180,18 @@ impl<'a, M: Ctmc> Simulator<'a, M> {
         }
 
         let final_time = t.min(stop.max_time);
-        path.record(final_time.max(path.times().last().copied().unwrap_or(0.0)), (self.observable)(&state));
+        path.record(
+            final_time.max(path.times().last().copied().unwrap_or(0.0)),
+            (self.observable)(&state),
+        );
         path.finish(final_time.max(path.end_time()));
-        SimulatorRun { final_state: state, final_time, events, stop_reason, path }
+        SimulatorRun {
+            final_state: state,
+            final_time,
+            events,
+            stop_reason,
+            path,
+        }
     }
 }
 
@@ -209,11 +239,16 @@ mod tests {
 
     #[test]
     fn mm1_stationary_mean() {
-        let model = Mm1 { lambda: 0.5, mu: 1.0 };
+        let model = Mm1 {
+            lambda: 0.5,
+            mu: 1.0,
+        };
         let mut rng = StdRng::seed_from_u64(42);
-        let run = Simulator::new(&model)
-            .observe(|s| *s as f64)
-            .run(0, StopRule::at_time(50_000.0), &mut rng);
+        let run = Simulator::new(&model).observe(|s| *s as f64).run(
+            0,
+            StopRule::at_time(50_000.0),
+            &mut rng,
+        );
         // E[N] = rho / (1 - rho) = 1
         let mean = run.path.time_average_over(5_000.0, run.final_time);
         assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
@@ -222,11 +257,16 @@ mod tests {
 
     #[test]
     fn unstable_mm1_grows_linearly() {
-        let model = Mm1 { lambda: 2.0, mu: 1.0 };
+        let model = Mm1 {
+            lambda: 2.0,
+            mu: 1.0,
+        };
         let mut rng = StdRng::seed_from_u64(1);
-        let run = Simulator::new(&model)
-            .observe(|s| *s as f64)
-            .run(0, StopRule::at_time(2_000.0), &mut rng);
+        let run = Simulator::new(&model).observe(|s| *s as f64).run(
+            0,
+            StopRule::at_time(2_000.0),
+            &mut rng,
+        );
         let trend = run.path.trend(0.5);
         // drift lambda - mu = 1 customer per unit time
         assert!((trend.slope - 1.0).abs() < 0.15, "slope {}", trend.slope);
@@ -235,9 +275,11 @@ mod tests {
     #[test]
     fn absorption_detected() {
         let mut rng = StdRng::seed_from_u64(2);
-        let run = Simulator::new(&PureDeath)
-            .observe(|s| *s as f64)
-            .run(5, StopRule::at_time(1e9), &mut rng);
+        let run = Simulator::new(&PureDeath).observe(|s| *s as f64).run(
+            5,
+            StopRule::at_time(1e9),
+            &mut rng,
+        );
         assert_eq!(run.final_state, 0);
         assert_eq!(run.stop_reason, StopReason::Absorbed);
         assert_eq!(run.events, 5);
@@ -245,7 +287,10 @@ mod tests {
 
     #[test]
     fn event_budget_respected() {
-        let model = Mm1 { lambda: 1.0, mu: 1.0 };
+        let model = Mm1 {
+            lambda: 1.0,
+            mu: 1.0,
+        };
         let mut rng = StdRng::seed_from_u64(3);
         let run = Simulator::new(&model).run(0, StopRule::after_events(100), &mut rng);
         assert_eq!(run.events, 100);
@@ -254,23 +299,36 @@ mod tests {
 
     #[test]
     fn observer_can_stop_early() {
-        let model = Mm1 { lambda: 5.0, mu: 1.0 };
+        let model = Mm1 {
+            lambda: 5.0,
+            mu: 1.0,
+        };
         let mut rng = StdRng::seed_from_u64(4);
-        let run = Simulator::new(&model).observe(|s| *s as f64).run_with_observer(
-            0,
-            StopRule::at_time(1e6),
-            &mut rng,
-            |_, s| if *s >= 50 { ObserverAction::Stop } else { ObserverAction::Continue },
-        );
+        let run = Simulator::new(&model)
+            .observe(|s| *s as f64)
+            .run_with_observer(0, StopRule::at_time(1e6), &mut rng, |_, s| {
+                if *s >= 50 {
+                    ObserverAction::Stop
+                } else {
+                    ObserverAction::Continue
+                }
+            });
         assert_eq!(run.final_state, 50);
         assert_eq!(run.stop_reason, StopReason::ObserverRequest);
     }
 
     #[test]
     fn record_every_thins_the_path() {
-        let model = Mm1 { lambda: 1.0, mu: 1.0 };
+        let model = Mm1 {
+            lambda: 1.0,
+            mu: 1.0,
+        };
         let mut rng = StdRng::seed_from_u64(5);
-        let run_full = Simulator::new(&model).observe(|s| *s as f64).run(0, StopRule::after_events(1000), &mut rng);
+        let run_full = Simulator::new(&model).observe(|s| *s as f64).run(
+            0,
+            StopRule::after_events(1000),
+            &mut rng,
+        );
         let mut rng = StdRng::seed_from_u64(5);
         let run_thin = Simulator::new(&model)
             .observe(|s| *s as f64)
@@ -282,10 +340,14 @@ mod tests {
 
     #[test]
     fn total_rate_default_impl() {
-        let model = Mm1 { lambda: 0.3, mu: 0.7 };
+        let model = Mm1 {
+            lambda: 0.3,
+            mu: 0.7,
+        };
         assert!((model.total_rate(&0) - 0.3).abs() < 1e-12);
         assert!((model.total_rate(&5) - 1.0).abs() < 1e-12);
         // also via the blanket &M impl
-        assert!(((&model).total_rate(&5) - 1.0).abs() < 1e-12);
+        let by_ref: &Mm1 = &model;
+        assert!((Ctmc::total_rate(&by_ref, &5) - 1.0).abs() < 1e-12);
     }
 }

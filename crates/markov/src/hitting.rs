@@ -52,7 +52,11 @@ pub fn excursions_above(path: &crate::path::ScalarPath, level: f64) -> Excursion
     let times = path.times();
     let values = path.values();
     let mut lengths = Vec::new();
-    let mut start: Option<f64> = if values[0] > level { Some(times[0]) } else { None };
+    let mut start: Option<f64> = if values[0] > level {
+        Some(times[0])
+    } else {
+        None
+    };
     for i in 1..times.len() {
         let above = values[i] > level;
         match (start, above) {
@@ -66,7 +70,11 @@ pub fn excursions_above(path: &crate::path::ScalarPath, level: f64) -> Excursion
     }
     let open_excursion = start.map(|s| path.end_time() - s);
     let completed = lengths.len();
-    let mean_length = if completed == 0 { 0.0 } else { lengths.iter().sum::<f64>() / completed as f64 };
+    let mean_length = if completed == 0 {
+        0.0
+    } else {
+        lengths.iter().sum::<f64>() / completed as f64
+    };
     let max_length = lengths.iter().copied().fold(0.0_f64, f64::max);
     let median_length = if completed == 0 {
         0.0
@@ -150,14 +158,15 @@ where
         }
         let mut hit_at: Option<f64> = None;
         let sim = Simulator::new(model);
-        let run = sim.run_with_observer(initial.clone(), StopRule::at_time(deadline), rng, |t, s| {
-            if target(s) {
-                hit_at = Some(t);
-                ObserverAction::Stop
-            } else {
-                ObserverAction::Continue
-            }
-        });
+        let run =
+            sim.run_with_observer(initial.clone(), StopRule::at_time(deadline), rng, |t, s| {
+                if target(s) {
+                    hit_at = Some(t);
+                    ObserverAction::Stop
+                } else {
+                    ObserverAction::Continue
+                }
+            });
         match hit_at {
             Some(t) => hits.push(t),
             None => {
@@ -167,7 +176,11 @@ where
             }
         }
     }
-    HittingTimes { hits, censored, deadline }
+    HittingTimes {
+        hits,
+        censored,
+        deadline,
+    }
 }
 
 #[cfg(test)]
@@ -225,20 +238,30 @@ mod tests {
     #[test]
     fn hitting_time_of_stable_queue_returning_to_empty() {
         // M/M/1 with rho = 0.5 started at 5: returns to 0 quickly.
-        let model = Mm1 { lambda: 0.5, mu: 1.0 };
+        let model = Mm1 {
+            lambda: 0.5,
+            mu: 1.0,
+        };
         let mut rng = StdRng::seed_from_u64(3);
         let hitting = estimate_hitting_time(&model, &5u64, |s| *s == 0, 50, 10_000.0, &mut rng);
         assert_eq!(hitting.censored, 0);
         assert_eq!(hitting.hit_fraction(), 1.0);
         // Mean return time from 5 is 5 / (mu - lambda) = 10.
-        assert!((hitting.mean_hit_time() - 10.0).abs() < 3.0, "mean {}", hitting.mean_hit_time());
+        assert!(
+            (hitting.mean_hit_time() - 10.0).abs() < 3.0,
+            "mean {}",
+            hitting.mean_hit_time()
+        );
         assert!(hitting.max_hit_time() >= hitting.mean_hit_time());
     }
 
     #[test]
     fn hitting_time_of_unstable_queue_is_censored() {
         // M/M/1 with rho = 3 started at 20 almost never drains within the deadline.
-        let model = Mm1 { lambda: 3.0, mu: 1.0 };
+        let model = Mm1 {
+            lambda: 3.0,
+            mu: 1.0,
+        };
         let mut rng = StdRng::seed_from_u64(4);
         let hitting = estimate_hitting_time(&model, &20u64, |s| *s == 0, 20, 50.0, &mut rng);
         assert!(hitting.censored >= 18, "censored {}", hitting.censored);
@@ -247,7 +270,10 @@ mod tests {
 
     #[test]
     fn hitting_time_from_target_state_is_zero() {
-        let model = Mm1 { lambda: 0.5, mu: 1.0 };
+        let model = Mm1 {
+            lambda: 0.5,
+            mu: 1.0,
+        };
         let mut rng = StdRng::seed_from_u64(5);
         let hitting = estimate_hitting_time(&model, &0u64, |s| *s == 0, 5, 10.0, &mut rng);
         assert_eq!(hitting.hits, vec![0.0; 5]);

@@ -136,7 +136,10 @@ impl core::fmt::Display for MarkovError {
             }
             MarkovError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             MarkovError::NoConvergence { iterations } => {
-                write!(f, "iteration failed to converge after {iterations} iterations")
+                write!(
+                    f,
+                    "iteration failed to converge after {iterations} iterations"
+                )
             }
         }
     }

@@ -19,7 +19,11 @@ impl Matrix {
     /// Creates a `rows × cols` zero matrix.
     #[must_use]
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates an identity matrix of size `n`.
@@ -42,7 +46,11 @@ impl Matrix {
         let r = rows.len();
         let c = rows.first().map_or(0, Vec::len);
         assert!(rows.iter().all(|row| row.len() == c), "ragged rows");
-        Matrix { rows: r, cols: c, data: rows.concat() }
+        Matrix {
+            rows: r,
+            cols: c,
+            data: rows.concat(),
+        }
     }
 
     /// Number of rows.
@@ -66,9 +74,9 @@ impl Matrix {
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "dimension mismatch");
         let mut out = vec![0.0; self.rows];
-        for i in 0..self.rows {
+        for (i, out_i) in out.iter_mut().enumerate() {
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            out[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+            *out_i = row.iter().zip(x).map(|(a, b)| a * b).sum();
         }
         out
     }
@@ -81,10 +89,16 @@ impl Matrix {
     /// singular, or [`MarkovError::DimensionMismatch`] if shapes disagree.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, MarkovError> {
         if self.rows != self.cols {
-            return Err(MarkovError::DimensionMismatch { expected: self.rows, got: self.cols });
+            return Err(MarkovError::DimensionMismatch {
+                expected: self.rows,
+                got: self.cols,
+            });
         }
         if b.len() != self.rows {
-            return Err(MarkovError::DimensionMismatch { expected: self.rows, got: b.len() });
+            return Err(MarkovError::DimensionMismatch {
+                expected: self.rows,
+                got: b.len(),
+            });
         }
         let n = self.rows;
         let mut a = self.data.clone();
@@ -143,7 +157,9 @@ impl Matrix {
     /// [`MarkovError::InvalidParameter`] for an empty or non-square matrix.
     pub fn spectral_radius(&self, max_iters: usize) -> Result<f64, MarkovError> {
         if self.rows != self.cols || self.rows == 0 {
-            return Err(MarkovError::InvalidParameter("spectral radius needs a non-empty square matrix".into()));
+            return Err(MarkovError::InvalidParameter(
+                "spectral radius needs a non-empty square matrix".into(),
+            ));
         }
         let n = self.rows;
         let mut v = vec![1.0 / n as f64; n];
@@ -161,7 +177,9 @@ impl Matrix {
             }
             prev = estimate;
         }
-        Err(MarkovError::NoConvergence { iterations: max_iters })
+        Err(MarkovError::NoConvergence {
+            iterations: max_iters,
+        })
     }
 }
 
@@ -216,9 +234,15 @@ mod tests {
     #[test]
     fn dimension_mismatch_detected() {
         let a = Matrix::zeros(2, 3);
-        assert!(matches!(a.solve(&[1.0, 2.0]), Err(MarkovError::DimensionMismatch { .. })));
+        assert!(matches!(
+            a.solve(&[1.0, 2.0]),
+            Err(MarkovError::DimensionMismatch { .. })
+        ));
         let b = Matrix::identity(2);
-        assert!(matches!(b.solve(&[1.0]), Err(MarkovError::DimensionMismatch { .. })));
+        assert!(matches!(
+            b.solve(&[1.0]),
+            Err(MarkovError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

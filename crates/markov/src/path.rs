@@ -31,7 +31,11 @@ impl ScalarPath {
     /// Creates a path with the given initial value at time `t0`.
     #[must_use]
     pub fn new(t0: f64, initial: f64) -> Self {
-        ScalarPath { times: vec![t0], values: vec![initial], end_time: t0 }
+        ScalarPath {
+            times: vec![t0],
+            values: vec![initial],
+            end_time: t0,
+        }
     }
 
     /// Records a new value holding from time `t` onward.
@@ -49,7 +53,10 @@ impl ScalarPath {
 
     /// Declares the end of observation at time `t`.
     pub fn finish(&mut self, t: f64) {
-        assert!(t >= self.end_time, "finish time must not precede the last event");
+        assert!(
+            t >= self.end_time,
+            "finish time must not precede the last event"
+        );
         self.end_time = t;
     }
 
@@ -92,7 +99,10 @@ impl ScalarPath {
     /// The largest recorded value.
     #[must_use]
     pub fn max_value(&self) -> f64 {
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// The smallest recorded value.
@@ -121,8 +131,12 @@ impl ScalarPath {
         let mut acc = 0.0;
         for i in 0..self.times.len() {
             let seg_start = self.times[i].max(from);
-            let seg_end = if i + 1 < self.times.len() { self.times[i + 1] } else { self.end_time }
-                .min(to);
+            let seg_end = if i + 1 < self.times.len() {
+                self.times[i + 1]
+            } else {
+                self.end_time
+            }
+            .min(to);
             if seg_end > seg_start {
                 acc += self.values[i] * (seg_end - seg_start);
             }
@@ -134,7 +148,10 @@ impl ScalarPath {
     /// before `t`; the initial value if `t` precedes the window).
     #[must_use]
     pub fn value_at(&self, t: f64) -> f64 {
-        match self.times.binary_search_by(|x| x.partial_cmp(&t).expect("finite times")) {
+        match self
+            .times
+            .binary_search_by(|x| x.partial_cmp(&t).expect("finite times"))
+        {
             Ok(i) => self.values[i],
             Err(0) => self.values[0],
             Err(i) => self.values[i - 1],
@@ -188,7 +205,11 @@ impl ScalarPath {
         }
         let mut acc = 0.0;
         for i in 0..self.times.len() {
-            let seg_end = if i + 1 < self.times.len() { self.times[i + 1] } else { self.end_time };
+            let seg_end = if i + 1 < self.times.len() {
+                self.times[i + 1]
+            } else {
+                self.end_time
+            };
             if self.values[i] <= level {
                 acc += seg_end - self.times[i];
             }
@@ -234,7 +255,12 @@ impl TrendEstimate {
         let n = samples.len();
         if n < 2 {
             let intercept = samples.first().map_or(0.0, |&(_, v)| v);
-            return TrendEstimate { slope: 0.0, intercept, r_squared: 0.0, samples: n };
+            return TrendEstimate {
+                slope: 0.0,
+                intercept,
+                r_squared: 0.0,
+                samples: n,
+            };
         }
         let nf = n as f64;
         let mean_t = samples.iter().map(|&(t, _)| t).sum::<f64>() / nf;
@@ -248,12 +274,26 @@ impl TrendEstimate {
             syy += (v - mean_v) * (v - mean_v);
         }
         if sxx <= 0.0 {
-            return TrendEstimate { slope: 0.0, intercept: mean_v, r_squared: 0.0, samples: n };
+            return TrendEstimate {
+                slope: 0.0,
+                intercept: mean_v,
+                r_squared: 0.0,
+                samples: n,
+            };
         }
         let slope = sxy / sxx;
         let intercept = mean_v - slope * mean_t;
-        let r_squared = if syy > 0.0 { (sxy * sxy) / (sxx * syy) } else { 0.0 };
-        TrendEstimate { slope, intercept, r_squared, samples: n }
+        let r_squared = if syy > 0.0 {
+            (sxy * sxy) / (sxx * syy)
+        } else {
+            0.0
+        };
+        TrendEstimate {
+            slope,
+            intercept,
+            r_squared,
+            samples: n,
+        }
     }
 }
 

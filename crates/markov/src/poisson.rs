@@ -12,7 +12,10 @@ use rand::Rng;
 ///
 /// Panics if `rate` is not strictly positive and finite.
 pub fn sample_exp<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
-    assert!(rate.is_finite() && rate > 0.0, "exponential rate must be positive and finite");
+    assert!(
+        rate.is_finite() && rate > 0.0,
+        "exponential rate must be positive and finite"
+    );
     // Use 1 - u to avoid ln(0); u in [0, 1).
     let u: f64 = rng.gen();
     -(1.0 - u).ln() / rate
@@ -25,7 +28,10 @@ pub fn sample_exp<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
 ///
 /// Panics if `mean` is negative or not finite.
 pub fn sample_poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
-    assert!(mean.is_finite() && mean >= 0.0, "Poisson mean must be non-negative and finite");
+    assert!(
+        mean.is_finite() && mean >= 0.0,
+        "Poisson mean must be non-negative and finite"
+    );
     if mean == 0.0 {
         return 0;
     }
@@ -68,8 +74,14 @@ pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 ///
 /// Panics if `rate` is negative or `horizon` is negative / not finite.
 pub fn poisson_process_times<R: Rng + ?Sized>(rng: &mut R, rate: f64, horizon: f64) -> Vec<f64> {
-    assert!(rate >= 0.0 && rate.is_finite(), "rate must be non-negative and finite");
-    assert!(horizon >= 0.0 && horizon.is_finite(), "horizon must be non-negative and finite");
+    assert!(
+        rate >= 0.0 && rate.is_finite(),
+        "rate must be non-negative and finite"
+    );
+    assert!(
+        horizon >= 0.0 && horizon.is_finite(),
+        "horizon must be non-negative and finite"
+    );
     let mut times = Vec::new();
     if rate == 0.0 {
         return times;
@@ -90,7 +102,7 @@ pub fn poisson_process_times<R: Rng + ?Sized>(rng: &mut R, rate: f64, horizon: f
 /// Returns `None` if all weights are zero or the slice is empty.
 pub fn sample_weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> Option<usize> {
     let total: f64 = weights.iter().sum();
-    if !(total > 0.0) {
+    if total.is_nan() || total <= 0.0 {
         return None;
     }
     let mut target = rng.gen::<f64>() * total;
@@ -134,7 +146,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let mean = 3.0;
         let n = 100_000;
-        let avg: f64 = (0..n).map(|_| sample_poisson(&mut rng, mean) as f64).sum::<f64>() / n as f64;
+        let avg: f64 = (0..n)
+            .map(|_| sample_poisson(&mut rng, mean) as f64)
+            .sum::<f64>()
+            / n as f64;
         assert!((avg - mean).abs() < 0.05, "avg {avg}");
     }
 
@@ -143,7 +158,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let mean = 500.0;
         let n = 20_000;
-        let avg: f64 = (0..n).map(|_| sample_poisson(&mut rng, mean) as f64).sum::<f64>() / n as f64;
+        let avg: f64 = (0..n)
+            .map(|_| sample_poisson(&mut rng, mean) as f64)
+            .sum::<f64>()
+            / n as f64;
         assert!((avg - mean).abs() < 2.0, "avg {avg}");
     }
 

@@ -43,14 +43,28 @@ impl CompoundPoisson {
 /// Returns [`MarkovError::InvalidParameter`] if `B ≤ 0`, if any parameter is
 /// negative or non-finite, or if `ε ≤ α m₁` (the bound requires drift slack).
 pub fn kingman_bound(process: CompoundPoisson, b: f64, epsilon: f64) -> Result<f64, MarkovError> {
-    let CompoundPoisson { rate, batch_mean, batch_mean_square } = process;
-    for (name, v) in [("rate", rate), ("batch_mean", batch_mean), ("batch_mean_square", batch_mean_square), ("B", b), ("epsilon", epsilon)] {
+    let CompoundPoisson {
+        rate,
+        batch_mean,
+        batch_mean_square,
+    } = process;
+    for (name, v) in [
+        ("rate", rate),
+        ("batch_mean", batch_mean),
+        ("batch_mean_square", batch_mean_square),
+        ("B", b),
+        ("epsilon", epsilon),
+    ] {
         if !v.is_finite() || v < 0.0 {
-            return Err(MarkovError::InvalidParameter(format!("{name} = {v} must be finite and non-negative")));
+            return Err(MarkovError::InvalidParameter(format!(
+                "{name} = {v} must be finite and non-negative"
+            )));
         }
     }
     if b <= 0.0 {
-        return Err(MarkovError::InvalidParameter("B must be strictly positive".into()));
+        return Err(MarkovError::InvalidParameter(
+            "B must be strictly positive".into(),
+        ));
     }
     if epsilon <= rate * batch_mean {
         return Err(MarkovError::InvalidParameter(format!(
@@ -74,16 +88,31 @@ pub fn kingman_bound(process: CompoundPoisson, b: f64, epsilon: f64) -> Result<f
 ///
 /// Returns [`MarkovError::InvalidParameter`] if any parameter is negative,
 /// non-finite, or if `B` or `ε` is not strictly positive.
-pub fn mgi_infinity_bound(arrival_rate: f64, mean_service: f64, b: f64, epsilon: f64) -> Result<f64, MarkovError> {
-    for (name, v) in [("arrival_rate", arrival_rate), ("mean_service", mean_service), ("B", b), ("epsilon", epsilon)] {
+pub fn mgi_infinity_bound(
+    arrival_rate: f64,
+    mean_service: f64,
+    b: f64,
+    epsilon: f64,
+) -> Result<f64, MarkovError> {
+    for (name, v) in [
+        ("arrival_rate", arrival_rate),
+        ("mean_service", mean_service),
+        ("B", b),
+        ("epsilon", epsilon),
+    ] {
         if !v.is_finite() || v < 0.0 {
-            return Err(MarkovError::InvalidParameter(format!("{name} = {v} must be finite and non-negative")));
+            return Err(MarkovError::InvalidParameter(format!(
+                "{name} = {v} must be finite and non-negative"
+            )));
         }
     }
     if b <= 0.0 || epsilon <= 0.0 {
-        return Err(MarkovError::InvalidParameter("B and epsilon must be strictly positive".into()));
+        return Err(MarkovError::InvalidParameter(
+            "B and epsilon must be strictly positive".into(),
+        ));
     }
-    let bound = (arrival_rate * (mean_service + 1.0)).exp() * 2f64.powf(-b) / (1.0 - 2f64.powf(-epsilon));
+    let bound =
+        (arrival_rate * (mean_service + 1.0)).exp() * 2f64.powf(-b) / (1.0 - 2f64.powf(-epsilon));
     Ok(bound.clamp(0.0, 1.0))
 }
 
@@ -108,12 +137,19 @@ impl MmInfinity {
     /// strictly positive.
     pub fn new(arrival_rate: f64, service_rate: f64) -> Result<Self, MarkovError> {
         if !arrival_rate.is_finite() || arrival_rate < 0.0 {
-            return Err(MarkovError::InvalidParameter("arrival rate must be finite and non-negative".into()));
+            return Err(MarkovError::InvalidParameter(
+                "arrival rate must be finite and non-negative".into(),
+            ));
         }
         if !service_rate.is_finite() || service_rate <= 0.0 {
-            return Err(MarkovError::InvalidParameter("service rate must be finite and positive".into()));
+            return Err(MarkovError::InvalidParameter(
+                "service rate must be finite and positive".into(),
+            ));
         }
-        Ok(MmInfinity { arrival_rate, service_rate })
+        Ok(MmInfinity {
+            arrival_rate,
+            service_rate,
+        })
     }
 
     /// Stationary mean number of customers, `λ/γ`.
@@ -155,7 +191,11 @@ mod tests {
 
     #[test]
     fn kingman_bound_basics() {
-        let p = CompoundPoisson { rate: 1.0, batch_mean: 1.0, batch_mean_square: 1.0 };
+        let p = CompoundPoisson {
+            rate: 1.0,
+            batch_mean: 1.0,
+            batch_mean_square: 1.0,
+        };
         // Large B makes the bound approach 1.
         let lo = kingman_bound(p, 1_000.0, 2.0).unwrap();
         assert!(lo > 0.999);
@@ -166,7 +206,11 @@ mod tests {
 
     #[test]
     fn kingman_bound_monotone_in_b() {
-        let p = CompoundPoisson { rate: 2.0, batch_mean: 1.5, batch_mean_square: 4.0 };
+        let p = CompoundPoisson {
+            rate: 2.0,
+            batch_mean: 1.5,
+            batch_mean_square: 4.0,
+        };
         let l1 = kingman_bound(p, 10.0, 4.0).unwrap();
         let l2 = kingman_bound(p, 100.0, 4.0).unwrap();
         assert!(l2 >= l1);
@@ -174,7 +218,11 @@ mod tests {
 
     #[test]
     fn kingman_bound_rejects_insufficient_drift_slack() {
-        let p = CompoundPoisson { rate: 1.0, batch_mean: 2.0, batch_mean_square: 5.0 };
+        let p = CompoundPoisson {
+            rate: 1.0,
+            batch_mean: 2.0,
+            batch_mean_square: 5.0,
+        };
         assert!(kingman_bound(p, 10.0, 2.0).is_err());
         assert!(kingman_bound(p, 10.0, 1.0).is_err());
         assert!(kingman_bound(p, 0.0, 3.0).is_err());
@@ -183,7 +231,11 @@ mod tests {
     #[test]
     fn kingman_bound_validated_empirically() {
         // Poisson (unit batches) process at rate 1, envelope B + 1.5 t.
-        let p = CompoundPoisson { rate: 1.0, batch_mean: 1.0, batch_mean_square: 1.0 };
+        let p = CompoundPoisson {
+            rate: 1.0,
+            batch_mean: 1.0,
+            batch_mean_square: 1.0,
+        };
         let b = 10.0;
         let eps = 1.5;
         let lower = kingman_bound(p, b, eps).unwrap();
@@ -209,7 +261,10 @@ mod tests {
             }
         }
         let empirical = ok as f64 / trials as f64;
-        assert!(empirical >= lower - 0.05, "empirical {empirical} vs bound {lower}");
+        assert!(
+            empirical >= lower - 0.05,
+            "empirical {empirical} vs bound {lower}"
+        );
     }
 
     #[test]
@@ -242,9 +297,16 @@ mod tests {
     fn mm_infinity_stationary_mean_matches_simulation() {
         let q = MmInfinity::new(3.0, 1.5).unwrap();
         assert!((q.stationary_mean() - 2.0).abs() < 1e-12);
-        let model = MmInfModel { lambda: 3.0, gamma: 1.5 };
+        let model = MmInfModel {
+            lambda: 3.0,
+            gamma: 1.5,
+        };
         let mut rng = StdRng::seed_from_u64(21);
-        let run = Simulator::new(&model).observe(|s| *s as f64).run(0, StopRule::at_time(5_000.0), &mut rng);
+        let run = Simulator::new(&model).observe(|s| *s as f64).run(
+            0,
+            StopRule::at_time(5_000.0),
+            &mut rng,
+        );
         let mean = run.path.time_average_over(500.0, run.final_time);
         assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
     }

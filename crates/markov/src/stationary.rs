@@ -25,7 +25,11 @@ pub struct StationaryOptions {
 
 impl Default for StationaryOptions {
     fn default() -> Self {
-        StationaryOptions { max_states: 200_000, max_iterations: 20_000, tolerance: 1e-10 }
+        StationaryOptions {
+            max_states: 200_000,
+            max_iterations: 20_000,
+            tolerance: 1e-10,
+        }
     }
 }
 
@@ -54,11 +58,14 @@ impl<S: Clone + Eq + Hash> StationaryDistribution<S> {
     /// Expected value of an observable under the distribution.
     #[must_use]
     pub fn expectation<F: Fn(&S) -> f64>(&self, f: F) -> f64 {
-        self.states.iter().zip(&self.probabilities).map(|(s, p)| f(s) * p).sum()
+        self.states
+            .iter()
+            .zip(&self.probabilities)
+            .map(|(s, p)| f(s) * p)
+            .sum()
     }
 
     /// The enumerated states and their probabilities.
-    #[must_use]
     pub fn support(&self) -> impl Iterator<Item = (&S, f64)> {
         self.states.iter().zip(self.probabilities.iter().copied())
     }
@@ -97,7 +104,9 @@ where
     F: Fn(&M::State) -> bool,
 {
     if !keep(&initial) {
-        return Err(MarkovError::InvalidParameter("initial state is outside the kept region".into()));
+        return Err(MarkovError::InvalidParameter(
+            "initial state is outside the kept region".into(),
+        ));
     }
     // Breadth-first enumeration of the kept, reachable states.
     let mut index: HashMap<M::State, usize> = HashMap::new();
@@ -179,7 +188,12 @@ where
         }
     }
 
-    Ok(StationaryDistribution { states, probabilities: pi, truncated, iterations })
+    Ok(StationaryDistribution {
+        states,
+        probabilities: pi,
+        truncated,
+        iterations,
+    })
 }
 
 #[cfg(test)]
@@ -202,8 +216,12 @@ mod tests {
 
     #[test]
     fn mm1_truncated_stationary_matches_geometric() {
-        let model = Mm1 { lambda: 0.5, mu: 1.0 };
-        let dist = stationary_distribution(&model, 0, |s| *s <= 60, StationaryOptions::default()).unwrap();
+        let model = Mm1 {
+            lambda: 0.5,
+            mu: 1.0,
+        };
+        let dist =
+            stationary_distribution(&model, 0, |s| *s <= 60, StationaryOptions::default()).unwrap();
         assert!(!dist.truncated);
         assert_eq!(dist.len(), 61);
         // pi(0) = 1 - rho = 0.5
@@ -214,8 +232,14 @@ mod tests {
 
     #[test]
     fn truncation_flag_reported() {
-        let model = Mm1 { lambda: 0.5, mu: 1.0 };
-        let opts = StationaryOptions { max_states: 5, ..Default::default() };
+        let model = Mm1 {
+            lambda: 0.5,
+            mu: 1.0,
+        };
+        let opts = StationaryOptions {
+            max_states: 5,
+            ..Default::default()
+        };
         let dist = stationary_distribution(&model, 0, |s| *s <= 60, opts).unwrap();
         assert!(dist.truncated);
         assert_eq!(dist.len(), 5);
@@ -223,15 +247,22 @@ mod tests {
 
     #[test]
     fn initial_outside_region_is_error() {
-        let model = Mm1 { lambda: 0.5, mu: 1.0 };
+        let model = Mm1 {
+            lambda: 0.5,
+            mu: 1.0,
+        };
         let r = stationary_distribution(&model, 100, |s| *s <= 60, StationaryOptions::default());
         assert!(r.is_err());
     }
 
     #[test]
     fn probability_of_unknown_state_is_zero() {
-        let model = Mm1 { lambda: 0.2, mu: 1.0 };
-        let dist = stationary_distribution(&model, 0, |s| *s <= 30, StationaryOptions::default()).unwrap();
+        let model = Mm1 {
+            lambda: 0.2,
+            mu: 1.0,
+        };
+        let dist =
+            stationary_distribution(&model, 0, |s| *s <= 30, StationaryOptions::default()).unwrap();
         assert_eq!(dist.probability_of(&1_000), 0.0);
         assert!(!dist.is_empty());
     }
@@ -249,7 +280,8 @@ mod tests {
                 }
             }
         }
-        let dist = stationary_distribution(&TwoState, 0, |_| true, StationaryOptions::default()).unwrap();
+        let dist =
+            stationary_distribution(&TwoState, 0, |_| true, StationaryOptions::default()).unwrap();
         assert!((dist.probability_of(&0) - 0.75).abs() < 1e-8);
         assert!((dist.probability_of(&1) - 0.25).abs() < 1e-8);
         let support: Vec<_> = dist.support().collect();

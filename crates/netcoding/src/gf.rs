@@ -69,12 +69,12 @@ fn is_prime(n: u32) -> bool {
     if n < 2 {
         return false;
     }
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         return n == 2;
     }
     let mut d = 3u32;
     while (d as u64) * (d as u64) <= n as u64 {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             return false;
         }
         d += 2;
@@ -90,7 +90,7 @@ impl GaloisField {
     /// Returns [`CodingError::UnsupportedFieldOrder`] unless `order` is a
     /// prime below `2^16` or a power of two between 2 and `2^16`.
     pub fn new(order: u64) -> Result<Self, CodingError> {
-        if order < 2 || order > 65_536 {
+        if !(2..=65_536).contains(&order) {
             return Err(CodingError::UnsupportedFieldOrder { order });
         }
         let order_u32 = order as u32;
@@ -98,10 +98,16 @@ impl GaloisField {
             let degree = order.trailing_zeros();
             Ok(GaloisField {
                 order: order_u32,
-                kind: FieldKind::Binary { degree, modulus: IRREDUCIBLE[degree as usize] },
+                kind: FieldKind::Binary {
+                    degree,
+                    modulus: IRREDUCIBLE[degree as usize],
+                },
             })
         } else if is_prime(order_u32) {
-            Ok(GaloisField { order: order_u32, kind: FieldKind::Prime })
+            Ok(GaloisField {
+                order: order_u32,
+                kind: FieldKind::Prime,
+            })
         } else {
             Err(CodingError::UnsupportedFieldOrder { order })
         }
@@ -128,7 +134,10 @@ impl GaloisField {
         if self.contains(x) {
             Ok(x)
         } else {
-            Err(CodingError::ElementOutOfRange { element: u64::from(x), order: u64::from(self.order) })
+            Err(CodingError::ElementOutOfRange {
+                element: u64::from(x),
+                order: u64::from(self.order),
+            })
         }
     }
 

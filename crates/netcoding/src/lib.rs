@@ -66,7 +66,10 @@ impl core::fmt::Display for CodingError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             CodingError::UnsupportedFieldOrder { order } => {
-                write!(f, "unsupported field order {order}: must be a prime or power of two up to 65536")
+                write!(
+                    f,
+                    "unsupported field order {order}: must be a prime or power of two up to 65536"
+                )
             }
             CodingError::ElementOutOfRange { element, order } => {
                 write!(f, "element {element} out of range for GF({order})")

@@ -33,7 +33,11 @@ impl Subspace {
     /// The zero subspace of `F_q^K`.
     #[must_use]
     pub fn empty(field: GaloisField, ambient_dim: usize) -> Self {
-        Subspace { field, ambient_dim, basis: Vec::new() }
+        Subspace {
+            field,
+            ambient_dim,
+            basis: Vec::new(),
+        }
     }
 
     /// The full space `F_q^K` (the type of a peer that can decode the file).
@@ -46,7 +50,11 @@ impl Subspace {
                 row
             })
             .collect();
-        Subspace { field, ambient_dim, basis }
+        Subspace {
+            field,
+            ambient_dim,
+            basis,
+        }
     }
 
     /// Builds the span of the given vectors.
@@ -55,7 +63,11 @@ impl Subspace {
     ///
     /// Returns [`CodingError::Mismatch`] if a vector has the wrong length or
     /// field.
-    pub fn span(field: GaloisField, ambient_dim: usize, vectors: &[CodingVector]) -> Result<Self, CodingError> {
+    pub fn span(
+        field: GaloisField,
+        ambient_dim: usize,
+        vectors: &[CodingVector],
+    ) -> Result<Self, CodingError> {
         let mut s = Subspace::empty(field, ambient_dim);
         for v in vectors {
             s.insert(v)?;
@@ -99,7 +111,9 @@ impl Subspace {
     pub fn basis(&self) -> Vec<CodingVector> {
         self.basis
             .iter()
-            .map(|row| CodingVector::from_coeffs(self.field, row.clone()).expect("basis rows are valid"))
+            .map(|row| {
+                CodingVector::from_coeffs(self.field, row.clone()).expect("basis rows are valid")
+            })
             .collect()
     }
 
@@ -108,7 +122,10 @@ impl Subspace {
         let f = self.field;
         let mut row = v.coeffs().to_vec();
         for b in &self.basis {
-            let pivot = b.iter().position(|&c| c != 0).expect("basis rows are non-zero");
+            let pivot = b
+                .iter()
+                .position(|&c| c != 0)
+                .expect("basis rows are non-zero");
             let coeff = row[pivot];
             if coeff != 0 {
                 // row -= coeff * b  (basis pivots are normalised to 1)
@@ -144,7 +161,9 @@ impl Subspace {
     /// or field.
     pub fn insert(&mut self, v: &CodingVector) -> Result<bool, CodingError> {
         if v.field() != self.field {
-            return Err(CodingError::Mismatch("vector over a different field".into()));
+            return Err(CodingError::Mismatch(
+                "vector over a different field".into(),
+            ));
         }
         if v.len() != self.ambient_dim {
             return Err(CodingError::Mismatch(format!(
@@ -189,7 +208,9 @@ impl Subspace {
     /// Returns [`CodingError::Mismatch`] for incompatible operands.
     pub fn sum(&self, other: &Self) -> Result<Self, CodingError> {
         if self.field != other.field || self.ambient_dim != other.ambient_dim {
-            return Err(CodingError::Mismatch("subspaces in different ambient spaces".into()));
+            return Err(CodingError::Mismatch(
+                "subspaces in different ambient spaces".into(),
+            ));
         }
         let mut out = self.clone();
         for b in other.basis() {
@@ -256,7 +277,13 @@ impl Subspace {
 
 impl core::fmt::Display for Subspace {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "<dim {} subspace of {}^{}>", self.dimension(), self.field, self.ambient_dim)
+        write!(
+            f,
+            "<dim {} subspace of {}^{}>",
+            self.dimension(),
+            self.field,
+            self.ambient_dim
+        )
     }
 }
 
@@ -331,8 +358,18 @@ mod tests {
     #[test]
     fn sum_and_intersection_dims() {
         let f = gf(5);
-        let a = Subspace::span(f, 4, &[CodingVector::unit(f, 4, 0), CodingVector::unit(f, 4, 1)]).unwrap();
-        let b = Subspace::span(f, 4, &[CodingVector::unit(f, 4, 1), CodingVector::unit(f, 4, 2)]).unwrap();
+        let a = Subspace::span(
+            f,
+            4,
+            &[CodingVector::unit(f, 4, 0), CodingVector::unit(f, 4, 1)],
+        )
+        .unwrap();
+        let b = Subspace::span(
+            f,
+            4,
+            &[CodingVector::unit(f, 4, 1), CodingVector::unit(f, 4, 2)],
+        )
+        .unwrap();
         let sum = a.sum(&b).unwrap();
         assert_eq!(sum.dimension(), 3);
         assert_eq!(a.intersection_dim(&b).unwrap(), 1);
@@ -345,7 +382,12 @@ mod tests {
     fn random_vector_lies_in_subspace() {
         let f = gf(16);
         let mut rng = StdRng::seed_from_u64(2);
-        let s = Subspace::span(f, 6, &[CodingVector::unit(f, 6, 1), CodingVector::unit(f, 6, 4)]).unwrap();
+        let s = Subspace::span(
+            f,
+            6,
+            &[CodingVector::unit(f, 6, 1), CodingVector::unit(f, 6, 4)],
+        )
+        .unwrap();
         for _ in 0..100 {
             let v = s.random_vector(&mut rng);
             assert!(s.contains(&v));
@@ -359,14 +401,22 @@ mod tests {
         let f = gf(4);
         // A = span(e0), B = span(e0, e1): P(useful from B to A) = 1 - q^{1-2} = 1 - 1/4.
         let a = Subspace::span(f, 3, &[CodingVector::unit(f, 3, 0)]).unwrap();
-        let b = Subspace::span(f, 3, &[CodingVector::unit(f, 3, 0), CodingVector::unit(f, 3, 1)]).unwrap();
+        let b = Subspace::span(
+            f,
+            3,
+            &[CodingVector::unit(f, 3, 0), CodingVector::unit(f, 3, 1)],
+        )
+        .unwrap();
         let p = a.useful_probability_from(&b).unwrap();
         assert!((p - 0.75).abs() < 1e-12);
         // Uploads from a subspace of A are never useful to A.
         let p = b.useful_probability_from(&a).unwrap();
         assert!((p - 0.0).abs() < 1e-12);
         // Trivial uploader can never help.
-        assert_eq!(a.useful_probability_from(&Subspace::empty(f, 3)).unwrap(), 0.0);
+        assert_eq!(
+            a.useful_probability_from(&Subspace::empty(f, 3)).unwrap(),
+            0.0
+        );
     }
 
     #[test]
@@ -405,7 +455,9 @@ mod tests {
         // With q = 16 and enough random vectors the span is full w.h.p.
         let f = gf(16);
         let mut rng = StdRng::seed_from_u64(4);
-        let vectors: Vec<CodingVector> = (0..10).map(|_| CodingVector::random(f, 4, &mut rng)).collect();
+        let vectors: Vec<CodingVector> = (0..10)
+            .map(|_| CodingVector::random(f, 4, &mut rng))
+            .collect();
         let s = Subspace::span(f, 4, &vectors).unwrap();
         assert!(s.is_full());
         assert_eq!(s, Subspace::full(f, 4));

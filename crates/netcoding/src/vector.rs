@@ -26,7 +26,10 @@ impl CodingVector {
     /// The zero vector of length `len`.
     #[must_use]
     pub fn zero(field: GaloisField, len: usize) -> Self {
-        CodingVector { field, coeffs: vec![0; len] }
+        CodingVector {
+            field,
+            coeffs: vec![0; len],
+        }
     }
 
     /// The `i`-th unit vector of length `len` (the coding vector of the
@@ -58,7 +61,10 @@ impl CodingVector {
 
     /// Samples a uniformly random vector of length `len`.
     pub fn random<R: rand::Rng + ?Sized>(field: GaloisField, len: usize, rng: &mut R) -> Self {
-        CodingVector { field, coeffs: (0..len).map(|_| field.random_element(rng)).collect() }
+        CodingVector {
+            field,
+            coeffs: (0..len).map(|_| field.random_element(rng)).collect(),
+        }
     }
 
     /// The field the vector lives over.
@@ -105,7 +111,10 @@ impl CodingVector {
             .zip(&other.coeffs)
             .map(|(&a, &b)| self.field.add(a, b))
             .collect();
-        Ok(CodingVector { field: self.field, coeffs })
+        Ok(CodingVector {
+            field: self.field,
+            coeffs,
+        })
     }
 
     /// Scalar multiplication.
@@ -118,7 +127,11 @@ impl CodingVector {
         self.field.check(scalar)?;
         Ok(CodingVector {
             field: self.field,
-            coeffs: self.coeffs.iter().map(|&c| self.field.mul(c, scalar)).collect(),
+            coeffs: self
+                .coeffs
+                .iter()
+                .map(|&c| self.field.mul(c, scalar))
+                .collect(),
         })
     }
 
@@ -141,7 +154,9 @@ impl CodingVector {
 
     fn compatible(&self, other: &Self) -> Result<(), CodingError> {
         if self.field != other.field {
-            return Err(CodingError::Mismatch("vectors over different fields".into()));
+            return Err(CodingError::Mismatch(
+                "vectors over different fields".into(),
+            ));
         }
         if self.coeffs.len() != other.coeffs.len() {
             return Err(CodingError::Mismatch(format!(
@@ -165,7 +180,9 @@ impl CodingVector {
         vectors: &[Self],
         rng: &mut R,
     ) -> Result<Self, CodingError> {
-        let first = vectors.first().ok_or_else(|| CodingError::Mismatch("no vectors to combine".into()))?;
+        let first = vectors
+            .first()
+            .ok_or_else(|| CodingError::Mismatch("no vectors to combine".into()))?;
         let mut acc = Self::zero(first.field, first.len());
         for v in vectors {
             let coeff = first.field.random_element(rng);

@@ -67,7 +67,9 @@ impl TypeSpace {
             return Err(PieceSetError::ZeroPieces);
         }
         if num_pieces > MAX_ENUMERABLE_PIECES || num_pieces > MAX_PIECES {
-            return Err(PieceSetError::TooManyPieces { requested: num_pieces });
+            return Err(PieceSetError::TooManyPieces {
+                requested: num_pieces,
+            });
         }
         Ok(TypeSpace { num_pieces })
     }
@@ -109,7 +111,11 @@ impl TypeSpace {
     /// Panics in debug builds if `set` uses pieces outside this space.
     #[must_use]
     pub fn index_of(&self, set: PieceSet) -> TypeIndex {
-        debug_assert!(self.contains_type(set), "type {set} not in a {}-piece space", self.num_pieces);
+        debug_assert!(
+            self.contains_type(set),
+            "type {set} not in a {}-piece space",
+            self.num_pieces
+        );
         TypeIndex(set.bits() as usize)
     }
 
@@ -120,7 +126,11 @@ impl TypeSpace {
     /// Panics if `index` is out of range.
     #[must_use]
     pub fn type_at(&self, index: TypeIndex) -> PieceSet {
-        assert!(index.0 < self.num_types(), "type index {} out of range", index.0);
+        assert!(
+            index.0 < self.num_types(),
+            "type index {} out of range",
+            index.0
+        );
         PieceSet::from_bits(index.0 as u64)
     }
 
@@ -171,7 +181,11 @@ pub struct SubsetsIter {
 
 impl SubsetsIter {
     fn new(of: PieceSet) -> Self {
-        SubsetsIter { mask: of.bits(), current: of.bits(), done: false }
+        SubsetsIter {
+            mask: of.bits(),
+            current: of.bits(),
+            done: false,
+        }
     }
 }
 

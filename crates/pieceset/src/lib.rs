@@ -60,10 +60,16 @@ impl core::fmt::Display for PieceSetError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             PieceSetError::PieceOutOfRange { piece, num_pieces } => {
-                write!(f, "piece index {piece} out of range for a {num_pieces}-piece file")
+                write!(
+                    f,
+                    "piece index {piece} out of range for a {num_pieces}-piece file"
+                )
             }
             PieceSetError::TooManyPieces { requested } => {
-                write!(f, "requested {requested} pieces but at most {MAX_PIECES} are supported")
+                write!(
+                    f,
+                    "requested {requested} pieces but at most {MAX_PIECES} are supported"
+                )
             }
             PieceSetError::ZeroPieces => write!(f, "a file must have at least one piece"),
         }

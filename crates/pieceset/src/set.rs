@@ -32,7 +32,9 @@ pub const MAX_PIECES: usize = 64;
 /// let useful = full.difference(c);
 /// assert_eq!(useful.len(), 2);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct PieceSet(u64);
 
 impl PieceSet {
@@ -50,7 +52,10 @@ impl PieceSet {
     #[must_use]
     pub fn full(num_pieces: usize) -> Self {
         assert!(num_pieces >= 1, "a file must have at least one piece");
-        assert!(num_pieces <= MAX_PIECES, "at most {MAX_PIECES} pieces are supported");
+        assert!(
+            num_pieces <= MAX_PIECES,
+            "at most {MAX_PIECES} pieces are supported"
+        );
         if num_pieces == MAX_PIECES {
             PieceSet(u64::MAX)
         } else {
@@ -68,7 +73,9 @@ impl PieceSet {
             return Err(PieceSetError::ZeroPieces);
         }
         if num_pieces > MAX_PIECES {
-            return Err(PieceSetError::TooManyPieces { requested: num_pieces });
+            return Err(PieceSetError::TooManyPieces {
+                requested: num_pieces,
+            });
         }
         Ok(Self::full(num_pieces))
     }
@@ -334,7 +341,9 @@ mod tests {
         assert_eq!(PieceSet::try_full(0), Err(PieceSetError::ZeroPieces));
         assert_eq!(
             PieceSet::try_full(MAX_PIECES + 1),
-            Err(PieceSetError::TooManyPieces { requested: MAX_PIECES + 1 })
+            Err(PieceSetError::TooManyPieces {
+                requested: MAX_PIECES + 1
+            })
         );
         assert!(PieceSet::try_full(MAX_PIECES).is_ok());
     }

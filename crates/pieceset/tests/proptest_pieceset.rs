@@ -8,7 +8,11 @@ fn arb_set() -> impl Strategy<Value = PieceSet> {
 }
 
 fn arb_small_set(k: usize) -> impl Strategy<Value = PieceSet> {
-    let mask = if k == MAX_PIECES { u64::MAX } else { (1u64 << k) - 1 };
+    let mask = if k == MAX_PIECES {
+        u64::MAX
+    } else {
+        (1u64 << k) - 1
+    };
     any::<u64>().prop_map(move |b| PieceSet::from_bits(b & mask))
 }
 

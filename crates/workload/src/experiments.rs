@@ -20,17 +20,20 @@ use swarm::mu_infinity::{MuInfinityProcess, MuInfinityState};
 use swarm::policy;
 use swarm::sim::{AgentConfig, AgentSwarm};
 use swarm::stability;
-use swarm::{SwarmModel, SwarmParams, StabilityVerdict};
+use swarm::{StabilityVerdict, SwarmModel, SwarmParams};
 
 /// Shared experiment configuration: a simulation budget and a base seed.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExperimentConfig {
     /// Simulated horizon for long runs.
     pub horizon: f64,
-    /// Base RNG seed.
+    /// Master RNG seed (sweeps derive per-point, per-replication streams
+    /// from it through the engine).
     pub seed: u64,
     /// Worker threads for sweeps.
     pub threads: usize,
+    /// Replications per sweep point, combined by majority vote.
+    pub replications: u32,
 }
 
 impl ExperimentConfig {
@@ -38,17 +41,33 @@ impl ExperimentConfig {
     /// time, not hours).
     #[must_use]
     pub fn quick() -> Self {
-        ExperimentConfig { horizon: 600.0, seed: 0xA11CE, threads: 2 }
+        ExperimentConfig {
+            horizon: 600.0,
+            seed: 0xA11CE,
+            threads: 2,
+            replications: 2,
+        }
     }
 
     /// The full configuration used by the bench harness.
     #[must_use]
     pub fn full() -> Self {
-        ExperimentConfig { horizon: 2_500.0, seed: 0xA11CE, threads: 4 }
+        ExperimentConfig {
+            horizon: 2_500.0,
+            seed: 0xA11CE,
+            threads: 0,
+            replications: 8,
+        }
     }
 
     fn sweep_options(&self) -> SweepOptions {
-        SweepOptions { horizon: self.horizon, seed: self.seed, threads: self.threads, initial_one_club: 0 }
+        SweepOptions {
+            horizon: self.horizon,
+            seed: self.seed,
+            threads: self.threads,
+            replications: self.replications,
+            initial_one_club: 0,
+        }
     }
 }
 
@@ -57,6 +76,11 @@ impl Default for ExperimentConfig {
         Self::quick()
     }
 }
+
+/// The load factors E1 sweeps across the Example 1 boundary; exported so
+/// artifact writers (e.g. `run_experiments --out-dir`) describe the same
+/// sweep as the E1 report.
+pub const EXAMPLE1_LOADS: [f64; 6] = [0.3, 0.6, 0.9, 1.2, 1.6, 2.5];
 
 fn verdict_str(v: StabilityVerdict) -> &'static str {
     match v {
@@ -67,7 +91,17 @@ fn verdict_str(v: StabilityVerdict) -> &'static str {
 }
 
 fn sweep_table(title: &str, outcomes: &[crate::SweepOutcome]) -> Table {
-    let mut t = Table::new(title, &["point", "theory", "simulated", "tail slope", "tail avg N", "agree"]);
+    let mut t = Table::new(
+        title,
+        &[
+            "point",
+            "theory",
+            "simulated",
+            "tail slope",
+            "tail avg N",
+            "agree",
+        ],
+    );
     for o in outcomes {
         t.row(&[
             o.label.clone(),
@@ -89,16 +123,27 @@ pub fn example1(config: &ExperimentConfig) -> ExperimentReport {
     let mut report = ExperimentReport::new("E1", "Example 1 (K = 1): fixed seed plus peer seeds");
     let (us, mu, gamma) = (1.0, 1.0, 2.0);
     let threshold = us / (1.0 - mu / gamma);
-    report.note(format!("Theorem 1 threshold: λ0 < U_s/(1−µ/γ) = {}", fmt_num(threshold)));
+    report.note(format!(
+        "Theorem 1 threshold: λ0 < U_s/(1−µ/γ) = {}",
+        fmt_num(threshold)
+    ));
 
-    let loads = [0.3, 0.6, 0.9, 1.2, 1.6, 2.5];
+    let loads = EXAMPLE1_LOADS;
     let points: Vec<SweepPoint> = loads
         .iter()
-        .map(|&f| SweepPoint::new(format!("load={f}"), scenario::example1_at_load(f, us, mu, gamma).unwrap()))
+        .map(|&f| {
+            SweepPoint::new(
+                format!("load={f}"),
+                scenario::example1_at_load(f, us, mu, gamma).unwrap(),
+            )
+        })
         .collect();
     let outcomes = run_sweep(&points, config.sweep_options());
     let summary = summarise(&outcomes);
-    report.push_table(sweep_table("load sweep across the boundary (µ < γ)", &outcomes));
+    report.push_table(sweep_table(
+        "load sweep across the boundary (µ < γ)",
+        &outcomes,
+    ));
     report.note(format!(
         "agreement with Theorem 1 on decidable points: {}/{}",
         summary.agreements,
@@ -109,7 +154,10 @@ pub fn example1(config: &ExperimentConfig) -> ExperimentReport {
     let slow = scenario::example1(6.0, 0.3, 1.0, 0.8).unwrap();
     let slow_points = vec![SweepPoint::new("γ=0.8µ, λ0=6, Us=0.3", slow)];
     let slow_outcomes = run_sweep(&slow_points, config.sweep_options());
-    report.push_table(sweep_table("slow-departure regime (γ ≤ µ): stable at any load", &slow_outcomes));
+    report.push_table(sweep_table(
+        "slow-departure regime (γ ≤ µ): stable at any load",
+        &slow_outcomes,
+    ));
     report
 }
 
@@ -117,7 +165,8 @@ pub fn example1(config: &ExperimentConfig) -> ExperimentReport {
 /// immediate departures. The region is the wedge `λ12 < 2 λ34`, `λ34 < 2 λ12`.
 #[must_use]
 pub fn example2(config: &ExperimentConfig) -> ExperimentReport {
-    let mut report = ExperimentReport::new("E2", "Example 2 (K = 4): two arrival types, no seed, γ = ∞");
+    let mut report =
+        ExperimentReport::new("E2", "Example 2 (K = 4): two arrival types, no seed, γ = ∞");
     report.note("stability region: λ12 < 2·λ34 and λ34 < 2·λ12");
     let lambda34 = 1.0;
     let ratios = [0.3, 0.7, 1.0, 1.5, 2.5, 4.0];
@@ -132,7 +181,10 @@ pub fn example2(config: &ExperimentConfig) -> ExperimentReport {
         .collect();
     let outcomes = run_sweep(&points, config.sweep_options());
     let summary = summarise(&outcomes);
-    report.push_table(sweep_table("ratio sweep across the 2:1 boundary", &outcomes));
+    report.push_table(sweep_table(
+        "ratio sweep across the 2:1 boundary",
+        &outcomes,
+    ));
     report.note(format!(
         "agreement with Theorem 1 on decidable points: {}/{}",
         summary.agreements,
@@ -146,10 +198,16 @@ pub fn example2(config: &ExperimentConfig) -> ExperimentReport {
 /// `(2 + µ/γ)/(1 − µ/γ)` boundary, plus the `γ = ∞` degenerate case.
 #[must_use]
 pub fn example3(config: &ExperimentConfig) -> ExperimentReport {
-    let mut report = ExperimentReport::new("E3", "Example 3 (K = 3): one-piece arrivals with peer seeds");
+    let mut report = ExperimentReport::new(
+        "E3",
+        "Example 3 (K = 3): one-piece arrivals with peer seeds",
+    );
     let (mu, gamma) = (1.0, 2.0);
     let factor = (2.0 + mu / gamma) / (1.0 - mu / gamma);
-    report.note(format!("stability needs λ_i + λ_j < {} · λ_k for every piece k", fmt_num(factor)));
+    report.note(format!(
+        "stability needs λ_i + λ_j < {} · λ_k for every piece k",
+        fmt_num(factor)
+    ));
 
     // λ1 = λ2 = 1; sweep λ3 so that (λ1+λ2)/λ3 crosses the factor.
     let crossings = [0.5, 0.8, 1.0, 1.3, 2.0];
@@ -165,16 +223,28 @@ pub fn example3(config: &ExperimentConfig) -> ExperimentReport {
         })
         .collect();
     let outcomes = run_sweep(&points, config.sweep_options());
-    report.push_table(sweep_table("asymmetry sweep across the Example 3 boundary", &outcomes));
+    report.push_table(sweep_table(
+        "asymmetry sweep across the Example 3 boundary",
+        &outcomes,
+    ));
 
     // γ = ∞: symmetric arrival rates are the (null-recurrent) borderline; any
     // asymmetry is transient.
     let degenerate = vec![
-        SweepPoint::new("γ=∞ symmetric", scenario::example3([1.0, 1.0, 1.0], 1.0, f64::INFINITY).unwrap()),
-        SweepPoint::new("γ=∞ asymmetric", scenario::example3([1.0, 1.0, 0.5], 1.0, f64::INFINITY).unwrap()),
+        SweepPoint::new(
+            "γ=∞ symmetric",
+            scenario::example3([1.0, 1.0, 1.0], 1.0, f64::INFINITY).unwrap(),
+        ),
+        SweepPoint::new(
+            "γ=∞ asymmetric",
+            scenario::example3([1.0, 1.0, 0.5], 1.0, f64::INFINITY).unwrap(),
+        ),
     ];
     let outcomes = run_sweep(&degenerate, config.sweep_options());
-    report.push_table(sweep_table("γ = ∞ degenerate cases (Section VIII-D)", &outcomes));
+    report.push_table(sweep_table(
+        "γ = ∞ degenerate cases (Section VIII-D)",
+        &outcomes,
+    ));
     report
 }
 
@@ -184,7 +254,8 @@ pub fn example3(config: &ExperimentConfig) -> ExperimentReport {
 /// the predicted `Δ_{F−{1}}`.
 #[must_use]
 pub fn one_club_growth(config: &ExperimentConfig) -> ExperimentReport {
-    let mut report = ExperimentReport::new("E4", "Missing-piece syndrome: one-club growth (Fig. 2)");
+    let mut report =
+        ExperimentReport::new("E4", "Missing-piece syndrome: one-club growth (Fig. 2)");
     let initial_club = 150usize;
 
     // Transient configuration: K = 3, weak seed, some gifted arrivals.
@@ -212,7 +283,10 @@ pub fn one_club_growth(config: &ExperimentConfig) -> ExperimentReport {
             .expect("µ < γ in both configurations");
         let sim = AgentSwarm::with_config(
             params.clone(),
-            AgentConfig { snapshot_interval: (config.horizon / 40.0).max(1.0), ..Default::default() },
+            AgentConfig {
+                snapshot_interval: (config.horizon / 40.0).max(1.0),
+                ..Default::default()
+            },
             Box::new(policy::RandomUseful),
         )
         .expect("valid simulator configuration");
@@ -220,8 +294,14 @@ pub fn one_club_growth(config: &ExperimentConfig) -> ExperimentReport {
         let result = sim.run_from_one_club(initial_club, config.horizon, &mut rng);
 
         let mut table = Table::new(
-            &format!("{name} configuration (Theorem 1: {}, Δ_F−{{1}} = {})", verdict_str(verdict), fmt_num(delta)),
-            &["time", "N", "one-club", "former", "infected", "gifted", "young", "D_t", "A_t"],
+            &format!(
+                "{name} configuration (Theorem 1: {}, Δ_F−{{1}} = {})",
+                verdict_str(verdict),
+                fmt_num(delta)
+            ),
+            &[
+                "time", "N", "one-club", "former", "infected", "gifted", "young", "D_t", "A_t",
+            ],
         );
         let step = (result.snapshots.len() / 10).max(1);
         for snap in result.snapshots.iter().step_by(step) {
@@ -265,8 +345,19 @@ pub fn stability_region(config: &ExperimentConfig) -> ExperimentReport {
             // so the same absolute rates are used across rows.
             let reference_threshold = us / (1.0 - mu / 3.0);
             let lambda0 = load * reference_threshold;
-            let label = format!("γ/µ={}, λ0={}", if g.is_finite() { g.to_string() } else { "inf".into() }, fmt_num(lambda0));
-            points.push(SweepPoint::new(label, scenario::example1(lambda0, us, mu, g).unwrap()));
+            let label = format!(
+                "γ/µ={}, λ0={}",
+                if g.is_finite() {
+                    g.to_string()
+                } else {
+                    "inf".into()
+                },
+                fmt_num(lambda0)
+            );
+            points.push(SweepPoint::new(
+                label,
+                scenario::example1(lambda0, us, mu, g).unwrap(),
+            ));
         }
     }
     let outcomes = run_sweep(&points, config.sweep_options());
@@ -297,7 +388,10 @@ pub fn stability_region(config: &ExperimentConfig) -> ExperimentReport {
         map.len(),
         map.mismatches()
     ));
-    report.push_figure("Example 1 stability region over (λ0, γ), U_s = 0.5, µ = 1", map.render());
+    report.push_figure(
+        "Example 1 stability region over (λ0, γ), U_s = 0.5, µ = 1",
+        map.render(),
+    );
     report
 }
 
@@ -306,8 +400,10 @@ pub fn stability_region(config: &ExperimentConfig) -> ExperimentReport {
 /// `µ` a heavy enough load is transient.
 #[must_use]
 pub fn one_extra_piece(config: &ExperimentConfig) -> ExperimentReport {
-    let mut report =
-        ExperimentReport::new("E6", "Corollary: dwelling long enough to upload one extra piece stabilises the swarm");
+    let mut report = ExperimentReport::new(
+        "E6",
+        "Corollary: dwelling long enough to upload one extra piece stabilises the swarm",
+    );
     let lambda0 = 20.0;
     let points: Vec<SweepPoint> = [0.5, 0.8, 0.95, 1.5, 3.0]
         .iter()
@@ -319,11 +415,18 @@ pub fn one_extra_piece(config: &ExperimentConfig) -> ExperimentReport {
         })
         .collect();
     let outcomes = run_sweep(&points, config.sweep_options());
-    report.push_table(sweep_table("dwell-time sweep at heavy load (K = 3, U_s = 0.05)", &outcomes));
+    report.push_table(sweep_table(
+        "dwell-time sweep at heavy load (K = 3, U_s = 0.05)",
+        &outcomes,
+    ));
     report.note("theory: stable for γ/µ ≤ 1 regardless of λ0; transient for γ/µ > 1 once λ0 exceeds the (tiny) seed-driven threshold");
     report.note("near γ = µ the system is positive recurrent but its stationary population is enormous (the branching ratio µ/γ approaches one), so finite-horizon simulations sit in a long transient there");
-    let gamma_crit = stability::critical_departure_rate(&scenario::one_extra_piece(3, lambda0, 2.0).unwrap());
-    report.note(format!("critical γ at this load: {} (≥ µ = 1 as the corollary states)", fmt_num(gamma_crit)));
+    let gamma_crit =
+        stability::critical_departure_rate(&scenario::one_extra_piece(3, lambda0, 2.0).unwrap());
+    report.note(format!(
+        "critical γ at this load: {} (≥ µ = 1 as the corollary states)",
+        fmt_num(gamma_crit)
+    ));
     report
 }
 
@@ -333,8 +436,16 @@ pub fn one_extra_piece(config: &ExperimentConfig) -> ExperimentReport {
 /// configuration under each policy.
 #[must_use]
 pub fn policy_insensitivity(config: &ExperimentConfig) -> ExperimentReport {
-    let mut report = ExperimentReport::new("E7", "Theorem 14: the stability region is policy-insensitive");
-    let policies = ["random-useful", "rarest-first", "sequential", "most-common-first"];
+    let mut report = ExperimentReport::new(
+        "E7",
+        "Theorem 14: the stability region is policy-insensitive",
+    );
+    let policies = [
+        "random-useful",
+        "rarest-first",
+        "sequential",
+        "most-common-first",
+    ];
 
     // Boundary sweep: K = 3 Example-3-like network, stable and transient
     // points. Piece 1 (the default watch piece) is the rare one in the
@@ -343,7 +454,12 @@ pub fn policy_insensitivity(config: &ExperimentConfig) -> ExperimentReport {
     let transient_params = scenario::example3([0.2, 2.0, 2.0], 1.0, 4.0).unwrap();
     let mut table = Table::new(
         "classification by policy (agent-based simulation)",
-        &["policy", "stable point → class", "transient point → class", "one-club onset time (transient)"],
+        &[
+            "policy",
+            "stable point → class",
+            "transient point → class",
+            "one-club onset time (transient)",
+        ],
     );
     for name in policies {
         let mut cells = vec![name.to_owned()];
@@ -351,7 +467,10 @@ pub fn policy_insensitivity(config: &ExperimentConfig) -> ExperimentReport {
         for (which, params) in [("stable", &stable_params), ("transient", &transient_params)] {
             let sim = AgentSwarm::with_config(
                 params.clone(),
-                AgentConfig { snapshot_interval: 5.0, ..Default::default() },
+                AgentConfig {
+                    snapshot_interval: 5.0,
+                    ..Default::default()
+                },
                 policy::by_name(name).expect("known policy"),
             )
             .expect("valid configuration");
@@ -383,11 +502,18 @@ pub fn policy_insensitivity(config: &ExperimentConfig) -> ExperimentReport {
 /// the gifted fraction at laptop scale `(q = 8, K = 4)`.
 #[must_use]
 pub fn network_coding(config: &ExperimentConfig) -> ExperimentReport {
-    let mut report = ExperimentReport::new("E8", "Theorem 15: network coding with gifted coded pieces");
+    let mut report =
+        ExperimentReport::new("E8", "Theorem 15: network coding with gifted coded pieces");
 
     let mut thresholds = Table::new(
         "gifted-fraction thresholds f (transient below / positive recurrent above)",
-        &["q", "K", "transient below", "recurrent above", "uncoded verdict at f=0.5"],
+        &[
+            "q",
+            "K",
+            "transient below",
+            "recurrent above",
+            "uncoded verdict at f=0.5",
+        ],
     );
     for (q, k) in [(8u64, 4usize), (16, 8), (64, 200), (256, 200)] {
         let (lo, hi) = coded::theorem15_gift_thresholds(q, k);
@@ -399,7 +525,13 @@ pub fn network_coding(config: &ExperimentConfig) -> ExperimentReport {
         } else {
             "transient (any f < 1)".to_owned()
         };
-        thresholds.row(&[q.to_string(), k.to_string(), fmt_num(lo), fmt_num(hi), uncoded]);
+        thresholds.row(&[
+            q.to_string(),
+            k.to_string(),
+            fmt_num(lo),
+            fmt_num(hi),
+            uncoded,
+        ]);
     }
     report.push_table(thresholds);
     report.note("paper example: q = 64, K = 200 → transient below ≈ 0.00507, recurrent above ≈ 0.00516; without coding any f < 1 is transient");
@@ -409,7 +541,13 @@ pub fn network_coding(config: &ExperimentConfig) -> ExperimentReport {
     let (lo, hi) = coded::theorem15_gift_thresholds(q, k);
     let mut sim_table = Table::new(
         &format!("coded swarm simulation, q = {q}, K = {k} (λ_total = 1, U_s = 0, γ = ∞)"),
-        &["gift fraction f", "Theorem 15", "sim class", "tail slope", "departures"],
+        &[
+            "gift fraction f",
+            "Theorem 15",
+            "sim class",
+            "tail slope",
+            "departures",
+        ],
     );
     for f in [lo * 0.3, lo * 0.8, (hi * 1.5).min(1.0), (hi * 4.0).min(1.0)] {
         let params = coded::CodedParams::gift_example(k, q, 1.0, f, 0.0, 1.0, f64::INFINITY)
@@ -437,14 +575,23 @@ pub fn network_coding(config: &ExperimentConfig) -> ExperimentReport {
 /// recurrence, and sweeps finite `µ/λ` for the Conjecture 17 picture.
 #[must_use]
 pub fn borderline(config: &ExperimentConfig) -> ExperimentReport {
-    let mut report = ExperimentReport::new("E9", "Borderline case: the µ = ∞ process (Fig. 3) and Conjecture 17");
+    let mut report = ExperimentReport::new(
+        "E9",
+        "Borderline case: the µ = ∞ process (Fig. 3) and Conjecture 17",
+    );
     let k = 3;
     let process = MuInfinityProcess::new(k, 1.0).expect("valid µ=∞ process");
 
     // Zero drift on the top layer.
-    let mut drift_table = Table::new("top-layer drift of the peer count (should be ≈ 0)", &["n", "drift"]);
+    let mut drift_table = Table::new(
+        "top-layer drift of the peer count (should be ≈ 0)",
+        &["n", "drift"],
+    );
     for n in [5u64, 20, 100, 400] {
-        let state = MuInfinityState::Uniform { peers: n, pieces: k - 1 };
+        let state = MuInfinityState::Uniform {
+            peers: n,
+            pieces: k - 1,
+        };
         let d = markov::drift::drift(&process, &state, |s| match s {
             MuInfinityState::Empty => 0.0,
             MuInfinityState::Uniform { peers, .. } => *peers as f64,
@@ -452,7 +599,10 @@ pub fn borderline(config: &ExperimentConfig) -> ExperimentReport {
         drift_table.row(&[n.to_string(), fmt_num(d)]);
     }
     report.push_table(drift_table);
-    report.note(format!("E[Z] = K − 1 = {} exactly, so the top layer is a zero-drift walk (null recurrence)", k - 1));
+    report.note(format!(
+        "E[Z] = K − 1 = {} exactly, so the top layer is a zero-drift walk (null recurrence)",
+        k - 1
+    ));
 
     // Excursion statistics of the simulated µ = ∞ process.
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0xE9);
@@ -465,15 +615,36 @@ pub fn borderline(config: &ExperimentConfig) -> ExperimentReport {
         markov::StopRule::time_or_events(config.horizon * 50.0, 2_000_000),
         &mut rng,
     );
-    let mut excursions = Table::new("µ = ∞ process sample-path statistics", &["quantity", "value"]);
-    excursions.row(&["returns to n ≤ 3".to_owned(), run.path.upcrossings_of(3.0).to_string()]);
-    excursions.row(&["maximum population".to_owned(), fmt_num(run.path.max_value())]);
-    excursions.row(&["time-average population".to_owned(), fmt_num(run.path.time_average_values())]);
+    let mut excursions = Table::new(
+        "µ = ∞ process sample-path statistics",
+        &["quantity", "value"],
+    );
+    excursions.row(&[
+        "returns to n ≤ 3".to_owned(),
+        run.path.upcrossings_of(3.0).to_string(),
+    ]);
+    excursions.row(&[
+        "maximum population".to_owned(),
+        fmt_num(run.path.max_value()),
+    ]);
+    excursions.row(&[
+        "time-average population".to_owned(),
+        fmt_num(run.path.time_average_values()),
+    ]);
     let stats = markov::hitting::excursions_above(&run.path, 3.0);
-    excursions.row(&["completed excursions above n = 3".to_owned(), stats.completed.to_string()]);
-    excursions.row(&["median excursion length".to_owned(), fmt_num(stats.median_length)]);
+    excursions.row(&[
+        "completed excursions above n = 3".to_owned(),
+        stats.completed.to_string(),
+    ]);
+    excursions.row(&[
+        "median excursion length".to_owned(),
+        fmt_num(stats.median_length),
+    ]);
     excursions.row(&["max excursion length".to_owned(), fmt_num(stats.max_length)]);
-    excursions.row(&["max / median excursion length".to_owned(), fmt_num(stats.max_to_median())]);
+    excursions.row(&[
+        "max / median excursion length".to_owned(),
+        fmt_num(stats.max_to_median()),
+    ]);
     report.push_table(excursions);
     report.note("null recurrence signature: excursions keep completing (returns are certain) but their lengths are heavy-tailed — the max/median ratio grows with the horizon instead of settling");
 
@@ -504,7 +675,10 @@ pub fn borderline(config: &ExperimentConfig) -> ExperimentReport {
 /// agent-based run started from a large one club.
 #[must_use]
 pub fn abs_bounds(config: &ExperimentConfig) -> ExperimentReport {
-    let mut report = ExperimentReport::new("E10", "Section VI machinery: branching means and maximal bounds");
+    let mut report = ExperimentReport::new(
+        "E10",
+        "Section VI machinery: branching means and maximal bounds",
+    );
     let params = SwarmParams::builder(3)
         .seed_rate(0.3)
         .contact_rate(1.0)
@@ -515,15 +689,25 @@ pub fn abs_bounds(config: &ExperimentConfig) -> ExperimentReport {
         .expect("valid parameters");
     let piece = PieceId::new(0);
 
-    let mut means = Table::new("ABS offspring means vs ξ → 0 limits", &["ξ", "m_b", "m_f", "D̂ rate bound"]);
+    let mut means = Table::new(
+        "ABS offspring means vs ξ → 0 limits",
+        &["ξ", "m_b", "m_f", "D̂ rate bound"],
+    );
     let limit = branching_analysis::abs_means_limit(&params);
     for xi in [0.1, 0.01, 0.001] {
         let m = branching_analysis::abs_means(&params, xi).expect("subcritical for these ξ");
-        let rate = branching_analysis::piece_download_rate_bound(&params, piece, xi).expect("subcritical");
+        let rate =
+            branching_analysis::piece_download_rate_bound(&params, piece, xi).expect("subcritical");
         means.row(&[fmt_num(xi), fmt_num(m.m_b), fmt_num(m.m_f), fmt_num(rate)]);
     }
-    let limit_rate = branching_analysis::piece_download_rate_bound(&params, piece, 1e-9).expect("subcritical");
-    means.row(&["limit".to_owned(), fmt_num(limit.m_b), fmt_num(limit.m_f), fmt_num(limit_rate)]);
+    let limit_rate =
+        branching_analysis::piece_download_rate_bound(&params, piece, 1e-9).expect("subcritical");
+    means.row(&[
+        "limit".to_owned(),
+        fmt_num(limit.m_b),
+        fmt_num(limit.m_f),
+        fmt_num(limit_rate),
+    ]);
     report.note(format!(
         "for reference, the Theorem 1 per-piece threshold (the equivalent condition written against λ_total) is {}",
         fmt_num(stability::piece_threshold(&params, piece).expect("µ < γ"))
@@ -533,27 +717,47 @@ pub fn abs_bounds(config: &ExperimentConfig) -> ExperimentReport {
     // Envelope checks against an agent-based run from a large one club.
     let sim = AgentSwarm::with_config(
         params.clone(),
-        AgentConfig { snapshot_interval: (config.horizon / 100.0).max(1.0), ..Default::default() },
+        AgentConfig {
+            snapshot_interval: (config.horizon / 100.0).max(1.0),
+            ..Default::default()
+        },
         Box::new(policy::RandomUseful),
     )
     .expect("valid simulator configuration");
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x10);
     let result = sim.run_from_one_club(100, config.horizon, &mut rng);
 
-    let d_rate = branching_analysis::piece_download_rate_bound(&params, piece, 0.01).expect("subcritical");
+    let d_rate =
+        branching_analysis::piece_download_rate_bound(&params, piece, 0.01).expect("subcritical");
     let a_rate: f64 = params.arrival_rate_without_piece(piece);
     let mgi_rate = params.total_arrival_rate();
     let mut env = Table::new(
         "envelope checks (cumulative counters vs linear bounds, B = 50)",
-        &["time", "D_t", "D envelope", "A_t", "A lower envelope", "Y^a+Y^b+Y^g", "M/GI/∞ envelope"],
+        &[
+            "time",
+            "D_t",
+            "D envelope",
+            "A_t",
+            "A lower envelope",
+            "Y^a+Y^b+Y^g",
+            "M/GI/∞ envelope",
+        ],
     );
     let mut violations = 0usize;
-    for snap in result.snapshots.iter().step_by((result.snapshots.len() / 8).max(1)) {
+    for snap in result
+        .snapshots
+        .iter()
+        .step_by((result.snapshots.len() / 8).max(1))
+    {
         let d_env = 50.0 + 1.1 * d_rate * snap.time;
         let a_env = -50.0 + 0.9 * a_rate * snap.time;
         let y = snap.groups.young_infected_gifted() as f64;
-        let y_env = 50.0 + 0.5 * mgi_rate * snap.time + mgi_rate * (params.num_pieces() as f64 + 1.0);
-        if (snap.watch_piece_downloads as f64) > d_env || (snap.arrivals_without_watch as f64) < a_env || y > y_env {
+        let y_env =
+            50.0 + 0.5 * mgi_rate * snap.time + mgi_rate * (params.num_pieces() as f64 + 1.0);
+        if (snap.watch_piece_downloads as f64) > d_env
+            || (snap.arrivals_without_watch as f64) < a_env
+            || y > y_env
+        {
             violations += 1;
         }
         env.row(&[
@@ -575,7 +779,8 @@ pub fn abs_bounds(config: &ExperimentConfig) -> ExperimentReport {
 /// heavy-load states inside and outside the stability region.
 #[must_use]
 pub fn lyapunov_drift(_config: &ExperimentConfig) -> ExperimentReport {
-    let mut report = ExperimentReport::new("E11", "Section VII machinery: Foster–Lyapunov drift of W");
+    let mut report =
+        ExperimentReport::new("E11", "Section VII machinery: Foster–Lyapunov drift of W");
     let stable = SwarmParams::builder(2)
         .seed_rate(2.0)
         .contact_rate(1.0)
@@ -603,11 +808,21 @@ pub fn lyapunov_drift(_config: &ExperimentConfig) -> ExperimentReport {
             // One-club heavy load.
             let x = model.one_club_state(PieceId::new(0), n);
             let d = w.drift(&model, &x);
-            table.row(&[format!("one-club({n})"), n.to_string(), fmt_num(d), fmt_num(d / f64::from(n))]);
+            table.row(&[
+                format!("one-club({n})"),
+                n.to_string(),
+                fmt_num(d),
+                fmt_num(d / f64::from(n)),
+            ]);
             // Peer-seed heavy load (always drains).
             let seeds = swarm::SwarmState::uniform(model.type_space(), params.full_type(), n);
             let d = w.drift(&model, &seeds);
-            table.row(&[format!("seeds({n})"), n.to_string(), fmt_num(d), fmt_num(d / f64::from(n))]);
+            table.row(&[
+                format!("seeds({n})"),
+                n.to_string(),
+                fmt_num(d),
+                fmt_num(d / f64::from(n)),
+            ]);
         }
         report.push_table(table);
     }
@@ -619,10 +834,20 @@ pub fn lyapunov_drift(_config: &ExperimentConfig) -> ExperimentReport {
 /// `η = 10` with and without gifted arrivals.
 #[must_use]
 pub fn faster_retry(config: &ExperimentConfig) -> ExperimentReport {
-    let mut report = ExperimentReport::new("E12", "Section VIII-C: faster retries after unsuccessful contacts");
+    let mut report = ExperimentReport::new(
+        "E12",
+        "Section VIII-C: faster retries after unsuccessful contacts",
+    );
     let mut table = Table::new(
         "η sweep (K = 3, transient-ish load, with and without gifted arrivals)",
-        &["gifted arrivals", "η", "tail slope of N", "final one-club", "unsuccessful contacts", "transfers"],
+        &[
+            "gifted arrivals",
+            "η",
+            "tail slope of N",
+            "final one-club",
+            "unsuccessful contacts",
+            "transfers",
+        ],
     );
     for gifted in [false, true] {
         let mut builder = SwarmParams::builder(3)
@@ -637,7 +862,11 @@ pub fn faster_retry(config: &ExperimentConfig) -> ExperimentReport {
         for eta in [1.0, 10.0] {
             let sim = AgentSwarm::with_config(
                 params.clone(),
-                AgentConfig { retry_speedup: eta, snapshot_interval: 5.0, ..Default::default() },
+                AgentConfig {
+                    retry_speedup: eta,
+                    snapshot_interval: 5.0,
+                    ..Default::default()
+                },
                 Box::new(policy::RandomUseful),
             )
             .expect("valid configuration");
@@ -686,7 +915,12 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExperimentConfig {
-        ExperimentConfig { horizon: 150.0, seed: 42, threads: 2 }
+        ExperimentConfig {
+            horizon: 150.0,
+            seed: 42,
+            threads: 2,
+            replications: 1,
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use crate::sweep::{run_sweep, SweepOptions, SweepOutcome, SweepPoint};
 use markov::PathClass;
 use serde::{Deserialize, Serialize};
-use swarm::{SwarmParams, StabilityVerdict};
+use swarm::{StabilityVerdict, SwarmParams};
 
 /// Outcome of one grid cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -75,7 +75,11 @@ impl RegionGrid {
     /// Number of mismatching cells.
     #[must_use]
     pub fn mismatches(&self) -> usize {
-        self.cells.iter().flatten().filter(|c| matches!(c, CellOutcome::Mismatch)).count()
+        self.cells
+            .iter()
+            .flatten()
+            .filter(|c| matches!(c, CellOutcome::Mismatch))
+            .count()
     }
 
     /// Total number of cells.
@@ -148,7 +152,10 @@ where
             match make_params(x, y) {
                 Some(params) => {
                     row.push(Some(points.len()));
-                    points.push(SweepPoint::new(format!("{x_label}={x},{y_label}={y}"), params));
+                    points.push(SweepPoint::new(
+                        format!("{x_label}={x},{y_label}={y}"),
+                        params,
+                    ));
                 }
                 None => row.push(None),
             }
@@ -160,7 +167,11 @@ where
         .into_iter()
         .map(|row| {
             row.into_iter()
-                .map(|slot| slot.map_or(CellOutcome::Mismatch, |i| CellOutcome::from_outcome(&outcomes[i])))
+                .map(|slot| {
+                    slot.map_or(CellOutcome::Mismatch, |i| {
+                        CellOutcome::from_outcome(&outcomes[i])
+                    })
+                })
                 .collect()
         })
         .collect();
@@ -195,7 +206,13 @@ mod tests {
     #[test]
     fn example1_map_has_stable_and_transient_regions() {
         // Small 2×2 map far from the boundary on both sides.
-        let options = SweepOptions { horizon: 600.0, seed: 3, threads: 2, initial_one_club: 0 };
+        let options = SweepOptions {
+            horizon: 600.0,
+            seed: 3,
+            threads: 2,
+            replications: 2,
+            initial_one_club: 0,
+        };
         let grid = stability_map(
             "λ0",
             &[0.5, 4.0],
@@ -207,13 +224,22 @@ mod tests {
         assert_eq!(grid.len(), 4);
         let rendered = grid.render();
         assert!(rendered.contains('·'), "a stable cell appears:\n{rendered}");
-        assert!(rendered.contains('#'), "a transient cell appears:\n{rendered}");
+        assert!(
+            rendered.contains('#'),
+            "a transient cell appears:\n{rendered}"
+        );
         assert!(grid.agreements() >= 3, "most cells agree:\n{rendered}");
     }
 
     #[test]
     fn failed_construction_is_marked_mismatch() {
-        let options = SweepOptions { horizon: 100.0, seed: 1, threads: 1, initial_one_club: 0 };
+        let options = SweepOptions {
+            horizon: 100.0,
+            seed: 1,
+            threads: 1,
+            replications: 1,
+            initial_one_club: 0,
+        };
         let grid = stability_map("x", &[1.0], "y", &[1.0], |_, _| None, options);
         assert_eq!(grid.mismatches(), 1);
         assert!(!grid.is_empty());

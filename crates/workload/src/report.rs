@@ -34,7 +34,8 @@ impl Table {
 
     /// Appends a row (missing cells are rendered empty, extra cells are kept).
     pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) {
-        self.rows.push(cells.iter().map(|c| c.as_ref().to_owned()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.as_ref().to_owned()).collect());
     }
 
     /// Number of data rows.
@@ -71,7 +72,10 @@ impl Table {
     /// Renders the table as column-aligned text.
     #[must_use]
     pub fn render(&self) -> String {
-        let cols = self.headers.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut widths = vec![0usize; cols];
         for (i, h) in self.headers.iter().enumerate() {
             widths[i] = widths[i].max(h.chars().count());
@@ -83,10 +87,10 @@ impl Table {
         }
         let render_row = |cells: &[String]| -> String {
             let mut line = String::from("| ");
-            for i in 0..cols {
+            for (i, width) in widths.iter().enumerate() {
                 let cell = cells.get(i).map_or("", String::as_str);
                 line.push_str(cell);
-                line.push_str(&" ".repeat(widths[i].saturating_sub(cell.chars().count())));
+                line.push_str(&" ".repeat(width.saturating_sub(cell.chars().count())));
                 line.push_str(" | ");
             }
             line.trim_end().to_owned()
@@ -200,7 +204,7 @@ pub fn fmt_num(x: f64) -> String {
         return "0".into();
     }
     let a = x.abs();
-    if a >= 1000.0 || a < 0.001 {
+    if !(0.001..1000.0).contains(&a) {
         format!("{x:.3e}")
     } else if a >= 10.0 {
         format!("{x:.2}")

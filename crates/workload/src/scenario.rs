@@ -16,7 +16,10 @@ use swarm::{SwarmError, SwarmParams};
 ///
 /// Propagates parameter-validation errors.
 pub fn example1(lambda0: f64, us: f64, mu: f64, gamma: f64) -> Result<SwarmParams, SwarmError> {
-    let mut b = SwarmParams::builder(1).seed_rate(us).contact_rate(mu).fresh_arrivals(lambda0);
+    let mut b = SwarmParams::builder(1)
+        .seed_rate(us)
+        .contact_rate(mu)
+        .fresh_arrivals(lambda0);
     if gamma.is_finite() {
         b = b.seed_departure_rate(gamma);
     }
@@ -35,8 +38,14 @@ pub fn example1(lambda0: f64, us: f64, mu: f64, gamma: f64) -> Result<SwarmParam
 pub fn example2(lambda12: f64, lambda34: f64, mu: f64) -> Result<SwarmParams, SwarmError> {
     SwarmParams::builder(4)
         .contact_rate(mu)
-        .arrival(PieceSet::from_pieces([PieceId::new(0), PieceId::new(1)]), lambda12)
-        .arrival(PieceSet::from_pieces([PieceId::new(2), PieceId::new(3)]), lambda34)
+        .arrival(
+            PieceSet::from_pieces([PieceId::new(0), PieceId::new(1)]),
+            lambda12,
+        )
+        .arrival(
+            PieceSet::from_pieces([PieceId::new(2), PieceId::new(3)]),
+            lambda34,
+        )
         .build()
 }
 
@@ -85,7 +94,9 @@ pub fn gifted_fraction(
     }
     let blank = lambda_total * (1.0 - gift_fraction);
     let per_piece = lambda_total * gift_fraction / num_pieces as f64;
-    let mut b = SwarmParams::builder(num_pieces).seed_rate(us).contact_rate(mu);
+    let mut b = SwarmParams::builder(num_pieces)
+        .seed_rate(us)
+        .contact_rate(mu);
     if gamma.is_finite() {
         b = b.seed_departure_rate(gamma);
     }
@@ -108,7 +119,11 @@ pub fn gifted_fraction(
 /// # Errors
 ///
 /// Propagates parameter-validation errors.
-pub fn one_extra_piece(num_pieces: usize, lambda0: f64, gamma_over_mu: f64) -> Result<SwarmParams, SwarmError> {
+pub fn one_extra_piece(
+    num_pieces: usize,
+    lambda0: f64,
+    gamma_over_mu: f64,
+) -> Result<SwarmParams, SwarmError> {
     let mu = 1.0;
     SwarmParams::builder(num_pieces)
         .seed_rate(0.05)
@@ -125,7 +140,12 @@ pub fn one_extra_piece(num_pieces: usize, lambda0: f64, gamma_over_mu: f64) -> R
 /// # Errors
 ///
 /// Propagates parameter-validation errors.
-pub fn example1_at_load(load_factor: f64, us: f64, mu: f64, gamma: f64) -> Result<SwarmParams, SwarmError> {
+pub fn example1_at_load(
+    load_factor: f64,
+    us: f64,
+    mu: f64,
+    gamma: f64,
+) -> Result<SwarmParams, SwarmError> {
     let ratio = if gamma.is_finite() { mu / gamma } else { 0.0 };
     let threshold = us / (1.0 - ratio);
     example1(load_factor * threshold, us, mu, gamma)
@@ -140,13 +160,19 @@ mod tests {
     #[test]
     fn example1_matches_leskela_robert_simatos_condition() {
         // Stable iff λ0 < U_s/(1 − µ/γ).
-        assert!(stability::classify(&example1(1.9, 1.0, 1.0, 2.0).unwrap()).verdict.is_stable());
+        assert!(stability::classify(&example1(1.9, 1.0, 1.0, 2.0).unwrap())
+            .verdict
+            .is_stable());
         assert_eq!(
             stability::classify(&example1(2.1, 1.0, 1.0, 2.0).unwrap()).verdict,
             StabilityVerdict::Transient
         );
         // γ = ∞ (immediate departure): stable iff λ0 < U_s.
-        assert!(stability::classify(&example1(0.9, 1.0, 1.0, f64::INFINITY).unwrap()).verdict.is_stable());
+        assert!(
+            stability::classify(&example1(0.9, 1.0, 1.0, f64::INFINITY).unwrap())
+                .verdict
+                .is_stable()
+        );
         assert_eq!(
             stability::classify(&example1(1.1, 1.0, 1.0, f64::INFINITY).unwrap()).verdict,
             StabilityVerdict::Transient
@@ -155,9 +181,17 @@ mod tests {
 
     #[test]
     fn example2_region_is_the_two_to_one_wedge() {
-        assert!(stability::classify(&example2(1.0, 0.9, 1.0).unwrap()).verdict.is_stable());
-        assert_eq!(stability::classify(&example2(1.0, 2.5, 1.0).unwrap()).verdict, StabilityVerdict::Transient);
-        assert_eq!(stability::classify(&example2(2.5, 1.0, 1.0).unwrap()).verdict, StabilityVerdict::Transient);
+        assert!(stability::classify(&example2(1.0, 0.9, 1.0).unwrap())
+            .verdict
+            .is_stable());
+        assert_eq!(
+            stability::classify(&example2(1.0, 2.5, 1.0).unwrap()).verdict,
+            StabilityVerdict::Transient
+        );
+        assert_eq!(
+            stability::classify(&example2(2.5, 1.0, 1.0).unwrap()).verdict,
+            StabilityVerdict::Transient
+        );
     }
 
     #[test]
@@ -166,7 +200,10 @@ mod tests {
         assert!(stability::classify(&p).verdict.is_stable());
         // γ = ∞ with symmetric rates is the borderline case.
         let p = example3([1.0, 1.0, 1.0], 1.0, f64::INFINITY).unwrap();
-        assert_eq!(stability::classify(&p).verdict, StabilityVerdict::Borderline);
+        assert_eq!(
+            stability::classify(&p).verdict,
+            StabilityVerdict::Borderline
+        );
         // Asymmetric rates with γ = ∞ are transient.
         let p = example3([1.0, 1.0, 0.2], 1.0, f64::INFINITY).unwrap();
         assert_eq!(stability::classify(&p).verdict, StabilityVerdict::Transient);
@@ -190,7 +227,10 @@ mod tests {
         let stable = one_extra_piece(3, 40.0, 0.95).unwrap();
         assert!(stability::classify(&stable).verdict.is_stable());
         let unstable = one_extra_piece(3, 40.0, 1.3).unwrap();
-        assert_eq!(stability::classify(&unstable).verdict, StabilityVerdict::Transient);
+        assert_eq!(
+            stability::classify(&unstable).verdict,
+            StabilityVerdict::Transient
+        );
     }
 
     #[test]
@@ -198,6 +238,9 @@ mod tests {
         let below = example1_at_load(0.8, 1.0, 1.0, 2.0).unwrap();
         let above = example1_at_load(1.2, 1.0, 1.0, 2.0).unwrap();
         assert!(stability::classify(&below).verdict.is_stable());
-        assert_eq!(stability::classify(&above).verdict, StabilityVerdict::Transient);
+        assert_eq!(
+            stability::classify(&above).verdict,
+            StabilityVerdict::Transient
+        );
     }
 }

@@ -1,11 +1,18 @@
-//! Parallel parameter sweeps: simulate each point and compare the simulated
-//! classification against the Theorem 1 prediction.
+//! Parameter sweeps on the replication engine: every point is simulated
+//! `replications` times on deterministic per-replication random streams and
+//! compared against the Theorem 1 prediction by majority vote.
+//!
+//! Earlier revisions ran exactly one replication per point on a hand-rolled
+//! thread pool, seeding point `i` with `seed + i` — so adjacent sweeps
+//! shared streams and boundary verdicts were single-sample noise. The sweep
+//! is now a thin adapter over [`engine`]: stream derivation, scheduling,
+//! and aggregation all live there, and [`SweepOutcome`] keeps its original
+//! shape for the experiment harnesses.
 
-use markov::{PathClass, PathClassifier};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use engine::{run_batch, EngineConfig, Scenario};
+use markov::PathClass;
 use serde::{Deserialize, Serialize};
-use swarm::{stability, SwarmModel, SwarmParams, StabilityVerdict};
+use swarm::{stability, StabilityVerdict, SwarmParams};
 
 /// One point of a parameter sweep.
 #[derive(Debug, Clone)]
@@ -20,7 +27,10 @@ impl SweepPoint {
     /// Creates a labelled sweep point.
     #[must_use]
     pub fn new(label: impl Into<String>, params: SwarmParams) -> Self {
-        SweepPoint { label: label.into(), params }
+        SweepPoint {
+            label: label.into(),
+            params,
+        }
     }
 }
 
@@ -31,33 +41,55 @@ pub struct SweepOutcome {
     pub label: String,
     /// Theorem 1's verdict for the point.
     pub theory: StabilityVerdict,
-    /// The simulated classification of the peer-count path.
+    /// Majority-vote classification of the simulated peer-count paths.
     pub simulated: PathClass,
-    /// Tail growth rate of the simulated peer count (peers per unit time).
+    /// Mean tail growth rate of the simulated peer count across
+    /// replications (peers per unit time).
     pub tail_slope: f64,
-    /// Time-average of the peer count over the tail window.
+    /// Mean time-average of the peer count over the tail window across
+    /// replications.
     pub tail_average: f64,
-    /// Whether simulation and theory agree (borderline points are counted as
-    /// agreeing with either outcome).
+    /// Whether the majority vote and theory agree (borderline points are
+    /// counted as agreeing with either outcome).
     pub agrees: bool,
 }
 
 /// Options for the sweep runner.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SweepOptions {
-    /// Simulated horizon per point.
+    /// Simulated horizon per replication.
     pub horizon: f64,
-    /// Base RNG seed; point `i` uses `seed + i`.
+    /// Master seed. Point `i`, replication `r` draws from the engine's
+    /// `(seed, i, r)` stream — never from a neighbouring point's.
     pub seed: u64,
-    /// Number of worker threads (1 = run inline).
+    /// Worker threads (affects scheduling only, never the numbers).
     pub threads: usize,
+    /// Replications per point, combined by majority vote.
+    pub replications: u32,
     /// Initial one-club size (0 = start from an empty system).
     pub initial_one_club: u32,
 }
 
 impl Default for SweepOptions {
     fn default() -> Self {
-        SweepOptions { horizon: 2_000.0, seed: 0x5eed, threads: 4, initial_one_club: 0 }
+        SweepOptions {
+            horizon: 2_000.0,
+            seed: 0x5eed,
+            threads: 4,
+            replications: 4,
+            initial_one_club: 0,
+        }
+    }
+}
+
+impl SweepOptions {
+    fn engine_config(&self) -> EngineConfig {
+        EngineConfig::default()
+            .with_replications(self.replications)
+            .with_horizon(self.horizon)
+            .with_master_seed(self.seed)
+            .with_jobs(self.threads)
+            .with_initial_one_club(self.initial_one_club)
     }
 }
 
@@ -85,71 +117,27 @@ impl SweepSummary {
     }
 }
 
-fn verdict_agrees(theory: StabilityVerdict, simulated: PathClass) -> bool {
-    match theory {
-        StabilityVerdict::PositiveRecurrent => simulated == PathClass::Stable,
-        StabilityVerdict::Transient => simulated == PathClass::Growing,
-        StabilityVerdict::Borderline => true,
-    }
-}
-
-fn run_point(point: &SweepPoint, options: &SweepOptions, seed: u64) -> SweepOutcome {
-    let theory = stability::classify(&point.params).verdict;
-    let model = SwarmModel::new(point.params.clone());
-    let mut rng = StdRng::seed_from_u64(seed);
-    let initial = if options.initial_one_club > 0 {
-        model.one_club_state(pieceset::PieceId::new(0), options.initial_one_club)
-    } else {
-        model.empty_state()
-    };
-    let initial_n = initial.total_peers() as f64;
-    let path = model.simulate_peer_count(initial, options.horizon, &mut rng);
-    let classifier =
-        PathClassifier::new(point.params.total_arrival_rate(), (3.0 * initial_n).max(30.0));
-    let verdict = classifier.classify(&path);
-    SweepOutcome {
-        label: point.label.clone(),
-        theory,
-        simulated: verdict.class,
-        tail_slope: verdict.tail_slope,
-        tail_average: verdict.tail_average,
-        agrees: verdict_agrees(theory, verdict.class),
-    }
-}
-
-/// Runs every sweep point (in parallel when `options.threads > 1`) and
-/// returns the outcomes in input order.
+/// Runs every sweep point through the replication engine and returns the
+/// outcomes in input order. Deterministic for a fixed `options.seed`
+/// regardless of `options.threads`.
 #[must_use]
 pub fn run_sweep(points: &[SweepPoint], options: SweepOptions) -> Vec<SweepOutcome> {
-    if points.is_empty() {
-        return Vec::new();
-    }
-    let threads = options.threads.max(1).min(points.len());
-    if threads == 1 {
-        return points
-            .iter()
-            .enumerate()
-            .map(|(i, p)| run_point(p, &options, options.seed.wrapping_add(i as u64)))
-            .collect();
-    }
-    let mut outcomes: Vec<Option<SweepOutcome>> = vec![None; points.len()];
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let outcomes_mutex = std::sync::Mutex::new(&mut outcomes);
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-                if i >= points.len() {
-                    break;
-                }
-                let outcome = run_point(&points[i], &options, options.seed.wrapping_add(i as u64));
-                let mut guard = outcomes_mutex.lock().expect("no poisoned lock");
-                guard[i] = Some(outcome);
-            });
-        }
-    })
-    .expect("sweep worker panicked");
-    outcomes.into_iter().map(|o| o.expect("every point processed")).collect()
+    let scenarios: Vec<Scenario> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| Scenario::new(i as u64, p.label.clone(), p.params.clone()))
+        .collect();
+    run_batch(&scenarios, &options.engine_config())
+        .into_iter()
+        .map(|outcome| SweepOutcome {
+            label: outcome.label,
+            theory: outcome.theory,
+            simulated: outcome.majority,
+            tail_slope: outcome.tail_slope.mean,
+            tail_average: outcome.tail_average.mean,
+            agrees: outcome.agrees,
+        })
+        .collect()
 }
 
 /// Summarises sweep outcomes.
@@ -161,8 +149,25 @@ pub fn summarise(outcomes: &[SweepOutcome]) -> SweepSummary {
             .iter()
             .filter(|o| o.theory != StabilityVerdict::Borderline && o.agrees)
             .count(),
-        borderline: outcomes.iter().filter(|o| o.theory == StabilityVerdict::Borderline).count(),
+        borderline: outcomes
+            .iter()
+            .filter(|o| o.theory == StabilityVerdict::Borderline)
+            .count(),
     }
+}
+
+/// Re-exported engine agreement rule, used by the grid renderer: whether a
+/// simulated class is consistent with a theory verdict.
+#[must_use]
+pub fn verdict_agrees(theory: StabilityVerdict, simulated: PathClass) -> bool {
+    engine::verdict_agrees(theory, simulated)
+}
+
+/// Theorem 1's verdict for a sweep point (convenience for callers that
+/// need theory without simulating).
+#[must_use]
+pub fn theory_verdict(params: &SwarmParams) -> StabilityVerdict {
+    stability::classify(params).verdict
 }
 
 #[cfg(test)]
@@ -171,14 +176,26 @@ mod tests {
     use crate::scenario;
 
     fn quick_options() -> SweepOptions {
-        SweepOptions { horizon: 800.0, seed: 7, threads: 2, initial_one_club: 0 }
+        SweepOptions {
+            horizon: 800.0,
+            seed: 7,
+            threads: 2,
+            replications: 2,
+            initial_one_club: 0,
+        }
     }
 
     #[test]
     fn example1_sweep_agrees_with_theory_away_from_boundary() {
         let points = vec![
-            SweepPoint::new("load=0.5", scenario::example1_at_load(0.5, 1.0, 1.0, 2.0).unwrap()),
-            SweepPoint::new("load=2.0", scenario::example1_at_load(2.0, 1.0, 1.0, 2.0).unwrap()),
+            SweepPoint::new(
+                "load=0.5",
+                scenario::example1_at_load(0.5, 1.0, 1.0, 2.0).unwrap(),
+            ),
+            SweepPoint::new(
+                "load=2.0",
+                scenario::example1_at_load(2.0, 1.0, 1.0, 2.0).unwrap(),
+            ),
         ];
         let outcomes = run_sweep(&points, quick_options());
         assert_eq!(outcomes.len(), 2);
@@ -196,9 +213,55 @@ mod tests {
             SweepPoint::new("a", scenario::example1_at_load(0.4, 1.0, 1.0, 2.0).unwrap()),
             SweepPoint::new("b", scenario::example1_at_load(2.5, 1.0, 1.0, 2.0).unwrap()),
         ];
-        let seq = run_sweep(&points, SweepOptions { threads: 1, ..quick_options() });
-        let par = run_sweep(&points, SweepOptions { threads: 2, ..quick_options() });
-        assert_eq!(seq, par, "same seeds → identical outcomes regardless of threading");
+        let seq = run_sweep(
+            &points,
+            SweepOptions {
+                threads: 1,
+                ..quick_options()
+            },
+        );
+        let par = run_sweep(
+            &points,
+            SweepOptions {
+                threads: 8,
+                ..quick_options()
+            },
+        );
+        assert_eq!(
+            seq, par,
+            "same master seed → identical outcomes regardless of threading"
+        );
+    }
+
+    #[test]
+    fn nearby_seeds_no_longer_share_streams() {
+        // The old scheme seeded point i with `seed + i`, so the sweep at
+        // seed 7 reused the stream of the sweep at seed 8. Now each point's
+        // replications are keyed by (seed, point, replication): the same
+        // point under adjacent master seeds must see different draws.
+        let point = vec![SweepPoint::new(
+            "probe",
+            scenario::example1_at_load(1.05, 1.0, 1.0, 2.0).unwrap(),
+        )];
+        let at_seed_7 = run_sweep(
+            &point,
+            SweepOptions {
+                seed: 7,
+                ..quick_options()
+            },
+        );
+        let at_seed_8 = run_sweep(
+            &point,
+            SweepOptions {
+                seed: 8,
+                ..quick_options()
+            },
+        );
+        assert_ne!(
+            (at_seed_7[0].tail_slope, at_seed_7[0].tail_average),
+            (at_seed_8[0].tail_slope, at_seed_8[0].tail_average),
+            "independent master seeds draw independent streams"
+        );
     }
 
     #[test]
@@ -211,11 +274,26 @@ mod tests {
 
     #[test]
     fn borderline_points_always_count_as_agreeing() {
-        assert!(verdict_agrees(StabilityVerdict::Borderline, PathClass::Growing));
-        assert!(verdict_agrees(StabilityVerdict::Borderline, PathClass::Stable));
-        assert!(!verdict_agrees(StabilityVerdict::PositiveRecurrent, PathClass::Growing));
-        assert!(!verdict_agrees(StabilityVerdict::Transient, PathClass::Stable));
-        assert!(verdict_agrees(StabilityVerdict::Transient, PathClass::Growing));
+        assert!(verdict_agrees(
+            StabilityVerdict::Borderline,
+            PathClass::Growing
+        ));
+        assert!(verdict_agrees(
+            StabilityVerdict::Borderline,
+            PathClass::Stable
+        ));
+        assert!(!verdict_agrees(
+            StabilityVerdict::PositiveRecurrent,
+            PathClass::Growing
+        ));
+        assert!(!verdict_agrees(
+            StabilityVerdict::Transient,
+            PathClass::Stable
+        ));
+        assert!(verdict_agrees(
+            StabilityVerdict::Transient,
+            PathClass::Growing
+        ));
     }
 
     #[test]
@@ -224,7 +302,13 @@ mod tests {
             "club",
             scenario::example3([1.0, 1.0, 1.0], 1.0, 2.0).unwrap(),
         )];
-        let options = SweepOptions { initial_one_club: 50, horizon: 300.0, threads: 1, seed: 1 };
+        let options = SweepOptions {
+            initial_one_club: 50,
+            horizon: 300.0,
+            threads: 1,
+            replications: 1,
+            seed: 1,
+        };
         let outcomes = run_sweep(&points, options);
         // The run starts from 50 one-club peers; tail average should reflect a
         // populated system rather than zero.

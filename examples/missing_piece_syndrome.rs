@@ -23,11 +23,17 @@ fn run(label: &str, params: SwarmParams) -> Result<(), Box<dyn std::error::Error
     let delta = stability::delta(&params, params.full_type().without(PieceId::new(0)))?;
     println!("\n=== {label} ===");
     println!("Theorem 1 verdict: {verdict:?};  Δ_F−{{1}} = {delta:+.3}");
-    println!("{:>8} {:>7} {:>9} {:>8} {:>9} {:>7} {:>7}", "time", "N", "one-club", "former", "infected", "gifted", "young");
+    println!(
+        "{:>8} {:>7} {:>9} {:>8} {:>9} {:>7} {:>7}",
+        "time", "N", "one-club", "former", "infected", "gifted", "young"
+    );
 
     let sim = AgentSwarm::with_config(
         params,
-        AgentConfig { snapshot_interval: 50.0, ..Default::default() },
+        AgentConfig {
+            snapshot_interval: 50.0,
+            ..Default::default()
+        },
         Box::new(policy::RandomUseful),
     )?;
     let mut rng = StdRng::seed_from_u64(7);
@@ -70,6 +76,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .fresh_arrivals(2.5)
         .arrival(PieceSet::singleton(PieceId::new(0)), 0.1)
         .build()?;
-    run("recovery from the same initial club (stable parameters)", stable)?;
+    run(
+        "recovery from the same initial club (stable parameters)",
+        stable,
+    )?;
     Ok(())
 }

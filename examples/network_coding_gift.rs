@@ -21,7 +21,10 @@ use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Closed-form gifted-fraction thresholds (Theorem 15):");
-    println!("{:>6} {:>6} {:>18} {:>18}", "q", "K", "transient below", "recurrent above");
+    println!(
+        "{:>6} {:>6} {:>18} {:>18}",
+        "q", "K", "transient below", "recurrent above"
+    );
     for (q, k) in [(8u64, 4usize), (16, 8), (64, 200), (256, 200)] {
         let (lo, hi) = coded::theorem15_gift_thresholds(q, k);
         println!("{q:>6} {k:>6} {lo:>18.6} {hi:>18.6}");
@@ -35,9 +38,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (q, k) = (8u64, 4usize);
     let (lo, hi) = coded::theorem15_gift_thresholds(q, k);
     println!("Coded swarm simulation at q = {q}, K = {k} (λ = 1, U_s = 0, γ = ∞):");
-    println!("{:>12} {:>14} {:>12} {:>12} {:>12}", "fraction f", "Theorem 15", "sim class", "tail slope", "departures");
+    println!(
+        "{:>12} {:>14} {:>12} {:>12} {:>12}",
+        "fraction f", "Theorem 15", "sim class", "tail slope", "departures"
+    );
     for f in [0.3 * lo, 0.8 * lo, 1.5 * hi, 4.0 * hi] {
-        let params = coded::CodedParams::gift_example(k, q, 1.0, f.min(1.0), 0.0, 1.0, f64::INFINITY)?;
+        let params =
+            coded::CodedParams::gift_example(k, q, 1.0, f.min(1.0), 0.0, 1.0, f64::INFINITY)?;
         let theory = coded::theorem15_classify(&params)?;
         let sim = coded::CodedSwarmSim::new(params).snapshot_interval(10.0);
         let mut rng = StdRng::seed_from_u64(5);

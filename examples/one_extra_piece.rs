@@ -21,7 +21,10 @@ use rand::SeedableRng;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lambda0 = 20.0;
     println!("K = 3, µ = 1, U_s = 0.05, λ0 = {lambda0}");
-    println!("{:>8} {:>12} {:>12} {:>14} {:>12}", "γ/µ", "dwell 1/γ", "Theorem 1", "sim class", "tail slope");
+    println!(
+        "{:>8} {:>12} {:>12} {:>14} {:>12}",
+        "γ/µ", "dwell 1/γ", "Theorem 1", "sim class", "tail slope"
+    );
 
     for gamma_over_mu in [0.5, 0.9, 1.0, 1.1, 1.5, 3.0] {
         let params = scenario::one_extra_piece(3, lambda0, gamma_over_mu)?;

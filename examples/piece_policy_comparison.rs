@@ -38,14 +38,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "policy", "stable → class", "transient → class", "one-club ≥ 100 at t =", "success rate %"
     );
 
-    for name in ["random-useful", "rarest-first", "sequential", "most-common-first"] {
+    for name in [
+        "random-useful",
+        "rarest-first",
+        "sequential",
+        "most-common-first",
+    ] {
         let mut cells: Vec<String> = vec![name.to_owned()];
         let mut onset = f64::INFINITY;
         let mut success = 0.0;
         for (which, params) in [("stable", &stable), ("transient", &transient)] {
             let sim = AgentSwarm::with_config(
                 params.clone(),
-                AgentConfig { snapshot_interval: 5.0, ..Default::default() },
+                AgentConfig {
+                    snapshot_interval: 5.0,
+                    ..Default::default()
+                },
                 policy::by_name(name).expect("known policy"),
             )?;
             let mut rng = StdRng::seed_from_u64(99);

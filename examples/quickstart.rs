@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(1);
     let verdict = model.simulate_and_classify(model.empty_state(), 2_000.0, &mut rng);
     println!("\nCTMC simulation          : {:?}", verdict.class);
-    println!("  tail growth rate       : {:+.4} peers per unit time", verdict.tail_slope);
+    println!(
+        "  tail growth rate       : {:+.4} peers per unit time",
+        verdict.tail_slope
+    );
     println!("  tail average population: {:.1}", verdict.tail_average);
 
     // 3. Simulate the peer-level (agent-based) engine and look at sojourns.
@@ -47,10 +50,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(2);
     let result = sim.run(&[], 2_000.0, &mut rng);
     let last = result.final_snapshot();
-    println!("\nAgent-based simulation   : {} peers at t = {:.0}", last.total_peers, last.time);
+    println!(
+        "\nAgent-based simulation   : {} peers at t = {:.0}",
+        last.total_peers, last.time
+    );
     println!("  departures             : {}", result.sojourns.departures);
-    println!("  mean sojourn time      : {:.2}", result.sojourns.mean_sojourn());
-    println!("  contact success rate   : {:.1}%", 100.0 * result.contact_success_fraction());
+    println!(
+        "  mean sojourn time      : {:.2}",
+        result.sojourns.mean_sojourn()
+    );
+    println!(
+        "  contact success rate   : {:.1}%",
+        100.0 * result.contact_success_fraction()
+    );
 
     Ok(())
 }

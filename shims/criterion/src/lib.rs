@@ -1,0 +1,188 @@
+//! Vendored offline shim for the subset of the `criterion` API used by the
+//! bench targets in `crates/bench`.
+//!
+//! Provides a minimal wall-clock timing harness behind the real crate's
+//! macro surface (`criterion_group!`, `criterion_main!`, `Criterion`,
+//! benchmark groups, `BenchmarkId`). Each benchmark runs `sample_size`
+//! timed samples after one warm-up and reports min / mean / max per
+//! iteration to stdout. There is no statistical analysis, HTML report, or
+//! baseline comparison — the bench targets' primary job in this repository
+//! is regenerating experiment reports, with coarse timing tracked as a
+//! secondary signal.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export for call sites that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// The benchmark driver handed to every target function.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        bencher.report(name);
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one parameterised benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.criterion.sample_size);
+        f(&mut bencher, input);
+        bencher.report(&format!("{}/{}", self.name, id.0));
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one parameterised benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendered from the benchmark's parameter value.
+    #[must_use]
+    pub fn from_parameter(parameter: impl core::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    /// An id with an explicit function name and parameter.
+    #[must_use]
+    pub fn new(function: &str, parameter: impl core::fmt::Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+}
+
+/// Collects timing samples for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            sample_size,
+            samples: Vec::with_capacity(sample_size),
+        }
+    }
+
+    /// Times `routine`: one untimed warm-up, then `sample_size` samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("bench: {name:<50} (no samples recorded)");
+            return;
+        }
+        let min = self.samples.iter().min().expect("non-empty");
+        let max = self.samples.iter().max().expect("non-empty");
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        println!(
+            "bench: {name:<50} mean {mean:>12?}  min {min:>12?}  max {max:>12?}  ({} samples)",
+            self.samples.len()
+        );
+    }
+}
+
+/// Declares a group of benchmark targets, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        c.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut group = c.benchmark_group("grouped");
+        for &n in &[1u64, 2] {
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                b.iter(|| (0..n).product::<u64>())
+            });
+        }
+        group.finish();
+    }
+
+    criterion_group!(benches, target);
+
+    #[test]
+    fn harness_runs_targets() {
+        benches();
+    }
+}

@@ -1,0 +1,82 @@
+//! Test execution support: configuration, failure type, and the
+//! deterministic per-case RNG.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of random cases generated per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases — smaller than real proptest's 256 because several tests in
+    /// this workspace simulate CTMCs per case.
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property-test case (produced by `prop_assert!` and friends).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    #[must_use]
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl core::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Derives a stable base seed from a test's name (FNV-1a over the bytes).
+#[must_use]
+pub fn seed_for_test(name: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// The RNG handed to strategies: deterministic per `(test, case)` pair.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// The RNG for case number `case` of the test with base seed `base`.
+    #[must_use]
+    pub fn for_case(base: u64, case: u32) -> Self {
+        let seed = base ^ u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}

@@ -1,0 +1,132 @@
+//! The parallel-iterator subset: `into_par_iter().map(..).collect()`.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Conversion into a parallel source, mirroring
+/// `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+
+    /// Starts a parallel pipeline over the elements.
+    fn into_par_iter(self) -> ParallelSource<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParallelSource<T> {
+        ParallelSource { items: self }
+    }
+}
+
+impl IntoParallelIterator for core::ops::Range<usize> {
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParallelSource<usize> {
+        ParallelSource {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for core::ops::Range<u64> {
+    type Item = u64;
+
+    fn into_par_iter(self) -> ParallelSource<u64> {
+        ParallelSource {
+            items: self.collect(),
+        }
+    }
+}
+
+/// A materialised parallel source (the shim has no lazy splitting).
+pub struct ParallelSource<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelSource<T> {
+    /// Maps every element through `f` in parallel.
+    pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> ParallelMap<T, F> {
+        ParallelMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel pipeline awaiting collection.
+pub struct ParallelMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> ParallelMap<T, F> {
+    /// Executes the pipeline and collects results **in input order**.
+    pub fn collect<C, U>(self) -> C
+    where
+        F: Fn(T) -> U + Sync,
+        U: Send,
+        C: FromOrderedParallel<U>,
+    {
+        C::from_ordered(execute(self.items, &self.f))
+    }
+}
+
+/// Collections constructible from the ordered output of a parallel map.
+pub trait FromOrderedParallel<U> {
+    /// Builds the collection from results in input order.
+    fn from_ordered(items: Vec<U>) -> Self;
+}
+
+impl<U> FromOrderedParallel<U> for Vec<U> {
+    fn from_ordered(items: Vec<U>) -> Self {
+        items
+    }
+}
+
+/// Runs `f` over `items` on the current worker budget, preserving order.
+fn execute<T: Send, U: Send, F: Fn(T) -> U + Sync>(items: Vec<T>, f: &F) -> Vec<U> {
+    let workers = crate::current_num_threads();
+    if workers <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Split into ordered blocks served from a shared queue: dynamic load
+    // balancing without unsafe slot writes. Aim for several blocks per
+    // worker so uneven item costs even out.
+    let block_size = (items.len() / (workers * 4)).max(1);
+    let total = items.len();
+    let mut queue: VecDeque<(usize, Vec<T>)> = VecDeque::new();
+    let mut items = items;
+    let mut offset = 0;
+    while !items.is_empty() {
+        let take = block_size.min(items.len());
+        let rest = items.split_off(take);
+        queue.push_back((offset, items));
+        offset += take;
+        items = rest;
+    }
+    let queue = Mutex::new(queue);
+    let done = Mutex::new(Vec::<(usize, Vec<U>)>::new());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(total) {
+            scope.spawn(|| loop {
+                let block = queue.lock().expect("queue lock").pop_front();
+                let Some((start, block)) = block else { break };
+                let mapped: Vec<U> = block.into_iter().map(f).collect();
+                done.lock().expect("results lock").push((start, mapped));
+            });
+        }
+    });
+
+    let mut blocks = done.into_inner().expect("results lock");
+    blocks.sort_by_key(|(start, _)| *start);
+    let mut out = Vec::with_capacity(total);
+    for (_, mapped) in blocks {
+        out.extend(mapped);
+    }
+    out
+}

@@ -1,0 +1,157 @@
+//! Vendored offline shim for the subset of the `rayon` API used by
+//! `crates/engine`: `into_par_iter().map(..).collect::<Vec<_>>()` plus
+//! `ThreadPoolBuilder` / `ThreadPool::install` for bounding worker counts.
+//!
+//! Implementation: the input is split into small ordered blocks served from
+//! a shared queue to `std::thread::scope` workers (dynamic load balancing,
+//! results re-assembled in input order). There is no work stealing, no
+//! splitting of nested iterators, and no global pool — each `collect`
+//! spawns its workers. For the engine's workloads (hundreds of multi-
+//! millisecond CTMC replications) the spawn cost is noise; if the real
+//! rayon ever becomes available it is a drop-in replacement because the
+//! engine only uses this API subset.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod iter;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::iter::{IntoParallelIterator, ParallelMap, ParallelSource};
+}
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Worker-count override installed by [`ThreadPool::install`]
+    /// (0 = no override).
+    static NUM_THREADS_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The number of worker threads parallel operations started from this
+/// thread will use.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    let overridden = NUM_THREADS_OVERRIDE.with(Cell::get);
+    if overridden > 0 {
+        overridden
+    } else {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    }
+}
+
+/// Builder for a [`ThreadPool`], mirroring rayon's API.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default (auto-detected) worker count.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count (0 = auto-detect).
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. Never fails in the shim; the `Result` mirrors
+    /// rayon's signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// Error type for [`ThreadPoolBuilder::build`] (never produced by the shim).
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadPoolBuildError;
+
+impl core::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A bounded-width execution context. In the shim this is just a worker
+/// count that [`ThreadPool::install`] scopes onto the calling thread.
+#[derive(Debug, Clone)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's worker count governing any parallel
+    /// iterators it executes. The previous worker count is restored even
+    /// if `op` panics (drop guard), so a caught panic cannot leak this
+    /// pool's override into later work on the thread.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                NUM_THREADS_OVERRIDE.with(|cell| cell.set(self.0));
+            }
+        }
+        let _guard = Restore(NUM_THREADS_OVERRIDE.with(|cell| {
+            let previous = cell.get();
+            cell.set(self.num_threads);
+            previous
+        }));
+        op()
+    }
+
+    /// The worker count parallel operations inside [`ThreadPool::install`]
+    /// will use.
+    #[must_use]
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let squares: Vec<u64> = (0..1000usize)
+            .into_par_iter()
+            .map(|i| (i * i) as u64)
+            .collect();
+        let expected: Vec<u64> = (0..1000usize).map(|i| (i * i) as u64).collect();
+        assert_eq!(squares, expected);
+    }
+
+    #[test]
+    fn install_bounds_worker_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 2);
+        let result: Vec<usize> = pool.install(|| {
+            assert_eq!(current_num_threads(), 2);
+            vec![1, 2, 3].into_par_iter().map(|x| x * 10).collect()
+        });
+        assert_eq!(result, vec![10, 20, 30]);
+        // The override is restored once install returns.
+        assert_eq!(NUM_THREADS_OVERRIDE.with(std::cell::Cell::get), 0);
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        let out: Vec<i32> = vec![7].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}

@@ -1,0 +1,24 @@
+//! Vendored offline shim for the `serde` facade.
+//!
+//! Exposes the `Serialize` / `Deserialize` names in both the trait and the
+//! derive-macro namespaces so that `use serde::{Serialize, Deserialize}`
+//! plus `#[derive(Serialize, Deserialize)]` compile exactly as they would
+//! against the real crate. The derives are no-ops (see `shims/serde_derive`)
+//! and the traits are inert markers: nothing in this workspace serializes
+//! through serde — `crates/engine::artifact` emits CSV/JSON by hand.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`. Blanket-implemented for every
+/// type so generic bounds (if any are ever written) stay satisfiable.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

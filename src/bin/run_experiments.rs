@@ -1,24 +1,204 @@
-//! Regenerates every experiment report (E1–E12) in one go.
+//! Regenerates every experiment report (E1–E12) and, optionally, the
+//! engine's phase-diagram artifacts.
 //!
 //! ```text
-//! cargo run --release --bin run_experiments          # full budget
-//! cargo run --release --bin run_experiments -- quick # reduced budget
+//! cargo run --release --bin run_experiments                 # full budget
+//! cargo run --release --bin run_experiments -- quick        # reduced budget
+//! cargo run --release --bin run_experiments -- \
+//!     --replications 16 --jobs 8 --seed 0xA11CE \
+//!     --out-dir artifacts                                   # write files
 //! ```
 //!
-//! The same reports are printed by the individual `cargo bench` targets; this
-//! binary is the convenient way to refresh `EXPERIMENTS.md`.
+//! Flags:
+//!
+//! * `quick` — use the reduced simulation budget,
+//! * `--replications N` — Monte-Carlo replications per sweep point,
+//! * `--jobs N` — worker threads (0 = one per core),
+//! * `--seed S` — master seed (decimal or `0x…`),
+//! * `--horizon T` — simulated horizon per replication,
+//! * `--out-dir DIR` — also write `E*.txt` reports plus the Example 1
+//!   phase diagram as `phase.csv` / `phase.json` / `phase.txt` and the E1
+//!   sweep outcomes as CSV/JSON into `DIR`.
+//!
+//! With a fixed `--seed`, every report and artifact is byte-identical at
+//! any `--jobs` value.
 
+use p2p_stability::engine::{self, Axis, EngineConfig, GridSpec};
 use p2p_stability::workload::experiments::{self, ExperimentConfig};
+use p2p_stability::workload::scenario;
+use std::path::PathBuf;
+use std::process::ExitCode;
 
-fn main() {
-    let quick = std::env::args().any(|a| a == "quick");
-    let config = if quick { ExperimentConfig::quick() } else { ExperimentConfig::full() };
+struct Cli {
+    config: ExperimentConfig,
+    out_dir: Option<PathBuf>,
+}
+
+const USAGE: &str = "usage: run_experiments [quick] [--replications N] [--jobs N] \
+[--seed S] [--horizon T] [--out-dir DIR]";
+
+enum CliError {
+    /// `--help` / `-h`: print usage and exit successfully.
+    Help,
+    /// A real parse error: print and exit non-zero.
+    Invalid(String),
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError::Invalid(message)
+    }
+}
+
+fn parse_u64(value: &str) -> Option<u64> {
+    if let Some(hex) = value
+        .strip_prefix("0x")
+        .or_else(|| value.strip_prefix("0X"))
+    {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        value.parse().ok()
+    }
+}
+
+fn parse_cli() -> Result<Cli, CliError> {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    // Apply the `quick` preset before flag parsing so explicit flags win
+    // regardless of argument order (`--horizon 5000 quick` must not
+    // clobber the horizon).
+    let mut config = ExperimentConfig::full();
+    if raw.iter().any(|a| a == "quick") {
+        let quick = ExperimentConfig::quick();
+        config.horizon = quick.horizon;
+        config.replications = quick.replications;
+    }
+    let mut out_dir = None;
+    let mut args = raw.into_iter();
+    while let Some(arg) = args.next() {
+        let mut value_of = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "quick" => {}
+            "--replications" => {
+                config.replications = value_of("--replications")?
+                    .parse()
+                    .map_err(|e| format!("--replications: {e}"))?;
+            }
+            "--jobs" => {
+                config.threads = value_of("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+            }
+            "--seed" => {
+                config.seed = parse_u64(&value_of("--seed")?)
+                    .ok_or_else(|| "--seed: expected a u64 (decimal or 0x-hex)".to_owned())?;
+            }
+            "--horizon" => {
+                config.horizon = value_of("--horizon")?
+                    .parse()
+                    .map_err(|e| format!("--horizon: {e}"))?;
+            }
+            "--out-dir" => out_dir = Some(PathBuf::from(value_of("--out-dir")?)),
+            "--help" | "-h" => return Err(CliError::Help),
+            other => {
+                return Err(CliError::Invalid(format!(
+                    "unknown argument `{other}` (try --help)"
+                )))
+            }
+        }
+    }
+    Ok(Cli { config, out_dir })
+}
+
+/// The Example 1 phase diagram regenerated alongside the reports when
+/// `--out-dir` is given: the Theorem 1 region over `(λ₀, γ)` at `U_s = 0.5`,
+/// `µ = 1`, sharing the CLI's seed / replication / jobs budget.
+fn phase_diagram(config: &ExperimentConfig) -> engine::PhaseDiagram {
+    let spec = GridSpec {
+        lambda0: Axis::linspace("λ0", 0.4, 2.4, 6),
+        mu: Axis::fixed("µ", 1.0),
+        gamma: Axis::new("γ", vec![0.8, 1.25, 2.0, 4.0, 8.0]),
+        pieces: vec![1],
+    };
+    let engine_config = EngineConfig::default()
+        .with_replications(config.replications)
+        .with_horizon(config.horizon)
+        .with_master_seed(config.seed)
+        .with_jobs(config.threads);
+    engine::run_grid(
+        &spec,
+        |_k, mu, gamma, lambda0| scenario::example1(lambda0, 0.5, mu, gamma).ok(),
+        &engine_config,
+    )
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_cli() {
+        Ok(cli) => cli,
+        Err(CliError::Help) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(CliError::Invalid(message)) => {
+            eprintln!("{message}");
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = cli.config;
     eprintln!(
-        "running all experiments with horizon {} (threads {}, seed {:#x})",
-        config.horizon, config.threads, config.seed
+        "running all experiments: horizon {}, replications {}, jobs {}, seed {:#x}",
+        config.horizon, config.replications, config.threads, config.seed
     );
-    for report in experiments::run_all(&config) {
+
+    let reports = experiments::run_all(&config);
+    for report in &reports {
         println!("==================== {} ====================", report.id);
         println!("{report}");
     }
+
+    if let Some(dir) = cli.out_dir {
+        if let Err(error) = write_artifacts(&dir, &config, &reports) {
+            eprintln!("failed to write artifacts into {}: {error}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("artifacts written to {}", dir.display());
+    }
+    ExitCode::SUCCESS
+}
+
+fn write_artifacts(
+    dir: &std::path::Path,
+    config: &ExperimentConfig,
+    reports: &[p2p_stability::workload::ExperimentReport],
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    for report in reports {
+        std::fs::write(dir.join(format!("{}.txt", report.id)), report.render())?;
+    }
+
+    let diagram = phase_diagram(config);
+    engine::artifact::write_phase(dir, "phase", &diagram)?;
+    std::fs::write(dir.join("phase.txt"), diagram.render())?;
+
+    // The E1 load sweep as machine-readable engine outcomes (the same
+    // loads the E1.txt report in this directory describes).
+    let scenarios: Vec<engine::Scenario> = experiments::EXAMPLE1_LOADS
+        .iter()
+        .enumerate()
+        .map(|(i, &load)| {
+            engine::Scenario::new(
+                i as u64,
+                format!("load={load}"),
+                scenario::example1_at_load(load, 1.0, 1.0, 2.0).expect("valid parameters"),
+            )
+        })
+        .collect();
+    let engine_config = EngineConfig::default()
+        .with_replications(config.replications)
+        .with_horizon(config.horizon)
+        .with_master_seed(config.seed)
+        .with_jobs(config.threads);
+    let outcomes = engine::run_batch(&scenarios, &engine_config);
+    engine::artifact::write_outcomes(dir, "example1_sweep", &outcomes)?;
+    Ok(())
 }

@@ -11,7 +11,11 @@
 //! * [`netcoding`] — `GF(q)` arithmetic and subspace types,
 //! * [`swarm`] — the paper's model, Theorem 1/14/15 analysis, Lyapunov and
 //!   branching machinery, and the two simulators,
-//! * [`workload`] — scenarios, sweeps, and the experiment harnesses E1–E12.
+//! * [`engine`] — the parallel Monte-Carlo replication engine: deterministic
+//!   per-replication RNG streams, streaming statistics, phase-diagram
+//!   grids, and CSV/JSON artifact emitters,
+//! * [`workload`] — scenarios, sweeps, and the experiment harnesses E1–E12,
+//!   running on the engine.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for the paper-vs-measured record.
@@ -32,6 +36,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use engine;
 pub use markov;
 pub use netcoding;
 pub use pieceset;

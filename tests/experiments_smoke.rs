@@ -6,7 +6,12 @@ use p2p_stability::swarm::coded;
 use p2p_stability::workload::experiments::{self, ExperimentConfig};
 
 fn tiny() -> ExperimentConfig {
-    ExperimentConfig { horizon: 200.0, seed: 2_024, threads: 2 }
+    ExperimentConfig {
+        horizon: 200.0,
+        seed: 2_024,
+        threads: 2,
+        replications: 1,
+    }
 }
 
 #[test]
@@ -14,7 +19,10 @@ fn all_experiments_produce_reports() {
     let reports = experiments::run_all(&tiny());
     assert_eq!(reports.len(), 12);
     let ids: Vec<&str> = reports.iter().map(|r| r.id.as_str()).collect();
-    assert_eq!(ids, vec!["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"]);
+    assert_eq!(
+        ids,
+        vec!["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"]
+    );
     for report in &reports {
         assert!(!report.tables.is_empty(), "{} has tables", report.id);
         let rendered = report.render();
@@ -26,7 +34,10 @@ fn all_experiments_produce_reports() {
 #[test]
 fn e1_reports_the_paper_threshold() {
     let report = experiments::example1(&tiny());
-    assert!(report.notes.iter().any(|n| n.contains("U_s/(1−µ/γ)") && n.contains('2')));
+    assert!(report
+        .notes
+        .iter()
+        .any(|n| n.contains("U_s/(1−µ/γ)") && n.contains('2')));
     // Six load points plus the slow-departure row.
     assert_eq!(report.tables[0].len(), 6);
     assert_eq!(report.tables[1].len(), 1);
@@ -42,7 +53,10 @@ fn e8_reproduces_the_q64_k200_numbers() {
     let rendered = report.render();
     assert!(rendered.contains("64"));
     assert!(rendered.contains("200"));
-    assert!(rendered.contains("transient (any f < 1)"), "uncoded contrast present");
+    assert!(
+        rendered.contains("transient (any f < 1)"),
+        "uncoded contrast present"
+    );
 }
 
 #[test]
@@ -53,16 +67,23 @@ fn e11_lyapunov_drift_signs_match_the_region() {
     let stable_table = &report.tables[0];
     for row in stable_table.rows() {
         if row[0].starts_with("one-club") || row[0].starts_with("seeds") {
-            let drift: f64 = row[2].replace("e", "E").parse().unwrap_or_else(|_| row[2].parse().unwrap());
-            assert!(drift < 0.0, "stable config drift {} in row {:?}", drift, row);
+            let drift: f64 = row[2]
+                .replace("e", "E")
+                .parse()
+                .unwrap_or_else(|_| row[2].parse().unwrap());
+            assert!(
+                drift < 0.0,
+                "stable config drift {} in row {:?}",
+                drift,
+                row
+            );
         }
     }
     let transient_table = &report.tables[1];
     let last_one_club = transient_table
         .rows()
         .iter()
-        .filter(|r| r[0].starts_with("one-club"))
-        .next_back()
+        .rfind(|r| r[0].starts_with("one-club"))
         .expect("one-club rows present");
     let drift: f64 = last_one_club[2].replace("e", "E").parse().unwrap();
     assert!(drift > 0.0, "transient config one-club drift {drift}");
@@ -72,7 +93,11 @@ fn e11_lyapunov_drift_signs_match_the_region() {
 fn e9_top_layer_drift_vanishes_for_large_populations() {
     let report = experiments::borderline(&tiny());
     let drift_table = &report.tables[0];
-    let large_rows: Vec<_> = drift_table.rows().iter().filter(|r| r[0].parse::<u64>().unwrap_or(0) >= 100).collect();
+    let large_rows: Vec<_> = drift_table
+        .rows()
+        .iter()
+        .filter(|r| r[0].parse::<u64>().unwrap_or(0) >= 100)
+        .collect();
     assert!(!large_rows.is_empty());
     for row in large_rows {
         let drift: f64 = row[1].parse().unwrap_or(f64::NAN);
@@ -84,7 +109,12 @@ fn e9_top_layer_drift_vanishes_for_large_populations() {
 fn e7_policies_all_appear_in_the_table() {
     let report = experiments::policy_insensitivity(&tiny());
     let rendered = report.render();
-    for policy in ["random-useful", "rarest-first", "sequential", "most-common-first"] {
+    for policy in [
+        "random-useful",
+        "rarest-first",
+        "sequential",
+        "most-common-first",
+    ] {
         assert!(rendered.contains(policy), "missing {policy}");
     }
 }

@@ -9,15 +9,18 @@ use proptest::prelude::*;
 /// Random but valid parameters for a small file.
 fn arb_params() -> impl Strategy<Value = SwarmParams> {
     (
-        1usize..=4,                       // K
-        0.0f64..3.0,                      // U_s
-        0.1f64..3.0,                      // µ
+        1usize..=4,                                      // K
+        0.0f64..3.0,                                     // U_s
+        0.1f64..3.0,                                     // µ
         prop_oneof![Just(f64::INFINITY), (0.2f64..5.0)], // γ
-        0.05f64..4.0,                     // λ_∅
-        proptest::collection::vec(0.0f64..1.5, 4), // per-piece gifted rates
+        0.05f64..4.0,                                    // λ_∅
+        proptest::collection::vec(0.0f64..1.5, 4),       // per-piece gifted rates
     )
         .prop_map(|(k, us, mu, gamma, lambda0, gifted)| {
-            let mut b = SwarmParams::builder(k).seed_rate(us).contact_rate(mu).fresh_arrivals(lambda0);
+            let mut b = SwarmParams::builder(k)
+                .seed_rate(us)
+                .contact_rate(mu)
+                .fresh_arrivals(lambda0);
             if gamma.is_finite() {
                 b = b.seed_departure_rate(gamma);
             }

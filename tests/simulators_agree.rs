@@ -11,7 +11,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn agent_config() -> AgentConfig {
-    AgentConfig { snapshot_interval: 2.0, ..Default::default() }
+    AgentConfig {
+        snapshot_interval: 2.0,
+        ..Default::default()
+    }
 }
 
 fn ctmc_average(params: &SwarmParams, horizon: f64, seed: u64) -> f64 {
@@ -22,10 +25,17 @@ fn ctmc_average(params: &SwarmParams, horizon: f64, seed: u64) -> f64 {
 }
 
 fn agent_average(params: &SwarmParams, horizon: f64, seed: u64) -> f64 {
-    let sim = AgentSwarm::with_config(params.clone(), agent_config(), Box::new(policy::RandomUseful)).unwrap();
+    let sim = AgentSwarm::with_config(
+        params.clone(),
+        agent_config(),
+        Box::new(policy::RandomUseful),
+    )
+    .unwrap();
     let mut rng = StdRng::seed_from_u64(seed);
     let result = sim.run(&[], horizon, &mut rng);
-    result.peer_count_path().time_average_over(horizon * 0.3, horizon)
+    result
+        .peer_count_path()
+        .time_average_over(horizon * 0.3, horizon)
 }
 
 #[test]
@@ -62,7 +72,8 @@ fn both_simulators_classify_a_transient_point_as_growing() {
     let ctmc_path = model.simulate_peer_count(model.empty_state(), horizon, &mut rng);
     assert_eq!(classifier.classify(&ctmc_path).class, PathClass::Growing);
 
-    let sim = AgentSwarm::with_config(params, agent_config(), Box::new(policy::RandomUseful)).unwrap();
+    let sim =
+        AgentSwarm::with_config(params, agent_config(), Box::new(policy::RandomUseful)).unwrap();
     let mut rng = StdRng::seed_from_u64(4);
     let agent_path = sim.run(&[], horizon, &mut rng).peer_count_path();
     assert_eq!(classifier.classify(&agent_path).class, PathClass::Growing);
@@ -70,7 +81,10 @@ fn both_simulators_classify_a_transient_point_as_growing() {
     // And the growth rates agree to within simulation noise.
     let s1 = ctmc_path.trend(0.5).slope;
     let s2 = agent_path.trend(0.5).slope;
-    assert!((s1 - s2).abs() < 0.5 * s1.max(s2), "slopes {s1:.2} vs {s2:.2}");
+    assert!(
+        (s1 - s2).abs() < 0.5 * s1.max(s2),
+        "slopes {s1:.2} vs {s2:.2}"
+    );
 }
 
 #[test]
@@ -82,7 +96,10 @@ fn growth_rates_agree_from_a_one_club_start() {
         .contact_rate(1.0)
         .seed_departure_rate(4.0)
         .fresh_arrivals(2.5)
-        .arrival(PieceSet::singleton(p2p_stability::pieceset::PieceId::new(0)), 0.1)
+        .arrival(
+            PieceSet::singleton(p2p_stability::pieceset::PieceId::new(0)),
+            0.1,
+        )
         .build()
         .unwrap();
     let horizon = 800.0;
@@ -90,17 +107,22 @@ fn growth_rates_agree_from_a_one_club_start() {
 
     let model = SwarmModel::new(params.clone());
     let mut rng = StdRng::seed_from_u64(5);
-    let ctmc_path =
-        model.simulate_peer_count(model.one_club_state(watch, 100), horizon, &mut rng);
+    let ctmc_path = model.simulate_peer_count(model.one_club_state(watch, 100), horizon, &mut rng);
 
-    let sim = AgentSwarm::with_config(params, agent_config(), Box::new(policy::RandomUseful)).unwrap();
+    let sim =
+        AgentSwarm::with_config(params, agent_config(), Box::new(policy::RandomUseful)).unwrap();
     let mut rng = StdRng::seed_from_u64(6);
-    let agent_path = sim.run_from_one_club(100, horizon, &mut rng).peer_count_path();
+    let agent_path = sim
+        .run_from_one_club(100, horizon, &mut rng)
+        .peer_count_path();
 
     let s1 = ctmc_path.trend(0.5).slope;
     let s2 = agent_path.trend(0.5).slope;
     assert!(s1 > 0.3 && s2 > 0.3, "both engines grow: {s1:.2}, {s2:.2}");
-    assert!((s1 - s2).abs() < 0.6 * s1.max(s2), "slopes {s1:.2} vs {s2:.2}");
+    assert!(
+        (s1 - s2).abs() < 0.6 * s1.max(s2),
+        "slopes {s1:.2} vs {s2:.2}"
+    );
 }
 
 #[test]
@@ -116,11 +138,15 @@ fn peer_seed_population_behaves_like_mm_infinity() {
         .fresh_arrivals(1.0)
         .build()
         .unwrap();
-    let sim = AgentSwarm::with_config(params, agent_config(), Box::new(policy::RandomUseful)).unwrap();
+    let sim =
+        AgentSwarm::with_config(params, agent_config(), Box::new(policy::RandomUseful)).unwrap();
     let mut rng = StdRng::seed_from_u64(7);
     let result = sim.run(&[], 3_000.0, &mut rng);
     let tail: Vec<_> = result.snapshots.iter().filter(|s| s.time > 500.0).collect();
     let mean_seeds: f64 = tail.iter().map(|s| s.peer_seeds as f64).sum::<f64>() / tail.len() as f64;
     // Completions happen at rate ≈ λ0 = 1 in steady state, so E[seeds] ≈ λ0/γ = 1.
-    assert!(mean_seeds > 0.3 && mean_seeds < 3.0, "mean peer seeds {mean_seeds:.2}");
+    assert!(
+        mean_seeds > 0.3 && mean_seeds < 3.0,
+        "mean peer seeds {mean_seeds:.2}"
+    );
 }
