@@ -1,0 +1,122 @@
+//! Head-to-head benchmark of the two agent-simulator kernels on the
+//! large-swarm regime the stability claims are actually about: a 5000-peer,
+//! `K = 32` swarm with Fig.-2 snapshot resolution.
+//!
+//! The event-driven kernel keeps the group decomposition, seed membership,
+//! and arrival weights as maintained aggregates (packed `u64`-word bitsets,
+//! `O(1)` snapshots, popcount-select departures); the legacy scan kernel
+//! reclassifies every peer at each snapshot, allocates per arrival, and
+//! falls back to an `O(n)` scan when sampling a departing seed. Both consume
+//! identical random draws, so the comparison is purely bookkeeping cost —
+//! the trajectories are equal (asserted once before measuring).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pieceset::{PieceId, PieceSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use swarm::policy::RandomUseful;
+use swarm::sim::{AgentConfig, AgentSwarm, KernelKind};
+use swarm::SwarmParams;
+
+const K: usize = 32;
+
+/// A sustained big-swarm workload: arrivals missing exactly one piece keep a
+/// multi-thousand-peer population exchanging pieces, with enough turnover
+/// that seeds exist but stay rare (the departure-sampling worst case for the
+/// scan kernel).
+fn big_params(lambda_total: f64) -> SwarmParams {
+    let full = PieceSet::full(K);
+    let mut builder = SwarmParams::builder(K)
+        .seed_rate(1.0)
+        .contact_rate(0.2)
+        .seed_departure_rate(8.0);
+    for i in 0..K {
+        builder = builder.arrival(full.without(PieceId::new(i)), lambda_total / K as f64);
+    }
+    builder.build().expect("valid parameters")
+}
+
+/// 5000 initial peers, each missing one piece (spread round-robin), so the
+/// swarm starts at operating size instead of filling up first.
+fn big_initial() -> Vec<PieceSet> {
+    let full = PieceSet::full(K);
+    (0..5_000)
+        .map(|i| full.without(PieceId::new(i % K)))
+        .collect()
+}
+
+fn sim(kernel: KernelKind, snapshot_interval: f64, params: SwarmParams) -> AgentSwarm {
+    AgentSwarm::with_config(
+        params,
+        AgentConfig {
+            kernel,
+            snapshot_interval,
+            ..Default::default()
+        },
+        Box::new(RandomUseful),
+    )
+    .expect("valid configuration")
+}
+
+/// The headline comparison: 5k peers, K = 32, snapshots every 0.25 time
+/// units (the resolution a Fig.-2 decomposition plot needs).
+fn kernel_5k_peers_k32(c: &mut Criterion) {
+    let params = big_params(1_000.0);
+    let initial = big_initial();
+
+    // Same seed, same draws: assert trajectory equality once, then measure.
+    let mut rng = StdRng::seed_from_u64(7);
+    let event = sim(KernelKind::EventDriven, 0.25, params.clone()).run(&initial, 2.0, &mut rng);
+    let mut rng = StdRng::seed_from_u64(7);
+    let scan = sim(KernelKind::LegacyScan, 0.25, params.clone()).run(&initial, 2.0, &mut rng);
+    assert_eq!(event, scan, "kernels must walk identical trajectories");
+
+    let mut group = c.benchmark_group("kernel_5k_peers_k32_horizon10");
+    for (name, kernel) in [
+        ("event-driven", KernelKind::EventDriven),
+        ("legacy-scan", KernelKind::LegacyScan),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &kernel, |b, &kernel| {
+            let sim = sim(kernel, 0.25, params.clone());
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                sim.run(&initial, 10.0, &mut rng)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The one-club regime of the Fig.-2 experiments: a 5000-peer one club
+/// against a weak fixed seed, where the scan kernel's snapshot reclassifies
+/// 5000 peers per grid point.
+fn kernel_one_club_5k(c: &mut Criterion) {
+    let mut builder = SwarmParams::builder(K)
+        .seed_rate(0.5)
+        .contact_rate(1.0)
+        .seed_departure_rate(4.0);
+    builder = builder.arrival(PieceSet::empty(), 2.0);
+    let params = builder.build().expect("valid parameters");
+
+    let mut group = c.benchmark_group("kernel_one_club_5k_horizon5");
+    for (name, kernel) in [
+        ("event-driven", KernelKind::EventDriven),
+        ("legacy-scan", KernelKind::LegacyScan),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &kernel, |b, &kernel| {
+            let sim = sim(kernel, 0.1, params.clone());
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(11);
+                sim.run_from_one_club(5_000, 5.0, &mut rng)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = kernel_5k_peers_k32, kernel_one_club_5k
+}
+criterion_main!(benches);

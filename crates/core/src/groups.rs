@@ -96,6 +96,37 @@ impl GroupCounts {
         }
     }
 
+    /// Removes one peer of the given group (a departure, or the "from" side
+    /// of a transition).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the group count is already zero — the
+    /// incremental bookkeeping of the event-driven simulator must never
+    /// remove a peer it did not add.
+    pub fn remove(&mut self, group: PeerGroup) {
+        let slot = match group {
+            PeerGroup::NormalYoung => &mut self.normal_young,
+            PeerGroup::Infected => &mut self.infected,
+            PeerGroup::Gifted => &mut self.gifted,
+            PeerGroup::OneClub => &mut self.one_club,
+            PeerGroup::FormerOneClub => &mut self.former_one_club,
+        };
+        debug_assert!(*slot > 0, "removing from empty group {}", group.label());
+        *slot -= 1;
+    }
+
+    /// Moves one peer from group `from` to group `to` (no-op when equal).
+    /// This is how a piece transfer updates the Fig.-2 decomposition in
+    /// `O(1)`: the receiving peer's group is re-derived and the counts follow
+    /// the transition instead of rescanning the population.
+    pub fn transition(&mut self, from: PeerGroup, to: PeerGroup) {
+        if from != to {
+            self.remove(from);
+            self.add(to);
+        }
+    }
+
     /// Total number of peers across all groups.
     #[must_use]
     pub fn total(&self) -> u64 {
@@ -222,6 +253,21 @@ mod tests {
         assert!((g.one_club_fraction() - 3.0 / 8.0).abs() < 1e-12);
         let empty = GroupCounts::default();
         assert_eq!(empty.one_club_fraction(), 0.0);
+    }
+
+    #[test]
+    fn remove_and_transition_are_inverse_of_add() {
+        let mut g = GroupCounts::default();
+        g.add(PeerGroup::OneClub);
+        g.add(PeerGroup::NormalYoung);
+        g.transition(PeerGroup::OneClub, PeerGroup::FormerOneClub);
+        assert_eq!(g.one_club, 0);
+        assert_eq!(g.former_one_club, 1);
+        g.transition(PeerGroup::NormalYoung, PeerGroup::NormalYoung);
+        assert_eq!(g.normal_young, 1, "self-transition is a no-op");
+        g.remove(PeerGroup::FormerOneClub);
+        g.remove(PeerGroup::NormalYoung);
+        assert_eq!(g.total(), 0);
     }
 
     #[test]

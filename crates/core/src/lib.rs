@@ -12,8 +12,10 @@
 //! * [`branching_analysis`] — the autonomous branching system of the
 //!   transience proof (Section VI),
 //! * [`policy`] / [`sim`] — a peer-level (agent-based) simulator with
-//!   pluggable piece-selection policies (Theorem 14) and Fig.-2 group
-//!   tracking,
+//!   pluggable piece-selection policies (Theorem 14), Fig.-2 group
+//!   tracking, flash-crowd schedules, and two draw-compatible kernels (an
+//!   event-driven kernel on packed bitsets, and the legacy scan kernel it
+//!   is differentially tested against),
 //! * [`coded`] — the network-coding variant (Theorem 15),
 //! * [`mu_infinity`] — the `µ = ∞` watched process of the borderline analysis
 //!   (Section VIII-D, Fig. 3).

@@ -56,7 +56,7 @@ impl SojournStats {
 }
 
 /// Outcome of an agent-based simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimResult {
     /// Snapshots at the configured sampling interval (first at time 0, last
     /// at the horizon).
@@ -71,6 +71,12 @@ pub struct SimResult {
     pub events: u64,
     /// The simulated horizon actually reached.
     pub horizon: f64,
+    /// `true` if the run stopped at the [`crate::sim::AgentConfig::max_events`]
+    /// safety valve before reaching the requested horizon. A truncated
+    /// result covers `[0, horizon]` for a *shorter* horizon than asked, and
+    /// any verdict derived from it should be treated as provisional; the
+    /// replication engine surfaces this per scenario.
+    pub truncated: bool,
 }
 
 impl SimResult {
@@ -158,6 +164,7 @@ mod tests {
             unsuccessful_contacts: 10,
             events: 100,
             horizon: 10.0,
+            truncated: false,
         }
     }
 

@@ -65,10 +65,14 @@ impl SwarmParams {
     ///
     /// # Panics
     ///
-    /// Never panics for validated parameters (`K` was checked at build time).
+    /// Panics if `K` exceeds [`pieceset::MAX_ENUMERABLE_PIECES`]: parameters
+    /// validate up to [`pieceset::MAX_PIECES`] pieces (the agent-based
+    /// simulator handles any such `K`), but enumerating all `2^K` types — the
+    /// exact CTMC state vector, the Lyapunov evaluation — is only feasible
+    /// for small `K`.
     #[must_use]
     pub fn type_space(&self) -> TypeSpace {
-        TypeSpace::new(self.num_pieces).expect("validated at build time")
+        TypeSpace::new(self.num_pieces).expect("K small enough to enumerate 2^K types")
     }
 
     /// The full collection `F` (the peer-seed type).
@@ -239,7 +243,10 @@ impl SwarmParamsBuilder {
     /// `λ_F > 0` (the paper's convention: with immediate departure, peers
     /// never *arrive* as seeds).
     pub fn build(self) -> Result<SwarmParams, SwarmError> {
-        let space = TypeSpace::new(self.num_pieces)?;
+        // Validation is deliberately independent of `TypeSpace` (which caps
+        // `K` at the enumerable limit): the agent-based simulator runs any
+        // `K ≤ MAX_PIECES`, and only the exact-CTMC paths enumerate types.
+        let full = PieceSet::try_full(self.num_pieces)?;
         if !(self.contact_rate.is_finite() && self.contact_rate > 0.0) {
             return Err(SwarmError::InvalidParameter(format!(
                 "peer contact rate µ = {} must be finite and positive",
@@ -266,7 +273,7 @@ impl SwarmParamsBuilder {
                     c.paper_notation()
                 )));
             }
-            if !space.contains_type(c) {
+            if !c.is_subset_of(full) {
                 return Err(SwarmError::InvalidParameter(format!(
                     "arrival type {} uses pieces outside a {}-piece file",
                     c.paper_notation(),
@@ -280,13 +287,12 @@ impl SwarmParamsBuilder {
                 "the total arrival rate λ_total must be positive".into(),
             ));
         }
-        if self.seed_departure_rate.is_infinite() {
-            let full = PieceSet::full(self.num_pieces);
-            if self.arrivals.get(&full).copied().unwrap_or(0.0) > 0.0 {
-                return Err(SwarmError::InvalidParameter(
-                    "with γ = ∞ the paper assumes λ_F = 0 (peers never arrive as seeds)".into(),
-                ));
-            }
+        if self.seed_departure_rate.is_infinite()
+            && self.arrivals.get(&full).copied().unwrap_or(0.0) > 0.0
+        {
+            return Err(SwarmError::InvalidParameter(
+                "with γ = ∞ the paper assumes λ_F = 0 (peers never arrive as seeds)".into(),
+            ));
         }
         Ok(SwarmParams {
             num_pieces: self.num_pieces,

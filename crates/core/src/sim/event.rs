@@ -1,0 +1,308 @@
+//! The event-driven kernel: packed bitset storage and incremental
+//! bookkeeping.
+//!
+//! Per-peer piece collections live in a [`PieceMatrix`] (rows of packed
+//! `u64` words in one flat buffer), seed and boosted membership in
+//! [`WordBits`] index sets, and each peer's Fig.-2 group is cached and the
+//! aggregate [`GroupCounts`] updated on every *transition* (arrival,
+//! transfer, departure). Consequences:
+//!
+//! * a snapshot is `O(1)` — all observables are maintained aggregates, where
+//!   the scan kernel reclassifies every peer,
+//! * sampling a departing seed resolves through a popcount select over the
+//!   seed bitset instead of an `O(n)` population scan,
+//! * arrival sampling reuses one precomputed weight table instead of
+//!   allocating it per event,
+//! * useful-piece queries are word mask/popcount operations with no
+//!   allocation.
+//!
+//! Every random draw happens at the same point and with the same
+//! distribution as in [`super::scan`], so both kernels walk identical
+//! trajectories on a shared RNG stream.
+
+use super::{AgentSwarm, KernelState};
+use crate::groups::{GroupCounts, PeerGroup};
+use crate::metrics::{SimResult, SimSnapshot, SojournStats};
+use markov::poisson::sample_weighted_index;
+use pieceset::{PieceId, PieceMatrix, PieceSet, WordBits};
+use rand::Rng;
+
+/// Mutable state of the event-driven kernel (struct-of-arrays peer table).
+pub(super) struct State<'a> {
+    sim: &'a AgentSwarm,
+    /// `K`, cached.
+    k: usize,
+    watch: PieceId,
+    /// Peer piece collections, one packed row per peer.
+    pieces: PieceMatrix,
+    arrival_time: Vec<f64>,
+    arrived_with_watch: Vec<bool>,
+    was_one_club: Vec<bool>,
+    /// Cached Fig.-2 group of every peer; [`GroupCounts`] follows its
+    /// transitions.
+    group: Vec<PeerGroup>,
+    /// Peers currently holding the complete collection.
+    seed_bits: WordBits,
+    /// Peers currently running a boosted retry clock (Section VIII-C).
+    boosted: WordBits,
+    seed_boosted: bool,
+    piece_copies: Vec<u64>,
+    groups: GroupCounts,
+    watch_downloads: u64,
+    arrivals_without_watch: u64,
+    transfers: u64,
+    unsuccessful: u64,
+    sojourns: SojournStats,
+    snapshots: Vec<SimSnapshot>,
+    arrival_types: Vec<PieceSet>,
+    /// Precomputed arrival weights, aligned with `arrival_types` — the scan
+    /// kernel rebuilds this vector on every arrival.
+    arrival_weights: Vec<f64>,
+}
+
+impl<'a> State<'a> {
+    pub(super) fn new(sim: &'a AgentSwarm, initial: &[PieceSet]) -> Self {
+        let k = sim.params.num_pieces();
+        let (arrival_types, arrival_weights): (Vec<PieceSet>, Vec<f64>) =
+            sim.params.arrivals().unzip();
+        let mut state = State {
+            sim,
+            k,
+            watch: sim.config.watch_piece,
+            pieces: PieceMatrix::new(k),
+            arrival_time: Vec::with_capacity(initial.len()),
+            arrived_with_watch: Vec::with_capacity(initial.len()),
+            was_one_club: Vec::with_capacity(initial.len()),
+            group: Vec::with_capacity(initial.len()),
+            seed_bits: WordBits::with_len(initial.len()),
+            boosted: WordBits::with_len(initial.len()),
+            seed_boosted: false,
+            piece_copies: vec![0u64; k],
+            groups: GroupCounts::default(),
+            watch_downloads: 0,
+            arrivals_without_watch: 0,
+            transfers: 0,
+            unsuccessful: 0,
+            sojourns: SojournStats::default(),
+            snapshots: Vec::new(),
+            arrival_types,
+            arrival_weights,
+        };
+        state.pieces.reserve(initial.len());
+        for &pieces in initial {
+            debug_assert!(pieces.is_subset_of(sim.params.full_type()));
+            state.add_peer(0.0, pieces, false);
+        }
+        state
+    }
+
+    /// Classifies peer `row` from its cached flags and current collection.
+    fn classify(&self, row: usize) -> PeerGroup {
+        if self.pieces.contains(row, self.watch) {
+            if self.arrived_with_watch[row] {
+                PeerGroup::Gifted
+            } else if self.was_one_club[row] {
+                PeerGroup::FormerOneClub
+            } else {
+                PeerGroup::Infected
+            }
+        } else if self.pieces.count(row) == self.k - 1 {
+            PeerGroup::OneClub
+        } else {
+            PeerGroup::NormalYoung
+        }
+    }
+
+    fn add_peer(&mut self, time: f64, pieces: PieceSet, count_arrival: bool) {
+        if count_arrival && !pieces.contains(self.watch) {
+            self.arrivals_without_watch += 1;
+        }
+        for p in pieces.iter() {
+            self.piece_copies[p.index()] += 1;
+        }
+        let row = self.pieces.push_set(pieces);
+        self.arrival_time.push(time);
+        let with_watch = pieces.contains(self.watch);
+        self.arrived_with_watch.push(with_watch);
+        self.was_one_club
+            .push(!with_watch && pieces.len() == self.k - 1);
+        self.boosted.grow(row + 1);
+        self.seed_bits.grow(row + 1);
+        if pieces.len() == self.k {
+            self.seed_bits.insert(row);
+        }
+        let group = self.classify(row);
+        self.group.push(group);
+        self.groups.add(group);
+    }
+
+    /// Delivers `piece` to peer `target`: all bookkeeping is a transition —
+    /// group counts, seed membership, copy counts — never a rescan.
+    fn give_piece(&mut self, target: usize, piece: PieceId, time: f64) {
+        debug_assert!(!self.pieces.contains(target, piece));
+        let old_group = self.group[target];
+        self.pieces.insert(target, piece);
+        self.piece_copies[piece.index()] += 1;
+        self.transfers += 1;
+        if piece == self.watch {
+            self.watch_downloads += 1;
+        }
+        // Receiving a piece changes what the peer can offer, so any pending
+        // fast-retry boost (Section VIII-C) no longer reflects a failed
+        // attempt with the current collection.
+        self.boosted.remove(target);
+        let holds = self.pieces.count(target);
+        if holds == self.k - 1 && !self.pieces.contains(target, self.watch) {
+            self.was_one_club[target] = true;
+        }
+        let new_group = self.classify(target);
+        self.groups.transition(old_group, new_group);
+        self.group[target] = new_group;
+        if holds == self.k {
+            self.seed_bits.insert(target);
+            if self.sim.params.departs_immediately() {
+                self.depart(target, time);
+            }
+        }
+    }
+
+    fn depart(&mut self, index: usize, time: f64) {
+        let last = self.pieces.rows() - 1;
+        self.groups.remove(self.group[index]);
+        self.sojourns.record(time - self.arrival_time[index]);
+        for p in self.pieces.pieces(index) {
+            self.piece_copies[p.index()] -= 1;
+        }
+        self.pieces.swap_remove_row(index);
+        self.arrival_time.swap_remove(index);
+        self.arrived_with_watch.swap_remove(index);
+        self.was_one_club.swap_remove(index);
+        self.group.swap_remove(index);
+        self.seed_bits.swap_bit(index, last);
+        self.boosted.swap_bit(index, last);
+    }
+}
+
+impl KernelState for State<'_> {
+    fn population(&self) -> usize {
+        self.pieces.rows()
+    }
+
+    fn seed_count(&self) -> usize {
+        self.seed_bits.count()
+    }
+
+    fn boosted_count(&self) -> usize {
+        self.boosted.count()
+    }
+
+    fn seed_boosted(&self) -> bool {
+        self.seed_boosted
+    }
+
+    fn record_snapshot(&mut self, time: f64) {
+        // Every observable is a maintained aggregate: O(1) per snapshot.
+        self.snapshots.push(SimSnapshot {
+            time,
+            total_peers: self.pieces.rows() as u64,
+            peer_seeds: self.seed_bits.count() as u64,
+            groups: self.groups,
+            watch_piece_downloads: self.watch_downloads,
+            arrivals_without_watch: self.arrivals_without_watch,
+            watch_piece_copies: self.piece_copies[self.watch.index()],
+        });
+    }
+
+    fn handle_arrival<R: Rng>(&mut self, time: f64, rng: &mut R) {
+        let idx = sample_weighted_index(rng, &self.arrival_weights).expect("λ_total > 0");
+        let pieces = self.arrival_types[idx];
+        self.add_peer(time, pieces, true);
+    }
+
+    fn handle_seed_tick<R: Rng>(&mut self, time: f64, rng: &mut R) {
+        let n = self.pieces.rows();
+        if n == 0 {
+            return;
+        }
+        let target = rng.gen_range(0..n);
+        let useful = self.pieces.missing_set(target);
+        if useful.is_empty() {
+            self.unsuccessful += 1;
+            self.seed_boosted = self.sim.config.retry_speedup > 1.0;
+            return;
+        }
+        self.seed_boosted = false;
+        let piece = self.sim.policy.select(useful, &self.piece_copies, rng);
+        self.give_piece(target, piece, time);
+    }
+
+    fn handle_peer_tick<R: Rng>(&mut self, time: f64, rng: &mut R) {
+        let n = self.pieces.rows();
+        if n == 0 {
+            return;
+        }
+        let eta = self.sim.config.retry_speedup;
+        // Rejection-sample the uploader proportionally to its clock rate
+        // (identical draws to the scan kernel).
+        let uploader = loop {
+            let i = rng.gen_range(0..n);
+            if eta <= 1.0 || self.boosted.contains(i) || rng.gen::<f64>() < 1.0 / eta {
+                break i;
+            }
+        };
+        let target = rng.gen_range(0..n);
+        let useful = self.pieces.useful_set(uploader, target);
+        if useful.is_empty() {
+            self.unsuccessful += 1;
+            if eta > 1.0 {
+                self.boosted.insert(uploader);
+            }
+            return;
+        }
+        self.boosted.remove(uploader);
+        let piece = self.sim.policy.select(useful, &self.piece_copies, rng);
+        self.give_piece(target, piece, time);
+    }
+
+    fn handle_seed_departure<R: Rng>(&mut self, time: f64, rng: &mut R) {
+        let n = self.pieces.rows();
+        if n == 0 {
+            return;
+        }
+        // Same uniform tries as the scan kernel (identical draws)...
+        for _ in 0..64 {
+            let i = rng.gen_range(0..n);
+            if self.seed_bits.contains(i) {
+                self.depart(i, time);
+                return;
+            }
+        }
+        // ...but the fallback is a popcount select over the seed bitset
+        // instead of an O(n) scan. Draw parity with the scan kernel: both
+        // draw exactly one index in `0..max(seeds, 1)` and pick the seed of
+        // that rank in increasing index order.
+        let rank = rng.gen_range(0..self.seed_bits.count().max(1));
+        if let Some(i) = self.seed_bits.select_nth(rank) {
+            self.depart(i, time);
+        }
+    }
+
+    fn inject(&mut self, time: f64, pieces: PieceSet, count: usize) {
+        self.pieces.reserve(count);
+        for _ in 0..count {
+            self.add_peer(time, pieces, true);
+        }
+    }
+
+    fn finish(self, events: u64, truncated: bool, horizon: f64) -> SimResult {
+        SimResult {
+            snapshots: self.snapshots,
+            sojourns: self.sojourns,
+            transfers: self.transfers,
+            unsuccessful_contacts: self.unsuccessful,
+            events,
+            horizon,
+            truncated,
+        }
+    }
+}

@@ -1,0 +1,866 @@
+//! Peer-level (agent-based) discrete-event simulator.
+//!
+//! The type-count CTMC of [`crate::SwarmModel`] is exact but cannot express
+//! per-peer identities: which peers are gifted or infected (Fig. 2), how a
+//! non-random piece-selection policy behaves (Theorem 14), or the
+//! faster-retry variant of Section VIII-C. This simulator keeps every peer as
+//! an agent with its own piece collection and simulates the same stochastic
+//! dynamics exactly (exponential clocks, uniform random contacts), with
+//! pluggable [`crate::policy::PiecePolicy`], optional retry speed-up, and
+//! scheduled [`FlashCrowd`] injections.
+//!
+//! # Kernels
+//!
+//! Two interchangeable kernels implement the bookkeeping behind the shared
+//! event loop (see [`KernelKind`]):
+//!
+//! * **Event-driven** (the default) — peer piece collections live in a
+//!   packed [`pieceset::PieceMatrix`] (one row of `u64` words per peer),
+//!   seed and boosted membership in [`pieceset::WordBits`] index sets, and
+//!   the Fig.-2 group decomposition is keyed off *incremental transitions*:
+//!   every arrival, transfer, and departure adjusts the group counts in
+//!   `O(1)`, so snapshots cost `O(1)` and choosing a departing seed is a
+//!   popcount select instead of a population scan.
+//! * **Legacy scan** — the original array-of-structs kernel that recomputes
+//!   the group decomposition by scanning every peer at each snapshot and
+//!   falls back to an `O(n)` scan when sampling a departing seed. Kept as
+//!   the differential-testing baseline and the benchmark reference.
+//!
+//! Both kernels run under the *same* driver loop and consume random draws in
+//! the *same* order, so for a fixed RNG stream they produce **identical
+//! trajectories** — a property test pins this
+//! (`crates/core/tests/kernel_equivalence.rs`).
+//!
+//! Aggregate exponential clocks are maintained per peer class — total
+//! arrival rate, (possibly boosted) fixed-seed rate, total peer contact rate
+//! split into normal and boosted sub-populations, and the peer-seed
+//! departure rate — and updated in `O(1)` per event; no per-event rescan of
+//! the population happens in either kernel.
+
+mod event;
+mod scan;
+
+use crate::metrics::SimResult;
+use crate::policy::{PiecePolicy, RandomUseful};
+use crate::{SwarmError, SwarmParams};
+use markov::poisson::{sample_exp, sample_weighted_index};
+use pieceset::{PieceId, PieceSet};
+use rand::Rng;
+
+/// Which simulation kernel executes the run (see the [module docs](self)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelKind {
+    /// Incremental bookkeeping on packed bitsets: `O(1)` snapshots and group
+    /// updates, popcount-select departures. The default.
+    #[default]
+    EventDriven,
+    /// The original scan-based kernel: group decomposition recomputed by a
+    /// full population scan at every snapshot. Kept for differential testing
+    /// and as the benchmark baseline.
+    LegacyScan,
+}
+
+/// Configuration of the agent-based simulator beyond the model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AgentConfig {
+    /// The piece whose spread is tracked for the Fig.-2 decomposition
+    /// (piece one in the paper).
+    pub watch_piece: PieceId,
+    /// Retry speed-up factor `η ≥ 1` of Section VIII-C: a peer (or the fixed
+    /// seed) whose last contact found nothing useful runs its clock `η`
+    /// times faster until its next contact. `1.0` recovers the base model.
+    pub retry_speedup: f64,
+    /// Interval between recorded snapshots. Snapshot times are snapped to
+    /// the grid `i · interval` (computed by multiplication, not by
+    /// accumulating floats), so they do not drift over long horizons.
+    pub snapshot_interval: f64,
+    /// Hard cap on the number of simulated events (safety valve). A run that
+    /// hits it stops early and reports [`SimResult::truncated`].
+    pub max_events: u64,
+    /// The kernel executing the run.
+    pub kernel: KernelKind,
+}
+
+impl Default for AgentConfig {
+    fn default() -> Self {
+        AgentConfig {
+            watch_piece: PieceId::new(0),
+            retry_speedup: 1.0,
+            snapshot_interval: 10.0,
+            max_events: 50_000_000,
+            kernel: KernelKind::EventDriven,
+        }
+    }
+}
+
+/// A scheduled mass arrival: `count` peers of type `pieces` join at `time`.
+///
+/// Flash crowds model the scenario-registry workloads where a burst of
+/// (typically empty-handed) peers hits an operating swarm — the stress that
+/// provokes the missing-piece syndrome. Injection is deterministic (no
+/// random draws), so a schedule does not perturb the RNG stream of the
+/// surrounding Poisson dynamics beyond the state change itself.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlashCrowd {
+    /// Simulated time of the burst (must be finite and non-negative).
+    pub time: f64,
+    /// Number of peers joining at once.
+    pub count: usize,
+    /// The piece collection every member of the crowd arrives with.
+    pub pieces: PieceSet,
+}
+
+/// The agent-based swarm simulator.
+///
+/// # Examples
+///
+/// ```
+/// use swarm::{sim::AgentSwarm, SwarmParams};
+/// use rand::SeedableRng;
+///
+/// let params = SwarmParams::builder(2)
+///     .seed_rate(1.0)
+///     .contact_rate(1.0)
+///     .seed_departure_rate(2.0)
+///     .fresh_arrivals(0.5)
+///     .build()
+///     .unwrap();
+/// let sim = AgentSwarm::new(params).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let result = sim.run(&[], 200.0, &mut rng);
+/// assert!(result.final_snapshot().time >= 199.9);
+/// assert!(!result.truncated);
+/// ```
+pub struct AgentSwarm {
+    params: SwarmParams,
+    config: AgentConfig,
+    policy: Box<dyn PiecePolicy>,
+}
+
+impl AgentSwarm {
+    /// Creates a simulator with the default configuration and the paper's
+    /// random-useful policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::InvalidParameter`] if the configuration is
+    /// invalid (see [`AgentSwarm::with_config`]).
+    pub fn new(params: SwarmParams) -> Result<Self, SwarmError> {
+        Self::with_config(params, AgentConfig::default(), Box::new(RandomUseful))
+    }
+
+    /// Creates a simulator with an explicit configuration and policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::InvalidParameter`] if the watch piece is outside
+    /// the file, the retry speed-up is less than one, or the snapshot
+    /// interval is not positive.
+    pub fn with_config(
+        params: SwarmParams,
+        config: AgentConfig,
+        policy: Box<dyn PiecePolicy>,
+    ) -> Result<Self, SwarmError> {
+        if config.watch_piece.index() >= params.num_pieces() {
+            return Err(SwarmError::InvalidParameter(format!(
+                "watch piece {} outside a {}-piece file",
+                config.watch_piece,
+                params.num_pieces()
+            )));
+        }
+        if !(config.retry_speedup >= 1.0 && config.retry_speedup.is_finite()) {
+            return Err(SwarmError::InvalidParameter(format!(
+                "retry speed-up η = {} must be a finite value ≥ 1",
+                config.retry_speedup
+            )));
+        }
+        if config.snapshot_interval.is_nan() || config.snapshot_interval <= 0.0 {
+            return Err(SwarmError::InvalidParameter(
+                "snapshot interval must be positive".into(),
+            ));
+        }
+        Ok(AgentSwarm {
+            params,
+            config,
+            policy,
+        })
+    }
+
+    /// The model parameters.
+    #[must_use]
+    pub fn params(&self) -> &SwarmParams {
+        &self.params
+    }
+
+    /// The simulator configuration.
+    #[must_use]
+    pub fn config(&self) -> &AgentConfig {
+        &self.config
+    }
+
+    /// The name of the piece-selection policy in use.
+    #[must_use]
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Runs the simulation from an initial population (`initial[i]` is the
+    /// piece collection of the `i`-th initial peer) up to `horizon`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the initial population fails [`AgentSwarm::validate_run`]
+    /// (a collection outside the file, or a complete collection while
+    /// `γ = ∞`). Use [`AgentSwarm::run_with_schedule`] for the fallible
+    /// form.
+    #[must_use]
+    pub fn run<R: Rng>(&self, initial: &[PieceSet], horizon: f64, rng: &mut R) -> SimResult {
+        self.run_with_schedule(initial, &[], horizon, rng)
+            .expect("valid initial population")
+    }
+
+    /// Runs from a one-club initial condition: `n` peers all missing exactly
+    /// the watch piece.
+    #[must_use]
+    pub fn run_from_one_club<R: Rng>(&self, n: usize, horizon: f64, rng: &mut R) -> SimResult {
+        let club = self.params.full_type().without(self.config.watch_piece);
+        let initial = vec![club; n];
+        self.run(&initial, horizon, rng)
+    }
+
+    /// Validates an initial population and flash schedule without running:
+    /// every collection must stay inside the `K`-piece file, crowd times
+    /// must be finite and non-negative, and — mirroring the builder's
+    /// `λ_F = 0` convention — no *complete* collection may be injected when
+    /// `γ = ∞` (such a peer would never depart and act as a phantom
+    /// permanent seed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::InvalidParameter`] describing the first
+    /// violation.
+    pub fn validate_run(
+        &self,
+        initial: &[PieceSet],
+        flash: &[FlashCrowd],
+    ) -> Result<(), SwarmError> {
+        let full = self.params.full_type();
+        let check_type = |pieces: PieceSet, what: &str| -> Result<(), SwarmError> {
+            if !pieces.is_subset_of(full) {
+                return Err(SwarmError::InvalidParameter(format!(
+                    "{what} type {} uses pieces outside a {}-piece file",
+                    pieces.paper_notation(),
+                    self.params.num_pieces()
+                )));
+            }
+            if self.params.departs_immediately() && pieces == full {
+                return Err(SwarmError::InvalidParameter(format!(
+                    "{what} peers hold the complete collection, but with γ = ∞ \
+                     complete peers leave instantly and may never be injected \
+                     (the paper's λ_F = 0 convention)"
+                )));
+            }
+            Ok(())
+        };
+        for &pieces in initial {
+            check_type(pieces, "initial")?;
+        }
+        for crowd in flash {
+            if !(crowd.time.is_finite() && crowd.time >= 0.0) {
+                return Err(SwarmError::InvalidParameter(format!(
+                    "flash crowd time {} must be finite and non-negative",
+                    crowd.time
+                )));
+            }
+            check_type(crowd.pieces, "flash crowd")?;
+        }
+        Ok(())
+    }
+
+    /// Runs with a schedule of [`FlashCrowd`] injections on top of the
+    /// Poisson arrival process. Crowds past the horizon are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::InvalidParameter`] if the initial population or
+    /// schedule fails [`AgentSwarm::validate_run`].
+    pub fn run_with_schedule<R: Rng>(
+        &self,
+        initial: &[PieceSet],
+        flash: &[FlashCrowd],
+        horizon: f64,
+        rng: &mut R,
+    ) -> Result<SimResult, SwarmError> {
+        self.validate_run(initial, flash)?;
+        let mut schedule: Vec<FlashCrowd> = flash.to_vec();
+        schedule.sort_by(|a, b| a.time.total_cmp(&b.time));
+        Ok(match self.config.kernel {
+            KernelKind::EventDriven => drive(
+                self,
+                event::State::new(self, initial),
+                &schedule,
+                horizon,
+                rng,
+            ),
+            KernelKind::LegacyScan => drive(
+                self,
+                scan::State::new(self, initial),
+                &schedule,
+                horizon,
+                rng,
+            ),
+        })
+    }
+}
+
+/// The bookkeeping interface a kernel exposes to the shared driver loop.
+///
+/// The driver owns time, the aggregate rate computation, event selection,
+/// the snapshot grid, the flash schedule, and truncation; kernels own the
+/// population state and the per-event updates. Every handler must consume
+/// random draws in exactly the same order across kernels — that is what
+/// makes trajectories reproducible kernel-to-kernel.
+trait KernelState {
+    /// Current population size `n`.
+    fn population(&self) -> usize;
+    /// Current number of peer seeds (complete collections).
+    fn seed_count(&self) -> usize;
+    /// Current number of peers running a boosted retry clock.
+    fn boosted_count(&self) -> usize;
+    /// Whether the fixed seed runs a boosted retry clock.
+    fn seed_boosted(&self) -> bool;
+    /// Records a snapshot at `time`.
+    fn record_snapshot(&mut self, time: f64);
+    /// A Poisson arrival fires at `time`.
+    fn handle_arrival<R: Rng>(&mut self, time: f64, rng: &mut R);
+    /// The fixed seed's clock fires at `time`.
+    fn handle_seed_tick<R: Rng>(&mut self, time: f64, rng: &mut R);
+    /// Some peer's contact clock fires at `time`.
+    fn handle_peer_tick<R: Rng>(&mut self, time: f64, rng: &mut R);
+    /// A peer-seed departure fires at `time`.
+    fn handle_seed_departure<R: Rng>(&mut self, time: f64, rng: &mut R);
+    /// Injects a flash crowd (no random draws).
+    fn inject(&mut self, time: f64, pieces: PieceSet, count: usize);
+    /// Consumes the kernel into the run's result.
+    fn finish(self, events: u64, truncated: bool, horizon: f64) -> SimResult;
+}
+
+/// The shared event loop: aggregate exponential clocks per peer class,
+/// updated `O(1)` per event from the kernel's maintained counts.
+fn drive<S: KernelState, R: Rng>(
+    sim: &AgentSwarm,
+    mut state: S,
+    flash: &[FlashCrowd],
+    horizon: f64,
+    rng: &mut R,
+) -> SimResult {
+    let params = &sim.params;
+    let eta = sim.config.retry_speedup;
+    let gamma_finite = !params.departs_immediately();
+    let interval = sim.config.snapshot_interval;
+
+    state.record_snapshot(0.0);
+    // Snapshot times are the grid `i · interval`, computed by multiplication
+    // so long horizons do not accumulate floating-point drift.
+    let mut next_snapshot: u64 = 1;
+    let mut last_snapshot = 0.0f64;
+    let mut time = 0.0f64;
+    let mut events = 0u64;
+    let mut truncated = false;
+    let mut next_flash = 0usize;
+
+    loop {
+        if events >= sim.config.max_events {
+            truncated = true;
+            break;
+        }
+        let n = state.population();
+        let seeds = if gamma_finite { state.seed_count() } else { 0 };
+        let boosted = state.boosted_count();
+
+        let arrival_rate = params.total_arrival_rate();
+        let seed_tick_rate = if n > 0 {
+            params.seed_rate() * if state.seed_boosted() { eta } else { 1.0 }
+        } else {
+            0.0
+        };
+        let peer_tick_rate = params.contact_rate() * ((n - boosted) as f64 + eta * boosted as f64);
+        let departure_rate = if gamma_finite {
+            params.seed_departure_rate() * seeds as f64
+        } else {
+            0.0
+        };
+        let rates = [arrival_rate, seed_tick_rate, peer_tick_rate, departure_rate];
+        let total: f64 = rates.iter().sum();
+        debug_assert!(total > 0.0, "λ_total > 0 guarantees a positive total rate");
+
+        let dt = sample_exp(rng, total);
+        let new_time = time + dt;
+
+        // A scheduled flash crowd pre-empts the sampled event: jump to the
+        // crowd, inject it, and resample (the exponential clocks are
+        // memoryless, so discarding the sampled jump is exact).
+        if let Some(crowd) = flash.get(next_flash) {
+            if crowd.time <= new_time.min(horizon) {
+                while (next_snapshot as f64) * interval <= crowd.time {
+                    let t = (next_snapshot as f64) * interval;
+                    state.record_snapshot(t);
+                    last_snapshot = t;
+                    next_snapshot += 1;
+                }
+                time = crowd.time;
+                state.inject(time, crowd.pieces, crowd.count);
+                next_flash += 1;
+                continue;
+            }
+        }
+
+        // Emit snapshots for every grid point crossed before the event.
+        while (next_snapshot as f64) * interval <= new_time.min(horizon) {
+            let t = (next_snapshot as f64) * interval;
+            state.record_snapshot(t);
+            last_snapshot = t;
+            next_snapshot += 1;
+        }
+        if new_time > horizon {
+            time = horizon;
+            break;
+        }
+        time = new_time;
+        events += 1;
+
+        match sample_weighted_index(rng, &rates).expect("positive total rate") {
+            0 => state.handle_arrival(time, rng),
+            1 => state.handle_seed_tick(time, rng),
+            2 => state.handle_peer_tick(time, rng),
+            _ => state.handle_seed_departure(time, rng),
+        }
+    }
+
+    // Final snapshot at the horizon (or at the truncation point).
+    let end = time.max(last_snapshot);
+    state.record_snapshot(end);
+    state.finish(events, truncated, end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{RarestFirst, Sequential};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params(k: usize, us: f64, mu: f64, gamma: f64, lambda0: f64) -> SwarmParams {
+        let mut b = SwarmParams::builder(k)
+            .seed_rate(us)
+            .contact_rate(mu)
+            .fresh_arrivals(lambda0);
+        if gamma.is_finite() {
+            b = b.seed_departure_rate(gamma);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        let p = params(2, 1.0, 1.0, 1.0, 1.0);
+        let bad_watch = AgentConfig {
+            watch_piece: PieceId::new(5),
+            ..Default::default()
+        };
+        assert!(AgentSwarm::with_config(p.clone(), bad_watch, Box::new(RandomUseful)).is_err());
+        let bad_eta = AgentConfig {
+            retry_speedup: 0.5,
+            ..Default::default()
+        };
+        assert!(AgentSwarm::with_config(p.clone(), bad_eta, Box::new(RandomUseful)).is_err());
+        let bad_snap = AgentConfig {
+            snapshot_interval: 0.0,
+            ..Default::default()
+        };
+        assert!(AgentSwarm::with_config(p.clone(), bad_snap, Box::new(RandomUseful)).is_err());
+        assert!(AgentSwarm::new(p).is_ok());
+    }
+
+    #[test]
+    fn flash_schedule_validation() {
+        let p = params(2, 1.0, 1.0, 2.0, 1.0);
+        let sim = AgentSwarm::new(p).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let bad_time = FlashCrowd {
+            time: -1.0,
+            count: 5,
+            pieces: PieceSet::empty(),
+        };
+        assert!(sim
+            .run_with_schedule(&[], &[bad_time], 10.0, &mut rng)
+            .is_err());
+        let bad_type = FlashCrowd {
+            time: 1.0,
+            count: 5,
+            pieces: PieceSet::singleton(PieceId::new(7)),
+        };
+        assert!(sim
+            .run_with_schedule(&[], &[bad_type], 10.0, &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn gamma_infinite_rejects_injected_complete_peers() {
+        // With immediate departure a complete peer would never leave (a
+        // phantom permanent seed), so validation refuses it in both the
+        // initial population and flash crowds; finite γ allows it.
+        let p = params(2, 1.0, 1.0, f64::INFINITY, 1.0);
+        let sim = AgentSwarm::new(p).unwrap();
+        let full = PieceSet::full(2);
+        assert!(sim.validate_run(&[full], &[]).is_err());
+        let crowd = FlashCrowd {
+            time: 1.0,
+            count: 5,
+            pieces: full,
+        };
+        assert!(sim.validate_run(&[], &[crowd]).is_err());
+        let p = params(2, 1.0, 1.0, 2.0, 1.0);
+        let sim = AgentSwarm::new(p).unwrap();
+        assert!(sim.validate_run(&[full], &[crowd]).is_ok());
+    }
+
+    #[test]
+    fn stable_system_keeps_population_bounded() {
+        // Example 1 inside the stability region: λ0 = 1 < U_s/(1−µ/γ) = 4.
+        let p = params(1, 2.0, 1.0, 2.0, 1.0);
+        let sim = AgentSwarm::new(p).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let result = sim.run(&[], 2_000.0, &mut rng);
+        let path = result.peer_count_path();
+        let classifier = markov::PathClassifier::new(1.0, 30.0);
+        assert_eq!(classifier.classify(&path).class, markov::PathClass::Stable);
+        assert!(
+            result.sojourns.departures > 100,
+            "plenty of peers complete and leave"
+        );
+    }
+
+    #[test]
+    fn transient_system_grows_at_predicted_rate() {
+        // Example 1 outside the region: λ0 = 4 > U_s/(1−µ/γ) = 2.
+        // The one-club (= type ∅ here) grows at rate ≈ λ0 − U_s/(1−µ/γ) = 2.
+        let p = params(1, 1.0, 1.0, 2.0, 4.0);
+        let sim = AgentSwarm::new(p).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let result = sim.run(&[], 1_500.0, &mut rng);
+        let trend = result.peer_count_path().trend(0.5);
+        assert!(trend.slope > 1.0, "slope {}", trend.slope);
+        assert!(
+            (trend.slope - 2.0).abs() < 0.7,
+            "slope {} should be near 2",
+            trend.slope
+        );
+    }
+
+    #[test]
+    fn one_club_initial_condition_grows_when_unstable() {
+        // K = 3, no seed help for the watch piece beyond a weak fixed seed.
+        let p = params(3, 0.2, 1.0, 4.0, 3.0);
+        assert_eq!(
+            crate::stability::classify(&p).verdict,
+            crate::StabilityVerdict::Transient
+        );
+        let sim = AgentSwarm::new(p).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let result = sim.run_from_one_club(100, 500.0, &mut rng);
+        let first = result.snapshots.first().unwrap();
+        let last = result.final_snapshot();
+        assert_eq!(first.groups.one_club, 100);
+        assert!(
+            last.groups.one_club > 200,
+            "one club should keep growing, got {}",
+            last.groups.one_club
+        );
+    }
+
+    #[test]
+    fn group_decomposition_partitions_the_population() {
+        let p = SwarmParams::builder(3)
+            .seed_rate(0.5)
+            .contact_rate(1.0)
+            .seed_departure_rate(1.5)
+            .fresh_arrivals(1.0)
+            .arrival(PieceSet::singleton(PieceId::new(0)), 0.3)
+            .build()
+            .unwrap();
+        let sim = AgentSwarm::new(p).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let result = sim.run(&[], 500.0, &mut rng);
+        for snap in &result.snapshots {
+            assert_eq!(
+                snap.groups.total(),
+                snap.total_peers,
+                "groups partition peers at t = {}",
+                snap.time
+            );
+        }
+        // gifted peers exist because some arrivals carry the watch piece
+        assert!(
+            result.final_snapshot().groups.gifted > 0
+                || result.snapshots.iter().any(|s| s.groups.gifted > 0)
+        );
+    }
+
+    #[test]
+    fn counters_are_monotone_and_consistent() {
+        let p = params(2, 1.0, 1.0, 2.0, 1.0);
+        let sim = AgentSwarm::new(p).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let result = sim.run(&[], 300.0, &mut rng);
+        let mut prev_d = 0;
+        let mut prev_a = 0;
+        for s in &result.snapshots {
+            assert!(s.watch_piece_downloads >= prev_d);
+            assert!(s.arrivals_without_watch >= prev_a);
+            prev_d = s.watch_piece_downloads;
+            prev_a = s.arrivals_without_watch;
+            assert!(
+                s.watch_piece_copies <= s.total_peers,
+                "at most one copy per peer"
+            );
+        }
+        assert!(result.transfers > 0);
+        assert!(result.events > 0);
+        assert!(!result.truncated);
+    }
+
+    #[test]
+    fn gamma_infinite_leaves_no_seeds_in_system() {
+        let p = params(2, 1.0, 1.0, f64::INFINITY, 1.0);
+        let sim = AgentSwarm::new(p).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let result = sim.run(&[], 400.0, &mut rng);
+        for s in &result.snapshots {
+            assert_eq!(s.peer_seeds, 0, "peers depart the instant they complete");
+        }
+        assert!(result.sojourns.departures > 0);
+    }
+
+    #[test]
+    fn policies_do_not_change_stability_at_stable_point() {
+        // Theorem 14 sanity at small scale: a stable parameter point stays
+        // stable under sequential and rarest-first selection.
+        let p = params(3, 2.0, 1.0, 2.0, 1.0);
+        for policy in [
+            Box::new(RarestFirst) as Box<dyn PiecePolicy>,
+            Box::new(Sequential) as Box<dyn PiecePolicy>,
+        ] {
+            let sim = AgentSwarm::with_config(p.clone(), AgentConfig::default(), policy).unwrap();
+            let mut rng = StdRng::seed_from_u64(7);
+            let result = sim.run(&[], 1_000.0, &mut rng);
+            let classifier = markov::PathClassifier::new(1.0, 40.0);
+            assert_eq!(
+                classifier.classify(&result.peer_count_path()).class,
+                markov::PathClass::Stable,
+                "policy {}",
+                sim.policy_name()
+            );
+        }
+    }
+
+    #[test]
+    fn retry_speedup_increases_contact_attempts() {
+        // With η > 1 a starved uploader retries faster, so the number of
+        // unsuccessful contacts grows relative to the base model.
+        let p = params(1, 0.2, 1.0, 2.0, 2.0);
+        let mut rng = StdRng::seed_from_u64(8);
+        let base = AgentSwarm::new(p.clone())
+            .unwrap()
+            .run(&[], 500.0, &mut rng);
+        let mut rng = StdRng::seed_from_u64(8);
+        let boosted_cfg = AgentConfig {
+            retry_speedup: 10.0,
+            ..Default::default()
+        };
+        let boosted = AgentSwarm::with_config(p, boosted_cfg, Box::new(RandomUseful))
+            .unwrap()
+            .run(&[], 500.0, &mut rng);
+        assert!(
+            boosted.unsuccessful_contacts > base.unsuccessful_contacts,
+            "boosted {} vs base {}",
+            boosted.unsuccessful_contacts,
+            base.unsuccessful_contacts
+        );
+    }
+
+    #[test]
+    fn sojourn_times_are_positive_and_reasonable() {
+        let p = params(2, 2.0, 1.0, 2.0, 1.0);
+        let sim = AgentSwarm::new(p).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let result = sim.run(&[], 1_000.0, &mut rng);
+        assert!(result.sojourns.departures > 50);
+        assert!(result.sojourns.mean_sojourn() > 0.0);
+        assert!(result.sojourns.max_sojourn >= result.sojourns.mean_sojourn());
+    }
+
+    #[test]
+    fn both_kernels_produce_identical_trajectories() {
+        // The exhaustive version lives in tests/kernel_equivalence.rs; this
+        // is the smoke check close to the implementation.
+        let p = params(3, 0.5, 1.0, 2.0, 1.5);
+        for kernel in [KernelKind::EventDriven, KernelKind::LegacyScan] {
+            let config = AgentConfig {
+                kernel,
+                snapshot_interval: 5.0,
+                ..Default::default()
+            };
+            let sim = AgentSwarm::with_config(p.clone(), config, Box::new(RandomUseful)).unwrap();
+            let mut rng = StdRng::seed_from_u64(11);
+            let result = sim.run_from_one_club(20, 150.0, &mut rng);
+            if kernel == KernelKind::EventDriven {
+                // run once more with the scan kernel below and compare
+                let scan_cfg = AgentConfig {
+                    kernel: KernelKind::LegacyScan,
+                    snapshot_interval: 5.0,
+                    ..Default::default()
+                };
+                let scan_sim =
+                    AgentSwarm::with_config(p.clone(), scan_cfg, Box::new(RandomUseful)).unwrap();
+                let mut rng2 = StdRng::seed_from_u64(11);
+                let scan = scan_sim.run_from_one_club(20, 150.0, &mut rng2);
+                assert_eq!(result, scan);
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_reported_and_identical_across_kernels() {
+        let p = params(2, 1.0, 1.0, 2.0, 2.0);
+        let mut results = Vec::new();
+        for kernel in [KernelKind::EventDriven, KernelKind::LegacyScan] {
+            let config = AgentConfig {
+                kernel,
+                max_events: 500,
+                snapshot_interval: 1.0,
+                ..Default::default()
+            };
+            let sim = AgentSwarm::with_config(p.clone(), config, Box::new(RandomUseful)).unwrap();
+            let mut rng = StdRng::seed_from_u64(13);
+            let result = sim.run(&[], 10_000.0, &mut rng);
+            assert!(result.truncated, "500 events cannot reach horizon 10000");
+            assert_eq!(result.events, 500);
+            assert!(result.horizon < 10_000.0);
+            results.push(result);
+        }
+        assert_eq!(results[0], results[1]);
+    }
+
+    #[test]
+    fn snapshot_times_sit_on_the_grid_without_drift() {
+        let p = params(1, 2.0, 1.0, 2.0, 1.0);
+        let config = AgentConfig {
+            snapshot_interval: 0.1,
+            ..Default::default()
+        };
+        let sim = AgentSwarm::with_config(p, config, Box::new(RandomUseful)).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let result = sim.run(&[], 2_000.0, &mut rng);
+        // With naive `t += 0.1` accumulation the 20000th snapshot drifts by
+        // thousands of ulps; on the multiplicative grid it is exact.
+        for (i, snap) in result.snapshots.iter().enumerate().skip(1) {
+            if i < result.snapshots.len() - 1 {
+                let expected = (i as f64) * 0.1;
+                assert_eq!(snap.time, expected, "snapshot {i} off the grid");
+            }
+        }
+    }
+
+    #[test]
+    fn flash_crowd_joins_at_the_scheduled_time() {
+        let p = params(2, 1.0, 1.0, 2.0, 0.5);
+        let sim = AgentSwarm::with_config(
+            p,
+            AgentConfig {
+                snapshot_interval: 1.0,
+                ..Default::default()
+            },
+            Box::new(RandomUseful),
+        )
+        .unwrap();
+        let crowd = FlashCrowd {
+            time: 50.0,
+            count: 300,
+            pieces: PieceSet::empty(),
+        };
+        let mut rng = StdRng::seed_from_u64(19);
+        let result = sim
+            .run_with_schedule(&[], &[crowd], 100.0, &mut rng)
+            .unwrap();
+        let before = result
+            .snapshots
+            .iter()
+            .rfind(|s| s.time < 50.0)
+            .expect("snapshots before the crowd");
+        let after = result
+            .snapshots
+            .iter()
+            .find(|s| s.time > 50.0)
+            .expect("snapshots after the crowd");
+        assert!(
+            after.total_peers >= before.total_peers + 250,
+            "crowd of 300 visible: {} -> {}",
+            before.total_peers,
+            after.total_peers
+        );
+        // Crowd members arrived empty-handed: they count as arrivals without
+        // the watch piece.
+        assert!(after.arrivals_without_watch >= before.arrivals_without_watch + 300);
+    }
+
+    #[test]
+    fn flash_crowds_identical_across_kernels() {
+        let p = params(3, 0.5, 1.0, 3.0, 1.0);
+        let crowds = [
+            FlashCrowd {
+                time: 20.0,
+                count: 100,
+                pieces: PieceSet::empty(),
+            },
+            FlashCrowd {
+                time: 60.0,
+                count: 50,
+                pieces: PieceSet::singleton(PieceId::new(1)),
+            },
+        ];
+        let mut results = Vec::new();
+        for kernel in [KernelKind::EventDriven, KernelKind::LegacyScan] {
+            let config = AgentConfig {
+                kernel,
+                snapshot_interval: 5.0,
+                ..Default::default()
+            };
+            let sim = AgentSwarm::with_config(p.clone(), config, Box::new(RandomUseful)).unwrap();
+            let mut rng = StdRng::seed_from_u64(23);
+            results.push(
+                sim.run_with_schedule(&[], &crowds, 120.0, &mut rng)
+                    .unwrap(),
+            );
+        }
+        assert_eq!(results[0], results[1]);
+    }
+
+    #[test]
+    fn large_k_swarm_runs_without_type_enumeration() {
+        // K = 32 exceeds the 2^K-enumerable limit; the agent simulator must
+        // not care (this is the benchmark regime).
+        let full = PieceSet::full(32);
+        let mut b = SwarmParams::builder(32).seed_rate(1.0).contact_rate(0.5);
+        b = b.seed_departure_rate(8.0);
+        for i in 0..4 {
+            b = b.arrival(full.without(PieceId::new(i)), 0.5);
+        }
+        let p = b.build().expect("K = 32 parameters validate");
+        let sim = AgentSwarm::new(p).unwrap();
+        let mut rng = StdRng::seed_from_u64(29);
+        let result = sim.run(&[], 50.0, &mut rng);
+        assert!(result.transfers > 0);
+        assert!(result.sojourns.departures > 0);
+    }
+}

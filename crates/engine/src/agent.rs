@@ -1,0 +1,406 @@
+//! Agent-based scenario execution: replication batches that run the
+//! peer-level simulator instead of the type-count CTMC.
+//!
+//! The CTMC path ([`crate::replicate`]) enumerates all `2^K` peer types, so
+//! it is capped at small `K` and cannot express per-peer features (policies,
+//! retry speed-up, flash crowds, heterogeneous initial populations). The
+//! scenario registry in `workload` compiles its specs into
+//! [`AgentScenario`]s, which this module replicates with the same
+//! determinism contract as the CTMC batches: one ChaCha stream per
+//! `(master seed, scenario id, replication)`, aggregation in fixed
+//! replication order, bit-identical results at any worker count.
+//!
+//! Truncated replications (runs that hit the simulator's `max_events`
+//! safety valve before the horizon) are surfaced per scenario in
+//! [`AgentOutcome::truncated_replications`] so a verdict derived from
+//! clipped trajectories is never silently trusted.
+
+use crate::config::EngineConfig;
+use crate::progress::Progress;
+use crate::replicate::{verdict_agrees, ClassVotes};
+use crate::rng::replication_rng;
+use crate::stats::{Estimate, Welford};
+use markov::{PathClass, PathClassifier};
+use pieceset::PieceSet;
+use rayon::prelude::*;
+use rayon::ThreadPoolBuilder;
+use serde::{Deserialize, Serialize};
+use swarm::sim::{AgentConfig, AgentSwarm, FlashCrowd};
+use swarm::{policy, stability, StabilityVerdict, SwarmError, SwarmParams};
+
+/// One agent-simulator scenario to replicate: model parameters plus the
+/// peer-level features the CTMC cannot express.
+#[derive(Debug, Clone)]
+pub struct AgentScenario {
+    /// Stream key of the scenario, unique within a batch.
+    pub id: u64,
+    /// Label carried into outcomes and artifacts.
+    pub label: String,
+    /// Model parameters of the point.
+    pub params: SwarmParams,
+    /// Simulator configuration (watch piece, retry speed-up, snapshot
+    /// interval, event cap, kernel).
+    pub config: AgentConfig,
+    /// Piece-selection policy, by [`policy::by_name`] name.
+    pub policy: String,
+    /// Initial population as `(type, count)` groups, expanded in order.
+    pub initial: Vec<(PieceSet, usize)>,
+    /// Scheduled flash crowds.
+    pub flash: Vec<FlashCrowd>,
+}
+
+impl AgentScenario {
+    /// Creates a scenario with the default simulator configuration, the
+    /// paper's random-useful policy, an empty system, and no flash crowds.
+    #[must_use]
+    pub fn new(id: u64, label: impl Into<String>, params: SwarmParams) -> Self {
+        AgentScenario {
+            id,
+            label: label.into(),
+            params,
+            config: AgentConfig::default(),
+            policy: "random-useful".to_owned(),
+            initial: Vec::new(),
+            flash: Vec::new(),
+        }
+    }
+
+    /// The initial population expanded into one collection per peer.
+    #[must_use]
+    pub fn initial_population(&self) -> Vec<PieceSet> {
+        let total: usize = self.initial.iter().map(|(_, count)| count).sum();
+        let mut peers = Vec::with_capacity(total);
+        for &(pieces, count) in &self.initial {
+            peers.extend(std::iter::repeat_n(pieces, count));
+        }
+        peers
+    }
+
+    /// Builds the configured simulator (validating config and policy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::InvalidParameter`] for an unknown policy name or
+    /// an invalid simulator configuration.
+    pub fn build_sim(&self) -> Result<AgentSwarm, SwarmError> {
+        let policy = policy::by_name(&self.policy).ok_or_else(|| {
+            SwarmError::InvalidParameter(format!("unknown piece policy `{}`", self.policy))
+        })?;
+        AgentSwarm::with_config(self.params.clone(), self.config, policy)
+    }
+
+    /// Fully validates the scenario: simulator configuration, policy,
+    /// initial population, and flash schedule. What this accepts,
+    /// [`run_agent_replication`] can run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::InvalidParameter`] describing the first
+    /// violation.
+    pub fn validate(&self) -> Result<(), SwarmError> {
+        let sim = self.build_sim()?;
+        sim.validate_run(&self.initial_population(), &self.flash)
+    }
+}
+
+/// The result of one agent-simulator replication.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AgentReplication {
+    /// Replication index within the scenario.
+    pub replication: u32,
+    /// Classification of the simulated peer-count path.
+    pub class: PathClass,
+    /// Tail growth rate of the peer count (peers per unit time).
+    pub tail_slope: f64,
+    /// Time-average of the peer count over the tail window.
+    pub tail_average: f64,
+    /// Simulated events executed.
+    pub events: u64,
+    /// `true` if the run hit the `max_events` safety valve before the
+    /// horizon (its classification covers a clipped trajectory).
+    pub truncated: bool,
+}
+
+/// Aggregated outcome of one agent scenario's replication batch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AgentOutcome {
+    /// The scenario's stream key.
+    pub scenario_id: u64,
+    /// The scenario's label.
+    pub label: String,
+    /// Theorem 1's verdict for the parameter point.
+    pub theory: StabilityVerdict,
+    /// Per-class vote counts.
+    pub votes: ClassVotes,
+    /// Majority-vote classification.
+    pub majority: PathClass,
+    /// Tail growth rate across replications, with confidence interval.
+    pub tail_slope: Estimate,
+    /// Tail-average peer count across replications, with confidence
+    /// interval.
+    pub tail_average: Estimate,
+    /// Whether the majority vote agrees with theory (borderline → true).
+    pub agrees: bool,
+    /// Number of replications clipped by the `max_events` safety valve —
+    /// non-zero means the verdict rests on truncated trajectories.
+    pub truncated_replications: u32,
+    /// Mean simulated events per replication.
+    pub mean_events: f64,
+}
+
+/// Runs a single replication of `scenario` on its derived random stream.
+///
+/// # Errors
+///
+/// Returns [`SwarmError::InvalidParameter`] if the scenario's policy or
+/// configuration is invalid, or its flash schedule fails validation.
+pub fn run_agent_replication(
+    scenario: &AgentScenario,
+    config: &EngineConfig,
+    replication: u32,
+) -> Result<AgentReplication, SwarmError> {
+    let sim = scenario.build_sim()?;
+    let initial = scenario.initial_population();
+    let mut rng = replication_rng(config.master_seed, scenario.id, u64::from(replication));
+    let result = sim.run_with_schedule(&initial, &scenario.flash, config.horizon, &mut rng)?;
+    let classifier = PathClassifier::new(
+        scenario.params.total_arrival_rate(),
+        (3.0 * initial.len() as f64).max(30.0),
+    );
+    let verdict = classifier.classify(&result.peer_count_path());
+    Ok(AgentReplication {
+        replication,
+        class: verdict.class,
+        tail_slope: verdict.tail_slope,
+        tail_average: verdict.tail_average,
+        events: result.events,
+        truncated: result.truncated,
+    })
+}
+
+fn aggregate(
+    scenario: &AgentScenario,
+    replications: &[AgentReplication],
+    config: &EngineConfig,
+) -> AgentOutcome {
+    let theory = stability::classify(&scenario.params).verdict;
+    let mut votes = ClassVotes::default();
+    let mut slope = Welford::new();
+    let mut average = Welford::new();
+    let mut events = Welford::new();
+    let mut truncated = 0u32;
+    for outcome in replications {
+        votes.push(outcome.class);
+        slope.push(outcome.tail_slope);
+        average.push(outcome.tail_average);
+        events.push(outcome.events as f64);
+        truncated += u32::from(outcome.truncated);
+    }
+    let majority = votes.majority();
+    AgentOutcome {
+        scenario_id: scenario.id,
+        label: scenario.label.clone(),
+        theory,
+        votes,
+        majority,
+        tail_slope: slope.estimate(config.confidence),
+        tail_average: average.estimate(config.confidence),
+        agrees: verdict_agrees(theory, majority),
+        truncated_replications: truncated,
+        mean_events: events.mean(),
+    }
+}
+
+/// Runs `config.replications` replications of every agent scenario across
+/// `config.jobs` workers and returns one aggregated outcome per scenario,
+/// in input order. Deterministic for a fixed master seed at any worker
+/// count, exactly like [`crate::run_batch`].
+///
+/// # Errors
+///
+/// Returns the first scenario-validation error (unknown policy, invalid
+/// configuration or flash schedule); scenarios are validated up front so a
+/// batch never fails halfway.
+///
+/// # Panics
+///
+/// Panics if two scenarios share an `id` (their replications would silently
+/// share random streams).
+pub fn run_agent_batch(
+    scenarios: &[AgentScenario],
+    config: &EngineConfig,
+) -> Result<Vec<AgentOutcome>, SwarmError> {
+    if scenarios.is_empty() {
+        return Ok(Vec::new());
+    }
+    {
+        let mut ids: Vec<u64> = scenarios.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(
+            ids.len(),
+            scenarios.len(),
+            "scenario ids must be unique within a batch"
+        );
+    }
+    // Validate every scenario — configuration, policy, initial population,
+    // flash schedule — before simulating anything, so a bad scenario is an
+    // error here and never a worker panic mid-batch.
+    for scenario in scenarios {
+        scenario.validate()?;
+    }
+
+    let replications = config.replications.max(1);
+    let tasks: Vec<(usize, u32)> = (0..scenarios.len())
+        .flat_map(|scenario| (0..replications).map(move |replication| (scenario, replication)))
+        .collect();
+    let progress = Progress::new("agent", tasks.len() as u64, config.progress);
+
+    let pool = ThreadPoolBuilder::new()
+        .num_threads(config.jobs)
+        .build()
+        .expect("thread pool");
+    let results: Vec<AgentReplication> = pool.install(|| {
+        tasks
+            .into_par_iter()
+            .map(|(scenario, replication)| {
+                let outcome = run_agent_replication(&scenarios[scenario], config, replication)
+                    .expect("scenarios validated before the batch");
+                progress.tick();
+                outcome
+            })
+            .collect()
+    });
+
+    Ok(scenarios
+        .iter()
+        .zip(results.chunks(replications as usize))
+        .map(|(scenario, chunk)| aggregate(scenario, chunk, config))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pieceset::PieceId;
+
+    fn example1(lambda0: f64) -> SwarmParams {
+        SwarmParams::builder(1)
+            .seed_rate(1.0)
+            .contact_rate(1.0)
+            .seed_departure_rate(2.0)
+            .fresh_arrivals(lambda0)
+            .build()
+            .expect("valid parameters")
+    }
+
+    fn quick_config() -> EngineConfig {
+        EngineConfig::default()
+            .with_replications(3)
+            .with_horizon(250.0)
+            .with_master_seed(0xA6E7)
+            .with_jobs(2)
+    }
+
+    #[test]
+    fn batch_is_deterministic_across_worker_counts() {
+        let scenarios = vec![
+            AgentScenario::new(0, "stable", example1(0.6)),
+            AgentScenario::new(1, "transient", example1(4.0)),
+        ];
+        let seq = run_agent_batch(
+            &scenarios,
+            &EngineConfig {
+                jobs: 1,
+                ..quick_config()
+            },
+        )
+        .unwrap();
+        let par = run_agent_batch(
+            &scenarios,
+            &EngineConfig {
+                jobs: 8,
+                ..quick_config()
+            },
+        )
+        .unwrap();
+        assert_eq!(seq, par);
+        assert_eq!(seq[0].theory, StabilityVerdict::PositiveRecurrent);
+        assert_eq!(seq[1].theory, StabilityVerdict::Transient);
+        assert_eq!(seq[0].votes.total(), 3);
+    }
+
+    #[test]
+    fn unknown_policy_is_rejected_up_front() {
+        let mut scenario = AgentScenario::new(0, "bad", example1(1.0));
+        scenario.policy = "telepathic".into();
+        assert!(run_agent_batch(&[scenario], &quick_config()).is_err());
+    }
+
+    #[test]
+    fn invalid_flash_schedule_is_an_error_not_a_worker_panic() {
+        let mut scenario = AgentScenario::new(0, "bad-flash", example1(1.0));
+        scenario.flash = vec![FlashCrowd {
+            time: -5.0,
+            count: 3,
+            pieces: PieceSet::empty(),
+        }];
+        assert!(run_agent_batch(&[scenario], &quick_config()).is_err());
+    }
+
+    #[test]
+    fn complete_initial_peers_with_immediate_departure_are_rejected() {
+        // γ = ∞ (immediate departure): injecting full collections would
+        // create immortal phantom seeds, so validation refuses them.
+        let params = SwarmParams::builder(2)
+            .seed_rate(1.0)
+            .fresh_arrivals(1.0)
+            .build()
+            .unwrap();
+        let mut scenario = AgentScenario::new(0, "phantom-seeds", params);
+        scenario.initial = vec![(PieceSet::full(2), 10)];
+        assert!(run_agent_batch(&[scenario.clone()], &quick_config()).is_err());
+        // The same groups with finite γ are the legitimate multi-seed case.
+        let finite = SwarmParams::builder(2)
+            .seed_rate(1.0)
+            .seed_departure_rate(1.0)
+            .fresh_arrivals(1.0)
+            .build()
+            .unwrap();
+        scenario.params = finite;
+        assert!(run_agent_batch(&[scenario], &quick_config()).is_ok());
+    }
+
+    #[test]
+    fn truncation_is_surfaced_in_the_outcome() {
+        let mut scenario = AgentScenario::new(0, "clipped", example1(2.0));
+        scenario.config.max_events = 200;
+        let outcomes = run_agent_batch(&[scenario], &quick_config()).unwrap();
+        assert_eq!(outcomes[0].truncated_replications, 3);
+        assert!(outcomes[0].mean_events <= 200.0);
+    }
+
+    #[test]
+    fn initial_population_and_flash_are_honoured() {
+        let params = SwarmParams::builder(3)
+            .seed_rate(0.5)
+            .contact_rate(1.0)
+            .seed_departure_rate(2.0)
+            .fresh_arrivals(0.5)
+            .build()
+            .unwrap();
+        let mut scenario = AgentScenario::new(7, "club+crowd", params);
+        let club = PieceSet::full(3).without(PieceId::new(0));
+        scenario.initial = vec![(club, 40), (PieceSet::empty(), 10)];
+        scenario.flash = vec![FlashCrowd {
+            time: 50.0,
+            count: 100,
+            pieces: PieceSet::empty(),
+        }];
+        assert_eq!(scenario.initial_population().len(), 50);
+        let outcome = run_agent_replication(&scenario, &quick_config(), 0).unwrap();
+        // 50 initial + crowd of 100 minus departures: the tail average must
+        // reflect a populated system.
+        assert!(outcome.tail_average > 10.0);
+    }
+}

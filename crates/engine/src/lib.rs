@@ -8,6 +8,10 @@
 //!
 //! * [`replicate`] — runs **batches of replications** per scenario and
 //!   aggregates them into majority-vote verdicts with streaming statistics,
+//! * [`agent`] — the same replication contract for **agent-based
+//!   scenarios** (piece policies, retry speed-up, flash crowds, large `K`)
+//!   that the type-count CTMC cannot express, with `max_events` truncation
+//!   surfaced per scenario,
 //! * [`rng`] — deterministic per-replication ChaCha streams keyed by
 //!   `(master seed, scenario id, replication id)`, so a batch's results are
 //!   bit-for-bit reproducible at *any* worker count,
@@ -50,6 +54,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod agent;
 pub mod artifact;
 pub mod config;
 pub mod grid;
@@ -58,6 +63,7 @@ pub mod replicate;
 pub mod rng;
 pub mod stats;
 
+pub use agent::{run_agent_batch, run_agent_replication, AgentOutcome, AgentScenario};
 pub use config::EngineConfig;
 pub use grid::{run_grid, Axis, GridSpec, PhaseCell, PhaseDiagram};
 pub use replicate::{

@@ -1,0 +1,263 @@
+//! Growable packed `u64`-word bitsets over arbitrary indices.
+//!
+//! [`WordBits`] is the index-set companion of [`crate::PieceSet`]: where a
+//! `PieceSet` is one word describing which of at most [`crate::MAX_PIECES`]
+//! pieces a peer holds, a `WordBits` packs *any* number of indices — peers in
+//! a population, pieces of a very large file — into `⌈n/64⌉` words. The
+//! agent-based simulator keys its hot membership queries off it: "which peers
+//! are seeds right now" and "which peers run a boosted retry clock" are
+//! `WordBits` over peer indices, so membership tests are one mask, updates
+//! are one mask, and *select the `r`-th member in index order* is a popcount
+//! skip over words instead of an `O(n)` scan of the population.
+//!
+//! All queries are allocation-free.
+//!
+//! # Examples
+//!
+//! ```
+//! use pieceset::WordBits;
+//!
+//! let mut seeds = WordBits::new();
+//! seeds.grow(200);          // population of 200 peers, none a seed yet
+//! seeds.insert(3);
+//! seeds.insert(130);
+//! seeds.insert(64);
+//! assert_eq!(seeds.count(), 3);
+//! // the 1st member in increasing index order (0-based rank):
+//! assert_eq!(seeds.select_nth(1), Some(64));
+//! assert!(seeds.contains(130));
+//! seeds.remove(64);
+//! assert_eq!(seeds.select_nth(1), Some(130));
+//! ```
+
+/// A growable bitset packed into `u64` words, with constant-time membership
+/// updates and popcount-accelerated rank selection.
+///
+/// Indices are `usize` and dense: the set is meant to track membership within
+/// a population `0..len` (peers, pieces, replications). The member count is
+/// maintained incrementally so [`WordBits::count`] is `O(1)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WordBits {
+    words: Vec<u64>,
+    /// Number of indices currently in the set, maintained on every update.
+    count: usize,
+}
+
+impl WordBits {
+    /// Creates an empty set over an empty index range.
+    #[must_use]
+    pub fn new() -> Self {
+        WordBits::default()
+    }
+
+    /// Creates an empty set sized for indices `0..len`.
+    #[must_use]
+    pub fn with_len(len: usize) -> Self {
+        WordBits {
+            words: vec![0; len.div_ceil(64)],
+            count: 0,
+        }
+    }
+
+    /// Ensures indices `0..len` are addressable (new indices start absent).
+    pub fn grow(&mut self, len: usize) {
+        let words = len.div_ceil(64);
+        if words > self.words.len() {
+            self.words.resize(words, 0);
+        }
+    }
+
+    /// Number of members in the set.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Returns `true` if the set has no members.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Returns `true` if `index` is a member. Indices beyond the grown range
+    /// are absent (never out of bounds).
+    #[must_use]
+    #[inline]
+    pub fn contains(&self, index: usize) -> bool {
+        self.words
+            .get(index / 64)
+            .is_some_and(|w| w & (1u64 << (index % 64)) != 0)
+    }
+
+    /// Inserts `index`; returns `true` if it was newly added. Grows the
+    /// backing storage if needed.
+    #[inline]
+    pub fn insert(&mut self, index: usize) -> bool {
+        self.grow(index + 1);
+        let word = &mut self.words[index / 64];
+        let bit = 1u64 << (index % 64);
+        let newly = *word & bit == 0;
+        *word |= bit;
+        self.count += usize::from(newly);
+        newly
+    }
+
+    /// Removes `index`; returns `true` if it was a member.
+    #[inline]
+    pub fn remove(&mut self, index: usize) -> bool {
+        let Some(word) = self.words.get_mut(index / 64) else {
+            return false;
+        };
+        let bit = 1u64 << (index % 64);
+        let had = *word & bit != 0;
+        *word &= !bit;
+        self.count -= usize::from(had);
+        had
+    }
+
+    /// Sets membership of `index` to `member` (a branchless insert/remove).
+    pub fn set(&mut self, index: usize, member: bool) {
+        if member {
+            self.insert(index);
+        } else {
+            self.remove(index);
+        }
+    }
+
+    /// Moves the membership bit of `from` onto `to` and clears `from` — the
+    /// companion of `Vec::swap_remove(to)` with `from` the last index.
+    pub fn swap_bit(&mut self, to: usize, from: usize) {
+        if to != from {
+            let member = self.contains(from);
+            self.set(to, member);
+        }
+        self.remove(from);
+    }
+
+    /// Removes every member (keeps the grown capacity).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.count = 0;
+    }
+
+    /// The `rank`-th member in increasing index order (0-based), or `None`
+    /// if fewer than `rank + 1` members exist.
+    ///
+    /// Runs in `O(words)` by skipping whole words via popcount, then isolates
+    /// the bit inside the hit word — the replacement for "collect all members
+    /// into a `Vec` and index it".
+    #[must_use]
+    pub fn select_nth(&self, rank: usize) -> Option<usize> {
+        if rank >= self.count {
+            return None;
+        }
+        let mut remaining = rank;
+        for (w, &word) in self.words.iter().enumerate() {
+            let ones = word.count_ones() as usize;
+            if remaining < ones {
+                // Drop the `remaining` lowest set bits, then read the next.
+                let mut bits = word;
+                for _ in 0..remaining {
+                    bits &= bits - 1;
+                }
+                return Some(w * 64 + bits.trailing_zeros() as usize);
+            }
+            remaining -= ones;
+        }
+        None
+    }
+
+    /// Iterates over the members in increasing index order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &word)| {
+            let mut bits = word;
+            core::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let i = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(w * 64 + i)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains_count() {
+        let mut s = WordBits::new();
+        assert!(s.is_empty());
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert_eq!(s.count(), 3);
+        assert!(s.contains(5) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(6));
+        assert!(!s.contains(10_000), "past-capacity queries are absent");
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert!(!s.remove(10_000));
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    fn select_nth_matches_sorted_members() {
+        let mut s = WordBits::with_len(300);
+        let members = [0usize, 1, 63, 64, 65, 127, 128, 200, 299];
+        for &m in &members {
+            s.insert(m);
+        }
+        for (rank, &m) in members.iter().enumerate() {
+            assert_eq!(s.select_nth(rank), Some(m), "rank {rank}");
+        }
+        assert_eq!(s.select_nth(members.len()), None);
+        assert_eq!(WordBits::new().select_nth(0), None);
+    }
+
+    #[test]
+    fn iter_is_increasing_and_complete() {
+        let mut s = WordBits::new();
+        for m in [3usize, 70, 71, 140] {
+            s.insert(m);
+        }
+        let got: Vec<usize> = s.iter().collect();
+        assert_eq!(got, vec![3, 70, 71, 140]);
+    }
+
+    #[test]
+    fn swap_bit_mirrors_swap_remove() {
+        // Population [a, b, c, d]; seeds = {1, 3}. swap_remove(1) moves d to
+        // slot 1: seeds should become {1} (d was a member).
+        let mut s = WordBits::with_len(4);
+        s.insert(1);
+        s.insert(3);
+        s.swap_bit(1, 3);
+        assert!(s.contains(1));
+        assert!(!s.contains(3));
+        assert_eq!(s.count(), 1);
+        // Removing the last element itself: membership just drops.
+        let mut s = WordBits::with_len(2);
+        s.insert(1);
+        s.swap_bit(1, 1);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn clear_and_set() {
+        let mut s = WordBits::with_len(70);
+        s.set(69, true);
+        assert!(s.contains(69));
+        s.set(69, false);
+        assert!(!s.contains(69));
+        s.set(1, true);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(1));
+    }
+}

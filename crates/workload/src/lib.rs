@@ -10,6 +10,10 @@
 //!
 //! * [`scenario`] — builders for the paper's example networks and the
 //!   workloads the experiments sweep over,
+//! * [`registry`] — the declarative scenario registry: serde-style JSON
+//!   scenario files (heterogeneous arrivals, flash crowds, multi-seed
+//!   starts, retry speed-up, policy choice) executed deterministically on
+//!   the engine's agent backend via `run_experiments --scenario`,
 //! * [`sweep`] — a small parallel parameter-sweep runner that simulates each
 //!   point and compares against the Theorem 1 / Theorem 15 prediction,
 //! * [`report`] — plain-text tables, the output format of every experiment,
@@ -31,10 +35,13 @@
 
 pub mod experiments;
 pub mod grid;
+mod json;
+pub mod registry;
 pub mod report;
 pub mod scenario;
 pub mod sweep;
 
 pub use grid::{CellOutcome, RegionGrid};
+pub use registry::{Registry, ScenarioRunOptions, ScenarioRunReport, ScenarioSpec};
 pub use report::{ExperimentReport, Table};
 pub use sweep::{SweepOutcome, SweepPoint, SweepSummary};

@@ -8,9 +8,23 @@ use swarm::{SwarmError, SwarmParams};
 /// seeds dwelling at rate `gamma` (pass [`f64::INFINITY`] for immediate
 /// departure).
 ///
-/// Theorem 1 (and [12]) give the stability condition
+/// Theorem 1 (and \[12\]) give the stability condition
 /// `λ0 < U_s / (1 − µ/γ)` when `µ < γ`, and stability for any `λ0` when
 /// `γ ≤ µ` and `U_s > 0`.
+///
+/// # Examples
+///
+/// ```
+/// use workload::scenario::example1;
+/// use swarm::stability;
+///
+/// // λ0 = 1.5 sits below the threshold U_s/(1 − µ/γ) = 2: stable.
+/// let params = example1(1.5, 1.0, 1.0, 2.0).unwrap();
+/// assert!(stability::classify(&params).verdict.is_stable());
+/// // λ0 = 2.5 sits above it: transient (a one club forms).
+/// let params = example1(2.5, 1.0, 1.0, 2.0).unwrap();
+/// assert!(!stability::classify(&params).verdict.is_stable());
+/// ```
 ///
 /// # Errors
 ///

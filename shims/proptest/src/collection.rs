@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 use rand::Rng;
 
-/// Lengths accepted by [`vec`]: a fixed `usize` or a range of sizes.
+/// Lengths accepted by [`vec()`]: a fixed `usize` or a range of sizes.
 pub trait SizeBounds {
     /// Inclusive `(min, max)` length bounds.
     fn bounds(self) -> (usize, usize);

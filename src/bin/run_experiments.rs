@@ -1,5 +1,5 @@
-//! Regenerates every experiment report (E1–E12) and, optionally, the
-//! engine's phase-diagram artifacts.
+//! Regenerates every experiment report (E1–E12), runs registry scenarios,
+//! and, optionally, writes the engine's phase-diagram artifacts.
 //!
 //! ```text
 //! cargo run --release --bin run_experiments                 # full budget
@@ -7,6 +7,10 @@
 //! cargo run --release --bin run_experiments -- \
 //!     --replications 16 --jobs 8 --seed 0xA11CE \
 //!     --out-dir artifacts                                   # write files
+//! cargo run --release --bin run_experiments -- \
+//!     --scenario flash-crowd                                # a built-in
+//! cargo run --release --bin run_experiments -- \
+//!     --scenario my_swarm.json --replications 8             # a file
 //! ```
 //!
 //! Flags:
@@ -15,16 +19,23 @@
 //! * `--replications N` — Monte-Carlo replications per sweep point,
 //! * `--jobs N` — worker threads (0 = one per core),
 //! * `--seed S` — master seed (decimal or `0x…`),
-//! * `--horizon T` — simulated horizon per replication,
+//! * `--horizon T` — simulated horizon per replication (for `--scenario`
+//!   this overrides the horizon written in the scenario),
+//! * `--scenario FILE|NAME` — instead of the E1–E12 reports, execute one
+//!   scenario from the registry: a JSON scenario file (see `EXPERIMENTS.md`
+//!   for the format) or a built-in name,
+//! * `--list-scenarios` — list the built-in scenario names and exit,
 //! * `--out-dir DIR` — also write `E*.txt` reports plus the Example 1
 //!   phase diagram as `phase.csv` / `phase.json` / `phase.txt` and the E1
-//!   sweep outcomes as CSV/JSON into `DIR`.
+//!   sweep outcomes as CSV/JSON into `DIR` (with `--scenario`, write the
+//!   scenario report as `scenario_<name>.txt`).
 //!
 //! With a fixed `--seed`, every report and artifact is byte-identical at
 //! any `--jobs` value.
 
 use p2p_stability::engine::{self, Axis, EngineConfig, GridSpec};
 use p2p_stability::workload::experiments::{self, ExperimentConfig};
+use p2p_stability::workload::registry::{self, Registry, ScenarioRunOptions};
 use p2p_stability::workload::scenario;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -32,10 +43,15 @@ use std::process::ExitCode;
 struct Cli {
     config: ExperimentConfig,
     out_dir: Option<PathBuf>,
+    scenario: Option<String>,
+    list_scenarios: bool,
+    /// Set only when `--horizon` was given explicitly (a scenario's own
+    /// horizon must win otherwise).
+    explicit_horizon: Option<f64>,
 }
 
 const USAGE: &str = "usage: run_experiments [quick] [--replications N] [--jobs N] \
-[--seed S] [--horizon T] [--out-dir DIR]";
+[--seed S] [--horizon T] [--scenario FILE|NAME] [--list-scenarios] [--out-dir DIR]";
 
 enum CliError {
     /// `--help` / `-h`: print usage and exit successfully.
@@ -73,6 +89,9 @@ fn parse_cli() -> Result<Cli, CliError> {
         config.replications = quick.replications;
     }
     let mut out_dir = None;
+    let mut scenario = None;
+    let mut list_scenarios = false;
+    let mut explicit_horizon = None;
     let mut args = raw.into_iter();
     while let Some(arg) = args.next() {
         let mut value_of = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
@@ -96,7 +115,10 @@ fn parse_cli() -> Result<Cli, CliError> {
                 config.horizon = value_of("--horizon")?
                     .parse()
                     .map_err(|e| format!("--horizon: {e}"))?;
+                explicit_horizon = Some(config.horizon);
             }
+            "--scenario" => scenario = Some(value_of("--scenario")?),
+            "--list-scenarios" => list_scenarios = true,
             "--out-dir" => out_dir = Some(PathBuf::from(value_of("--out-dir")?)),
             "--help" | "-h" => return Err(CliError::Help),
             other => {
@@ -106,7 +128,13 @@ fn parse_cli() -> Result<Cli, CliError> {
             }
         }
     }
-    Ok(Cli { config, out_dir })
+    Ok(Cli {
+        config,
+        out_dir,
+        scenario,
+        list_scenarios,
+        explicit_horizon,
+    })
 }
 
 /// The Example 1 phase diagram regenerated alongside the reports when
@@ -144,6 +172,20 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if cli.list_scenarios {
+        let registry = Registry::builtin();
+        for spec in registry.iter() {
+            println!(
+                "{:20}  K={:<3} {}",
+                spec.name, spec.num_pieces, spec.description
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+    if let Some(which) = &cli.scenario {
+        return run_scenario(which, &cli);
+    }
+
     let config = cli.config;
     eprintln!(
         "running all experiments: horizon {}, replications {}, jobs {}, seed {:#x}",
@@ -162,6 +204,53 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("artifacts written to {}", dir.display());
+    }
+    ExitCode::SUCCESS
+}
+
+/// Executes one registry scenario (a JSON file or a built-in name) on the
+/// engine's agent backend and prints its deterministic report.
+fn run_scenario(which: &str, cli: &Cli) -> ExitCode {
+    let registry = Registry::builtin();
+    let spec = match registry.resolve(which) {
+        Ok(spec) => spec,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let options = ScenarioRunOptions {
+        replications: cli.config.replications,
+        jobs: cli.config.threads,
+        seed: cli.config.seed,
+        horizon_override: cli.explicit_horizon,
+    };
+    eprintln!(
+        "running scenario `{}`: horizon {}, replications {}, jobs {}, seed {:#x}",
+        spec.name,
+        options.horizon_override.unwrap_or(spec.horizon),
+        options.replications,
+        options.jobs,
+        options.seed
+    );
+    let report = match registry::run(&spec, &options) {
+        Ok(report) => report,
+        Err(message) => {
+            eprintln!("scenario `{}` failed: {message}", spec.name);
+            return ExitCode::FAILURE;
+        }
+    };
+    let rendered = report.render();
+    println!("{rendered}");
+    if let Some(dir) = &cli.out_dir {
+        let path = dir.join(format!("scenario_{}.txt", spec.name));
+        if let Err(error) =
+            std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, &rendered))
+        {
+            eprintln!("failed to write {}: {error}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("scenario report written to {}", path.display());
     }
     ExitCode::SUCCESS
 }

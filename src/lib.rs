@@ -14,8 +14,9 @@
 //! * [`engine`] — the parallel Monte-Carlo replication engine: deterministic
 //!   per-replication RNG streams, streaming statistics, phase-diagram
 //!   grids, and CSV/JSON artifact emitters,
-//! * [`workload`] — scenarios, sweeps, and the experiment harnesses E1–E12,
-//!   running on the engine.
+//! * [`workload`] — scenarios, the JSON scenario registry
+//!   (`run_experiments --scenario`), sweeps, and the experiment harnesses
+//!   E1–E12, running on the engine.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for the paper-vs-measured record.
