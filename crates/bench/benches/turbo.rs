@@ -1,0 +1,110 @@
+//! Scaling benchmark of the turbo kernel: 10k / 100k / 1M peers on the
+//! `K = 32` churn regime, against the event kernel where byte-parity
+//! baselines exist.
+//!
+//! The canonical machine-readable numbers live in `BENCH_PR3.json`
+//! (regenerate with `cargo run --release --bin bench_report`); this target
+//! tracks the same workload under Criterion so `cargo bench` surfaces
+//! regressions. The 1M-peer case runs turbo only — the point of that size
+//! is *that it completes* within memory, which the parity kernels' per-run
+//! reallocation makes needlessly painful to iterate on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pieceset::{PieceId, PieceSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use swarm::policy::RandomUseful;
+use swarm::sim::{AgentConfig, AgentSwarm, KernelKind, SimScratch};
+use swarm::SwarmParams;
+
+const K: usize = 32;
+
+/// The `bench_report` workload: arrivals missing exactly one piece,
+/// hit-and-run seeds (γ = 200), Section VIII-C retry speed-up η = 10.
+fn churn_params(n: usize) -> SwarmParams {
+    let full = PieceSet::full(K);
+    let lambda_total = n as f64 / 10.0;
+    let mut builder = SwarmParams::builder(K)
+        .seed_rate(1.0)
+        .contact_rate(0.1)
+        .seed_departure_rate(200.0);
+    for i in 0..K {
+        builder = builder.arrival(full.without(PieceId::new(i)), lambda_total / K as f64);
+    }
+    builder.build().expect("valid parameters")
+}
+
+fn initial(n: usize) -> Vec<PieceSet> {
+    let full = PieceSet::full(K);
+    (0..n).map(|i| full.without(PieceId::new(i % K))).collect()
+}
+
+fn sim(kernel: KernelKind, n: usize) -> AgentSwarm {
+    AgentSwarm::with_config(
+        churn_params(n),
+        AgentConfig {
+            kernel,
+            retry_speedup: 10.0,
+            snapshot_interval: 0.25,
+            ..Default::default()
+        },
+        Box::new(RandomUseful),
+    )
+    .expect("valid configuration")
+}
+
+/// Turbo vs. event kernel at 10k and 100k peers (the `BENCH_PR3.json`
+/// comparison, tracked over time).
+fn turbo_vs_event(c: &mut Criterion) {
+    for (peers, horizon) in [(10_000usize, 4.0f64), (100_000, 1.0)] {
+        let name = format!("turbo_churn_{peers}_peers");
+        let mut group = c.benchmark_group(&name);
+        let initial = initial(peers);
+        for (name, kernel) in [
+            ("event-driven", KernelKind::EventDriven),
+            ("turbo", KernelKind::Turbo),
+        ] {
+            group.bench_with_input(BenchmarkId::from_parameter(name), &kernel, |b, &kernel| {
+                let sim = sim(kernel, peers);
+                let mut scratch = SimScratch::new();
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(7);
+                    let result = sim
+                        .run_with_scratch(&initial, &[], horizon, &mut rng, &mut scratch)
+                        .expect("valid run");
+                    let events = result.events;
+                    scratch.recycle(result);
+                    events
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+/// The million-peer horizon: turbo only, scratch-warm, completing a short
+/// horizon without reallocating the 1M-row peer table per iteration.
+fn turbo_million_peers(c: &mut Criterion) {
+    let peers = 1_000_000;
+    let initial = initial(peers);
+    let sim = sim(KernelKind::Turbo, peers);
+    let mut scratch = SimScratch::new();
+    c.bench_function("turbo_1M_peers_horizon_0.25", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let result = sim
+                .run_with_scratch(&initial, &[], 0.25, &mut rng, &mut scratch)
+                .expect("valid run");
+            let events = result.events;
+            scratch.recycle(result);
+            events
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = turbo_vs_event, turbo_million_peers
+}
+criterion_main!(benches);

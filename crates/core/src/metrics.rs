@@ -24,12 +24,22 @@ pub struct SimSnapshot {
 }
 
 /// Aggregate statistics of completed peer sojourns.
+///
+/// Strictly *streaming*: every departure folds into four scalars (count,
+/// running mean, Welford `M2`, max) and no per-sojourn value is retained
+/// anywhere, so a long-horizon run with millions of departures costs the
+/// same memory as one with ten. Second-moment queries
+/// ([`SojournStats::variance_sojourn`]) come from the Welford accumulator,
+/// which stays accurate even when sojourns are large relative to their
+/// spread (a naive `E[X²] − mean²` cancels catastrophically there).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct SojournStats {
     /// Number of peers that departed during the run.
     pub departures: u64,
-    /// Sum of sojourn times of departed peers.
-    total_sojourn: f64,
+    /// Running mean of the sojourn times (Welford).
+    mean: f64,
+    /// Welford's `M2`: sum of squared deviations from the running mean.
+    m2: f64,
     /// Maximum sojourn time observed.
     pub max_sojourn: f64,
 }
@@ -38,7 +48,9 @@ impl SojournStats {
     /// Records a departure with the given sojourn time.
     pub fn record(&mut self, sojourn: f64) {
         self.departures += 1;
-        self.total_sojourn += sojourn;
+        let delta = sojourn - self.mean;
+        self.mean += delta / self.departures as f64;
+        self.m2 += delta * (sojourn - self.mean);
         if sojourn > self.max_sojourn {
             self.max_sojourn = sojourn;
         }
@@ -50,8 +62,18 @@ impl SojournStats {
         if self.departures == 0 {
             0.0
         } else {
-            self.total_sojourn / self.departures as f64
+            self.mean
         }
+    }
+
+    /// Population variance of the sojourn times (zero if fewer than two
+    /// peers departed), from the streaming Welford moments.
+    #[must_use]
+    pub fn variance_sojourn(&self) -> f64 {
+        if self.departures < 2 {
+            return 0.0;
+        }
+        (self.m2 / self.departures as f64).max(0.0)
     }
 }
 
@@ -173,10 +195,12 @@ mod tests {
         let mut s = SojournStats::default();
         assert_eq!(s.mean_sojourn(), 0.0);
         s.record(2.0);
+        assert_eq!(s.variance_sojourn(), 0.0, "one departure has no spread");
         s.record(4.0);
         assert_eq!(s.departures, 2);
         assert!((s.mean_sojourn() - 3.0).abs() < 1e-12);
         assert_eq!(s.max_sojourn, 4.0);
+        assert!((s.variance_sojourn() - 1.0).abs() < 1e-12);
     }
 
     #[test]

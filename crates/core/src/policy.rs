@@ -30,6 +30,24 @@ pub trait PiecePolicy: Send + Sync {
 
     /// Short human-readable name used in reports.
     fn name(&self) -> &'static str;
+
+    /// Whether [`PiecePolicy::select`] reads `piece_copies`. Policies that
+    /// never look at copy counts (random-useful, sequential) return `false`,
+    /// letting a kernel skip maintaining the per-piece census on its hot
+    /// paths. The counts passed to `select` are only guaranteed accurate
+    /// when this returns `true`.
+    fn uses_copy_counts(&self) -> bool {
+        true
+    }
+
+    /// Whether [`PiecePolicy::select`] is *exactly* a uniform pick over
+    /// `useful` implemented as one `gen_range(0..useful.len())` rank draw.
+    /// Returning `true` licenses a kernel to inline that draw instead of
+    /// calling `select` — only [`RandomUseful`] qualifies; leave the default
+    /// for any policy with a different distribution or draw pattern.
+    fn selects_uniformly(&self) -> bool {
+        false
+    }
 }
 
 /// The paper's baseline policy: a uniformly random useful piece.
@@ -51,6 +69,14 @@ impl PiecePolicy for RandomUseful {
 
     fn name(&self) -> &'static str {
         "random-useful"
+    }
+
+    fn uses_copy_counts(&self) -> bool {
+        false
+    }
+
+    fn selects_uniformly(&self) -> bool {
+        true
     }
 }
 
@@ -101,6 +127,10 @@ impl PiecePolicy for Sequential {
 
     fn name(&self) -> &'static str {
         "sequential"
+    }
+
+    fn uses_copy_counts(&self) -> bool {
+        false
     }
 }
 
@@ -211,6 +241,14 @@ mod tests {
         for _ in 0..20 {
             assert_eq!(MostCommonFirst.select(useful, &copies, &mut rng).index(), 1);
         }
+    }
+
+    #[test]
+    fn copy_count_usage_is_declared() {
+        assert!(!RandomUseful.uses_copy_counts());
+        assert!(!Sequential.uses_copy_counts());
+        assert!(RarestFirst.uses_copy_counts());
+        assert!(MostCommonFirst.uses_copy_counts());
     }
 
     #[test]

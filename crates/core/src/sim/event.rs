@@ -11,8 +11,9 @@
 //!   the scan kernel reclassifies every peer,
 //! * sampling a departing seed resolves through a popcount select over the
 //!   seed bitset instead of an `O(n)` population scan,
-//! * arrival sampling reuses one precomputed weight table instead of
-//!   allocating it per event,
+//! * arrival sampling reuses one precomputed prefix-sum table (one uniform
+//!   draw resolved by binary search) instead of allocating a weight vector
+//!   and walking it linearly per event,
 //! * useful-piece queries are word mask/popcount operations with no
 //!   allocation.
 //!
@@ -23,7 +24,7 @@
 use super::{AgentSwarm, KernelState};
 use crate::groups::{GroupCounts, PeerGroup};
 use crate::metrics::{SimResult, SimSnapshot, SojournStats};
-use markov::poisson::sample_weighted_index;
+use markov::poisson::CumulativeWeights;
 use pieceset::{PieceId, PieceMatrix, PieceSet, WordBits};
 use rand::Rng;
 
@@ -55,16 +56,25 @@ pub(super) struct State<'a> {
     sojourns: SojournStats,
     snapshots: Vec<SimSnapshot>,
     arrival_types: Vec<PieceSet>,
-    /// Precomputed arrival weights, aligned with `arrival_types` — the scan
-    /// kernel rebuilds this vector on every arrival.
-    arrival_weights: Vec<f64>,
+    /// Precomputed arrival prefix sums: each arrival is one uniform draw
+    /// resolved by binary search in `O(log #types)`. The scan kernel builds
+    /// the same table from the same weights on every arrival, so both
+    /// kernels map the shared draw to the same type.
+    arrival_sampler: CumulativeWeights,
 }
 
 impl<'a> State<'a> {
-    pub(super) fn new(sim: &'a AgentSwarm, initial: &[PieceSet]) -> Self {
+    pub(super) fn new(
+        sim: &'a AgentSwarm,
+        initial: &[PieceSet],
+        snapshots: Vec<SimSnapshot>,
+    ) -> Self {
         let k = sim.params.num_pieces();
         let (arrival_types, arrival_weights): (Vec<PieceSet>, Vec<f64>) =
             sim.params.arrivals().unzip();
+        let arrival_sampler =
+            CumulativeWeights::new(&arrival_weights).expect("λ_total > 0 by construction");
+        debug_assert!(snapshots.is_empty(), "recycled buffer arrives cleared");
         let mut state = State {
             sim,
             k,
@@ -84,9 +94,9 @@ impl<'a> State<'a> {
             transfers: 0,
             unsuccessful: 0,
             sojourns: SojournStats::default(),
-            snapshots: Vec::new(),
+            snapshots,
             arrival_types,
-            arrival_weights,
+            arrival_sampler,
         };
         state.pieces.reserve(initial.len());
         for &pieces in initial {
@@ -184,6 +194,10 @@ impl<'a> State<'a> {
 }
 
 impl KernelState for State<'_> {
+    fn reserve_snapshots(&mut self, capacity: usize) {
+        self.snapshots.reserve(capacity);
+    }
+
     fn population(&self) -> usize {
         self.pieces.rows()
     }
@@ -214,7 +228,7 @@ impl KernelState for State<'_> {
     }
 
     fn handle_arrival<R: Rng>(&mut self, time: f64, rng: &mut R) {
-        let idx = sample_weighted_index(rng, &self.arrival_weights).expect("λ_total > 0");
+        let idx = self.arrival_sampler.sample(rng);
         let pieces = self.arrival_types[idx];
         self.add_peer(time, pieces, true);
     }
@@ -266,7 +280,11 @@ impl KernelState for State<'_> {
 
     fn handle_seed_departure<R: Rng>(&mut self, time: f64, rng: &mut R) {
         let n = self.pieces.rows();
-        if n == 0 {
+        // With zero seeds the departure rate is zero, so the driver should
+        // never dispatch here — but if it does, burning 65 draws probing for
+        // a seed that cannot exist is pure waste. The scan kernel
+        // early-returns on the same condition, keeping draw parity.
+        if n == 0 || self.seed_bits.count() == 0 {
             return;
         }
         // Same uniform tries as the scan kernel (identical draws)...

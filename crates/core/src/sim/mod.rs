@@ -11,7 +11,7 @@
 //!
 //! # Kernels
 //!
-//! Two interchangeable kernels implement the bookkeeping behind the shared
+//! Three interchangeable kernels implement the bookkeeping behind the shared
 //! event loop (see [`KernelKind`]):
 //!
 //! * **Event-driven** (the default) — peer piece collections live in a
@@ -25,11 +25,22 @@
 //!   the group decomposition by scanning every peer at each snapshot and
 //!   falls back to an `O(n)` scan when sampling a departing seed. Kept as
 //!   the differential-testing baseline and the benchmark reference.
+//! * **Turbo** — the parity-*free* kernel: alias-table arrival draws
+//!   ([`markov::alias`]), swap-remove index pools so boosted-vs-normal
+//!   uploader selection and seed departures are direct `O(1)` picks instead
+//!   of rejection loops, and buffer reuse across replications through a
+//!   [`SimScratch`] arena. It samples from the *same distributions* at the
+//!   same points but consumes different draws, so its trajectories agree
+//!   with the other kernels statistically, not byte-for-byte.
 //!
-//! Both kernels run under the *same* driver loop and consume random draws in
-//! the *same* order, so for a fixed RNG stream they produce **identical
-//! trajectories** — a property test pins this
-//! (`crates/core/tests/kernel_equivalence.rs`).
+//! The event-driven and scan kernels run under the *same* driver loop and
+//! consume random draws in the *same* order, so for a fixed RNG stream they
+//! produce **identical trajectories** — a property test pins this
+//! (`crates/core/tests/kernel_equivalence.rs`). The turbo kernel is pinned
+//! by a *distributional* differential test instead
+//! (`crates/core/tests/turbo_distributional.rs`): over replication
+//! ensembles, its sojourn, population, watch-piece, and group statistics
+//! must match the event kernel's within confidence intervals.
 //!
 //! Aggregate exponential clocks are maintained per peer class — total
 //! arrival rate, (possibly boosted) fixed-seed rate, total peer contact rate
@@ -39,6 +50,9 @@
 
 mod event;
 mod scan;
+mod turbo;
+
+pub use turbo::SimScratch;
 
 use crate::metrics::SimResult;
 use crate::policy::{PiecePolicy, RandomUseful};
@@ -58,6 +72,11 @@ pub enum KernelKind {
     /// full population scan at every snapshot. Kept for differential testing
     /// and as the benchmark baseline.
     LegacyScan,
+    /// The parity-free kernel: alias-table arrivals, direct `O(1)`
+    /// pool-based uploader and departure sampling (no rejection loops), and
+    /// [`SimScratch`] buffer reuse. Statistically identical trajectories,
+    /// not byte-identical ones — validated distributionally.
+    Turbo,
 }
 
 /// Configuration of the agent-based simulator beyond the model parameters.
@@ -291,20 +310,57 @@ impl AgentSwarm {
         horizon: f64,
         rng: &mut R,
     ) -> Result<SimResult, SwarmError> {
+        self.run_with_scratch(initial, flash, horizon, rng, &mut SimScratch::new())
+    }
+
+    /// Runs like [`AgentSwarm::run_with_schedule`], reusing the buffers of
+    /// `scratch` instead of allocating fresh state.
+    ///
+    /// With the [`KernelKind::Turbo`] kernel the entire peer table — piece
+    /// matrix, per-peer metadata, sampling pools, snapshot buffer — lives in
+    /// the scratch arena, so a replication loop that calls this repeatedly
+    /// (and returns each result via [`SimScratch::recycle`]) performs no
+    /// per-replication allocation once the buffers have grown to the
+    /// workload's high-water mark. The other kernels reuse the recycled
+    /// snapshot buffer only (their peer state is rebuilt per run, keeping
+    /// their draw-parity contract untouched).
+    ///
+    /// The scratch never influences the trajectory: for a fixed RNG stream
+    /// the result is identical whether the scratch is fresh or warm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::InvalidParameter`] if the initial population or
+    /// schedule fails [`AgentSwarm::validate_run`].
+    pub fn run_with_scratch<R: Rng>(
+        &self,
+        initial: &[PieceSet],
+        flash: &[FlashCrowd],
+        horizon: f64,
+        rng: &mut R,
+        scratch: &mut SimScratch,
+    ) -> Result<SimResult, SwarmError> {
         self.validate_run(initial, flash)?;
         let mut schedule: Vec<FlashCrowd> = flash.to_vec();
         schedule.sort_by(|a, b| a.time.total_cmp(&b.time));
         Ok(match self.config.kernel {
             KernelKind::EventDriven => drive(
                 self,
-                event::State::new(self, initial),
+                event::State::new(self, initial, scratch.take_snapshots()),
                 &schedule,
                 horizon,
                 rng,
             ),
             KernelKind::LegacyScan => drive(
                 self,
-                scan::State::new(self, initial),
+                scan::State::new(self, initial, scratch.take_snapshots()),
+                &schedule,
+                horizon,
+                rng,
+            ),
+            KernelKind::Turbo => drive(
+                self,
+                turbo::State::new(self, initial, scratch),
                 &schedule,
                 horizon,
                 rng,
@@ -317,10 +373,16 @@ impl AgentSwarm {
 ///
 /// The driver owns time, the aggregate rate computation, event selection,
 /// the snapshot grid, the flash schedule, and truncation; kernels own the
-/// population state and the per-event updates. Every handler must consume
-/// random draws in exactly the same order across kernels — that is what
-/// makes trajectories reproducible kernel-to-kernel.
+/// population state and the per-event updates. Every handler of the
+/// draw-compatible kernels (event-driven and scan) must consume random
+/// draws in exactly the same order — that is what makes their trajectories
+/// reproducible kernel-to-kernel. The turbo kernel is exempt: it must only
+/// sample each handler's outcome from the correct distribution.
 trait KernelState {
+    /// Reserves capacity for about `capacity` snapshots before the run
+    /// starts (the driver derives it from the horizon and snapshot grid, so
+    /// recording never reallocates mid-run on the happy path).
+    fn reserve_snapshots(&mut self, capacity: usize);
     /// Current population size `n`.
     fn population(&self) -> usize;
     /// Current number of peer seeds (complete collections).
@@ -358,6 +420,26 @@ fn drive<S: KernelState, R: Rng>(
     let eta = sim.config.retry_speedup;
     let gamma_finite = !params.departs_immediately();
     let interval = sim.config.snapshot_interval;
+    // Loop-invariant rate constants, hoisted: `total_arrival_rate` in
+    // particular walks the arrival map, which is far too expensive to redo
+    // on every event.
+    let arrival_rate = params.total_arrival_rate();
+    let us = params.seed_rate();
+    let mu = params.contact_rate();
+    let gamma = if gamma_finite {
+        params.seed_departure_rate()
+    } else {
+        0.0
+    };
+
+    // Pre-reserve the snapshot vector for the whole grid (initial + final
+    // snapshots included), capped so an absurd horizon/interval combination
+    // degrades to incremental growth instead of an up-front OOM.
+    const MAX_PRE_RESERVED_SNAPSHOTS: usize = 1 << 20;
+    if horizon.is_finite() && horizon >= 0.0 {
+        let grid_points = (horizon / interval).min(MAX_PRE_RESERVED_SNAPSHOTS as f64) as usize;
+        state.reserve_snapshots(grid_points.saturating_add(2));
+    }
 
     state.record_snapshot(0.0);
     // Snapshot times are the grid `i · interval`, computed by multiplication
@@ -378,15 +460,14 @@ fn drive<S: KernelState, R: Rng>(
         let seeds = if gamma_finite { state.seed_count() } else { 0 };
         let boosted = state.boosted_count();
 
-        let arrival_rate = params.total_arrival_rate();
         let seed_tick_rate = if n > 0 {
-            params.seed_rate() * if state.seed_boosted() { eta } else { 1.0 }
+            us * if state.seed_boosted() { eta } else { 1.0 }
         } else {
             0.0
         };
-        let peer_tick_rate = params.contact_rate() * ((n - boosted) as f64 + eta * boosted as f64);
+        let peer_tick_rate = mu * ((n - boosted) as f64 + eta * boosted as f64);
         let departure_rate = if gamma_finite {
-            params.seed_departure_rate() * seeds as f64
+            gamma * seeds as f64
         } else {
             0.0
         };
@@ -844,6 +925,112 @@ mod tests {
             );
         }
         assert_eq!(results[0], results[1]);
+    }
+
+    #[test]
+    fn turbo_kernel_is_deterministic_and_scratch_independent() {
+        let p = params(3, 0.5, 1.0, 2.0, 1.5);
+        let config = AgentConfig {
+            kernel: KernelKind::Turbo,
+            snapshot_interval: 5.0,
+            retry_speedup: 4.0,
+            ..Default::default()
+        };
+        let sim = AgentSwarm::with_config(p, config, Box::new(RandomUseful)).unwrap();
+        let club = sim.params().full_type().without(PieceId::new(0));
+        let initial = vec![club; 20];
+        let mut fresh_rng = StdRng::seed_from_u64(31);
+        let fresh = sim
+            .run_with_schedule(&initial, &[], 150.0, &mut fresh_rng)
+            .unwrap();
+        // A warm scratch (already used by a different run) must not change
+        // the numbers.
+        let mut scratch = SimScratch::new();
+        let mut warmup_rng = StdRng::seed_from_u64(99);
+        let warmup = sim
+            .run_with_scratch(&[], &[], 80.0, &mut warmup_rng, &mut scratch)
+            .unwrap();
+        scratch.recycle(warmup);
+        let mut warm_rng = StdRng::seed_from_u64(31);
+        let warm = sim
+            .run_with_scratch(&initial, &[], 150.0, &mut warm_rng, &mut scratch)
+            .unwrap();
+        assert_eq!(fresh, warm, "scratch reuse must not perturb trajectories");
+        assert!(fresh.transfers > 0);
+    }
+
+    #[test]
+    fn turbo_groups_partition_population_and_counters_are_consistent() {
+        let p = SwarmParams::builder(3)
+            .seed_rate(0.5)
+            .contact_rate(1.0)
+            .seed_departure_rate(1.5)
+            .fresh_arrivals(1.0)
+            .arrival(PieceSet::singleton(PieceId::new(0)), 0.3)
+            .build()
+            .unwrap();
+        let config = AgentConfig {
+            kernel: KernelKind::Turbo,
+            retry_speedup: 6.0,
+            ..Default::default()
+        };
+        let sim = AgentSwarm::with_config(p, config, Box::new(RandomUseful)).unwrap();
+        let mut rng = StdRng::seed_from_u64(41);
+        let crowd = FlashCrowd {
+            time: 100.0,
+            count: 50,
+            pieces: PieceSet::empty(),
+        };
+        let result = sim
+            .run_with_schedule(&[], &[crowd], 400.0, &mut rng)
+            .unwrap();
+        let mut prev_downloads = 0;
+        for snap in &result.snapshots {
+            assert_eq!(
+                snap.groups.total(),
+                snap.total_peers,
+                "groups partition peers at t = {}",
+                snap.time
+            );
+            assert!(snap.watch_piece_copies <= snap.total_peers);
+            assert!(snap.watch_piece_downloads >= prev_downloads);
+            prev_downloads = snap.watch_piece_downloads;
+        }
+        assert!(result.sojourns.departures > 0);
+        assert!(result.transfers > 0);
+    }
+
+    #[test]
+    fn turbo_gamma_infinite_leaves_no_seeds_in_system() {
+        let p = params(2, 1.0, 1.0, f64::INFINITY, 1.0);
+        let config = AgentConfig {
+            kernel: KernelKind::Turbo,
+            ..Default::default()
+        };
+        let sim = AgentSwarm::with_config(p, config, Box::new(RandomUseful)).unwrap();
+        let mut rng = StdRng::seed_from_u64(43);
+        let result = sim.run(&[], 400.0, &mut rng);
+        for s in &result.snapshots {
+            assert_eq!(s.peer_seeds, 0, "peers depart the instant they complete");
+        }
+        assert!(result.sojourns.departures > 0);
+    }
+
+    #[test]
+    fn snapshot_capacity_is_pre_reserved_for_the_grid() {
+        // 500 time units at interval 0.5 → 1000 grid snapshots plus the
+        // initial and final ones; growth mid-run would show as capacity
+        // churn. We can only observe the result, so check the count matches
+        // the grid exactly.
+        let p = params(1, 2.0, 1.0, 2.0, 1.0);
+        let config = AgentConfig {
+            snapshot_interval: 0.5,
+            ..Default::default()
+        };
+        let sim = AgentSwarm::with_config(p, config, Box::new(RandomUseful)).unwrap();
+        let mut rng = StdRng::seed_from_u64(47);
+        let result = sim.run(&[], 500.0, &mut rng);
+        assert_eq!(result.snapshots.len(), 1002, "grid + initial + final");
     }
 
     #[test]

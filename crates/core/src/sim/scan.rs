@@ -10,7 +10,7 @@
 use super::{AgentSwarm, KernelState};
 use crate::groups::{classify_peer, GroupCounts};
 use crate::metrics::{SimResult, SimSnapshot, SojournStats};
-use markov::poisson::sample_weighted_index;
+use markov::poisson::CumulativeWeights;
 use pieceset::PieceSet;
 use rand::Rng;
 
@@ -44,7 +44,12 @@ pub(super) struct State<'a> {
 }
 
 impl<'a> State<'a> {
-    pub(super) fn new(sim: &'a AgentSwarm, initial: &[PieceSet]) -> Self {
+    pub(super) fn new(
+        sim: &'a AgentSwarm,
+        initial: &[PieceSet],
+        snapshots: Vec<SimSnapshot>,
+    ) -> Self {
+        debug_assert!(snapshots.is_empty(), "recycled buffer arrives cleared");
         let k = sim.params.num_pieces();
         let watch = sim.config.watch_piece;
         let full = sim.params.full_type();
@@ -80,7 +85,7 @@ impl<'a> State<'a> {
             transfers: 0,
             unsuccessful: 0,
             sojourns: SojournStats::default(),
-            snapshots: Vec::new(),
+            snapshots,
             arrival_types,
         }
     }
@@ -157,6 +162,10 @@ impl<'a> State<'a> {
 }
 
 impl KernelState for State<'_> {
+    fn reserve_snapshots(&mut self, capacity: usize) {
+        self.snapshots.reserve(capacity);
+    }
+
     fn population(&self) -> usize {
         self.peers.len()
     }
@@ -206,9 +215,12 @@ impl KernelState for State<'_> {
 
     fn handle_arrival<R: Rng>(&mut self, time: f64, rng: &mut R) {
         // Rebuilt every arrival — one of the scan kernel's allocations the
-        // event kernel avoids. Values (and therefore draws) are identical.
+        // event kernel avoids. Built from the identical weights, so the
+        // prefix sums (and therefore the mapping of the shared single
+        // uniform draw) are identical to the event kernel's cached table.
         let weights: Vec<f64> = self.arrival_types.iter().map(|(_, r)| *r).collect();
-        let idx = sample_weighted_index(rng, &weights).expect("λ_total > 0");
+        let sampler = CumulativeWeights::new(&weights).expect("λ_total > 0");
+        let idx = sampler.sample(rng);
         let pieces = self.arrival_types[idx].0;
         self.add_peer(time, pieces, true);
     }
@@ -265,7 +277,10 @@ impl KernelState for State<'_> {
     fn handle_seed_departure<R: Rng>(&mut self, time: f64, rng: &mut R) {
         let full = self.full();
         let n = self.peers.len();
-        if n == 0 {
+        // Zero seeds → zero departure rate: unreachable from the driver, but
+        // early-return instead of probing 64 times for a seed that cannot
+        // exist. The event kernel early-returns identically (draw parity).
+        if n == 0 || self.seeds == 0 {
             return;
         }
         // Try a few uniform samples, then fall back to a scan; the departing

@@ -1,0 +1,564 @@
+//! The turbo kernel: parity-free `O(1)` event sampling and zero-allocation
+//! replication.
+//!
+//! The event-driven kernel is bound by its draw-parity contract with the
+//! legacy scan kernel: every random draw must happen at the same point with
+//! the same distribution, which locks in rejection-sampling loops (the
+//! boosted-uploader probe of `handle_peer_tick`, the 64-try uniform probe of
+//! `handle_seed_departure`) and per-replication reallocation of the whole
+//! peer table. This kernel deliberately breaks byte-parity — trading
+//! *identical* trajectories for *statistically identical* ones — to remove
+//! every rejection-based or superlinear step from the hot path:
+//!
+//! * **Arrivals** draw the arriving type from a Walker/Vose
+//!   [`AliasTable`](markov::alias::AliasTable): `O(1)` per arrival
+//!   regardless of the number of arrival classes.
+//! * **Uploader selection** keeps the boosted-retry peers in a swap-remove
+//!   index pool. One weighted coin picks boosted vs. normal; a boosted
+//!   uploader is a single uniform pool pick, a normal one is drawn by
+//!   complement rejection with `O(1)` *expected* tries (the coin fires the
+//!   normal branch with probability proportional to the normal count, so
+//!   the expected work is constant by construction). The parity kernels'
+//!   rejection probe costs `Θ(η)` draws when the boosted fraction is
+//!   small.
+//! * **Seed departures** pick uniformly from a seed index pool: one draw,
+//!   `O(1)`, replacing 64 uniform probes plus a popcount select (or, in the
+//!   scan kernel, an `O(n)` population scan).
+//! * **Per-peer metadata lives in one packed [`PeerMeta`] record** (arrival
+//!   time, pool positions, cached piece count, flags, Fig.-2 group — 24
+//!   bytes), so touching a peer costs one cache line where the parity
+//!   kernels walk several parallel arrays. The cached count also makes
+//!   completion checks `O(1)` at any `K` (no popcount over the row).
+//! * **Replication batches reuse a [`SimScratch`] arena**: the piece
+//!   matrix, metadata, sampling pools, and snapshot buffer all persist
+//!   across runs, so a warm replication loop performs no per-replication
+//!   allocation.
+//!
+//! Everything observable — the Fig.-2 group transitions, the aggregate
+//! counters, the `O(1)` snapshots — matches the event kernel exactly.
+//! Because the draw *sequence* differs, validation is distributional rather
+//! than byte-wise: `crates/core/tests/turbo_distributional.rs` pins the
+//! turbo kernel's replication ensembles against the event kernel's.
+
+use super::{AgentSwarm, KernelState};
+use crate::groups::{GroupCounts, PeerGroup};
+use crate::metrics::{SimResult, SimSnapshot, SojournStats};
+use markov::alias::AliasTable;
+use pieceset::{PieceId, PieceMatrix, PieceSet};
+use rand::Rng;
+
+/// Sentinel for "this peer is not in the seed pool".
+const NOT_A_SEED: u32 = u32::MAX;
+
+/// Sentinel for "this peer is not in the boosted pool".
+const NOT_BOOSTED: u32 = u32::MAX;
+
+/// Flag bits of [`PeerMeta::flags`].
+const ARRIVED_WITH_WATCH: u8 = 1 << 0;
+const WAS_ONE_CLUB: u8 = 1 << 1;
+const HAS_WATCH: u8 = 1 << 2;
+
+/// All per-peer bookkeeping of the turbo kernel in one 24-byte record, so
+/// the hot handlers touch a single cache line per peer instead of one line
+/// per parallel array.
+#[derive(Debug, Clone, Copy)]
+struct PeerMeta {
+    arrival_time: f64,
+    /// Position inside `boosted_pool`, or [`NOT_BOOSTED`].
+    boosted_pos: u32,
+    /// Position inside `seed_pool`, or [`NOT_A_SEED`].
+    seed_pos: u32,
+    /// Cached piece count (`O(1)` completion checks at any `K`).
+    holds: u32,
+    /// [`ARRIVED_WITH_WATCH`] | [`WAS_ONE_CLUB`] | [`HAS_WATCH`].
+    flags: u8,
+    /// Cached Fig.-2 group; [`GroupCounts`] follows its transitions.
+    group: PeerGroup,
+}
+
+impl PeerMeta {
+    #[inline]
+    fn has(self, flag: u8) -> bool {
+        self.flags & flag != 0
+    }
+}
+
+/// Reusable buffers for the turbo kernel: one arena per worker, reused
+/// across replications.
+///
+/// A fresh scratch is just empty buffers — the first run grows them to the
+/// workload's high-water mark, and every later run on the same scratch
+/// reuses that capacity instead of reallocating the peer table, pools, and
+/// snapshot vector per replication. Feed finished results back through
+/// [`SimScratch::recycle`] to also reclaim the snapshot buffer the result
+/// carried out.
+///
+/// A scratch never influences the numbers: for a fixed RNG stream,
+/// [`AgentSwarm::run_with_scratch`](super::AgentSwarm::run_with_scratch)
+/// returns the same result on a warm scratch as on a fresh one.
+#[derive(Debug)]
+pub struct SimScratch {
+    /// Peer piece collections, one packed row per peer.
+    pieces: PieceMatrix,
+    /// Per-peer metadata, indexed like the matrix rows.
+    meta: Vec<PeerMeta>,
+    /// Peers with a boosted retry clock (swap-remove index pool). The
+    /// (typically dominant) normal class needs no pool: it is sampled by
+    /// complement rejection.
+    boosted_pool: Vec<u32>,
+    /// Peers holding the complete collection (swap-remove index pool).
+    seed_pool: Vec<u32>,
+    piece_copies: Vec<u64>,
+    snapshots: Vec<SimSnapshot>,
+    arrival_types: Vec<PieceSet>,
+    arrival_weights: Vec<f64>,
+    arrival_alias: AliasTable,
+}
+
+impl Default for SimScratch {
+    fn default() -> Self {
+        SimScratch::new()
+    }
+}
+
+impl SimScratch {
+    /// Creates an empty scratch arena.
+    #[must_use]
+    pub fn new() -> Self {
+        SimScratch {
+            pieces: PieceMatrix::new(1),
+            meta: Vec::new(),
+            boosted_pool: Vec::new(),
+            seed_pool: Vec::new(),
+            piece_copies: Vec::new(),
+            snapshots: Vec::new(),
+            arrival_types: Vec::new(),
+            arrival_weights: Vec::new(),
+            arrival_alias: AliasTable::default(),
+        }
+    }
+
+    /// Returns a finished [`SimResult`]'s snapshot buffer to the arena so
+    /// the next run reuses its capacity. Call this once the result has been
+    /// reduced to whatever statistics outlive the replication.
+    pub fn recycle(&mut self, result: SimResult) {
+        let mut snapshots = result.snapshots;
+        snapshots.clear();
+        // Keep the larger of the two buffers (the arena may already hold a
+        // bigger one from an earlier recycle).
+        if snapshots.capacity() > self.snapshots.capacity() {
+            self.snapshots = snapshots;
+        }
+    }
+
+    /// Hands the (cleared) snapshot buffer to a non-turbo kernel, which
+    /// owns its peer state but can still reuse the recycled snapshot
+    /// capacity.
+    pub(super) fn take_snapshots(&mut self) -> Vec<SimSnapshot> {
+        let mut snapshots = std::mem::take(&mut self.snapshots);
+        snapshots.clear();
+        snapshots
+    }
+
+    /// Clears every buffer (keeping capacity) and reconfigures for a run of
+    /// `sim`.
+    fn reset_for(&mut self, sim: &AgentSwarm) {
+        let k = sim.params.num_pieces();
+        self.pieces.reset(k);
+        self.meta.clear();
+        self.boosted_pool.clear();
+        self.seed_pool.clear();
+        self.piece_copies.clear();
+        self.piece_copies.resize(k, 0);
+        self.snapshots.clear();
+        self.arrival_types.clear();
+        self.arrival_weights.clear();
+        for (pieces, rate) in sim.params.arrivals() {
+            self.arrival_types.push(pieces);
+            self.arrival_weights.push(rate);
+        }
+        assert!(
+            self.arrival_alias.rebuild(&self.arrival_weights),
+            "λ_total > 0 by construction"
+        );
+    }
+}
+
+/// Mutable state of the turbo kernel: borrowed scratch buffers plus the
+/// run-local aggregates.
+pub(super) struct State<'a> {
+    sim: &'a AgentSwarm,
+    k: usize,
+    watch: PieceId,
+    s: &'a mut SimScratch,
+    /// `false` when the policy never reads copy counts: the per-piece
+    /// census loops (one increment per held piece on every arrival and
+    /// departure) are skipped and only the watch-piece count is maintained.
+    track_copies: bool,
+    /// Copies of the watch piece when `track_copies` is off.
+    watch_copies: u64,
+    /// `true` when the policy declares [`selects_uniformly`]
+    /// (`swarm::policy::PiecePolicy::selects_uniformly`): piece selection
+    /// inlines the uniform rank pick instead of going through the `dyn`
+    /// policy object.
+    fast_uniform: bool,
+    seed_boosted: bool,
+    groups: GroupCounts,
+    watch_downloads: u64,
+    arrivals_without_watch: u64,
+    transfers: u64,
+    unsuccessful: u64,
+    sojourns: SojournStats,
+}
+
+impl<'a> State<'a> {
+    pub(super) fn new(
+        sim: &'a AgentSwarm,
+        initial: &[PieceSet],
+        scratch: &'a mut SimScratch,
+    ) -> Self {
+        scratch.reset_for(sim);
+        let mut state = State {
+            sim,
+            k: sim.params.num_pieces(),
+            watch: sim.config.watch_piece,
+            s: scratch,
+            track_copies: sim.policy.uses_copy_counts(),
+            watch_copies: 0,
+            fast_uniform: sim.policy.selects_uniformly(),
+            seed_boosted: false,
+            groups: GroupCounts::default(),
+            watch_downloads: 0,
+            arrivals_without_watch: 0,
+            transfers: 0,
+            unsuccessful: 0,
+            sojourns: SojournStats::default(),
+        };
+        state.s.pieces.reserve(initial.len());
+        state.s.meta.reserve(initial.len());
+        for &pieces in initial {
+            debug_assert!(pieces.is_subset_of(sim.params.full_type()));
+            state.add_peer(0.0, pieces, false);
+        }
+        state
+    }
+
+    /// Classifies a peer from its metadata alone (identical rules to the
+    /// event kernel's `classify`, with the watch-piece membership cached in
+    /// [`HAS_WATCH`] so no matrix read is needed).
+    fn classify(&self, meta: PeerMeta) -> PeerGroup {
+        if meta.has(HAS_WATCH) {
+            if meta.has(ARRIVED_WITH_WATCH) {
+                PeerGroup::Gifted
+            } else if meta.has(WAS_ONE_CLUB) {
+                PeerGroup::FormerOneClub
+            } else {
+                PeerGroup::Infected
+            }
+        } else if meta.holds as usize == self.k - 1 {
+            PeerGroup::OneClub
+        } else {
+            PeerGroup::NormalYoung
+        }
+    }
+
+    /// Chooses the transferred piece: the inlined uniform pick when the
+    /// policy declares itself uniform (identical distribution and draw
+    /// count to the policy object), the `dyn` policy otherwise.
+    #[inline]
+    fn select_piece<R: Rng>(&self, useful: PieceSet, rng: &mut R) -> PieceId {
+        if self.fast_uniform {
+            let rank = rng.gen_range(0..useful.len());
+            let mut bits = useful.bits();
+            for _ in 0..rank {
+                bits &= bits - 1;
+            }
+            PieceId::new(bits.trailing_zeros() as usize)
+        } else {
+            self.sim.policy.select(useful, &self.s.piece_copies, rng)
+        }
+    }
+
+    fn add_peer(&mut self, time: f64, pieces: PieceSet, count_arrival: bool) {
+        let with_watch = pieces.contains(self.watch);
+        if count_arrival && !with_watch {
+            self.arrivals_without_watch += 1;
+        }
+        if self.track_copies {
+            for p in pieces.iter() {
+                self.s.piece_copies[p.index()] += 1;
+            }
+        } else if with_watch {
+            self.watch_copies += 1;
+        }
+        let row = self.s.pieces.push_set(pieces);
+        debug_assert!(row < NOT_A_SEED as usize, "population exceeds u32 range");
+        let holds = pieces.len() as u32;
+        let mut flags = 0u8;
+        if with_watch {
+            flags |= ARRIVED_WITH_WATCH | HAS_WATCH;
+        } else if holds as usize == self.k - 1 {
+            flags |= WAS_ONE_CLUB;
+        }
+        let mut meta = PeerMeta {
+            arrival_time: time,
+            boosted_pos: NOT_BOOSTED,
+            seed_pos: NOT_A_SEED,
+            holds,
+            flags,
+            group: PeerGroup::NormalYoung,
+        };
+        if holds as usize == self.k {
+            meta.seed_pos = self.s.seed_pool.len() as u32;
+            self.s.seed_pool.push(row as u32);
+        }
+        meta.group = self.classify(meta);
+        self.groups.add(meta.group);
+        self.s.meta.push(meta);
+    }
+
+    /// Moves `peer` into the boosted uploader pool (no-op when already
+    /// boosted).
+    fn boost(&mut self, peer: usize) {
+        let meta = &mut self.s.meta[peer];
+        if meta.boosted_pos != NOT_BOOSTED {
+            return;
+        }
+        meta.boosted_pos = self.s.boosted_pool.len() as u32;
+        self.s.boosted_pool.push(peer as u32);
+    }
+
+    /// Returns `peer` to the normal class (no-op when not boosted).
+    fn unboost(&mut self, peer: usize) {
+        let pos = self.s.meta[peer].boosted_pos;
+        if pos == NOT_BOOSTED {
+            return;
+        }
+        self.s.meta[peer].boosted_pos = NOT_BOOSTED;
+        let pos = pos as usize;
+        self.s.boosted_pool.swap_remove(pos);
+        if let Some(&moved) = self.s.boosted_pool.get(pos) {
+            self.s.meta[moved as usize].boosted_pos = pos as u32;
+        }
+    }
+
+    /// Delivers `piece` to peer `target` — the event kernel's transition
+    /// bookkeeping, with pool membership replacing the `WordBits` sets.
+    fn give_piece(&mut self, target: usize, piece: PieceId, time: f64) {
+        debug_assert!(!self.s.pieces.contains(target, piece));
+        self.s.pieces.insert(target, piece);
+        if self.track_copies {
+            self.s.piece_copies[piece.index()] += 1;
+        } else if piece == self.watch {
+            self.watch_copies += 1;
+        }
+        self.transfers += 1;
+        // Receiving a piece invalidates any pending fast-retry boost.
+        self.unboost(target);
+        let meta = &mut self.s.meta[target];
+        let old_group = meta.group;
+        meta.holds += 1;
+        if piece == self.watch {
+            self.watch_downloads += 1;
+            meta.flags |= HAS_WATCH;
+        }
+        if meta.holds as usize == self.k - 1 && !meta.has(HAS_WATCH) {
+            meta.flags |= WAS_ONE_CLUB;
+        }
+        let completed = meta.holds as usize == self.k;
+        if completed {
+            meta.seed_pos = self.s.seed_pool.len() as u32;
+        }
+        let meta = *meta;
+        let new_group = self.classify(meta);
+        self.groups.transition(old_group, new_group);
+        self.s.meta[target].group = new_group;
+        if completed {
+            self.s.seed_pool.push(target as u32);
+            if self.sim.params.departs_immediately() {
+                self.depart(target, time);
+            }
+        }
+    }
+
+    fn depart(&mut self, index: usize, time: f64) {
+        let last = self.s.pieces.rows() - 1;
+        let meta = self.s.meta[index];
+        // Drop the departing peer from its pools first, while pool entries
+        // still name unmoved peer indices.
+        if meta.boosted_pos != NOT_BOOSTED {
+            let pos = meta.boosted_pos as usize;
+            self.s.boosted_pool.swap_remove(pos);
+            if let Some(&moved) = self.s.boosted_pool.get(pos) {
+                self.s.meta[moved as usize].boosted_pos = pos as u32;
+            }
+        }
+        if meta.seed_pos != NOT_A_SEED {
+            let pos = meta.seed_pos as usize;
+            self.s.seed_pool.swap_remove(pos);
+            if let Some(&moved) = self.s.seed_pool.get(pos) {
+                self.s.meta[moved as usize].seed_pos = pos as u32;
+            }
+        }
+        self.groups.remove(meta.group);
+        self.sojourns.record(time - meta.arrival_time);
+        if self.track_copies {
+            for p in self.s.pieces.pieces(index) {
+                self.s.piece_copies[p.index()] -= 1;
+            }
+        } else if meta.has(HAS_WATCH) {
+            self.watch_copies -= 1;
+        }
+        self.s.pieces.swap_remove_row(index);
+        self.s.meta.swap_remove(index);
+        // The old last peer now sits at `index`; its pool entries still say
+        // `last`. Relabel them through its (moved) position metadata.
+        if index != last {
+            let moved = self.s.meta[index];
+            if moved.boosted_pos != NOT_BOOSTED {
+                debug_assert_eq!(self.s.boosted_pool[moved.boosted_pos as usize], last as u32);
+                self.s.boosted_pool[moved.boosted_pos as usize] = index as u32;
+            }
+            if moved.seed_pos != NOT_A_SEED {
+                debug_assert_eq!(self.s.seed_pool[moved.seed_pos as usize], last as u32);
+                self.s.seed_pool[moved.seed_pos as usize] = index as u32;
+            }
+        }
+    }
+}
+
+impl KernelState for State<'_> {
+    fn reserve_snapshots(&mut self, capacity: usize) {
+        self.s.snapshots.reserve(capacity);
+    }
+
+    fn population(&self) -> usize {
+        self.s.pieces.rows()
+    }
+
+    fn seed_count(&self) -> usize {
+        self.s.seed_pool.len()
+    }
+
+    fn boosted_count(&self) -> usize {
+        self.s.boosted_pool.len()
+    }
+
+    fn seed_boosted(&self) -> bool {
+        self.seed_boosted
+    }
+
+    fn record_snapshot(&mut self, time: f64) {
+        // Every observable is a maintained aggregate: O(1) per snapshot.
+        self.s.snapshots.push(SimSnapshot {
+            time,
+            total_peers: self.s.pieces.rows() as u64,
+            peer_seeds: self.s.seed_pool.len() as u64,
+            groups: self.groups,
+            watch_piece_downloads: self.watch_downloads,
+            arrivals_without_watch: self.arrivals_without_watch,
+            watch_piece_copies: if self.track_copies {
+                self.s.piece_copies[self.watch.index()]
+            } else {
+                self.watch_copies
+            },
+        });
+    }
+
+    fn handle_arrival<R: Rng>(&mut self, time: f64, rng: &mut R) {
+        // One alias-table draw: O(1) in the number of arrival classes.
+        let pieces = self.s.arrival_types[self.s.arrival_alias.sample(rng)];
+        self.add_peer(time, pieces, true);
+    }
+
+    fn handle_seed_tick<R: Rng>(&mut self, time: f64, rng: &mut R) {
+        let n = self.s.pieces.rows();
+        if n == 0 {
+            return;
+        }
+        let target = rng.gen_range(0..n);
+        let useful = self.s.pieces.missing_set(target);
+        if useful.is_empty() {
+            self.unsuccessful += 1;
+            self.seed_boosted = self.sim.config.retry_speedup > 1.0;
+            return;
+        }
+        self.seed_boosted = false;
+        let piece = self.select_piece(useful, rng);
+        self.give_piece(target, piece, time);
+    }
+
+    fn handle_peer_tick<R: Rng>(&mut self, time: f64, rng: &mut R) {
+        let n = self.s.pieces.rows();
+        if n == 0 {
+            return;
+        }
+        let eta = self.sim.config.retry_speedup;
+        let nb = self.s.boosted_pool.len();
+        // A peer's clock runs at rate µ (normal) or ηµ (boosted), so the
+        // firing peer is boosted with probability η·nb / (η·nb + (n − nb)):
+        // one weighted coin, then one uniform pool pick (boosted) or a
+        // complement rejection (normal). The coin fires the normal branch
+        // with probability proportional to the normal count, so the
+        // rejection's expected tries are O(1) — unlike the parity kernels'
+        // Θ(η) probe.
+        let uploader = if nb == 0 {
+            rng.gen_range(0..n)
+        } else {
+            let nn = n - nb;
+            let boosted_weight = eta * nb as f64;
+            if nn == 0 || rng.gen::<f64>() * (boosted_weight + nn as f64) < boosted_weight {
+                self.s.boosted_pool[rng.gen_range(0..nb)] as usize
+            } else {
+                loop {
+                    let i = rng.gen_range(0..n);
+                    if self.s.meta[i].boosted_pos == NOT_BOOSTED {
+                        break i;
+                    }
+                }
+            }
+        };
+        let target = rng.gen_range(0..n);
+        let useful = self.s.pieces.useful_set(uploader, target);
+        if useful.is_empty() {
+            self.unsuccessful += 1;
+            if eta > 1.0 {
+                self.boost(uploader);
+            }
+            return;
+        }
+        self.unboost(uploader);
+        let piece = self.select_piece(useful, rng);
+        self.give_piece(target, piece, time);
+    }
+
+    fn handle_seed_departure<R: Rng>(&mut self, time: f64, rng: &mut R) {
+        // One uniform pick from the seed pool: O(1), no probing.
+        let seeds = self.s.seed_pool.len();
+        if seeds == 0 {
+            return;
+        }
+        let index = self.s.seed_pool[rng.gen_range(0..seeds)] as usize;
+        self.depart(index, time);
+    }
+
+    fn inject(&mut self, time: f64, pieces: PieceSet, count: usize) {
+        self.s.pieces.reserve(count);
+        self.s.meta.reserve(count);
+        for _ in 0..count {
+            self.add_peer(time, pieces, true);
+        }
+    }
+
+    fn finish(self, events: u64, truncated: bool, horizon: f64) -> SimResult {
+        SimResult {
+            snapshots: std::mem::take(&mut self.s.snapshots),
+            sojourns: self.sojourns,
+            transfers: self.transfers,
+            unsuccessful_contacts: self.unsuccessful,
+            events,
+            horizon,
+            truncated,
+        }
+    }
+}

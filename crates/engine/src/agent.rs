@@ -14,6 +14,13 @@
 //! safety valve before the horizon) are surfaced per scenario in
 //! [`AgentOutcome::truncated_replications`] so a verdict derived from
 //! clipped trajectories is never silently trusted.
+//!
+//! Workers replicate through a per-thread [`SimScratch`] arena: the
+//! simulator's peer table, sampling pools, and snapshot buffers are reused
+//! across the replications each worker serves (fully so under the turbo
+//! kernel), so a batch performs no per-replication reallocation once the
+//! buffers reach the workload's high-water mark. The scratch never changes
+//! the numbers — batches stay bit-identical at any worker count.
 
 use crate::config::EngineConfig;
 use crate::progress::Progress;
@@ -25,7 +32,8 @@ use pieceset::PieceSet;
 use rayon::prelude::*;
 use rayon::ThreadPoolBuilder;
 use serde::{Deserialize, Serialize};
-use swarm::sim::{AgentConfig, AgentSwarm, FlashCrowd};
+use std::cell::RefCell;
+use swarm::sim::{AgentConfig, AgentSwarm, FlashCrowd, SimScratch};
 use swarm::{policy, stability, StabilityVerdict, SwarmError, SwarmParams};
 
 /// One agent-simulator scenario to replicate: model parameters plus the
@@ -159,23 +167,44 @@ pub fn run_agent_replication(
     config: &EngineConfig,
     replication: u32,
 ) -> Result<AgentReplication, SwarmError> {
+    run_agent_replication_with_scratch(scenario, config, replication, &mut SimScratch::new())
+}
+
+/// Runs a single replication like [`run_agent_replication`], reusing the
+/// buffers of `scratch` (and returning the run's snapshot buffer to it), so
+/// a replication loop allocates nothing per task once the scratch is warm.
+/// The scratch never changes the numbers.
+///
+/// # Errors
+///
+/// Returns [`SwarmError::InvalidParameter`] if the scenario's policy or
+/// configuration is invalid, or its flash schedule fails validation.
+pub fn run_agent_replication_with_scratch(
+    scenario: &AgentScenario,
+    config: &EngineConfig,
+    replication: u32,
+    scratch: &mut SimScratch,
+) -> Result<AgentReplication, SwarmError> {
     let sim = scenario.build_sim()?;
     let initial = scenario.initial_population();
     let mut rng = replication_rng(config.master_seed, scenario.id, u64::from(replication));
-    let result = sim.run_with_schedule(&initial, &scenario.flash, config.horizon, &mut rng)?;
+    let result =
+        sim.run_with_scratch(&initial, &scenario.flash, config.horizon, &mut rng, scratch)?;
     let classifier = PathClassifier::new(
         scenario.params.total_arrival_rate(),
         (3.0 * initial.len() as f64).max(30.0),
     );
     let verdict = classifier.classify(&result.peer_count_path());
-    Ok(AgentReplication {
+    let outcome = AgentReplication {
         replication,
         class: verdict.class,
         tail_slope: verdict.tail_slope,
         tail_average: verdict.tail_average,
         events: result.events,
         truncated: result.truncated,
-    })
+    };
+    scratch.recycle(result);
+    Ok(outcome)
 }
 
 fn aggregate(
@@ -260,12 +289,24 @@ pub fn run_agent_batch(
         .num_threads(config.jobs)
         .build()
         .expect("thread pool");
+    // One scratch arena per worker thread: the rayon workers live for the
+    // whole batch, so every replication a worker serves reuses its buffers.
+    thread_local! {
+        static SCRATCH: RefCell<SimScratch> = RefCell::new(SimScratch::new());
+    }
     let results: Vec<AgentReplication> = pool.install(|| {
         tasks
             .into_par_iter()
             .map(|(scenario, replication)| {
-                let outcome = run_agent_replication(&scenarios[scenario], config, replication)
-                    .expect("scenarios validated before the batch");
+                let outcome = SCRATCH.with(|scratch| {
+                    run_agent_replication_with_scratch(
+                        &scenarios[scenario],
+                        config,
+                        replication,
+                        &mut scratch.borrow_mut(),
+                    )
+                    .expect("scenarios validated before the batch")
+                });
                 progress.tick();
                 outcome
             })
@@ -328,6 +369,45 @@ mod tests {
         assert_eq!(seq[0].theory, StabilityVerdict::PositiveRecurrent);
         assert_eq!(seq[1].theory, StabilityVerdict::Transient);
         assert_eq!(seq[0].votes.total(), 3);
+    }
+
+    #[test]
+    fn turbo_batches_are_deterministic_and_scratch_neutral() {
+        use swarm::sim::KernelKind;
+        let mut scenario = AgentScenario::new(0, "turbo", example1(0.8));
+        scenario.config.kernel = KernelKind::Turbo;
+        let scenarios = vec![scenario.clone(), {
+            let mut s = AgentScenario::new(1, "turbo-hot", example1(3.0));
+            s.config.kernel = KernelKind::Turbo;
+            s
+        }];
+        // jobs=1 routes every replication through ONE warm scratch; jobs=8
+        // spreads them over fresh ones — identical outcomes prove the
+        // scratch never leaks state between replications.
+        let seq = run_agent_batch(
+            &scenarios,
+            &EngineConfig {
+                jobs: 1,
+                ..quick_config()
+            },
+        )
+        .unwrap();
+        let par = run_agent_batch(
+            &scenarios,
+            &EngineConfig {
+                jobs: 8,
+                ..quick_config()
+            },
+        )
+        .unwrap();
+        assert_eq!(seq, par);
+        // And a scratch-free replication matches the batch's scratch path.
+        let lone = run_agent_replication(&scenarios[0], &quick_config(), 0).unwrap();
+        let mut scratch = swarm::sim::SimScratch::new();
+        let warm =
+            run_agent_replication_with_scratch(&scenarios[0], &quick_config(), 0, &mut scratch)
+                .unwrap();
+        assert_eq!(lone, warm);
     }
 
     #[test]

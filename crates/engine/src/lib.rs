@@ -63,7 +63,10 @@ pub mod replicate;
 pub mod rng;
 pub mod stats;
 
-pub use agent::{run_agent_batch, run_agent_replication, AgentOutcome, AgentScenario};
+pub use agent::{
+    run_agent_batch, run_agent_replication, run_agent_replication_with_scratch, AgentOutcome,
+    AgentScenario,
+};
 pub use config::EngineConfig;
 pub use grid::{run_grid, Axis, GridSpec, PhaseCell, PhaseDiagram};
 pub use replicate::{

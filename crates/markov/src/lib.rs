@@ -11,6 +11,8 @@
 //!   transitions `(state, rate)` from any state.
 //! * [`gillespie`] — an exact-jump (Gillespie / stochastic simulation
 //!   algorithm) simulator with observers and stopping rules.
+//! * [`alias`] — Walker/Vose alias tables for `O(1)` categorical sampling
+//!   (the turbo simulation kernel's arrival draws).
 //! * [`path`] — sample-path recording, time averages, linear-trend
 //!   estimation.
 //! * [`drift`] — numeric Foster–Lyapunov drift `QV(x)` evaluation.
@@ -53,6 +55,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod alias;
 pub mod birth_death;
 pub mod branching;
 pub mod classify;

@@ -71,6 +71,27 @@ impl PieceMatrix {
         self.data.reserve(rows * self.words_per_row);
     }
 
+    /// Reconfigures the matrix for a (possibly different) `K`-piece file and
+    /// removes every row, keeping the allocated capacity — the scratch-reuse
+    /// companion of [`PieceMatrix::new`] for simulators that run many
+    /// replications back to back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_pieces` is zero.
+    pub fn reset(&mut self, num_pieces: usize) {
+        assert!(num_pieces >= 1, "a file must have at least one piece");
+        let tail = num_pieces % 64;
+        self.num_pieces = num_pieces;
+        self.words_per_row = num_pieces.div_ceil(64);
+        self.last_word_mask = if tail == 0 {
+            u64::MAX
+        } else {
+            (1u64 << tail) - 1
+        };
+        self.data.clear();
+    }
+
     /// Number of pieces `K` (the row width in bits).
     #[must_use]
     pub fn num_pieces(&self) -> usize {
@@ -365,6 +386,23 @@ mod tests {
     fn swap_remove_out_of_range_panics() {
         let mut m = PieceMatrix::new(2);
         m.swap_remove_row(0);
+    }
+
+    #[test]
+    fn reset_reconfigures_width_and_clears_rows() {
+        let mut m = PieceMatrix::new(4);
+        m.push_set(set(&[0, 3]));
+        m.reset(130);
+        assert_eq!(m.rows(), 0);
+        assert_eq!(m.num_pieces(), 130);
+        assert_eq!(m.words_per_row(), 3);
+        let r = m.push_empty();
+        m.insert(r, PieceId::new(129));
+        assert_eq!(m.count(r), 1);
+        m.reset(2);
+        assert_eq!(m.words_per_row(), 1);
+        let r = m.push_set(set(&[0, 1]));
+        assert!(m.is_full(r));
     }
 
     #[test]

@@ -30,6 +30,7 @@
 //!     jobs: 1,
 //!     seed: 7,
 //!     horizon_override: Some(50.0),
+//!     kernel_override: None,
 //! };
 //! let report = workload::registry::run(spec, &options).unwrap();
 //! assert_eq!(report.outcome.votes.total(), 1);
@@ -193,8 +194,10 @@ pub struct ScenarioSpec {
     pub initial: Vec<InitialGroupSpec>,
     /// Scheduled flash crowds.
     pub flash_crowds: Vec<FlashSpec>,
-    /// The simulation kernel (`"event-driven"` or `"legacy-scan"` in files;
-    /// the scan kernel exists for differential cross-checks).
+    /// The simulation kernel (`"event-driven"`, `"legacy-scan"`, or
+    /// `"turbo"` in files; the scan kernel exists for differential
+    /// cross-checks, the turbo kernel trades byte-reproducible trajectories
+    /// across kernels for speed — it remains deterministic per seed).
     pub kernel: KernelKind,
 }
 
@@ -370,6 +373,7 @@ impl ScenarioSpec {
                     match self.kernel {
                         KernelKind::EventDriven => "event-driven",
                         KernelKind::LegacyScan => "legacy-scan",
+                        KernelKind::Turbo => "turbo",
                     }
                     .into(),
                 ),
@@ -451,7 +455,12 @@ impl ScenarioSpec {
             None => {}
             Some(Json::Str(s)) if s == "event-driven" => spec.kernel = KernelKind::EventDriven,
             Some(Json::Str(s)) if s == "legacy-scan" => spec.kernel = KernelKind::LegacyScan,
-            Some(_) => return Err("`kernel` must be \"event-driven\" or \"legacy-scan\"".into()),
+            Some(Json::Str(s)) if s == "turbo" => spec.kernel = KernelKind::Turbo,
+            Some(_) => {
+                return Err(
+                    "`kernel` must be \"event-driven\", \"legacy-scan\", or \"turbo\"".into(),
+                )
+            }
         }
         if let Some(value) = doc.get("arrivals") {
             let items = as_array(value, "arrivals")?;
@@ -751,6 +760,9 @@ pub struct ScenarioRunOptions {
     pub seed: u64,
     /// Overrides the spec's horizon when set.
     pub horizon_override: Option<f64>,
+    /// Overrides the spec's simulation kernel when set (the CLI's
+    /// `--kernel` flag).
+    pub kernel_override: Option<KernelKind>,
 }
 
 impl Default for ScenarioRunOptions {
@@ -760,6 +772,7 @@ impl Default for ScenarioRunOptions {
             jobs: 0,
             seed: 0xA11CE,
             horizon_override: None,
+            kernel_override: None,
         }
     }
 }
@@ -844,6 +857,12 @@ impl ScenarioRunReport {
 ///
 /// Returns a message if the spec fails to compile or validate.
 pub fn run(spec: &ScenarioSpec, options: &ScenarioRunOptions) -> Result<ScenarioRunReport, String> {
+    // Apply the kernel override to the spec itself before compiling, so the
+    // report's `spec` records the kernel that actually executed.
+    let mut spec = spec.clone();
+    if let Some(kernel) = options.kernel_override {
+        spec.kernel = kernel;
+    }
     let scenario = spec.compile(0)?;
     let horizon = options.horizon_override.unwrap_or(spec.horizon);
     let config = EngineConfig::default()
@@ -854,7 +873,7 @@ pub fn run(spec: &ScenarioSpec, options: &ScenarioRunOptions) -> Result<Scenario
     let outcomes =
         run_agent_batch(std::slice::from_ref(&scenario), &config).map_err(|e| e.to_string())?;
     Ok(ScenarioRunReport {
-        spec: spec.clone(),
+        spec,
         outcome: outcomes.into_iter().next().expect("one scenario in"),
         horizon,
         replications: options.replications,
@@ -942,16 +961,47 @@ mod tests {
 
     #[test]
     fn kernel_field_is_parsed_and_honoured() {
-        let doc = r#"{"name":"x","num_pieces":2,"kernel":"legacy-scan",
-            "arrivals":[{"pieces":"empty","rate":1}]}"#;
-        let spec = ScenarioSpec::from_json(doc).unwrap();
-        assert_eq!(spec.kernel, KernelKind::LegacyScan);
-        let scenario = spec.compile(0).unwrap();
-        assert_eq!(scenario.config.kernel, KernelKind::LegacyScan);
-        assert_eq!(ScenarioSpec::from_json(&spec.to_json()).unwrap(), spec);
+        for (name, kind) in [
+            ("legacy-scan", KernelKind::LegacyScan),
+            ("turbo", KernelKind::Turbo),
+            ("event-driven", KernelKind::EventDriven),
+        ] {
+            let doc = format!(
+                r#"{{"name":"x","num_pieces":2,"kernel":"{name}",
+                "arrivals":[{{"pieces":"empty","rate":1}}]}}"#
+            );
+            let spec = ScenarioSpec::from_json(&doc).unwrap();
+            assert_eq!(spec.kernel, kind);
+            let scenario = spec.compile(0).unwrap();
+            assert_eq!(scenario.config.kernel, kind);
+            assert_eq!(ScenarioSpec::from_json(&spec.to_json()).unwrap(), spec);
+        }
         let bad = r#"{"name":"x","num_pieces":2,"kernel":"warp",
             "arrivals":[{"pieces":"empty","rate":1}]}"#;
         assert!(ScenarioSpec::from_json(bad).is_err());
+    }
+
+    #[test]
+    fn kernel_override_wins_over_the_spec_and_turbo_runs_are_deterministic() {
+        let registry = Registry::builtin();
+        let spec = registry.get("retry-speedup").unwrap();
+        assert_eq!(spec.kernel, KernelKind::EventDriven);
+        let options = ScenarioRunOptions {
+            replications: 2,
+            jobs: 1,
+            seed: 77,
+            horizon_override: Some(80.0),
+            kernel_override: Some(KernelKind::Turbo),
+        };
+        let a = run(spec, &options).unwrap();
+        let b = run(spec, &ScenarioRunOptions { jobs: 4, ..options }).unwrap();
+        assert_eq!(a.outcome, b.outcome, "turbo is deterministic per seed");
+        assert_eq!(a.outcome.votes.total(), 2);
+        assert_eq!(
+            a.spec.kernel,
+            KernelKind::Turbo,
+            "the report's spec records the kernel that actually ran"
+        );
     }
 
     #[test]
@@ -977,6 +1027,7 @@ mod tests {
             jobs: 1,
             seed: 42,
             horizon_override: Some(120.0),
+            kernel_override: None,
         };
         let a = run(spec, &options).unwrap();
         let b = run(spec, &ScenarioRunOptions { jobs: 4, ..options }).unwrap();

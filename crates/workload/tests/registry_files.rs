@@ -54,6 +54,7 @@ fn scenario_file_resolves_compiles_and_runs() {
         jobs: 1,
         seed: 0xF11E,
         horizon_override: None,
+        kernel_override: None,
     };
     let a = run(&spec, &options).expect("runs");
     let b = run(&spec, &ScenarioRunOptions { jobs: 6, ..options }).expect("runs");
@@ -88,6 +89,7 @@ fn builtin_big_swarm_scenario_reaches_operating_size() {
         jobs: 1,
         seed: 3,
         horizon_override: Some(8.0),
+        kernel_override: None,
     };
     let report = run(spec, &options).expect("runs");
     assert!(

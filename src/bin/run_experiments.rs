@@ -24,6 +24,10 @@
 //! * `--scenario FILE|NAME` — instead of the E1–E12 reports, execute one
 //!   scenario from the registry: a JSON scenario file (see `EXPERIMENTS.md`
 //!   for the format) or a built-in name,
+//! * `--kernel event|scan|turbo` — override the scenario's simulation
+//!   kernel (`event-driven` and `legacy-scan` are byte-reproducible against
+//!   each other; `turbo` is the parity-free fast kernel, deterministic per
+//!   seed but validated distributionally),
 //! * `--list-scenarios` — list the built-in scenario names and exit,
 //! * `--out-dir DIR` — also write `E*.txt` reports plus the Example 1
 //!   phase diagram as `phase.csv` / `phase.json` / `phase.txt` and the E1
@@ -34,6 +38,7 @@
 //! any `--jobs` value.
 
 use p2p_stability::engine::{self, Axis, EngineConfig, GridSpec};
+use p2p_stability::swarm::sim::KernelKind;
 use p2p_stability::workload::experiments::{self, ExperimentConfig};
 use p2p_stability::workload::registry::{self, Registry, ScenarioRunOptions};
 use p2p_stability::workload::scenario;
@@ -48,10 +53,14 @@ struct Cli {
     /// Set only when `--horizon` was given explicitly (a scenario's own
     /// horizon must win otherwise).
     explicit_horizon: Option<f64>,
+    /// Set only when `--kernel` was given explicitly (a scenario's own
+    /// kernel must win otherwise).
+    kernel: Option<KernelKind>,
 }
 
 const USAGE: &str = "usage: run_experiments [quick] [--replications N] [--jobs N] \
-[--seed S] [--horizon T] [--scenario FILE|NAME] [--list-scenarios] [--out-dir DIR]";
+[--seed S] [--horizon T] [--scenario FILE|NAME] [--kernel event|scan|turbo] \
+[--list-scenarios] [--out-dir DIR]";
 
 enum CliError {
     /// `--help` / `-h`: print usage and exit successfully.
@@ -92,6 +101,7 @@ fn parse_cli() -> Result<Cli, CliError> {
     let mut scenario = None;
     let mut list_scenarios = false;
     let mut explicit_horizon = None;
+    let mut kernel = None;
     let mut args = raw.into_iter();
     while let Some(arg) = args.next() {
         let mut value_of = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
@@ -118,6 +128,19 @@ fn parse_cli() -> Result<Cli, CliError> {
                 explicit_horizon = Some(config.horizon);
             }
             "--scenario" => scenario = Some(value_of("--scenario")?),
+            "--kernel" => {
+                kernel = Some(match value_of("--kernel")?.as_str() {
+                    "event" | "event-driven" => KernelKind::EventDriven,
+                    "scan" | "legacy-scan" => KernelKind::LegacyScan,
+                    "turbo" => KernelKind::Turbo,
+                    other => {
+                        return Err(CliError::Invalid(format!(
+                            "--kernel: unknown kernel `{other}` \
+                             (expected event, scan, or turbo)"
+                        )))
+                    }
+                });
+            }
             "--list-scenarios" => list_scenarios = true,
             "--out-dir" => out_dir = Some(PathBuf::from(value_of("--out-dir")?)),
             "--help" | "-h" => return Err(CliError::Help),
@@ -128,12 +151,18 @@ fn parse_cli() -> Result<Cli, CliError> {
             }
         }
     }
+    if kernel.is_some() && scenario.is_none() && !list_scenarios {
+        return Err(CliError::Invalid(
+            "--kernel applies to scenario runs only; combine it with --scenario".into(),
+        ));
+    }
     Ok(Cli {
         config,
         out_dir,
         scenario,
         list_scenarios,
         explicit_horizon,
+        kernel,
     })
 }
 
@@ -224,6 +253,7 @@ fn run_scenario(which: &str, cli: &Cli) -> ExitCode {
         jobs: cli.config.threads,
         seed: cli.config.seed,
         horizon_override: cli.explicit_horizon,
+        kernel_override: cli.kernel,
     };
     eprintln!(
         "running scenario `{}`: horizon {}, replications {}, jobs {}, seed {:#x}",
