@@ -1,0 +1,96 @@
+//! Scaling benchmark of the network-coded kernel: the Theorem 15 gift
+//! workload over GF(2), `K = 32`, at 10k and 100k peers, plus a small-field
+//! vs large-field comparison at fixed size.
+//!
+//! The canonical machine-readable numbers live in `BENCH_PR4.json`
+//! (regenerate with `cargo run --release --bin bench_report`); this target
+//! tracks the same workload under Criterion so `cargo bench` surfaces
+//! regressions in the RREF reduce/absorb hot path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pieceset::{PieceId, PieceSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use swarm::coded::CodedParams;
+use swarm::sim::{AgentConfig, AgentSwarm, KernelKind, SimScratch};
+
+const K: usize = 32;
+
+/// The `bench_report` coded workload: gift fraction 0.5 over GF(q),
+/// hit-and-run seeds (γ = 200), contact rate 0.1, arrivals at `n / 10`.
+fn coded_sim(q: u64, n: usize) -> AgentSwarm {
+    let lambda_total = n as f64 / 10.0;
+    let params = CodedParams::gift_example(K, q, lambda_total, 0.5, 1.0, 0.1, 200.0)
+        .expect("valid coded parameters");
+    AgentSwarm::with_coded(
+        params,
+        AgentConfig {
+            kernel: KernelKind::Coded,
+            snapshot_interval: 0.25,
+            ..Default::default()
+        },
+    )
+    .expect("valid configuration")
+}
+
+/// `n` initial peers one dimension short of decoding (the coded analogue of
+/// the uncoded benches' one-piece-short population).
+fn initial(n: usize) -> Vec<PieceSet> {
+    let full = PieceSet::full(K);
+    (0..n).map(|i| full.without(PieceId::new(i % K))).collect()
+}
+
+/// Coded kernel at 10k and 100k peers over GF(2).
+fn coded_scaling(c: &mut Criterion) {
+    for (peers, horizon) in [(10_000usize, 4.0f64), (100_000, 1.0)] {
+        let name = format!("coded_gift_{peers}_peers");
+        let mut group = c.benchmark_group(&name);
+        let initial = initial(peers);
+        group.bench_with_input(BenchmarkId::from_parameter("gf2"), &peers, |b, &peers| {
+            let sim = coded_sim(2, peers);
+            let mut scratch = SimScratch::new();
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                let result = sim
+                    .run_with_scratch(&initial, &[], horizon, &mut rng, &mut scratch)
+                    .expect("valid run");
+                let events = result.events;
+                scratch.recycle(result);
+                events
+            });
+        });
+        group.finish();
+    }
+}
+
+/// Field-order sweep at fixed size: GF(2) vs GF(16) vs GF(256) — larger
+/// fields buy sharper thresholds at the cost of wider field arithmetic.
+fn coded_field_orders(c: &mut Criterion) {
+    let peers = 10_000;
+    let horizon = 2.0;
+    let initial = initial(peers);
+    let mut group = c.benchmark_group("coded_gift_field_orders");
+    for q in [2u64, 16, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, &q| {
+            let sim = coded_sim(q, peers);
+            let mut scratch = SimScratch::new();
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                let result = sim
+                    .run_with_scratch(&initial, &[], horizon, &mut rng, &mut scratch)
+                    .expect("valid run");
+                let events = result.events;
+                scratch.recycle(result);
+                events
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = coded_scaling, coded_field_orders
+}
+criterion_main!(benches);

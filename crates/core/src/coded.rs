@@ -15,7 +15,7 @@
 //!   peers carry coded pieces) at laptop-scale `(q, K)`.
 
 use crate::{SwarmError, SwarmParams};
-use markov::poisson::{sample_exp, sample_weighted_index};
+use markov::poisson::{sample_exp, sample_weighted_index, CumulativeWeights};
 use netcoding::{CodingVector, GaloisField, Subspace};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -106,6 +106,94 @@ impl CodedParams {
             .map(|(_, r)| r)
             .sum::<f64>()
             / total
+    }
+
+    /// The coded arrival mix without the base parameters — what the
+    /// replication engine attaches to an agent scenario to run it on the
+    /// [`crate::sim::KernelKind::Coded`] kernel.
+    #[must_use]
+    pub fn gifts(&self) -> CodedGifts {
+        CodedGifts {
+            field: self.field,
+            gift_dimensions: self.gift_dimensions.clone(),
+        }
+    }
+}
+
+/// The coded arrival mix of [`CodedParams`], detached from the base
+/// [`SwarmParams`]: the field `GF(q)` and the `(dimension, rate)` arrival
+/// classes. [`CodedGifts::with_base`] re-attaches a base to recover a full
+/// [`CodedParams`]; the replication engine stores gifts next to the base
+/// parameters it already carries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodedGifts {
+    /// The finite field `GF(q)` used for coding.
+    pub field: GaloisField,
+    /// Arrival mix: `(d, rate)` pairs as in [`CodedParams::gift_dimensions`].
+    pub gift_dimensions: Vec<(usize, f64)>,
+}
+
+impl CodedGifts {
+    /// Recombines the gifts with base parameters into a full
+    /// [`CodedParams`].
+    #[must_use]
+    pub fn with_base(&self, base: SwarmParams) -> CodedParams {
+        CodedParams {
+            base,
+            field: self.field,
+            gift_dimensions: self.gift_dimensions.clone(),
+        }
+    }
+
+    /// Validates the gifts against a base parameter set: at least one
+    /// arrival class, every dimension within `0..=K`, finite non-negative
+    /// rates, and a total arrival rate matching the base's (the shared
+    /// driver loop draws arrival events from the *base* rate, so a mismatch
+    /// would silently distort the coded dynamics).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::InvalidParameter`] naming the first violation.
+    pub fn validate_for(&self, base: &SwarmParams) -> Result<(), SwarmError> {
+        if self.gift_dimensions.is_empty() {
+            return Err(SwarmError::InvalidParameter(
+                "coded arrivals need at least one (dimension, rate) class".into(),
+            ));
+        }
+        let k = base.num_pieces();
+        let mut total = 0.0;
+        for &(d, rate) in &self.gift_dimensions {
+            if d > k {
+                return Err(SwarmError::InvalidParameter(format!(
+                    "gift dimension {d} exceeds the file dimension K = {k}"
+                )));
+            }
+            if d == k && rate > 0.0 && base.departs_immediately() {
+                return Err(SwarmError::InvalidParameter(format!(
+                    "gift dimension {d} = K with γ = ∞ would inject \
+                     instantly-complete peers that never depart (the paper's \
+                     λ_F = 0 convention)"
+                )));
+            }
+            if !(rate.is_finite() && rate >= 0.0) {
+                return Err(SwarmError::InvalidParameter(format!(
+                    "gift rate {rate} for dimension {d} must be finite and non-negative"
+                )));
+            }
+            total += rate;
+        }
+        let base_total = base.total_arrival_rate();
+        if (total - base_total).abs() > 1e-9 * base_total.max(1.0) {
+            return Err(SwarmError::InvalidParameter(format!(
+                "coded arrival rate {total} does not match the base arrival rate {base_total}"
+            )));
+        }
+        if total <= 0.0 {
+            return Err(SwarmError::InvalidParameter(
+                "coded arrival rates must sum to a positive total".into(),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -262,6 +350,11 @@ pub struct CodedSimResult {
     pub useless_contacts: u64,
     /// Horizon reached.
     pub horizon: f64,
+    /// Final per-peer dimension histogram: entry `d` counts the peers whose
+    /// subspace dimension is `d` when the run ends (length `K + 1`). The
+    /// differential tests compare it bin by bin against the coded event
+    /// kernel's [`crate::metrics::SimResult::final_dimensions`].
+    pub final_dimensions: Vec<u64>,
 }
 
 impl CodedSimResult {
@@ -320,13 +413,23 @@ impl CodedSwarmSim {
         let mut useless_contacts = 0u64;
         let mut events = 0u64;
 
+        // One prefix-sum table for the whole run: each arrival's dimension
+        // draw is a single uniform resolved by binary search instead of the
+        // per-event linear walk `sample_weighted_index` does. The table maps
+        // the same uniform draw to the same index as the linear walk, so
+        // seeded trajectories are unchanged by this optimisation. A
+        // degenerate zero-total (or empty) gift mix has no table — and no
+        // arrival events to resolve with it.
         let arrival_weights: Vec<f64> = self
             .params
             .gift_dimensions
             .iter()
             .map(|(_, r)| *r)
             .collect();
-        let arrival_rate: f64 = arrival_weights.iter().sum();
+        let arrival_sampler = CumulativeWeights::new(&arrival_weights);
+        let arrival_rate: f64 = arrival_sampler
+            .as_ref()
+            .map_or(0.0, CumulativeWeights::total);
 
         let record = |time: f64,
                       peers: &Vec<(Subspace, f64)>,
@@ -385,10 +488,10 @@ impl CodedSwarmSim {
 
             match sample_weighted_index(rng, &rates).expect("positive total rate") {
                 0 => {
-                    // Arrival with d random coded pieces.
-                    let idx = sample_weighted_index(rng, &arrival_weights)
-                        .expect("positive arrival rate");
-                    let d = self.params.gift_dimensions[idx].0;
+                    // Arrival with d random coded pieces (only reachable
+                    // when the arrival rate — the table total — is positive).
+                    let sampler = arrival_sampler.as_ref().expect("arrival rate > 0");
+                    let d = self.params.gift_dimensions[sampler.sample(rng)].0;
                     let mut space = Subspace::empty(field, full_dim);
                     for _ in 0..d {
                         let v = CodingVector::random(field, full_dim, rng);
@@ -453,12 +556,17 @@ impl CodedSwarmSim {
         }
 
         record(time, &peers, &mut snapshots);
+        let mut final_dimensions = vec![0u64; k + 1];
+        for (space, _) in &peers {
+            final_dimensions[space.dimension()] += 1;
+        }
         CodedSimResult {
             snapshots,
             departures,
             useful_transfers,
             useless_contacts,
             horizon: time,
+            final_dimensions,
         }
     }
 }
@@ -477,6 +585,46 @@ mod tests {
         assert!((lo - 0.0050794).abs() < 1e-4, "lo = {lo}");
         assert!((hi - 0.0051600).abs() < 1e-4, "hi = {hi}");
         assert!(lo < hi);
+    }
+
+    #[test]
+    fn golden_gift_thresholds() {
+        // Hand-computed pins for the two reference points of the test suite.
+        // GF(2), K = 8: q/((q−1)K) = 2/8, q²/((q−1)²K) = 4/8 — exact binary
+        // values, so equality is checked exactly.
+        let (lo, hi) = theorem15_gift_thresholds(2, 8);
+        assert_eq!(lo, 0.25);
+        assert_eq!(hi, 0.5);
+        // GF(256), K = 32: 256/(255·32) = 8/255 and 256²/(255²·32) = 2048/65025.
+        let (lo, hi) = theorem15_gift_thresholds(256, 32);
+        assert!((lo - 8.0 / 255.0).abs() < 1e-15, "lo = {lo}");
+        assert!((hi - 2048.0 / 65025.0).abs() < 1e-15, "hi = {hi}");
+        assert!((lo - 0.031_372_549_019_607_84).abs() < 1e-12);
+        assert!((hi - 0.031_495_578_623_606_31).abs() < 1e-12);
+        // Large fields pay almost nothing over the uncoded bound 1/K.
+        assert!(lo > 1.0 / 32.0 && hi < 1.008 / 32.0);
+    }
+
+    #[test]
+    fn gifts_round_trip_and_validate() {
+        let p = CodedParams::gift_example(4, 8, 2.0, 0.25, 0.0, 1.0, f64::INFINITY).unwrap();
+        let gifts = p.gifts();
+        assert_eq!(gifts.with_base(p.base.clone()), p);
+        assert!(gifts.validate_for(&p.base).is_ok());
+        // A dimension beyond K is rejected.
+        let mut bad = gifts.clone();
+        bad.gift_dimensions.push((9, 0.0));
+        assert!(bad.validate_for(&p.base).is_err());
+        // A rate total that disagrees with the base arrival rate is rejected.
+        let mut bad = gifts.clone();
+        bad.gift_dimensions[0].1 += 0.5;
+        assert!(bad.validate_for(&p.base).is_err());
+        // An empty mix is rejected.
+        let bad = CodedGifts {
+            field: gifts.field,
+            gift_dimensions: Vec::new(),
+        };
+        assert!(bad.validate_for(&p.base).is_err());
     }
 
     #[test]
@@ -586,6 +734,36 @@ mod tests {
         let trend = result.peer_count_path().trend(0.5);
         assert!(trend.slope > 0.5, "slope {}", trend.slope);
         assert_eq!(result.departures, 0);
+    }
+
+    #[test]
+    fn zero_rate_gift_mix_runs_without_arrivals() {
+        // CodedParams fields are public, so a directly-constructed params
+        // value may carry a zero-total (or empty) gift mix; the simulator
+        // must run it as an arrival-free swarm, not panic building the
+        // arrival table.
+        let base = SwarmParams::builder(3)
+            .seed_rate(1.0)
+            .contact_rate(1.0)
+            .fresh_arrivals(1.0)
+            .seed_departure_rate(2.0)
+            .build()
+            .unwrap();
+        for gift_dimensions in [vec![(1usize, 0.0f64)], Vec::new()] {
+            let params = CodedParams {
+                base: base.clone(),
+                field: GaloisField::new(8).unwrap(),
+                gift_dimensions,
+            };
+            let sim = CodedSwarmSim::new(params).snapshot_interval(5.0);
+            let mut rng = StdRng::seed_from_u64(21);
+            let result = sim.run(50.0, &mut rng);
+            assert_eq!(
+                result.snapshots.last().unwrap().total_peers,
+                0,
+                "no arrivals ever fire"
+            );
+        }
     }
 
     #[test]

@@ -99,6 +99,12 @@ pub struct SimResult {
     /// any verdict derived from it should be treated as provisional; the
     /// replication engine surfaces this per scenario.
     pub truncated: bool,
+    /// Final per-peer progress histogram of the network-coded kernel
+    /// ([`crate::sim::KernelKind::Coded`]): entry `d` counts the peers whose
+    /// subspace dimension is `d` when the run ends (length `K + 1`). Empty
+    /// for the uncoded kernels, whose piece-level state is already captured
+    /// by the snapshot observables.
+    pub final_dimensions: Vec<u64>,
 }
 
 impl SimResult {
@@ -149,6 +155,23 @@ impl SimResult {
             self.transfers as f64 / total as f64
         }
     }
+
+    /// Mean of the final dimension histogram (zero when the run did not use
+    /// the coded kernel or the final population is empty).
+    #[must_use]
+    pub fn mean_final_dimension(&self) -> f64 {
+        let peers: u64 = self.final_dimensions.iter().sum();
+        if peers == 0 {
+            return 0.0;
+        }
+        let total: u64 = self
+            .final_dimensions
+            .iter()
+            .enumerate()
+            .map(|(d, &count)| d as u64 * count)
+            .sum();
+        total as f64 / peers as f64
+    }
 }
 
 #[cfg(test)]
@@ -187,6 +210,7 @@ mod tests {
             events: 100,
             horizon: 10.0,
             truncated: false,
+            final_dimensions: Vec::new(),
         }
     }
 
@@ -224,5 +248,17 @@ mod tests {
             ..result()
         };
         assert_eq!(empty.contact_success_fraction(), 0.0);
+    }
+
+    #[test]
+    fn mean_final_dimension_from_histogram() {
+        let r = result();
+        assert_eq!(r.mean_final_dimension(), 0.0, "uncoded runs report 0");
+        let coded = SimResult {
+            // 2 peers at dim 0, 1 at dim 1, 1 at dim 3 → mean = 1.0
+            final_dimensions: vec![2, 1, 0, 1],
+            ..result()
+        };
+        assert!((coded.mean_final_dimension() - 1.0).abs() < 1e-12);
     }
 }

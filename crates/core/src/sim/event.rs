@@ -321,6 +321,7 @@ impl KernelState for State<'_> {
             events,
             horizon,
             truncated,
+            final_dimensions: Vec::new(),
         }
     }
 }

@@ -11,7 +11,7 @@
 //!
 //! # Kernels
 //!
-//! Three interchangeable kernels implement the bookkeeping behind the shared
+//! Four interchangeable kernels implement the bookkeeping behind the shared
 //! event loop (see [`KernelKind`]):
 //!
 //! * **Event-driven** (the default) — peer piece collections live in a
@@ -32,6 +32,12 @@
 //!   [`SimScratch`] arena. It samples from the *same distributions* at the
 //!   same points but consumes different draws, so its trajectories agree
 //!   with the other kernels statistically, not byte-for-byte.
+//! * **Coded** — the network-coding kernel (Section VIII-B, Theorem 15):
+//!   peer state is a subspace of `F_q^K` in reduced row-echelon form with
+//!   the dimension cached in a packed per-peer record, uploads are random
+//!   linear combinations, and departures fire at dimension `K`. Constructed
+//!   with [`AgentSwarm::with_coded`]; validated distributionally against
+//!   the standalone [`crate::coded::CodedSwarmSim`].
 //!
 //! The event-driven and scan kernels run under the *same* driver loop and
 //! consume random draws in the *same* order, so for a fixed RNG stream they
@@ -48,12 +54,14 @@
 //! departure rate — and updated in `O(1)` per event; no per-event rescan of
 //! the population happens in either kernel.
 
+mod coded;
 mod event;
 mod scan;
 mod turbo;
 
 pub use turbo::SimScratch;
 
+use crate::coded::{CodedGifts, CodedParams};
 use crate::metrics::SimResult;
 use crate::policy::{PiecePolicy, RandomUseful};
 use crate::{SwarmError, SwarmParams};
@@ -77,6 +85,14 @@ pub enum KernelKind {
     /// [`SimScratch`] buffer reuse. Statistically identical trajectories,
     /// not byte-identical ones — validated distributionally.
     Turbo,
+    /// The network-coding kernel (Section VIII-B, Theorem 15): peer state is
+    /// the subspace `V_A ⊆ F_q^K` held in reduced row-echelon form, contacts
+    /// transfer random linear combinations, and peers depart on reaching
+    /// dimension `K`. Requires coded parameters — construct the simulator
+    /// with [`AgentSwarm::with_coded`]. Validated distributionally against
+    /// the standalone [`crate::coded::CodedSwarmSim`]
+    /// (`crates/core/tests/coded_distributional.rs`).
+    Coded,
 }
 
 /// Configuration of the agent-based simulator beyond the model parameters.
@@ -154,6 +170,9 @@ pub struct AgentSwarm {
     params: SwarmParams,
     config: AgentConfig,
     policy: Box<dyn PiecePolicy>,
+    /// Coded arrival mix, present exactly when the kernel is
+    /// [`KernelKind::Coded`] (established by [`AgentSwarm::with_coded`]).
+    coded: Option<CodedGifts>,
 }
 
 impl AgentSwarm {
@@ -180,6 +199,66 @@ impl AgentSwarm {
         config: AgentConfig,
         policy: Box<dyn PiecePolicy>,
     ) -> Result<Self, SwarmError> {
+        if config.kernel == KernelKind::Coded {
+            return Err(SwarmError::InvalidParameter(
+                "the coded kernel needs coded parameters; construct the \
+                 simulator with AgentSwarm::with_coded"
+                    .into(),
+            ));
+        }
+        Self::validate_config(&params, &config)?;
+        Ok(AgentSwarm {
+            params,
+            config,
+            policy,
+            coded: None,
+        })
+    }
+
+    /// Creates a simulator for the network-coded swarm of Section VIII-B on
+    /// the [`KernelKind::Coded`] kernel: peers hold subspaces of `F_q^K`,
+    /// arrivals carry `d` uniformly random coded pieces per
+    /// [`CodedParams::gift_dimensions`], and the fixed seed and peer
+    /// contacts upload random linear combinations.
+    ///
+    /// Piece-selection policies do not apply (a coded upload is always a
+    /// random combination of everything the uploader holds), and the
+    /// Section VIII-C retry speed-up is not modelled for the coded system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::InvalidParameter`] if `config.kernel` is not
+    /// [`KernelKind::Coded`], the retry speed-up is not 1, the gift mix
+    /// fails [`CodedGifts::validate_for`], or the configuration is invalid.
+    pub fn with_coded(params: CodedParams, config: AgentConfig) -> Result<Self, SwarmError> {
+        if config.kernel != KernelKind::Coded {
+            return Err(SwarmError::InvalidParameter(
+                "coded parameters run on the coded kernel; set \
+                 AgentConfig::kernel to KernelKind::Coded"
+                    .into(),
+            ));
+        }
+        if config.retry_speedup != 1.0 {
+            return Err(SwarmError::InvalidParameter(
+                "the coded kernel does not model the Section VIII-C retry \
+                 speed-up (retry_speedup must be 1)"
+                    .into(),
+            ));
+        }
+        let gifts = params.gifts();
+        gifts.validate_for(&params.base)?;
+        Self::validate_config(&params.base, &config)?;
+        Ok(AgentSwarm {
+            params: params.base,
+            config,
+            policy: Box::new(RandomUseful),
+            coded: Some(gifts),
+        })
+    }
+
+    /// The kernel-independent configuration checks shared by both
+    /// constructors.
+    fn validate_config(params: &SwarmParams, config: &AgentConfig) -> Result<(), SwarmError> {
         if config.watch_piece.index() >= params.num_pieces() {
             return Err(SwarmError::InvalidParameter(format!(
                 "watch piece {} outside a {}-piece file",
@@ -198,11 +277,14 @@ impl AgentSwarm {
                 "snapshot interval must be positive".into(),
             ));
         }
-        Ok(AgentSwarm {
-            params,
-            config,
-            policy,
-        })
+        Ok(())
+    }
+
+    /// The coded arrival mix when the simulator runs the
+    /// [`KernelKind::Coded`] kernel, `None` otherwise.
+    #[must_use]
+    pub fn coded_gifts(&self) -> Option<&CodedGifts> {
+        self.coded.as_ref()
     }
 
     /// The model parameters.
@@ -365,6 +447,19 @@ impl AgentSwarm {
                 horizon,
                 rng,
             ),
+            KernelKind::Coded => {
+                let gifts = self
+                    .coded
+                    .as_ref()
+                    .expect("with_coded establishes the gift mix for the coded kernel");
+                drive(
+                    self,
+                    coded::State::new(self, gifts, initial, scratch.take_snapshots()),
+                    &schedule,
+                    horizon,
+                    rng,
+                )
+            }
         })
     }
 }
@@ -1014,6 +1109,140 @@ mod tests {
             assert_eq!(s.peer_seeds, 0, "peers depart the instant they complete");
         }
         assert!(result.sojourns.departures > 0);
+    }
+
+    fn coded_sim(
+        k: usize,
+        q: u64,
+        lambda: f64,
+        f: f64,
+        us: f64,
+        gamma: f64,
+    ) -> Result<AgentSwarm, SwarmError> {
+        let params = crate::coded::CodedParams::gift_example(k, q, lambda, f, us, 1.0, gamma)?;
+        AgentSwarm::with_coded(
+            params,
+            AgentConfig {
+                kernel: KernelKind::Coded,
+                snapshot_interval: 5.0,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn coded_kernel_requires_with_coded_and_vice_versa() {
+        let p = params(3, 0.5, 1.0, 2.0, 1.0);
+        let config = AgentConfig {
+            kernel: KernelKind::Coded,
+            ..Default::default()
+        };
+        assert!(AgentSwarm::with_config(p, config, Box::new(RandomUseful)).is_err());
+        let coded =
+            crate::coded::CodedParams::gift_example(3, 8, 1.0, 0.5, 0.0, 1.0, f64::INFINITY)
+                .unwrap();
+        // Coded parameters on a non-coded kernel are rejected...
+        assert!(AgentSwarm::with_coded(coded.clone(), AgentConfig::default()).is_err());
+        // ...as is the unsupported retry speed-up.
+        let boosted = AgentConfig {
+            kernel: KernelKind::Coded,
+            retry_speedup: 2.0,
+            ..Default::default()
+        };
+        assert!(AgentSwarm::with_coded(coded.clone(), boosted).is_err());
+        let ok = AgentSwarm::with_coded(
+            coded,
+            AgentConfig {
+                kernel: KernelKind::Coded,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(ok.coded_gifts().is_some());
+    }
+
+    #[test]
+    fn coded_kernel_stable_case_completes_and_departs() {
+        // Generous gifts, K = 3, GF(8): stable per Theorem 15, so peers keep
+        // decoding and leaving and the dimension bookkeeping stays exact.
+        let (_, hi) = crate::coded::theorem15_gift_thresholds(8, 3);
+        let sim = coded_sim(3, 8, 1.0, (3.0 * hi).min(1.0), 0.0, f64::INFINITY).unwrap();
+        let mut rng = StdRng::seed_from_u64(51);
+        let result = sim.run(&[], 800.0, &mut rng);
+        assert!(result.sojourns.departures > 50, "decoders depart");
+        assert!(result.transfers > 0);
+        let mut prev_decodes = 0;
+        for snap in &result.snapshots {
+            assert_eq!(snap.groups.total(), snap.total_peers, "groups partition");
+            assert_eq!(snap.peer_seeds, 0, "γ = ∞ leaves no decoders behind");
+            assert!(snap.watch_piece_copies <= 3 * snap.total_peers, "dim ≤ K");
+            assert!(snap.watch_piece_downloads >= prev_decodes);
+            prev_decodes = snap.watch_piece_downloads;
+        }
+        // The final histogram partitions the final population.
+        let hist_total: u64 = result.final_dimensions.iter().sum();
+        assert_eq!(hist_total, result.final_snapshot().total_peers);
+        assert_eq!(result.final_dimensions.len(), 4);
+        let classifier = markov::PathClassifier::new(1.0, 40.0);
+        assert_eq!(
+            classifier.classify(&result.peer_count_path()).class,
+            markov::PathClass::Stable
+        );
+    }
+
+    #[test]
+    fn coded_kernel_starved_case_grows_without_departures() {
+        // No gifts, no seed: nothing ever decodes.
+        let sim = coded_sim(3, 8, 1.0, 0.0, 0.0, f64::INFINITY).unwrap();
+        let mut rng = StdRng::seed_from_u64(52);
+        let result = sim.run(&[], 500.0, &mut rng);
+        assert_eq!(result.sojourns.departures, 0);
+        assert_eq!(result.transfers, 0, "no knowledge ever enters the swarm");
+        let trend = result.peer_count_path().trend(0.5);
+        assert!(trend.slope > 0.5, "slope {}", trend.slope);
+    }
+
+    #[test]
+    fn coded_kernel_finite_gamma_keeps_decoders_and_flash_crowds_inject() {
+        let sim = coded_sim(3, 8, 1.0, 0.5, 0.5, 2.0).unwrap();
+        let crowd = FlashCrowd {
+            time: 60.0,
+            count: 80,
+            pieces: PieceSet::empty(),
+        };
+        let mut rng = StdRng::seed_from_u64(53);
+        let result = sim
+            .run_with_schedule(&[], &[crowd], 300.0, &mut rng)
+            .unwrap();
+        assert!(result.sojourns.departures > 0);
+        assert!(
+            result.snapshots.iter().any(|s| s.peer_seeds > 0),
+            "finite γ lets decoders dwell"
+        );
+        let before = result.snapshots.iter().rfind(|s| s.time < 60.0).unwrap();
+        let after = result.snapshots.iter().find(|s| s.time > 60.0).unwrap();
+        assert!(
+            after.total_peers >= before.total_peers + 50,
+            "crowd visible"
+        );
+        for snap in &result.snapshots {
+            assert_eq!(snap.groups.total(), snap.total_peers);
+        }
+    }
+
+    #[test]
+    fn coded_kernel_is_deterministic_per_seed() {
+        let sim = coded_sim(4, 4, 1.2, 0.6, 0.3, 3.0).unwrap();
+        let initial = vec![PieceSet::singleton(PieceId::new(1)); 15];
+        let mut a = StdRng::seed_from_u64(54);
+        let mut b = StdRng::seed_from_u64(54);
+        let ra = sim.run(&initial, 200.0, &mut a);
+        let rb = sim.run(&initial, 200.0, &mut b);
+        assert_eq!(ra, rb);
+        // Initial piece collections map to unit-vector spans: 15 peers at
+        // dimension 1 at time zero.
+        assert_eq!(ra.snapshots[0].watch_piece_copies, 15);
+        assert_eq!(ra.snapshots[0].total_peers, 15);
     }
 
     #[test]

@@ -316,6 +316,7 @@ impl KernelState for State<'_> {
             events,
             horizon,
             truncated,
+            final_dimensions: Vec::new(),
         }
     }
 }

@@ -1,0 +1,294 @@
+//! Distributional differential test: the coded event kernel against the
+//! legacy standalone `CodedSwarmSim`.
+//!
+//! The coded kernel (`KernelKind::Coded`) runs the Section VIII-B dynamics
+//! under the shared driver loop with alias-table arrival draws, a
+//! dimension-only Bernoulli fast path for fixed-seed uploads, and pool-based
+//! departures — so its draw *sequence* differs from the legacy simulator's
+//! and byte-equality of trajectories cannot hold. What must hold is
+//! *statistical* equality: both simulate the same continuous-time Markov
+//! process over subspace-valued peer states, so over replication ensembles
+//! of the same coded scenario every observable's replication mean must agree
+//! within sampling noise.
+//!
+//! For each scenario this test runs `N` replications per simulator and
+//! demands overlap of generous confidence intervals (five combined standard
+//! errors plus a small absolute floor, the same contract as
+//! `turbo_distributional.rs`) on: final population, departures, useful
+//! transfers, useless contacts, final decoder count, final mean dimension,
+//! and every bin of the final dimension histogram. Tolerances were checked
+//! by construction during development: biasing the seed-upload Bernoulli
+//! (e.g. using `q^{dim−K−1}`) or dropping the self-contact rejection makes
+//! several scenarios fail.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use swarm::coded::{CodedParams, CodedSwarmSim};
+use swarm::sim::{AgentConfig, AgentSwarm, KernelKind};
+use swarm::SwarmParams;
+
+const REPLICATIONS: u64 = 20;
+
+/// Mean and standard error of a sample.
+struct Moments {
+    mean: f64,
+    se: f64,
+}
+
+fn moments(samples: &[f64]) -> Moments {
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    Moments {
+        mean,
+        se: (var / n).sqrt(),
+    }
+}
+
+fn assert_compatible(name: &str, scenario: &str, legacy: &[f64], kernel: &[f64]) {
+    let (ml, mk) = (moments(legacy), moments(kernel));
+    let tolerance = 5.0 * (ml.se * ml.se + mk.se * mk.se).sqrt() + 1.0;
+    assert!(
+        (ml.mean - mk.mean).abs() <= tolerance,
+        "{scenario}/{name}: legacy mean {} vs kernel mean {} exceeds tolerance {}",
+        ml.mean,
+        mk.mean,
+        tolerance,
+    );
+}
+
+struct Scenario {
+    name: &'static str,
+    params: CodedParams,
+    horizon: f64,
+}
+
+/// One observable vector per ensemble: every metric of every replication.
+struct Ensemble {
+    final_population: Vec<f64>,
+    departures: Vec<f64>,
+    useful_transfers: Vec<f64>,
+    useless_contacts: Vec<f64>,
+    decoders: Vec<f64>,
+    mean_dimension: Vec<f64>,
+    /// One sample vector per dimension bin `0..=K`.
+    dimension_bins: Vec<Vec<f64>>,
+}
+
+impl Ensemble {
+    fn new(k: usize) -> Self {
+        Ensemble {
+            final_population: Vec::new(),
+            departures: Vec::new(),
+            useful_transfers: Vec::new(),
+            useless_contacts: Vec::new(),
+            decoders: Vec::new(),
+            mean_dimension: Vec::new(),
+            dimension_bins: vec![Vec::new(); k + 1],
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push(
+        &mut self,
+        population: u64,
+        departures: u64,
+        useful: u64,
+        useless: u64,
+        decoders: u64,
+        mean_dimension: f64,
+        histogram: &[u64],
+    ) {
+        self.final_population.push(population as f64);
+        self.departures.push(departures as f64);
+        self.useful_transfers.push(useful as f64);
+        self.useless_contacts.push(useless as f64);
+        self.decoders.push(decoders as f64);
+        self.mean_dimension.push(mean_dimension);
+        assert_eq!(histogram.len(), self.dimension_bins.len());
+        for (bin, &count) in self.dimension_bins.iter_mut().zip(histogram) {
+            bin.push(count as f64);
+        }
+    }
+}
+
+fn run_legacy(scenario: &Scenario, seed_base: u64) -> Ensemble {
+    let k = scenario.params.base.num_pieces();
+    let sim = CodedSwarmSim::new(scenario.params.clone()).snapshot_interval(10.0);
+    let mut ensemble = Ensemble::new(k);
+    for replication in 0..REPLICATIONS {
+        let mut rng = StdRng::seed_from_u64(seed_base ^ (replication * 0x9E37_79B9));
+        let result = sim.run(scenario.horizon, &mut rng);
+        let last = result.snapshots.last().expect("snapshots recorded");
+        ensemble.push(
+            last.total_peers,
+            result.departures,
+            result.useful_transfers,
+            result.useless_contacts,
+            last.decoders,
+            last.mean_dimension,
+            &result.final_dimensions,
+        );
+    }
+    ensemble
+}
+
+fn run_kernel(scenario: &Scenario, seed_base: u64) -> Ensemble {
+    let k = scenario.params.base.num_pieces();
+    let sim = AgentSwarm::with_coded(
+        scenario.params.clone(),
+        AgentConfig {
+            kernel: KernelKind::Coded,
+            snapshot_interval: 10.0,
+            ..Default::default()
+        },
+    )
+    .expect("valid coded scenario");
+    let mut ensemble = Ensemble::new(k);
+    for replication in 0..REPLICATIONS {
+        let mut rng = StdRng::seed_from_u64(seed_base ^ (replication * 0x9E37_79B9));
+        let result = sim.run(&[], scenario.horizon, &mut rng);
+        assert!(!result.truncated, "budget must cover the horizon");
+        for snap in &result.snapshots {
+            assert_eq!(snap.groups.total(), snap.total_peers, "groups partition");
+        }
+        let last = result.final_snapshot();
+        let population: u64 = result.final_dimensions.iter().sum();
+        assert_eq!(population, last.total_peers, "histogram partitions peers");
+        ensemble.push(
+            last.total_peers,
+            result.sojourns.departures,
+            result.transfers,
+            result.unsuccessful_contacts,
+            last.peer_seeds,
+            result.mean_final_dimension(),
+            &result.final_dimensions,
+        );
+    }
+    ensemble
+}
+
+fn scenarios() -> Vec<Scenario> {
+    let mut out = Vec::new();
+
+    // The paper's headline gifted-arrival model well above the recurrence
+    // threshold: GF(8), K = 3, f = 0.9 ≫ q²/((q−1)²K) ≈ 0.44.
+    out.push(Scenario {
+        name: "stable-gifts",
+        params: CodedParams::gift_example(3, 8, 1.0, 0.9, 0.0, 1.0, f64::INFINITY).unwrap(),
+        horizon: 250.0,
+    });
+
+    // No gifts, all knowledge from the fixed seed: exercises the
+    // dimension-only Bernoulli fast path of the seed-upload handler.
+    out.push(Scenario {
+        name: "seed-fed",
+        params: CodedParams::gift_example(3, 4, 0.8, 0.0, 0.6, 1.0, f64::INFINITY).unwrap(),
+        horizon: 250.0,
+    });
+
+    // Finite γ: decoders dwell as peer seeds, exercising the departure pool
+    // and non-zero decoder counts in the histograms.
+    out.push(Scenario {
+        name: "finite-gamma",
+        params: CodedParams::gift_example(3, 8, 1.0, 0.6, 0.4, 1.0, 2.0).unwrap(),
+        horizon: 220.0,
+    });
+
+    // Multi-dimensional gifts outside the closed-form d ∈ {0, 1} case:
+    // half the arrivals carry two independent random coded pieces.
+    out.push(Scenario {
+        name: "double-gifts",
+        params: {
+            let base = SwarmParams::builder(4)
+                .contact_rate(1.0)
+                .fresh_arrivals(1.0)
+                .seed_departure_rate(3.0)
+                .build()
+                .unwrap();
+            CodedParams {
+                base,
+                field: swarm::netcoding::GaloisField::new(4).unwrap(),
+                gift_dimensions: vec![(0, 0.5), (2, 0.5)],
+            }
+        },
+        horizon: 220.0,
+    });
+
+    out
+}
+
+#[test]
+fn coded_kernel_matches_legacy_simulator_distributionally() {
+    for (i, scenario) in scenarios().iter().enumerate() {
+        let seed_base = 0xC0DE_0000 + (i as u64) * 0x0101;
+        let legacy = run_legacy(scenario, seed_base);
+        let kernel = run_kernel(scenario, seed_base);
+        assert_compatible(
+            "final-population",
+            scenario.name,
+            &legacy.final_population,
+            &kernel.final_population,
+        );
+        assert_compatible(
+            "departures",
+            scenario.name,
+            &legacy.departures,
+            &kernel.departures,
+        );
+        assert_compatible(
+            "useful-transfers",
+            scenario.name,
+            &legacy.useful_transfers,
+            &kernel.useful_transfers,
+        );
+        assert_compatible(
+            "useless-contacts",
+            scenario.name,
+            &legacy.useless_contacts,
+            &kernel.useless_contacts,
+        );
+        assert_compatible(
+            "decoders",
+            scenario.name,
+            &legacy.decoders,
+            &kernel.decoders,
+        );
+        assert_compatible(
+            "mean-dimension",
+            scenario.name,
+            &legacy.mean_dimension,
+            &kernel.mean_dimension,
+        );
+        for (d, (lb, kb)) in legacy
+            .dimension_bins
+            .iter()
+            .zip(&kernel.dimension_bins)
+            .enumerate()
+        {
+            assert_compatible(&format!("dim-histogram[{d}]"), scenario.name, lb, kb);
+        }
+    }
+}
+
+#[test]
+fn coded_kernel_truncation_matches_event_loop_contract() {
+    // The shared driver's max_events valve applies to the coded kernel like
+    // any other: the run stops early and says so.
+    let params = CodedParams::gift_example(3, 8, 2.0, 0.5, 0.5, 1.0, 2.0).unwrap();
+    let sim = AgentSwarm::with_coded(
+        params,
+        AgentConfig {
+            kernel: KernelKind::Coded,
+            max_events: 300,
+            snapshot_interval: 1.0,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    let result = sim.run(&[], 10_000.0, &mut rng);
+    assert!(result.truncated);
+    assert_eq!(result.events, 300);
+    assert!(result.horizon < 10_000.0);
+}

@@ -33,6 +33,7 @@ use rayon::prelude::*;
 use rayon::ThreadPoolBuilder;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
+use swarm::coded::{theorem15_classify, CodedGifts};
 use swarm::sim::{AgentConfig, AgentSwarm, FlashCrowd, SimScratch};
 use swarm::{policy, stability, StabilityVerdict, SwarmError, SwarmParams};
 
@@ -55,6 +56,12 @@ pub struct AgentScenario {
     pub initial: Vec<(PieceSet, usize)>,
     /// Scheduled flash crowds.
     pub flash: Vec<FlashCrowd>,
+    /// Coded arrival mix of the Section VIII-B network-coded variant. When
+    /// present, the scenario runs on [`swarm::sim::KernelKind::Coded`]
+    /// (`config.kernel` must say so), `params` acts as the base parameter
+    /// set, and the theory verdict comes from Theorem 15 instead of
+    /// Theorem 1.
+    pub coding: Option<CodedGifts>,
 }
 
 impl AgentScenario {
@@ -70,6 +77,7 @@ impl AgentScenario {
             policy: "random-useful".to_owned(),
             initial: Vec::new(),
             flash: Vec::new(),
+            coding: None,
         }
     }
 
@@ -91,6 +99,16 @@ impl AgentScenario {
     /// Returns [`SwarmError::InvalidParameter`] for an unknown policy name or
     /// an invalid simulator configuration.
     pub fn build_sim(&self) -> Result<AgentSwarm, SwarmError> {
+        if let Some(gifts) = &self.coding {
+            if self.policy != "random-useful" {
+                return Err(SwarmError::InvalidParameter(format!(
+                    "piece policy `{}` does not apply to the coded kernel \
+                     (a coded upload is always a random linear combination)",
+                    self.policy
+                )));
+            }
+            return AgentSwarm::with_coded(gifts.with_base(self.params.clone()), self.config);
+        }
         let policy = policy::by_name(&self.policy).ok_or_else(|| {
             SwarmError::InvalidParameter(format!("unknown piece policy `{}`", self.policy))
         })?;
@@ -212,7 +230,15 @@ fn aggregate(
     replications: &[AgentReplication],
     config: &EngineConfig,
 ) -> AgentOutcome {
-    let theory = stability::classify(&scenario.params).verdict;
+    // A coded scenario's theory verdict is Theorem 15, not Theorem 1 (whose
+    // uncoded analysis would mis-classify gifted coded arrivals). Arrival
+    // mixes outside the closed-form d ∈ {0, 1} case have no quoted
+    // threshold; report them as borderline rather than guessing.
+    let theory = match &scenario.coding {
+        Some(gifts) => theorem15_classify(&gifts.with_base(scenario.params.clone()))
+            .unwrap_or(StabilityVerdict::Borderline),
+        None => stability::classify(&scenario.params).verdict,
+    };
     let mut votes = ClassVotes::default();
     let mut slope = Welford::new();
     let mut average = Welford::new();

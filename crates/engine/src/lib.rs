@@ -56,6 +56,7 @@
 
 pub mod agent;
 pub mod artifact;
+pub mod coded;
 pub mod config;
 pub mod grid;
 pub mod progress;
@@ -67,6 +68,7 @@ pub use agent::{
     run_agent_batch, run_agent_replication, run_agent_replication_with_scratch, AgentOutcome,
     AgentScenario,
 };
+pub use coded::{run_coded_grid, CodedGridSpec, CodedPhaseCell, CodedPhaseDiagram};
 pub use config::EngineConfig;
 pub use grid::{run_grid, Axis, GridSpec, PhaseCell, PhaseDiagram};
 pub use replicate::{

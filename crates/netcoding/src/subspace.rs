@@ -119,8 +119,14 @@ impl Subspace {
 
     /// Reduces `v` against the current basis; returns the residual row.
     fn reduce(&self, v: &CodingVector) -> Vec<u32> {
-        let f = self.field;
         let mut row = v.coeffs().to_vec();
+        self.reduce_in_place(&mut row);
+        row
+    }
+
+    /// Reduces a raw coefficient row against the current basis in place.
+    fn reduce_in_place(&self, row: &mut [u32]) {
+        let f = self.field;
         for b in &self.basis {
             let pivot = b
                 .iter()
@@ -134,7 +140,6 @@ impl Subspace {
                 }
             }
         }
-        row
     }
 
     /// Returns `true` if `v` lies in the subspace.
@@ -199,6 +204,75 @@ impl Subspace {
             .unwrap_or(self.basis.len());
         self.basis.insert(pos, row);
         Ok(true)
+    }
+
+    /// Reduces the raw coefficient row `row` against the basis and, if it is
+    /// independent, absorbs it into the subspace; returns `true` when the
+    /// dimension increased. The allocation-free counterpart of
+    /// [`Subspace::insert`] used by the coded simulation kernel's hot path:
+    /// `row` is reduced *in place*, and on success its buffer is moved into
+    /// the basis (leaving `row` empty), so a useless piece costs no
+    /// allocation at all.
+    ///
+    /// Coefficients must already be valid field elements (the samplers in
+    /// this crate only produce such rows); this is checked in debug builds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::Mismatch`] if `row` does not have the ambient
+    /// length.
+    pub fn absorb(&mut self, row: &mut Vec<u32>) -> Result<bool, CodingError> {
+        if row.len() != self.ambient_dim {
+            return Err(CodingError::Mismatch(format!(
+                "row length {} does not match ambient dimension {}",
+                row.len(),
+                self.ambient_dim
+            )));
+        }
+        debug_assert!(row.iter().all(|&c| self.field.contains(c)));
+        self.reduce_in_place(row);
+        let Some(pivot) = row.iter().position(|&c| c != 0) else {
+            return Ok(false);
+        };
+        let f = self.field;
+        let inv = f.inv(row[pivot])?;
+        for c in row.iter_mut() {
+            *c = f.mul(*c, inv);
+        }
+        for b in &mut self.basis {
+            let coeff = b[pivot];
+            if coeff != 0 {
+                for (bc, &rc) in b.iter_mut().zip(row.iter()) {
+                    *bc = f.sub(*bc, f.mul(coeff, rc));
+                }
+            }
+        }
+        let pos = self
+            .basis
+            .iter()
+            .position(|b| b.iter().position(|&c| c != 0).expect("non-zero rows") > pivot)
+            .unwrap_or(self.basis.len());
+        self.basis.insert(pos, std::mem::take(row));
+        Ok(true)
+    }
+
+    /// Writes a uniformly random vector of the subspace (a random linear
+    /// combination of the basis with uniform coefficients) into `out`
+    /// without allocating — the coded piece an uploading peer sends, in the
+    /// form [`Subspace::absorb`] consumes. Produces the zero row for the
+    /// trivial subspace.
+    pub fn random_combination_into<R: rand::Rng + ?Sized>(&self, rng: &mut R, out: &mut Vec<u32>) {
+        out.clear();
+        out.resize(self.ambient_dim, 0);
+        let f = self.field;
+        for b in &self.basis {
+            let coeff = f.random_element(rng);
+            if coeff != 0 {
+                for (o, &bc) in out.iter_mut().zip(b) {
+                    *o = f.add(*o, f.mul(coeff, bc));
+                }
+            }
+        }
     }
 
     /// Returns the subspace sum `self + other` (the span of the union).
@@ -468,5 +542,51 @@ mod tests {
         let f = gf(4);
         let s = Subspace::full(f, 2);
         assert_eq!(s.to_string(), "<dim 2 subspace of GF(4)^2>");
+    }
+
+    #[test]
+    fn absorb_agrees_with_insert() {
+        let f = gf(8);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut via_insert = Subspace::empty(f, 5);
+        let mut via_absorb = Subspace::empty(f, 5);
+        for _ in 0..20 {
+            let v = CodingVector::random(f, 5, &mut rng);
+            let grew = via_insert.insert(&v).unwrap();
+            let mut row = v.coeffs().to_vec();
+            assert_eq!(via_absorb.absorb(&mut row).unwrap(), grew);
+            if grew {
+                assert!(row.is_empty(), "the absorbed buffer moves into the basis");
+            }
+            assert_eq!(via_insert, via_absorb);
+        }
+        assert!(via_absorb.is_full());
+        let mut short = vec![0u32; 3];
+        assert!(via_absorb.absorb(&mut short).is_err());
+    }
+
+    #[test]
+    fn random_combination_into_matches_random_vector_support() {
+        let f = gf(4);
+        let mut rng = StdRng::seed_from_u64(8);
+        let s = Subspace::span(
+            f,
+            4,
+            &[CodingVector::unit(f, 4, 0), CodingVector::unit(f, 4, 2)],
+        )
+        .unwrap();
+        let mut row = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..400 {
+            s.random_combination_into(&mut rng, &mut row);
+            let v = CodingVector::from_coeffs(f, row.clone()).unwrap();
+            assert!(s.contains(&v));
+            seen.insert(row.clone());
+        }
+        // |S| = q^dim = 16 members, all reachable.
+        assert_eq!(seen.len(), 16);
+        // Trivial subspace → the zero row.
+        Subspace::empty(f, 4).random_combination_into(&mut rng, &mut row);
+        assert!(row.iter().all(|&c| c == 0));
     }
 }

@@ -104,6 +104,125 @@ proptest! {
     }
 
     #[test]
+    fn rref_invariants_survive_random_insert_churn(field in arb_field(), seed in any::<u64>(), inserts in 1usize..24) {
+        // The coded kernel's peer state is a Subspace updated by thousands
+        // of incremental inserts; this pins the representation invariants
+        // that updates must preserve: the dimension never decreases and
+        // never exceeds K, and the basis stays in reduced row-echelon form
+        // (strictly increasing pivot columns, unit pivots, pivot columns
+        // cleared in every other row).
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ambient = 5;
+        let mut s = Subspace::empty(field, ambient);
+        let mut prev_dim = 0;
+        for step in 0..inserts {
+            // Alternate independent-looking random vectors with vectors
+            // already in the span (via random_vector), mimicking churn.
+            let grew = if step % 3 == 2 && !s.is_trivial() {
+                let v = s.random_vector(&mut rng);
+                let grew = s.insert(&v).unwrap();
+                prop_assert!(!grew, "span members never grow the span");
+                grew
+            } else {
+                let mut row: Vec<u32> = (0..ambient).map(|_| field.random_element(&mut rng)).collect();
+                let before = s.dimension();
+                let grew = s.absorb(&mut row).unwrap();
+                prop_assert_eq!(s.dimension(), before + usize::from(grew));
+                grew
+            };
+            let _ = grew;
+            // Dimension is monotone and bounded.
+            prop_assert!(s.dimension() >= prev_dim);
+            prop_assert!(s.dimension() <= ambient);
+            prev_dim = s.dimension();
+            // RREF structure of the basis.
+            let basis = s.basis();
+            let mut last_pivot = None;
+            for b in &basis {
+                let pivot = b.leading_index().expect("basis rows are non-zero");
+                if let Some(prev) = last_pivot {
+                    prop_assert!(pivot > prev, "pivot columns strictly increase");
+                }
+                last_pivot = Some(pivot);
+                prop_assert_eq!(b.coeffs()[pivot], 1, "pivots are normalised");
+                for other in &basis {
+                    if other != b {
+                        prop_assert_eq!(other.coeffs()[pivot], 0, "pivot columns are cleared");
+                    }
+                }
+            }
+            // Membership is closed under addition and scaling.
+            if !s.is_trivial() {
+                let u = s.random_vector(&mut rng);
+                let v = s.random_vector(&mut rng);
+                prop_assert!(s.contains(&u.add(&v).unwrap()));
+                prop_assert!(s.contains(&u.scale(field.random_element(&mut rng)).unwrap()));
+            }
+        }
+    }
+
+    #[test]
+    fn subspace_agrees_with_brute_force_enumeration(qi in 0usize..2, seed in any::<u64>(), generators in 1usize..4) {
+        // At tiny (q, K) the whole vector space is enumerable: the RREF
+        // subspace must agree vector-for-vector with the brute-force span,
+        // sums must match brute-force unions, and sampling must be supported
+        // exactly on the span.
+        let field = GaloisField::new([2u64, 3][qi]).unwrap();
+        let q = field.order();
+        let k = 3usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gens: Vec<CodingVector> = (0..generators)
+            .map(|_| CodingVector::random(field, k, &mut rng))
+            .collect();
+        let s = Subspace::span(field, k, &gens).unwrap();
+
+        // Brute-force span: every linear combination of the generators.
+        let mut combos = std::collections::HashSet::new();
+        let m = gens.len();
+        for mut code in 0..(q as u64).pow(m as u32) {
+            let mut acc = CodingVector::zero(field, k);
+            for g in &gens {
+                let coeff = (code % u64::from(q)) as u32;
+                code /= u64::from(q);
+                acc = acc.add_scaled(g, coeff).unwrap();
+            }
+            combos.insert(acc.coeffs().to_vec());
+        }
+        prop_assert_eq!(combos.len() as u64, (u64::from(q)).pow(s.dimension() as u32),
+            "|span| = q^dim");
+
+        // Membership agrees with enumeration over the whole ambient space.
+        for mut code in 0..(q as u64).pow(k as u32) {
+            let mut coeffs = Vec::with_capacity(k);
+            for _ in 0..k {
+                coeffs.push((code % u64::from(q)) as u32);
+                code /= u64::from(q);
+            }
+            let v = CodingVector::from_coeffs(field, coeffs.clone()).unwrap();
+            prop_assert_eq!(s.contains(&v), combos.contains(&coeffs));
+        }
+
+        // The sum with a second subspace matches the brute-force span of the
+        // pooled generators.
+        let extra = CodingVector::random(field, k, &mut rng);
+        let t = Subspace::span(field, k, std::slice::from_ref(&extra)).unwrap();
+        let sum = s.sum(&t).unwrap();
+        let mut pooled = gens.clone();
+        pooled.push(extra);
+        let pooled_span = Subspace::span(field, k, &pooled).unwrap();
+        prop_assert_eq!(&sum, &pooled_span);
+
+        // Sampling is supported exactly on the span (coupon-collect it).
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..600 {
+            let v = s.random_vector(&mut rng);
+            prop_assert!(combos.contains(v.coeffs()), "samples stay in the span");
+            seen.insert(v.coeffs().to_vec());
+        }
+        prop_assert_eq!(seen.len(), combos.len(), "sampling reaches every member");
+    }
+
+    #[test]
     fn useful_probability_in_unit_interval(field in arb_field(), seed in any::<u64>()) {
         let mut rng = StdRng::seed_from_u64(seed);
         let ambient = 4;

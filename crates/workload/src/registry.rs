@@ -40,6 +40,8 @@ use crate::json::{self, Json};
 use crate::report::fmt_num;
 use engine::{run_agent_batch, AgentOutcome, AgentScenario, EngineConfig};
 use pieceset::{PieceId, PieceSet};
+use swarm::coded::CodedParams;
+use swarm::netcoding::GaloisField;
 use swarm::sim::{AgentConfig, FlashCrowd, KernelKind};
 use swarm::SwarmParams;
 
@@ -144,6 +146,24 @@ pub struct InitialGroupSpec {
     pub count: usize,
 }
 
+/// The `"coding"` block of a scenario file: runs the scenario as the
+/// Section VIII-B network-coded system (Theorem 15) on the coded kernel.
+///
+/// The scenario's `arrivals` must all be empty-handed classes — their
+/// combined rate is the total arrival rate `λ`, of which a fraction
+/// `gift_fraction` arrive carrying one uniformly random coded piece over
+/// `GF(q)` and the rest arrive blank (the paper's headline gifted-arrival
+/// model). Piece selectors elsewhere (`initial`, `flash_crowds`) map to the
+/// spans of the corresponding unit coding vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodingSpec {
+    /// The field order `q` (`"q"` in files): a prime or a power of two up to
+    /// `2^16`.
+    pub field_order: u64,
+    /// Fraction `f ∈ [0, 1]` of arrivals carrying one random coded piece.
+    pub gift_fraction: f64,
+}
+
 /// One scheduled flash crowd.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FlashSpec {
@@ -194,11 +214,16 @@ pub struct ScenarioSpec {
     pub initial: Vec<InitialGroupSpec>,
     /// Scheduled flash crowds.
     pub flash_crowds: Vec<FlashSpec>,
-    /// The simulation kernel (`"event-driven"`, `"legacy-scan"`, or
-    /// `"turbo"` in files; the scan kernel exists for differential
+    /// The simulation kernel (`"event-driven"`, `"legacy-scan"`, `"turbo"`,
+    /// or `"coded"` in files; the scan kernel exists for differential
     /// cross-checks, the turbo kernel trades byte-reproducible trajectories
-    /// across kernels for speed — it remains deterministic per seed).
+    /// across kernels for speed — it remains deterministic per seed — and
+    /// the coded kernel runs the network-coded variant, which additionally
+    /// requires a [`ScenarioSpec::coding`] block).
     pub kernel: KernelKind,
+    /// Network-coding block; present if and only if the kernel is
+    /// [`KernelKind::Coded`].
+    pub coding: Option<CodingSpec>,
 }
 
 impl ScenarioSpec {
@@ -224,6 +249,7 @@ impl ScenarioSpec {
             initial: Vec::new(),
             flash_crowds: Vec::new(),
             kernel: KernelKind::EventDriven,
+            coding: None,
         }
     }
 
@@ -252,22 +278,80 @@ impl ScenarioSpec {
             ));
         }
         let watch = PieceId::new(self.watch_piece);
-        let mut builder = SwarmParams::builder(self.num_pieces)
-            .seed_rate(self.seed_rate)
-            .contact_rate(self.contact_rate);
-        if self.seed_departure_rate.is_finite() {
-            builder = builder.seed_departure_rate(self.seed_departure_rate);
+        match (&self.coding, self.kernel) {
+            (Some(_), KernelKind::Coded) | (None, _) => {}
+            (Some(_), _) => {
+                return Err(
+                    "scenario has a `coding` block: it runs only on the coded kernel \
+                     (kernel overrides cannot switch a coded scenario to an uncoded one)"
+                        .into(),
+                )
+            }
         }
-        for (i, arrival) in self.arrivals.iter().enumerate() {
-            let pieces = arrival
-                .pieces
-                .resolve(self.num_pieces, watch)
-                .map_err(|e| format!("arrivals[{i}]: {e}"))?;
-            builder = builder.arrival(pieces, arrival.rate);
-        }
-        let params = builder
-            .build()
-            .map_err(|e| format!("invalid parameters: {e}"))?;
+        let (params, coding) = if let Some(coding) = &self.coding {
+            if !(0.0..=1.0).contains(&coding.gift_fraction) {
+                return Err(format!(
+                    "coding: gift_fraction {} must lie in [0, 1]",
+                    coding.gift_fraction
+                ));
+            }
+            if self.policy != "random-useful" {
+                return Err(format!(
+                    "coding: piece policy `{}` does not apply to the coded \
+                     kernel (uploads are random linear combinations)",
+                    self.policy
+                ));
+            }
+            if self.retry_speedup != 1.0 {
+                return Err(
+                    "coding: the coded kernel does not model the retry speed-up \
+                     (retry_speedup must be 1)"
+                        .into(),
+                );
+            }
+            let mut lambda_total = 0.0;
+            for (i, arrival) in self.arrivals.iter().enumerate() {
+                if arrival.pieces != PieceSelector::Empty {
+                    return Err(format!(
+                        "arrivals[{i}]: coded scenarios take empty-handed arrival \
+                         classes only; gifted arrivals come from coding.gift_fraction"
+                    ));
+                }
+                lambda_total += arrival.rate;
+            }
+            let coded = CodedParams::gift_example(
+                self.num_pieces,
+                coding.field_order,
+                lambda_total,
+                coding.gift_fraction,
+                self.seed_rate,
+                self.contact_rate,
+                self.seed_departure_rate,
+            )
+            .map_err(|e| format!("coding: {e}"))?;
+            (coded.base.clone(), Some(coded.gifts()))
+        } else {
+            if self.kernel == KernelKind::Coded {
+                return Err("the coded kernel requires a `coding` block".into());
+            }
+            let mut builder = SwarmParams::builder(self.num_pieces)
+                .seed_rate(self.seed_rate)
+                .contact_rate(self.contact_rate);
+            if self.seed_departure_rate.is_finite() {
+                builder = builder.seed_departure_rate(self.seed_departure_rate);
+            }
+            for (i, arrival) in self.arrivals.iter().enumerate() {
+                let pieces = arrival
+                    .pieces
+                    .resolve(self.num_pieces, watch)
+                    .map_err(|e| format!("arrivals[{i}]: {e}"))?;
+                builder = builder.arrival(pieces, arrival.rate);
+            }
+            let params = builder
+                .build()
+                .map_err(|e| format!("invalid parameters: {e}"))?;
+            (params, None)
+        };
 
         let mut initial = Vec::with_capacity(self.initial.len());
         for (i, group) in self.initial.iter().enumerate() {
@@ -303,6 +387,7 @@ impl ScenarioSpec {
             policy: self.policy.clone(),
             initial,
             flash,
+            coding,
         })
     }
 
@@ -348,7 +433,7 @@ impl ScenarioSpec {
                 })
                 .collect(),
         );
-        Json::Obj(vec![
+        let mut members = vec![
             ("name".into(), Json::Str(self.name.clone())),
             ("description".into(), Json::Str(self.description.clone())),
             ("num_pieces".into(), Json::Num(self.num_pieces as f64)),
@@ -374,12 +459,22 @@ impl ScenarioSpec {
                         KernelKind::EventDriven => "event-driven",
                         KernelKind::LegacyScan => "legacy-scan",
                         KernelKind::Turbo => "turbo",
+                        KernelKind::Coded => "coded",
                     }
                     .into(),
                 ),
             ),
-        ])
-        .render()
+        ];
+        if let Some(coding) = &self.coding {
+            members.push((
+                "coding".into(),
+                Json::Obj(vec![
+                    ("q".into(), Json::Num(coding.field_order as f64)),
+                    ("gift_fraction".into(), Json::Num(coding.gift_fraction)),
+                ]),
+            ));
+        }
+        Json::Obj(members).render()
     }
 
     /// Parses a JSON scenario file. Unknown fields are rejected (they are
@@ -390,7 +485,7 @@ impl ScenarioSpec {
     ///
     /// Returns a message naming the offending field or byte offset.
     pub fn from_json(text: &str) -> Result<Self, String> {
-        const KNOWN: [&str; 16] = [
+        const KNOWN: [&str; 17] = [
             "name",
             "description",
             "num_pieces",
@@ -407,6 +502,7 @@ impl ScenarioSpec {
             "initial",
             "flash_crowds",
             "kernel",
+            "coding",
         ];
         let doc = json::parse(text)?;
         for key in doc.keys() {
@@ -451,16 +547,48 @@ impl ScenarioSpec {
         if let Some(n) = get_count(&doc, "max_events")? {
             spec.max_events = n as u64;
         }
+        let kernel_named = doc.get("kernel").is_some();
         match doc.get("kernel") {
             None => {}
             Some(Json::Str(s)) if s == "event-driven" => spec.kernel = KernelKind::EventDriven,
             Some(Json::Str(s)) if s == "legacy-scan" => spec.kernel = KernelKind::LegacyScan,
             Some(Json::Str(s)) if s == "turbo" => spec.kernel = KernelKind::Turbo,
+            Some(Json::Str(s)) if s == "coded" => spec.kernel = KernelKind::Coded,
             Some(_) => {
-                return Err(
-                    "`kernel` must be \"event-driven\", \"legacy-scan\", or \"turbo\"".into(),
-                )
+                return Err("`kernel` must be \"event-driven\", \"legacy-scan\", \
+                     \"turbo\", or \"coded\""
+                    .into())
             }
+        }
+        match doc.get("coding") {
+            None => {
+                if spec.kernel == KernelKind::Coded {
+                    return Err("`kernel: \"coded\"` requires a `coding` block".into());
+                }
+            }
+            Some(block @ Json::Obj(_)) => {
+                check_keys(block, &["q", "gift_fraction"], "coding")?;
+                let q = get_count(block, "q")?.ok_or("coding: missing required field `q`")?;
+                GaloisField::new(q as u64).map_err(|e| format!("coding: {e}"))?;
+                let f = get_rate(block, "gift_fraction")?
+                    .ok_or("coding: missing required field `gift_fraction`")?;
+                if f > 1.0 {
+                    return Err(format!("coding: `gift_fraction` {f} must lie in [0, 1]"));
+                }
+                spec.coding = Some(CodingSpec {
+                    field_order: q as u64,
+                    gift_fraction: f,
+                });
+                if !kernel_named {
+                    // A coding block implies the coded kernel.
+                    spec.kernel = KernelKind::Coded;
+                } else if spec.kernel != KernelKind::Coded {
+                    return Err("a `coding` block requires `kernel: \"coded\"` \
+                         (or omit the kernel field)"
+                        .into());
+                }
+            }
+            Some(_) => return Err("`coding` must be an object".into()),
         }
         if let Some(value) = doc.get("arrivals") {
             let items = as_array(value, "arrivals")?;
@@ -680,6 +808,38 @@ impl Registry {
             .collect();
         specs.push(s);
 
+        let mut s = ScenarioSpec::new("coded-gift-sub", 8);
+        s.description =
+            "Theorem 15 below threshold: GF(2), K = 8, f = 0.1 < q/((q−1)K) = 0.25 — transient"
+                .into();
+        s.kernel = KernelKind::Coded;
+        s.coding = Some(CodingSpec {
+            field_order: 2,
+            gift_fraction: 0.1,
+        });
+        s.arrivals = vec![ArrivalSpec {
+            pieces: PieceSelector::Empty,
+            rate: 1.0,
+        }];
+        s.horizon = 800.0;
+        specs.push(s);
+
+        let mut s = ScenarioSpec::new("coded-gift-super", 8);
+        s.description =
+            "Theorem 15 above threshold: GF(2), K = 8, f = 0.8 > q²/((q−1)²K) = 0.5 — stable"
+                .into();
+        s.kernel = KernelKind::Coded;
+        s.coding = Some(CodingSpec {
+            field_order: 2,
+            gift_fraction: 0.8,
+        });
+        s.arrivals = vec![ArrivalSpec {
+            pieces: PieceSelector::Empty,
+            rate: 1.0,
+        }];
+        s.horizon = 800.0;
+        specs.push(s);
+
         let mut s = ScenarioSpec::new("big-swarm-k32", 32);
         s.description =
             "The benchmark regime: K = 32, almost-complete arrivals sustaining a multi-thousand-peer swarm".into();
@@ -807,7 +967,12 @@ impl ScenarioRunReport {
             fmt_num(self.horizon),
             self.replications
         );
-        let _ = writeln!(out, "theory (Theorem 1): {:?}", o.theory);
+        let theorem = if self.spec.coding.is_some() {
+            "Theorem 15"
+        } else {
+            "Theorem 1"
+        };
+        let _ = writeln!(out, "theory ({theorem}): {:?}", o.theory);
         let _ = writeln!(
             out,
             "simulated majority: {:?} (stable {}, growing {}, indeterminate {}) — {}",

@@ -1,0 +1,157 @@
+//! Error-path coverage for the scenario file format: malformed documents
+//! must come back as structured `Err(String)` values naming the offending
+//! field — never as panics — from both the parser (`ScenarioSpec::from_json`)
+//! and the compiler (`ScenarioSpec::compile`).
+
+use workload::registry::{Registry, ScenarioSpec};
+
+/// Parses and asserts the error message mentions `needle`.
+fn parse_err(doc: &str, needle: &str) {
+    match ScenarioSpec::from_json(doc) {
+        Ok(spec) => panic!("{doc} should not parse, got {spec:?}"),
+        Err(message) => assert!(
+            message.contains(needle),
+            "error for {doc} should mention `{needle}`, got: {message}"
+        ),
+    }
+}
+
+#[test]
+fn unknown_kernel_names_are_structured_errors() {
+    parse_err(
+        r#"{"name":"x","num_pieces":2,"kernel":"warp",
+            "arrivals":[{"pieces":"empty","rate":1}]}"#,
+        "kernel",
+    );
+    parse_err(
+        r#"{"name":"x","num_pieces":2,"kernel":7,
+            "arrivals":[{"pieces":"empty","rate":1}]}"#,
+        "kernel",
+    );
+    // `coded` is a valid kernel name, but only with a coding block.
+    parse_err(
+        r#"{"name":"x","num_pieces":2,"kernel":"coded",
+            "arrivals":[{"pieces":"empty","rate":1}]}"#,
+        "coding",
+    );
+}
+
+#[test]
+fn malformed_coding_blocks_are_structured_errors() {
+    // Not an object.
+    parse_err(
+        r#"{"name":"x","num_pieces":2,"coding":"gf2",
+            "arrivals":[{"pieces":"empty","rate":1}]}"#,
+        "coding",
+    );
+    // Missing q.
+    parse_err(
+        r#"{"name":"x","num_pieces":2,"coding":{"gift_fraction":0.5},
+            "arrivals":[{"pieces":"empty","rate":1}]}"#,
+        "`q`",
+    );
+    // Missing gift_fraction.
+    parse_err(
+        r#"{"name":"x","num_pieces":2,"coding":{"q":2},
+            "arrivals":[{"pieces":"empty","rate":1}]}"#,
+        "gift_fraction",
+    );
+    // Unknown member inside the block (almost always a typo).
+    parse_err(
+        r#"{"name":"x","num_pieces":2,
+            "coding":{"q":2,"gift_fraction":0.5,"giftfrac":0.5},
+            "arrivals":[{"pieces":"empty","rate":1}]}"#,
+        "giftfrac",
+    );
+    // An unsupported field order (GF(6) does not exist).
+    parse_err(
+        r#"{"name":"x","num_pieces":2,"coding":{"q":6,"gift_fraction":0.5},
+            "arrivals":[{"pieces":"empty","rate":1}]}"#,
+        "field order",
+    );
+    // A fractional field order.
+    parse_err(
+        r#"{"name":"x","num_pieces":2,"coding":{"q":2.5,"gift_fraction":0.5},
+            "arrivals":[{"pieces":"empty","rate":1}]}"#,
+        "`q`",
+    );
+    // A coding block cannot ride on an uncoded kernel.
+    parse_err(
+        r#"{"name":"x","num_pieces":2,"kernel":"turbo",
+            "coding":{"q":2,"gift_fraction":0.5},
+            "arrivals":[{"pieces":"empty","rate":1}]}"#,
+        "coded",
+    );
+}
+
+#[test]
+fn out_of_range_gift_fractions_are_structured_errors() {
+    parse_err(
+        r#"{"name":"x","num_pieces":2,"coding":{"q":2,"gift_fraction":1.5},
+            "arrivals":[{"pieces":"empty","rate":1}]}"#,
+        "gift_fraction",
+    );
+    parse_err(
+        r#"{"name":"x","num_pieces":2,"coding":{"q":2,"gift_fraction":-0.25},
+            "arrivals":[{"pieces":"empty","rate":1}]}"#,
+        "gift_fraction",
+    );
+}
+
+#[test]
+fn coding_block_implies_the_coded_kernel() {
+    let spec = ScenarioSpec::from_json(
+        r#"{"name":"x","num_pieces":4,"coding":{"q":8,"gift_fraction":0.5},
+            "arrivals":[{"pieces":"empty","rate":1}]}"#,
+    )
+    .expect("kernel defaults to coded when a coding block is present");
+    assert_eq!(spec.kernel, swarm::sim::KernelKind::Coded);
+    let scenario = spec.compile(0).expect("compiles");
+    assert!(scenario.coding.is_some());
+    scenario.build_sim().expect("valid coded simulator");
+    // And the spec round-trips through its own file format.
+    assert_eq!(ScenarioSpec::from_json(&spec.to_json()).unwrap(), spec);
+}
+
+#[test]
+fn coded_compile_rejects_incompatible_features() {
+    let base = r#"{"name":"x","num_pieces":4,"coding":{"q":8,"gift_fraction":0.5},
+        "arrivals":[{"pieces":"empty","rate":1}]%EXTRA%}"#;
+    let compile_err = |extra: &str, needle: &str| {
+        let doc = base.replace("%EXTRA%", extra);
+        let spec = ScenarioSpec::from_json(&doc).expect("parses");
+        match spec.compile(0) {
+            Ok(_) => panic!("{doc} should not compile"),
+            Err(message) => assert!(
+                message.contains(needle),
+                "error should mention `{needle}`, got: {message}"
+            ),
+        }
+    };
+    // Gifted arrivals are expressed by gift_fraction, not piece selectors.
+    let spec = ScenarioSpec::from_json(
+        r#"{"name":"x","num_pieces":4,"coding":{"q":8,"gift_fraction":0.5},
+            "arrivals":[{"pieces":[0],"rate":1}]}"#,
+    )
+    .expect("parses");
+    let message = spec.compile(0).expect_err("non-empty arrivals rejected");
+    assert!(message.contains("empty-handed"), "{message}");
+    // Piece policies and retry speed-ups do not apply to coded uploads.
+    compile_err(r#","policy":"rarest-first""#, "policy");
+    compile_err(r#","retry_speedup":4.0"#, "retry");
+}
+
+#[test]
+fn builtin_coded_scenarios_are_wellformed() {
+    let registry = Registry::builtin();
+    for name in ["coded-gift-sub", "coded-gift-super"] {
+        let spec = registry
+            .get(name)
+            .unwrap_or_else(|| panic!("{name} exists"));
+        assert_eq!(spec.kernel, swarm::sim::KernelKind::Coded);
+        let json = spec.to_json();
+        assert!(json.contains("\"coding\""), "{json}");
+        let scenario = spec.compile(1).expect("compiles");
+        scenario.build_sim().expect("valid simulator");
+    }
+}

@@ -1,28 +1,35 @@
 //! Emits the canonical machine-readable kernel benchmark report
-//! (`BENCH_PR3.json`) so the repository tracks a perf trajectory instead of
+//! (`BENCH_PR4.json`) so the repository tracks a perf trajectory instead of
 //! claiming speedups in prose.
 //!
 //! ```text
-//! cargo run --release --bin bench_report                    # write BENCH_PR3.json
+//! cargo run --release --bin bench_report                    # write BENCH_PR4.json
 //! cargo run --release --bin bench_report -- --out my.json   # elsewhere
 //! cargo run --release --bin bench_report -- --check         # CI mode
 //! ```
 //!
-//! The workload is the paper's benchmark regime: a `K = 32` swarm with
-//! arrivals missing exactly one piece (sustained multi-thousand-peer
+//! The uncoded workload is the paper's benchmark regime: a `K = 32` swarm
+//! with arrivals missing exactly one piece (sustained multi-thousand-peer
 //! population, frequent completions → frequent seed departures) under the
 //! Section VIII-C retry speed-up `η = 10` — the regime where the parity
-//! kernels' rejection loops bite. Every kernel runs the identical scenario
-//! at 10k and 100k initial peers; the turbo kernel additionally runs a
-//! 1M-peer horizon to demonstrate that scale completes.
+//! kernels' rejection loops bite. Every uncoded kernel runs the identical
+//! scenario at 10k and 100k initial peers; the turbo kernel additionally
+//! runs a 1M-peer horizon to demonstrate that scale completes.
+//!
+//! The coded workload is the Theorem 15 analogue at the same sizes: GF(2),
+//! `K = 32`, half the arrivals gifted with one random coded piece
+//! (`f = 0.5 ≫ q²/((q−1)²K)`, firmly stable), hit-and-run peer seeds, and an
+//! initial population one dimension short of decoding — so every contact
+//! exercises the RREF reduce/absorb hot path.
 //!
 //! `--check` is the CI mode: it runs a reduced size twice per kernel and
 //! asserts *event-count determinism* (same seed → identical event and
 //! transfer counts; scan ≡ event by draw parity) plus the schema of the
-//! committed `BENCH_PR3.json` — never wall time, which CI hardware cannot
+//! committed `BENCH_PR4.json` — never wall time, which CI hardware cannot
 //! promise.
 
 use p2p_stability::pieceset::{PieceId, PieceSet};
+use p2p_stability::swarm::coded::CodedParams;
 use p2p_stability::swarm::policy::RandomUseful;
 use p2p_stability::swarm::sim::{AgentConfig, AgentSwarm, KernelKind, SimScratch};
 use p2p_stability::swarm::SwarmParams;
@@ -34,11 +41,11 @@ use std::time::Instant;
 
 const K: usize = 32;
 const SEED: u64 = 0xBE7C;
-const SCHEMA: &str = "p2p-bench/v1";
+const SCHEMA: &str = "p2p-bench/v2";
 
 /// Required top-level keys of the report — `--check` verifies the committed
 /// file still carries each of them, so schema drift fails CI.
-const SCHEMA_KEYS: [&str; 8] = [
+const SCHEMA_KEYS: [&str; 9] = [
     "\"schema\"",
     "\"pr\"",
     "\"scenario\"",
@@ -47,10 +54,11 @@ const SCHEMA_KEYS: [&str; 8] = [
     "\"events_per_sec\"",
     "\"turbo_speedup_vs_event\"",
     "\"million_peer\"",
+    "\"coded\"",
 ];
 
-/// The benchmark parameter point: arrivals missing exactly one piece keep
-/// the swarm at operating size with constant completions; hit-and-run
+/// The uncoded benchmark parameter point: arrivals missing exactly one piece
+/// keep the swarm at operating size with constant completions; hit-and-run
 /// seeds (`γ = 200`, a completing peer departs almost immediately — the
 /// selfish-churn regime the missing-piece analysis is about) keep the seed
 /// population rare, so departures constantly exercise each kernel's
@@ -69,7 +77,8 @@ fn bench_params(n: usize) -> SwarmParams {
 }
 
 /// `n` initial peers, each missing one piece (round-robin), so the swarm
-/// starts at operating size.
+/// starts at operating size. Under the coded kernel the same collections map
+/// to dimension-31 subspaces: one dimension short of decoding.
 fn initial_population(n: usize) -> Vec<PieceSet> {
     let full = PieceSet::full(K);
     (0..n).map(|i| full.without(PieceId::new(i % K))).collect()
@@ -89,6 +98,25 @@ fn make_sim(kernel: KernelKind, n: usize) -> AgentSwarm {
     .expect("valid configuration")
 }
 
+/// The coded analogue of [`bench_params`]: same `K`, arrival volume, contact
+/// rate, and hit-and-run seed departures, with the one-piece-short arrival
+/// mix replaced by the Theorem 15 gift model over GF(2) at `f = 0.5` (the
+/// retry speed-up does not apply to the coded system).
+fn make_coded_sim(n: usize) -> AgentSwarm {
+    let lambda_total = n as f64 / 10.0;
+    let params = CodedParams::gift_example(K, 2, lambda_total, 0.5, 1.0, 0.1, 200.0)
+        .expect("valid coded parameters");
+    AgentSwarm::with_coded(
+        params,
+        AgentConfig {
+            kernel: KernelKind::Coded,
+            snapshot_interval: 0.25,
+            ..Default::default()
+        },
+    )
+    .expect("valid configuration")
+}
+
 struct Measurement {
     kernel: &'static str,
     events: u64,
@@ -97,19 +125,17 @@ struct Measurement {
     events_per_sec: f64,
 }
 
-/// Runs `kernel` on the `n`-peer scenario to `horizon`, `repeats` times on a
-/// warm scratch, and reports the best wall time (the least-noisy estimator
-/// of the kernel's cost). Event counts are identical across repeats by
-/// construction — same seed, same kernel — and asserted so.
+/// Runs `sim` on `initial` peers to `horizon`, `repeats` times on a warm
+/// scratch, and reports the best wall time (the least-noisy estimator of the
+/// kernel's cost). Event counts are identical across repeats by construction
+/// — same seed, same kernel — and asserted so.
 fn measure(
-    kernel: KernelKind,
+    sim: &AgentSwarm,
     name: &'static str,
-    n: usize,
+    initial: &[PieceSet],
     horizon: f64,
     repeats: u32,
 ) -> Measurement {
-    let sim = make_sim(kernel, n);
-    let initial = initial_population(n);
     let mut scratch = SimScratch::new();
     let mut best = f64::INFINITY;
     let mut events = 0u64;
@@ -118,7 +144,7 @@ fn measure(
         let mut rng = StdRng::seed_from_u64(SEED);
         let start = Instant::now();
         let result = sim
-            .run_with_scratch(&initial, &[], horizon, &mut rng, &mut scratch)
+            .run_with_scratch(initial, &[], horizon, &mut rng, &mut scratch)
             .expect("valid run");
         let wall = start.elapsed().as_secs_f64();
         assert!(!result.truncated, "budget must cover the horizon");
@@ -160,6 +186,7 @@ fn json_num(x: f64) -> String {
 
 fn render_report(
     sizes: &[(usize, f64, Vec<Measurement>)],
+    coded: &[(usize, f64, Measurement)],
     million: &Measurement,
     million_peers: usize,
     million_horizon: f64,
@@ -167,7 +194,7 @@ fn render_report(
     let mut out = String::new();
     let _ = writeln!(out, "{{");
     let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
-    let _ = writeln!(out, "  \"pr\": 3,");
+    let _ = writeln!(out, "  \"pr\": 4,");
     let _ = writeln!(out, "  \"scenario\": \"big-swarm-k32-retry\",");
     let _ = writeln!(
         out,
@@ -216,6 +243,27 @@ fn render_report(
     let _ = writeln!(out, "  ],");
     let _ = writeln!(
         out,
+        "  \"coded\": {{\"scenario\": \"theorem15-gift-gf2-k32\", \
+         \"params\": {{\"q\": 2, \"gift_fraction\": 0.5, \"contact_rate\": 0.1, \
+         \"seed_rate\": 1.0, \"seed_departure_rate\": 200.0}}, \"sizes\": ["
+    );
+    for (s, (peers, horizon, m)) in coded.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"peers\": {peers}, \"horizon\": {}, \"kernel\": \"coded\", \
+             \"events\": {}, \"transfers\": {}, \"wall_seconds\": {}, \
+             \"events_per_sec\": {}}}{}",
+            json_num(*horizon),
+            m.events,
+            m.transfers,
+            json_num(m.wall_seconds),
+            json_num(m.events_per_sec),
+            if s + 1 < coded.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(out, "  ]}},");
+    let _ = writeln!(
+        out,
         "  \"million_peer\": {{\"peers\": {million_peers}, \"kernel\": \"turbo\", \
          \"horizon\": {}, \"events\": {}, \"wall_seconds\": {}, \
          \"events_per_sec\": {}, \"completed\": true}}",
@@ -233,11 +281,12 @@ fn check() -> ExitCode {
     let n = 2_000;
     let horizon = 4.0;
     println!("bench_report --check: {n} peers, horizon {horizon}");
+    let initial = initial_population(n);
     let mut per_kernel = Vec::new();
     for (kernel, name) in KERNELS {
         // `measure` itself asserts event/transfer determinism across its
         // repeats (same seed, twice).
-        let m = measure(kernel, name, n, horizon, 2);
+        let m = measure(&make_sim(kernel, n), name, &initial, horizon, 2);
         assert!(m.events > 1_000, "{name}: implausibly few events");
         assert!(m.transfers > 0, "{name}: no transfers simulated");
         println!(
@@ -259,24 +308,33 @@ fn check() -> ExitCode {
         (0.8..1.25).contains(&ratio),
         "turbo event count diverges from the event kernel: ratio {ratio}"
     );
+    // The coded kernel: deterministic per seed (asserted inside `measure`)
+    // and simulating a comparably busy system.
+    let coded = measure(&make_coded_sim(n), "coded", &initial, horizon, 2);
+    assert!(coded.events > 1_000, "coded: implausibly few events");
+    assert!(coded.transfers > 0, "coded: no coded transfers simulated");
+    println!(
+        "  {:12} {:>8} events, {:>8} transfers",
+        "coded", coded.events, coded.transfers
+    );
 
     // Schema of the committed trajectory file, when present.
-    match std::fs::read_to_string("BENCH_PR3.json") {
+    match std::fs::read_to_string("BENCH_PR4.json") {
         Ok(text) => {
             for key in SCHEMA_KEYS {
                 if !text.contains(key) {
-                    eprintln!("BENCH_PR3.json: missing required key {key}");
+                    eprintln!("BENCH_PR4.json: missing required key {key}");
                     return ExitCode::FAILURE;
                 }
             }
             if !text.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
-                eprintln!("BENCH_PR3.json: schema string is not {SCHEMA}");
+                eprintln!("BENCH_PR4.json: schema string is not {SCHEMA}");
                 return ExitCode::FAILURE;
             }
-            println!("BENCH_PR3.json schema OK");
+            println!("BENCH_PR4.json schema OK");
         }
         Err(error) => {
-            eprintln!("cannot read BENCH_PR3.json: {error}");
+            eprintln!("cannot read BENCH_PR4.json: {error}");
             return ExitCode::FAILURE;
         }
     }
@@ -286,7 +344,7 @@ fn check() -> ExitCode {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut out_path = String::from("BENCH_PR3.json");
+    let mut out_path = String::from("BENCH_PR4.json");
     let mut check_mode = false;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -316,10 +374,11 @@ fn main() -> ExitCode {
     let mut sizes = Vec::new();
     for (peers, horizon) in [(10_000usize, 40.0f64), (100_000, 8.0)] {
         eprintln!("measuring {peers}-peer swarm (horizon {horizon}) ...");
+        let initial = initial_population(peers);
         let measurements: Vec<Measurement> = KERNELS
             .iter()
             .map(|&(kernel, name)| {
-                let m = measure(kernel, name, peers, horizon, 3);
+                let m = measure(&make_sim(kernel, peers), name, &initial, horizon, 3);
                 eprintln!(
                     "  {:12} {:>9} events in {:.3}s  ({:.0} events/s)",
                     name, m.events, m.wall_seconds, m.events_per_sec
@@ -330,13 +389,25 @@ fn main() -> ExitCode {
         sizes.push((peers, horizon, measurements));
     }
 
+    let mut coded = Vec::new();
+    for (peers, horizon) in [(10_000usize, 40.0f64), (100_000, 8.0)] {
+        eprintln!("measuring {peers}-peer coded swarm (horizon {horizon}) ...");
+        let initial = initial_population(peers);
+        let m = measure(&make_coded_sim(peers), "coded", &initial, horizon, 3);
+        eprintln!(
+            "  {:12} {:>9} events in {:.3}s  ({:.0} events/s)",
+            "coded", m.events, m.wall_seconds, m.events_per_sec
+        );
+        coded.push((peers, horizon, m));
+    }
+
     let million_peers = 1_000_000;
     let million_horizon = 1.5;
     eprintln!("measuring {million_peers}-peer turbo run (horizon {million_horizon}) ...");
     let million = measure(
-        KernelKind::Turbo,
+        &make_sim(KernelKind::Turbo, million_peers),
         "turbo",
-        million_peers,
+        &initial_population(million_peers),
         million_horizon,
         1,
     );
@@ -345,7 +416,7 @@ fn main() -> ExitCode {
         million.kernel, million.events, million.wall_seconds, million.events_per_sec
     );
 
-    let report = render_report(&sizes, &million, million_peers, million_horizon);
+    let report = render_report(&sizes, &coded, &million, million_peers, million_horizon);
     if let Err(error) = std::fs::write(&out_path, &report) {
         eprintln!("cannot write {out_path}: {error}");
         return ExitCode::FAILURE;

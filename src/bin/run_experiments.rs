@@ -24,10 +24,11 @@
 //! * `--scenario FILE|NAME` — instead of the E1–E12 reports, execute one
 //!   scenario from the registry: a JSON scenario file (see `EXPERIMENTS.md`
 //!   for the format) or a built-in name,
-//! * `--kernel event|scan|turbo` — override the scenario's simulation
+//! * `--kernel event|scan|turbo|coded` — override the scenario's simulation
 //!   kernel (`event-driven` and `legacy-scan` are byte-reproducible against
 //!   each other; `turbo` is the parity-free fast kernel, deterministic per
-//!   seed but validated distributionally),
+//!   seed but validated distributionally; `coded` is the network-coded
+//!   kernel and needs a scenario with a `"coding"` block),
 //! * `--list-scenarios` — list the built-in scenario names and exit,
 //! * `--out-dir DIR` — also write `E*.txt` reports plus the Example 1
 //!   phase diagram as `phase.csv` / `phase.json` / `phase.txt` and the E1
@@ -59,7 +60,7 @@ struct Cli {
 }
 
 const USAGE: &str = "usage: run_experiments [quick] [--replications N] [--jobs N] \
-[--seed S] [--horizon T] [--scenario FILE|NAME] [--kernel event|scan|turbo] \
+[--seed S] [--horizon T] [--scenario FILE|NAME] [--kernel event|scan|turbo|coded] \
 [--list-scenarios] [--out-dir DIR]";
 
 enum CliError {
@@ -133,10 +134,11 @@ fn parse_cli() -> Result<Cli, CliError> {
                     "event" | "event-driven" => KernelKind::EventDriven,
                     "scan" | "legacy-scan" => KernelKind::LegacyScan,
                     "turbo" => KernelKind::Turbo,
+                    "coded" => KernelKind::Coded,
                     other => {
                         return Err(CliError::Invalid(format!(
                             "--kernel: unknown kernel `{other}` \
-                             (expected event, scan, or turbo)"
+                             (expected event, scan, turbo, or coded)"
                         )))
                     }
                 });
