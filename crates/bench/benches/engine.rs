@@ -3,7 +3,7 @@
 //! underlying single-replication simulators for reference.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use engine::{run_batch, EngineConfig, Scenario};
+use engine::{EngineConfig, Scenario, Session, Workload};
 use pieceset::PieceId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -43,13 +43,18 @@ fn engine_batch(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_batch_16rep_horizon200");
     for &jobs in &[1usize, 2, 4, 8] {
         group.bench_with_input(BenchmarkId::from_parameter(jobs), &jobs, |b, &jobs| {
-            let scenarios = scenario_set();
-            let config = EngineConfig::default()
-                .with_replications(16)
-                .with_horizon(200.0)
-                .with_master_seed(7)
-                .with_jobs(jobs);
-            b.iter(|| run_batch(&scenarios, &config));
+            let session = Session::builder()
+                .config(
+                    EngineConfig::default()
+                        .with_replications(16)
+                        .with_horizon(200.0)
+                        .with_master_seed(7)
+                        .with_jobs(jobs),
+                )
+                .workload(Workload::ctmc(scenario_set()))
+                .build()
+                .expect("valid session");
+            b.iter(|| session.run());
         });
     }
     group.finish();
@@ -62,13 +67,18 @@ fn engine_replication_scaling(c: &mut Criterion) {
             BenchmarkId::from_parameter(replications),
             &replications,
             |b, &replications| {
-                let scenarios = scenario_set();
-                let config = EngineConfig::default()
-                    .with_replications(replications)
-                    .with_horizon(200.0)
-                    .with_master_seed(7)
-                    .with_jobs(0);
-                b.iter(|| run_batch(&scenarios, &config));
+                let session = Session::builder()
+                    .config(
+                        EngineConfig::default()
+                            .with_replications(replications)
+                            .with_horizon(200.0)
+                            .with_master_seed(7)
+                            .with_jobs(0),
+                    )
+                    .workload(Workload::ctmc(scenario_set()))
+                    .build()
+                    .expect("valid session");
+                b.iter(|| session.run());
             },
         );
     }

@@ -18,6 +18,7 @@ pub fn report_config() -> ExperimentConfig {
         seed: 0xA11CE,
         threads: 0,
         replications: 4,
+        progress: false,
     }
 }
 
@@ -30,6 +31,7 @@ pub fn measured_config() -> ExperimentConfig {
         seed: 0xA11CE,
         threads: 2,
         replications: 2,
+        progress: false,
     }
 }
 

@@ -1,21 +1,22 @@
-//! Agent-based scenario execution: replication batches that run the
-//! peer-level simulator instead of the type-count CTMC.
+//! Agent-based scenario execution: the peer-level simulator's scenario
+//! type and per-replication unit of work.
 //!
 //! The CTMC path ([`crate::replicate`]) enumerates all `2^K` peer types, so
 //! it is capped at small `K` and cannot express per-peer features (policies,
 //! retry speed-up, flash crowds, heterogeneous initial populations). The
 //! scenario registry in `workload` compiles its specs into
-//! [`AgentScenario`]s, which this module replicates with the same
-//! determinism contract as the CTMC batches: one ChaCha stream per
-//! `(master seed, scenario id, replication)`, aggregation in fixed
-//! replication order, bit-identical results at any worker count.
+//! [`AgentScenario`]s, which [`crate::Session`] replicates (via
+//! [`crate::Workload::agent`]) with the same determinism contract as the
+//! CTMC batches: one ChaCha stream per `(master seed, scenario id,
+//! replication)`, aggregation in fixed replication order, bit-identical
+//! results at any worker count.
 //!
 //! Truncated replications (runs that hit the simulator's `max_events`
 //! safety valve before the horizon) are surfaced per scenario in
 //! [`AgentOutcome::truncated_replications`] so a verdict derived from
 //! clipped trajectories is never silently trusted.
 //!
-//! Workers replicate through a per-thread [`SimScratch`] arena: the
+//! Session workers replicate through a per-worker [`SimScratch`] arena: the
 //! simulator's peer table, sampling pools, and snapshot buffers are reused
 //! across the replications each worker serves (fully so under the turbo
 //! kernel), so a batch performs no per-replication reallocation once the
@@ -23,16 +24,12 @@
 //! the numbers — batches stay bit-identical at any worker count.
 
 use crate::config::EngineConfig;
-use crate::progress::Progress;
-use crate::replicate::{verdict_agrees, ClassVotes};
+use crate::replicate::ClassVotes;
 use crate::rng::replication_rng;
-use crate::stats::{Estimate, Welford};
+use crate::stats::Estimate;
 use markov::{PathClass, PathClassifier};
 use pieceset::PieceSet;
-use rayon::prelude::*;
-use rayon::ThreadPoolBuilder;
 use serde::{Deserialize, Serialize};
-use std::cell::RefCell;
 use swarm::coded::{theorem15_classify, CodedGifts};
 use swarm::sim::{AgentConfig, AgentSwarm, FlashCrowd, SimScratch};
 use swarm::{policy, stability, StabilityVerdict, SwarmError, SwarmParams};
@@ -142,6 +139,8 @@ pub struct AgentReplication {
     pub tail_average: f64,
     /// Simulated events executed.
     pub events: u64,
+    /// Successful piece (or coded-combination) transfers executed.
+    pub transfers: u64,
     /// `true` if the run hit the `max_events` safety valve before the
     /// horizon (its classification covers a clipped trajectory).
     pub truncated: bool,
@@ -219,137 +218,44 @@ pub fn run_agent_replication_with_scratch(
         tail_slope: verdict.tail_slope,
         tail_average: verdict.tail_average,
         events: result.events,
+        transfers: result.transfers,
         truncated: result.truncated,
     };
     scratch.recycle(result);
     Ok(outcome)
 }
 
-fn aggregate(
-    scenario: &AgentScenario,
-    replications: &[AgentReplication],
-    config: &EngineConfig,
-) -> AgentOutcome {
-    // A coded scenario's theory verdict is Theorem 15, not Theorem 1 (whose
-    // uncoded analysis would mis-classify gifted coded arrivals). Arrival
-    // mixes outside the closed-form d ∈ {0, 1} case have no quoted
-    // threshold; report them as borderline rather than guessing.
-    let theory = match &scenario.coding {
+/// The theory verdict for an agent scenario: Theorem 15 for coded
+/// scenarios (whose uncoded Theorem 1 analysis would mis-classify gifted
+/// coded arrivals; arrival mixes outside the closed-form d ∈ {0, 1} case
+/// have no quoted threshold and report as borderline rather than a guess),
+/// Theorem 1 otherwise.
+pub(crate) fn scenario_theory(scenario: &AgentScenario) -> StabilityVerdict {
+    match &scenario.coding {
         Some(gifts) => theorem15_classify(&gifts.with_base(scenario.params.clone()))
             .unwrap_or(StabilityVerdict::Borderline),
         None => stability::classify(&scenario.params).verdict,
-    };
-    let mut votes = ClassVotes::default();
-    let mut slope = Welford::new();
-    let mut average = Welford::new();
-    let mut events = Welford::new();
-    let mut truncated = 0u32;
-    for outcome in replications {
-        votes.push(outcome.class);
-        slope.push(outcome.tail_slope);
-        average.push(outcome.tail_average);
-        events.push(outcome.events as f64);
-        truncated += u32::from(outcome.truncated);
     }
-    let majority = votes.majority();
-    AgentOutcome {
-        scenario_id: scenario.id,
-        label: scenario.label.clone(),
-        theory,
-        votes,
-        majority,
-        tail_slope: slope.estimate(config.confidence),
-        tail_average: average.estimate(config.confidence),
-        agrees: verdict_agrees(theory, majority),
-        truncated_replications: truncated,
-        mean_events: events.mean(),
-    }
-}
-
-/// Runs `config.replications` replications of every agent scenario across
-/// `config.jobs` workers and returns one aggregated outcome per scenario,
-/// in input order. Deterministic for a fixed master seed at any worker
-/// count, exactly like [`crate::run_batch`].
-///
-/// # Errors
-///
-/// Returns the first scenario-validation error (unknown policy, invalid
-/// configuration or flash schedule); scenarios are validated up front so a
-/// batch never fails halfway.
-///
-/// # Panics
-///
-/// Panics if two scenarios share an `id` (their replications would silently
-/// share random streams).
-pub fn run_agent_batch(
-    scenarios: &[AgentScenario],
-    config: &EngineConfig,
-) -> Result<Vec<AgentOutcome>, SwarmError> {
-    if scenarios.is_empty() {
-        return Ok(Vec::new());
-    }
-    {
-        let mut ids: Vec<u64> = scenarios.iter().map(|s| s.id).collect();
-        ids.sort_unstable();
-        ids.dedup();
-        assert_eq!(
-            ids.len(),
-            scenarios.len(),
-            "scenario ids must be unique within a batch"
-        );
-    }
-    // Validate every scenario — configuration, policy, initial population,
-    // flash schedule — before simulating anything, so a bad scenario is an
-    // error here and never a worker panic mid-batch.
-    for scenario in scenarios {
-        scenario.validate()?;
-    }
-
-    let replications = config.replications.max(1);
-    let tasks: Vec<(usize, u32)> = (0..scenarios.len())
-        .flat_map(|scenario| (0..replications).map(move |replication| (scenario, replication)))
-        .collect();
-    let progress = Progress::new("agent", tasks.len() as u64, config.progress);
-
-    let pool = ThreadPoolBuilder::new()
-        .num_threads(config.jobs)
-        .build()
-        .expect("thread pool");
-    // One scratch arena per worker thread: the rayon workers live for the
-    // whole batch, so every replication a worker serves reuses its buffers.
-    thread_local! {
-        static SCRATCH: RefCell<SimScratch> = RefCell::new(SimScratch::new());
-    }
-    let results: Vec<AgentReplication> = pool.install(|| {
-        tasks
-            .into_par_iter()
-            .map(|(scenario, replication)| {
-                let outcome = SCRATCH.with(|scratch| {
-                    run_agent_replication_with_scratch(
-                        &scenarios[scenario],
-                        config,
-                        replication,
-                        &mut scratch.borrow_mut(),
-                    )
-                    .expect("scenarios validated before the batch")
-                });
-                progress.tick();
-                outcome
-            })
-            .collect()
-    });
-
-    Ok(scenarios
-        .iter()
-        .zip(results.chunks(replications as usize))
-        .map(|(scenario, chunk)| aggregate(scenario, chunk, config))
-        .collect())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::{Session, Workload};
     use pieceset::PieceId;
+
+    /// The Session-backed equivalent of the old `run_agent_batch` free
+    /// function, kept as a local helper so these unit tests read the same.
+    fn run_agent_batch(
+        scenarios: &[AgentScenario],
+        config: &EngineConfig,
+    ) -> Result<Vec<AgentOutcome>, crate::Error> {
+        let session = Session::builder()
+            .config(*config)
+            .workload(Workload::agent(scenarios.to_vec()))
+            .build()?;
+        Ok(session.run().into_agent().expect("agent workload"))
+    }
 
     fn example1(lambda0: f64) -> SwarmParams {
         SwarmParams::builder(1)

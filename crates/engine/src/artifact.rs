@@ -9,30 +9,13 @@
 
 use crate::grid::PhaseDiagram;
 use crate::replicate::ScenarioOutcome;
-use markov::PathClass;
 use std::io;
 use std::path::{Path, PathBuf};
-use swarm::StabilityVerdict;
 
-/// Canonical short name of a theory verdict.
-#[must_use]
-pub fn verdict_name(verdict: StabilityVerdict) -> &'static str {
-    match verdict {
-        StabilityVerdict::PositiveRecurrent => "stable",
-        StabilityVerdict::Transient => "transient",
-        StabilityVerdict::Borderline => "borderline",
-    }
-}
-
-/// Canonical short name of a simulated path class.
-#[must_use]
-pub fn class_name(class: PathClass) -> &'static str {
-    match class {
-        PathClass::Stable => "stable",
-        PathClass::Growing => "growing",
-        PathClass::Indeterminate => "indeterminate",
-    }
-}
+// The canonical verdict/class spellings live in [`crate::labels`];
+// re-exported here because artifact columns are where most callers meet
+// them.
+pub use crate::labels::{class_name, verdict_name};
 
 /// A float rendered for CSV cells (`inf` / `-inf` / `nan` for non-finite).
 fn csv_f64(x: f64) -> String {
@@ -269,6 +252,8 @@ mod tests {
     use super::*;
     use crate::replicate::ClassVotes;
     use crate::stats::Welford;
+    use markov::PathClass;
+    use swarm::StabilityVerdict;
 
     fn sample_outcome(label: &str) -> ScenarioOutcome {
         let mut votes = ClassVotes::default();

@@ -1,6 +1,7 @@
-//! Theorem 15 phase-diagram grids: sweep `(gift fraction f, field order q,
-//! file dimension K)` rectangles through the agent-replication engine on the
-//! coded kernel and tabulate majority-vote verdicts per cell.
+//! Theorem 15 phase-diagram grids: the `(gift fraction f, field order q,
+//! file dimension K)` rectangle and diagram types. Rectangles are swept
+//! through the agent-replication engine on the coded kernel with
+//! [`crate::Workload::coded`] on a [`crate::Session`].
 //!
 //! This is the coded counterpart of [`crate::grid`]: each cell builds the
 //! paper's headline gifted-arrival model
@@ -11,14 +12,11 @@
 //! `f` axis. Scenario ids are linear cell indices, so results are
 //! bit-identical at any worker count.
 
-use crate::agent::{run_agent_batch, AgentOutcome, AgentScenario};
-use crate::config::EngineConfig;
+use crate::agent::AgentOutcome;
 use crate::grid::Axis;
-use markov::PathClass;
+use crate::labels;
 use serde::{Deserialize, Serialize};
-use swarm::coded::CodedParams;
-use swarm::sim::{AgentConfig, KernelKind};
-use swarm::StabilityVerdict;
+use swarm::sim::AgentConfig;
 
 /// A rectangle of coded parameter points: the cartesian product
 /// `pieces × field_orders × gift_fractions`, at fixed base rates.
@@ -39,7 +37,7 @@ pub struct CodedGridSpec {
     /// Peer-seed departure rate `γ` (`f64::INFINITY` = immediate departure).
     pub seed_departure_rate: f64,
     /// Simulator configuration template; `kernel` is forced to
-    /// [`KernelKind::Coded`] per cell.
+    /// [`swarm::sim::KernelKind::Coded`] per cell.
     pub sim: AgentConfig,
 }
 
@@ -93,15 +91,12 @@ pub struct CodedPhaseCell {
 
 impl CodedPhaseCell {
     /// The single character used in ASCII phase diagrams, with the same
-    /// legend as [`crate::grid::PhaseCell::glyph`].
+    /// legend as [`crate::grid::PhaseCell::glyph`] (the canonical
+    /// [`labels::agreement_glyph`] mapping; the borderline glyph also
+    /// covers the gap between the two Theorem 15 thresholds).
     #[must_use]
     pub fn glyph(&self) -> char {
-        match (self.outcome.theory, self.outcome.majority) {
-            (StabilityVerdict::Borderline, _) => 'B',
-            (StabilityVerdict::PositiveRecurrent, PathClass::Stable) => '·',
-            (StabilityVerdict::Transient, PathClass::Growing) => '#',
-            _ => '?',
-        }
+        labels::agreement_glyph(self.outcome.theory, self.outcome.majority)
     }
 }
 
@@ -175,9 +170,8 @@ impl CodedPhaseDiagram {
             self.spec.gift_fraction.values.len(),
         );
         let mut out = String::new();
-        out.push_str(
-            "legend: '·' stable (agreed)   '#' transient (agreed)   '?' mismatch/indeterminate   'B' borderline/gap\n",
-        );
+        out.push_str(labels::GLYPH_LEGEND);
+        out.push('\n');
         for (ki, &k) in self.spec.pieces.iter().enumerate() {
             let _ = writeln!(
                 out,
@@ -211,81 +205,25 @@ impl core::fmt::Display for CodedPhaseDiagram {
     }
 }
 
-/// Sweeps the coded rectangle through the agent engine. Cells whose
-/// parameters fail to construct (an unsupported field order, an invalid
-/// fraction) are skipped and counted.
-///
-/// Deterministic: scenario ids are linear cell indices, so a fixed master
-/// seed gives bit-identical diagrams at any `config.jobs`.
-///
-/// # Errors
-///
-/// Returns the engine's validation error if a constructed scenario fails to
-/// validate (it should not: [`CodedParams::gift_example`] pre-validates).
-pub fn run_coded_grid(
-    spec: &CodedGridSpec,
-    config: &EngineConfig,
-) -> Result<CodedPhaseDiagram, swarm::SwarmError> {
-    let mut coords = Vec::new();
-    let mut scenarios = Vec::new();
-    let mut skipped = 0usize;
-    let mut linear_index = 0u64;
-    let sim_config = AgentConfig {
-        kernel: KernelKind::Coded,
-        ..spec.sim
-    };
-    for &k in &spec.pieces {
-        for &q in &spec.field_orders {
-            for &f in &spec.gift_fraction.values {
-                match CodedParams::gift_example(
-                    k,
-                    q,
-                    spec.lambda_total,
-                    f,
-                    spec.seed_rate,
-                    spec.contact_rate,
-                    spec.seed_departure_rate,
-                ) {
-                    Ok(params) => {
-                        let mut scenario = AgentScenario::new(
-                            linear_index,
-                            format!("K={k},q={q},f={f}"),
-                            params.base.clone(),
-                        );
-                        scenario.coding = Some(params.gifts());
-                        scenario.config = sim_config;
-                        coords.push((k, q, f));
-                        scenarios.push(scenario);
-                    }
-                    Err(_) => skipped += 1,
-                }
-                linear_index += 1;
-            }
-        }
-    }
-    let outcomes = run_agent_batch(&scenarios, config)?;
-    let cells = coords
-        .into_iter()
-        .zip(outcomes)
-        .map(
-            |((pieces, field_order, gift_fraction), outcome)| CodedPhaseCell {
-                pieces,
-                field_order,
-                gift_fraction,
-                outcome,
-            },
-        )
-        .collect();
-    Ok(CodedPhaseDiagram {
-        spec: spec.clone(),
-        cells,
-        skipped,
-    })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::EngineConfig;
+    use crate::session::{Session, Workload};
+    use swarm::StabilityVerdict;
+
+    /// The Session-backed equivalent of the old `run_coded_grid` free
+    /// function, kept as a local helper so these unit tests read the same.
+    fn run_coded_grid(spec: &CodedGridSpec, config: &EngineConfig) -> CodedPhaseDiagram {
+        Session::builder()
+            .config(*config)
+            .workload(Workload::coded(spec))
+            .build()
+            .expect("valid coded grid")
+            .run()
+            .into_coded()
+            .expect("coded workload")
+    }
 
     fn quick_config() -> EngineConfig {
         EngineConfig::default()
@@ -301,7 +239,7 @@ mod tests {
         // transient by theory, f in the gap is borderline.
         let spec = CodedGridSpec::headline(Axis::new("f", vec![0.1, 0.75]), vec![2], vec![4], 1.0);
         assert_eq!(spec.len(), 2);
-        let diagram = run_coded_grid(&spec, &quick_config()).unwrap();
+        let diagram = run_coded_grid(&spec, &quick_config());
         assert_eq!(diagram.len(), 2);
         assert_eq!(diagram.skipped, 0);
         let below = diagram.cell(4, 2, 0.1).expect("cell evaluated");
@@ -318,7 +256,7 @@ mod tests {
     #[test]
     fn unsupported_field_orders_are_skipped() {
         let spec = CodedGridSpec::headline(Axis::fixed("f", 0.2), vec![6, 8], vec![3], 1.0);
-        let diagram = run_coded_grid(&spec, &quick_config()).unwrap();
+        let diagram = run_coded_grid(&spec, &quick_config());
         assert_eq!(diagram.skipped, 1, "GF(6) does not exist");
         assert_eq!(diagram.len(), 1);
         // The surviving cell keeps its linear id.

@@ -1,0 +1,84 @@
+//! The engine's typed error hierarchy.
+//!
+//! Everything a [`crate::Session`] can reject is reported through [`Error`]
+//! — scenario validation, stream-key collisions, unusable configurations,
+//! builder misuse — so callers match on variants instead of scraping
+//! strings. Runtime execution is infallible by construction: every failure
+//! mode is caught by [`crate::SessionBuilder::build`] before a single
+//! replication runs.
+
+use swarm::SwarmError;
+
+/// Everything the engine can reject.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A scenario failed validation (unknown policy, invalid simulator
+    /// configuration, bad flash schedule, inconsistent coding block).
+    Scenario {
+        /// Label of the offending scenario.
+        label: String,
+        /// The model-level validation failure.
+        source: SwarmError,
+    },
+    /// Two scenarios in one workload share a stream key, so their
+    /// replications would silently share random streams.
+    DuplicateScenarioId(u64),
+    /// [`crate::SessionBuilder::build`] was called without a workload.
+    MissingWorkload,
+    /// The engine configuration is unusable (non-positive horizon,
+    /// confidence outside `(0, 1)`).
+    InvalidConfig(String),
+}
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Error::Scenario { label, source } => write!(f, "scenario `{label}`: {source}"),
+            Error::DuplicateScenarioId(id) => write!(
+                f,
+                "scenario ids must be unique within a batch (id {id} appears more than once)"
+            ),
+            Error::MissingWorkload => write!(f, "the session builder needs a workload"),
+            Error::InvalidConfig(message) => write!(f, "invalid engine configuration: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Scenario { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_problem() {
+        let e = Error::DuplicateScenarioId(7);
+        assert!(e.to_string().contains("unique"), "{e}");
+        assert!(e.to_string().contains('7'), "{e}");
+        let e = Error::Scenario {
+            label: "bad".into(),
+            source: SwarmError::InvalidParameter("unknown piece policy `telepathic`".into()),
+        };
+        assert!(e.to_string().contains("bad"), "{e}");
+        assert!(e.to_string().contains("telepathic"), "{e}");
+        assert!(Error::MissingWorkload.to_string().contains("workload"));
+    }
+
+    #[test]
+    fn scenario_errors_expose_their_source() {
+        use std::error::Error as _;
+        let e = Error::Scenario {
+            label: "x".into(),
+            source: SwarmError::InvalidParameter("nope".into()),
+        };
+        assert!(e.source().is_some());
+        assert!(Error::MissingWorkload.source().is_none());
+    }
+}

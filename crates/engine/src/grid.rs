@@ -1,11 +1,11 @@
-//! Phase-diagram grids: sweep `(λ₀, µ, γ, K)` rectangles through the
-//! replication engine and tabulate majority-vote verdicts per cell.
+//! Phase-diagram grids: the `(λ₀, µ, γ, K)` rectangle and diagram types.
+//! Rectangles are swept through the replication engine with
+//! [`crate::Workload::grid`] on a [`crate::Session`], which tabulates
+//! majority-vote verdicts per cell into a [`PhaseDiagram`].
 
-use crate::config::EngineConfig;
-use crate::replicate::{run_batch, Scenario, ScenarioOutcome};
-use markov::PathClass;
+use crate::labels;
+use crate::replicate::ScenarioOutcome;
 use serde::{Deserialize, Serialize};
-use swarm::{StabilityVerdict, SwarmParams};
 
 /// One labelled grid axis.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -102,15 +102,11 @@ pub struct PhaseCell {
 impl PhaseCell {
     /// The single character used in ASCII phase diagrams: `·` stable and
     /// agreeing, `#` transient and agreeing, `B` borderline, `?` mismatch
-    /// or indeterminate.
+    /// or indeterminate (the canonical [`labels::agreement_glyph`]
+    /// mapping).
     #[must_use]
     pub fn glyph(&self) -> char {
-        match (self.outcome.theory, self.outcome.majority) {
-            (StabilityVerdict::Borderline, _) => 'B',
-            (StabilityVerdict::PositiveRecurrent, PathClass::Stable) => '·',
-            (StabilityVerdict::Transient, PathClass::Growing) => '#',
-            _ => '?',
-        }
+        labels::agreement_glyph(self.outcome.theory, self.outcome.majority)
     }
 }
 
@@ -172,7 +168,8 @@ impl PhaseDiagram {
         );
 
         let mut out = String::new();
-        out.push_str("legend: '·' stable (agreed)   '#' transient (agreed)   '?' mismatch/indeterminate   'B' borderline\n");
+        out.push_str(labels::GLYPH_LEGEND);
+        out.push('\n');
         for (ki, &k) in self.spec.pieces.iter().enumerate() {
             for (mi, &mu) in self.spec.mu.values.iter().enumerate() {
                 out.push_str(&format!(
@@ -214,65 +211,28 @@ impl core::fmt::Display for PhaseDiagram {
     }
 }
 
-/// Sweeps the rectangle through the engine. `make_params` constructs the
-/// model at each `(K, µ, γ, λ₀)` cell; cells where it returns `None` are
-/// skipped (and counted in [`PhaseDiagram::skipped`]).
-///
-/// Scenario ids are the cell's linear index in the rectangle, so a cell's
-/// random streams depend only on its position and the master seed — not on
-/// how many other cells were skipped.
-#[must_use]
-pub fn run_grid<F>(spec: &GridSpec, make_params: F, config: &EngineConfig) -> PhaseDiagram
-where
-    F: Fn(usize, f64, f64, f64) -> Option<SwarmParams>,
-{
-    let mut coords = Vec::new();
-    let mut scenarios = Vec::new();
-    let mut skipped = 0usize;
-    let mut linear_index = 0u64;
-    for &k in &spec.pieces {
-        for &mu in &spec.mu.values {
-            for &gamma in &spec.gamma.values {
-                for &lambda0 in &spec.lambda0.values {
-                    match make_params(k, mu, gamma, lambda0) {
-                        Some(params) => {
-                            let label = format!(
-                                "K={k},{}={mu},{}={gamma},{}={lambda0}",
-                                spec.mu.label, spec.gamma.label, spec.lambda0.label
-                            );
-                            coords.push((k, mu, gamma, lambda0));
-                            scenarios.push(Scenario::new(linear_index, label, params));
-                        }
-                        None => skipped += 1,
-                    }
-                    linear_index += 1;
-                }
-            }
-        }
-    }
-    let outcomes = run_batch(&scenarios, config);
-    let cells = coords
-        .into_iter()
-        .zip(outcomes)
-        .map(|((pieces, mu, gamma, lambda0), outcome)| PhaseCell {
-            pieces,
-            mu,
-            gamma,
-            lambda0,
-            outcome,
-        })
-        .collect();
-    PhaseDiagram {
-        spec: spec.clone(),
-        cells,
-        skipped,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use swarm::SwarmParams;
+    use crate::config::EngineConfig;
+    use crate::session::{Session, Workload};
+    use swarm::{StabilityVerdict, SwarmParams};
+
+    /// The Session-backed equivalent of the old `run_grid` free function,
+    /// kept as a local helper so these unit tests read the same.
+    fn run_grid<F>(spec: &GridSpec, make_params: F, config: &EngineConfig) -> PhaseDiagram
+    where
+        F: Fn(usize, f64, f64, f64) -> Option<SwarmParams>,
+    {
+        Session::builder()
+            .config(*config)
+            .workload(Workload::grid(spec, make_params))
+            .build()
+            .expect("valid grid")
+            .run()
+            .into_grid()
+            .expect("grid workload")
+    }
 
     fn example1_params(_k: usize, mu: f64, gamma: f64, lambda0: f64) -> Option<SwarmParams> {
         SwarmParams::builder(1)

@@ -1,0 +1,105 @@
+//! The one canonical mapping from verdicts and path classes to short names
+//! and phase-diagram glyphs.
+//!
+//! Artifact emitters, grid renderers, and report tables all spell verdicts
+//! the same way; before this module each of them carried its own copy of the
+//! mapping. Everything that prints a verdict goes through here.
+
+use markov::PathClass;
+use swarm::StabilityVerdict;
+
+/// Canonical short name of a theory verdict.
+#[must_use]
+pub fn verdict_name(verdict: StabilityVerdict) -> &'static str {
+    match verdict {
+        StabilityVerdict::PositiveRecurrent => "stable",
+        StabilityVerdict::Transient => "transient",
+        StabilityVerdict::Borderline => "borderline",
+    }
+}
+
+/// Canonical short name of a simulated path class.
+#[must_use]
+pub fn class_name(class: PathClass) -> &'static str {
+    match class {
+        PathClass::Stable => "stable",
+        PathClass::Growing => "growing",
+        PathClass::Indeterminate => "indeterminate",
+    }
+}
+
+/// Glyph for a theory-vs-simulation cell where a stable prediction was
+/// confirmed.
+pub const GLYPH_STABLE_AGREED: char = '·';
+/// Glyph for a confirmed transient prediction.
+pub const GLYPH_TRANSIENT_AGREED: char = '#';
+/// Glyph for a mismatch or an indeterminate simulation.
+pub const GLYPH_MISMATCH: char = '?';
+/// Glyph for a point Theorem 1/15 leaves open.
+pub const GLYPH_BORDERLINE: char = 'B';
+
+/// The legend line printed above every ASCII phase diagram.
+pub const GLYPH_LEGEND: &str = "legend: '·' stable (agreed)   '#' transient (agreed)   \
+     '?' mismatch/indeterminate   'B' borderline";
+
+/// The single character used in ASCII phase diagrams for a theory verdict
+/// next to a simulated majority class.
+#[must_use]
+pub fn agreement_glyph(theory: StabilityVerdict, simulated: PathClass) -> char {
+    match (theory, simulated) {
+        (StabilityVerdict::Borderline, _) => GLYPH_BORDERLINE,
+        (StabilityVerdict::PositiveRecurrent, PathClass::Stable) => GLYPH_STABLE_AGREED,
+        (StabilityVerdict::Transient, PathClass::Growing) => GLYPH_TRANSIENT_AGREED,
+        _ => GLYPH_MISMATCH,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable_strings() {
+        assert_eq!(verdict_name(StabilityVerdict::PositiveRecurrent), "stable");
+        assert_eq!(verdict_name(StabilityVerdict::Transient), "transient");
+        assert_eq!(verdict_name(StabilityVerdict::Borderline), "borderline");
+        assert_eq!(class_name(PathClass::Stable), "stable");
+        assert_eq!(class_name(PathClass::Growing), "growing");
+        assert_eq!(class_name(PathClass::Indeterminate), "indeterminate");
+    }
+
+    #[test]
+    fn glyphs_cover_all_combinations_distinctly() {
+        assert_eq!(
+            agreement_glyph(StabilityVerdict::PositiveRecurrent, PathClass::Stable),
+            GLYPH_STABLE_AGREED
+        );
+        assert_eq!(
+            agreement_glyph(StabilityVerdict::Transient, PathClass::Growing),
+            GLYPH_TRANSIENT_AGREED
+        );
+        assert_eq!(
+            agreement_glyph(StabilityVerdict::Borderline, PathClass::Growing),
+            GLYPH_BORDERLINE
+        );
+        assert_eq!(
+            agreement_glyph(StabilityVerdict::PositiveRecurrent, PathClass::Growing),
+            GLYPH_MISMATCH
+        );
+        assert_eq!(
+            agreement_glyph(StabilityVerdict::Transient, PathClass::Indeterminate),
+            GLYPH_MISMATCH
+        );
+        let glyphs = [
+            GLYPH_STABLE_AGREED,
+            GLYPH_TRANSIENT_AGREED,
+            GLYPH_MISMATCH,
+            GLYPH_BORDERLINE,
+        ];
+        let unique: std::collections::HashSet<char> = glyphs.iter().copied().collect();
+        assert_eq!(unique.len(), glyphs.len());
+        for glyph in glyphs {
+            assert!(GLYPH_LEGEND.contains(glyph));
+        }
+    }
+}

@@ -4,33 +4,43 @@
 //! sample paths, and near the stability boundary a single finite-horizon
 //! replication is noise: the same parameter point can classify as `Stable`
 //! or `Growing` depending on one exponential draw. This crate is the
-//! workspace's scale-and-speed substrate for doing that comparison honestly:
+//! workspace's scale-and-speed substrate for doing that comparison honestly,
+//! and [`Session`] is its single typed entry point:
 //!
-//! * [`replicate`] — runs **batches of replications** per scenario and
-//!   aggregates them into majority-vote verdicts with streaming statistics,
-//! * [`agent`] — the same replication contract for **agent-based
-//!   scenarios** (piece policies, retry speed-up, flash crowds, large `K`)
-//!   that the type-count CTMC cannot express, with `max_events` truncation
+//! * [`session`] — [`Session`] / [`SessionBuilder`] / [`Workload`]: one
+//!   builder covering CTMC batches, agent batches, `(λ₀, µ, γ, K)` phase
+//!   grids, and Theorem 15 coded grids, executed as a batch
+//!   ([`Session::run`]) or streamed into a [`ReplicationSink`]
+//!   ([`Session::stream`]) with O(1)-memory incremental aggregation —
+//!   both bit-identical at any worker count,
+//! * [`error`] — the typed [`Error`] hierarchy; every failure mode is
+//!   rejected by [`SessionBuilder::build`] before anything runs,
+//! * [`replicate`] — the CTMC scenario/outcome types and the
+//!   per-replication unit of work,
+//! * [`agent`] — the same contract for **agent-based scenarios** (piece
+//!   policies, retry speed-up, flash crowds, large `K`) that the
+//!   type-count CTMC cannot express, with `max_events` truncation
 //!   surfaced per scenario,
 //! * [`rng`] — deterministic per-replication ChaCha streams keyed by
-//!   `(master seed, scenario id, replication id)`, so a batch's results are
+//!   `(master seed, scenario id, replication id)`, so results are
 //!   bit-for-bit reproducible at *any* worker count,
 //! * [`stats`] — Welford mean/variance, min/max, and normal-approximation
 //!   confidence intervals, merged in a fixed order independent of thread
 //!   scheduling,
-//! * [`grid`] — sweeps `(λ₀, µ, γ, K)` rectangles into phase-diagram
-//!   tables with per-cell majority verdicts,
+//! * [`grid`] / [`coded`] — phase-diagram rectangle and diagram types,
+//! * [`labels`] — the one canonical verdict/class naming and glyph map,
 //! * [`artifact`] — CSV and JSON emitters for batch and grid results,
-//! * [`progress`] — a thread-safe completed-replication counter.
+//! * [`progress`] — a thread-safe completed-replication counter, usable
+//!   as a built-in [`ReplicationSink`] ([`ProgressSink`]).
 //!
-//! Parallelism is rayon-style data parallelism over the flat
-//! `(scenario, replication)` task list; the worker count only changes the
-//! schedule, never the numbers.
+//! Parallelism is data parallelism over the flat `(scenario, replication)`
+//! task list with in-order result delivery behind a bounded reorder
+//! window; the worker count only changes the schedule, never the numbers.
 //!
 //! # Example
 //!
 //! ```
-//! use engine::{EngineConfig, Scenario, run_batch};
+//! use engine::{EngineConfig, Scenario, Session, Workload};
 //! use swarm::SwarmParams;
 //!
 //! let params = SwarmParams::builder(1)
@@ -39,13 +49,18 @@
 //!     .seed_departure_rate(2.0)
 //!     .fresh_arrivals(1.0)
 //!     .build()?;
-//! let scenarios = vec![Scenario::new(0, "example-1 stable", params)];
-//! let config = EngineConfig::default()
-//!     .with_replications(4)
-//!     .with_horizon(300.0)
-//!     .with_master_seed(7)
-//!     .with_jobs(2);
-//! let outcomes = run_batch(&scenarios, &config);
+//! let session = Session::builder()
+//!     .config(
+//!         EngineConfig::default()
+//!             .with_replications(4)
+//!             .with_horizon(300.0)
+//!             .with_master_seed(7)
+//!             .with_jobs(2),
+//!     )
+//!     .workload(Workload::ctmc(vec![Scenario::new(0, "example-1 stable", params)]))
+//!     .build()
+//!     .expect("valid session");
+//! let outcomes = session.run().into_ctmc().expect("a CTMC workload");
 //! assert_eq!(outcomes.len(), 1);
 //! assert_eq!(outcomes[0].votes.total(), 4);
 //! # Ok::<(), swarm::SwarmError>(())
@@ -58,22 +73,31 @@ pub mod agent;
 pub mod artifact;
 pub mod coded;
 pub mod config;
+pub mod error;
 pub mod grid;
+pub mod labels;
 pub mod progress;
 pub mod replicate;
 pub mod rng;
+pub mod session;
 pub mod stats;
 
 pub use agent::{
-    run_agent_batch, run_agent_replication, run_agent_replication_with_scratch, AgentOutcome,
+    run_agent_replication, run_agent_replication_with_scratch, AgentOutcome, AgentReplication,
     AgentScenario,
 };
-pub use coded::{run_coded_grid, CodedGridSpec, CodedPhaseCell, CodedPhaseDiagram};
+pub use coded::{CodedGridSpec, CodedPhaseCell, CodedPhaseDiagram};
 pub use config::EngineConfig;
-pub use grid::{run_grid, Axis, GridSpec, PhaseCell, PhaseDiagram};
+pub use error::Error;
+pub use grid::{Axis, GridSpec, PhaseCell, PhaseDiagram};
+pub use progress::{Progress, ProgressSink};
 pub use replicate::{
-    run_batch, run_replication, run_replication_on, verdict_agrees, ClassVotes, ReplicationOutcome,
-    Scenario, ScenarioOutcome,
+    run_replication, run_replication_on, verdict_agrees, ClassVotes, ReplicationOutcome, Scenario,
+    ScenarioOutcome,
 };
 pub use rng::{derive_seed, replication_rng};
+pub use session::{
+    NullSink, ReplicationRecord, ReplicationSink, Session, SessionBuilder, SessionOutput,
+    StreamPlan, StreamStats, Workload,
+};
 pub use stats::{Estimate, Welford};

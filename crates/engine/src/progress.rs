@@ -1,5 +1,11 @@
 //! Thread-safe progress reporting for long batches.
+//!
+//! [`Progress`] is the raw counter; [`ProgressSink`] wraps it as a
+//! [`ReplicationSink`] so progress reporting plugs into
+//! [`crate::Session::stream`] like any other observer. A session with
+//! [`crate::EngineConfig::progress`] set attaches one automatically.
 
+use crate::session::{ReplicationRecord, ReplicationSink, StreamPlan};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A completed-replication counter shared by the batch workers. Reports to
@@ -54,6 +60,44 @@ impl Progress {
     #[must_use]
     pub fn total(&self) -> u64 {
         self.total
+    }
+}
+
+/// The progress counter as a [`ReplicationSink`]: learns the stream's total
+/// at [`ReplicationSink::begin`] and reports decile completion on stderr as
+/// records arrive.
+#[derive(Debug)]
+pub struct ProgressSink {
+    label: String,
+    progress: Option<Progress>,
+}
+
+impl ProgressSink {
+    /// A sink reporting under `label` (e.g. the workload name).
+    #[must_use]
+    pub fn new(label: impl Into<String>) -> Self {
+        ProgressSink {
+            label: label.into(),
+            progress: None,
+        }
+    }
+
+    /// Replications counted so far (0 before the stream begins).
+    #[must_use]
+    pub fn done(&self) -> u64 {
+        self.progress.as_ref().map_or(0, Progress::done)
+    }
+}
+
+impl ReplicationSink for ProgressSink {
+    fn begin(&mut self, plan: &StreamPlan) {
+        self.progress = Some(Progress::new(self.label.clone(), plan.total, true));
+    }
+
+    fn record(&mut self, _record: &ReplicationRecord) {
+        if let Some(progress) = &self.progress {
+            progress.tick();
+        }
     }
 }
 

@@ -1,15 +1,14 @@
-//! Batch execution: scenarios × replications, aggregated into
-//! majority-vote verdicts with streaming statistics.
+//! The CTMC replication path: scenario and outcome types plus the
+//! per-replication unit of work. Batches of these run through
+//! [`crate::Session`] (via [`crate::Workload::ctmc`]), which aggregates
+//! them into majority-vote verdicts with streaming statistics.
 
 use crate::config::EngineConfig;
-use crate::progress::Progress;
 use crate::rng::replication_rng;
-use crate::stats::{Estimate, Welford};
+use crate::stats::Estimate;
 use markov::{PathClass, PathClassifier};
-use rayon::prelude::*;
-use rayon::ThreadPoolBuilder;
 use serde::{Deserialize, Serialize};
-use swarm::{stability, StabilityVerdict, SwarmModel, SwarmParams};
+use swarm::{StabilityVerdict, SwarmModel, SwarmParams};
 
 /// One parameter point to replicate.
 ///
@@ -195,118 +194,23 @@ pub fn run_replication_on(
     }
 }
 
-/// Aggregates one scenario's replications (in replication order) into a
-/// [`ScenarioOutcome`].
-fn aggregate(
-    scenario: &Scenario,
-    replications: &[ReplicationOutcome],
-    config: &EngineConfig,
-) -> ScenarioOutcome {
-    let theory = stability::classify(&scenario.params).verdict;
-    let mut votes = ClassVotes::default();
-    let mut slope = Welford::new();
-    let mut average = Welford::new();
-    let mut agreeing = 0u32;
-    for outcome in replications {
-        votes.push(outcome.class);
-        slope.push(outcome.tail_slope);
-        average.push(outcome.tail_average);
-        if verdict_agrees(theory, outcome.class) {
-            agreeing += 1;
-        }
-    }
-    let majority = votes.majority();
-    ScenarioOutcome {
-        scenario_id: scenario.id,
-        label: scenario.label.clone(),
-        theory,
-        votes,
-        majority,
-        tail_slope: slope.estimate(config.confidence),
-        tail_average: average.estimate(config.confidence),
-        agreement: if replications.is_empty() {
-            1.0
-        } else {
-            f64::from(agreeing) / replications.len() as f64
-        },
-        agrees: verdict_agrees(theory, majority),
-    }
-}
-
-/// Runs `config.replications` replications of every scenario across
-/// `config.jobs` workers and returns one aggregated outcome per scenario,
-/// in input order.
-///
-/// Work is distributed over the flat `(scenario, replication)` task list,
-/// so a batch of few scenarios with many replications parallelises as well
-/// as a wide sweep. Every replication draws from its own deterministic
-/// stream and aggregation runs in fixed replication order, so for a fixed
-/// `master_seed` the result is bit-for-bit identical at any `jobs` value.
-///
-/// # Panics
-///
-/// Panics if two scenarios share an `id` (their replications would silently
-/// share random streams).
-#[must_use]
-pub fn run_batch(scenarios: &[Scenario], config: &EngineConfig) -> Vec<ScenarioOutcome> {
-    if scenarios.is_empty() {
-        return Vec::new();
-    }
-    {
-        let mut ids: Vec<u64> = scenarios.iter().map(|s| s.id).collect();
-        ids.sort_unstable();
-        ids.dedup();
-        assert_eq!(
-            ids.len(),
-            scenarios.len(),
-            "scenario ids must be unique within a batch"
-        );
-    }
-
-    let replications = config.replications.max(1);
-    let tasks: Vec<(usize, u32)> = (0..scenarios.len())
-        .flat_map(|scenario| (0..replications).map(move |replication| (scenario, replication)))
-        .collect();
-    let progress = Progress::new("engine", tasks.len() as u64, config.progress);
-
-    // One model per scenario, shared (read-only) by its replications.
-    let models: Vec<SwarmModel> = scenarios
-        .iter()
-        .map(|s| SwarmModel::new(s.params.clone()))
-        .collect();
-
-    let pool = ThreadPoolBuilder::new()
-        .num_threads(config.jobs)
-        .build()
-        .expect("thread pool");
-    let results: Vec<ReplicationOutcome> = pool.install(|| {
-        tasks
-            .into_par_iter()
-            .map(|(scenario, replication)| {
-                let outcome = run_replication_on(
-                    &models[scenario],
-                    &scenarios[scenario],
-                    config,
-                    replication,
-                );
-                progress.tick();
-                outcome
-            })
-            .collect()
-    });
-
-    // Tasks are scenario-major, so each scenario's replications are a
-    // contiguous chunk already in replication order.
-    scenarios
-        .iter()
-        .zip(results.chunks(replications as usize))
-        .map(|(scenario, chunk)| aggregate(scenario, chunk, config))
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::{Session, Workload};
+
+    /// The Session-backed equivalent of the old `run_batch` free function,
+    /// kept as a local helper so these unit tests read the same.
+    fn run_batch(scenarios: &[Scenario], config: &EngineConfig) -> Vec<ScenarioOutcome> {
+        Session::builder()
+            .config(*config)
+            .workload(Workload::ctmc(scenarios.to_vec()))
+            .build()
+            .expect("valid batch")
+            .run()
+            .into_ctmc()
+            .expect("ctmc workload")
+    }
 
     fn example1(lambda0: f64) -> SwarmParams {
         SwarmParams::builder(1)
@@ -382,12 +286,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unique")]
     fn duplicate_scenario_ids_are_rejected() {
         let scenarios = vec![
             Scenario::new(7, "a", example1(0.5)),
             Scenario::new(7, "b", example1(1.0)),
         ];
-        let _ = run_batch(&scenarios, &quick_config());
+        let error = Session::builder()
+            .config(quick_config())
+            .workload(Workload::ctmc(scenarios))
+            .build()
+            .expect_err("duplicate ids must be rejected");
+        assert_eq!(error, crate::Error::DuplicateScenarioId(7));
+        assert!(error.to_string().contains("unique"), "{error}");
     }
 }

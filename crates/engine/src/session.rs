@@ -1,0 +1,1066 @@
+//! The engine's single typed entry point: [`Session`].
+//!
+//! A session is one configured unit of Monte-Carlo work — a CTMC batch, an
+//! agent-simulator batch, a `(λ₀, µ, γ, K)` phase grid, or a Theorem 15
+//! coded grid — built once through [`SessionBuilder`] and executed either
+//! as a batch ([`Session::run`]) or streamed ([`Session::stream`]) into a
+//! caller-supplied [`ReplicationSink`].
+//!
+//! Everything that can fail — scenario validation, duplicate stream keys,
+//! unusable configurations — is rejected by [`SessionBuilder::build`], so
+//! execution itself is infallible and a validated session can be run any
+//! number of times.
+//!
+//! # Streaming contract
+//!
+//! Replication results are **delivered to the sink in a deterministic,
+//! scheduling-independent order**: scenario-major, replication-minor,
+//! exactly the order a single-threaded run would produce. Workers complete
+//! tasks out of order; a bounded reorder window puts them back in sequence
+//! before the sink (and the engine's own incremental Welford aggregation)
+//! sees them. Consequences:
+//!
+//! * `run()` and `stream(sink)` produce bit-identical outputs at any
+//!   [`EngineConfig::jobs`] value — `run` *is* `stream` with a
+//!   [`NullSink`].
+//! * aggregation is O(1) memory per scenario: no per-replication `Vec` is
+//!   ever collected, so a million-replication scenario aggregates in the
+//!   same peak memory as a ten-replication one (the reorder buffer is
+//!   hard-capped by the window, which depends on the worker count, never
+//!   on the replication count — see [`StreamStats::reorder_window`]).
+//!
+//! # Example
+//!
+//! ```
+//! use engine::{EngineConfig, Scenario, Session, Workload};
+//! use swarm::SwarmParams;
+//!
+//! let params = SwarmParams::builder(1)
+//!     .seed_rate(1.0)
+//!     .contact_rate(1.0)
+//!     .seed_departure_rate(2.0)
+//!     .fresh_arrivals(1.0)
+//!     .build()?;
+//! let session = Session::builder()
+//!     .config(
+//!         EngineConfig::default()
+//!             .with_replications(3)
+//!             .with_horizon(200.0)
+//!             .with_master_seed(7)
+//!             .with_jobs(2),
+//!     )
+//!     .workload(Workload::ctmc(vec![Scenario::new(0, "stable point", params)]))
+//!     .build()
+//!     .expect("valid session");
+//! let outcomes = session.run().into_ctmc().expect("a CTMC workload");
+//! assert_eq!(outcomes.len(), 1);
+//! assert_eq!(outcomes[0].votes.total(), 3);
+//! # Ok::<(), swarm::SwarmError>(())
+//! ```
+
+use crate::agent::{run_agent_replication_with_scratch, AgentOutcome, AgentScenario};
+use crate::coded::{CodedGridSpec, CodedPhaseCell, CodedPhaseDiagram};
+use crate::config::EngineConfig;
+use crate::error::Error;
+use crate::grid::{GridSpec, PhaseCell, PhaseDiagram};
+use crate::progress::ProgressSink;
+use crate::replicate::{
+    run_replication_on, verdict_agrees, ClassVotes, ReplicationOutcome, Scenario, ScenarioOutcome,
+};
+use crate::stats::Welford;
+use markov::PathClass;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use swarm::coded::CodedParams;
+use swarm::sim::{AgentConfig, KernelKind, SimScratch};
+use swarm::{stability, StabilityVerdict, SwarmModel, SwarmParams};
+
+/// One replication's result, as delivered to a [`ReplicationSink`].
+///
+/// Records arrive in deterministic scenario-major, replication-minor order
+/// regardless of the worker count. CTMC replications report `events`,
+/// `transfers`, and `truncated` as zero/false (the type-count simulator
+/// does not track them).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicationRecord {
+    /// Index of the scenario within the workload (input order).
+    pub scenario_index: usize,
+    /// The scenario's stream key.
+    pub scenario_id: u64,
+    /// Replication index within the scenario.
+    pub replication: u32,
+    /// Classification of the simulated peer-count path.
+    pub class: PathClass,
+    /// Tail growth rate of the peer count (peers per unit time).
+    pub tail_slope: f64,
+    /// Time-average of the peer count over the tail window.
+    pub tail_average: f64,
+    /// Simulated events executed (agent replications only).
+    pub events: u64,
+    /// Successful piece transfers (agent replications only).
+    pub transfers: u64,
+    /// Whether the run hit the `max_events` safety valve (agent
+    /// replications only).
+    pub truncated: bool,
+}
+
+/// What a stream is about to deliver, announced via
+/// [`ReplicationSink::begin`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamPlan {
+    /// Number of scenarios in the workload (after grid-cell skipping).
+    pub scenarios: usize,
+    /// Replications per scenario.
+    pub replications: u32,
+    /// Total records the sink will receive.
+    pub total: u64,
+}
+
+/// Post-stream accounting, delivered via [`ReplicationSink::end`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Records delivered (equals the plan's total).
+    pub delivered: u64,
+    /// High-water mark of the out-of-order reorder buffer. Always strictly
+    /// below [`StreamStats::reorder_window`]; independent of the
+    /// replication count.
+    pub max_pending: usize,
+    /// The bounded reorder window: a worker may run at most this many
+    /// replications ahead of the delivery frontier, which caps the
+    /// buffered results regardless of how many replications the stream
+    /// carries.
+    pub reorder_window: usize,
+}
+
+/// Observer for streamed replication results.
+///
+/// All methods have empty default implementations, so a sink only
+/// implements what it needs. Methods are called from the streaming
+/// machinery in deterministic order: one `begin`, then exactly
+/// `plan.total` `record` calls (scenario-major, replication-minor), then
+/// one `end`. Sinks must be [`Send`]: delivery may happen on worker
+/// threads (serialized — never concurrently).
+pub trait ReplicationSink {
+    /// Announces the stream's shape before the first record.
+    fn begin(&mut self, plan: &StreamPlan) {
+        let _ = plan;
+    }
+
+    /// Receives one replication's result.
+    fn record(&mut self, record: &ReplicationRecord) {
+        let _ = record;
+    }
+
+    /// Announces the end of the stream with its accounting.
+    fn end(&mut self, stats: &StreamStats) {
+        let _ = stats;
+    }
+}
+
+/// A sink that discards everything — [`Session::run`] streams into this.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl ReplicationSink for NullSink {}
+
+/// The work a [`Session`] executes. Construct one with [`Workload::ctmc`],
+/// [`Workload::agent`], [`Workload::grid`], or [`Workload::coded`].
+#[derive(Debug, Clone)]
+pub struct Workload {
+    kind: WorkloadKind,
+}
+
+#[derive(Debug, Clone)]
+enum WorkloadKind {
+    Ctmc(Vec<Scenario>),
+    Agent(Vec<AgentScenario>),
+    Grid {
+        spec: GridSpec,
+        coords: Vec<(usize, f64, f64, f64)>,
+        scenarios: Vec<Scenario>,
+        skipped: usize,
+    },
+    Coded {
+        spec: CodedGridSpec,
+        coords: Vec<(usize, u64, f64)>,
+        scenarios: Vec<AgentScenario>,
+        skipped: usize,
+    },
+}
+
+impl Workload {
+    /// A batch of type-count CTMC scenarios (the Theorem 1 path).
+    #[must_use]
+    pub fn ctmc(scenarios: Vec<Scenario>) -> Self {
+        Workload {
+            kind: WorkloadKind::Ctmc(scenarios),
+        }
+    }
+
+    /// A batch of agent-simulator scenarios (policies, flash crowds, retry
+    /// speed-up, coded kernels).
+    #[must_use]
+    pub fn agent(scenarios: Vec<AgentScenario>) -> Self {
+        Workload {
+            kind: WorkloadKind::Agent(scenarios),
+        }
+    }
+
+    /// A `(λ₀, µ, γ, K)` phase-diagram sweep. `make_params` constructs the
+    /// model at each cell; cells where it returns `None` are skipped (and
+    /// counted in [`PhaseDiagram::skipped`]). Scenario ids are the cell's
+    /// linear index in the rectangle, so a cell's random streams depend
+    /// only on its position and the master seed — not on how many other
+    /// cells were skipped.
+    #[must_use]
+    pub fn grid<F>(spec: &GridSpec, make_params: F) -> Self
+    where
+        F: Fn(usize, f64, f64, f64) -> Option<SwarmParams>,
+    {
+        let mut coords = Vec::new();
+        let mut scenarios = Vec::new();
+        let mut skipped = 0usize;
+        let mut linear_index = 0u64;
+        for &k in &spec.pieces {
+            for &mu in &spec.mu.values {
+                for &gamma in &spec.gamma.values {
+                    for &lambda0 in &spec.lambda0.values {
+                        match make_params(k, mu, gamma, lambda0) {
+                            Some(params) => {
+                                let label = format!(
+                                    "K={k},{}={mu},{}={gamma},{}={lambda0}",
+                                    spec.mu.label, spec.gamma.label, spec.lambda0.label
+                                );
+                                coords.push((k, mu, gamma, lambda0));
+                                scenarios.push(Scenario::new(linear_index, label, params));
+                            }
+                            None => skipped += 1,
+                        }
+                        linear_index += 1;
+                    }
+                }
+            }
+        }
+        Workload {
+            kind: WorkloadKind::Grid {
+                spec: spec.clone(),
+                coords,
+                scenarios,
+                skipped,
+            },
+        }
+    }
+
+    /// A Theorem 15 `(f, q, K)` coded phase-diagram sweep on the coded
+    /// kernel. Cells whose parameters fail to construct (an unsupported
+    /// field order, an invalid fraction) are skipped and counted in
+    /// [`CodedPhaseDiagram::skipped`]; scenario ids are linear cell
+    /// indices.
+    #[must_use]
+    pub fn coded(spec: &CodedGridSpec) -> Self {
+        let mut coords = Vec::new();
+        let mut scenarios = Vec::new();
+        let mut skipped = 0usize;
+        let mut linear_index = 0u64;
+        let sim_config = AgentConfig {
+            kernel: KernelKind::Coded,
+            ..spec.sim
+        };
+        for &k in &spec.pieces {
+            for &q in &spec.field_orders {
+                for &f in &spec.gift_fraction.values {
+                    match CodedParams::gift_example(
+                        k,
+                        q,
+                        spec.lambda_total,
+                        f,
+                        spec.seed_rate,
+                        spec.contact_rate,
+                        spec.seed_departure_rate,
+                    ) {
+                        Ok(params) => {
+                            let mut scenario = AgentScenario::new(
+                                linear_index,
+                                format!("K={k},q={q},f={f}"),
+                                params.base.clone(),
+                            );
+                            scenario.coding = Some(params.gifts());
+                            scenario.config = sim_config;
+                            coords.push((k, q, f));
+                            scenarios.push(scenario);
+                        }
+                        Err(_) => skipped += 1,
+                    }
+                    linear_index += 1;
+                }
+            }
+        }
+        Workload {
+            kind: WorkloadKind::Coded {
+                spec: spec.clone(),
+                coords,
+                scenarios,
+                skipped,
+            },
+        }
+    }
+
+    /// Number of scenarios the workload will replicate (after grid-cell
+    /// skipping).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match &self.kind {
+            WorkloadKind::Ctmc(s) | WorkloadKind::Grid { scenarios: s, .. } => s.len(),
+            WorkloadKind::Agent(s) | WorkloadKind::Coded { scenarios: s, .. } => s.len(),
+        }
+    }
+
+    /// Returns `true` if the workload has no scenarios to run.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The result of executing a [`Session`] — one variant per workload kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionOutput {
+    /// Aggregated CTMC outcomes, in input order.
+    Ctmc(Vec<ScenarioOutcome>),
+    /// Aggregated agent outcomes, in input order.
+    Agent(Vec<AgentOutcome>),
+    /// An evaluated `(λ₀, µ, γ, K)` phase diagram.
+    Grid(PhaseDiagram),
+    /// An evaluated Theorem 15 coded phase diagram.
+    Coded(CodedPhaseDiagram),
+}
+
+impl SessionOutput {
+    /// The CTMC outcomes, if this was a [`Workload::ctmc`] session.
+    #[must_use]
+    pub fn into_ctmc(self) -> Option<Vec<ScenarioOutcome>> {
+        match self {
+            SessionOutput::Ctmc(outcomes) => Some(outcomes),
+            _ => None,
+        }
+    }
+
+    /// The agent outcomes, if this was a [`Workload::agent`] session.
+    #[must_use]
+    pub fn into_agent(self) -> Option<Vec<AgentOutcome>> {
+        match self {
+            SessionOutput::Agent(outcomes) => Some(outcomes),
+            _ => None,
+        }
+    }
+
+    /// The phase diagram, if this was a [`Workload::grid`] session.
+    #[must_use]
+    pub fn into_grid(self) -> Option<PhaseDiagram> {
+        match self {
+            SessionOutput::Grid(diagram) => Some(diagram),
+            _ => None,
+        }
+    }
+
+    /// The coded phase diagram, if this was a [`Workload::coded`] session.
+    #[must_use]
+    pub fn into_coded(self) -> Option<CodedPhaseDiagram> {
+        match self {
+            SessionOutput::Coded(diagram) => Some(diagram),
+            _ => None,
+        }
+    }
+}
+
+/// Builder for a [`Session`]; all validation happens in
+/// [`SessionBuilder::build`].
+#[derive(Debug, Clone, Default)]
+pub struct SessionBuilder {
+    config: Option<EngineConfig>,
+    workload: Option<Workload>,
+}
+
+impl SessionBuilder {
+    /// Sets the execution configuration (defaults to
+    /// [`EngineConfig::default`] when omitted).
+    #[must_use]
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Sets the workload to execute.
+    #[must_use]
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.workload = Some(workload);
+        self
+    }
+
+    /// Validates the configuration and every scenario, returning a session
+    /// whose execution cannot fail.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::MissingWorkload`] — no workload was supplied,
+    /// * [`Error::InvalidConfig`] — non-positive horizon or a confidence
+    ///   level outside `(0, 1)`,
+    /// * [`Error::DuplicateScenarioId`] — two scenarios share a stream
+    ///   key,
+    /// * [`Error::Scenario`] — an agent scenario's policy, simulator
+    ///   configuration, initial population, or flash schedule failed
+    ///   validation.
+    pub fn build(self) -> Result<Session, Error> {
+        let config = self.config.unwrap_or_default();
+        let workload = self.workload.ok_or(Error::MissingWorkload)?;
+        if config.horizon.is_nan() || config.horizon <= 0.0 {
+            return Err(Error::InvalidConfig(format!(
+                "horizon must be positive, got {}",
+                config.horizon
+            )));
+        }
+        if config.confidence.is_nan() || config.confidence <= 0.0 || config.confidence >= 1.0 {
+            return Err(Error::InvalidConfig(format!(
+                "confidence must lie in (0, 1), got {}",
+                config.confidence
+            )));
+        }
+        match &workload.kind {
+            WorkloadKind::Ctmc(scenarios) => {
+                check_unique_ids(scenarios.iter().map(|s| s.id))?;
+            }
+            WorkloadKind::Agent(scenarios) => {
+                check_unique_ids(scenarios.iter().map(|s| s.id))?;
+                validate_agent_scenarios(scenarios)?;
+            }
+            // Grid cells carry their linear rectangle index as id: unique
+            // by construction.
+            WorkloadKind::Grid { .. } => {}
+            WorkloadKind::Coded { scenarios, .. } => validate_agent_scenarios(scenarios)?,
+        }
+        Ok(Session { config, workload })
+    }
+}
+
+fn check_unique_ids(ids: impl Iterator<Item = u64>) -> Result<(), Error> {
+    let mut seen: Vec<u64> = ids.collect();
+    seen.sort_unstable();
+    for pair in seen.windows(2) {
+        if pair[0] == pair[1] {
+            return Err(Error::DuplicateScenarioId(pair[0]));
+        }
+    }
+    Ok(())
+}
+
+fn validate_agent_scenarios(scenarios: &[AgentScenario]) -> Result<(), Error> {
+    for scenario in scenarios {
+        scenario.validate().map_err(|source| Error::Scenario {
+            label: scenario.label.clone(),
+            source,
+        })?;
+    }
+    Ok(())
+}
+
+/// A validated, repeatedly executable unit of Monte-Carlo work.
+///
+/// See the [module docs](self) for the streaming contract and an example.
+#[derive(Debug, Clone)]
+pub struct Session {
+    config: EngineConfig,
+    workload: Workload,
+}
+
+impl Session {
+    /// Starts building a session.
+    #[must_use]
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// The session's execution configuration.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The session's workload.
+    #[must_use]
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// Runs the workload as a batch and returns the aggregated output.
+    ///
+    /// Implemented on top of [`Session::stream`] with a [`NullSink`], so
+    /// batch and streaming execution are one code path and produce
+    /// bit-identical results.
+    #[must_use]
+    pub fn run(&self) -> SessionOutput {
+        self.stream(&mut NullSink)
+    }
+
+    /// Runs the workload, delivering every replication's result to `sink`
+    /// in deterministic scenario-major, replication-minor order, and
+    /// returns the same aggregated output as [`Session::run`].
+    ///
+    /// When [`EngineConfig::progress`] is set, a built-in
+    /// [`ProgressSink`] additionally reports decile progress on stderr.
+    pub fn stream<S: ReplicationSink + Send>(&self, sink: &mut S) -> SessionOutput {
+        match &self.workload.kind {
+            WorkloadKind::Ctmc(scenarios) => SessionOutput::Ctmc(self.stream_ctmc(scenarios, sink)),
+            WorkloadKind::Agent(scenarios) => {
+                SessionOutput::Agent(self.stream_agent(scenarios, sink))
+            }
+            WorkloadKind::Grid {
+                spec,
+                coords,
+                scenarios,
+                skipped,
+            } => {
+                let outcomes = self.stream_ctmc(scenarios, sink);
+                let cells = coords
+                    .iter()
+                    .zip(outcomes)
+                    .map(|(&(pieces, mu, gamma, lambda0), outcome)| PhaseCell {
+                        pieces,
+                        mu,
+                        gamma,
+                        lambda0,
+                        outcome,
+                    })
+                    .collect();
+                SessionOutput::Grid(PhaseDiagram {
+                    spec: spec.clone(),
+                    cells,
+                    skipped: *skipped,
+                })
+            }
+            WorkloadKind::Coded {
+                spec,
+                coords,
+                scenarios,
+                skipped,
+            } => {
+                let outcomes = self.stream_agent(scenarios, sink);
+                let cells = coords
+                    .iter()
+                    .zip(outcomes)
+                    .map(
+                        |(&(pieces, field_order, gift_fraction), outcome)| CodedPhaseCell {
+                            pieces,
+                            field_order,
+                            gift_fraction,
+                            outcome,
+                        },
+                    )
+                    .collect();
+                SessionOutput::Coded(CodedPhaseDiagram {
+                    spec: spec.clone(),
+                    cells,
+                    skipped: *skipped,
+                })
+            }
+        }
+    }
+
+    fn stream_ctmc<S: ReplicationSink + Send>(
+        &self,
+        scenarios: &[Scenario],
+        sink: &mut S,
+    ) -> Vec<ScenarioOutcome> {
+        let config = &self.config;
+        let mut framing = StreamFraming::begin(config, scenarios.len(), sink);
+        let (total, window, reps) = (framing.total, framing.window, framing.reps);
+
+        // One model per scenario, shared (read-only) by its replications —
+        // the `2^K` type space is built once, not per replication.
+        let models: Vec<SwarmModel> = scenarios
+            .iter()
+            .map(|s| SwarmModel::new(s.params.clone()))
+            .collect();
+
+        let mut outcomes: Vec<ScenarioOutcome> = Vec::with_capacity(scenarios.len());
+        let mut agg = CtmcAggregate::new();
+        let max_pending = run_ordered(
+            total,
+            config.jobs,
+            window,
+            || (),
+            |index, (): &mut ()| {
+                let (s, r) = (index / reps, (index % reps) as u32);
+                run_replication_on(&models[s], &scenarios[s], config, r)
+            },
+            |index, outcome: ReplicationOutcome| {
+                let (s, r) = (index / reps, index % reps);
+                if r == 0 {
+                    agg.begin(stability::classify(&scenarios[s].params).verdict);
+                }
+                framing.record(&ReplicationRecord {
+                    scenario_index: s,
+                    scenario_id: scenarios[s].id,
+                    replication: r as u32,
+                    class: outcome.class,
+                    tail_slope: outcome.tail_slope,
+                    tail_average: outcome.tail_average,
+                    events: 0,
+                    transfers: 0,
+                    truncated: false,
+                });
+                agg.push(&outcome);
+                if r + 1 == reps {
+                    outcomes.push(agg.finish(&scenarios[s], config));
+                }
+            },
+        );
+
+        framing.end(max_pending);
+        outcomes
+    }
+
+    fn stream_agent<S: ReplicationSink + Send>(
+        &self,
+        scenarios: &[AgentScenario],
+        sink: &mut S,
+    ) -> Vec<AgentOutcome> {
+        let config = &self.config;
+        let mut framing = StreamFraming::begin(config, scenarios.len(), sink);
+        let (total, window, reps) = (framing.total, framing.window, framing.reps);
+
+        let mut outcomes: Vec<AgentOutcome> = Vec::with_capacity(scenarios.len());
+        let mut agg = AgentAggregate::new();
+        let max_pending = run_ordered(
+            total,
+            config.jobs,
+            window,
+            // One scratch arena per worker: every replication a worker
+            // serves reuses its buffers, so a warm stream allocates nothing
+            // per task. The scratch never changes the numbers.
+            SimScratch::new,
+            |index, scratch: &mut SimScratch| {
+                let (s, r) = (index / reps, (index % reps) as u32);
+                run_agent_replication_with_scratch(&scenarios[s], config, r, scratch)
+                    .expect("scenarios validated when the session was built")
+            },
+            |index, outcome: crate::agent::AgentReplication| {
+                let (s, r) = (index / reps, index % reps);
+                if r == 0 {
+                    agg.begin(crate::agent::scenario_theory(&scenarios[s]));
+                }
+                framing.record(&ReplicationRecord {
+                    scenario_index: s,
+                    scenario_id: scenarios[s].id,
+                    replication: r as u32,
+                    class: outcome.class,
+                    tail_slope: outcome.tail_slope,
+                    tail_average: outcome.tail_average,
+                    events: outcome.events,
+                    transfers: outcome.transfers,
+                    truncated: outcome.truncated,
+                });
+                agg.push(&outcome);
+                if r + 1 == reps {
+                    outcomes.push(agg.finish(&scenarios[s], config));
+                }
+            },
+        );
+
+        framing.end(max_pending);
+        outcomes
+    }
+}
+
+/// The begin/record/end sink protocol shared by every workload kind: one
+/// place announces the plan, fans each record out to the caller's sink
+/// (and, when [`EngineConfig::progress`] is set, the built-in
+/// [`ProgressSink`]), and emits the closing [`StreamStats`] — so the CTMC
+/// and agent paths cannot drift apart on the sink contract.
+struct StreamFraming<'s, S: ReplicationSink> {
+    sink: &'s mut S,
+    progress: Option<ProgressSink>,
+    /// Total records the stream will deliver.
+    total: usize,
+    /// Bounded reorder window for this stream's worker count.
+    window: usize,
+    /// Replications per scenario (clamped to at least one).
+    reps: usize,
+}
+
+impl<'s, S: ReplicationSink> StreamFraming<'s, S> {
+    fn begin(config: &EngineConfig, scenarios: usize, sink: &'s mut S) -> Self {
+        let reps = config.replications.max(1) as usize;
+        let total = scenarios * reps;
+        let window = reorder_window(effective_jobs(config.jobs));
+        let plan = StreamPlan {
+            scenarios,
+            replications: reps as u32,
+            total: total as u64,
+        };
+        let mut progress = config.progress.then(|| ProgressSink::new("session"));
+        sink.begin(&plan);
+        if let Some(p) = &mut progress {
+            p.begin(&plan);
+        }
+        StreamFraming {
+            sink,
+            progress,
+            total,
+            window,
+            reps,
+        }
+    }
+
+    fn record(&mut self, record: &ReplicationRecord) {
+        self.sink.record(record);
+        if let Some(p) = &mut self.progress {
+            p.record(record);
+        }
+    }
+
+    fn end(mut self, max_pending: usize) {
+        let stats = StreamStats {
+            delivered: self.total as u64,
+            max_pending,
+            reorder_window: self.window,
+        };
+        if let Some(p) = &mut self.progress {
+            p.end(&stats);
+        }
+        self.sink.end(&stats);
+    }
+}
+
+/// Incremental (O(1)-memory) aggregation of one CTMC scenario's
+/// replications, pushed in replication order.
+struct CtmcAggregate {
+    theory: StabilityVerdict,
+    votes: ClassVotes,
+    slope: Welford,
+    average: Welford,
+    agreeing: u32,
+    count: u32,
+}
+
+impl CtmcAggregate {
+    fn new() -> Self {
+        CtmcAggregate {
+            theory: StabilityVerdict::Borderline,
+            votes: ClassVotes::default(),
+            slope: Welford::new(),
+            average: Welford::new(),
+            agreeing: 0,
+            count: 0,
+        }
+    }
+
+    fn begin(&mut self, theory: StabilityVerdict) {
+        *self = CtmcAggregate::new();
+        self.theory = theory;
+    }
+
+    fn push(&mut self, outcome: &ReplicationOutcome) {
+        self.votes.push(outcome.class);
+        self.slope.push(outcome.tail_slope);
+        self.average.push(outcome.tail_average);
+        if verdict_agrees(self.theory, outcome.class) {
+            self.agreeing += 1;
+        }
+        self.count += 1;
+    }
+
+    fn finish(&mut self, scenario: &Scenario, config: &EngineConfig) -> ScenarioOutcome {
+        let majority = self.votes.majority();
+        ScenarioOutcome {
+            scenario_id: scenario.id,
+            label: scenario.label.clone(),
+            theory: self.theory,
+            votes: self.votes,
+            majority,
+            tail_slope: self.slope.estimate(config.confidence),
+            tail_average: self.average.estimate(config.confidence),
+            agreement: if self.count == 0 {
+                1.0
+            } else {
+                f64::from(self.agreeing) / f64::from(self.count)
+            },
+            agrees: verdict_agrees(self.theory, majority),
+        }
+    }
+}
+
+/// Incremental aggregation of one agent scenario's replications.
+struct AgentAggregate {
+    theory: StabilityVerdict,
+    votes: ClassVotes,
+    slope: Welford,
+    average: Welford,
+    events: Welford,
+    truncated: u32,
+}
+
+impl AgentAggregate {
+    fn new() -> Self {
+        AgentAggregate {
+            theory: StabilityVerdict::Borderline,
+            votes: ClassVotes::default(),
+            slope: Welford::new(),
+            average: Welford::new(),
+            events: Welford::new(),
+            truncated: 0,
+        }
+    }
+
+    fn begin(&mut self, theory: StabilityVerdict) {
+        *self = AgentAggregate::new();
+        self.theory = theory;
+    }
+
+    fn push(&mut self, outcome: &crate::agent::AgentReplication) {
+        self.votes.push(outcome.class);
+        self.slope.push(outcome.tail_slope);
+        self.average.push(outcome.tail_average);
+        self.events.push(outcome.events as f64);
+        self.truncated += u32::from(outcome.truncated);
+    }
+
+    fn finish(&mut self, scenario: &AgentScenario, config: &EngineConfig) -> AgentOutcome {
+        let majority = self.votes.majority();
+        AgentOutcome {
+            scenario_id: scenario.id,
+            label: scenario.label.clone(),
+            theory: self.theory,
+            votes: self.votes,
+            majority,
+            tail_slope: self.slope.estimate(config.confidence),
+            tail_average: self.average.estimate(config.confidence),
+            agrees: verdict_agrees(self.theory, majority),
+            truncated_replications: self.truncated,
+            mean_events: self.events.mean(),
+        }
+    }
+}
+
+/// Resolves a `jobs` setting (0 = one worker per available core).
+fn effective_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        jobs
+    }
+}
+
+/// The bounded reorder window for a worker count: how far a worker may run
+/// ahead of the delivery frontier. Scales with the worker count only, so
+/// the reorder buffer's peak size is independent of the replication count.
+fn reorder_window(jobs: usize) -> usize {
+    (jobs * 4).max(64)
+}
+
+/// The in-order delivery frontier shared by the workers.
+struct Emitter<T, D: FnMut(usize, T)> {
+    next: usize,
+    pending: BTreeMap<usize, T>,
+    max_pending: usize,
+    panicked: bool,
+    deliver: D,
+}
+
+impl<T, D: FnMut(usize, T)> Emitter<T, D> {
+    fn push(&mut self, index: usize, value: T) {
+        if index == self.next {
+            (self.deliver)(index, value);
+            self.next += 1;
+            while let Some(value) = self.pending.remove(&self.next) {
+                let index = self.next;
+                (self.deliver)(index, value);
+                self.next += 1;
+            }
+        } else {
+            self.pending.insert(index, value);
+            self.max_pending = self.max_pending.max(self.pending.len());
+        }
+    }
+}
+
+/// Runs `total` indexed tasks over `jobs` workers, delivering each result
+/// through `deliver` in strict index order, and returns the reorder
+/// buffer's high-water mark.
+///
+/// Workers self-schedule off an atomic counter (dynamic load balancing)
+/// but may run at most `window` tasks ahead of the delivery frontier, so
+/// at most `window − 1` results are ever buffered — bounded memory
+/// regardless of `total`. Delivery happens under a lock on whichever
+/// worker completes the frontier task; calls are serialized and in order,
+/// which is what makes streamed aggregation bit-identical at any worker
+/// count.
+fn run_ordered<T, C, MkCtx, Task, Deliver>(
+    total: usize,
+    jobs: usize,
+    window: usize,
+    make_ctx: MkCtx,
+    task: Task,
+    deliver: Deliver,
+) -> usize
+where
+    T: Send,
+    MkCtx: Fn() -> C + Sync,
+    Task: Fn(usize, &mut C) -> T + Sync,
+    Deliver: FnMut(usize, T) + Send,
+{
+    if total == 0 {
+        return 0;
+    }
+    let jobs = effective_jobs(jobs).min(total);
+    if jobs <= 1 {
+        // Single worker: run inline, delivery is trivially in order.
+        let mut ctx = make_ctx();
+        let mut deliver = deliver;
+        for index in 0..total {
+            let value = task(index, &mut ctx);
+            deliver(index, value);
+        }
+        return 0;
+    }
+
+    let counter = AtomicUsize::new(0);
+    let shared = Mutex::new(Emitter {
+        next: 0,
+        pending: BTreeMap::new(),
+        max_pending: 0,
+        panicked: false,
+        deliver,
+    });
+    let frontier_moved = Condvar::new();
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| {
+                // If this worker panics, mark the stream dead and wake
+                // every window-waiter so the panic propagates through the
+                // scope instead of deadlocking the others.
+                struct Abort<'a, T, D: FnMut(usize, T)> {
+                    shared: &'a Mutex<Emitter<T, D>>,
+                    frontier_moved: &'a Condvar,
+                }
+                impl<T, D: FnMut(usize, T)> Drop for Abort<'_, T, D> {
+                    fn drop(&mut self) {
+                        if std::thread::panicking() {
+                            if let Ok(mut emitter) = self.shared.lock() {
+                                emitter.panicked = true;
+                            }
+                            self.frontier_moved.notify_all();
+                        }
+                    }
+                }
+                let _abort = Abort {
+                    shared: &shared,
+                    frontier_moved: &frontier_moved,
+                };
+
+                let mut ctx = make_ctx();
+                loop {
+                    let index = counter.fetch_add(1, Ordering::Relaxed);
+                    if index >= total {
+                        break;
+                    }
+                    {
+                        // Bounded window: wait until the frontier is close
+                        // enough that this result cannot over-fill the
+                        // reorder buffer.
+                        let mut emitter = shared.lock().unwrap();
+                        while index >= emitter.next + window && !emitter.panicked {
+                            emitter = frontier_moved.wait(emitter).unwrap();
+                        }
+                        if emitter.panicked {
+                            return;
+                        }
+                    }
+                    let value = task(index, &mut ctx);
+                    let mut emitter = shared.lock().unwrap();
+                    emitter.push(index, value);
+                    drop(emitter);
+                    frontier_moved.notify_all();
+                }
+            });
+        }
+    });
+
+    let emitter = shared.into_inner().unwrap();
+    emitter.max_pending
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn ordered_delivery_is_in_index_order_at_any_worker_count() {
+        for jobs in [1usize, 2, 4, 8] {
+            let mut seen = Vec::new();
+            let max_pending = run_ordered(
+                257,
+                jobs,
+                reorder_window(jobs),
+                || (),
+                |i, (): &mut ()| i * 3,
+                |i, v| {
+                    assert_eq!(v, i * 3);
+                    seen.push(i);
+                },
+            );
+            assert_eq!(seen, (0..257).collect::<Vec<_>>(), "jobs = {jobs}");
+            assert!(max_pending < reorder_window(jobs), "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn reorder_buffer_is_bounded_by_the_window_even_with_a_stalled_frontier() {
+        // Task 0 is made much slower than everything else, so the other
+        // workers sprint ahead — the window must stop them.
+        let window = 8;
+        let mut count = 0usize;
+        let max_pending = run_ordered(
+            10_000,
+            4,
+            window,
+            || (),
+            |i, (): &mut ()| {
+                if i == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                }
+                i
+            },
+            |_, _| count += 1,
+        );
+        assert_eq!(count, 10_000);
+        assert!(
+            max_pending < window,
+            "pending {max_pending} must stay below the window {window}"
+        );
+    }
+
+    #[test]
+    fn worker_contexts_are_per_worker() {
+        let contexts = AtomicU64::new(0);
+        let mut delivered = 0u64;
+        run_ordered(
+            64,
+            4,
+            64,
+            || {
+                contexts.fetch_add(1, Ordering::Relaxed);
+                0u64
+            },
+            |_, local: &mut u64| {
+                *local += 1;
+                *local
+            },
+            |_, _| delivered += 1,
+        );
+        assert_eq!(delivered, 64);
+        assert!(contexts.load(Ordering::Relaxed) <= 4);
+    }
+}

@@ -8,10 +8,22 @@
 //! (must simulate as growing) and at `hi·(1+ε)` and above (must simulate as
 //! stable), with ε = 0.5.
 
-use engine::{run_coded_grid, Axis, CodedGridSpec, EngineConfig};
+use engine::{Axis, CodedGridSpec, CodedPhaseDiagram, EngineConfig, Session, Workload};
 use markov::PathClass;
 use swarm::coded::theorem15_gift_thresholds;
 use swarm::StabilityVerdict;
+
+/// Runs a coded grid sweep through the unified Session API.
+fn run_coded_grid(spec: &CodedGridSpec, config: &EngineConfig) -> CodedPhaseDiagram {
+    Session::builder()
+        .config(*config)
+        .workload(Workload::coded(spec))
+        .build()
+        .expect("valid coded grid")
+        .run()
+        .into_coded()
+        .expect("coded workload")
+}
 
 const BELOW: [f64; 2] = [0.0625, 0.125];
 const ABOVE: [f64; 2] = [0.75, 0.9];
@@ -36,8 +48,8 @@ fn theorem15_transition_reproduced_and_bit_identical_across_jobs() {
     assert!(BELOW.iter().all(|&f| f <= lo * 0.5));
     assert!(ABOVE.iter().all(|&f| f >= hi * 1.5));
 
-    let sequential = run_coded_grid(&spec(), &config(1)).expect("valid grid");
-    let parallel = run_coded_grid(&spec(), &config(4)).expect("valid grid");
+    let sequential = run_coded_grid(&spec(), &config(1));
+    let parallel = run_coded_grid(&spec(), &config(4));
     assert_eq!(
         sequential, parallel,
         "the worker count must never change the numbers"

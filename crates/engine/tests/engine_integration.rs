@@ -2,9 +2,39 @@
 //! properties: scheduling-independent determinism, √n confidence-interval
 //! shrinkage, and agreement with the Theorem 1 classifier.
 
-use engine::{artifact, run_batch, run_grid, Axis, EngineConfig, GridSpec, Scenario};
+use engine::{
+    artifact, Axis, EngineConfig, GridSpec, PhaseDiagram, Scenario, ScenarioOutcome, Session,
+    Workload,
+};
 use markov::PathClass;
 use swarm::{stability, StabilityVerdict, SwarmParams};
+
+/// Runs a CTMC batch through the unified Session API.
+fn run_batch(scenarios: &[Scenario], config: &EngineConfig) -> Vec<ScenarioOutcome> {
+    Session::builder()
+        .config(*config)
+        .workload(Workload::ctmc(scenarios.to_vec()))
+        .build()
+        .expect("valid batch")
+        .run()
+        .into_ctmc()
+        .expect("ctmc workload")
+}
+
+/// Runs a grid sweep through the unified Session API.
+fn run_grid<F>(spec: &GridSpec, make_params: F, config: &EngineConfig) -> PhaseDiagram
+where
+    F: Fn(usize, f64, f64, f64) -> Option<SwarmParams>,
+{
+    Session::builder()
+        .config(*config)
+        .workload(Workload::grid(spec, make_params))
+        .build()
+        .expect("valid grid")
+        .run()
+        .into_grid()
+        .expect("grid workload")
+}
 
 fn example1(lambda0: f64) -> SwarmParams {
     SwarmParams::builder(1)

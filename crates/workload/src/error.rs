@@ -1,0 +1,135 @@
+//! Typed errors for the scenario registry and its file format.
+//!
+//! Every path that used to return `Result<_, String>` — parsing a scenario
+//! file, compiling a spec into an engine scenario, resolving `--scenario`
+//! input, executing a run — now reports a [`SpecError`]. The rendered
+//! messages are unchanged (they still name the offending field or byte
+//! offset), but callers can match on what went wrong instead of scraping
+//! strings.
+
+use std::path::PathBuf;
+
+/// Everything the scenario registry can reject.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// The document violates the scenario file format (malformed JSON, an
+    /// unknown or mistyped field). The message names the offending field
+    /// or byte offset.
+    Parse(String),
+    /// The spec parsed but cannot compile into an executable scenario
+    /// (piece index out of range, incompatible coding block, invalid
+    /// model parameters). The message names the offending field.
+    Invalid(String),
+    /// A scenario file failed to parse; wraps the inner error with the
+    /// file's path.
+    InFile {
+        /// The scenario file.
+        path: PathBuf,
+        /// What was wrong with its contents.
+        source: Box<SpecError>,
+    },
+    /// A scenario file could not be read.
+    Io {
+        /// The scenario file.
+        path: PathBuf,
+        /// The I/O error text.
+        message: String,
+    },
+    /// `--scenario` input named neither a readable file nor a built-in.
+    UnknownScenario {
+        /// What the caller asked for.
+        name: String,
+        /// The built-in names that would have worked.
+        available: Vec<String>,
+    },
+    /// The engine rejected the compiled scenario or its configuration.
+    Engine(engine::Error),
+}
+
+impl SpecError {
+    /// Wraps a parse error with the scenario file it came from.
+    #[must_use]
+    pub fn in_file(path: impl Into<PathBuf>, source: SpecError) -> Self {
+        SpecError::InFile {
+            path: path.into(),
+            source: Box::new(source),
+        }
+    }
+
+    /// Prefixes the message of a parse/compile error with its location
+    /// (e.g. `arrivals[2]`), mirroring the field-naming convention of the
+    /// scenario file format.
+    #[must_use]
+    pub fn context(self, context: &str) -> SpecError {
+        match self {
+            SpecError::Parse(message) => SpecError::Parse(format!("{context}: {message}")),
+            SpecError::Invalid(message) => SpecError::Invalid(format!("{context}: {message}")),
+            other => other,
+        }
+    }
+}
+
+impl core::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SpecError::Parse(message) | SpecError::Invalid(message) => write!(f, "{message}"),
+            SpecError::InFile { path, source } => write!(f, "{}: {source}", path.display()),
+            SpecError::Io { path, message } => {
+                write!(f, "cannot read {}: {message}", path.display())
+            }
+            SpecError::UnknownScenario { name, available } => write!(
+                f,
+                "`{name}` is neither a scenario file nor a built-in (available: {})",
+                available.join(", ")
+            ),
+            SpecError::Engine(error) => write!(f, "{error}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpecError::InFile { source, .. } => Some(source),
+            SpecError::Engine(error) => Some(error),
+            _ => None,
+        }
+    }
+}
+
+impl From<engine::Error> for SpecError {
+    fn from(error: engine::Error) -> Self {
+        SpecError::Engine(error)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_preserves_the_message_text() {
+        let e = SpecError::Parse("unknown scenario field `turbo`".into());
+        assert_eq!(e.to_string(), "unknown scenario field `turbo`");
+        let e = SpecError::Invalid("watch_piece 5 outside a 2-piece file".into());
+        assert_eq!(e.to_string(), "watch_piece 5 outside a 2-piece file");
+        let e = SpecError::in_file("swarm.json", SpecError::Parse("bad".into()));
+        assert_eq!(e.to_string(), "swarm.json: bad");
+        let e = SpecError::UnknownScenario {
+            name: "nope".into(),
+            available: vec!["a".into(), "b".into()],
+        };
+        assert!(e.to_string().contains("nope"));
+        assert!(e.to_string().contains("a, b"));
+    }
+
+    #[test]
+    fn sources_chain_for_wrapped_errors() {
+        use std::error::Error as _;
+        let e = SpecError::in_file("x.json", SpecError::Parse("bad".into()));
+        assert!(e.source().is_some());
+        let e = SpecError::Engine(engine::Error::MissingWorkload);
+        assert!(e.source().is_some());
+        assert!(SpecError::Parse("p".into()).source().is_none());
+    }
+}

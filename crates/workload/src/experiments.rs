@@ -20,7 +20,7 @@ use swarm::mu_infinity::{MuInfinityProcess, MuInfinityState};
 use swarm::policy;
 use swarm::sim::{AgentConfig, AgentSwarm};
 use swarm::stability;
-use swarm::{StabilityVerdict, SwarmModel, SwarmParams};
+use swarm::{SwarmModel, SwarmParams};
 
 /// Shared experiment configuration: a simulation budget and a base seed.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,6 +34,9 @@ pub struct ExperimentConfig {
     pub threads: usize,
     /// Replications per sweep point, combined by majority vote.
     pub replications: u32,
+    /// Report sweep progress on stderr through the engine's built-in
+    /// progress sink.
+    pub progress: bool,
 }
 
 impl ExperimentConfig {
@@ -46,6 +49,7 @@ impl ExperimentConfig {
             seed: 0xA11CE,
             threads: 2,
             replications: 2,
+            progress: false,
         }
     }
 
@@ -57,6 +61,7 @@ impl ExperimentConfig {
             seed: 0xA11CE,
             threads: 0,
             replications: 8,
+            progress: false,
         }
     }
 
@@ -67,6 +72,7 @@ impl ExperimentConfig {
             threads: self.threads,
             replications: self.replications,
             initial_one_club: 0,
+            progress: self.progress,
         }
     }
 }
@@ -82,13 +88,8 @@ impl Default for ExperimentConfig {
 /// sweep as the E1 report.
 pub const EXAMPLE1_LOADS: [f64; 6] = [0.3, 0.6, 0.9, 1.2, 1.6, 2.5];
 
-fn verdict_str(v: StabilityVerdict) -> &'static str {
-    match v {
-        StabilityVerdict::PositiveRecurrent => "stable",
-        StabilityVerdict::Transient => "transient",
-        StabilityVerdict::Borderline => "borderline",
-    }
-}
+// The canonical verdict spelling shared with the engine's artifacts.
+use engine::labels::verdict_name as verdict_str;
 
 fn sweep_table(title: &str, outcomes: &[crate::SweepOutcome]) -> Table {
     let mut t = Table::new(
@@ -920,6 +921,7 @@ mod tests {
             seed: 42,
             threads: 2,
             replications: 1,
+            progress: false,
         }
     }
 

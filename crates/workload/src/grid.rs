@@ -24,14 +24,15 @@ pub enum CellOutcome {
 }
 
 impl CellOutcome {
-    /// The single character used in the ASCII rendering.
+    /// The single character used in the ASCII rendering (the canonical
+    /// [`engine::labels`] glyph set).
     #[must_use]
     pub fn glyph(self) -> char {
         match self {
-            CellOutcome::StableAgreed => '·',
-            CellOutcome::TransientAgreed => '#',
-            CellOutcome::Mismatch => '?',
-            CellOutcome::Borderline => 'B',
+            CellOutcome::StableAgreed => engine::labels::GLYPH_STABLE_AGREED,
+            CellOutcome::TransientAgreed => engine::labels::GLYPH_TRANSIENT_AGREED,
+            CellOutcome::Mismatch => engine::labels::GLYPH_MISMATCH,
+            CellOutcome::Borderline => engine::labels::GLYPH_BORDERLINE,
         }
     }
 
@@ -102,7 +103,8 @@ impl RegionGrid {
             "stability map — rows: {} (top = largest), columns: {}\n",
             self.y_label, self.x_label
         ));
-        out.push_str("legend: '·' stable (agreed)   '#' transient (agreed)   '?' mismatch   'B' borderline\n");
+        out.push_str(engine::labels::GLYPH_LEGEND);
+        out.push('\n');
         for (row_idx, row) in self.cells.iter().enumerate().rev() {
             let y = self.y_values[row_idx];
             out.push_str(&format!("{y:>10.3} | "));
@@ -212,6 +214,7 @@ mod tests {
             threads: 2,
             replications: 2,
             initial_one_club: 0,
+            progress: false,
         };
         let grid = stability_map(
             "λ0",
@@ -239,6 +242,7 @@ mod tests {
             threads: 1,
             replications: 1,
             initial_one_club: 0,
+            progress: false,
         };
         let grid = stability_map("x", &[1.0], "y", &[1.0], |_, _| None, options);
         assert_eq!(grid.mismatches(), 1);

@@ -8,6 +8,8 @@
 //! one of these maps to an experiment in [`experiments`]; `DESIGN.md` and
 //! `EXPERIMENTS.md` in the repository root index them.
 //!
+//! * [`error`] — the typed [`SpecError`] hierarchy of the scenario file
+//!   format and registry (no stringly errors in the public API),
 //! * [`scenario`] — builders for the paper's example networks and the
 //!   workloads the experiments sweep over,
 //! * [`registry`] — the declarative scenario registry: serde-style JSON
@@ -33,6 +35,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod error;
 pub mod experiments;
 pub mod grid;
 mod json;
@@ -41,6 +44,7 @@ pub mod report;
 pub mod scenario;
 pub mod sweep;
 
+pub use error::SpecError;
 pub use grid::{CellOutcome, RegionGrid};
 pub use registry::{Registry, ScenarioRunOptions, ScenarioRunReport, ScenarioSpec};
 pub use report::{ExperimentReport, Table};

@@ -31,14 +31,18 @@
 //!     seed: 7,
 //!     horizon_override: Some(50.0),
 //!     kernel_override: None,
+//!     progress: false,
 //! };
 //! let report = workload::registry::run(spec, &options).unwrap();
 //! assert_eq!(report.outcome.votes.total(), 1);
 //! ```
 
+use crate::error::SpecError;
 use crate::json::{self, Json};
 use crate::report::fmt_num;
-use engine::{run_agent_batch, AgentOutcome, AgentScenario, EngineConfig};
+use engine::{
+    AgentOutcome, AgentScenario, EngineConfig, NullSink, ReplicationSink, Session, Workload,
+};
 use pieceset::{PieceId, PieceSet};
 use swarm::coded::CodedParams;
 use swarm::netcoding::GaloisField;
@@ -64,10 +68,11 @@ impl PieceSelector {
     ///
     /// # Errors
     ///
-    /// Returns a message if `num_pieces` is outside `1..=`[`pieceset::MAX_PIECES`]
-    /// or an explicit index is outside `0..K`.
-    pub fn resolve(&self, num_pieces: usize, watch: PieceId) -> Result<PieceSet, String> {
-        let full = PieceSet::try_full(num_pieces).map_err(|e| e.to_string())?;
+    /// Returns [`SpecError::Invalid`] if `num_pieces` is outside
+    /// `1..=`[`pieceset::MAX_PIECES`] or an explicit index is outside
+    /// `0..K`.
+    pub fn resolve(&self, num_pieces: usize, watch: PieceId) -> Result<PieceSet, SpecError> {
+        let full = PieceSet::try_full(num_pieces).map_err(|e| SpecError::Invalid(e.to_string()))?;
         match self {
             PieceSelector::Empty => Ok(PieceSet::empty()),
             PieceSelector::Full => Ok(full),
@@ -76,7 +81,9 @@ impl PieceSelector {
                 let mut set = PieceSet::empty();
                 for &i in indices {
                     if i >= num_pieces {
-                        return Err(format!("piece index {i} outside a {num_pieces}-piece file"));
+                        return Err(SpecError::Invalid(format!(
+                            "piece index {i} outside a {num_pieces}-piece file"
+                        )));
                     }
                     set.insert(PieceId::new(i));
                 }
@@ -96,16 +103,16 @@ impl PieceSelector {
         }
     }
 
-    fn from_json(value: &Json, context: &str) -> Result<Self, String> {
+    fn from_json(value: &Json, context: &str) -> Result<Self, SpecError> {
         match value {
             Json::Str(s) => match s.as_str() {
                 "empty" => Ok(PieceSelector::Empty),
                 "full" => Ok(PieceSelector::Full),
                 "one-club" => Ok(PieceSelector::OneClub),
-                other => Err(format!(
+                other => Err(SpecError::Parse(format!(
                     "{context}: unknown piece selector `{other}` (expected \
                      \"empty\", \"full\", \"one-club\", or an index array)"
-                )),
+                ))),
             },
             Json::Arr(items) => {
                 let mut indices = Vec::with_capacity(items.len());
@@ -115,15 +122,17 @@ impl PieceSelector {
                             indices.push(*x as usize);
                         }
                         _ => {
-                            return Err(format!(
+                            return Err(SpecError::Parse(format!(
                                 "{context}: piece indices must be non-negative integers"
-                            ))
+                            )))
                         }
                     }
                 }
                 Ok(PieceSelector::Pieces(indices))
             }
-            _ => Err(format!("{context}: expected a piece selector")),
+            _ => Err(SpecError::Parse(format!(
+                "{context}: expected a piece selector"
+            ))),
         }
     }
 }
@@ -258,64 +267,64 @@ impl ScenarioSpec {
     ///
     /// # Errors
     ///
-    /// Returns a message naming the offending field if the spec does not
-    /// validate (bad piece indices, invalid rates, unknown policy names are
-    /// caught later by the engine's up-front validation).
-    pub fn compile(&self, id: u64) -> Result<AgentScenario, String> {
+    /// Returns a [`SpecError::Invalid`] naming the offending field if the
+    /// spec does not validate (bad piece indices, invalid rates; unknown
+    /// policy names are caught later by the engine's up-front validation).
+    pub fn compile(&self, id: u64) -> Result<AgentScenario, SpecError> {
         // Guard the piece-count range before any `PieceSet::full` call so a
         // bad file reports a field error instead of panicking downstream.
         if self.num_pieces == 0 || self.num_pieces > pieceset::MAX_PIECES {
-            return Err(format!(
+            return Err(SpecError::Invalid(format!(
                 "num_pieces {} outside the supported range 1..={}",
                 self.num_pieces,
                 pieceset::MAX_PIECES
-            ));
+            )));
         }
         if self.watch_piece >= self.num_pieces {
-            return Err(format!(
+            return Err(SpecError::Invalid(format!(
                 "watch_piece {} outside a {}-piece file",
                 self.watch_piece, self.num_pieces
-            ));
+            )));
         }
         let watch = PieceId::new(self.watch_piece);
         match (&self.coding, self.kernel) {
             (Some(_), KernelKind::Coded) | (None, _) => {}
             (Some(_), _) => {
-                return Err(
+                return Err(SpecError::Invalid(
                     "scenario has a `coding` block: it runs only on the coded kernel \
                      (kernel overrides cannot switch a coded scenario to an uncoded one)"
                         .into(),
-                )
+                ))
             }
         }
         let (params, coding) = if let Some(coding) = &self.coding {
             if !(0.0..=1.0).contains(&coding.gift_fraction) {
-                return Err(format!(
+                return Err(SpecError::Invalid(format!(
                     "coding: gift_fraction {} must lie in [0, 1]",
                     coding.gift_fraction
-                ));
+                )));
             }
             if self.policy != "random-useful" {
-                return Err(format!(
+                return Err(SpecError::Invalid(format!(
                     "coding: piece policy `{}` does not apply to the coded \
                      kernel (uploads are random linear combinations)",
                     self.policy
-                ));
+                )));
             }
             if self.retry_speedup != 1.0 {
-                return Err(
+                return Err(SpecError::Invalid(
                     "coding: the coded kernel does not model the retry speed-up \
                      (retry_speedup must be 1)"
                         .into(),
-                );
+                ));
             }
             let mut lambda_total = 0.0;
             for (i, arrival) in self.arrivals.iter().enumerate() {
                 if arrival.pieces != PieceSelector::Empty {
-                    return Err(format!(
+                    return Err(SpecError::Invalid(format!(
                         "arrivals[{i}]: coded scenarios take empty-handed arrival \
                          classes only; gifted arrivals come from coding.gift_fraction"
-                    ));
+                    )));
                 }
                 lambda_total += arrival.rate;
             }
@@ -328,11 +337,13 @@ impl ScenarioSpec {
                 self.contact_rate,
                 self.seed_departure_rate,
             )
-            .map_err(|e| format!("coding: {e}"))?;
+            .map_err(|e| SpecError::Invalid(format!("coding: {e}")))?;
             (coded.base.clone(), Some(coded.gifts()))
         } else {
             if self.kernel == KernelKind::Coded {
-                return Err("the coded kernel requires a `coding` block".into());
+                return Err(SpecError::Invalid(
+                    "the coded kernel requires a `coding` block".into(),
+                ));
             }
             let mut builder = SwarmParams::builder(self.num_pieces)
                 .seed_rate(self.seed_rate)
@@ -344,12 +355,12 @@ impl ScenarioSpec {
                 let pieces = arrival
                     .pieces
                     .resolve(self.num_pieces, watch)
-                    .map_err(|e| format!("arrivals[{i}]: {e}"))?;
+                    .map_err(|e| e.context(&format!("arrivals[{i}]")))?;
                 builder = builder.arrival(pieces, arrival.rate);
             }
             let params = builder
                 .build()
-                .map_err(|e| format!("invalid parameters: {e}"))?;
+                .map_err(|e| SpecError::Invalid(format!("invalid parameters: {e}")))?;
             (params, None)
         };
 
@@ -358,7 +369,7 @@ impl ScenarioSpec {
             let pieces = group
                 .pieces
                 .resolve(self.num_pieces, watch)
-                .map_err(|e| format!("initial[{i}]: {e}"))?;
+                .map_err(|e| e.context(&format!("initial[{i}]")))?;
             initial.push((pieces, group.count));
         }
         let mut flash = Vec::with_capacity(self.flash_crowds.len());
@@ -369,7 +380,7 @@ impl ScenarioSpec {
                 pieces: crowd
                     .pieces
                     .resolve(self.num_pieces, watch)
-                    .map_err(|e| format!("flash_crowds[{i}]: {e}"))?,
+                    .map_err(|e| e.context(&format!("flash_crowds[{i}]")))?,
             });
         }
 
@@ -483,8 +494,9 @@ impl ScenarioSpec {
     ///
     /// # Errors
     ///
-    /// Returns a message naming the offending field or byte offset.
-    pub fn from_json(text: &str) -> Result<Self, String> {
+    /// Returns a [`SpecError::Parse`] naming the offending field or byte
+    /// offset.
+    pub fn from_json(text: &str) -> Result<Self, SpecError> {
         const KNOWN: [&str; 17] = [
             "name",
             "description",
@@ -504,18 +516,23 @@ impl ScenarioSpec {
             "kernel",
             "coding",
         ];
-        let doc = json::parse(text)?;
+        let doc = json::parse(text).map_err(SpecError::Parse)?;
         for key in doc.keys() {
             if !KNOWN.contains(&key) {
-                return Err(format!("unknown scenario field `{key}`"));
+                return Err(SpecError::Parse(format!("unknown scenario field `{key}`")));
             }
         }
         let name = match doc.get("name") {
             Some(Json::Str(s)) => s.clone(),
-            _ => return Err("missing required string field `name`".into()),
+            _ => {
+                return Err(SpecError::Parse(
+                    "missing required string field `name`".into(),
+                ))
+            }
         };
-        let num_pieces =
-            get_count(&doc, "num_pieces")?.ok_or("missing required integer field `num_pieces`")?;
+        let num_pieces = get_count(&doc, "num_pieces")?.ok_or_else(|| {
+            SpecError::Parse("missing required integer field `num_pieces`".into())
+        })?;
         let mut spec = ScenarioSpec::new(name, num_pieces);
         if let Some(Json::Str(s)) = doc.get("description") {
             spec.description = s.clone();
@@ -555,25 +572,33 @@ impl ScenarioSpec {
             Some(Json::Str(s)) if s == "turbo" => spec.kernel = KernelKind::Turbo,
             Some(Json::Str(s)) if s == "coded" => spec.kernel = KernelKind::Coded,
             Some(_) => {
-                return Err("`kernel` must be \"event-driven\", \"legacy-scan\", \
+                return Err(SpecError::Parse(
+                    "`kernel` must be \"event-driven\", \"legacy-scan\", \
                      \"turbo\", or \"coded\""
-                    .into())
+                        .into(),
+                ))
             }
         }
         match doc.get("coding") {
             None => {
                 if spec.kernel == KernelKind::Coded {
-                    return Err("`kernel: \"coded\"` requires a `coding` block".into());
+                    return Err(SpecError::Parse(
+                        "`kernel: \"coded\"` requires a `coding` block".into(),
+                    ));
                 }
             }
             Some(block @ Json::Obj(_)) => {
                 check_keys(block, &["q", "gift_fraction"], "coding")?;
-                let q = get_count(block, "q")?.ok_or("coding: missing required field `q`")?;
-                GaloisField::new(q as u64).map_err(|e| format!("coding: {e}"))?;
-                let f = get_rate(block, "gift_fraction")?
-                    .ok_or("coding: missing required field `gift_fraction`")?;
+                let q = get_count(block, "q")?
+                    .ok_or_else(|| SpecError::Parse("coding: missing required field `q`".into()))?;
+                GaloisField::new(q as u64).map_err(|e| SpecError::Parse(format!("coding: {e}")))?;
+                let f = get_rate(block, "gift_fraction")?.ok_or_else(|| {
+                    SpecError::Parse("coding: missing required field `gift_fraction`".into())
+                })?;
                 if f > 1.0 {
-                    return Err(format!("coding: `gift_fraction` {f} must lie in [0, 1]"));
+                    return Err(SpecError::Parse(format!(
+                        "coding: `gift_fraction` {f} must lie in [0, 1]"
+                    )));
                 }
                 spec.coding = Some(CodingSpec {
                     field_order: q as u64,
@@ -583,12 +608,14 @@ impl ScenarioSpec {
                     // A coding block implies the coded kernel.
                     spec.kernel = KernelKind::Coded;
                 } else if spec.kernel != KernelKind::Coded {
-                    return Err("a `coding` block requires `kernel: \"coded\"` \
+                    return Err(SpecError::Parse(
+                        "a `coding` block requires `kernel: \"coded\"` \
                          (or omit the kernel field)"
-                        .into());
+                            .into(),
+                    ));
                 }
             }
-            Some(_) => return Err("`coding` must be an object".into()),
+            Some(_) => return Err(SpecError::Parse("`coding` must be an object".into())),
         }
         if let Some(value) = doc.get("arrivals") {
             let items = as_array(value, "arrivals")?;
@@ -596,12 +623,14 @@ impl ScenarioSpec {
                 check_keys(item, &["pieces", "rate"], &format!("arrivals[{i}]"))?;
                 spec.arrivals.push(ArrivalSpec {
                     pieces: PieceSelector::from_json(
-                        item.get("pieces")
-                            .ok_or(format!("arrivals[{i}]: missing `pieces`"))?,
+                        item.get("pieces").ok_or_else(|| {
+                            SpecError::Parse(format!("arrivals[{i}]: missing `pieces`"))
+                        })?,
                         &format!("arrivals[{i}]"),
                     )?,
-                    rate: get_rate(item, "rate")?
-                        .ok_or(format!("arrivals[{i}]: missing `rate`"))?,
+                    rate: get_rate(item, "rate")?.ok_or_else(|| {
+                        SpecError::Parse(format!("arrivals[{i}]: missing `rate`"))
+                    })?,
                 });
             }
         }
@@ -611,12 +640,14 @@ impl ScenarioSpec {
                 check_keys(item, &["pieces", "count"], &format!("initial[{i}]"))?;
                 spec.initial.push(InitialGroupSpec {
                     pieces: PieceSelector::from_json(
-                        item.get("pieces")
-                            .ok_or(format!("initial[{i}]: missing `pieces`"))?,
+                        item.get("pieces").ok_or_else(|| {
+                            SpecError::Parse(format!("initial[{i}]: missing `pieces`"))
+                        })?,
                         &format!("initial[{i}]"),
                     )?,
-                    count: get_count(item, "count")?
-                        .ok_or(format!("initial[{i}]: missing `count`"))?,
+                    count: get_count(item, "count")?.ok_or_else(|| {
+                        SpecError::Parse(format!("initial[{i}]: missing `count`"))
+                    })?,
                 });
             }
         }
@@ -629,13 +660,16 @@ impl ScenarioSpec {
                     &format!("flash_crowds[{i}]"),
                 )?;
                 spec.flash_crowds.push(FlashSpec {
-                    time: get_rate(item, "time")?
-                        .ok_or(format!("flash_crowds[{i}]: missing `time`"))?,
-                    count: get_count(item, "count")?
-                        .ok_or(format!("flash_crowds[{i}]: missing `count`"))?,
+                    time: get_rate(item, "time")?.ok_or_else(|| {
+                        SpecError::Parse(format!("flash_crowds[{i}]: missing `time`"))
+                    })?,
+                    count: get_count(item, "count")?.ok_or_else(|| {
+                        SpecError::Parse(format!("flash_crowds[{i}]: missing `count`"))
+                    })?,
                     pieces: PieceSelector::from_json(
-                        item.get("pieces")
-                            .ok_or(format!("flash_crowds[{i}]: missing `pieces`"))?,
+                        item.get("pieces").ok_or_else(|| {
+                            SpecError::Parse(format!("flash_crowds[{i}]: missing `pieces`"))
+                        })?,
                         &format!("flash_crowds[{i}]"),
                     )?,
                 });
@@ -645,17 +679,19 @@ impl ScenarioSpec {
     }
 }
 
-fn as_array<'a>(value: &'a Json, context: &str) -> Result<&'a [Json], String> {
+fn as_array<'a>(value: &'a Json, context: &str) -> Result<&'a [Json], SpecError> {
     match value {
         Json::Arr(items) => Ok(items),
-        _ => Err(format!("`{context}` must be an array")),
+        _ => Err(SpecError::Parse(format!("`{context}` must be an array"))),
     }
 }
 
-fn check_keys(value: &Json, known: &[&str], context: &str) -> Result<(), String> {
+fn check_keys(value: &Json, known: &[&str], context: &str) -> Result<(), SpecError> {
     for key in value.keys() {
         if !known.contains(&key) {
-            return Err(format!("{context}: unknown field `{key}`"));
+            return Err(SpecError::Parse(format!(
+                "{context}: unknown field `{key}`"
+            )));
         }
     }
     Ok(())
@@ -664,23 +700,25 @@ fn check_keys(value: &Json, known: &[&str], context: &str) -> Result<(), String>
 /// A non-negative rate/time, with `"inf"` accepted for infinity. Every
 /// numeric scenario field is a rate, a time, or a budget — none may be
 /// negative, so that is rejected at parse time with the field name.
-fn get_rate(value: &Json, key: &str) -> Result<Option<f64>, String> {
+fn get_rate(value: &Json, key: &str) -> Result<Option<f64>, SpecError> {
     match value.get(key) {
         None => Ok(None),
         Some(Json::Num(x)) if *x >= 0.0 => Ok(Some(*x)),
         Some(Json::Str(s)) if s == "inf" => Ok(Some(f64::INFINITY)),
-        Some(_) => Err(format!(
+        Some(_) => Err(SpecError::Parse(format!(
             "`{key}` must be a non-negative number (or \"inf\")"
-        )),
+        ))),
     }
 }
 
 /// A non-negative integer count.
-fn get_count(value: &Json, key: &str) -> Result<Option<usize>, String> {
+fn get_count(value: &Json, key: &str) -> Result<Option<usize>, SpecError> {
     match value.get(key) {
         None => Ok(None),
         Some(Json::Num(x)) if *x >= 0.0 && x.fract() == 0.0 => Ok(Some(*x as usize)),
-        Some(_) => Err(format!("`{key}` must be a non-negative integer")),
+        Some(_) => Err(SpecError::Parse(format!(
+            "`{key}` must be a non-negative integer"
+        ))),
     }
 }
 
@@ -890,22 +928,24 @@ impl Registry {
     ///
     /// # Errors
     ///
-    /// Returns a message if the file fails to read/parse, or the name is
+    /// Returns [`SpecError::Io`] / [`SpecError::InFile`] if the file fails
+    /// to read or parse, or [`SpecError::UnknownScenario`] if the name is
     /// unknown.
-    pub fn resolve(&self, file_or_name: &str) -> Result<ScenarioSpec, String> {
+    pub fn resolve(&self, file_or_name: &str) -> Result<ScenarioSpec, SpecError> {
         let path = std::path::Path::new(file_or_name);
         if path.is_file() {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-            return ScenarioSpec::from_json(&text).map_err(|e| format!("{}: {e}", path.display()));
+            let text = std::fs::read_to_string(path).map_err(|e| SpecError::Io {
+                path: path.to_path_buf(),
+                message: e.to_string(),
+            })?;
+            return ScenarioSpec::from_json(&text).map_err(|e| SpecError::in_file(path, e));
         }
-        self.get(file_or_name).cloned().ok_or_else(|| {
-            format!(
-                "`{file_or_name}` is neither a scenario file nor a built-in \
-                 (available: {})",
-                self.names().join(", ")
-            )
-        })
+        self.get(file_or_name)
+            .cloned()
+            .ok_or_else(|| SpecError::UnknownScenario {
+                name: file_or_name.to_owned(),
+                available: self.names().iter().map(ToString::to_string).collect(),
+            })
     }
 }
 
@@ -923,6 +963,9 @@ pub struct ScenarioRunOptions {
     /// Overrides the spec's simulation kernel when set (the CLI's
     /// `--kernel` flag).
     pub kernel_override: Option<KernelKind>,
+    /// Report replication progress on stderr through the engine's built-in
+    /// progress sink (the CLI's `--progress` flag).
+    pub progress: bool,
 }
 
 impl Default for ScenarioRunOptions {
@@ -933,6 +976,7 @@ impl Default for ScenarioRunOptions {
             seed: 0xA11CE,
             horizon_override: None,
             kernel_override: None,
+            progress: false,
         }
     }
 }
@@ -1013,15 +1057,38 @@ impl ScenarioRunReport {
     }
 }
 
-/// Executes a scenario spec on the engine's agent backend.
+/// Executes a scenario spec on the engine's agent backend through
+/// [`engine::Session`], discarding per-replication results.
 ///
 /// Deterministic: a fixed `options.seed` gives bit-identical outcomes at any
 /// `options.jobs`.
 ///
 /// # Errors
 ///
-/// Returns a message if the spec fails to compile or validate.
-pub fn run(spec: &ScenarioSpec, options: &ScenarioRunOptions) -> Result<ScenarioRunReport, String> {
+/// Returns a [`SpecError`] if the spec fails to compile or the engine
+/// rejects the compiled scenario.
+pub fn run(
+    spec: &ScenarioSpec,
+    options: &ScenarioRunOptions,
+) -> Result<ScenarioRunReport, SpecError> {
+    run_with_sink(spec, options, &mut NullSink)
+}
+
+/// Executes a scenario spec like [`run`], additionally streaming every
+/// replication's result into `sink` as it completes (in deterministic
+/// replication order — see [`engine::Session::stream`]). The returned
+/// report is byte-identical to [`run`]'s: batch execution *is* streaming
+/// execution with a null sink.
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] if the spec fails to compile or the engine
+/// rejects the compiled scenario.
+pub fn run_with_sink<S: ReplicationSink + Send>(
+    spec: &ScenarioSpec,
+    options: &ScenarioRunOptions,
+    sink: &mut S,
+) -> Result<ScenarioRunReport, SpecError> {
     // Apply the kernel override to the spec itself before compiling, so the
     // report's `spec` records the kernel that actually executed.
     let mut spec = spec.clone();
@@ -1034,9 +1101,16 @@ pub fn run(spec: &ScenarioSpec, options: &ScenarioRunOptions) -> Result<Scenario
         .with_replications(options.replications)
         .with_horizon(horizon)
         .with_master_seed(options.seed)
-        .with_jobs(options.jobs);
-    let outcomes =
-        run_agent_batch(std::slice::from_ref(&scenario), &config).map_err(|e| e.to_string())?;
+        .with_jobs(options.jobs)
+        .with_progress(options.progress);
+    let session = Session::builder()
+        .config(config)
+        .workload(Workload::agent(vec![scenario]))
+        .build()?;
+    let outcomes = session
+        .stream(sink)
+        .into_agent()
+        .expect("an agent workload");
     Ok(ScenarioRunReport {
         spec,
         outcome: outcomes.into_iter().next().expect("one scenario in"),
@@ -1106,7 +1180,7 @@ mod tests {
                 pieces: PieceSelector::Empty,
                 rate: 1.0,
             }];
-            let err = spec.compile(0).unwrap_err();
+            let err = spec.compile(0).unwrap_err().to_string();
             assert!(err.contains("num_pieces"), "{err}");
         }
         assert!(PieceSelector::Empty.resolve(65, PieceId::new(0)).is_err());
@@ -1117,7 +1191,7 @@ mod tests {
         let doc = r#"{"name":"x","num_pieces":2,
             "arrivals":[{"pieces":"empty","rate":1}],
             "flash_crowds":[{"time":-5.0,"count":3,"pieces":"empty"}]}"#;
-        let err = ScenarioSpec::from_json(doc).unwrap_err();
+        let err = ScenarioSpec::from_json(doc).unwrap_err().to_string();
         assert!(err.contains("time"), "{err}");
         let doc = r#"{"name":"x","num_pieces":2,
             "arrivals":[{"pieces":"empty","rate":-1}]}"#;
@@ -1157,6 +1231,7 @@ mod tests {
             seed: 77,
             horizon_override: Some(80.0),
             kernel_override: Some(KernelKind::Turbo),
+            progress: false,
         };
         let a = run(spec, &options).unwrap();
         let b = run(spec, &ScenarioRunOptions { jobs: 4, ..options }).unwrap();
@@ -1193,6 +1268,7 @@ mod tests {
             seed: 42,
             horizon_override: Some(120.0),
             kernel_override: None,
+            progress: false,
         };
         let a = run(spec, &options).unwrap();
         let b = run(spec, &ScenarioRunOptions { jobs: 4, ..options }).unwrap();

@@ -5,11 +5,11 @@
 //! Earlier revisions ran exactly one replication per point on a hand-rolled
 //! thread pool, seeding point `i` with `seed + i` — so adjacent sweeps
 //! shared streams and boundary verdicts were single-sample noise. The sweep
-//! is now a thin adapter over [`engine`]: stream derivation, scheduling,
-//! and aggregation all live there, and [`SweepOutcome`] keeps its original
-//! shape for the experiment harnesses.
+//! is now a thin adapter over [`engine::Session`]: stream derivation,
+//! scheduling, and aggregation all live there, and [`SweepOutcome`] keeps
+//! its original shape for the experiment harnesses.
 
-use engine::{run_batch, EngineConfig, Scenario};
+use engine::{EngineConfig, Scenario, Session, Workload};
 use markov::PathClass;
 use serde::{Deserialize, Serialize};
 use swarm::{stability, StabilityVerdict, SwarmParams};
@@ -68,6 +68,9 @@ pub struct SweepOptions {
     pub replications: u32,
     /// Initial one-club size (0 = start from an empty system).
     pub initial_one_club: u32,
+    /// Report replication progress on stderr through the engine's built-in
+    /// progress sink.
+    pub progress: bool,
 }
 
 impl Default for SweepOptions {
@@ -78,6 +81,7 @@ impl Default for SweepOptions {
             threads: 4,
             replications: 4,
             initial_one_club: 0,
+            progress: false,
         }
     }
 }
@@ -90,6 +94,7 @@ impl SweepOptions {
             .with_master_seed(self.seed)
             .with_jobs(self.threads)
             .with_initial_one_club(self.initial_one_club)
+            .with_progress(self.progress)
     }
 }
 
@@ -117,9 +122,10 @@ impl SweepSummary {
     }
 }
 
-/// Runs every sweep point through the replication engine and returns the
-/// outcomes in input order. Deterministic for a fixed `options.seed`
-/// regardless of `options.threads`.
+/// Runs every sweep point through the replication engine (one
+/// [`engine::Session`] over the whole point list) and returns the outcomes
+/// in input order. Deterministic for a fixed `options.seed` regardless of
+/// `options.threads`.
 #[must_use]
 pub fn run_sweep(points: &[SweepPoint], options: SweepOptions) -> Vec<SweepOutcome> {
     let scenarios: Vec<Scenario> = points
@@ -127,7 +133,14 @@ pub fn run_sweep(points: &[SweepPoint], options: SweepOptions) -> Vec<SweepOutco
         .enumerate()
         .map(|(i, p)| Scenario::new(i as u64, p.label.clone(), p.params.clone()))
         .collect();
-    run_batch(&scenarios, &options.engine_config())
+    Session::builder()
+        .config(options.engine_config())
+        .workload(Workload::ctmc(scenarios))
+        .build()
+        .unwrap_or_else(|e| panic!("sweep session rejected: {e}"))
+        .run()
+        .into_ctmc()
+        .expect("a CTMC workload")
         .into_iter()
         .map(|outcome| SweepOutcome {
             label: outcome.label,
@@ -182,6 +195,7 @@ mod tests {
             threads: 2,
             replications: 2,
             initial_one_club: 0,
+            progress: false,
         }
     }
 
@@ -308,6 +322,7 @@ mod tests {
             threads: 1,
             replications: 1,
             seed: 1,
+            progress: false,
         };
         let outcomes = run_sweep(&points, options);
         // The run starts from 50 one-club peers; tail average should reflect a

@@ -1,18 +1,26 @@
 //! Error-path coverage for the scenario file format: malformed documents
-//! must come back as structured `Err(String)` values naming the offending
-//! field — never as panics — from both the parser (`ScenarioSpec::from_json`)
-//! and the compiler (`ScenarioSpec::compile`).
+//! must come back as typed [`SpecError`] values whose rendered messages
+//! name the offending field — never as panics — from both the parser
+//! (`ScenarioSpec::from_json`) and the compiler (`ScenarioSpec::compile`).
 
 use workload::registry::{Registry, ScenarioSpec};
+use workload::SpecError;
 
 /// Parses and asserts the error message mentions `needle`.
 fn parse_err(doc: &str, needle: &str) {
     match ScenarioSpec::from_json(doc) {
         Ok(spec) => panic!("{doc} should not parse, got {spec:?}"),
-        Err(message) => assert!(
-            message.contains(needle),
-            "error for {doc} should mention `{needle}`, got: {message}"
-        ),
+        Err(error) => {
+            assert!(
+                matches!(error, SpecError::Parse(_)),
+                "parser failures are SpecError::Parse, got {error:?}"
+            );
+            let message = error.to_string();
+            assert!(
+                message.contains(needle),
+                "error for {doc} should mention `{needle}`, got: {message}"
+            );
+        }
     }
 }
 
@@ -122,10 +130,17 @@ fn coded_compile_rejects_incompatible_features() {
         let spec = ScenarioSpec::from_json(&doc).expect("parses");
         match spec.compile(0) {
             Ok(_) => panic!("{doc} should not compile"),
-            Err(message) => assert!(
-                message.contains(needle),
-                "error should mention `{needle}`, got: {message}"
-            ),
+            Err(error) => {
+                assert!(
+                    matches!(error, SpecError::Invalid(_)),
+                    "compile failures are SpecError::Invalid, got {error:?}"
+                );
+                let message = error.to_string();
+                assert!(
+                    message.contains(needle),
+                    "error should mention `{needle}`, got: {message}"
+                );
+            }
         }
     };
     // Gifted arrivals are expressed by gift_fraction, not piece selectors.
@@ -134,7 +149,10 @@ fn coded_compile_rejects_incompatible_features() {
             "arrivals":[{"pieces":[0],"rate":1}]}"#,
     )
     .expect("parses");
-    let message = spec.compile(0).expect_err("non-empty arrivals rejected");
+    let message = spec
+        .compile(0)
+        .expect_err("non-empty arrivals rejected")
+        .to_string();
     assert!(message.contains("empty-handed"), "{message}");
     // Piece policies and retry speed-ups do not apply to coded uploads.
     compile_err(r#","policy":"rarest-first""#, "policy");

@@ -55,6 +55,7 @@ fn scenario_file_resolves_compiles_and_runs() {
         seed: 0xF11E,
         horizon_override: None,
         kernel_override: None,
+        progress: false,
     };
     let a = run(&spec, &options).expect("runs");
     let b = run(&spec, &ScenarioRunOptions { jobs: 6, ..options }).expect("runs");
@@ -69,7 +70,10 @@ fn scenario_file_resolves_compiles_and_runs() {
 #[test]
 fn unknown_names_report_the_available_scenarios() {
     let registry = Registry::builtin();
-    let err = registry.resolve("no-such-scenario").unwrap_err();
+    let err = registry
+        .resolve("no-such-scenario")
+        .unwrap_err()
+        .to_string();
     assert!(err.contains("no-such-scenario"));
     assert!(
         err.contains("flash-crowd"),
@@ -90,6 +94,7 @@ fn builtin_big_swarm_scenario_reaches_operating_size() {
         seed: 3,
         horizon_override: Some(8.0),
         kernel_override: None,
+        progress: false,
     };
     let report = run(spec, &options).expect("runs");
     assert!(

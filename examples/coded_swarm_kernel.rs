@@ -15,7 +15,7 @@
 //! cargo run --release --example coded_swarm_kernel
 //! ```
 
-use p2p_stability::engine::{run_coded_grid, Axis, CodedGridSpec, EngineConfig};
+use p2p_stability::engine::{Axis, CodedGridSpec, EngineConfig, Session, Workload};
 use p2p_stability::swarm::coded::theorem15_gift_thresholds;
 use p2p_stability::workload::registry::{self, Registry, ScenarioRunOptions};
 
@@ -29,6 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: 0xC0DE,
         horizon_override: Some(400.0),
         kernel_override: None,
+        progress: false,
     };
     for name in ["coded-gift-sub", "coded-gift-super"] {
         let spec = registry.get(name).expect("built-in scenario");
@@ -50,7 +51,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_horizon(500.0)
         .with_master_seed(0xC0DE)
         .with_jobs(0);
-    let diagram = run_coded_grid(&spec, &config)?;
+    let diagram = Session::builder()
+        .config(config)
+        .workload(Workload::coded(&spec))
+        .build()?
+        .run()
+        .into_coded()
+        .expect("a coded workload");
     println!("{diagram}");
     println!(
         "{} cells agree with Theorem 15, {} mismatch",

@@ -5,8 +5,9 @@
 //! With random linear coding over `GF(q)`, a tiny `f` suffices: the paper's
 //! headline numbers are `q = 64, K = 200`, where `f ≈ 0.005` already
 //! stabilises the system. This example prints the closed-form thresholds and
-//! then simulates a laptop-scale coded swarm (`q = 8, K = 4`) on both sides
-//! of its threshold.
+//! then replicates a laptop-scale coded swarm (`q = 8, K = 4`) on both sides
+//! of its threshold through one engine [`Session`] coded-grid workload —
+//! majority verdicts over independent streams instead of single noisy runs.
 //!
 //! Run with:
 //!
@@ -14,10 +15,8 @@
 //! cargo run --release --example network_coding_gift
 //! ```
 
-use p2p_stability::markov::PathClassifier;
+use p2p_stability::engine::{labels, Axis, CodedGridSpec, EngineConfig, Session, Workload};
 use p2p_stability::swarm::coded;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Closed-form gifted-fraction thresholds (Theorem 15):");
@@ -34,30 +33,50 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          Without coding the same system is transient for ANY gifted fraction f < 1.\n"
     );
 
-    // Simulate the coded swarm at laptop scale.
+    // Replicate the coded swarm at laptop scale on both sides of the
+    // threshold: one coded-grid session over the f axis.
     let (q, k) = (8u64, 4usize);
     let (lo, hi) = coded::theorem15_gift_thresholds(q, k);
-    println!("Coded swarm simulation at q = {q}, K = {k} (λ = 1, U_s = 0, γ = ∞):");
+    println!("Coded swarm replication batches at q = {q}, K = {k} (λ = 1, U_s = 0, γ = ∞):");
+    let fractions: Vec<f64> = [0.3 * lo, 0.8 * lo, 1.5 * hi, 4.0 * hi]
+        .iter()
+        .map(|f| f.min(1.0))
+        .collect();
+    let spec = CodedGridSpec::headline(Axis::new("f", fractions.clone()), vec![q], vec![k], 1.0);
+    let diagram = Session::builder()
+        .config(
+            EngineConfig::default()
+                .with_replications(4)
+                .with_horizon(1_000.0)
+                .with_master_seed(5)
+                .with_jobs(0),
+        )
+        .workload(Workload::coded(&spec))
+        .build()?
+        .run()
+        .into_coded()
+        .expect("a coded workload");
+
     println!(
-        "{:>12} {:>14} {:>12} {:>12} {:>12}",
-        "fraction f", "Theorem 15", "sim class", "tail slope", "departures"
+        "{:>12} {:>14} {:>14} {:>12} {:>8}",
+        "fraction f", "Theorem 15", "sim majority", "tail slope", "votes"
     );
-    for f in [0.3 * lo, 0.8 * lo, 1.5 * hi, 4.0 * hi] {
-        let params =
-            coded::CodedParams::gift_example(k, q, 1.0, f.min(1.0), 0.0, 1.0, f64::INFINITY)?;
-        let theory = coded::theorem15_classify(&params)?;
-        let sim = coded::CodedSwarmSim::new(params).snapshot_interval(10.0);
-        let mut rng = StdRng::seed_from_u64(5);
-        let result = sim.run(2_000.0, &mut rng);
-        let verdict = PathClassifier::new(1.0, 40.0).classify(&result.peer_count_path());
+    for &f in &fractions {
+        let cell = diagram.cell(k, q, f).expect("cell evaluated");
         println!(
-            "{:>12.4} {:>14} {:>12} {:>12.3} {:>12}",
+            "{:>12.4} {:>14} {:>14} {:>12.3} {:>8}",
             f,
-            format!("{theory:?}"),
-            format!("{:?}", verdict.class),
-            verdict.tail_slope,
-            result.departures,
+            labels::verdict_name(cell.outcome.theory),
+            labels::class_name(cell.outcome.majority),
+            cell.outcome.tail_slope.mean,
+            cell.outcome.votes.total(),
         );
     }
+    println!("\n{diagram}");
+    println!(
+        "{} of {} cells agree with Theorem 15",
+        diagram.agreements(),
+        diagram.len()
+    );
     Ok(())
 }

@@ -5,7 +5,8 @@
 //! is positive recurrent for *any* arrival rate and any positive seed rate.
 //! This example hammers a 3-piece swarm with a heavy load (λ0 = 20, a seed a
 //! hundred times slower) and shows the verdict flip as the mean dwell time
-//! crosses `1/µ`.
+//! crosses `1/µ`, with every dwell ratio replicated through one engine
+//! [`Session`].
 //!
 //! Run with:
 //!
@@ -13,32 +14,54 @@
 //! cargo run --release --example one_extra_piece
 //! ```
 
-use p2p_stability::swarm::{stability, SwarmModel};
+use p2p_stability::engine::{labels, EngineConfig, Scenario, Session, Workload};
 use p2p_stability::workload::scenario;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lambda0 = 20.0;
+    let ratios = [0.5, 0.9, 1.0, 1.1, 1.5, 3.0];
     println!("K = 3, µ = 1, U_s = 0.05, λ0 = {lambda0}");
+
+    // One scenario per dwell ratio, replicated in a single session: every
+    // point draws from its own deterministic stream, and the whole sweep is
+    // bit-identical at any worker count.
+    let mut scenarios = Vec::new();
+    let mut dwell = Vec::new();
+    for (i, &gamma_over_mu) in ratios.iter().enumerate() {
+        let params = scenario::one_extra_piece(3, lambda0, gamma_over_mu)?;
+        dwell.push(params.mean_seed_dwell());
+        scenarios.push(Scenario::new(
+            i as u64,
+            format!("γ/µ={gamma_over_mu}"),
+            params,
+        ));
+    }
+    let outcomes = Session::builder()
+        .config(
+            EngineConfig::default()
+                .with_replications(3)
+                .with_horizon(800.0)
+                .with_master_seed(11)
+                .with_jobs(0),
+        )
+        .workload(Workload::ctmc(scenarios))
+        .build()?
+        .run()
+        .into_ctmc()
+        .expect("a CTMC workload");
+
     println!(
         "{:>8} {:>12} {:>12} {:>14} {:>12}",
-        "γ/µ", "dwell 1/γ", "Theorem 1", "sim class", "tail slope"
+        "γ/µ", "dwell 1/γ", "Theorem 1", "sim majority", "tail slope"
     );
-
-    for gamma_over_mu in [0.5, 0.9, 1.0, 1.1, 1.5, 3.0] {
-        let params = scenario::one_extra_piece(3, lambda0, gamma_over_mu)?;
-        let verdict = stability::classify(&params).verdict;
-        let model = SwarmModel::new(params.clone());
-        let mut rng = StdRng::seed_from_u64(11);
-        let sim = model.simulate_and_classify(model.empty_state(), 1_500.0, &mut rng);
+    for ((&ratio, &mean_dwell), outcome) in ratios.iter().zip(&dwell).zip(&outcomes) {
         println!(
             "{:>8.2} {:>12.3} {:>12} {:>14} {:>12.3}",
-            gamma_over_mu,
-            params.mean_seed_dwell(),
-            format!("{verdict:?}"),
-            format!("{:?}", sim.class),
-            sim.tail_slope,
+            ratio,
+            mean_dwell,
+            labels::verdict_name(outcome.theory),
+            labels::class_name(outcome.majority),
+            outcome.tail_slope.mean,
         );
     }
 

@@ -1,6 +1,7 @@
 //! Quickstart: build a swarm model, ask Theorem 1 whether it is stable, and
-//! confirm the answer by simulating the exact CTMC and the peer-level
-//! simulator.
+//! confirm the answer with replicated simulations of both the exact CTMC
+//! and the peer-level simulator — all through the engine's unified
+//! [`Session`] API.
 //!
 //! Run with:
 //!
@@ -8,10 +9,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use p2p_stability::swarm::sim::AgentSwarm;
-use p2p_stability::swarm::{stability, SwarmModel, SwarmParams};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use p2p_stability::engine::{AgentScenario, EngineConfig, Scenario, Session, Workload};
+use p2p_stability::swarm::{stability, SwarmParams};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 4-piece file, a fixed seed uploading at rate 1, peers contacting at
@@ -34,34 +33,68 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stability::critical_departure_rate(&params)
     );
 
-    // 2. Simulate the exact type-count CTMC.
-    let model = SwarmModel::new(params.clone());
-    let mut rng = StdRng::seed_from_u64(1);
-    let verdict = model.simulate_and_classify(model.empty_state(), 2_000.0, &mut rng);
-    println!("\nCTMC simulation          : {:?}", verdict.class);
+    // 2. Replicate the exact type-count CTMC on the engine: 4 independent
+    //    replications, majority vote, deterministic at any worker count.
+    let config = EngineConfig::default()
+        .with_replications(4)
+        .with_horizon(2_000.0)
+        .with_master_seed(1)
+        .with_jobs(0);
+    let ctmc = Session::builder()
+        .config(config)
+        .workload(Workload::ctmc(vec![Scenario::new(
+            0,
+            "quickstart",
+            params.clone(),
+        )]))
+        .build()?
+        .run()
+        .into_ctmc()
+        .expect("a CTMC workload")
+        .remove(0);
     println!(
-        "  tail growth rate       : {:+.4} peers per unit time",
-        verdict.tail_slope
+        "\nCTMC replication batch   : majority {:?} (votes {:?})",
+        ctmc.majority, ctmc.votes
     );
-    println!("  tail average population: {:.1}", verdict.tail_average);
+    println!(
+        "  tail growth rate       : {:+.4} ± {:.4} peers per unit time",
+        ctmc.tail_slope.mean, ctmc.tail_slope.ci_half_width
+    );
+    println!(
+        "  tail average population: {:.1} ± {:.1}",
+        ctmc.tail_average.mean, ctmc.tail_average.ci_half_width
+    );
+    println!(
+        "  agrees with Theorem 1  : {} (agreement {:.0}%)",
+        ctmc.agrees,
+        100.0 * ctmc.agreement
+    );
 
-    // 3. Simulate the peer-level (agent-based) engine and look at sojourns.
-    let sim = AgentSwarm::new(params)?;
-    let mut rng = StdRng::seed_from_u64(2);
-    let result = sim.run(&[], 2_000.0, &mut rng);
-    let last = result.final_snapshot();
+    // 3. The peer-level (agent-based) simulator through the same entry
+    //    point: swap the workload, keep everything else.
+    let agent = Session::builder()
+        .config(config.with_master_seed(2))
+        .workload(Workload::agent(vec![AgentScenario::new(
+            0,
+            "quickstart-agent",
+            params,
+        )]))
+        .build()?
+        .run()
+        .into_agent()
+        .expect("an agent workload")
+        .remove(0);
     println!(
-        "\nAgent-based simulation   : {} peers at t = {:.0}",
-        last.total_peers, last.time
+        "\nAgent-based replication  : majority {:?} (votes {:?})",
+        agent.majority, agent.votes
     );
-    println!("  departures             : {}", result.sojourns.departures);
     println!(
-        "  mean sojourn time      : {:.2}",
-        result.sojourns.mean_sojourn()
+        "  tail average population: {:.1} ± {:.1}",
+        agent.tail_average.mean, agent.tail_average.ci_half_width
     );
     println!(
-        "  contact success rate   : {:.1}%",
-        100.0 * result.contact_success_fraction()
+        "  mean events/replication: {:.0} (truncated replications: {})",
+        agent.mean_events, agent.truncated_replications
     );
 
     Ok(())

@@ -22,19 +22,25 @@
 //! initial population one dimension short of decoding — so every contact
 //! exercises the RREF reduce/absorb hot path.
 //!
+//! Every measurement executes through the unified `engine::Session` API
+//! (one agent scenario, one replication, `--jobs 1`), with the event and
+//! transfer counters streamed out of a `ReplicationSink` — so the bench
+//! exercises the exact dispatch path production callers use, and wall time
+//! is measured around `Session::stream`.
+//!
 //! `--check` is the CI mode: it runs a reduced size twice per kernel and
 //! asserts *event-count determinism* (same seed → identical event and
 //! transfer counts; scan ≡ event by draw parity) plus the schema of the
 //! committed `BENCH_PR4.json` — never wall time, which CI hardware cannot
 //! promise.
 
+use p2p_stability::engine::{
+    AgentScenario, EngineConfig, ReplicationRecord, ReplicationSink, Session, Workload,
+};
 use p2p_stability::pieceset::{PieceId, PieceSet};
 use p2p_stability::swarm::coded::CodedParams;
-use p2p_stability::swarm::policy::RandomUseful;
-use p2p_stability::swarm::sim::{AgentConfig, AgentSwarm, KernelKind, SimScratch};
+use p2p_stability::swarm::sim::{AgentConfig, KernelKind};
 use p2p_stability::swarm::SwarmParams;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -76,45 +82,67 @@ fn bench_params(n: usize) -> SwarmParams {
     builder.build().expect("valid parameters")
 }
 
-/// `n` initial peers, each missing one piece (round-robin), so the swarm
-/// starts at operating size. Under the coded kernel the same collections map
-/// to dimension-31 subspaces: one dimension short of decoding.
-fn initial_population(n: usize) -> Vec<PieceSet> {
+/// `n` initial peers, each missing one piece (one group per piece, sizes
+/// balanced), so the swarm starts at operating size. Under the coded kernel
+/// the same collections map to dimension-31 subspaces: one dimension short
+/// of decoding.
+fn initial_groups(n: usize) -> Vec<(PieceSet, usize)> {
     let full = PieceSet::full(K);
-    (0..n).map(|i| full.without(PieceId::new(i % K))).collect()
+    (0..K)
+        .map(|i| {
+            let count = n / K + usize::from(i < n % K);
+            (full.without(PieceId::new(i)), count)
+        })
+        .collect()
 }
 
-fn make_sim(kernel: KernelKind, n: usize) -> AgentSwarm {
-    AgentSwarm::with_config(
-        bench_params(n),
-        AgentConfig {
-            kernel,
-            retry_speedup: 10.0,
-            snapshot_interval: 0.25,
-            ..Default::default()
-        },
-        Box::new(RandomUseful),
-    )
-    .expect("valid configuration")
+/// The benchmark scenario on the given uncoded kernel, as a Session
+/// workload: `n` one-piece-short initial peers, retry speed-up η = 10.
+fn make_scenario(kernel: KernelKind, n: usize) -> AgentScenario {
+    let mut scenario = AgentScenario::new(0, format!("bench-{n}"), bench_params(n));
+    scenario.config = AgentConfig {
+        kernel,
+        retry_speedup: 10.0,
+        snapshot_interval: 0.25,
+        ..Default::default()
+    };
+    scenario.initial = initial_groups(n);
+    scenario
 }
 
-/// The coded analogue of [`bench_params`]: same `K`, arrival volume, contact
-/// rate, and hit-and-run seed departures, with the one-piece-short arrival
-/// mix replaced by the Theorem 15 gift model over GF(2) at `f = 0.5` (the
-/// retry speed-up does not apply to the coded system).
-fn make_coded_sim(n: usize) -> AgentSwarm {
+/// The coded analogue of [`make_scenario`]: same `K`, arrival volume,
+/// contact rate, and hit-and-run seed departures, with the one-piece-short
+/// arrival mix replaced by the Theorem 15 gift model over GF(2) at
+/// `f = 0.5` (the retry speed-up does not apply to the coded system).
+fn make_coded_scenario(n: usize) -> AgentScenario {
     let lambda_total = n as f64 / 10.0;
     let params = CodedParams::gift_example(K, 2, lambda_total, 0.5, 1.0, 0.1, 200.0)
         .expect("valid coded parameters");
-    AgentSwarm::with_coded(
-        params,
-        AgentConfig {
-            kernel: KernelKind::Coded,
-            snapshot_interval: 0.25,
-            ..Default::default()
-        },
-    )
-    .expect("valid configuration")
+    let mut scenario = AgentScenario::new(0, format!("bench-coded-{n}"), params.base.clone());
+    scenario.coding = Some(params.gifts());
+    scenario.config = AgentConfig {
+        kernel: KernelKind::Coded,
+        snapshot_interval: 0.25,
+        ..Default::default()
+    };
+    scenario.initial = initial_groups(n);
+    scenario
+}
+
+/// Captures the single replication's simulator counters off the stream.
+#[derive(Default)]
+struct CaptureSink {
+    events: u64,
+    transfers: u64,
+    truncated: bool,
+}
+
+impl ReplicationSink for CaptureSink {
+    fn record(&mut self, record: &ReplicationRecord) {
+        self.events = record.events;
+        self.transfers = record.transfers;
+        self.truncated = record.truncated;
+    }
 }
 
 struct Measurement {
@@ -125,41 +153,53 @@ struct Measurement {
     events_per_sec: f64,
 }
 
-/// Runs `sim` on `initial` peers to `horizon`, `repeats` times on a warm
-/// scratch, and reports the best wall time (the least-noisy estimator of the
-/// kernel's cost). Event counts are identical across repeats by construction
-/// — same seed, same kernel — and asserted so.
+/// Runs `scenario` to `horizon` through a single-replication
+/// [`Session`], `repeats` times, streaming the counters out of a
+/// [`CaptureSink`], and reports the best wall time (the least-noisy
+/// estimator of the kernel's cost). Each repeat is a cold start — the
+/// session allocates a fresh scratch arena per stream, so the measured
+/// time includes one table/pool allocation, amortized over millions of
+/// events (the pre-Session bench reused a warm scratch across repeats;
+/// the committed PR-4 numbers are the historical warm-path trajectory).
+/// Event counts are identical across repeats by construction — same
+/// master seed, same derived stream — and asserted so.
 fn measure(
-    sim: &AgentSwarm,
+    scenario: &AgentScenario,
     name: &'static str,
-    initial: &[PieceSet],
     horizon: f64,
     repeats: u32,
 ) -> Measurement {
-    let mut scratch = SimScratch::new();
+    let session = Session::builder()
+        .config(
+            EngineConfig::default()
+                .with_replications(1)
+                .with_horizon(horizon)
+                .with_master_seed(SEED)
+                .with_jobs(1),
+        )
+        .workload(Workload::agent(vec![scenario.clone()]))
+        .build()
+        .expect("valid benchmark scenario");
     let mut best = f64::INFINITY;
     let mut events = 0u64;
     let mut transfers = 0u64;
     for repeat in 0..repeats {
-        let mut rng = StdRng::seed_from_u64(SEED);
+        let mut sink = CaptureSink::default();
         let start = Instant::now();
-        let result = sim
-            .run_with_scratch(initial, &[], horizon, &mut rng, &mut scratch)
-            .expect("valid run");
+        let _ = session.stream(&mut sink);
         let wall = start.elapsed().as_secs_f64();
-        assert!(!result.truncated, "budget must cover the horizon");
+        assert!(!sink.truncated, "budget must cover the horizon");
         if repeat == 0 {
-            events = result.events;
-            transfers = result.transfers;
+            events = sink.events;
+            transfers = sink.transfers;
         } else {
-            assert_eq!(events, result.events, "{name}: nondeterministic events");
+            assert_eq!(events, sink.events, "{name}: nondeterministic events");
             assert_eq!(
-                transfers, result.transfers,
+                transfers, sink.transfers,
                 "{name}: nondeterministic transfers"
             );
         }
         best = best.min(wall);
-        scratch.recycle(result);
     }
     Measurement {
         kernel: name,
@@ -281,12 +321,11 @@ fn check() -> ExitCode {
     let n = 2_000;
     let horizon = 4.0;
     println!("bench_report --check: {n} peers, horizon {horizon}");
-    let initial = initial_population(n);
     let mut per_kernel = Vec::new();
     for (kernel, name) in KERNELS {
         // `measure` itself asserts event/transfer determinism across its
         // repeats (same seed, twice).
-        let m = measure(&make_sim(kernel, n), name, &initial, horizon, 2);
+        let m = measure(&make_scenario(kernel, n), name, horizon, 2);
         assert!(m.events > 1_000, "{name}: implausibly few events");
         assert!(m.transfers > 0, "{name}: no transfers simulated");
         println!(
@@ -310,7 +349,7 @@ fn check() -> ExitCode {
     );
     // The coded kernel: deterministic per seed (asserted inside `measure`)
     // and simulating a comparably busy system.
-    let coded = measure(&make_coded_sim(n), "coded", &initial, horizon, 2);
+    let coded = measure(&make_coded_scenario(n), "coded", horizon, 2);
     assert!(coded.events > 1_000, "coded: implausibly few events");
     assert!(coded.transfers > 0, "coded: no coded transfers simulated");
     println!(
@@ -374,11 +413,10 @@ fn main() -> ExitCode {
     let mut sizes = Vec::new();
     for (peers, horizon) in [(10_000usize, 40.0f64), (100_000, 8.0)] {
         eprintln!("measuring {peers}-peer swarm (horizon {horizon}) ...");
-        let initial = initial_population(peers);
         let measurements: Vec<Measurement> = KERNELS
             .iter()
             .map(|&(kernel, name)| {
-                let m = measure(&make_sim(kernel, peers), name, &initial, horizon, 3);
+                let m = measure(&make_scenario(kernel, peers), name, horizon, 3);
                 eprintln!(
                     "  {:12} {:>9} events in {:.3}s  ({:.0} events/s)",
                     name, m.events, m.wall_seconds, m.events_per_sec
@@ -392,8 +430,7 @@ fn main() -> ExitCode {
     let mut coded = Vec::new();
     for (peers, horizon) in [(10_000usize, 40.0f64), (100_000, 8.0)] {
         eprintln!("measuring {peers}-peer coded swarm (horizon {horizon}) ...");
-        let initial = initial_population(peers);
-        let m = measure(&make_coded_sim(peers), "coded", &initial, horizon, 3);
+        let m = measure(&make_coded_scenario(peers), "coded", horizon, 3);
         eprintln!(
             "  {:12} {:>9} events in {:.3}s  ({:.0} events/s)",
             "coded", m.events, m.wall_seconds, m.events_per_sec
@@ -405,9 +442,8 @@ fn main() -> ExitCode {
     let million_horizon = 1.5;
     eprintln!("measuring {million_peers}-peer turbo run (horizon {million_horizon}) ...");
     let million = measure(
-        &make_sim(KernelKind::Turbo, million_peers),
+        &make_scenario(KernelKind::Turbo, million_peers),
         "turbo",
-        &initial_population(million_peers),
         million_horizon,
         1,
     );

@@ -29,6 +29,11 @@
 //!   each other; `turbo` is the parity-free fast kernel, deterministic per
 //!   seed but validated distributionally; `coded` is the network-coded
 //!   kernel and needs a scenario with a `"coding"` block),
+//! * `--progress` — report replication progress on stderr through the
+//!   engine's built-in `ProgressSink`,
+//! * `--stream` — (with `--scenario`) execute through the streaming
+//!   `Session::stream` path with an explicit sink; reports and artifacts
+//!   are byte-identical to the default batch path, which CI asserts,
 //! * `--list-scenarios` — list the built-in scenario names and exit,
 //! * `--out-dir DIR` — also write `E*.txt` reports plus the Example 1
 //!   phase diagram as `phase.csv` / `phase.json` / `phase.txt` and the E1
@@ -38,7 +43,7 @@
 //! With a fixed `--seed`, every report and artifact is byte-identical at
 //! any `--jobs` value.
 
-use p2p_stability::engine::{self, Axis, EngineConfig, GridSpec};
+use p2p_stability::engine::{self, Axis, EngineConfig, GridSpec, ProgressSink, Session, Workload};
 use p2p_stability::swarm::sim::KernelKind;
 use p2p_stability::workload::experiments::{self, ExperimentConfig};
 use p2p_stability::workload::registry::{self, Registry, ScenarioRunOptions};
@@ -51,6 +56,10 @@ struct Cli {
     out_dir: Option<PathBuf>,
     scenario: Option<String>,
     list_scenarios: bool,
+    /// Stream scenario replication results through an explicit
+    /// `ReplicationSink` (`--stream`); output is byte-identical to the
+    /// batch path, which is the point: batch is streaming underneath.
+    stream: bool,
     /// Set only when `--horizon` was given explicitly (a scenario's own
     /// horizon must win otherwise).
     explicit_horizon: Option<f64>,
@@ -61,7 +70,7 @@ struct Cli {
 
 const USAGE: &str = "usage: run_experiments [quick] [--replications N] [--jobs N] \
 [--seed S] [--horizon T] [--scenario FILE|NAME] [--kernel event|scan|turbo|coded] \
-[--list-scenarios] [--out-dir DIR]";
+[--progress] [--stream] [--list-scenarios] [--out-dir DIR]";
 
 enum CliError {
     /// `--help` / `-h`: print usage and exit successfully.
@@ -101,6 +110,7 @@ fn parse_cli() -> Result<Cli, CliError> {
     let mut out_dir = None;
     let mut scenario = None;
     let mut list_scenarios = false;
+    let mut stream = false;
     let mut explicit_horizon = None;
     let mut kernel = None;
     let mut args = raw.into_iter();
@@ -123,9 +133,15 @@ fn parse_cli() -> Result<Cli, CliError> {
                     .ok_or_else(|| "--seed: expected a u64 (decimal or 0x-hex)".to_owned())?;
             }
             "--horizon" => {
-                config.horizon = value_of("--horizon")?
+                let horizon: f64 = value_of("--horizon")?
                     .parse()
                     .map_err(|e| format!("--horizon: {e}"))?;
+                if horizon.is_nan() || horizon <= 0.0 {
+                    return Err(CliError::Invalid(format!(
+                        "--horizon: must be positive, got {horizon}"
+                    )));
+                }
+                config.horizon = horizon;
                 explicit_horizon = Some(config.horizon);
             }
             "--scenario" => scenario = Some(value_of("--scenario")?),
@@ -143,6 +159,8 @@ fn parse_cli() -> Result<Cli, CliError> {
                     }
                 });
             }
+            "--progress" => config.progress = true,
+            "--stream" => stream = true,
             "--list-scenarios" => list_scenarios = true,
             "--out-dir" => out_dir = Some(PathBuf::from(value_of("--out-dir")?)),
             "--help" | "-h" => return Err(CliError::Help),
@@ -158,11 +176,17 @@ fn parse_cli() -> Result<Cli, CliError> {
             "--kernel applies to scenario runs only; combine it with --scenario".into(),
         ));
     }
+    if stream && scenario.is_none() && !list_scenarios {
+        return Err(CliError::Invalid(
+            "--stream applies to scenario runs only; combine it with --scenario".into(),
+        ));
+    }
     Ok(Cli {
         config,
         out_dir,
         scenario,
         list_scenarios,
+        stream,
         explicit_horizon,
         kernel,
     })
@@ -182,12 +206,18 @@ fn phase_diagram(config: &ExperimentConfig) -> engine::PhaseDiagram {
         .with_replications(config.replications)
         .with_horizon(config.horizon)
         .with_master_seed(config.seed)
-        .with_jobs(config.threads);
-    engine::run_grid(
-        &spec,
-        |_k, mu, gamma, lambda0| scenario::example1(lambda0, 0.5, mu, gamma).ok(),
-        &engine_config,
-    )
+        .with_jobs(config.threads)
+        .with_progress(config.progress);
+    Session::builder()
+        .config(engine_config)
+        .workload(Workload::grid(&spec, |_k, mu, gamma, lambda0| {
+            scenario::example1(lambda0, 0.5, mu, gamma).ok()
+        }))
+        .build()
+        .expect("a valid phase-diagram session")
+        .run()
+        .into_grid()
+        .expect("a grid workload")
 }
 
 fn main() -> ExitCode {
@@ -256,6 +286,7 @@ fn run_scenario(which: &str, cli: &Cli) -> ExitCode {
         seed: cli.config.seed,
         horizon_override: cli.explicit_horizon,
         kernel_override: cli.kernel,
+        progress: cli.config.progress,
     };
     eprintln!(
         "running scenario `{}`: horizon {}, replications {}, jobs {}, seed {:#x}",
@@ -265,10 +296,29 @@ fn run_scenario(which: &str, cli: &Cli) -> ExitCode {
         options.jobs,
         options.seed
     );
-    let report = match registry::run(&spec, &options) {
+    // `--stream` routes the run through an explicit replication sink (the
+    // engine's built-in progress counter); the batch path is the same
+    // streaming machinery with a null sink, so the report is byte-identical
+    // either way — CI diffs the two. The explicit sink already reports, so
+    // the session's internal progress counter is switched off to avoid
+    // doubled lines under `--progress --stream`.
+    let result = if cli.stream {
+        let mut sink = ProgressSink::new(format!("scenario {}", spec.name));
+        registry::run_with_sink(
+            &spec,
+            &ScenarioRunOptions {
+                progress: false,
+                ..options
+            },
+            &mut sink,
+        )
+    } else {
+        registry::run(&spec, &options)
+    };
+    let report = match result {
         Ok(report) => report,
-        Err(message) => {
-            eprintln!("scenario `{}` failed: {message}", spec.name);
+        Err(error) => {
+            eprintln!("scenario `{}` failed: {error}", spec.name);
             return ExitCode::FAILURE;
         }
     };
@@ -318,8 +368,16 @@ fn write_artifacts(
         .with_replications(config.replications)
         .with_horizon(config.horizon)
         .with_master_seed(config.seed)
-        .with_jobs(config.threads);
-    let outcomes = engine::run_batch(&scenarios, &engine_config);
+        .with_jobs(config.threads)
+        .with_progress(config.progress);
+    let outcomes = Session::builder()
+        .config(engine_config)
+        .workload(Workload::ctmc(scenarios))
+        .build()
+        .expect("a valid E1 sweep session")
+        .run()
+        .into_ctmc()
+        .expect("a CTMC workload");
     engine::artifact::write_outcomes(dir, "example1_sweep", &outcomes)?;
     Ok(())
 }

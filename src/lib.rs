@@ -11,9 +11,10 @@
 //! * [`netcoding`] — `GF(q)` arithmetic and subspace types,
 //! * [`swarm`] — the paper's model, Theorem 1/14/15 analysis, Lyapunov and
 //!   branching machinery, and the two simulators,
-//! * [`engine`] — the parallel Monte-Carlo replication engine: deterministic
-//!   per-replication RNG streams, streaming statistics, phase-diagram
-//!   grids, and CSV/JSON artifact emitters,
+//! * [`engine`] — the parallel Monte-Carlo replication engine behind one
+//!   typed entry point (`engine::Session`): deterministic per-replication
+//!   RNG streams, streaming `ReplicationSink` delivery with O(1)-memory
+//!   aggregation, phase-diagram grids, and CSV/JSON artifact emitters,
 //! * [`workload`] — scenarios, the JSON scenario registry
 //!   (`run_experiments --scenario`), sweeps, and the experiment harnesses
 //!   E1–E12, running on the engine.

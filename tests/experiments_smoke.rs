@@ -11,6 +11,7 @@ fn tiny() -> ExperimentConfig {
         seed: 2_024,
         threads: 2,
         replications: 1,
+        progress: false,
     }
 }
 

@@ -1,7 +1,7 @@
 //! Integration tests: the three worked examples of Section IV, cross-checking
 //! the Theorem 1 classification against simulation of the exact CTMC.
 
-use p2p_stability::engine::{run_batch, EngineConfig, Scenario};
+use p2p_stability::engine::{EngineConfig, Scenario, Session, Workload};
 use p2p_stability::markov::PathClass;
 use p2p_stability::swarm::{stability, StabilityVerdict, SwarmModel};
 use p2p_stability::workload::scenario;
@@ -23,7 +23,16 @@ fn simulate_class(
         .with_horizon(horizon)
         .with_master_seed(seed)
         .with_jobs(0);
-    run_batch(&scenarios, &config).remove(0).majority
+    Session::builder()
+        .config(config)
+        .workload(Workload::ctmc(scenarios))
+        .build()
+        .expect("valid session")
+        .run()
+        .into_ctmc()
+        .expect("ctmc workload")
+        .remove(0)
+        .majority
 }
 
 #[test]
