@@ -60,6 +60,7 @@ use markov::alias::AliasTable;
 use netcoding::{CodingVector, GaloisField, Subspace};
 use pieceset::PieceSet;
 use rand::Rng;
+use telemetry::{Counter, Recorder};
 
 /// Sentinel for "this peer is not in the seed pool".
 const NOT_A_SEED: u32 = u32::MAX;
@@ -82,8 +83,11 @@ struct CodedMeta {
 }
 
 /// Mutable state of the coded kernel.
-pub(super) struct State<'a> {
+pub(super) struct State<'a, T: Recorder> {
     sim: &'a AgentSwarm,
+    /// Instrumentation hook; the [`telemetry::NullRecorder`] default
+    /// monomorphizes every call site below to nothing.
+    rec: &'a mut T,
     k: usize,
     field: GaloisField,
     /// Probability that a uniformly random vector of `F_q^K` lies inside a
@@ -116,12 +120,13 @@ pub(super) struct State<'a> {
     snapshots: Vec<SimSnapshot>,
 }
 
-impl<'a> State<'a> {
+impl<'a, T: Recorder> State<'a, T> {
     pub(super) fn new(
         sim: &'a AgentSwarm,
         gifts: &CodedGifts,
         initial: &[PieceSet],
         snapshots: Vec<SimSnapshot>,
+        rec: &'a mut T,
     ) -> Self {
         debug_assert!(snapshots.is_empty(), "recycled buffer arrives cleared");
         let k = sim.params.num_pieces();
@@ -129,8 +134,10 @@ impl<'a> State<'a> {
         let q = f64::from(field.order());
         let weights: Vec<f64> = gifts.gift_dimensions.iter().map(|&(_, r)| r).collect();
         let gift_alias = AliasTable::new(&weights).expect("validated positive total gift rate");
+        rec.incr(Counter::AliasRebuilds);
         let mut state = State {
             sim,
+            rec,
             k,
             field,
             p_inside: (0..=k).map(|d| q.powi(d as i32 - k as i32)).collect(),
@@ -212,6 +219,7 @@ impl<'a> State<'a> {
         if dim == self.k {
             meta.seed_pos = self.seed_pool.len() as u32;
             self.seed_pool.push(row as u32);
+            self.rec.incr(Counter::PoolOps);
         }
         meta.group = self.classify(meta);
         self.groups.add(meta.group);
@@ -224,6 +232,7 @@ impl<'a> State<'a> {
     /// departure of a decoder when `γ = ∞`.
     fn record_dimension_gain(&mut self, target: usize, time: f64) {
         self.useful_transfers += 1;
+        self.rec.incr(Counter::UsefulTransfers);
         self.dim_sum += 1;
         let meta = &mut self.meta[target];
         let old_group = meta.group;
@@ -241,6 +250,7 @@ impl<'a> State<'a> {
         if completed {
             self.decodes += 1;
             self.seed_pool.push(target as u32);
+            self.rec.incr(Counter::PoolOps);
             if self.sim.params.departs_immediately() {
                 self.depart(target, time);
             }
@@ -250,10 +260,12 @@ impl<'a> State<'a> {
     fn depart(&mut self, index: usize, time: f64) {
         let last = self.spaces.len() - 1;
         let meta = self.meta[index];
+        self.rec.incr(Counter::Departures);
         debug_assert_eq!(meta.dim as usize, self.k, "only decoders depart");
         if meta.seed_pos != NOT_A_SEED {
             let pos = meta.seed_pos as usize;
             self.seed_pool.swap_remove(pos);
+            self.rec.incr(Counter::PoolOps);
             if let Some(&moved) = self.seed_pool.get(pos) {
                 self.meta[moved as usize].seed_pos = pos as u32;
             }
@@ -275,7 +287,7 @@ impl<'a> State<'a> {
     }
 }
 
-impl KernelState for State<'_> {
+impl<T: Recorder> KernelState for State<'_, T> {
     fn reserve_snapshots(&mut self, capacity: usize) {
         self.snapshots.reserve(capacity);
     }
@@ -310,6 +322,7 @@ impl KernelState for State<'_> {
     }
 
     fn handle_arrival<R: Rng>(&mut self, time: f64, rng: &mut R) {
+        self.rec.incr(Counter::Arrivals);
         // One alias-table draw for the gift class, then d random coded
         // pieces; a random piece is useless with probability q^{-K} exactly
         // as in the paper, so the arrival dimension can fall short of d.
@@ -319,20 +332,28 @@ impl KernelState for State<'_> {
             self.row.clear();
             self.row
                 .extend((0..self.k).map(|_| self.field.random_element(rng)));
-            let _ = space.absorb(&mut self.row).expect("row matches ambient");
+            self.rec.incr(Counter::BasisMaterializations);
+            self.rec.incr(Counter::RrefAbsorbs);
+            if space.absorb(&mut self.row).expect("row matches ambient") {
+                self.rec.incr(Counter::RankIncreases);
+            }
         }
         self.add_peer(time, space, true);
     }
 
     fn handle_seed_tick<R: Rng>(&mut self, time: f64, rng: &mut R) {
+        self.rec.incr(Counter::Contacts);
         let n = self.spaces.len();
         if n == 0 {
+            self.rec.incr(Counter::UselessContacts);
             return;
         }
         let target = rng.gen_range(0..n);
         let dim = self.meta[target].dim as usize;
         if dim == self.k {
             self.unsuccessful += 1;
+            self.rec.incr(Counter::DimFastPathHits);
+            self.rec.incr(Counter::UselessContacts);
             return;
         }
         // Dimension-only fast path: a uniformly random vector of F_q^K lies
@@ -342,25 +363,33 @@ impl KernelState for State<'_> {
         // outside V_A — the same conditional law as sample-then-test).
         if rng.gen::<f64>() < self.p_inside[dim] {
             self.unsuccessful += 1;
+            self.rec.incr(Counter::DimFastPathHits);
+            self.rec.incr(Counter::UselessContacts);
             return;
         }
         loop {
             self.row.clear();
             self.row
                 .extend((0..self.k).map(|_| self.field.random_element(rng)));
+            self.rec.incr(Counter::BasisMaterializations);
+            self.rec.incr(Counter::RrefAbsorbs);
             if self.spaces[target]
                 .absorb(&mut self.row)
                 .expect("row matches ambient")
             {
+                self.rec.incr(Counter::RankIncreases);
                 break;
             }
+            self.rec.incr(Counter::RejectionRetries);
         }
         self.record_dimension_gain(target, time);
     }
 
     fn handle_peer_tick<R: Rng>(&mut self, time: f64, rng: &mut R) {
+        self.rec.incr(Counter::Contacts);
         let n = self.spaces.len();
         if n == 0 {
+            self.rec.incr(Counter::UselessContacts);
             return;
         }
         let uploader = rng.gen_range(0..n);
@@ -373,6 +402,8 @@ impl KernelState for State<'_> {
             || self.meta[target].dim as usize == self.k
         {
             self.unsuccessful += 1;
+            self.rec.incr(Counter::DimFastPathHits);
+            self.rec.incr(Counter::UselessContacts);
             return;
         }
         let (up, down) = if uploader < target {
@@ -383,14 +414,19 @@ impl KernelState for State<'_> {
             (&b[0], &mut a[target])
         };
         up.random_combination_into(rng, &mut self.row);
+        self.rec.incr(Counter::BasisMaterializations);
+        self.rec.incr(Counter::RrefAbsorbs);
         if down.absorb(&mut self.row).expect("row matches ambient") {
+            self.rec.incr(Counter::RankIncreases);
             self.record_dimension_gain(target, time);
         } else {
             self.unsuccessful += 1;
+            self.rec.incr(Counter::UselessContacts);
         }
     }
 
     fn handle_seed_departure<R: Rng>(&mut self, time: f64, rng: &mut R) {
+        self.rec.incr(Counter::DepartureEvents);
         // One uniform pick from the decoder pool: O(1), no probing.
         let seeds = self.seed_pool.len();
         if seeds == 0 {

@@ -27,10 +27,14 @@ use crate::metrics::{SimResult, SimSnapshot, SojournStats};
 use markov::poisson::CumulativeWeights;
 use pieceset::{PieceId, PieceMatrix, PieceSet, WordBits};
 use rand::Rng;
+use telemetry::{Counter, Recorder};
 
 /// Mutable state of the event-driven kernel (struct-of-arrays peer table).
-pub(super) struct State<'a> {
+pub(super) struct State<'a, T: Recorder> {
     sim: &'a AgentSwarm,
+    /// Instrumentation hook; the [`telemetry::NullRecorder`] default
+    /// monomorphizes every call site below to nothing.
+    rec: &'a mut T,
     /// `K`, cached.
     k: usize,
     watch: PieceId,
@@ -63,20 +67,23 @@ pub(super) struct State<'a> {
     arrival_sampler: CumulativeWeights,
 }
 
-impl<'a> State<'a> {
+impl<'a, T: Recorder> State<'a, T> {
     pub(super) fn new(
         sim: &'a AgentSwarm,
         initial: &[PieceSet],
         snapshots: Vec<SimSnapshot>,
+        rec: &'a mut T,
     ) -> Self {
         let k = sim.params.num_pieces();
         let (arrival_types, arrival_weights): (Vec<PieceSet>, Vec<f64>) =
             sim.params.arrivals().unzip();
         let arrival_sampler =
             CumulativeWeights::new(&arrival_weights).expect("λ_total > 0 by construction");
+        rec.incr(Counter::AliasRebuilds);
         debug_assert!(snapshots.is_empty(), "recycled buffer arrives cleared");
         let mut state = State {
             sim,
+            rec,
             k,
             watch: sim.config.watch_piece,
             pieces: PieceMatrix::new(k),
@@ -154,6 +161,7 @@ impl<'a> State<'a> {
         self.pieces.insert(target, piece);
         self.piece_copies[piece.index()] += 1;
         self.transfers += 1;
+        self.rec.incr(Counter::UsefulTransfers);
         if piece == self.watch {
             self.watch_downloads += 1;
         }
@@ -178,6 +186,7 @@ impl<'a> State<'a> {
 
     fn depart(&mut self, index: usize, time: f64) {
         let last = self.pieces.rows() - 1;
+        self.rec.incr(Counter::Departures);
         self.groups.remove(self.group[index]);
         self.sojourns.record(time - self.arrival_time[index]);
         for p in self.pieces.pieces(index) {
@@ -193,7 +202,7 @@ impl<'a> State<'a> {
     }
 }
 
-impl KernelState for State<'_> {
+impl<T: Recorder> KernelState for State<'_, T> {
     fn reserve_snapshots(&mut self, capacity: usize) {
         self.snapshots.reserve(capacity);
     }
@@ -228,20 +237,24 @@ impl KernelState for State<'_> {
     }
 
     fn handle_arrival<R: Rng>(&mut self, time: f64, rng: &mut R) {
+        self.rec.incr(Counter::Arrivals);
         let idx = self.arrival_sampler.sample(rng);
         let pieces = self.arrival_types[idx];
         self.add_peer(time, pieces, true);
     }
 
     fn handle_seed_tick<R: Rng>(&mut self, time: f64, rng: &mut R) {
+        self.rec.incr(Counter::Contacts);
         let n = self.pieces.rows();
         if n == 0 {
+            self.rec.incr(Counter::UselessContacts);
             return;
         }
         let target = rng.gen_range(0..n);
         let useful = self.pieces.missing_set(target);
         if useful.is_empty() {
             self.unsuccessful += 1;
+            self.rec.incr(Counter::UselessContacts);
             self.seed_boosted = self.sim.config.retry_speedup > 1.0;
             return;
         }
@@ -251,8 +264,10 @@ impl KernelState for State<'_> {
     }
 
     fn handle_peer_tick<R: Rng>(&mut self, time: f64, rng: &mut R) {
+        self.rec.incr(Counter::Contacts);
         let n = self.pieces.rows();
         if n == 0 {
+            self.rec.incr(Counter::UselessContacts);
             return;
         }
         let eta = self.sim.config.retry_speedup;
@@ -263,11 +278,13 @@ impl KernelState for State<'_> {
             if eta <= 1.0 || self.boosted.contains(i) || rng.gen::<f64>() < 1.0 / eta {
                 break i;
             }
+            self.rec.incr(Counter::RejectionRetries);
         };
         let target = rng.gen_range(0..n);
         let useful = self.pieces.useful_set(uploader, target);
         if useful.is_empty() {
             self.unsuccessful += 1;
+            self.rec.incr(Counter::UselessContacts);
             if eta > 1.0 {
                 self.boosted.insert(uploader);
             }
@@ -279,6 +296,7 @@ impl KernelState for State<'_> {
     }
 
     fn handle_seed_departure<R: Rng>(&mut self, time: f64, rng: &mut R) {
+        self.rec.incr(Counter::DepartureEvents);
         let n = self.pieces.rows();
         // With zero seeds the departure rate is zero, so the driver should
         // never dispatch here — but if it does, burning 65 draws probing for
@@ -294,6 +312,7 @@ impl KernelState for State<'_> {
                 self.depart(i, time);
                 return;
             }
+            self.rec.incr(Counter::RejectionRetries);
         }
         // ...but the fallback is a popcount select over the seed bitset
         // instead of an O(n) scan. Draw parity with the scan kernel: both

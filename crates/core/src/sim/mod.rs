@@ -68,6 +68,7 @@ use crate::{SwarmError, SwarmParams};
 use markov::poisson::{sample_exp, sample_weighted_index};
 use pieceset::{PieceId, PieceSet};
 use rand::Rng;
+use telemetry::{NullRecorder, Recorder};
 
 /// Which simulation kernel executes the run (see the [module docs](self)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -422,27 +423,55 @@ impl AgentSwarm {
         rng: &mut R,
         scratch: &mut SimScratch,
     ) -> Result<SimResult, SwarmError> {
+        self.run_metered(initial, flash, horizon, rng, scratch, &mut NullRecorder)
+    }
+
+    /// Runs like [`AgentSwarm::run_with_scratch`] with an instrumentation
+    /// [`Recorder`] threaded through the kernel hot loops.
+    ///
+    /// The recorder observes the run — contacts, useful vs. useless
+    /// transfers, pool churn, rejection retries, RREF absorbs, and the rest
+    /// of the [`telemetry::Counter`] taxonomy — but never influences it:
+    /// recorders consume no randomness, so for a fixed RNG stream the result
+    /// is byte-identical to the unmetered run. With the default
+    /// [`NullRecorder`] (what [`AgentSwarm::run_with_scratch`] passes) every
+    /// recorder call monomorphizes to an empty inlined body, keeping the
+    /// disabled hot path branch-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::InvalidParameter`] if the initial population or
+    /// schedule fails [`AgentSwarm::validate_run`].
+    pub fn run_metered<R: Rng, T: Recorder>(
+        &self,
+        initial: &[PieceSet],
+        flash: &[FlashCrowd],
+        horizon: f64,
+        rng: &mut R,
+        scratch: &mut SimScratch,
+        recorder: &mut T,
+    ) -> Result<SimResult, SwarmError> {
         self.validate_run(initial, flash)?;
         let mut schedule: Vec<FlashCrowd> = flash.to_vec();
         schedule.sort_by(|a, b| a.time.total_cmp(&b.time));
         Ok(match self.config.kernel {
             KernelKind::EventDriven => drive(
                 self,
-                event::State::new(self, initial, scratch.take_snapshots()),
+                event::State::new(self, initial, scratch.take_snapshots(), recorder),
                 &schedule,
                 horizon,
                 rng,
             ),
             KernelKind::LegacyScan => drive(
                 self,
-                scan::State::new(self, initial, scratch.take_snapshots()),
+                scan::State::new(self, initial, scratch.take_snapshots(), recorder),
                 &schedule,
                 horizon,
                 rng,
             ),
             KernelKind::Turbo => drive(
                 self,
-                turbo::State::new(self, initial, scratch),
+                turbo::State::new(self, initial, scratch, recorder),
                 &schedule,
                 horizon,
                 rng,
@@ -454,7 +483,7 @@ impl AgentSwarm {
                     .expect("with_coded establishes the gift mix for the coded kernel");
                 drive(
                     self,
-                    coded::State::new(self, gifts, initial, scratch.take_snapshots()),
+                    coded::State::new(self, gifts, initial, scratch.take_snapshots(), recorder),
                     &schedule,
                     horizon,
                     rng,

@@ -13,6 +13,7 @@ use crate::metrics::{SimResult, SimSnapshot, SojournStats};
 use markov::poisson::CumulativeWeights;
 use pieceset::PieceSet;
 use rand::Rng;
+use telemetry::{Counter, Recorder};
 
 /// One peer in the scan kernel.
 #[derive(Debug, Clone)]
@@ -25,8 +26,11 @@ struct Peer {
 }
 
 /// Mutable state of the scan kernel.
-pub(super) struct State<'a> {
+pub(super) struct State<'a, T: Recorder> {
     sim: &'a AgentSwarm,
+    /// Instrumentation hook. Counter placement mirrors [`super::event`]
+    /// exactly — recorders consume no draws, so parity is untouched.
+    rec: &'a mut T,
     peers: Vec<Peer>,
     piece_copies: Vec<u64>,
     boosted_count: usize,
@@ -43,11 +47,12 @@ pub(super) struct State<'a> {
     arrival_types: Vec<(PieceSet, f64)>,
 }
 
-impl<'a> State<'a> {
+impl<'a, T: Recorder> State<'a, T> {
     pub(super) fn new(
         sim: &'a AgentSwarm,
         initial: &[PieceSet],
         snapshots: Vec<SimSnapshot>,
+        rec: &'a mut T,
     ) -> Self {
         debug_assert!(snapshots.is_empty(), "recycled buffer arrives cleared");
         let k = sim.params.num_pieces();
@@ -75,6 +80,7 @@ impl<'a> State<'a> {
         let seeds = peers.iter().filter(|p| p.pieces == full).count();
         State {
             sim,
+            rec,
             peers,
             piece_copies,
             boosted_count: 0,
@@ -125,6 +131,7 @@ impl<'a> State<'a> {
         self.peers[target].pieces.insert(piece);
         self.piece_copies[piece.index()] += 1;
         self.transfers += 1;
+        self.rec.incr(Counter::UsefulTransfers);
         if piece == watch {
             self.watch_downloads += 1;
         }
@@ -147,6 +154,7 @@ impl<'a> State<'a> {
     }
 
     fn depart(&mut self, index: usize, time: f64) {
+        self.rec.incr(Counter::Departures);
         let peer = self.peers.swap_remove(index);
         if peer.pieces == self.full() {
             self.seeds -= 1;
@@ -161,7 +169,7 @@ impl<'a> State<'a> {
     }
 }
 
-impl KernelState for State<'_> {
+impl<T: Recorder> KernelState for State<'_, T> {
     fn reserve_snapshots(&mut self, capacity: usize) {
         self.snapshots.reserve(capacity);
     }
@@ -214,25 +222,30 @@ impl KernelState for State<'_> {
     }
 
     fn handle_arrival<R: Rng>(&mut self, time: f64, rng: &mut R) {
+        self.rec.incr(Counter::Arrivals);
         // Rebuilt every arrival — one of the scan kernel's allocations the
         // event kernel avoids. Built from the identical weights, so the
         // prefix sums (and therefore the mapping of the shared single
         // uniform draw) are identical to the event kernel's cached table.
         let weights: Vec<f64> = self.arrival_types.iter().map(|(_, r)| *r).collect();
         let sampler = CumulativeWeights::new(&weights).expect("λ_total > 0");
+        self.rec.incr(Counter::AliasRebuilds);
         let idx = sampler.sample(rng);
         let pieces = self.arrival_types[idx].0;
         self.add_peer(time, pieces, true);
     }
 
     fn handle_seed_tick<R: Rng>(&mut self, time: f64, rng: &mut R) {
+        self.rec.incr(Counter::Contacts);
         if self.peers.is_empty() {
+            self.rec.incr(Counter::UselessContacts);
             return;
         }
         let target = rng.gen_range(0..self.peers.len());
         let useful = self.full().difference(self.peers[target].pieces);
         if useful.is_empty() {
             self.unsuccessful += 1;
+            self.rec.incr(Counter::UselessContacts);
             self.seed_boosted = self.sim.config.retry_speedup > 1.0;
             return;
         }
@@ -242,8 +255,10 @@ impl KernelState for State<'_> {
     }
 
     fn handle_peer_tick<R: Rng>(&mut self, time: f64, rng: &mut R) {
+        self.rec.incr(Counter::Contacts);
         let n = self.peers.len();
         if n == 0 {
+            self.rec.incr(Counter::UselessContacts);
             return;
         }
         let eta = self.sim.config.retry_speedup;
@@ -253,6 +268,7 @@ impl KernelState for State<'_> {
             if eta <= 1.0 || self.peers[i].boosted || rng.gen::<f64>() < 1.0 / eta {
                 break i;
             }
+            self.rec.incr(Counter::RejectionRetries);
         };
         let target = rng.gen_range(0..n);
         let useful = self.peers[uploader]
@@ -260,6 +276,7 @@ impl KernelState for State<'_> {
             .difference(self.peers[target].pieces);
         if useful.is_empty() {
             self.unsuccessful += 1;
+            self.rec.incr(Counter::UselessContacts);
             if eta > 1.0 && !self.peers[uploader].boosted {
                 self.peers[uploader].boosted = true;
                 self.boosted_count += 1;
@@ -275,6 +292,7 @@ impl KernelState for State<'_> {
     }
 
     fn handle_seed_departure<R: Rng>(&mut self, time: f64, rng: &mut R) {
+        self.rec.incr(Counter::DepartureEvents);
         let full = self.full();
         let n = self.peers.len();
         // Zero seeds → zero departure rate: unreachable from the driver, but
@@ -291,6 +309,7 @@ impl KernelState for State<'_> {
                 self.depart(i, time);
                 return;
             }
+            self.rec.incr(Counter::RejectionRetries);
         }
         let seeds: Vec<usize> = (0..n).filter(|&i| self.peers[i].pieces == full).collect();
         if let Some(&i) = seeds.get(

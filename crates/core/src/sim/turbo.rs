@@ -46,6 +46,7 @@ use crate::metrics::{SimResult, SimSnapshot, SojournStats};
 use markov::alias::AliasTable;
 use pieceset::{PieceId, PieceMatrix, PieceSet};
 use rand::Rng;
+use telemetry::{Counter, Recorder};
 
 /// Sentinel for "this peer is not in the seed pool".
 const NOT_A_SEED: u32 = u32::MAX;
@@ -186,11 +187,15 @@ impl SimScratch {
 
 /// Mutable state of the turbo kernel: borrowed scratch buffers plus the
 /// run-local aggregates.
-pub(super) struct State<'a> {
+pub(super) struct State<'a, T: Recorder> {
     sim: &'a AgentSwarm,
     k: usize,
     watch: PieceId,
     s: &'a mut SimScratch,
+    /// Instrumentation hook; the [`telemetry::NullRecorder`] default
+    /// monomorphizes every call site below to nothing, keeping the
+    /// disabled hot path branch-free.
+    rec: &'a mut T,
     /// `false` when the policy never reads copy counts: the per-piece
     /// census loops (one increment per held piece on every arrival and
     /// departure) are skipped and only the watch-piece count is maintained.
@@ -211,18 +216,21 @@ pub(super) struct State<'a> {
     sojourns: SojournStats,
 }
 
-impl<'a> State<'a> {
+impl<'a, T: Recorder> State<'a, T> {
     pub(super) fn new(
         sim: &'a AgentSwarm,
         initial: &[PieceSet],
         scratch: &'a mut SimScratch,
+        rec: &'a mut T,
     ) -> Self {
         scratch.reset_for(sim);
+        rec.incr(Counter::AliasRebuilds);
         let mut state = State {
             sim,
             k: sim.params.num_pieces(),
             watch: sim.config.watch_piece,
             s: scratch,
+            rec,
             track_copies: sim.policy.uses_copy_counts(),
             watch_copies: 0,
             fast_uniform: sim.policy.selects_uniformly(),
@@ -311,6 +319,7 @@ impl<'a> State<'a> {
         if holds as usize == self.k {
             meta.seed_pos = self.s.seed_pool.len() as u32;
             self.s.seed_pool.push(row as u32);
+            self.rec.incr(Counter::PoolOps);
         }
         meta.group = self.classify(meta);
         self.groups.add(meta.group);
@@ -326,6 +335,7 @@ impl<'a> State<'a> {
         }
         meta.boosted_pos = self.s.boosted_pool.len() as u32;
         self.s.boosted_pool.push(peer as u32);
+        self.rec.incr(Counter::PoolOps);
     }
 
     /// Returns `peer` to the normal class (no-op when not boosted).
@@ -337,6 +347,7 @@ impl<'a> State<'a> {
         self.s.meta[peer].boosted_pos = NOT_BOOSTED;
         let pos = pos as usize;
         self.s.boosted_pool.swap_remove(pos);
+        self.rec.incr(Counter::PoolOps);
         if let Some(&moved) = self.s.boosted_pool.get(pos) {
             self.s.meta[moved as usize].boosted_pos = pos as u32;
         }
@@ -353,6 +364,7 @@ impl<'a> State<'a> {
             self.watch_copies += 1;
         }
         self.transfers += 1;
+        self.rec.incr(Counter::UsefulTransfers);
         // Receiving a piece invalidates any pending fast-retry boost.
         self.unboost(target);
         let meta = &mut self.s.meta[target];
@@ -375,6 +387,7 @@ impl<'a> State<'a> {
         self.s.meta[target].group = new_group;
         if completed {
             self.s.seed_pool.push(target as u32);
+            self.rec.incr(Counter::PoolOps);
             if self.sim.params.departs_immediately() {
                 self.depart(target, time);
             }
@@ -384,11 +397,13 @@ impl<'a> State<'a> {
     fn depart(&mut self, index: usize, time: f64) {
         let last = self.s.pieces.rows() - 1;
         let meta = self.s.meta[index];
+        self.rec.incr(Counter::Departures);
         // Drop the departing peer from its pools first, while pool entries
         // still name unmoved peer indices.
         if meta.boosted_pos != NOT_BOOSTED {
             let pos = meta.boosted_pos as usize;
             self.s.boosted_pool.swap_remove(pos);
+            self.rec.incr(Counter::PoolOps);
             if let Some(&moved) = self.s.boosted_pool.get(pos) {
                 self.s.meta[moved as usize].boosted_pos = pos as u32;
             }
@@ -396,6 +411,7 @@ impl<'a> State<'a> {
         if meta.seed_pos != NOT_A_SEED {
             let pos = meta.seed_pos as usize;
             self.s.seed_pool.swap_remove(pos);
+            self.rec.incr(Counter::PoolOps);
             if let Some(&moved) = self.s.seed_pool.get(pos) {
                 self.s.meta[moved as usize].seed_pos = pos as u32;
             }
@@ -427,7 +443,7 @@ impl<'a> State<'a> {
     }
 }
 
-impl KernelState for State<'_> {
+impl<T: Recorder> KernelState for State<'_, T> {
     fn reserve_snapshots(&mut self, capacity: usize) {
         self.s.snapshots.reserve(capacity);
     }
@@ -466,20 +482,24 @@ impl KernelState for State<'_> {
     }
 
     fn handle_arrival<R: Rng>(&mut self, time: f64, rng: &mut R) {
+        self.rec.incr(Counter::Arrivals);
         // One alias-table draw: O(1) in the number of arrival classes.
         let pieces = self.s.arrival_types[self.s.arrival_alias.sample(rng)];
         self.add_peer(time, pieces, true);
     }
 
     fn handle_seed_tick<R: Rng>(&mut self, time: f64, rng: &mut R) {
+        self.rec.incr(Counter::Contacts);
         let n = self.s.pieces.rows();
         if n == 0 {
+            self.rec.incr(Counter::UselessContacts);
             return;
         }
         let target = rng.gen_range(0..n);
         let useful = self.s.pieces.missing_set(target);
         if useful.is_empty() {
             self.unsuccessful += 1;
+            self.rec.incr(Counter::UselessContacts);
             self.seed_boosted = self.sim.config.retry_speedup > 1.0;
             return;
         }
@@ -489,8 +509,10 @@ impl KernelState for State<'_> {
     }
 
     fn handle_peer_tick<R: Rng>(&mut self, time: f64, rng: &mut R) {
+        self.rec.incr(Counter::Contacts);
         let n = self.s.pieces.rows();
         if n == 0 {
+            self.rec.incr(Counter::UselessContacts);
             return;
         }
         let eta = self.sim.config.retry_speedup;
@@ -515,6 +537,7 @@ impl KernelState for State<'_> {
                     if self.s.meta[i].boosted_pos == NOT_BOOSTED {
                         break i;
                     }
+                    self.rec.incr(Counter::RejectionRetries);
                 }
             }
         };
@@ -522,6 +545,7 @@ impl KernelState for State<'_> {
         let useful = self.s.pieces.useful_set(uploader, target);
         if useful.is_empty() {
             self.unsuccessful += 1;
+            self.rec.incr(Counter::UselessContacts);
             if eta > 1.0 {
                 self.boost(uploader);
             }
@@ -533,6 +557,7 @@ impl KernelState for State<'_> {
     }
 
     fn handle_seed_departure<R: Rng>(&mut self, time: f64, rng: &mut R) {
+        self.rec.incr(Counter::DepartureEvents);
         // One uniform pick from the seed pool: O(1), no probing.
         let seeds = self.s.seed_pool.len();
         if seeds == 0 {

@@ -24,6 +24,7 @@
 //! the numbers — batches stay bit-identical at any worker count.
 
 use crate::config::EngineConfig;
+use crate::metrics::ReplicationTelemetry;
 use crate::replicate::ClassVotes;
 use crate::rng::replication_rng;
 use crate::stats::Estimate;
@@ -207,12 +208,69 @@ pub fn run_agent_replication_with_scratch(
     let mut rng = replication_rng(config.master_seed, scenario.id, u64::from(replication));
     let result =
         sim.run_with_scratch(&initial, &scenario.flash, config.horizon, &mut rng, scratch)?;
+    let outcome = classify_result(scenario, replication, &result, initial.len());
+    scratch.recycle(result);
+    Ok(outcome)
+}
+
+/// Runs a single replication like [`run_agent_replication_with_scratch`],
+/// additionally metering the simulator through a
+/// [`telemetry::CounterRecorder`] and timing the run with a wall clock.
+///
+/// The recorder consumes no randomness, so the returned
+/// [`AgentReplication`] is bit-identical to the unmetered helper's on the
+/// same inputs; only the side-channel [`ReplicationTelemetry`] is extra.
+///
+/// # Errors
+///
+/// Returns [`SwarmError::InvalidParameter`] if the scenario's policy or
+/// configuration is invalid, or its flash schedule fails validation.
+pub fn run_agent_replication_metered(
+    scenario: &AgentScenario,
+    config: &EngineConfig,
+    replication: u32,
+    scratch: &mut SimScratch,
+) -> Result<(AgentReplication, ReplicationTelemetry), SwarmError> {
+    let sim = scenario.build_sim()?;
+    let initial = scenario.initial_population();
+    let mut rng = replication_rng(config.master_seed, scenario.id, u64::from(replication));
+    let mut recorder = telemetry::CounterRecorder::new();
+    let span = telemetry::Span::start();
+    let result = sim.run_metered(
+        &initial,
+        &scenario.flash,
+        config.horizon,
+        &mut rng,
+        scratch,
+        &mut recorder,
+    )?;
+    let wall_seconds = span.seconds();
+    let outcome = classify_result(scenario, replication, &result, initial.len());
+    scratch.recycle(result);
+    Ok((
+        outcome,
+        ReplicationTelemetry {
+            counters: recorder.counters,
+            wall_seconds,
+        },
+    ))
+}
+
+/// Classifies a finished simulator run into the replication outcome — the
+/// one place the path classifier is configured, shared by the metered and
+/// unmetered helpers so they cannot drift.
+fn classify_result(
+    scenario: &AgentScenario,
+    replication: u32,
+    result: &swarm::metrics::SimResult,
+    initial_peers: usize,
+) -> AgentReplication {
     let classifier = PathClassifier::new(
         scenario.params.total_arrival_rate(),
-        (3.0 * initial.len() as f64).max(30.0),
+        (3.0 * initial_peers as f64).max(30.0),
     );
     let verdict = classifier.classify(&result.peer_count_path());
-    let outcome = AgentReplication {
+    AgentReplication {
         replication,
         class: verdict.class,
         tail_slope: verdict.tail_slope,
@@ -220,9 +278,7 @@ pub fn run_agent_replication_with_scratch(
         events: result.events,
         transfers: result.transfers,
         truncated: result.truncated,
-    };
-    scratch.recycle(result);
-    Ok(outcome)
+    }
 }
 
 /// The theory verdict for an agent scenario: Theorem 15 for coded

@@ -24,6 +24,11 @@ pub struct EngineConfig {
     pub confidence: f64,
     /// Report batch progress on stderr.
     pub progress: bool,
+    /// Collect per-replication kernel counters and wall times (agent
+    /// workloads). Metering never touches the random streams, so results
+    /// are bit-identical with it on or off; it only populates
+    /// [`crate::ReplicationRecord::telemetry`].
+    pub metrics: bool,
 }
 
 impl Default for EngineConfig {
@@ -36,6 +41,7 @@ impl Default for EngineConfig {
             initial_one_club: 0,
             confidence: 0.95,
             progress: false,
+            metrics: false,
         }
     }
 }
@@ -94,6 +100,13 @@ impl EngineConfig {
         self.progress = progress;
         self
     }
+
+    /// Enables or disables per-replication telemetry collection.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: bool) -> Self {
+        self.metrics = metrics;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -109,7 +122,8 @@ mod tests {
             .with_jobs(3)
             .with_initial_one_club(5)
             .with_confidence(0.9)
-            .with_progress(true);
+            .with_progress(true)
+            .with_metrics(true);
         assert_eq!(config.replications, 1, "clamped to at least one");
         assert_eq!(config.horizon, 10.0);
         assert_eq!(config.master_seed, 1);
@@ -117,6 +131,7 @@ mod tests {
         assert_eq!(config.initial_one_club, 5);
         assert_eq!(config.confidence, 0.9);
         assert!(config.progress);
+        assert!(config.metrics);
     }
 
     #[test]

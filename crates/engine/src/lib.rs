@@ -31,7 +31,11 @@
 //! * [`labels`] — the one canonical verdict/class naming and glyph map,
 //! * [`artifact`] — CSV and JSON emitters for batch and grid results,
 //! * [`progress`] — a thread-safe completed-replication counter, usable
-//!   as a built-in [`ReplicationSink`] ([`ProgressSink`]).
+//!   as a built-in [`ReplicationSink`] ([`ProgressSink`]),
+//! * [`metrics`] — the telemetry export path: [`ReplicationTelemetry`]
+//!   (per-replication kernel counters and wall time, attached to records
+//!   when [`EngineConfig::metrics`] is set) and [`MetricsSink`], an NDJSON
+//!   exporter that wraps any sink without perturbing the stream.
 //!
 //! Parallelism is data parallelism over the flat `(scenario, replication)`
 //! task list with in-order result delivery behind a bounded reorder
@@ -76,6 +80,7 @@ pub mod config;
 pub mod error;
 pub mod grid;
 pub mod labels;
+pub mod metrics;
 pub mod progress;
 pub mod replicate;
 pub mod rng;
@@ -83,13 +88,14 @@ pub mod session;
 pub mod stats;
 
 pub use agent::{
-    run_agent_replication, run_agent_replication_with_scratch, AgentOutcome, AgentReplication,
-    AgentScenario,
+    run_agent_replication, run_agent_replication_metered, run_agent_replication_with_scratch,
+    AgentOutcome, AgentReplication, AgentScenario,
 };
 pub use coded::{CodedGridSpec, CodedPhaseCell, CodedPhaseDiagram};
 pub use config::EngineConfig;
 pub use error::Error;
 pub use grid::{Axis, GridSpec, PhaseCell, PhaseDiagram};
+pub use metrics::{MetricsSink, ReplicationTelemetry};
 pub use progress::{Progress, ProgressSink};
 pub use replicate::{
     run_replication, run_replication_on, verdict_agrees, ClassVotes, ReplicationOutcome, Scenario,

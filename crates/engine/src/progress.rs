@@ -7,15 +7,23 @@
 
 use crate::session::{ReplicationRecord, ReplicationSink, StreamPlan};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// A completed-replication counter shared by the batch workers. Reports to
 /// stderr at (roughly) decile boundaries when enabled; a disabled counter
 /// still counts, so callers can read totals either way.
+///
+/// Besides completions the counter accumulates simulated events (fed via
+/// [`Progress::add_events`]), so its decile lines report elapsed wall time
+/// and a running events-per-second throughput.
 #[derive(Debug)]
 pub struct Progress {
     label: String,
     total: u64,
     done: AtomicU64,
+    /// Simulated events accumulated across completions.
+    events: AtomicU64,
+    start: Instant,
     enabled: bool,
 }
 
@@ -27,8 +35,16 @@ impl Progress {
             label: label.into(),
             total,
             done: AtomicU64::new(0),
+            events: AtomicU64::new(0),
+            start: Instant::now(),
             enabled,
         }
+    }
+
+    /// Accumulates simulated events toward the throughput figure (called
+    /// before the matching [`Progress::tick`]).
+    pub fn add_events(&self, events: u64) {
+        self.events.fetch_add(events, Ordering::Relaxed);
     }
 
     /// Records one completion (called from worker threads).
@@ -41,8 +57,15 @@ impl Progress {
         // check, no time source needed).
         let decile = self.total.div_ceil(10);
         if done == self.total || done.is_multiple_of(decile) {
+            let elapsed = self.start.elapsed().as_secs_f64();
+            let events = self.events.load(Ordering::Relaxed);
+            let rate = if elapsed > 0.0 {
+                events as f64 / elapsed
+            } else {
+                0.0
+            };
             eprintln!(
-                "[{}] {done}/{} replications ({}%)",
+                "[{}] {done}/{} replications ({}%) — {elapsed:.1}s elapsed, {rate:.0} ev/s",
                 self.label,
                 self.total,
                 100 * done / self.total
@@ -56,6 +79,12 @@ impl Progress {
         self.done.load(Ordering::Relaxed)
     }
 
+    /// Simulated events accumulated so far.
+    #[must_use]
+    pub fn events(&self) -> u64 {
+        self.events.load(Ordering::Relaxed)
+    }
+
     /// Expected total completions.
     #[must_use]
     pub fn total(&self) -> u64 {
@@ -64,8 +93,9 @@ impl Progress {
 }
 
 /// The progress counter as a [`ReplicationSink`]: learns the stream's total
-/// at [`ReplicationSink::begin`] and reports decile completion on stderr as
-/// records arrive.
+/// at [`ReplicationSink::begin`] and reports decile completion (with
+/// elapsed time and events-per-second throughput) on stderr as records
+/// arrive.
 #[derive(Debug)]
 pub struct ProgressSink {
     label: String,
@@ -94,8 +124,9 @@ impl ReplicationSink for ProgressSink {
         self.progress = Some(Progress::new(self.label.clone(), plan.total, true));
     }
 
-    fn record(&mut self, _record: &ReplicationRecord) {
+    fn record(&mut self, record: &ReplicationRecord) {
         if let Some(progress) = &self.progress {
+            progress.add_events(record.events);
             progress.tick();
         }
     }
@@ -112,6 +143,7 @@ mod tests {
             for _ in 0..4 {
                 scope.spawn(|| {
                     for _ in 0..16 {
+                        progress.add_events(10);
                         progress.tick();
                     }
                 });
@@ -119,5 +151,6 @@ mod tests {
         });
         assert_eq!(progress.done(), 64);
         assert_eq!(progress.total(), 64);
+        assert_eq!(progress.events(), 640);
     }
 }

@@ -58,11 +58,14 @@
 //! # Ok::<(), swarm::SwarmError>(())
 //! ```
 
-use crate::agent::{run_agent_replication_with_scratch, AgentOutcome, AgentScenario};
+use crate::agent::{
+    run_agent_replication_metered, run_agent_replication_with_scratch, AgentOutcome, AgentScenario,
+};
 use crate::coded::{CodedGridSpec, CodedPhaseCell, CodedPhaseDiagram};
 use crate::config::EngineConfig;
 use crate::error::Error;
 use crate::grid::{GridSpec, PhaseCell, PhaseDiagram};
+use crate::metrics::ReplicationTelemetry;
 use crate::progress::ProgressSink;
 use crate::replicate::{
     run_replication_on, verdict_agrees, ClassVotes, ReplicationOutcome, Scenario, ScenarioOutcome,
@@ -75,6 +78,7 @@ use std::sync::{Condvar, Mutex};
 use swarm::coded::CodedParams;
 use swarm::sim::{AgentConfig, KernelKind, SimScratch};
 use swarm::{stability, StabilityVerdict, SwarmModel, SwarmParams};
+use telemetry::{Histogram, Span};
 
 /// One replication's result, as delivered to a [`ReplicationSink`].
 ///
@@ -103,6 +107,12 @@ pub struct ReplicationRecord {
     /// Whether the run hit the `max_events` safety valve (agent
     /// replications only).
     pub truncated: bool,
+    /// Per-replication kernel counters and wall time, populated for agent
+    /// replications when [`EngineConfig::metrics`] is set (`None` for CTMC
+    /// replications and whenever metrics are off). The counters never
+    /// perturb the run: records are otherwise identical with metrics on or
+    /// off.
+    pub telemetry: Option<ReplicationTelemetry>,
 }
 
 /// What a stream is about to deliver, announced via
@@ -118,7 +128,14 @@ pub struct StreamPlan {
 }
 
 /// Post-stream accounting, delivered via [`ReplicationSink::end`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Beyond the delivery counts, the stats carry the scheduler's own
+/// telemetry: how many workers ran, how the tasks spread across them, and
+/// log₂ histograms of per-task wall time, frontier-window waits, and
+/// reorder-buffer occupancy. The timing fields are wall-clock (and thus
+/// vary run to run); every *delivered record* stays bit-identical at any
+/// worker count.
+#[derive(Debug, Clone, PartialEq)]
 pub struct StreamStats {
     /// Records delivered (equals the plan's total).
     pub delivered: u64,
@@ -131,6 +148,45 @@ pub struct StreamStats {
     /// buffered results regardless of how many replications the stream
     /// carries.
     pub reorder_window: usize,
+    /// Worker threads that actually ran (after clamping to the task
+    /// count; `0` for an empty stream).
+    pub workers: usize,
+    /// Wall-clock duration of the whole stream, begin to end, in seconds.
+    pub wall_seconds: f64,
+    /// Replications completed per worker, sorted descending — the shape of
+    /// the dynamic load balance, stated scheduling-independently.
+    pub per_worker: Vec<u64>,
+    /// Log₂ histogram of per-task wall times, in nanoseconds (one sample
+    /// per replication, any workload kind).
+    pub task_nanos: Histogram,
+    /// Log₂ histogram of time workers spent blocked on the bounded reorder
+    /// window, in nanoseconds (one sample per blocking episode; empty when
+    /// no worker ever had to wait).
+    pub queue_wait_nanos: Histogram,
+    /// Log₂ histogram of the reorder buffer's occupancy observed after
+    /// each result was pushed (single-worker streams never buffer, so this
+    /// is empty at `jobs = 1`).
+    pub reorder_occupancy: Histogram,
+}
+
+impl StreamStats {
+    /// Stats for a degenerate single-worker stream that delivered
+    /// `delivered` records in `wall_seconds` — a convenience for sinks
+    /// exercised outside [`Session::stream`] (tests, adapters).
+    #[must_use]
+    pub fn inline(delivered: u64, wall_seconds: f64) -> Self {
+        StreamStats {
+            delivered,
+            max_pending: 0,
+            reorder_window: reorder_window(1),
+            workers: 1,
+            wall_seconds,
+            per_worker: vec![delivered],
+            task_nanos: Histogram::new(),
+            queue_wait_nanos: Histogram::new(),
+            reorder_occupancy: Histogram::new(),
+        }
+    }
 }
 
 /// Observer for streamed replication results.
@@ -584,7 +640,7 @@ impl Session {
 
         let mut outcomes: Vec<ScenarioOutcome> = Vec::with_capacity(scenarios.len());
         let mut agg = CtmcAggregate::new();
-        let max_pending = run_ordered(
+        let sched = run_ordered(
             total,
             config.jobs,
             window,
@@ -608,6 +664,7 @@ impl Session {
                     events: 0,
                     transfers: 0,
                     truncated: false,
+                    telemetry: None,
                 });
                 agg.push(&outcome);
                 if r + 1 == reps {
@@ -616,7 +673,7 @@ impl Session {
             },
         );
 
-        framing.end(max_pending);
+        framing.end(sched);
         outcomes
     }
 
@@ -631,7 +688,7 @@ impl Session {
 
         let mut outcomes: Vec<AgentOutcome> = Vec::with_capacity(scenarios.len());
         let mut agg = AgentAggregate::new();
-        let max_pending = run_ordered(
+        let sched = run_ordered(
             total,
             config.jobs,
             window,
@@ -641,10 +698,26 @@ impl Session {
             SimScratch::new,
             |index, scratch: &mut SimScratch| {
                 let (s, r) = (index / reps, (index % reps) as u32);
-                run_agent_replication_with_scratch(&scenarios[s], config, r, scratch)
-                    .expect("scenarios validated when the session was built")
+                // The metered path runs the identical simulation through a
+                // counting recorder (no extra draws), so the outcome is
+                // bit-identical either way; only the side channel differs.
+                if config.metrics {
+                    let (outcome, telemetry) =
+                        run_agent_replication_metered(&scenarios[s], config, r, scratch)
+                            .expect("scenarios validated when the session was built");
+                    (outcome, Some(telemetry))
+                } else {
+                    let outcome =
+                        run_agent_replication_with_scratch(&scenarios[s], config, r, scratch)
+                            .expect("scenarios validated when the session was built");
+                    (outcome, None)
+                }
             },
-            |index, outcome: crate::agent::AgentReplication| {
+            |index,
+             (outcome, telemetry): (
+                crate::agent::AgentReplication,
+                Option<ReplicationTelemetry>,
+            )| {
                 let (s, r) = (index / reps, index % reps);
                 if r == 0 {
                     agg.begin(crate::agent::scenario_theory(&scenarios[s]));
@@ -659,6 +732,7 @@ impl Session {
                     events: outcome.events,
                     transfers: outcome.transfers,
                     truncated: outcome.truncated,
+                    telemetry,
                 });
                 agg.push(&outcome);
                 if r + 1 == reps {
@@ -667,7 +741,7 @@ impl Session {
             },
         );
 
-        framing.end(max_pending);
+        framing.end(sched);
         outcomes
     }
 }
@@ -686,6 +760,8 @@ struct StreamFraming<'s, S: ReplicationSink> {
     window: usize,
     /// Replications per scenario (clamped to at least one).
     reps: usize,
+    /// Wall clock of the whole stream, begin to end.
+    span: Span,
 }
 
 impl<'s, S: ReplicationSink> StreamFraming<'s, S> {
@@ -709,6 +785,7 @@ impl<'s, S: ReplicationSink> StreamFraming<'s, S> {
             total,
             window,
             reps,
+            span: Span::start(),
         }
     }
 
@@ -719,11 +796,17 @@ impl<'s, S: ReplicationSink> StreamFraming<'s, S> {
         }
     }
 
-    fn end(mut self, max_pending: usize) {
+    fn end(mut self, sched: SchedulerStats) {
         let stats = StreamStats {
             delivered: self.total as u64,
-            max_pending,
+            max_pending: sched.max_pending,
             reorder_window: self.window,
+            workers: sched.workers,
+            wall_seconds: self.span.seconds(),
+            per_worker: sched.per_worker,
+            task_nanos: sched.task_nanos,
+            queue_wait_nanos: sched.queue_wait_nanos,
+            reorder_occupancy: sched.reorder_occupancy,
         };
         if let Some(p) = &mut self.progress {
             p.end(&stats);
@@ -858,11 +941,28 @@ fn reorder_window(jobs: usize) -> usize {
     (jobs * 4).max(64)
 }
 
+/// What the scheduler observed about itself while running one stream:
+/// worker shape, load balance, and the wall-time histograms surfaced on
+/// [`StreamStats`].
+#[derive(Debug, Default)]
+struct SchedulerStats {
+    max_pending: usize,
+    workers: usize,
+    /// Tasks completed per worker, sorted descending.
+    per_worker: Vec<u64>,
+    task_nanos: Histogram,
+    queue_wait_nanos: Histogram,
+    reorder_occupancy: Histogram,
+}
+
 /// The in-order delivery frontier shared by the workers.
 struct Emitter<T, D: FnMut(usize, T)> {
     next: usize,
     pending: BTreeMap<usize, T>,
     max_pending: usize,
+    /// Buffer occupancy observed after each push (under the lock the push
+    /// already holds, so the sample is free of extra synchronization).
+    occupancy: Histogram,
     panicked: bool,
     deliver: D,
 }
@@ -881,12 +981,14 @@ impl<T, D: FnMut(usize, T)> Emitter<T, D> {
             self.pending.insert(index, value);
             self.max_pending = self.max_pending.max(self.pending.len());
         }
+        self.occupancy.record(self.pending.len() as u64);
     }
 }
 
 /// Runs `total` indexed tasks over `jobs` workers, delivering each result
-/// through `deliver` in strict index order, and returns the reorder
-/// buffer's high-water mark.
+/// through `deliver` in strict index order, and returns the scheduler's
+/// self-observation (reorder high-water mark, per-worker load, timing
+/// histograms).
 ///
 /// Workers self-schedule off an atomic counter (dynamic load balancing)
 /// but may run at most `window` tasks ahead of the delivery frontier, so
@@ -894,7 +996,9 @@ impl<T, D: FnMut(usize, T)> Emitter<T, D> {
 /// regardless of `total`. Delivery happens under a lock on whichever
 /// worker completes the frontier task; calls are serialized and in order,
 /// which is what makes streamed aggregation bit-identical at any worker
-/// count.
+/// count. The instrumentation reads the wall clock per task and merges
+/// worker-local histograms once at exit — it takes no extra locks on the
+/// hot path and never influences scheduling.
 fn run_ordered<T, C, MkCtx, Task, Deliver>(
     total: usize,
     jobs: usize,
@@ -902,7 +1006,7 @@ fn run_ordered<T, C, MkCtx, Task, Deliver>(
     make_ctx: MkCtx,
     task: Task,
     deliver: Deliver,
-) -> usize
+) -> SchedulerStats
 where
     T: Send,
     MkCtx: Fn() -> C + Sync,
@@ -910,18 +1014,36 @@ where
     Deliver: FnMut(usize, T) + Send,
 {
     if total == 0 {
-        return 0;
+        return SchedulerStats::default();
     }
     let jobs = effective_jobs(jobs).min(total);
     if jobs <= 1 {
         // Single worker: run inline, delivery is trivially in order.
         let mut ctx = make_ctx();
         let mut deliver = deliver;
+        let mut task_nanos = Histogram::new();
         for index in 0..total {
+            let span = Span::start();
             let value = task(index, &mut ctx);
+            task_nanos.record(span.nanos());
             deliver(index, value);
         }
-        return 0;
+        return SchedulerStats {
+            max_pending: 0,
+            workers: 1,
+            per_worker: vec![total as u64],
+            task_nanos,
+            queue_wait_nanos: Histogram::new(),
+            reorder_occupancy: Histogram::new(),
+        };
+    }
+
+    /// What one worker accumulates locally (merged under a lock only once,
+    /// when the worker retires).
+    struct WorkerLocal {
+        completed: u64,
+        task_nanos: Histogram,
+        queue_wait_nanos: Histogram,
     }
 
     let counter = AtomicUsize::new(0);
@@ -929,10 +1051,12 @@ where
         next: 0,
         pending: BTreeMap::new(),
         max_pending: 0,
+        occupancy: Histogram::new(),
         panicked: false,
         deliver,
     });
     let frontier_moved = Condvar::new();
+    let locals: Mutex<Vec<WorkerLocal>> = Mutex::new(Vec::with_capacity(jobs));
 
     std::thread::scope(|scope| {
         for _ in 0..jobs {
@@ -960,6 +1084,11 @@ where
                 };
 
                 let mut ctx = make_ctx();
+                let mut local = WorkerLocal {
+                    completed: 0,
+                    task_nanos: Histogram::new(),
+                    queue_wait_nanos: Histogram::new(),
+                };
                 loop {
                     let index = counter.fetch_add(1, Ordering::Relaxed);
                     if index >= total {
@@ -970,25 +1099,49 @@ where
                         // enough that this result cannot over-fill the
                         // reorder buffer.
                         let mut emitter = shared.lock().unwrap();
-                        while index >= emitter.next + window && !emitter.panicked {
-                            emitter = frontier_moved.wait(emitter).unwrap();
+                        if index >= emitter.next + window && !emitter.panicked {
+                            let wait = Span::start();
+                            while index >= emitter.next + window && !emitter.panicked {
+                                emitter = frontier_moved.wait(emitter).unwrap();
+                            }
+                            local.queue_wait_nanos.record(wait.nanos());
                         }
                         if emitter.panicked {
                             return;
                         }
                     }
+                    let span = Span::start();
                     let value = task(index, &mut ctx);
+                    local.task_nanos.record(span.nanos());
+                    local.completed += 1;
                     let mut emitter = shared.lock().unwrap();
                     emitter.push(index, value);
                     drop(emitter);
                     frontier_moved.notify_all();
                 }
+                locals.lock().unwrap().push(local);
             });
         }
     });
 
     let emitter = shared.into_inner().unwrap();
-    emitter.max_pending
+    let mut stats = SchedulerStats {
+        max_pending: emitter.max_pending,
+        workers: jobs,
+        per_worker: Vec::with_capacity(jobs),
+        task_nanos: Histogram::new(),
+        queue_wait_nanos: Histogram::new(),
+        reorder_occupancy: emitter.occupancy,
+    };
+    for local in locals.into_inner().unwrap() {
+        stats.per_worker.push(local.completed);
+        stats.task_nanos.merge(&local.task_nanos);
+        stats.queue_wait_nanos.merge(&local.queue_wait_nanos);
+    }
+    // Scheduling decides which worker ran what; sorting states the load
+    // balance shape independently of thread identity.
+    stats.per_worker.sort_unstable_by(|a, b| b.cmp(a));
+    stats
 }
 
 #[cfg(test)]
@@ -1000,7 +1153,7 @@ mod tests {
     fn ordered_delivery_is_in_index_order_at_any_worker_count() {
         for jobs in [1usize, 2, 4, 8] {
             let mut seen = Vec::new();
-            let max_pending = run_ordered(
+            let sched = run_ordered(
                 257,
                 jobs,
                 reorder_window(jobs),
@@ -1012,7 +1165,18 @@ mod tests {
                 },
             );
             assert_eq!(seen, (0..257).collect::<Vec<_>>(), "jobs = {jobs}");
-            assert!(max_pending < reorder_window(jobs), "jobs = {jobs}");
+            assert!(sched.max_pending < reorder_window(jobs), "jobs = {jobs}");
+            assert_eq!(sched.workers, jobs, "jobs = {jobs}");
+            assert_eq!(
+                sched.per_worker.iter().sum::<u64>(),
+                257,
+                "every task is accounted to exactly one worker at jobs = {jobs}"
+            );
+            assert!(
+                sched.per_worker.windows(2).all(|w| w[0] >= w[1]),
+                "per-worker load is reported sorted descending"
+            );
+            assert_eq!(sched.task_nanos.count(), 257, "one timing sample per task");
         }
     }
 
@@ -1022,7 +1186,7 @@ mod tests {
         // workers sprint ahead — the window must stop them.
         let window = 8;
         let mut count = 0usize;
-        let max_pending = run_ordered(
+        let sched = run_ordered(
             10_000,
             4,
             window,
@@ -1037,8 +1201,19 @@ mod tests {
         );
         assert_eq!(count, 10_000);
         assert!(
-            max_pending < window,
-            "pending {max_pending} must stay below the window {window}"
+            sched.max_pending < window,
+            "pending {} must stay below the window {window}",
+            sched.max_pending
+        );
+        // The stalled frontier forced workers to block on the window at
+        // least once, and that blocking shows up in the wait histogram.
+        assert!(
+            sched.queue_wait_nanos.count() > 0,
+            "a stalled frontier must register queue waits"
+        );
+        assert!(
+            sched.reorder_occupancy.max() as usize <= window,
+            "occupancy never exceeds the window"
         );
     }
 

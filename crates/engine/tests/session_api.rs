@@ -44,7 +44,7 @@ impl ReplicationSink for RecordingSink {
         self.records.push(*record);
     }
     fn end(&mut self, stats: &StreamStats) {
-        self.stats = Some(*stats);
+        self.stats = Some(stats.clone());
     }
 }
 

@@ -1,0 +1,60 @@
+//! Property tests of the log2 histogram's bucket geometry: every value
+//! lands in exactly one bucket, bucket bounds partition the `u64` range,
+//! and boundary values sit on the correct side.
+
+use proptest::prelude::*;
+use telemetry::{Histogram, HISTOGRAM_BUCKETS};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn value_lands_inside_its_buckets_bounds(value in any::<u64>()) {
+        let index = Histogram::bucket_index(value);
+        prop_assert!(index < HISTOGRAM_BUCKETS);
+        let (low, high) = Histogram::bucket_bounds(index);
+        prop_assert!(low <= value && value <= high,
+            "value {value} outside bucket {index} = [{low}, {high}]");
+    }
+
+    #[test]
+    fn recording_increments_exactly_one_bucket(value in any::<u64>()) {
+        let mut h = Histogram::new();
+        h.record(value);
+        let buckets: Vec<(usize, u64)> = h.nonzero_buckets().collect();
+        prop_assert_eq!(buckets, vec![(Histogram::bucket_index(value), 1)]);
+        prop_assert_eq!(h.count(), 1);
+        prop_assert_eq!(h.sum(), value);
+        prop_assert_eq!(h.max(), value);
+    }
+
+    #[test]
+    fn powers_of_two_open_a_fresh_bucket(shift in 0u32..64) {
+        // 2^s is the smallest value of bit width s+1: it must start bucket
+        // s+1, while 2^s - 1 must close bucket s.
+        let power = 1u64 << shift;
+        prop_assert_eq!(Histogram::bucket_index(power), shift as usize + 1);
+        prop_assert_eq!(Histogram::bucket_bounds(shift as usize + 1).0, power);
+        prop_assert_eq!(Histogram::bucket_index(power - 1), u64::BITS as usize - (power - 1).leading_zeros() as usize);
+        if shift > 0 {
+            prop_assert_eq!(Histogram::bucket_bounds(shift as usize).1, power - 1);
+        }
+    }
+}
+
+#[test]
+fn bucket_bounds_partition_the_u64_range() {
+    // Consecutive buckets tile 0..=u64::MAX with no gaps or overlaps.
+    assert_eq!(Histogram::bucket_bounds(0), (0, 0));
+    let mut expected_low = 1u64;
+    for index in 1..HISTOGRAM_BUCKETS {
+        let (low, high) = Histogram::bucket_bounds(index);
+        assert_eq!(low, expected_low, "bucket {index} low");
+        assert_eq!(high, low - 1 + low, "bucket {index} high");
+        if index < HISTOGRAM_BUCKETS - 1 {
+            expected_low = high + 1;
+        } else {
+            assert_eq!(high, u64::MAX);
+        }
+    }
+}

@@ -16,6 +16,9 @@
 //!   scenario files (heterogeneous arrivals, flash crowds, multi-seed
 //!   starts, retry speed-up, policy choice) executed deterministically on
 //!   the engine's agent backend via `run_experiments --scenario`,
+//! * [`ndjson`] — the strict validator of the engine's metrics NDJSON
+//!   export (`run_experiments --metrics`): framing, schema, and the
+//!   counter algebra all checked line by line,
 //! * [`sweep`] — a small parallel parameter-sweep runner that simulates each
 //!   point and compares against the Theorem 1 / Theorem 15 prediction,
 //! * [`report`] — plain-text tables, the output format of every experiment,
@@ -39,6 +42,7 @@ pub mod error;
 pub mod experiments;
 pub mod grid;
 mod json;
+pub mod ndjson;
 pub mod registry;
 pub mod report;
 pub mod scenario;
@@ -46,6 +50,7 @@ pub mod sweep;
 
 pub use error::SpecError;
 pub use grid::{CellOutcome, RegionGrid};
+pub use ndjson::NdjsonSummary;
 pub use registry::{Registry, ScenarioRunOptions, ScenarioRunReport, ScenarioSpec};
 pub use report::{ExperimentReport, Table};
 pub use sweep::{SweepOutcome, SweepPoint, SweepSummary};

@@ -1,0 +1,375 @@
+//! Validation of the engine's metrics NDJSON export.
+//!
+//! `run_experiments --metrics` (and any caller of
+//! [`engine::MetricsSink`]) emits one NDJSON line per stream event:
+//! `begin`, one per replication, `end`. This module checks such a document
+//! against the schema *and* the counter algebra — every replication line's
+//! counters must partition its event count, and the `end` totals must be
+//! the exact sum of the per-line counters — so CI can assert that a
+//! telemetry file is internally consistent without re-running anything.
+//!
+//! The checker is intentionally strict: unknown counter names, missing
+//! fields, non-integer counts, or books that don't balance are all
+//! [`SpecError`]s naming the offending line.
+
+use crate::error::SpecError;
+use crate::json::{self, Json};
+use telemetry::Counter;
+
+/// What a validated metrics NDJSON document contained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NdjsonSummary {
+    /// Scenarios announced by the `begin` line.
+    pub scenarios: u64,
+    /// Replication lines present (equals the `end` line's `delivered`).
+    pub replications: u64,
+    /// Replication lines that carried kernel counters.
+    pub metered: u64,
+    /// Simulated events summed over every replication line.
+    pub total_events: u64,
+    /// Piece/combination transfers summed over every replication line.
+    pub total_transfers: u64,
+    /// Workers reported by the `end` line.
+    pub workers: u64,
+}
+
+fn invalid(line: usize, message: impl std::fmt::Display) -> SpecError {
+    SpecError::Invalid(format!("metrics NDJSON line {}: {message}", line + 1))
+}
+
+fn get_u64(value: &Json, key: &str, line: usize) -> Result<u64, SpecError> {
+    match value.get(key) {
+        Some(Json::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as u64),
+        Some(other) => Err(invalid(
+            line,
+            format!(
+                "`{key}` must be a non-negative integer, got {}",
+                other.render()
+            ),
+        )),
+        None => Err(invalid(line, format!("missing `{key}`"))),
+    }
+}
+
+fn get_str<'j>(value: &'j Json, key: &str, line: usize) -> Result<&'j str, SpecError> {
+    match value.get(key) {
+        Some(Json::Str(s)) => Ok(s),
+        _ => Err(invalid(line, format!("missing string `{key}`"))),
+    }
+}
+
+/// Reads a counters object into a per-counter array, insisting on exactly
+/// the canonical counter names.
+fn read_counters(value: &Json, line: usize) -> Result<[u64; Counter::COUNT], SpecError> {
+    for key in value.keys() {
+        if !Counter::ALL.iter().any(|c| c.name() == key) {
+            return Err(invalid(line, format!("unknown counter `{key}`")));
+        }
+    }
+    let mut counts = [0u64; Counter::COUNT];
+    for (i, counter) in Counter::ALL.iter().enumerate() {
+        counts[i] = get_u64(value, counter.name(), line)?;
+    }
+    Ok(counts)
+}
+
+/// Checks a histogram object's shape: `count`, `sum`, `max`, and a sparse
+/// `buckets` array of `[index, count]` pairs whose counts sum to `count`.
+fn check_histogram(value: &Json, key: &str, line: usize) -> Result<u64, SpecError> {
+    let hist = value
+        .get(key)
+        .ok_or_else(|| invalid(line, format!("missing histogram `{key}`")))?;
+    let count = get_u64(hist, "count", line)?;
+    let _ = get_u64(hist, "sum", line)?;
+    let _ = get_u64(hist, "max", line)?;
+    let buckets = match hist.get("buckets") {
+        Some(Json::Arr(items)) => items,
+        _ => return Err(invalid(line, format!("`{key}.buckets` must be an array"))),
+    };
+    let mut bucket_total = 0u64;
+    for item in buckets {
+        match item {
+            Json::Arr(pair) if pair.len() == 2 => match (&pair[0], &pair[1]) {
+                (Json::Num(index), Json::Num(n))
+                    if index.fract() == 0.0
+                        && (*index as usize) < telemetry::HISTOGRAM_BUCKETS
+                        && n.fract() == 0.0
+                        && *n > 0.0 =>
+                {
+                    bucket_total += *n as u64;
+                }
+                _ => {
+                    return Err(invalid(
+                        line,
+                        format!("`{key}.buckets` entries must be [bucket_index, positive_count]"),
+                    ))
+                }
+            },
+            _ => {
+                return Err(invalid(
+                    line,
+                    format!("`{key}.buckets` entries must be two-element arrays"),
+                ))
+            }
+        }
+    }
+    if bucket_total != count {
+        return Err(invalid(
+            line,
+            format!("`{key}` buckets sum to {bucket_total}, count says {count}"),
+        ));
+    }
+    Ok(count)
+}
+
+/// Validates a metrics NDJSON document end to end.
+///
+/// Checks the framing (one `begin`, `total` replication lines, one `end`),
+/// the per-line schema, and the counter algebra: on every metered
+/// replication line `arrivals + contacts + departure_events == events`,
+/// `contacts == useful_transfers + useless_contacts`, and
+/// `useful_transfers == transfers`; the `end` line's `totals` must equal
+/// the sum of all per-line counters, its `per_worker` loads must sum to
+/// `delivered`, and its histograms must be internally consistent.
+///
+/// # Errors
+///
+/// Returns [`SpecError::Invalid`] naming the first offending line, or
+/// [`SpecError::Parse`] if a line is not valid JSON.
+pub fn validate(text: &str) -> Result<NdjsonSummary, SpecError> {
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    if lines.len() < 2 {
+        return Err(SpecError::Invalid(
+            "metrics NDJSON needs at least a begin and an end line".into(),
+        ));
+    }
+    let parsed: Vec<Json> = lines
+        .iter()
+        .enumerate()
+        .map(|(i, l)| {
+            json::parse(l)
+                .map_err(|e| SpecError::Parse(format!("metrics NDJSON line {}: {e}", i + 1)))
+        })
+        .collect::<Result<_, _>>()?;
+
+    // --- begin ---------------------------------------------------------
+    if get_str(&parsed[0], "type", 0)? != "begin" {
+        return Err(invalid(0, "first line must have type \"begin\""));
+    }
+    let scenarios = get_u64(&parsed[0], "scenarios", 0)?;
+    let replications_per = get_u64(&parsed[0], "replications", 0)?;
+    let total = get_u64(&parsed[0], "total", 0)?;
+    if total != scenarios * replications_per {
+        return Err(invalid(0, "total must equal scenarios × replications"));
+    }
+    if parsed.len() as u64 != total + 2 {
+        return Err(SpecError::Invalid(format!(
+            "metrics NDJSON: expected {} lines (begin + {total} replications + end), got {}",
+            total + 2,
+            parsed.len()
+        )));
+    }
+
+    // --- replication lines ---------------------------------------------
+    let mut metered = 0u64;
+    let mut total_events = 0u64;
+    let mut total_transfers = 0u64;
+    let mut totals = [0u64; Counter::COUNT];
+    let body = &parsed[1..parsed.len() - 1];
+    for (offset, value) in body.iter().enumerate() {
+        let line = offset + 1;
+        if get_str(value, "type", line)? != "replication" {
+            return Err(invalid(line, "expected type \"replication\""));
+        }
+        let _ = get_u64(value, "scenario_index", line)?;
+        let _ = get_u64(value, "scenario_id", line)?;
+        let _ = get_u64(value, "replication", line)?;
+        let class = get_str(value, "class", line)?;
+        if !matches!(class, "stable" | "growing" | "indeterminate") {
+            return Err(invalid(line, format!("unknown class `{class}`")));
+        }
+        let events = get_u64(value, "events", line)?;
+        let transfers = get_u64(value, "transfers", line)?;
+        if !matches!(value.get("truncated"), Some(Json::Bool(_))) {
+            return Err(invalid(line, "missing boolean `truncated`"));
+        }
+        total_events += events;
+        total_transfers += transfers;
+        if let Some(counters) = value.get("counters") {
+            let counts = read_counters(counters, line)?;
+            metered += 1;
+            for (i, n) in counts.iter().enumerate() {
+                totals[i] += n;
+            }
+            let get = |c: Counter| counts[c as usize];
+            let event_sum =
+                get(Counter::Arrivals) + get(Counter::Contacts) + get(Counter::DepartureEvents);
+            if event_sum != events {
+                return Err(invalid(
+                    line,
+                    format!(
+                        "arrivals + contacts + departure_events = {event_sum}, \
+                         but the line reports {events} events"
+                    ),
+                ));
+            }
+            if get(Counter::Contacts)
+                != get(Counter::UsefulTransfers) + get(Counter::UselessContacts)
+            {
+                return Err(invalid(
+                    line,
+                    "contacts must equal useful_transfers + useless_contacts",
+                ));
+            }
+            if get(Counter::UsefulTransfers) != transfers {
+                return Err(invalid(
+                    line,
+                    format!(
+                        "useful_transfers = {} but the line reports {transfers} transfers",
+                        get(Counter::UsefulTransfers)
+                    ),
+                ));
+            }
+            match value.get("wall_seconds") {
+                Some(Json::Num(n)) if *n >= 0.0 => {}
+                _ => {
+                    return Err(invalid(
+                        line,
+                        "metered lines must carry a non-negative `wall_seconds`",
+                    ))
+                }
+            }
+        }
+    }
+
+    // --- end ------------------------------------------------------------
+    let last = parsed.len() - 1;
+    let end = &parsed[last];
+    if get_str(end, "type", last)? != "end" {
+        return Err(invalid(last, "last line must have type \"end\""));
+    }
+    let delivered = get_u64(end, "delivered", last)?;
+    if delivered != total {
+        return Err(invalid(
+            last,
+            format!("delivered = {delivered}, begin announced {total}"),
+        ));
+    }
+    let workers = get_u64(end, "workers", last)?;
+    let end_totals = end
+        .get("totals")
+        .ok_or_else(|| invalid(last, "missing `totals`"))?;
+    let end_counts = read_counters(end_totals, last)?;
+    if end_counts != totals {
+        return Err(invalid(
+            last,
+            "end-line totals do not equal the sum of the per-replication counters",
+        ));
+    }
+    match end.get("per_worker") {
+        Some(Json::Arr(items)) => {
+            let mut sum = 0u64;
+            for item in items {
+                match item {
+                    Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 => sum += *n as u64,
+                    _ => return Err(invalid(last, "`per_worker` must hold integers")),
+                }
+            }
+            if delivered > 0 && sum != delivered {
+                return Err(invalid(
+                    last,
+                    format!("per_worker loads sum to {sum}, delivered is {delivered}"),
+                ));
+            }
+            if delivered > 0 && items.len() as u64 != workers {
+                return Err(invalid(
+                    last,
+                    format!(
+                        "per_worker has {} entries, workers is {workers}",
+                        items.len()
+                    ),
+                ));
+            }
+        }
+        _ => return Err(invalid(last, "missing `per_worker` array")),
+    }
+    let task_count = check_histogram(end, "task_nanos", last)?;
+    if task_count != delivered {
+        return Err(invalid(
+            last,
+            format!("task_nanos counted {task_count} tasks, delivered is {delivered}"),
+        ));
+    }
+    let _ = check_histogram(end, "queue_wait_nanos", last)?;
+    let _ = check_histogram(end, "reorder_occupancy", last)?;
+
+    Ok(NdjsonSummary {
+        scenarios,
+        replications: delivered,
+        metered,
+        total_events,
+        total_transfers,
+        workers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{self, Registry, ScenarioRunOptions};
+    use engine::{MetricsSink, NullSink};
+
+    fn exported_ndjson(metrics: bool, jobs: usize) -> String {
+        let registry = Registry::builtin();
+        let spec = registry.get("example1-stable").expect("builtin");
+        let options = ScenarioRunOptions {
+            replications: 3,
+            jobs,
+            seed: 11,
+            horizon_override: Some(60.0),
+            metrics,
+            ..Default::default()
+        };
+        let mut sink = MetricsSink::new(NullSink, Vec::new()).quiet();
+        registry::run_with_sink(spec, &options, &mut sink).expect("runs");
+        let (_, out) = sink.into_parts();
+        String::from_utf8(out).expect("utf-8")
+    }
+
+    #[test]
+    fn exported_telemetry_validates_metered_and_unmetered() {
+        for jobs in [1usize, 4] {
+            let summary = validate(&exported_ndjson(true, jobs)).expect("valid NDJSON");
+            assert_eq!(summary.scenarios, 1);
+            assert_eq!(summary.replications, 3);
+            assert_eq!(summary.metered, 3, "metrics on meters every replication");
+            assert!(summary.total_events > 0);
+
+            let summary = validate(&exported_ndjson(false, jobs)).expect("valid NDJSON");
+            assert_eq!(summary.metered, 0, "metrics off meters nothing");
+        }
+    }
+
+    #[test]
+    fn tampered_books_are_rejected() {
+        let good = exported_ndjson(true, 1);
+        // Corrupt one counter value: the per-line algebra must catch it.
+        let tampered = good.replacen("\"arrivals\":", "\"arrivals\":9", 1);
+        assert!(tampered != good, "tampering must change the document");
+        let error = validate(&tampered).expect_err("imbalanced books");
+        assert!(error.to_string().contains("line"), "{error}");
+    }
+
+    #[test]
+    fn framing_violations_are_rejected() {
+        let good = exported_ndjson(true, 1);
+        // Drop a replication line: the line count no longer matches begin.
+        let mut lines: Vec<&str> = good.lines().collect();
+        lines.remove(1);
+        let short = lines.join("\n");
+        assert!(validate(&short).is_err());
+        // Garbage is a parse error, not a panic.
+        assert!(validate("not json\n{}").is_err());
+        assert!(validate("").is_err());
+    }
+}

@@ -30,8 +30,7 @@
 //!     jobs: 1,
 //!     seed: 7,
 //!     horizon_override: Some(50.0),
-//!     kernel_override: None,
-//!     progress: false,
+//!     ..Default::default()
 //! };
 //! let report = workload::registry::run(spec, &options).unwrap();
 //! assert_eq!(report.outcome.votes.total(), 1);
@@ -966,6 +965,10 @@ pub struct ScenarioRunOptions {
     /// Report replication progress on stderr through the engine's built-in
     /// progress sink (the CLI's `--progress` flag).
     pub progress: bool,
+    /// Collect per-replication kernel counters and wall times on the
+    /// engine (the CLI's `--metrics` flag); never changes the numbers —
+    /// metering consumes no randomness.
+    pub metrics: bool,
 }
 
 impl Default for ScenarioRunOptions {
@@ -977,6 +980,7 @@ impl Default for ScenarioRunOptions {
             horizon_override: None,
             kernel_override: None,
             progress: false,
+            metrics: false,
         }
     }
 }
@@ -1102,7 +1106,8 @@ pub fn run_with_sink<S: ReplicationSink + Send>(
         .with_horizon(horizon)
         .with_master_seed(options.seed)
         .with_jobs(options.jobs)
-        .with_progress(options.progress);
+        .with_progress(options.progress)
+        .with_metrics(options.metrics);
     let session = Session::builder()
         .config(config)
         .workload(Workload::agent(vec![scenario]))
@@ -1231,7 +1236,7 @@ mod tests {
             seed: 77,
             horizon_override: Some(80.0),
             kernel_override: Some(KernelKind::Turbo),
-            progress: false,
+            ..Default::default()
         };
         let a = run(spec, &options).unwrap();
         let b = run(spec, &ScenarioRunOptions { jobs: 4, ..options }).unwrap();
@@ -1268,7 +1273,7 @@ mod tests {
             seed: 42,
             horizon_override: Some(120.0),
             kernel_override: None,
-            progress: false,
+            ..Default::default()
         };
         let a = run(spec, &options).unwrap();
         let b = run(spec, &ScenarioRunOptions { jobs: 4, ..options }).unwrap();

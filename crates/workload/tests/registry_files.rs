@@ -55,7 +55,7 @@ fn scenario_file_resolves_compiles_and_runs() {
         seed: 0xF11E,
         horizon_override: None,
         kernel_override: None,
-        progress: false,
+        ..Default::default()
     };
     let a = run(&spec, &options).expect("runs");
     let b = run(&spec, &ScenarioRunOptions { jobs: 6, ..options }).expect("runs");
@@ -94,7 +94,7 @@ fn builtin_big_swarm_scenario_reaches_operating_size() {
         seed: 3,
         horizon_override: Some(8.0),
         kernel_override: None,
-        progress: false,
+        ..Default::default()
     };
     let report = run(spec, &options).expect("runs");
     assert!(

@@ -29,7 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: 0xC0DE,
         horizon_override: Some(400.0),
         kernel_override: None,
-        progress: false,
+        ..Default::default()
     };
     for name in ["coded-gift-sub", "coded-gift-super"] {
         let spec = registry.get(name).expect("built-in scenario");

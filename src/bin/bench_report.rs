@@ -1,9 +1,9 @@
 //! Emits the canonical machine-readable kernel benchmark report
-//! (`BENCH_PR4.json`) so the repository tracks a perf trajectory instead of
+//! (`BENCH_PR6.json`) so the repository tracks a perf trajectory instead of
 //! claiming speedups in prose.
 //!
 //! ```text
-//! cargo run --release --bin bench_report                    # write BENCH_PR4.json
+//! cargo run --release --bin bench_report                    # write BENCH_PR6.json
 //! cargo run --release --bin bench_report -- --out my.json   # elsewhere
 //! cargo run --release --bin bench_report -- --check         # CI mode
 //! ```
@@ -26,32 +26,41 @@
 //! (one agent scenario, one replication, `--jobs 1`), with the event and
 //! transfer counters streamed out of a `ReplicationSink` — so the bench
 //! exercises the exact dispatch path production callers use, and wall time
-//! is measured around `Session::stream`.
+//! is measured around `Session::stream` through a `telemetry::Span`.
+//!
+//! After the timed (unmetered) repeats, every measurement runs one *metered*
+//! pass with the engine's telemetry switched on: the kernel counters it
+//! captures are reported in the per-kernel `telemetry` block, and the pass
+//! doubles as a determinism assertion — metering must reproduce the exact
+//! event and transfer counts of the unmetered runs, and the counter
+//! partition must add back up to them.
 //!
 //! `--check` is the CI mode: it runs a reduced size twice per kernel and
 //! asserts *event-count determinism* (same seed → identical event and
-//! transfer counts; scan ≡ event by draw parity) plus the schema of the
-//! committed `BENCH_PR4.json` — never wall time, which CI hardware cannot
-//! promise.
+//! transfer counts; scan ≡ event by draw parity) plus the telemetry
+//! identities above, plus the schema of the committed `BENCH_PR6.json` —
+//! never wall time, which CI hardware cannot promise.
 
+use p2p_stability::engine::metrics::counters_json;
 use p2p_stability::engine::{
-    AgentScenario, EngineConfig, ReplicationRecord, ReplicationSink, Session, Workload,
+    AgentScenario, EngineConfig, ReplicationRecord, ReplicationSink, ReplicationTelemetry, Session,
+    Workload,
 };
 use p2p_stability::pieceset::{PieceId, PieceSet};
 use p2p_stability::swarm::coded::CodedParams;
 use p2p_stability::swarm::sim::{AgentConfig, KernelKind};
 use p2p_stability::swarm::SwarmParams;
+use p2p_stability::telemetry::{Counter, CounterSet, Span};
 use std::fmt::Write as _;
 use std::process::ExitCode;
-use std::time::Instant;
 
 const K: usize = 32;
 const SEED: u64 = 0xBE7C;
-const SCHEMA: &str = "p2p-bench/v2";
+const SCHEMA: &str = "p2p-bench/v3";
 
 /// Required top-level keys of the report — `--check` verifies the committed
 /// file still carries each of them, so schema drift fails CI.
-const SCHEMA_KEYS: [&str; 9] = [
+const SCHEMA_KEYS: [&str; 10] = [
     "\"schema\"",
     "\"pr\"",
     "\"scenario\"",
@@ -61,7 +70,11 @@ const SCHEMA_KEYS: [&str; 9] = [
     "\"turbo_speedup_vs_event\"",
     "\"million_peer\"",
     "\"coded\"",
+    "\"telemetry\"",
 ];
+
+/// The swarm sizes (with their horizons) every kernel is measured at.
+const SIZES: [(usize, f64); 2] = [(10_000, 40.0), (100_000, 8.0)];
 
 /// The uncoded benchmark parameter point: arrivals missing exactly one piece
 /// keep the swarm at operating size with constant completions; hit-and-run
@@ -135,6 +148,7 @@ struct CaptureSink {
     events: u64,
     transfers: u64,
     truncated: bool,
+    telemetry: Option<ReplicationTelemetry>,
 }
 
 impl ReplicationSink for CaptureSink {
@@ -142,6 +156,7 @@ impl ReplicationSink for CaptureSink {
         self.events = record.events;
         self.transfers = record.transfers;
         self.truncated = record.truncated;
+        self.telemetry = record.telemetry;
     }
 }
 
@@ -151,6 +166,24 @@ struct Measurement {
     transfers: u64,
     wall_seconds: f64,
     events_per_sec: f64,
+    /// Kernel counters from the metered verification pass.
+    counters: CounterSet,
+}
+
+/// A single-replication benchmark [`Session`], metered or not.
+fn bench_session(scenario: &AgentScenario, horizon: f64, metrics: bool) -> Session {
+    Session::builder()
+        .config(
+            EngineConfig::default()
+                .with_replications(1)
+                .with_horizon(horizon)
+                .with_master_seed(SEED)
+                .with_jobs(1)
+                .with_metrics(metrics),
+        )
+        .workload(Workload::agent(vec![scenario.clone()]))
+        .build()
+        .expect("valid benchmark scenario")
 }
 
 /// Runs `scenario` to `horizon` through a single-replication
@@ -163,31 +196,26 @@ struct Measurement {
 /// the committed PR-4 numbers are the historical warm-path trajectory).
 /// Event counts are identical across repeats by construction — same
 /// master seed, same derived stream — and asserted so.
+///
+/// A final *metered* pass (telemetry on, untimed) captures the kernel
+/// counters and asserts the telemetry contract: metering reproduces the
+/// unmetered event/transfer counts exactly, the counter partition adds
+/// back up to the event count, and the contact ledger balances.
 fn measure(
     scenario: &AgentScenario,
     name: &'static str,
     horizon: f64,
     repeats: u32,
 ) -> Measurement {
-    let session = Session::builder()
-        .config(
-            EngineConfig::default()
-                .with_replications(1)
-                .with_horizon(horizon)
-                .with_master_seed(SEED)
-                .with_jobs(1),
-        )
-        .workload(Workload::agent(vec![scenario.clone()]))
-        .build()
-        .expect("valid benchmark scenario");
+    let session = bench_session(scenario, horizon, false);
     let mut best = f64::INFINITY;
     let mut events = 0u64;
     let mut transfers = 0u64;
     for repeat in 0..repeats {
         let mut sink = CaptureSink::default();
-        let start = Instant::now();
+        let span = Span::start();
         let _ = session.stream(&mut sink);
-        let wall = start.elapsed().as_secs_f64();
+        let wall = span.seconds();
         assert!(!sink.truncated, "budget must cover the horizon");
         if repeat == 0 {
             events = sink.events;
@@ -201,13 +229,53 @@ fn measure(
         }
         best = best.min(wall);
     }
+    let mut sink = CaptureSink::default();
+    let _ = bench_session(scenario, horizon, true).stream(&mut sink);
+    assert_eq!(events, sink.events, "{name}: metering changed the events");
+    assert_eq!(
+        transfers, sink.transfers,
+        "{name}: metering changed the transfers"
+    );
+    let counters = sink.telemetry.expect("metered pass").counters;
+    assert_eq!(
+        counters.event_total(),
+        events,
+        "{name}: the counter partition must add up to the kernel's events"
+    );
+    assert_eq!(
+        counters.get(Counter::Contacts),
+        counters.get(Counter::UsefulTransfers) + counters.get(Counter::UselessContacts),
+        "{name}: the contact ledger must balance"
+    );
+    assert_eq!(
+        counters.get(Counter::UsefulTransfers),
+        transfers,
+        "{name}: useful transfers must be the reported transfer count"
+    );
     Measurement {
         kernel: name,
         events,
         transfers,
         wall_seconds: best,
         events_per_sec: events as f64 / best,
+        counters,
     }
+}
+
+/// [`measure`] plus the one-line stderr progress report — the shared body
+/// of every measurement loop.
+fn measure_logged(
+    scenario: &AgentScenario,
+    name: &'static str,
+    horizon: f64,
+    repeats: u32,
+) -> Measurement {
+    let m = measure(scenario, name, horizon, repeats);
+    eprintln!(
+        "  {:12} {:>9} events in {:.3}s  ({:.0} events/s)",
+        m.kernel, m.events, m.wall_seconds, m.events_per_sec
+    );
+    m
 }
 
 const KERNELS: [(KernelKind, &str); 3] = [
@@ -234,7 +302,7 @@ fn render_report(
     let mut out = String::new();
     let _ = writeln!(out, "{{");
     let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
-    let _ = writeln!(out, "  \"pr\": 4,");
+    let _ = writeln!(out, "  \"pr\": 6,");
     let _ = writeln!(out, "  \"scenario\": \"big-swarm-k32-retry\",");
     let _ = writeln!(
         out,
@@ -252,12 +320,13 @@ fn render_report(
             let _ = writeln!(
                 out,
                 "        {{\"kernel\": \"{}\", \"events\": {}, \"transfers\": {}, \
-                 \"wall_seconds\": {}, \"events_per_sec\": {}}}{}",
+                 \"wall_seconds\": {}, \"events_per_sec\": {}, \"telemetry\": {}}}{}",
                 m.kernel,
                 m.events,
                 m.transfers,
                 json_num(m.wall_seconds),
                 json_num(m.events_per_sec),
+                counters_json(&m.counters),
                 if i + 1 < measurements.len() { "," } else { "" }
             );
         }
@@ -288,16 +357,19 @@ fn render_report(
          \"seed_rate\": 1.0, \"seed_departure_rate\": 200.0}}, \"sizes\": ["
     );
     for (s, (peers, horizon, m)) in coded.iter().enumerate() {
+        // The coded entries carry the full counter set, so the RREF
+        // absorb / rank / dimension-fast-path breakdown is in the record.
         let _ = writeln!(
             out,
             "    {{\"peers\": {peers}, \"horizon\": {}, \"kernel\": \"coded\", \
              \"events\": {}, \"transfers\": {}, \"wall_seconds\": {}, \
-             \"events_per_sec\": {}}}{}",
+             \"events_per_sec\": {}, \"telemetry\": {}}}{}",
             json_num(*horizon),
             m.events,
             m.transfers,
             json_num(m.wall_seconds),
             json_num(m.events_per_sec),
+            counters_json(&m.counters),
             if s + 1 < coded.len() { "," } else { "" }
         );
     }
@@ -306,11 +378,12 @@ fn render_report(
         out,
         "  \"million_peer\": {{\"peers\": {million_peers}, \"kernel\": \"turbo\", \
          \"horizon\": {}, \"events\": {}, \"wall_seconds\": {}, \
-         \"events_per_sec\": {}, \"completed\": true}}",
+         \"events_per_sec\": {}, \"completed\": true, \"telemetry\": {}}}",
         json_num(million_horizon),
         million.events,
         json_num(million.wall_seconds),
         json_num(million.events_per_sec),
+        counters_json(&million.counters),
     );
     let _ = writeln!(out, "}}");
     out
@@ -348,32 +421,42 @@ fn check() -> ExitCode {
         "turbo event count diverges from the event kernel: ratio {ratio}"
     );
     // The coded kernel: deterministic per seed (asserted inside `measure`)
-    // and simulating a comparably busy system.
+    // and simulating a comparably busy system. `measure` has already checked
+    // that its telemetry adds up to the reported events; on top of that the
+    // RREF ledger must be internally consistent.
     let coded = measure(&make_coded_scenario(n), "coded", horizon, 2);
     assert!(coded.events > 1_000, "coded: implausibly few events");
     assert!(coded.transfers > 0, "coded: no coded transfers simulated");
+    assert!(
+        coded.counters.get(Counter::RrefAbsorbs) >= coded.counters.get(Counter::RankIncreases),
+        "coded: more rank increases than absorbs"
+    );
+    assert!(
+        coded.counters.get(Counter::RrefAbsorbs) > 0,
+        "coded: the RREF hot path never ran"
+    );
     println!(
         "  {:12} {:>8} events, {:>8} transfers",
         "coded", coded.events, coded.transfers
     );
 
     // Schema of the committed trajectory file, when present.
-    match std::fs::read_to_string("BENCH_PR4.json") {
+    match std::fs::read_to_string("BENCH_PR6.json") {
         Ok(text) => {
             for key in SCHEMA_KEYS {
                 if !text.contains(key) {
-                    eprintln!("BENCH_PR4.json: missing required key {key}");
+                    eprintln!("BENCH_PR6.json: missing required key {key}");
                     return ExitCode::FAILURE;
                 }
             }
             if !text.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
-                eprintln!("BENCH_PR4.json: schema string is not {SCHEMA}");
+                eprintln!("BENCH_PR6.json: schema string is not {SCHEMA}");
                 return ExitCode::FAILURE;
             }
-            println!("BENCH_PR4.json schema OK");
+            println!("BENCH_PR6.json schema OK");
         }
         Err(error) => {
-            eprintln!("cannot read BENCH_PR4.json: {error}");
+            eprintln!("cannot read BENCH_PR6.json: {error}");
             return ExitCode::FAILURE;
         }
     }
@@ -383,7 +466,7 @@ fn check() -> ExitCode {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut out_path = String::from("BENCH_PR4.json");
+    let mut out_path = String::from("BENCH_PR6.json");
     let mut check_mode = false;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -411,45 +494,30 @@ fn main() -> ExitCode {
     }
 
     let mut sizes = Vec::new();
-    for (peers, horizon) in [(10_000usize, 40.0f64), (100_000, 8.0)] {
+    let mut coded = Vec::new();
+    for (peers, horizon) in SIZES {
         eprintln!("measuring {peers}-peer swarm (horizon {horizon}) ...");
         let measurements: Vec<Measurement> = KERNELS
             .iter()
-            .map(|&(kernel, name)| {
-                let m = measure(&make_scenario(kernel, peers), name, horizon, 3);
-                eprintln!(
-                    "  {:12} {:>9} events in {:.3}s  ({:.0} events/s)",
-                    name, m.events, m.wall_seconds, m.events_per_sec
-                );
-                m
-            })
+            .map(|&(kernel, name)| measure_logged(&make_scenario(kernel, peers), name, horizon, 3))
             .collect();
         sizes.push((peers, horizon, measurements));
-    }
-
-    let mut coded = Vec::new();
-    for (peers, horizon) in [(10_000usize, 40.0f64), (100_000, 8.0)] {
         eprintln!("measuring {peers}-peer coded swarm (horizon {horizon}) ...");
-        let m = measure(&make_coded_scenario(peers), "coded", horizon, 3);
-        eprintln!(
-            "  {:12} {:>9} events in {:.3}s  ({:.0} events/s)",
-            "coded", m.events, m.wall_seconds, m.events_per_sec
-        );
-        coded.push((peers, horizon, m));
+        coded.push((
+            peers,
+            horizon,
+            measure_logged(&make_coded_scenario(peers), "coded", horizon, 3),
+        ));
     }
 
     let million_peers = 1_000_000;
     let million_horizon = 1.5;
     eprintln!("measuring {million_peers}-peer turbo run (horizon {million_horizon}) ...");
-    let million = measure(
+    let million = measure_logged(
         &make_scenario(KernelKind::Turbo, million_peers),
         "turbo",
         million_horizon,
         1,
-    );
-    eprintln!(
-        "  {:12} {:>9} events in {:.3}s  ({:.0} events/s)",
-        million.kernel, million.events, million.wall_seconds, million.events_per_sec
     );
 
     let report = render_report(&sizes, &coded, &million, million_peers, million_horizon);

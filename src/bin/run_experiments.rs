@@ -34,6 +34,13 @@
 //! * `--stream` — (with `--scenario`) execute through the streaming
 //!   `Session::stream` path with an explicit sink; reports and artifacts
 //!   are byte-identical to the default batch path, which CI asserts,
+//! * `--metrics[=FILE]` — (with `--scenario`) meter every replication
+//!   (kernel counters, wall times, scheduler histograms) and export the
+//!   telemetry as NDJSON to `FILE` (default `metrics.ndjson`), plus a
+//!   human summary on stderr. Metering consumes no randomness: reports
+//!   and artifacts stay byte-identical with it on or off,
+//! * `--check-metrics FILE` — validate a metrics NDJSON file (framing,
+//!   schema, counter algebra) and exit; used by CI,
 //! * `--list-scenarios` — list the built-in scenario names and exit,
 //! * `--out-dir DIR` — also write `E*.txt` reports plus the Example 1
 //!   phase diagram as `phase.csv` / `phase.json` / `phase.txt` and the E1
@@ -43,11 +50,16 @@
 //! With a fixed `--seed`, every report and artifact is byte-identical at
 //! any `--jobs` value.
 
-use p2p_stability::engine::{self, Axis, EngineConfig, GridSpec, ProgressSink, Session, Workload};
+use p2p_stability::engine::{
+    self, Axis, EngineConfig, GridSpec, MetricsSink, NullSink, ProgressSink, ReplicationSink,
+    Session, Workload,
+};
 use p2p_stability::swarm::sim::KernelKind;
 use p2p_stability::workload::experiments::{self, ExperimentConfig};
+use p2p_stability::workload::ndjson;
 use p2p_stability::workload::registry::{self, Registry, ScenarioRunOptions};
 use p2p_stability::workload::scenario;
+use p2p_stability::workload::{ScenarioRunReport, ScenarioSpec};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -66,11 +78,16 @@ struct Cli {
     /// Set only when `--kernel` was given explicitly (a scenario's own
     /// kernel must win otherwise).
     kernel: Option<KernelKind>,
+    /// NDJSON telemetry export path (`--metrics[=FILE]`).
+    metrics: Option<PathBuf>,
+    /// Validate-and-exit mode (`--check-metrics FILE`).
+    check_metrics: Option<PathBuf>,
 }
 
 const USAGE: &str = "usage: run_experiments [quick] [--replications N] [--jobs N] \
 [--seed S] [--horizon T] [--scenario FILE|NAME] [--kernel event|scan|turbo|coded] \
-[--progress] [--stream] [--list-scenarios] [--out-dir DIR]";
+[--progress] [--stream] [--metrics[=FILE]] [--check-metrics FILE] \
+[--list-scenarios] [--out-dir DIR]";
 
 enum CliError {
     /// `--help` / `-h`: print usage and exit successfully.
@@ -113,6 +130,8 @@ fn parse_cli() -> Result<Cli, CliError> {
     let mut stream = false;
     let mut explicit_horizon = None;
     let mut kernel = None;
+    let mut metrics = None;
+    let mut check_metrics = None;
     let mut args = raw.into_iter();
     while let Some(arg) = args.next() {
         let mut value_of = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
@@ -161,13 +180,24 @@ fn parse_cli() -> Result<Cli, CliError> {
             }
             "--progress" => config.progress = true,
             "--stream" => stream = true,
+            "--metrics" => metrics = Some(PathBuf::from("metrics.ndjson")),
+            "--check-metrics" => {
+                check_metrics = Some(PathBuf::from(value_of("--check-metrics")?));
+            }
             "--list-scenarios" => list_scenarios = true,
             "--out-dir" => out_dir = Some(PathBuf::from(value_of("--out-dir")?)),
             "--help" | "-h" => return Err(CliError::Help),
             other => {
-                return Err(CliError::Invalid(format!(
-                    "unknown argument `{other}` (try --help)"
-                )))
+                if let Some(path) = other.strip_prefix("--metrics=") {
+                    if path.is_empty() {
+                        return Err(CliError::Invalid("--metrics=: needs a file path".into()));
+                    }
+                    metrics = Some(PathBuf::from(path));
+                } else {
+                    return Err(CliError::Invalid(format!(
+                        "unknown argument `{other}` (try --help)"
+                    )));
+                }
             }
         }
     }
@@ -181,6 +211,11 @@ fn parse_cli() -> Result<Cli, CliError> {
             "--stream applies to scenario runs only; combine it with --scenario".into(),
         ));
     }
+    if metrics.is_some() && scenario.is_none() && !list_scenarios && check_metrics.is_none() {
+        return Err(CliError::Invalid(
+            "--metrics applies to scenario runs only; combine it with --scenario".into(),
+        ));
+    }
     Ok(Cli {
         config,
         out_dir,
@@ -189,6 +224,8 @@ fn parse_cli() -> Result<Cli, CliError> {
         stream,
         explicit_horizon,
         kernel,
+        metrics,
+        check_metrics,
     })
 }
 
@@ -233,6 +270,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(path) = &cli.check_metrics {
+        return check_metrics_file(path);
+    }
     if cli.list_scenarios {
         let registry = Registry::builtin();
         for spec in registry.iter() {
@@ -269,6 +309,59 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Validates a metrics NDJSON file and reports its summary (`--check-metrics`).
+fn check_metrics_file(path: &std::path::Path) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(error) => {
+            eprintln!("cannot read {}: {error}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    match ndjson::validate(&text) {
+        Ok(summary) => {
+            println!(
+                "{} OK: {} scenario(s), {} replication(s) ({} metered) on {} worker(s), \
+                 {} events, {} transfers",
+                path.display(),
+                summary.scenarios,
+                summary.replications,
+                summary.metered,
+                summary.workers,
+                summary.total_events,
+                summary.total_transfers
+            );
+            ExitCode::SUCCESS
+        }
+        Err(error) => {
+            eprintln!("{} INVALID: {error}", path.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Runs a scenario with its replication stream wrapped in a [`MetricsSink`]:
+/// `inner` still sees every record (progress keeps working), while the NDJSON
+/// telemetry export lands in `path` and a human summary on stderr.
+fn run_metered<S: ReplicationSink + Send>(
+    spec: &ScenarioSpec,
+    options: &ScenarioRunOptions,
+    inner: S,
+    path: &std::path::Path,
+) -> Result<ScenarioRunReport, String> {
+    let file = std::fs::File::create(path)
+        .map_err(|error| format!("cannot create {}: {error}", path.display()))?;
+    let mut sink = MetricsSink::new(inner, std::io::BufWriter::new(file));
+    let report = registry::run_with_sink(spec, options, &mut sink)
+        .map_err(|error| format!("scenario `{}` failed: {error}", spec.name))?;
+    let (_, writer) = sink.into_parts();
+    writer
+        .into_inner()
+        .map_err(|error| format!("cannot flush {}: {error}", path.display()))?;
+    eprintln!("metrics written to {}", path.display());
+    Ok(report)
+}
+
 /// Executes one registry scenario (a JSON file or a built-in name) on the
 /// engine's agent backend and prints its deterministic report.
 fn run_scenario(which: &str, cli: &Cli) -> ExitCode {
@@ -287,6 +380,7 @@ fn run_scenario(which: &str, cli: &Cli) -> ExitCode {
         horizon_override: cli.explicit_horizon,
         kernel_override: cli.kernel,
         progress: cli.config.progress,
+        metrics: cli.metrics.is_some(),
     };
     eprintln!(
         "running scenario `{}`: horizon {}, replications {}, jobs {}, seed {:#x}",
@@ -301,24 +395,39 @@ fn run_scenario(which: &str, cli: &Cli) -> ExitCode {
     // streaming machinery with a null sink, so the report is byte-identical
     // either way — CI diffs the two. The explicit sink already reports, so
     // the session's internal progress counter is switched off to avoid
-    // doubled lines under `--progress --stream`.
-    let result = if cli.stream {
-        let mut sink = ProgressSink::new(format!("scenario {}", spec.name));
-        registry::run_with_sink(
+    // doubled lines under `--progress --stream`. `--metrics` wraps either
+    // sink in a `MetricsSink`, which meters replications into an NDJSON
+    // file without touching the run itself.
+    let result = match (&cli.metrics, cli.stream) {
+        (Some(path), true) => run_metered(
             &spec,
             &ScenarioRunOptions {
                 progress: false,
                 ..options
             },
-            &mut sink,
-        )
-    } else {
-        registry::run(&spec, &options)
+            ProgressSink::new(format!("scenario {}", spec.name)),
+            path,
+        ),
+        (Some(path), false) => run_metered(&spec, &options, NullSink, path),
+        (None, true) => {
+            let mut sink = ProgressSink::new(format!("scenario {}", spec.name));
+            registry::run_with_sink(
+                &spec,
+                &ScenarioRunOptions {
+                    progress: false,
+                    ..options
+                },
+                &mut sink,
+            )
+            .map_err(|error| format!("scenario `{}` failed: {error}", spec.name))
+        }
+        (None, false) => registry::run(&spec, &options)
+            .map_err(|error| format!("scenario `{}` failed: {error}", spec.name)),
     };
     let report = match result {
         Ok(report) => report,
-        Err(error) => {
-            eprintln!("scenario `{}` failed: {error}", spec.name);
+        Err(message) => {
+            eprintln!("{message}");
             return ExitCode::FAILURE;
         }
     };

@@ -11,10 +11,14 @@
 //! * [`netcoding`] — `GF(q)` arithmetic and subspace types,
 //! * [`swarm`] — the paper's model, Theorem 1/14/15 analysis, Lyapunov and
 //!   branching machinery, and the two simulators,
+//! * [`telemetry`] — the zero-cost instrumentation core: kernel counters,
+//!   log₂ histograms, and span timers behind a `Recorder` trait whose no-op
+//!   default compiles away,
 //! * [`engine`] — the parallel Monte-Carlo replication engine behind one
 //!   typed entry point (`engine::Session`): deterministic per-replication
 //!   RNG streams, streaming `ReplicationSink` delivery with O(1)-memory
-//!   aggregation, phase-diagram grids, and CSV/JSON artifact emitters,
+//!   aggregation, phase-diagram grids, CSV/JSON artifact emitters, and the
+//!   NDJSON metrics export (`engine::MetricsSink`),
 //! * [`workload`] — scenarios, the JSON scenario registry
 //!   (`run_experiments --scenario`), sweeps, and the experiment harnesses
 //!   E1–E12, running on the engine.
@@ -43,4 +47,5 @@ pub use markov;
 pub use netcoding;
 pub use pieceset;
 pub use swarm;
+pub use telemetry;
 pub use workload;

@@ -1,0 +1,62 @@
+//! Facade-level closure of the telemetry loop: a scenario streamed through
+//! the engine's `MetricsSink` must produce an NDJSON export that the
+//! workload crate's strict validator accepts — and metering must not change
+//! the scenario report. The engine cannot depend on the workload crate, so
+//! this producer/consumer contract can only be tested here.
+
+use p2p_stability::engine::{MetricsSink, NullSink};
+use p2p_stability::workload::ndjson;
+use p2p_stability::workload::registry::{self, Registry, ScenarioRunOptions};
+
+fn options(jobs: usize, metrics: bool) -> ScenarioRunOptions {
+    ScenarioRunOptions {
+        replications: 6,
+        jobs,
+        seed: 0x0B5E,
+        metrics,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn exported_ndjson_validates_and_metering_leaves_the_report_alone() {
+    let registry = Registry::builtin();
+    let spec = registry.resolve("example1-stable").expect("a builtin");
+
+    let baseline = registry::run(&spec, &options(1, false)).expect("bare run");
+
+    for jobs in [1usize, 4] {
+        let mut sink = MetricsSink::new(NullSink, Vec::new()).quiet();
+        let metered =
+            registry::run_with_sink(&spec, &options(jobs, true), &mut sink).expect("metered run");
+        assert_eq!(
+            baseline.render(),
+            metered.render(),
+            "metering or jobs = {jobs} changed the scenario report"
+        );
+        let (_, ndjson_bytes) = sink.into_parts();
+        let text = String::from_utf8(ndjson_bytes).expect("utf-8 NDJSON");
+        let summary = ndjson::validate(&text).expect("the export must validate");
+        assert_eq!(summary.replications, 6);
+        assert_eq!(summary.metered, 6);
+        assert_eq!(summary.scenarios, 1);
+        // The validator's event total must match the engine's aggregate.
+        let expected_events = (metered.outcome.mean_events * 6.0).round() as u64;
+        assert_eq!(summary.total_events, expected_events);
+    }
+}
+
+#[test]
+fn coded_scenario_exports_the_rref_breakdown() {
+    let registry = Registry::builtin();
+    let spec = registry.resolve("coded-gift-super").expect("a builtin");
+    let mut sink = MetricsSink::new(NullSink, Vec::new()).quiet();
+    registry::run_with_sink(&spec, &options(2, true), &mut sink).expect("coded run");
+    let (_, ndjson_bytes) = sink.into_parts();
+    let text = String::from_utf8(ndjson_bytes).expect("utf-8 NDJSON");
+    ndjson::validate(&text).expect("the coded export must validate");
+    // The coded kernel's RREF hot path must actually have been metered.
+    let line = text.lines().nth(1).expect("a replication line");
+    assert!(line.contains("\"rref_absorbs\":"));
+    assert!(!line.contains("\"rref_absorbs\":0,"));
+}
