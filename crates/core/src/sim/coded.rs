@@ -329,10 +329,11 @@ impl<T: Recorder> KernelState for State<'_, T> {
         let d = self.gift_dims[self.gift_alias.sample(rng)] as usize;
         let mut space = Subspace::empty(self.field, self.k);
         for _ in 0..d {
+            // A gift row is a fresh uniform vector — it never reads a basis,
+            // so it is an absorb but not a materialization.
             self.row.clear();
             self.row
                 .extend((0..self.k).map(|_| self.field.random_element(rng)));
-            self.rec.incr(Counter::BasisMaterializations);
             self.rec.incr(Counter::RrefAbsorbs);
             if space.absorb(&mut self.row).expect("row matches ambient") {
                 self.rec.incr(Counter::RankIncreases);
@@ -368,10 +369,11 @@ impl<T: Recorder> KernelState for State<'_, T> {
             return;
         }
         loop {
+            // A seed upload is likewise a fresh uniform vector: no basis is
+            // read to construct it.
             self.row.clear();
             self.row
                 .extend((0..self.k).map(|_| self.field.random_element(rng)));
-            self.rec.incr(Counter::BasisMaterializations);
             self.rec.incr(Counter::RrefAbsorbs);
             if self.spaces[target]
                 .absorb(&mut self.row)
@@ -413,6 +415,11 @@ impl<T: Recorder> KernelState for State<'_, T> {
             let (a, b) = self.spaces.split_at_mut(uploader);
             (&b[0], &mut a[target])
         };
+        // The only place a basis is actually read to build a row: the
+        // uploader's combination. This is what `BasisMaterializations`
+        // counts (the fresh uniform rows above are not materializations —
+        // an earlier ledger counted them too, hiding the fast path's
+        // effect; `crates/core/tests/telemetry_counters.rs` pins the fix).
         up.random_combination_into(rng, &mut self.row);
         self.rec.incr(Counter::BasisMaterializations);
         self.rec.incr(Counter::RrefAbsorbs);

@@ -11,7 +11,7 @@
 //!
 //! # Kernels
 //!
-//! Four interchangeable kernels implement the bookkeeping behind the shared
+//! Five interchangeable kernels implement the bookkeeping behind the shared
 //! event loop (see [`KernelKind`]):
 //!
 //! * **Event-driven** (the default) — peer piece collections live in a
@@ -38,6 +38,14 @@
 //!   linear combinations, and departures fire at dimension `K`. Constructed
 //!   with [`AgentSwarm::with_coded`]; validated distributionally against
 //!   the standalone [`crate::coded::CodedSwarmSim`].
+//! * **Coded turbo** — the bitsliced `GF(2)` coded kernel: peer subspaces
+//!   as packed `u64` rows ([`netcoding::BitSubspace`]) in a recycled arena,
+//!   *lazy peers* that carry only a cached dimension (plus an arrival unit
+//!   mask) until a peer-to-peer transfer actually needs a basis, and the
+//!   turbo tricks (alias tables, swap-remove pools, [`SimScratch`] reuse).
+//!   Constructed with [`AgentSwarm::with_coded_turbo`]; `GF(2)` only;
+//!   parity-free like turbo, validated by the three-way distributional
+//!   battery in `crates/core/tests/coded_distributional.rs`.
 //!
 //! The event-driven and scan kernels run under the *same* driver loop and
 //! consume random draws in the *same* order, so for a fixed RNG stream they
@@ -55,6 +63,7 @@
 //! the population happens in either kernel.
 
 mod coded;
+mod coded_turbo;
 mod event;
 mod scan;
 mod turbo;
@@ -94,6 +103,14 @@ pub enum KernelKind {
     /// the standalone [`crate::coded::CodedSwarmSim`]
     /// (`crates/core/tests/coded_distributional.rs`).
     Coded,
+    /// The bitsliced `GF(2)` coded kernel: subspaces as packed `u64` rows
+    /// ([`netcoding::BitSubspace`]) in a recycled arena, lazy peers that
+    /// materialize a basis only when a peer-to-peer transfer needs one, and
+    /// the turbo sampling tricks. Requires coded parameters over `GF(2)` —
+    /// construct the simulator with [`AgentSwarm::with_coded_turbo`].
+    /// Parity-free; validated distributionally against both the coded
+    /// kernel and the legacy simulator.
+    CodedTurbo,
 }
 
 /// Configuration of the agent-based simulator beyond the model parameters.
@@ -200,10 +217,11 @@ impl AgentSwarm {
         config: AgentConfig,
         policy: Box<dyn PiecePolicy>,
     ) -> Result<Self, SwarmError> {
-        if config.kernel == KernelKind::Coded {
+        if config.kernel == KernelKind::Coded || config.kernel == KernelKind::CodedTurbo {
             return Err(SwarmError::InvalidParameter(
-                "the coded kernel needs coded parameters; construct the \
-                 simulator with AgentSwarm::with_coded"
+                "the coded kernels need coded parameters; construct the \
+                 simulator with AgentSwarm::with_coded or \
+                 AgentSwarm::with_coded_turbo"
                     .into(),
             ));
         }
@@ -257,7 +275,58 @@ impl AgentSwarm {
         })
     }
 
-    /// The kernel-independent configuration checks shared by both
+    /// Creates a simulator for the network-coded swarm of Section VIII-B on
+    /// the bitsliced [`KernelKind::CodedTurbo`] kernel: subspaces of
+    /// `F_2^K` as packed `u64` rows, lazy peers that materialize a basis
+    /// only when a peer-to-peer transfer needs one, alias-table gift draws,
+    /// and [`SimScratch`] arena reuse.
+    ///
+    /// The bitsliced representation is specific to `GF(2)` (vector addition
+    /// = XOR, the only non-zero scalar is one); coded scenarios over larger
+    /// fields keep routing to [`AgentSwarm::with_coded`]. Like the coded
+    /// kernel it models no piece-selection policy and no Section VIII-C
+    /// retry speed-up.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::InvalidParameter`] if `config.kernel` is not
+    /// [`KernelKind::CodedTurbo`], the field is not `GF(2)`, the retry
+    /// speed-up is not 1, the gift mix fails
+    /// [`CodedGifts::validate_for`], or the configuration is invalid.
+    pub fn with_coded_turbo(params: CodedParams, config: AgentConfig) -> Result<Self, SwarmError> {
+        if config.kernel != KernelKind::CodedTurbo {
+            return Err(SwarmError::InvalidParameter(
+                "coded-turbo parameters run on the coded-turbo kernel; set \
+                 AgentConfig::kernel to KernelKind::CodedTurbo"
+                    .into(),
+            ));
+        }
+        if params.field.order() != 2 {
+            return Err(SwarmError::InvalidParameter(format!(
+                "the coded-turbo kernel is bitsliced over GF(2); GF({}) \
+                 scenarios route to the coded kernel (AgentSwarm::with_coded)",
+                params.field.order()
+            )));
+        }
+        if config.retry_speedup != 1.0 {
+            return Err(SwarmError::InvalidParameter(
+                "the coded-turbo kernel does not model the Section VIII-C \
+                 retry speed-up (retry_speedup must be 1)"
+                    .into(),
+            ));
+        }
+        let gifts = params.gifts();
+        gifts.validate_for(&params.base)?;
+        Self::validate_config(&params.base, &config)?;
+        Ok(AgentSwarm {
+            params: params.base,
+            config,
+            policy: Box::new(RandomUseful),
+            coded: Some(gifts),
+        })
+    }
+
+    /// The kernel-independent configuration checks shared by the
     /// constructors.
     fn validate_config(params: &SwarmParams, config: &AgentConfig) -> Result<(), SwarmError> {
         if config.watch_piece.index() >= params.num_pieces() {
@@ -484,6 +553,19 @@ impl AgentSwarm {
                 drive(
                     self,
                     coded::State::new(self, gifts, initial, scratch.take_snapshots(), recorder),
+                    &schedule,
+                    horizon,
+                    rng,
+                )
+            }
+            KernelKind::CodedTurbo => {
+                let gifts = self
+                    .coded
+                    .as_ref()
+                    .expect("with_coded_turbo establishes the gift mix for the coded-turbo kernel");
+                drive(
+                    self,
+                    coded_turbo::State::new(self, gifts, initial, scratch, recorder),
                     &schedule,
                     horizon,
                     rng,
@@ -1272,6 +1354,143 @@ mod tests {
         // dimension 1 at time zero.
         assert_eq!(ra.snapshots[0].watch_piece_copies, 15);
         assert_eq!(ra.snapshots[0].total_peers, 15);
+    }
+
+    fn coded_turbo_sim(
+        k: usize,
+        lambda: f64,
+        f: f64,
+        us: f64,
+        gamma: f64,
+    ) -> Result<AgentSwarm, SwarmError> {
+        let params = crate::coded::CodedParams::gift_example(k, 2, lambda, f, us, 1.0, gamma)?;
+        AgentSwarm::with_coded_turbo(
+            params,
+            AgentConfig {
+                kernel: KernelKind::CodedTurbo,
+                snapshot_interval: 5.0,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn coded_turbo_kernel_guards_its_constructor_and_gf2() {
+        let p = params(3, 0.5, 1.0, 2.0, 1.0);
+        let config = AgentConfig {
+            kernel: KernelKind::CodedTurbo,
+            ..Default::default()
+        };
+        // Uncoded parameters cannot select the coded-turbo kernel...
+        assert!(AgentSwarm::with_config(p, config, Box::new(RandomUseful)).is_err());
+        let gf2 = crate::coded::CodedParams::gift_example(3, 2, 1.0, 0.5, 0.0, 1.0, f64::INFINITY)
+            .unwrap();
+        // ...coded parameters need the coded-turbo kernel selected...
+        assert!(AgentSwarm::with_coded_turbo(gf2.clone(), AgentConfig::default()).is_err());
+        // ...the retry speed-up stays unsupported...
+        let boosted = AgentConfig {
+            kernel: KernelKind::CodedTurbo,
+            retry_speedup: 2.0,
+            ..Default::default()
+        };
+        assert!(AgentSwarm::with_coded_turbo(gf2.clone(), boosted).is_err());
+        // ...and GF(q > 2) routes to the RREF kernel, not this one.
+        let gf8 = crate::coded::CodedParams::gift_example(3, 8, 1.0, 0.5, 0.0, 1.0, f64::INFINITY)
+            .unwrap();
+        let turbo_config = AgentConfig {
+            kernel: KernelKind::CodedTurbo,
+            ..Default::default()
+        };
+        let err = match AgentSwarm::with_coded_turbo(gf8, turbo_config) {
+            Err(err) => err,
+            Ok(_) => panic!("GF(8) must be rejected by the bitsliced kernel"),
+        };
+        assert!(err.to_string().contains("GF(8)"), "{err}");
+        assert!(AgentSwarm::with_coded_turbo(gf2, turbo_config).is_ok());
+    }
+
+    #[test]
+    fn coded_turbo_stable_case_completes_and_departs() {
+        // Generous gifts over GF(2), K = 3: stable per Theorem 15, so peers
+        // keep decoding and leaving with the dimension bookkeeping exact.
+        let (_, hi) = crate::coded::theorem15_gift_thresholds(2, 3);
+        let sim = coded_turbo_sim(3, 1.0, (1.2 * hi).min(1.0), 0.0, f64::INFINITY).unwrap();
+        let mut rng = StdRng::seed_from_u64(61);
+        let result = sim.run(&[], 800.0, &mut rng);
+        assert!(result.sojourns.departures > 50, "decoders depart");
+        assert!(result.transfers > 0);
+        let mut prev_decodes = 0;
+        for snap in &result.snapshots {
+            assert_eq!(snap.groups.total(), snap.total_peers, "groups partition");
+            assert_eq!(snap.peer_seeds, 0, "γ = ∞ leaves no decoders behind");
+            assert!(snap.watch_piece_copies <= 3 * snap.total_peers, "dim ≤ K");
+            assert!(snap.watch_piece_downloads >= prev_decodes);
+            prev_decodes = snap.watch_piece_downloads;
+        }
+        let hist_total: u64 = result.final_dimensions.iter().sum();
+        assert_eq!(hist_total, result.final_snapshot().total_peers);
+        assert_eq!(result.final_dimensions.len(), 4);
+        let classifier = markov::PathClassifier::new(1.0, 40.0);
+        assert_eq!(
+            classifier.classify(&result.peer_count_path()).class,
+            markov::PathClass::Stable
+        );
+    }
+
+    #[test]
+    fn coded_turbo_finite_gamma_keeps_decoders_and_flash_crowds_inject() {
+        let sim = coded_turbo_sim(3, 1.0, 0.5, 0.5, 2.0).unwrap();
+        let crowd = FlashCrowd {
+            time: 60.0,
+            count: 80,
+            pieces: PieceSet::empty(),
+        };
+        let mut rng = StdRng::seed_from_u64(62);
+        let result = sim
+            .run_with_schedule(&[], &[crowd], 300.0, &mut rng)
+            .unwrap();
+        assert!(result.sojourns.departures > 0);
+        assert!(
+            result.snapshots.iter().any(|s| s.peer_seeds > 0),
+            "finite γ lets decoders dwell"
+        );
+        let before = result.snapshots.iter().rfind(|s| s.time < 60.0).unwrap();
+        let after = result.snapshots.iter().find(|s| s.time > 60.0).unwrap();
+        assert!(
+            after.total_peers >= before.total_peers + 50,
+            "crowd visible"
+        );
+        for snap in &result.snapshots {
+            assert_eq!(snap.groups.total(), snap.total_peers);
+        }
+    }
+
+    #[test]
+    fn coded_turbo_is_deterministic_per_seed_and_scratch_neutral() {
+        let sim = coded_turbo_sim(4, 1.2, 0.6, 0.3, 3.0).unwrap();
+        let initial = vec![PieceSet::singleton(PieceId::new(1)); 15];
+        let mut a = StdRng::seed_from_u64(63);
+        let mut b = StdRng::seed_from_u64(63);
+        let ra = sim.run(&initial, 200.0, &mut a);
+        let rb = sim.run(&initial, 200.0, &mut b);
+        assert_eq!(ra, rb);
+        // Initial piece collections are pure-unit lazy peers: 15 peers at
+        // dimension 1 at time zero, nothing materialized.
+        assert_eq!(ra.snapshots[0].watch_piece_copies, 15);
+        assert_eq!(ra.snapshots[0].total_peers, 15);
+        // A warm scratch from a previous replication must not change the
+        // trajectory.
+        let mut scratch = SimScratch::new();
+        let mut warmup = StdRng::seed_from_u64(99);
+        let first = sim
+            .run_with_scratch(&initial, &[], 200.0, &mut warmup, &mut scratch)
+            .unwrap();
+        scratch.recycle(first);
+        let mut c = StdRng::seed_from_u64(63);
+        let rc = sim
+            .run_with_scratch(&initial, &[], 200.0, &mut c, &mut scratch)
+            .unwrap();
+        assert_eq!(ra, rc, "warm scratch is trajectory-neutral");
     }
 
     #[test]

@@ -110,10 +110,13 @@ pub struct SimScratch {
     /// Peers holding the complete collection (swap-remove index pool).
     seed_pool: Vec<u32>,
     piece_copies: Vec<u64>,
-    snapshots: Vec<SimSnapshot>,
+    pub(super) snapshots: Vec<SimSnapshot>,
     arrival_types: Vec<PieceSet>,
     arrival_weights: Vec<f64>,
     arrival_alias: AliasTable,
+    /// The coded turbo kernel's arena (peer table, basis slots, pools);
+    /// untouched by the uncoded kernels. See [`super::coded_turbo`].
+    pub(super) coded: super::coded_turbo::CodedScratch,
 }
 
 impl Default for SimScratch {
@@ -136,6 +139,7 @@ impl SimScratch {
             arrival_types: Vec::new(),
             arrival_weights: Vec::new(),
             arrival_alias: AliasTable::default(),
+            coded: super::coded_turbo::CodedScratch::default(),
         }
     }
 

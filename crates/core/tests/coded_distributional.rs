@@ -1,26 +1,32 @@
-//! Distributional differential test: the coded event kernel against the
-//! legacy standalone `CodedSwarmSim`.
+//! Distributional differential tests of the coded kernels: the coded event
+//! kernel and the bitsliced coded-turbo kernel against the legacy
+//! standalone `CodedSwarmSim` — a three-way battery over `GF(2)`.
 //!
 //! The coded kernel (`KernelKind::Coded`) runs the Section VIII-B dynamics
 //! under the shared driver loop with alias-table arrival draws, a
 //! dimension-only Bernoulli fast path for fixed-seed uploads, and pool-based
-//! departures — so its draw *sequence* differs from the legacy simulator's
-//! and byte-equality of trajectories cannot hold. What must hold is
-//! *statistical* equality: both simulate the same continuous-time Markov
-//! process over subspace-valued peer states, so over replication ensembles
-//! of the same coded scenario every observable's replication mean must agree
-//! within sampling noise.
+//! departures; the coded-turbo kernel (`KernelKind::CodedTurbo`) goes
+//! further with lazy peers that never build a basis until a peer-to-peer
+//! transfer needs one. Both therefore consume different draw *sequences*
+//! than the legacy simulator and byte-equality of trajectories cannot hold.
+//! What must hold is *statistical* equality: all three simulate the same
+//! continuous-time Markov process over subspace-valued peer states, so over
+//! replication ensembles of the same coded scenario every observable's
+//! replication mean must agree within sampling noise.
 //!
-//! For each scenario this test runs `N` replications per simulator and
+//! For each scenario the battery runs `N` replications per simulator and
 //! demands overlap of generous confidence intervals (five combined standard
 //! errors plus a small absolute floor, the same contract as
 //! `turbo_distributional.rs`) on: final population, departures, useful
 //! transfers, useless contacts, final decoder count, final mean dimension,
-//! and every bin of the final dimension histogram. Tolerances were checked
-//! by construction during development: biasing the seed-upload Bernoulli
-//! (e.g. using `q^{dim−K−1}`) or dropping the self-contact rejection makes
-//! several scenarios fail.
+//! and every bin of the final dimension histogram. The battery's teeth are
+//! not a claim: `distributional_battery_fails_under_biased_upload_bernoulli`
+//! runs the same comparison against an ensemble whose seed-upload Bernoulli
+//! is deliberately biased (success `1 − 4^{dim−K}` instead of
+//! `1 − 2^{dim−K}`, i.e. the documented `q^{dim−K}` fault with the wrong
+//! `q`) and asserts that the comparison REJECTS it.
 
+use pieceset::PieceSet;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use swarm::coded::{CodedParams, CodedSwarmSim};
@@ -45,12 +51,20 @@ fn moments(samples: &[f64]) -> Moments {
     }
 }
 
-fn assert_compatible(name: &str, scenario: &str, legacy: &[f64], kernel: &[f64]) {
-    let (ml, mk) = (moments(legacy), moments(kernel));
+/// The battery's acceptance predicate: do two sample vectors agree within
+/// five combined standard errors (plus a small absolute floor)?
+fn compatible(a: &[f64], b: &[f64]) -> bool {
+    let (ma, mb) = (moments(a), moments(b));
+    let tolerance = 5.0 * (ma.se * ma.se + mb.se * mb.se).sqrt() + 1.0;
+    (ma.mean - mb.mean).abs() <= tolerance
+}
+
+fn assert_compatible(name: &str, scenario: &str, reference: &[f64], candidate: &[f64]) {
+    let (ml, mk) = (moments(reference), moments(candidate));
     let tolerance = 5.0 * (ml.se * ml.se + mk.se * mk.se).sqrt() + 1.0;
     assert!(
-        (ml.mean - mk.mean).abs() <= tolerance,
-        "{scenario}/{name}: legacy mean {} vs kernel mean {} exceeds tolerance {}",
+        compatible(reference, candidate),
+        "{scenario}/{name}: reference mean {} vs candidate mean {} exceeds tolerance {}",
         ml.mean,
         mk.mean,
         tolerance,
@@ -134,20 +148,34 @@ fn run_legacy(scenario: &Scenario, seed_base: u64) -> Ensemble {
 }
 
 fn run_kernel(scenario: &Scenario, seed_base: u64) -> Ensemble {
+    run_agent_kernel(scenario, seed_base, KernelKind::Coded, &[])
+}
+
+/// Runs the scenario on one of the coded agent kernels (reference RREF or
+/// bitsliced coded-turbo) and collects the ensemble, with structural checks
+/// (group partition, histogram partition) on every replication.
+fn run_agent_kernel(
+    scenario: &Scenario,
+    seed_base: u64,
+    kernel: KernelKind,
+    initial: &[PieceSet],
+) -> Ensemble {
     let k = scenario.params.base.num_pieces();
-    let sim = AgentSwarm::with_coded(
-        scenario.params.clone(),
-        AgentConfig {
-            kernel: KernelKind::Coded,
-            snapshot_interval: 10.0,
-            ..Default::default()
-        },
-    )
+    let config = AgentConfig {
+        kernel,
+        snapshot_interval: 10.0,
+        ..Default::default()
+    };
+    let sim = match kernel {
+        KernelKind::Coded => AgentSwarm::with_coded(scenario.params.clone(), config),
+        KernelKind::CodedTurbo => AgentSwarm::with_coded_turbo(scenario.params.clone(), config),
+        _ => panic!("not a coded kernel"),
+    }
     .expect("valid coded scenario");
     let mut ensemble = Ensemble::new(k);
     for replication in 0..REPLICATIONS {
         let mut rng = StdRng::seed_from_u64(seed_base ^ (replication * 0x9E37_79B9));
-        let result = sim.run(&[], scenario.horizon, &mut rng);
+        let result = sim.run(initial, scenario.horizon, &mut rng);
         assert!(!result.truncated, "budget must cover the horizon");
         for snap in &result.snapshots {
             assert_eq!(snap.groups.total(), snap.total_peers, "groups partition");
@@ -166,6 +194,79 @@ fn run_kernel(scenario: &Scenario, seed_base: u64) -> Ensemble {
         );
     }
     ensemble
+}
+
+/// Asserts every observable of the battery — including the dimension
+/// histogram bin-by-bin — compatible between two ensembles.
+fn assert_ensembles_compatible(scenario: &str, reference: &Ensemble, candidate: &Ensemble) {
+    assert_compatible(
+        "final-population",
+        scenario,
+        &reference.final_population,
+        &candidate.final_population,
+    );
+    assert_compatible(
+        "departures",
+        scenario,
+        &reference.departures,
+        &candidate.departures,
+    );
+    assert_compatible(
+        "useful-transfers",
+        scenario,
+        &reference.useful_transfers,
+        &candidate.useful_transfers,
+    );
+    assert_compatible(
+        "useless-contacts",
+        scenario,
+        &reference.useless_contacts,
+        &candidate.useless_contacts,
+    );
+    assert_compatible(
+        "decoders",
+        scenario,
+        &reference.decoders,
+        &candidate.decoders,
+    );
+    assert_compatible(
+        "mean-dimension",
+        scenario,
+        &reference.mean_dimension,
+        &candidate.mean_dimension,
+    );
+    for (d, (rb, cb)) in reference
+        .dimension_bins
+        .iter()
+        .zip(&candidate.dimension_bins)
+        .enumerate()
+    {
+        assert_compatible(&format!("dim-histogram[{d}]"), scenario, rb, cb);
+    }
+}
+
+/// Counts how many of the battery's observables two ensembles DISAGREE on —
+/// the instrument of the teeth test.
+fn incompatible_observables(a: &Ensemble, b: &Ensemble) -> usize {
+    let mut failures = 0;
+    for (x, y) in [
+        (&a.final_population, &b.final_population),
+        (&a.departures, &b.departures),
+        (&a.useful_transfers, &b.useful_transfers),
+        (&a.useless_contacts, &b.useless_contacts),
+        (&a.decoders, &b.decoders),
+        (&a.mean_dimension, &b.mean_dimension),
+    ] {
+        if !compatible(x, y) {
+            failures += 1;
+        }
+    }
+    for (x, y) in a.dimension_bins.iter().zip(&b.dimension_bins) {
+        if !compatible(x, y) {
+            failures += 1;
+        }
+    }
+    failures
 }
 
 fn scenarios() -> Vec<Scenario> {
@@ -218,57 +319,138 @@ fn scenarios() -> Vec<Scenario> {
     out
 }
 
+/// `GF(2)` scenarios for the three-way battery: the coded-turbo kernel only
+/// accepts `q = 2`, so these cover the same dynamical regimes as
+/// `scenarios()` with the binary field.
+fn gf2_scenarios() -> Vec<Scenario> {
+    let mut out = Vec::new();
+
+    // Gifted arrivals above the GF(2) recurrence threshold
+    // q²/((q−1)²K) = 4/K = 1 at K = 4 — f = 0.9 with no fixed seed keeps
+    // the swarm churning near criticality.
+    out.push(Scenario {
+        name: "gf2-gifts",
+        params: CodedParams::gift_example(4, 2, 1.0, 0.9, 0.0, 1.0, f64::INFINITY).unwrap(),
+        horizon: 200.0,
+    });
+
+    // No gifts: every lazy peer's first dimension comes through the fixed
+    // seed's Bernoulli fast path.
+    out.push(Scenario {
+        name: "gf2-seed-fed",
+        params: CodedParams::gift_example(3, 2, 0.8, 0.0, 0.6, 1.0, f64::INFINITY).unwrap(),
+        horizon: 200.0,
+    });
+
+    // Finite γ: decoders dwell as peer seeds and the departure pool churns.
+    out.push(Scenario {
+        name: "gf2-finite-gamma",
+        params: CodedParams::gift_example(3, 2, 1.0, 0.6, 0.4, 1.0, 2.0).unwrap(),
+        horizon: 200.0,
+    });
+
+    // Multi-dimensional gifts: half the arrivals carry two independent
+    // random coded pieces, exercising the lazy gift-chain Bernoullis.
+    out.push(Scenario {
+        name: "gf2-double-gifts",
+        params: {
+            let base = SwarmParams::builder(4)
+                .contact_rate(1.0)
+                .fresh_arrivals(1.0)
+                .seed_departure_rate(3.0)
+                .build()
+                .unwrap();
+            CodedParams {
+                base,
+                field: swarm::netcoding::GaloisField::new(2).unwrap(),
+                gift_dimensions: vec![(0, 0.5), (2, 0.5)],
+            }
+        },
+        horizon: 200.0,
+    });
+
+    out
+}
+
 #[test]
 fn coded_kernel_matches_legacy_simulator_distributionally() {
     for (i, scenario) in scenarios().iter().enumerate() {
         let seed_base = 0xC0DE_0000 + (i as u64) * 0x0101;
         let legacy = run_legacy(scenario, seed_base);
         let kernel = run_kernel(scenario, seed_base);
-        assert_compatible(
-            "final-population",
-            scenario.name,
-            &legacy.final_population,
-            &kernel.final_population,
-        );
-        assert_compatible(
-            "departures",
-            scenario.name,
-            &legacy.departures,
-            &kernel.departures,
-        );
-        assert_compatible(
-            "useful-transfers",
-            scenario.name,
-            &legacy.useful_transfers,
-            &kernel.useful_transfers,
-        );
-        assert_compatible(
-            "useless-contacts",
-            scenario.name,
-            &legacy.useless_contacts,
-            &kernel.useless_contacts,
-        );
-        assert_compatible(
-            "decoders",
-            scenario.name,
-            &legacy.decoders,
-            &kernel.decoders,
-        );
-        assert_compatible(
-            "mean-dimension",
-            scenario.name,
-            &legacy.mean_dimension,
-            &kernel.mean_dimension,
-        );
-        for (d, (lb, kb)) in legacy
-            .dimension_bins
-            .iter()
-            .zip(&kernel.dimension_bins)
-            .enumerate()
-        {
-            assert_compatible(&format!("dim-histogram[{d}]"), scenario.name, lb, kb);
-        }
+        assert_ensembles_compatible(scenario.name, &legacy, &kernel);
     }
+}
+
+#[test]
+fn three_way_battery_agrees_on_gf2_scenarios() {
+    // The tentpole differential: legacy simulator, reference coded kernel,
+    // and bitsliced coded-turbo kernel compared pairwise on every observable
+    // of every GF(2) scenario. Three independent implementations of the same
+    // Markov process, three different draw sequences, one distribution.
+    for (i, scenario) in gf2_scenarios().iter().enumerate() {
+        let seed_base = 0xB17_0000 + (i as u64) * 0x0101;
+        let legacy = run_legacy(scenario, seed_base);
+        let coded = run_agent_kernel(scenario, seed_base, KernelKind::Coded, &[]);
+        let turbo = run_agent_kernel(scenario, seed_base, KernelKind::CodedTurbo, &[]);
+        assert_ensembles_compatible(scenario.name, &legacy, &coded);
+        assert_ensembles_compatible(scenario.name, &legacy, &turbo);
+        assert_ensembles_compatible(scenario.name, &coded, &turbo);
+    }
+}
+
+#[test]
+fn coded_turbo_matches_reference_kernel_with_unit_piece_populations() {
+    // Initial populations of uncoded unit pieces exercise the coded-turbo
+    // paths the legacy simulator cannot reach (it takes no initial
+    // population): unit-lazy peers, pure-unit uploads drawn as masked random
+    // words, and the unit-mask usefulness check. The reference kernel
+    // absorbs the same unit rows into explicit bases, so the two must agree
+    // distributionally.
+    let scenario = Scenario {
+        name: "gf2-unit-initial",
+        params: CodedParams::gift_example(5, 2, 0.6, 0.3, 0.4, 1.0, 2.5).unwrap(),
+        horizon: 150.0,
+    };
+    let mut initial = Vec::new();
+    for i in 0..40u64 {
+        // Mixed starting dimensions 0..=3 over K = 5 unit spans.
+        let bits = [0b0, 0b1, 0b11, 0b10101, 0b110, 0b10010][i as usize % 6];
+        initial.push(PieceSet::from_bits(bits));
+    }
+    let seed_base = 0x0141_7141;
+    let coded = run_agent_kernel(&scenario, seed_base, KernelKind::Coded, &initial);
+    let turbo = run_agent_kernel(&scenario, seed_base, KernelKind::CodedTurbo, &initial);
+    assert_ensembles_compatible(scenario.name, &coded, &turbo);
+}
+
+#[test]
+fn distributional_battery_fails_under_biased_upload_bernoulli() {
+    // Teeth: the battery must REJECT a simulator whose upload Bernoulli is
+    // biased. Running the reference kernel over GF(4) at identical rates IS
+    // that fault injection — every dimension-only upload succeeds with
+    // probability `1 − 4^{dim−K}` instead of `1 − 2^{dim−K}` (the
+    // documented `q^{dim−K}` law with the wrong q), exactly the bug a
+    // botched fast path would introduce. If the comparison passed anyway,
+    // the tolerance would be too loose to pin anything.
+    let turbo_scenario = Scenario {
+        name: "teeth-gf2",
+        params: CodedParams::gift_example(3, 2, 1.0, 0.0, 0.6, 1.0, 2.0).unwrap(),
+        horizon: 200.0,
+    };
+    let biased_scenario = Scenario {
+        name: "teeth-gf4",
+        params: CodedParams::gift_example(3, 4, 1.0, 0.0, 0.6, 1.0, 2.0).unwrap(),
+        horizon: 200.0,
+    };
+    let seed_base = 0x7EE7_0000;
+    let turbo = run_agent_kernel(&turbo_scenario, seed_base, KernelKind::CodedTurbo, &[]);
+    let biased = run_agent_kernel(&biased_scenario, seed_base, KernelKind::Coded, &[]);
+    let failures = incompatible_observables(&turbo, &biased);
+    assert!(
+        failures > 0,
+        "the battery accepted a biased upload Bernoulli — it has no teeth"
+    );
 }
 
 #[test]

@@ -55,8 +55,9 @@ pub struct AgentScenario {
     /// Scheduled flash crowds.
     pub flash: Vec<FlashCrowd>,
     /// Coded arrival mix of the Section VIII-B network-coded variant. When
-    /// present, the scenario runs on [`swarm::sim::KernelKind::Coded`]
-    /// (`config.kernel` must say so), `params` acts as the base parameter
+    /// present, the scenario runs on [`swarm::sim::KernelKind::Coded`] or —
+    /// for GF(2) — the bitsliced [`swarm::sim::KernelKind::CodedTurbo`]
+    /// (`config.kernel` picks which), `params` acts as the base parameter
     /// set, and the theory verdict comes from Theorem 15 instead of
     /// Theorem 1.
     pub coding: Option<CodedGifts>,
@@ -105,7 +106,15 @@ impl AgentScenario {
                     self.policy
                 )));
             }
-            return AgentSwarm::with_coded(gifts.with_base(self.params.clone()), self.config);
+            let params = gifts.with_base(self.params.clone());
+            // The bitsliced turbo kernel only handles GF(2);
+            // `with_coded_turbo` rejects other field orders with a typed
+            // error that surfaces through the session build.
+            return if self.config.kernel == swarm::sim::KernelKind::CodedTurbo {
+                AgentSwarm::with_coded_turbo(params, self.config)
+            } else {
+                AgentSwarm::with_coded(params, self.config)
+            };
         }
         let policy = policy::by_name(&self.policy).ok_or_else(|| {
             SwarmError::InvalidParameter(format!("unknown piece policy `{}`", self.policy))

@@ -309,7 +309,8 @@ impl Workload {
     }
 
     /// A Theorem 15 `(f, q, K)` coded phase-diagram sweep on the coded
-    /// kernel. Cells whose parameters fail to construct (an unsupported
+    /// kernel (or the bitsliced coded-turbo kernel when `spec.sim.kernel`
+    /// asks for it). Cells whose parameters fail to construct (an unsupported
     /// field order, an invalid fraction) are skipped and counted in
     /// [`CodedPhaseDiagram::skipped`]; scenario ids are linear cell
     /// indices.
@@ -319,10 +320,15 @@ impl Workload {
         let mut scenarios = Vec::new();
         let mut skipped = 0usize;
         let mut linear_index = 0u64;
-        let sim_config = AgentConfig {
-            kernel: KernelKind::Coded,
-            ..spec.sim
+        // A coded sweep honours an explicit coded-turbo request (the
+        // bitsliced GF(2) kernel); any other configured kernel is overridden
+        // to the reference coded kernel.
+        let kernel = if spec.sim.kernel == KernelKind::CodedTurbo {
+            KernelKind::CodedTurbo
+        } else {
+            KernelKind::Coded
         };
+        let sim_config = AgentConfig { kernel, ..spec.sim };
         for &k in &spec.pieces {
             for &q in &spec.field_orders {
                 for &f in &spec.gift_fraction.values {

@@ -11,6 +11,7 @@
 use engine::{Axis, CodedGridSpec, CodedPhaseDiagram, EngineConfig, Session, Workload};
 use markov::PathClass;
 use swarm::coded::theorem15_gift_thresholds;
+use swarm::sim::KernelKind;
 use swarm::StabilityVerdict;
 
 /// Runs a coded grid sweep through the unified Session API.
@@ -101,4 +102,75 @@ fn theorem15_transition_reproduced_and_bit_identical_across_jobs() {
         "transition visible:\n{rendered}"
     );
     assert_eq!(sequential.mismatches(), 0, "{rendered}");
+}
+
+#[test]
+fn coded_turbo_reproduces_the_transition_bit_identically_across_jobs() {
+    // The golden master for the bitsliced kernel: the same (q = 2, K = 8)
+    // sweep with `sim.kernel = CodedTurbo` flips transient → stable across
+    // the quoted thresholds (0.25, 0.5), and the whole diagram is
+    // bit-identical at 1, 4, and 8 workers — the engine's determinism
+    // contract extends to the lazy-peer kernel.
+    let (lo, hi) = theorem15_gift_thresholds(2, 8);
+    assert_eq!((lo, hi), (0.25, 0.5));
+    let turbo_spec = CodedGridSpec {
+        sim: swarm::sim::AgentConfig {
+            kernel: KernelKind::CodedTurbo,
+            ..Default::default()
+        },
+        ..spec()
+    };
+    let sequential = run_coded_grid(&turbo_spec, &config(1));
+    let four = run_coded_grid(&turbo_spec, &config(4));
+    let eight = run_coded_grid(&turbo_spec, &config(8));
+    assert_eq!(sequential, four, "jobs must never change the numbers");
+    assert_eq!(sequential, eight, "jobs must never change the numbers");
+
+    for &f in &BELOW {
+        let cell = sequential.cell(8, 2, f).expect("cell evaluated");
+        assert_eq!(cell.outcome.theory, StabilityVerdict::Transient);
+        assert_eq!(
+            cell.outcome.majority,
+            PathClass::Growing,
+            "coded-turbo grows below the threshold at f = {f} \
+             (votes: {:?})",
+            cell.outcome.votes
+        );
+        assert!(cell.outcome.agrees);
+    }
+    for &f in &ABOVE {
+        let cell = sequential.cell(8, 2, f).expect("cell evaluated");
+        assert_eq!(cell.outcome.theory, StabilityVerdict::PositiveRecurrent);
+        assert_eq!(
+            cell.outcome.majority,
+            PathClass::Stable,
+            "coded-turbo is stable above the threshold at f = {f} \
+             (votes: {:?})",
+            cell.outcome.votes
+        );
+        assert!(cell.outcome.agrees);
+    }
+    assert_eq!(sequential.mismatches(), 0, "{}", sequential.render());
+}
+
+#[test]
+fn coded_turbo_sweep_rejects_non_binary_fields_at_build() {
+    // q ≠ 2 cannot run on the bitsliced kernel; the session build surfaces
+    // the typed error instead of silently skipping or mis-simulating.
+    let turbo_spec = CodedGridSpec {
+        sim: swarm::sim::AgentConfig {
+            kernel: KernelKind::CodedTurbo,
+            ..Default::default()
+        },
+        ..CodedGridSpec::headline(Axis::fixed("f", 0.75), vec![8], vec![8], 1.0)
+    };
+    let err = Session::builder()
+        .config(config(1))
+        .workload(Workload::coded(&turbo_spec))
+        .build()
+        .expect_err("GF(8) must be rejected by the coded-turbo kernel");
+    assert!(
+        err.to_string().contains("GF(8)"),
+        "error names the offending field order: {err}"
+    );
 }

@@ -32,10 +32,12 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod bitspace;
 mod gf;
 mod subspace;
 mod vector;
 
+pub use bitspace::BitSubspace;
 pub use gf::GaloisField;
 pub use subspace::Subspace;
 pub use vector::CodingVector;

@@ -287,10 +287,10 @@ impl ScenarioSpec {
         }
         let watch = PieceId::new(self.watch_piece);
         match (&self.coding, self.kernel) {
-            (Some(_), KernelKind::Coded) | (None, _) => {}
+            (Some(_), KernelKind::Coded | KernelKind::CodedTurbo) | (None, _) => {}
             (Some(_), _) => {
                 return Err(SpecError::Invalid(
-                    "scenario has a `coding` block: it runs only on the coded kernel \
+                    "scenario has a `coding` block: it runs only on the coded kernels \
                      (kernel overrides cannot switch a coded scenario to an uncoded one)"
                         .into(),
                 ))
@@ -339,9 +339,9 @@ impl ScenarioSpec {
             .map_err(|e| SpecError::Invalid(format!("coding: {e}")))?;
             (coded.base.clone(), Some(coded.gifts()))
         } else {
-            if self.kernel == KernelKind::Coded {
+            if matches!(self.kernel, KernelKind::Coded | KernelKind::CodedTurbo) {
                 return Err(SpecError::Invalid(
-                    "the coded kernel requires a `coding` block".into(),
+                    "the coded kernels require a `coding` block".into(),
                 ));
             }
             let mut builder = SwarmParams::builder(self.num_pieces)
@@ -470,6 +470,7 @@ impl ScenarioSpec {
                         KernelKind::LegacyScan => "legacy-scan",
                         KernelKind::Turbo => "turbo",
                         KernelKind::Coded => "coded",
+                        KernelKind::CodedTurbo => "coded-turbo",
                     }
                     .into(),
                 ),
@@ -570,19 +571,20 @@ impl ScenarioSpec {
             Some(Json::Str(s)) if s == "legacy-scan" => spec.kernel = KernelKind::LegacyScan,
             Some(Json::Str(s)) if s == "turbo" => spec.kernel = KernelKind::Turbo,
             Some(Json::Str(s)) if s == "coded" => spec.kernel = KernelKind::Coded,
+            Some(Json::Str(s)) if s == "coded-turbo" => spec.kernel = KernelKind::CodedTurbo,
             Some(_) => {
                 return Err(SpecError::Parse(
                     "`kernel` must be \"event-driven\", \"legacy-scan\", \
-                     \"turbo\", or \"coded\""
+                     \"turbo\", \"coded\", or \"coded-turbo\""
                         .into(),
                 ))
             }
         }
         match doc.get("coding") {
             None => {
-                if spec.kernel == KernelKind::Coded {
+                if matches!(spec.kernel, KernelKind::Coded | KernelKind::CodedTurbo) {
                     return Err(SpecError::Parse(
-                        "`kernel: \"coded\"` requires a `coding` block".into(),
+                        "the coded kernels require a `coding` block".into(),
                     ));
                 }
             }
@@ -606,10 +608,10 @@ impl ScenarioSpec {
                 if !kernel_named {
                     // A coding block implies the coded kernel.
                     spec.kernel = KernelKind::Coded;
-                } else if spec.kernel != KernelKind::Coded {
+                } else if !matches!(spec.kernel, KernelKind::Coded | KernelKind::CodedTurbo) {
                     return Err(SpecError::Parse(
-                        "a `coding` block requires `kernel: \"coded\"` \
-                         (or omit the kernel field)"
+                        "a `coding` block requires `kernel: \"coded\"` or \
+                         `kernel: \"coded-turbo\"` (or omit the kernel field)"
                             .into(),
                     ));
                 }
@@ -866,6 +868,22 @@ impl Registry {
             "Theorem 15 above threshold: GF(2), K = 8, f = 0.8 > q²/((q−1)²K) = 0.5 — stable"
                 .into();
         s.kernel = KernelKind::Coded;
+        s.coding = Some(CodingSpec {
+            field_order: 2,
+            gift_fraction: 0.8,
+        });
+        s.arrivals = vec![ArrivalSpec {
+            pieces: PieceSelector::Empty,
+            rate: 1.0,
+        }];
+        s.horizon = 800.0;
+        specs.push(s);
+
+        let mut s = ScenarioSpec::new("coded-turbo-gift", 8);
+        s.description =
+            "The coded-gift-super swarm on the bitsliced GF(2) coded-turbo kernel — lazy peers, packed bases"
+                .into();
+        s.kernel = KernelKind::CodedTurbo;
         s.coding = Some(CodingSpec {
             field_order: 2,
             gift_fraction: 0.8,

@@ -1,9 +1,9 @@
 //! Emits the canonical machine-readable kernel benchmark report
-//! (`BENCH_PR6.json`) so the repository tracks a perf trajectory instead of
+//! (`BENCH_PR7.json`) so the repository tracks a perf trajectory instead of
 //! claiming speedups in prose.
 //!
 //! ```text
-//! cargo run --release --bin bench_report                    # write BENCH_PR6.json
+//! cargo run --release --bin bench_report                    # write BENCH_PR7.json
 //! cargo run --release --bin bench_report -- --out my.json   # elsewhere
 //! cargo run --release --bin bench_report -- --check         # CI mode
 //! ```
@@ -20,7 +20,13 @@
 //! `K = 32`, half the arrivals gifted with one random coded piece
 //! (`f = 0.5 ≫ q²/((q−1)²K)`, firmly stable), hit-and-run peer seeds, and an
 //! initial population one dimension short of decoding — so every contact
-//! exercises the RREF reduce/absorb hot path.
+//! exercises the RREF reduce/absorb hot path. Both coded kernels run it:
+//! the reference RREF kernel (`coded`) and the bitsliced lazy-peer kernel
+//! (`coded-turbo`), whose dimension-only fast paths are what the
+//! `coded_turbo_speedup_vs_coded` ratios track. The coded-turbo kernel
+//! additionally runs the 1M-peer horizon (`coded_million_peer`), where the
+//! report asserts `dim_fast_path_hits > basis_materializations` — the
+//! laziness claim, pinned in the committed numbers.
 //!
 //! Every measurement executes through the unified `engine::Session` API
 //! (one agent scenario, one replication, `--jobs 1`), with the event and
@@ -38,7 +44,7 @@
 //! `--check` is the CI mode: it runs a reduced size twice per kernel and
 //! asserts *event-count determinism* (same seed → identical event and
 //! transfer counts; scan ≡ event by draw parity) plus the telemetry
-//! identities above, plus the schema of the committed `BENCH_PR6.json` —
+//! identities above, plus the schema of the committed `BENCH_PR7.json` —
 //! never wall time, which CI hardware cannot promise.
 
 use p2p_stability::engine::metrics::counters_json;
@@ -56,11 +62,11 @@ use std::process::ExitCode;
 
 const K: usize = 32;
 const SEED: u64 = 0xBE7C;
-const SCHEMA: &str = "p2p-bench/v3";
+const SCHEMA: &str = "p2p-bench/v4";
 
 /// Required top-level keys of the report — `--check` verifies the committed
 /// file still carries each of them, so schema drift fails CI.
-const SCHEMA_KEYS: [&str; 10] = [
+const SCHEMA_KEYS: [&str; 12] = [
     "\"schema\"",
     "\"pr\"",
     "\"scenario\"",
@@ -70,6 +76,8 @@ const SCHEMA_KEYS: [&str; 10] = [
     "\"turbo_speedup_vs_event\"",
     "\"million_peer\"",
     "\"coded\"",
+    "\"coded_turbo_speedup_vs_coded\"",
+    "\"coded_million_peer\"",
     "\"telemetry\"",
 ];
 
@@ -126,15 +134,17 @@ fn make_scenario(kernel: KernelKind, n: usize) -> AgentScenario {
 /// The coded analogue of [`make_scenario`]: same `K`, arrival volume,
 /// contact rate, and hit-and-run seed departures, with the one-piece-short
 /// arrival mix replaced by the Theorem 15 gift model over GF(2) at
-/// `f = 0.5` (the retry speed-up does not apply to the coded system).
-fn make_coded_scenario(n: usize) -> AgentScenario {
+/// `f = 0.5` (the retry speed-up does not apply to the coded system). Runs
+/// on the requested coded kernel — the reference RREF kernel or the
+/// bitsliced lazy-peer `coded-turbo` kernel.
+fn make_coded_scenario(kernel: KernelKind, n: usize) -> AgentScenario {
     let lambda_total = n as f64 / 10.0;
     let params = CodedParams::gift_example(K, 2, lambda_total, 0.5, 1.0, 0.1, 200.0)
         .expect("valid coded parameters");
     let mut scenario = AgentScenario::new(0, format!("bench-coded-{n}"), params.base.clone());
     scenario.coding = Some(params.gifts());
     scenario.config = AgentConfig {
-        kernel: KernelKind::Coded,
+        kernel,
         snapshot_interval: 0.25,
         ..Default::default()
     };
@@ -294,15 +304,17 @@ fn json_num(x: f64) -> String {
 
 fn render_report(
     sizes: &[(usize, f64, Vec<Measurement>)],
-    coded: &[(usize, f64, Measurement)],
+    coded: &[(usize, f64, Vec<Measurement>)],
     million: &Measurement,
+    coded_million: &Measurement,
     million_peers: usize,
     million_horizon: f64,
+    coded_million_horizon: f64,
 ) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
     let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
-    let _ = writeln!(out, "  \"pr\": 6,");
+    let _ = writeln!(out, "  \"pr\": 7,");
     let _ = writeln!(out, "  \"scenario\": \"big-swarm-k32-retry\",");
     let _ = writeln!(
         out,
@@ -356,34 +368,65 @@ fn render_report(
          \"params\": {{\"q\": 2, \"gift_fraction\": 0.5, \"contact_rate\": 0.1, \
          \"seed_rate\": 1.0, \"seed_departure_rate\": 200.0}}, \"sizes\": ["
     );
-    for (s, (peers, horizon, m)) in coded.iter().enumerate() {
+    for (s, (peers, horizon, measurements)) in coded.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"peers\": {peers},");
+        let _ = writeln!(out, "      \"horizon\": {},", json_num(*horizon));
+        let _ = writeln!(out, "      \"kernels\": [");
         // The coded entries carry the full counter set, so the RREF
-        // absorb / rank / dimension-fast-path breakdown is in the record.
+        // absorb / rank / materialization / dimension-fast-path breakdown
+        // is in the record.
+        for (i, m) in measurements.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "        {{\"kernel\": \"{}\", \"events\": {}, \"transfers\": {}, \
+                 \"wall_seconds\": {}, \"events_per_sec\": {}, \"telemetry\": {}}}{}",
+                m.kernel,
+                m.events,
+                m.transfers,
+                json_num(m.wall_seconds),
+                json_num(m.events_per_sec),
+                counters_json(&m.counters),
+                if i + 1 < measurements.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(out, "      ],");
+        let by = |name: &str| {
+            measurements
+                .iter()
+                .find(|m| m.kernel == name)
+                .expect("both coded kernels measured")
+        };
         let _ = writeln!(
             out,
-            "    {{\"peers\": {peers}, \"horizon\": {}, \"kernel\": \"coded\", \
-             \"events\": {}, \"transfers\": {}, \"wall_seconds\": {}, \
-             \"events_per_sec\": {}, \"telemetry\": {}}}{}",
-            json_num(*horizon),
-            m.events,
-            m.transfers,
-            json_num(m.wall_seconds),
-            json_num(m.events_per_sec),
-            counters_json(&m.counters),
-            if s + 1 < coded.len() { "," } else { "" }
+            "      \"coded_turbo_speedup_vs_coded\": {}",
+            json_num(by("coded-turbo").events_per_sec / by("coded").events_per_sec)
         );
+        let _ = writeln!(out, "    }}{}", if s + 1 < coded.len() { "," } else { "" });
     }
     let _ = writeln!(out, "  ]}},");
     let _ = writeln!(
         out,
         "  \"million_peer\": {{\"peers\": {million_peers}, \"kernel\": \"turbo\", \
          \"horizon\": {}, \"events\": {}, \"wall_seconds\": {}, \
-         \"events_per_sec\": {}, \"completed\": true, \"telemetry\": {}}}",
+         \"events_per_sec\": {}, \"completed\": true, \"telemetry\": {}}},",
         json_num(million_horizon),
         million.events,
         json_num(million.wall_seconds),
         json_num(million.events_per_sec),
         counters_json(&million.counters),
+    );
+    let _ = writeln!(
+        out,
+        "  \"coded_million_peer\": {{\"peers\": {million_peers}, \
+         \"kernel\": \"coded-turbo\", \"horizon\": {}, \"events\": {}, \
+         \"wall_seconds\": {}, \"events_per_sec\": {}, \"completed\": true, \
+         \"telemetry\": {}}}",
+        json_num(coded_million_horizon),
+        coded_million.events,
+        json_num(coded_million.wall_seconds),
+        json_num(coded_million.events_per_sec),
+        counters_json(&coded_million.counters),
     );
     let _ = writeln!(out, "}}");
     out
@@ -420,11 +463,16 @@ fn check() -> ExitCode {
         (0.8..1.25).contains(&ratio),
         "turbo event count diverges from the event kernel: ratio {ratio}"
     );
-    // The coded kernel: deterministic per seed (asserted inside `measure`)
+    // The coded kernels: deterministic per seed (asserted inside `measure`)
     // and simulating a comparably busy system. `measure` has already checked
-    // that its telemetry adds up to the reported events; on top of that the
-    // RREF ledger must be internally consistent.
-    let coded = measure(&make_coded_scenario(n), "coded", horizon, 2);
+    // that their telemetry adds up to the reported events; on top of that
+    // each ledger must be internally consistent.
+    let coded = measure(
+        &make_coded_scenario(KernelKind::Coded, n),
+        "coded",
+        horizon,
+        2,
+    );
     assert!(coded.events > 1_000, "coded: implausibly few events");
     assert!(coded.transfers > 0, "coded: no coded transfers simulated");
     assert!(
@@ -439,24 +487,60 @@ fn check() -> ExitCode {
         "  {:12} {:>8} events, {:>8} transfers",
         "coded", coded.events, coded.transfers
     );
+    let coded_turbo = measure(
+        &make_coded_scenario(KernelKind::CodedTurbo, n),
+        "coded-turbo",
+        horizon,
+        2,
+    );
+    assert!(
+        coded_turbo.events > 1_000,
+        "coded-turbo: implausibly few events"
+    );
+    assert!(
+        coded_turbo.transfers > 0,
+        "coded-turbo: no transfers simulated"
+    );
+    // The lazy-peer ledger: bases materialize strictly less often than they
+    // absorb, and dimension-only decisions happen at all.
+    assert!(
+        coded_turbo.counters.get(Counter::BasisMaterializations)
+            < coded_turbo.counters.get(Counter::RrefAbsorbs),
+        "coded-turbo: every absorb materialized a basis — laziness is broken"
+    );
+    assert!(
+        coded_turbo.counters.get(Counter::DimFastPathHits) > 0,
+        "coded-turbo: the dimension-only fast path never ran"
+    );
+    // Two simulators of the same process: event volumes in the same
+    // statistical ballpark.
+    let coded_ratio = coded_turbo.events as f64 / coded.events as f64;
+    assert!(
+        (0.8..1.25).contains(&coded_ratio),
+        "coded-turbo event count diverges from the coded kernel: ratio {coded_ratio}"
+    );
+    println!(
+        "  {:12} {:>8} events, {:>8} transfers",
+        "coded-turbo", coded_turbo.events, coded_turbo.transfers
+    );
 
     // Schema of the committed trajectory file, when present.
-    match std::fs::read_to_string("BENCH_PR6.json") {
+    match std::fs::read_to_string("BENCH_PR7.json") {
         Ok(text) => {
             for key in SCHEMA_KEYS {
                 if !text.contains(key) {
-                    eprintln!("BENCH_PR6.json: missing required key {key}");
+                    eprintln!("BENCH_PR7.json: missing required key {key}");
                     return ExitCode::FAILURE;
                 }
             }
             if !text.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
-                eprintln!("BENCH_PR6.json: schema string is not {SCHEMA}");
+                eprintln!("BENCH_PR7.json: schema string is not {SCHEMA}");
                 return ExitCode::FAILURE;
             }
-            println!("BENCH_PR6.json schema OK");
+            println!("BENCH_PR7.json schema OK");
         }
         Err(error) => {
-            eprintln!("cannot read BENCH_PR6.json: {error}");
+            eprintln!("cannot read BENCH_PR7.json: {error}");
             return ExitCode::FAILURE;
         }
     }
@@ -466,7 +550,7 @@ fn check() -> ExitCode {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut out_path = String::from("BENCH_PR6.json");
+    let mut out_path = String::from("BENCH_PR7.json");
     let mut check_mode = false;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -503,11 +587,21 @@ fn main() -> ExitCode {
             .collect();
         sizes.push((peers, horizon, measurements));
         eprintln!("measuring {peers}-peer coded swarm (horizon {horizon}) ...");
-        coded.push((
-            peers,
-            horizon,
-            measure_logged(&make_coded_scenario(peers), "coded", horizon, 3),
-        ));
+        let coded_measurements = vec![
+            measure_logged(
+                &make_coded_scenario(KernelKind::Coded, peers),
+                "coded",
+                horizon,
+                3,
+            ),
+            measure_logged(
+                &make_coded_scenario(KernelKind::CodedTurbo, peers),
+                "coded-turbo",
+                horizon,
+                3,
+            ),
+        ];
+        coded.push((peers, horizon, coded_measurements));
     }
 
     let million_peers = 1_000_000;
@@ -520,7 +614,34 @@ fn main() -> ExitCode {
         1,
     );
 
-    let report = render_report(&sizes, &coded, &million, million_peers, million_horizon);
+    let coded_million_horizon = 1.5;
+    eprintln!(
+        "measuring {million_peers}-peer coded-turbo run (horizon {coded_million_horizon}) ..."
+    );
+    let coded_million = measure_logged(
+        &make_coded_scenario(KernelKind::CodedTurbo, million_peers),
+        "coded-turbo",
+        coded_million_horizon,
+        1,
+    );
+    // The laziness claim the million-peer row exists to pin: at scale,
+    // dimension-only decisions must outnumber basis materializations.
+    assert!(
+        coded_million.counters.get(Counter::DimFastPathHits)
+            > coded_million.counters.get(Counter::BasisMaterializations),
+        "coded million-peer row: fast-path hits must dominate materializations ({:?})",
+        coded_million.counters
+    );
+
+    let report = render_report(
+        &sizes,
+        &coded,
+        &million,
+        &coded_million,
+        million_peers,
+        million_horizon,
+        coded_million_horizon,
+    );
     if let Err(error) = std::fs::write(&out_path, &report) {
         eprintln!("cannot write {out_path}: {error}");
         return ExitCode::FAILURE;
@@ -532,6 +653,13 @@ fn main() -> ExitCode {
         turbo.events_per_sec / event.events_per_sec
     };
     eprintln!("turbo vs event at 100k peers: {speedup_100k:.2}x");
+    let coded_speedup_100k = {
+        let (_, _, ms) = &coded[1];
+        let turbo = ms.iter().find(|m| m.kernel == "coded-turbo").unwrap();
+        let reference = ms.iter().find(|m| m.kernel == "coded").unwrap();
+        turbo.events_per_sec / reference.events_per_sec
+    };
+    eprintln!("coded-turbo vs coded at 100k peers: {coded_speedup_100k:.2}x");
     eprintln!("report written to {out_path}");
     ExitCode::SUCCESS
 }

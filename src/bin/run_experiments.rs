@@ -24,11 +24,13 @@
 //! * `--scenario FILE|NAME` — instead of the E1–E12 reports, execute one
 //!   scenario from the registry: a JSON scenario file (see `EXPERIMENTS.md`
 //!   for the format) or a built-in name,
-//! * `--kernel event|scan|turbo|coded` — override the scenario's simulation
-//!   kernel (`event-driven` and `legacy-scan` are byte-reproducible against
-//!   each other; `turbo` is the parity-free fast kernel, deterministic per
-//!   seed but validated distributionally; `coded` is the network-coded
-//!   kernel and needs a scenario with a `"coding"` block),
+//! * `--kernel event|scan|turbo|coded|coded-turbo` — override the
+//!   scenario's simulation kernel (`event-driven` and `legacy-scan` are
+//!   byte-reproducible against each other; `turbo` is the parity-free fast
+//!   kernel, deterministic per seed but validated distributionally; `coded`
+//!   is the network-coded kernel and needs a scenario with a `"coding"`
+//!   block; `coded-turbo` is its bitsliced GF(2) fast path and additionally
+//!   requires `q = 2`),
 //! * `--progress` — report replication progress on stderr through the
 //!   engine's built-in `ProgressSink`,
 //! * `--stream` — (with `--scenario`) execute through the streaming
@@ -85,7 +87,8 @@ struct Cli {
 }
 
 const USAGE: &str = "usage: run_experiments [quick] [--replications N] [--jobs N] \
-[--seed S] [--horizon T] [--scenario FILE|NAME] [--kernel event|scan|turbo|coded] \
+[--seed S] [--horizon T] [--scenario FILE|NAME] \
+[--kernel event|scan|turbo|coded|coded-turbo] \
 [--progress] [--stream] [--metrics[=FILE]] [--check-metrics FILE] \
 [--list-scenarios] [--out-dir DIR]";
 
@@ -170,10 +173,11 @@ fn parse_cli() -> Result<Cli, CliError> {
                     "scan" | "legacy-scan" => KernelKind::LegacyScan,
                     "turbo" => KernelKind::Turbo,
                     "coded" => KernelKind::Coded,
+                    "coded-turbo" => KernelKind::CodedTurbo,
                     other => {
                         return Err(CliError::Invalid(format!(
                             "--kernel: unknown kernel `{other}` \
-                             (expected event, scan, turbo, or coded)"
+                             (expected event, scan, turbo, coded, or coded-turbo)"
                         )))
                     }
                 });
