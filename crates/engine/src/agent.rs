@@ -181,6 +181,10 @@ pub struct AgentOutcome {
     pub truncated_replications: u32,
     /// Mean simulated events per replication.
     pub mean_events: f64,
+    /// Replications quarantined by the failure policy: they contribute no
+    /// vote and no sample, so `votes.total()` can fall short of the
+    /// configured replication count by exactly this amount.
+    pub failed_replications: u32,
 }
 
 /// Runs a single replication of `scenario` on its derived random stream.

@@ -43,7 +43,7 @@ fn json_f64(x: f64) -> String {
 }
 
 /// Escapes a string for a JSON string literal (without the quotes).
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -69,13 +69,13 @@ fn csv_escape(s: &str) -> String {
 }
 
 const OUTCOME_HEADER: &str = "scenario_id,label,theory,majority,agrees,agreement,\
-votes_stable,votes_growing,votes_indeterminate,replications,\
+votes_stable,votes_growing,votes_indeterminate,replications,failed_replications,\
 tail_slope_mean,tail_slope_ci_half_width,tail_slope_std_dev,tail_slope_min,tail_slope_max,\
 tail_average_mean,tail_average_ci_half_width,tail_average_std_dev,tail_average_min,tail_average_max";
 
 fn outcome_csv_row(o: &ScenarioOutcome) -> String {
     format!(
-        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
         o.scenario_id,
         csv_escape(&o.label),
         verdict_name(o.theory),
@@ -86,6 +86,7 @@ fn outcome_csv_row(o: &ScenarioOutcome) -> String {
         o.votes.growing,
         o.votes.indeterminate,
         o.votes.total(),
+        o.failed_replications,
         csv_f64(o.tail_slope.mean),
         csv_f64(o.tail_slope.ci_half_width),
         csv_f64(o.tail_slope.std_dev),
@@ -117,7 +118,7 @@ fn outcome_json_object(o: &ScenarioOutcome, indent: &str) -> String {
         "{indent}{{\"scenario_id\": {}, \"label\": \"{}\", \"theory\": \"{}\", \
          \"majority\": \"{}\", \"agrees\": {}, \"agreement\": {}, \
          \"votes\": {{\"stable\": {}, \"growing\": {}, \"indeterminate\": {}}}, \
-         {}, {}}}",
+         \"failed_replications\": {}, {}, {}}}",
         o.scenario_id,
         json_escape(&o.label),
         verdict_name(o.theory),
@@ -127,6 +128,7 @@ fn outcome_json_object(o: &ScenarioOutcome, indent: &str) -> String {
         o.votes.stable,
         o.votes.growing,
         o.votes.indeterminate,
+        o.failed_replications,
         estimate("tail_slope", &o.tail_slope),
         estimate("tail_average", &o.tail_average),
     )
@@ -276,6 +278,7 @@ mod tests {
             tail_average: average.estimate(0.95),
             agreement: 2.0 / 3.0,
             agrees: true,
+            failed_replications: 0,
         }
     }
 

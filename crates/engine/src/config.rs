@@ -2,6 +2,43 @@
 
 use serde::{Deserialize, Serialize};
 
+/// What the engine does when a replication fails (panics, or trips an
+/// internal invariant that validation should have made impossible).
+///
+/// Failure handling happens *per replication* inside the worker that runs
+/// it, before the result enters the in-order delivery frontier — so under
+/// every policy the records a sink does receive stay bit-identical to a
+/// fault-free run at any [`EngineConfig::jobs`] value.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailurePolicy {
+    /// Let the panic propagate and abort the whole session — the engine's
+    /// historical behaviour, and still the default.
+    #[default]
+    FailFast,
+    /// Catch the panic and deliver a typed
+    /// [`crate::ReplicationFailure`] in stream order instead of aborting;
+    /// the surviving replications are unaffected. If more than
+    /// `max_failures` replications fail, the session aborts anyway (the
+    /// budget caps how much of a batch may silently go missing).
+    Quarantine {
+        /// Maximum tolerated failures before the session aborts
+        /// (`u32::MAX` = never abort).
+        max_failures: u32,
+    },
+    /// Re-run a failed replication on the same derived random stream up to
+    /// `attempts` total attempts, sleeping `backoff_ms × attempt` between
+    /// tries (0 = no sleep). A retry that succeeds is bit-identical to a
+    /// replication that never failed — the stream key, not the attempt,
+    /// seeds the RNG. A replication still failing after the last attempt
+    /// is quarantined (delivered as a failure record, without a budget).
+    Retry {
+        /// Total attempts per replication (clamped to at least 1).
+        attempts: u32,
+        /// Linear backoff step between attempts, in milliseconds.
+        backoff_ms: u64,
+    },
+}
+
 /// Configuration of a Monte-Carlo batch run.
 ///
 /// The worker count ([`EngineConfig::jobs`]) affects scheduling only; for a
@@ -29,6 +66,8 @@ pub struct EngineConfig {
     /// are bit-identical with it on or off; it only populates
     /// [`crate::ReplicationRecord::telemetry`].
     pub metrics: bool,
+    /// What to do when a replication fails (see [`FailurePolicy`]).
+    pub failure_policy: FailurePolicy,
 }
 
 impl Default for EngineConfig {
@@ -42,6 +81,7 @@ impl Default for EngineConfig {
             confidence: 0.95,
             progress: false,
             metrics: false,
+            failure_policy: FailurePolicy::FailFast,
         }
     }
 }
@@ -107,6 +147,13 @@ impl EngineConfig {
         self.metrics = metrics;
         self
     }
+
+    /// Sets the failure policy (see [`FailurePolicy`]).
+    #[must_use]
+    pub fn with_failure_policy(mut self, policy: FailurePolicy) -> Self {
+        self.failure_policy = policy;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -123,7 +170,8 @@ mod tests {
             .with_initial_one_club(5)
             .with_confidence(0.9)
             .with_progress(true)
-            .with_metrics(true);
+            .with_metrics(true)
+            .with_failure_policy(FailurePolicy::Quarantine { max_failures: 2 });
         assert_eq!(config.replications, 1, "clamped to at least one");
         assert_eq!(config.horizon, 10.0);
         assert_eq!(config.master_seed, 1);
@@ -132,6 +180,19 @@ mod tests {
         assert_eq!(config.confidence, 0.9);
         assert!(config.progress);
         assert!(config.metrics);
+        assert_eq!(
+            config.failure_policy,
+            FailurePolicy::Quarantine { max_failures: 2 }
+        );
+    }
+
+    #[test]
+    fn failure_policy_defaults_to_fail_fast() {
+        assert_eq!(
+            EngineConfig::default().failure_policy,
+            FailurePolicy::FailFast
+        );
+        assert_eq!(FailurePolicy::default(), FailurePolicy::FailFast);
     }
 
     #[test]

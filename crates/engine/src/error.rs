@@ -28,6 +28,31 @@ pub enum Error {
     /// The engine configuration is unusable (non-positive horizon,
     /// confidence outside `(0, 1)`).
     InvalidConfig(String),
+    /// A checkpoint file could not be read or written.
+    CheckpointIo {
+        /// Path of the checkpoint file.
+        path: String,
+        /// The underlying I/O failure, rendered.
+        message: String,
+    },
+    /// A checkpoint file exists but fails structural validation (bad
+    /// header, short file, checksum mismatch, unparseable field).
+    CheckpointCorrupt {
+        /// Path of the checkpoint file.
+        path: String,
+        /// What failed to validate.
+        message: String,
+    },
+    /// A checkpoint is well-formed but was written by a different run:
+    /// its config+workload digest does not match the resuming session's.
+    CheckpointMismatch {
+        /// Path of the checkpoint file.
+        path: String,
+        /// Digest recorded in the checkpoint.
+        found: u64,
+        /// Digest of the session attempting to resume.
+        expected: u64,
+    },
 }
 
 impl core::fmt::Display for Error {
@@ -40,6 +65,21 @@ impl core::fmt::Display for Error {
             ),
             Error::MissingWorkload => write!(f, "the session builder needs a workload"),
             Error::InvalidConfig(message) => write!(f, "invalid engine configuration: {message}"),
+            Error::CheckpointIo { path, message } => {
+                write!(f, "checkpoint `{path}`: {message}")
+            }
+            Error::CheckpointCorrupt { path, message } => {
+                write!(f, "checkpoint `{path}` is corrupt: {message}")
+            }
+            Error::CheckpointMismatch {
+                path,
+                found,
+                expected,
+            } => write!(
+                f,
+                "checkpoint `{path}` belongs to a different run \
+                 (digest {found:016x}, session expects {expected:016x})"
+            ),
         }
     }
 }
@@ -69,6 +109,19 @@ mod tests {
         assert!(e.to_string().contains("bad"), "{e}");
         assert!(e.to_string().contains("telepathic"), "{e}");
         assert!(Error::MissingWorkload.to_string().contains("workload"));
+        let e = Error::CheckpointCorrupt {
+            path: "x.ckpt".into(),
+            message: "checksum mismatch".into(),
+        };
+        assert!(e.to_string().contains("x.ckpt"), "{e}");
+        assert!(e.to_string().contains("checksum"), "{e}");
+        let e = Error::CheckpointMismatch {
+            path: "x.ckpt".into(),
+            found: 0xdead,
+            expected: 0xbeef,
+        };
+        assert!(e.to_string().contains("000000000000dead"), "{e}");
+        assert!(e.to_string().contains("000000000000beef"), "{e}");
     }
 
     #[test]

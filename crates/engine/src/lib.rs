@@ -75,9 +75,11 @@
 
 pub mod agent;
 pub mod artifact;
+pub mod checkpoint;
 pub mod coded;
 pub mod config;
 pub mod error;
+pub mod faults;
 pub mod grid;
 pub mod labels;
 pub mod metrics;
@@ -91,9 +93,11 @@ pub use agent::{
     run_agent_replication, run_agent_replication_metered, run_agent_replication_with_scratch,
     AgentOutcome, AgentReplication, AgentScenario,
 };
+pub use checkpoint::CheckpointSpec;
 pub use coded::{CodedGridSpec, CodedPhaseCell, CodedPhaseDiagram};
-pub use config::EngineConfig;
+pub use config::{EngineConfig, FailurePolicy};
 pub use error::Error;
+pub use faults::{FaultKind, FaultParseError, FaultPlan};
 pub use grid::{Axis, GridSpec, PhaseCell, PhaseDiagram};
 pub use metrics::{MetricsSink, ReplicationTelemetry};
 pub use progress::{Progress, ProgressSink};
@@ -103,7 +107,7 @@ pub use replicate::{
 };
 pub use rng::{derive_seed, replication_rng};
 pub use session::{
-    NullSink, ReplicationRecord, ReplicationSink, Session, SessionBuilder, SessionOutput,
-    StreamPlan, StreamStats, Workload,
+    NullSink, ReplicationFailure, ReplicationRecord, ReplicationSink, Session, SessionBuilder,
+    SessionOutput, StreamPlan, StreamStats, Workload,
 };
 pub use stats::{Estimate, Welford};

@@ -33,9 +33,29 @@
 //! replications emit the line without them. Histogram objects carry
 //! `count`, `sum`, `max`, and the sparse `buckets` array of
 //! `[bucket_index, count]` pairs (see [`telemetry::Histogram`]).
+//!
+//! Quarantined replications add `failure` lines between `begin` and `end`,
+//! and the `end` frame carries `failed`/`retries` totals:
+//!
+//! ```text
+//! {"type":"failure","scenario_index":0,"scenario_id":0,"replication":3,
+//!  "attempts":1,"payload":"injected fault: ..."}
+//! ```
+//!
+//! # Crash consistency
+//!
+//! Every line is flushed as it is written, so a killed process leaves a
+//! prefix of complete lines, never a torn one. If the sink is dropped
+//! before the stream's `end` frame arrives (panic unwind, abort, early
+//! exit), it writes a final `{"type":"end","truncated":true,...}` frame so
+//! the file is still well-formed and self-describing; `workload`'s NDJSON
+//! validator accepts such files in `--allow-truncated` mode.
 
+use crate::artifact::json_escape;
 use crate::labels::class_name;
-use crate::session::{ReplicationRecord, ReplicationSink, StreamPlan, StreamStats};
+use crate::session::{
+    ReplicationFailure, ReplicationRecord, ReplicationSink, StreamPlan, StreamStats,
+};
 use std::io::Write;
 use telemetry::{Counter, CounterSet, Histogram};
 
@@ -55,20 +75,33 @@ pub struct ReplicationTelemetry {
 /// A [`ReplicationSink`] adapter that exports the stream as NDJSON while
 /// forwarding every call to the wrapped sink.
 ///
-/// The writer receives exactly `total + 2` lines (begin, one per
-/// replication, end). On `end` it also prints a human-readable summary to
-/// stderr unless silenced with [`MetricsSink::quiet`] — stdout and the
-/// forwarded stream stay byte-identical to an unwrapped run.
+/// The writer receives one line per stream event (begin, one per
+/// replication or failure, end), each flushed as it is written so a killed
+/// process leaves whole lines behind. On `end` it also prints a
+/// human-readable summary to stderr unless silenced with
+/// [`MetricsSink::quiet`] — stdout and the forwarded stream stay
+/// byte-identical to an unwrapped run. Dropping the sink without an `end`
+/// frame (abort, unwind) writes a `{"type":"end","truncated":true,...}`
+/// closer first.
 #[derive(Debug)]
 pub struct MetricsSink<S: ReplicationSink, W: Write + Send> {
-    inner: S,
-    out: W,
+    /// Present until [`MetricsSink::into_parts`] disassembles the sink
+    /// (Drop needs somewhere to leave the pieces).
+    inner: Option<S>,
+    out: Option<W>,
     summary: bool,
     totals: CounterSet,
     /// Per-replication simulator wall times, in nanoseconds.
     wall: Histogram,
     /// Replications that carried telemetry.
     metered: u64,
+    /// Records forwarded so far (reported by the truncated closer).
+    delivered: u64,
+    /// Failure lines written so far (reported by the truncated closer).
+    failed: u64,
+    /// Set once the stream's own `end` frame has been written; the Drop
+    /// closer only fires while this is false.
+    ended: bool,
 }
 
 impl<S: ReplicationSink, W: Write + Send> MetricsSink<S, W> {
@@ -76,12 +109,15 @@ impl<S: ReplicationSink, W: Write + Send> MetricsSink<S, W> {
     #[must_use]
     pub fn new(inner: S, out: W) -> Self {
         MetricsSink {
-            inner,
-            out,
+            inner: Some(inner),
+            out: Some(out),
             summary: true,
             totals: CounterSet::new(),
             wall: Histogram::new(),
             metered: 0,
+            delivered: 0,
+            failed: 0,
+            ended: false,
         }
     }
 
@@ -99,14 +135,25 @@ impl<S: ReplicationSink, W: Write + Send> MetricsSink<S, W> {
     }
 
     /// Unwraps the adapter, returning the inner sink and the writer.
-    pub fn into_parts(self) -> (S, W) {
-        (self.inner, self.out)
+    ///
+    /// Disassembling skips the Drop closer: the caller now owns the writer
+    /// and decides what (if anything) still gets written.
+    pub fn into_parts(mut self) -> (S, W) {
+        self.ended = true;
+        let inner = self.inner.take().expect("parts taken only once");
+        let out = self.out.take().expect("parts taken only once");
+        (inner, out)
     }
 
     fn emit(&mut self, line: &str) {
         // Telemetry must never abort the run it observes: a full disk or a
         // closed pipe degrades to missing metrics, not a failed stream.
-        let _ = writeln!(self.out, "{line}");
+        // Flushing per line is what makes the export crash-consistent —
+        // a SIGKILL can lose at most the line being formed, never tear one.
+        if let Some(out) = &mut self.out {
+            let _ = writeln!(out, "{line}");
+            let _ = out.flush();
+        }
     }
 
     fn print_summary(&self, stats: &StreamStats) {
@@ -153,7 +200,9 @@ impl<S: ReplicationSink, W: Write + Send> ReplicationSink for MetricsSink<S, W> 
             plan.scenarios, plan.replications, plan.total
         );
         self.emit(&line);
-        self.inner.begin(plan);
+        if let Some(inner) = &mut self.inner {
+            inner.begin(plan);
+        }
     }
 
     fn record(&mut self, record: &ReplicationRecord) {
@@ -179,15 +228,38 @@ impl<S: ReplicationSink, W: Write + Send> ReplicationSink for MetricsSink<S, W> 
             line.push_str(&counters_json(&telemetry.counters));
         }
         line.push('}');
+        self.delivered += 1;
         self.emit(&line);
-        self.inner.record(record);
+        if let Some(inner) = &mut self.inner {
+            inner.record(record);
+        }
+    }
+
+    fn failure(&mut self, failure: &ReplicationFailure) {
+        let line = format!(
+            "{{\"type\":\"failure\",\"scenario_index\":{},\"scenario_id\":{},\
+             \"replication\":{},\"attempts\":{},\"payload\":\"{}\"}}",
+            failure.scenario_index,
+            failure.scenario_id,
+            failure.replication,
+            failure.attempts,
+            json_escape(&failure.payload)
+        );
+        self.failed += 1;
+        self.emit(&line);
+        if let Some(inner) = &mut self.inner {
+            inner.failure(failure);
+        }
     }
 
     fn end(&mut self, stats: &StreamStats) {
         let mut line = format!(
-            "{{\"type\":\"end\",\"delivered\":{},\"workers\":{},\"wall_seconds\":{},\
+            "{{\"type\":\"end\",\"delivered\":{},\"failed\":{},\"retries\":{},\
+             \"workers\":{},\"wall_seconds\":{},\
              \"max_pending\":{},\"reorder_window\":{}",
             stats.delivered,
+            stats.failed,
+            stats.retries,
             stats.workers,
             stats.wall_seconds,
             stats.max_pending,
@@ -211,11 +283,29 @@ impl<S: ReplicationSink, W: Write + Send> ReplicationSink for MetricsSink<S, W> 
         line.push_str(&histogram_json(&stats.reorder_occupancy));
         line.push('}');
         self.emit(&line);
-        let _ = self.out.flush();
+        self.ended = true;
         if self.summary {
             self.print_summary(stats);
         }
-        self.inner.end(stats);
+        if let Some(inner) = &mut self.inner {
+            inner.end(stats);
+        }
+    }
+}
+
+impl<S: ReplicationSink, W: Write + Send> Drop for MetricsSink<S, W> {
+    fn drop(&mut self) {
+        if self.ended {
+            return;
+        }
+        // The stream died before its end frame (panic unwind, quarantine
+        // budget abort, early exit). Close the file with a well-formed,
+        // self-describing frame so downstream tooling can still parse it.
+        let line = format!(
+            "{{\"type\":\"end\",\"truncated\":true,\"delivered\":{},\"failed\":{}}}",
+            self.delivered, self.failed
+        );
+        self.emit(&line);
     }
 }
 
@@ -304,6 +394,85 @@ mod tests {
         assert!(!lines[2].contains("counters"), "unmetered line is bare");
         assert!(lines[3].contains("\"totals\":{\"arrivals\":3,"));
         assert!(lines[3].contains("\"per_worker\":[2]"));
+    }
+
+    /// A writer whose bytes survive the sink being dropped.
+    #[derive(Debug, Clone, Default)]
+    struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl SharedBuf {
+        fn text(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    #[test]
+    fn failure_lines_are_escaped_and_end_frame_counts_them() {
+        let mut sink = MetricsSink::new(NullSink, Vec::new()).quiet();
+        sink.begin(&StreamPlan {
+            scenarios: 1,
+            replications: 2,
+            total: 2,
+        });
+        sink.record(&record(None));
+        sink.failure(&crate::session::ReplicationFailure {
+            scenario_index: 0,
+            scenario_id: 7,
+            replication: 1,
+            attempts: 2,
+            payload: "boom \"quoted\"\nline".to_owned(),
+        });
+        let mut stats = StreamStats::inline(1, 0.5);
+        stats.failed = 1;
+        stats.retries = 1;
+        sink.end(&stats);
+        let (_, out) = sink.into_parts();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].contains("\"type\":\"failure\""));
+        assert!(lines[2].contains("\"payload\":\"boom \\\"quoted\\\"\\nline\""));
+        assert!(lines[3].contains("\"failed\":1"));
+        assert!(lines[3].contains("\"retries\":1"));
+        assert!(!lines[3].contains("truncated"));
+    }
+
+    #[test]
+    fn dropping_before_end_writes_a_truncated_closer() {
+        let buf = SharedBuf::default();
+        {
+            let mut sink = MetricsSink::new(NullSink, buf.clone()).quiet();
+            sink.begin(&StreamPlan {
+                scenarios: 1,
+                replications: 2,
+                total: 2,
+            });
+            sink.record(&record(None));
+            // Dropped here without end() — as a panic unwind would.
+        }
+        let text = buf.text();
+        let last = text.lines().last().unwrap();
+        assert!(last.contains("\"type\":\"end\""), "{last}");
+        assert!(last.contains("\"truncated\":true"), "{last}");
+        assert!(last.contains("\"delivered\":1"), "{last}");
+    }
+
+    #[test]
+    fn into_parts_skips_the_truncated_closer() {
+        let buf = SharedBuf::default();
+        let sink = MetricsSink::new(NullSink, buf.clone()).quiet();
+        let (_, _) = sink.into_parts();
+        assert_eq!(buf.text(), "", "disassembly must not write anything");
     }
 
     #[test]

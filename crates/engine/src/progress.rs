@@ -5,7 +5,7 @@
 //! [`crate::Session::stream`] like any other observer. A session with
 //! [`crate::EngineConfig::progress`] set attaches one automatically.
 
-use crate::session::{ReplicationRecord, ReplicationSink, StreamPlan};
+use crate::session::{ReplicationFailure, ReplicationRecord, ReplicationSink, StreamPlan};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -127,6 +127,14 @@ impl ReplicationSink for ProgressSink {
     fn record(&mut self, record: &ReplicationRecord) {
         if let Some(progress) = &self.progress {
             progress.add_events(record.events);
+            progress.tick();
+        }
+    }
+
+    fn failure(&mut self, _failure: &ReplicationFailure) {
+        // A quarantined replication is still a completed slot of the plan's
+        // total — count it, or the decile math never reaches 100%.
+        if let Some(progress) = &self.progress {
             progress.tick();
         }
     }

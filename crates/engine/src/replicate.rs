@@ -129,6 +129,10 @@ pub struct ScenarioOutcome {
     pub agreement: f64,
     /// Whether the majority vote agrees with theory (borderline → true).
     pub agrees: bool,
+    /// Replications quarantined by the failure policy: they contribute no
+    /// vote and no sample, so `votes.total()` can fall short of the
+    /// configured replication count by exactly this amount.
+    pub failed_replications: u32,
 }
 
 /// Whether a simulated classification is consistent with Theorem 1's

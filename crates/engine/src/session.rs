@@ -29,6 +29,19 @@
 //!   hard-capped by the window, which depends on the worker count, never
 //!   on the replication count — see [`StreamStats::reorder_window`]).
 //!
+//! # Fault tolerance
+//!
+//! A replication that panics is handled according to
+//! [`EngineConfig::failure_policy`]: propagated ([`FailurePolicy::FailFast`],
+//! the default), caught and delivered in order as a typed
+//! [`ReplicationFailure`] ([`FailurePolicy::Quarantine`]), or re-run on the
+//! same derived stream ([`FailurePolicy::Retry`]). Sessions built with
+//! [`SessionBuilder::checkpoint`] periodically write a crash-consistent
+//! checkpoint file, and [`Session::resume`] continues an interrupted run
+//! from its completed prefix — producing output byte-identical to an
+//! uninterrupted run. [`SessionBuilder::faults`] injects deterministic
+//! faults (keyed by stream key, never wall clock) for chaos testing.
+//!
 //! # Example
 //!
 //! ```
@@ -61,9 +74,11 @@
 use crate::agent::{
     run_agent_replication_metered, run_agent_replication_with_scratch, AgentOutcome, AgentScenario,
 };
+use crate::checkpoint::{self, AggSnapshot, CheckpointData, CheckpointSpec};
 use crate::coded::{CodedGridSpec, CodedPhaseCell, CodedPhaseDiagram};
-use crate::config::EngineConfig;
+use crate::config::{EngineConfig, FailurePolicy};
 use crate::error::Error;
+use crate::faults::FaultPlan;
 use crate::grid::{GridSpec, PhaseCell, PhaseDiagram};
 use crate::metrics::ReplicationTelemetry;
 use crate::progress::ProgressSink;
@@ -73,8 +88,9 @@ use crate::replicate::{
 use crate::stats::Welford;
 use markov::PathClass;
 use std::collections::BTreeMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use swarm::coded::CodedParams;
 use swarm::sim::{AgentConfig, KernelKind, SimScratch};
 use swarm::{stability, StabilityVerdict, SwarmModel, SwarmParams};
@@ -115,6 +131,31 @@ pub struct ReplicationRecord {
     pub telemetry: Option<ReplicationTelemetry>,
 }
 
+/// One replication's *failure*, delivered (in stream order, in place of
+/// its [`ReplicationRecord`]) when the session's
+/// [`EngineConfig::failure_policy`] quarantines a panicking replication
+/// instead of aborting.
+///
+/// The `(scenario_id, replication)` pair is the failed replication's
+/// stream key: it is enough to re-run exactly that replication in
+/// isolation (e.g. with `run_replication` / `run_agent_replication`) under
+/// a debugger, on any machine, at any worker count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicationFailure {
+    /// Index of the scenario within the workload (input order).
+    pub scenario_index: usize,
+    /// The scenario's stream key.
+    pub scenario_id: u64,
+    /// Replication index within the scenario.
+    pub replication: u32,
+    /// Attempts made (1 under `Quarantine`; up to the configured budget
+    /// under `Retry`).
+    pub attempts: u32,
+    /// The panic payload (stringified), or the internal-invariant message
+    /// for non-panic failures.
+    pub payload: String,
+}
+
 /// What a stream is about to deliver, announced via
 /// [`ReplicationSink::begin`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -123,7 +164,10 @@ pub struct StreamPlan {
     pub scenarios: usize,
     /// Replications per scenario.
     pub replications: u32,
-    /// Total records the sink will receive.
+    /// Total deliveries the sink will receive — successful records plus
+    /// quarantined failures. A resumed stream counts the *remaining*
+    /// replications plus the checkpointed failures (which are re-announced
+    /// right after `begin`), not the already-delivered prefix.
     pub total: u64,
 }
 
@@ -137,8 +181,15 @@ pub struct StreamPlan {
 /// worker count.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StreamStats {
-    /// Records delivered (equals the plan's total).
+    /// Successful records delivered (equals the plan's total minus
+    /// `failed`).
     pub delivered: u64,
+    /// Replications that failed and were quarantined (0 under
+    /// [`FailurePolicy::FailFast`], which aborts instead).
+    pub failed: u64,
+    /// Extra attempts spent re-running failed replications under
+    /// [`FailurePolicy::Retry`].
+    pub retries: u64,
     /// High-water mark of the out-of-order reorder buffer. Always strictly
     /// below [`StreamStats::reorder_window`]; independent of the
     /// replication count.
@@ -177,6 +228,8 @@ impl StreamStats {
     pub fn inline(delivered: u64, wall_seconds: f64) -> Self {
         StreamStats {
             delivered,
+            failed: 0,
+            retries: 0,
             max_pending: 0,
             reorder_window: reorder_window(1),
             workers: 1,
@@ -206,6 +259,13 @@ pub trait ReplicationSink {
     /// Receives one replication's result.
     fn record(&mut self, record: &ReplicationRecord) {
         let _ = record;
+    }
+
+    /// Receives one replication's quarantined failure (never called under
+    /// [`FailurePolicy::FailFast`]). Failures arrive in the same
+    /// deterministic stream position their record would have occupied.
+    fn failure(&mut self, failure: &ReplicationFailure) {
+        let _ = failure;
     }
 
     /// Announces the end of the stream with its accounting.
@@ -442,6 +502,8 @@ impl SessionOutput {
 pub struct SessionBuilder {
     config: Option<EngineConfig>,
     workload: Option<Workload>,
+    faults: Option<FaultPlan>,
+    checkpoint: Option<CheckpointSpec>,
 }
 
 impl SessionBuilder {
@@ -457,6 +519,25 @@ impl SessionBuilder {
     #[must_use]
     pub fn workload(mut self, workload: Workload) -> Self {
         self.workload = Some(workload);
+        self
+    }
+
+    /// Injects deterministic faults at the plan's stream keys (chaos
+    /// testing). An empty plan is equivalent to not setting one.
+    #[must_use]
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Enables crash-consistent checkpointing: the session atomically
+    /// rewrites `spec.path` every `spec.every` delivered records (and once
+    /// at stream end), so an interrupted run can continue via
+    /// [`Session::resume`]. Checkpoint *write* failures never abort the
+    /// run; they are reported on stderr and the run continues.
+    #[must_use]
+    pub fn checkpoint(mut self, spec: CheckpointSpec) -> Self {
+        self.checkpoint = Some(spec);
         self
     }
 
@@ -501,7 +582,12 @@ impl SessionBuilder {
             WorkloadKind::Grid { .. } => {}
             WorkloadKind::Coded { scenarios, .. } => validate_agent_scenarios(scenarios)?,
         }
-        Ok(Session { config, workload })
+        Ok(Session {
+            config,
+            workload,
+            faults: self.faults.filter(|plan| !plan.is_empty()),
+            checkpoint: self.checkpoint,
+        })
     }
 }
 
@@ -533,6 +619,8 @@ fn validate_agent_scenarios(scenarios: &[AgentScenario]) -> Result<(), Error> {
 pub struct Session {
     config: EngineConfig,
     workload: Workload,
+    faults: Option<FaultPlan>,
+    checkpoint: Option<CheckpointSpec>,
 }
 
 impl Session {
@@ -571,10 +659,121 @@ impl Session {
     /// When [`EngineConfig::progress`] is set, a built-in
     /// [`ProgressSink`] additionally reports decile progress on stderr.
     pub fn stream<S: ReplicationSink + Send>(&self, sink: &mut S) -> SessionOutput {
+        self.stream_from(sink, None)
+    }
+
+    /// Resumes an interrupted run from a checkpoint file and returns the
+    /// completed output (batch mode; see [`Session::resume_stream`]).
+    ///
+    /// The finished output is byte-identical to an uninterrupted
+    /// [`Session::run`]: the checkpoint restores the exact aggregation
+    /// state of the completed prefix, and the remaining replications run
+    /// on their own derived streams as always.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::CheckpointIo`] — the file cannot be read,
+    /// * [`Error::CheckpointCorrupt`] — the file fails structural
+    ///   validation (bad header, torn write, checksum mismatch) or does
+    ///   not fit this workload's shape,
+    /// * [`Error::CheckpointMismatch`] — the file was written by a session
+    ///   with a different config or workload.
+    pub fn resume(&self, path: impl AsRef<Path>) -> Result<SessionOutput, Error> {
+        self.resume_stream(path, &mut NullSink)
+    }
+
+    /// Resumes an interrupted run from a checkpoint file, streaming the
+    /// *remaining* replications (and re-announcing any checkpointed
+    /// failures right after `begin`) into `sink`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::resume`].
+    pub fn resume_stream<S: ReplicationSink + Send>(
+        &self,
+        path: impl AsRef<Path>,
+        sink: &mut S,
+    ) -> Result<SessionOutput, Error> {
+        let path = path.as_ref();
+        let data = checkpoint::load(path)?;
+        let expected = self.checkpoint_digest();
+        if data.digest != expected {
+            return Err(Error::CheckpointMismatch {
+                path: path.display().to_string(),
+                found: data.digest,
+                expected,
+            });
+        }
+        let reps = u64::from(self.config.replications.max(1));
+        let total = self.workload.len() as u64 * reps;
+        if data.kind != self.kind_tag() || data.total != total || data.reps != reps {
+            return Err(Error::CheckpointCorrupt {
+                path: path.display().to_string(),
+                message: format!(
+                    "shape mismatch: checkpoint is {} {}×{}, session is {} {}×{}",
+                    data.kind,
+                    data.total,
+                    data.reps,
+                    self.kind_tag(),
+                    total,
+                    reps
+                ),
+            });
+        }
+        Ok(self.stream_from(sink, Some(data)))
+    }
+
+    /// The digest binding checkpoints to this session: a content hash of
+    /// every config field that influences the numbers (worker count,
+    /// progress, and metrics are deliberately excluded — they never change
+    /// results) plus the full workload description.
+    fn checkpoint_digest(&self) -> u64 {
+        let c = &self.config;
+        let mut desc = format!(
+            "replications={} horizon={:016x} master_seed={:016x} \
+             initial_one_club={} confidence={:016x} policy={:?} kind={}\n",
+            c.replications,
+            c.horizon.to_bits(),
+            c.master_seed,
+            c.initial_one_club,
+            c.confidence.to_bits(),
+            c.failure_policy,
+            self.kind_tag(),
+        );
         match &self.workload.kind {
-            WorkloadKind::Ctmc(scenarios) => SessionOutput::Ctmc(self.stream_ctmc(scenarios, sink)),
+            WorkloadKind::Ctmc(scenarios) | WorkloadKind::Grid { scenarios, .. } => {
+                for s in scenarios {
+                    desc.push_str(&format!("{s:?}\n"));
+                }
+            }
+            WorkloadKind::Agent(scenarios) | WorkloadKind::Coded { scenarios, .. } => {
+                for s in scenarios {
+                    desc.push_str(&format!("{s:?}\n"));
+                }
+            }
+        }
+        checkpoint::fnv1a64(desc.as_bytes())
+    }
+
+    /// The checkpoint family tag of this workload's replication path.
+    fn kind_tag(&self) -> &'static str {
+        match &self.workload.kind {
+            WorkloadKind::Ctmc(_) | WorkloadKind::Grid { .. } => "ctmc",
+            WorkloadKind::Agent(_) | WorkloadKind::Coded { .. } => "agent",
+        }
+    }
+
+    fn stream_from<S: ReplicationSink + Send>(
+        &self,
+        sink: &mut S,
+        resume: Option<CheckpointData>,
+    ) -> SessionOutput {
+        match &self.workload.kind {
+            WorkloadKind::Ctmc(scenarios) => {
+                SessionOutput::Ctmc(self.stream_ctmc(scenarios, sink, resume))
+            }
             WorkloadKind::Agent(scenarios) => {
-                SessionOutput::Agent(self.stream_agent(scenarios, sink))
+                SessionOutput::Agent(self.stream_agent(scenarios, sink, resume))
             }
             WorkloadKind::Grid {
                 spec,
@@ -582,7 +781,7 @@ impl Session {
                 scenarios,
                 skipped,
             } => {
-                let outcomes = self.stream_ctmc(scenarios, sink);
+                let outcomes = self.stream_ctmc(scenarios, sink, resume);
                 let cells = coords
                     .iter()
                     .zip(outcomes)
@@ -606,7 +805,7 @@ impl Session {
                 scenarios,
                 skipped,
             } => {
-                let outcomes = self.stream_agent(scenarios, sink);
+                let outcomes = self.stream_agent(scenarios, sink, resume);
                 let cells = coords
                     .iter()
                     .zip(outcomes)
@@ -632,9 +831,12 @@ impl Session {
         &self,
         scenarios: &[Scenario],
         sink: &mut S,
+        resume: Option<CheckpointData>,
     ) -> Vec<ScenarioOutcome> {
         let config = &self.config;
-        let mut framing = StreamFraming::begin(config, scenarios.len(), sink);
+        let start = resume.as_ref().map_or(0, |d| d.frontier as usize);
+        let carried = resume.as_ref().map_or(0, |d| d.failures.len());
+        let mut framing = StreamFraming::begin(config, scenarios.len(), start, carried, sink);
         let (total, window, reps) = (framing.total, framing.window, framing.reps);
 
         // One model per scenario, shared (read-only) by its replications —
@@ -646,35 +848,112 @@ impl Session {
 
         let mut outcomes: Vec<ScenarioOutcome> = Vec::with_capacity(scenarios.len());
         let mut agg = CtmcAggregate::new();
+        let mut failures: Vec<ReplicationFailure> = Vec::new();
+        let keep_snaps = self.checkpoint.is_some();
+        let ckpt_digest = if keep_snaps {
+            self.checkpoint_digest()
+        } else {
+            0
+        };
+        let mut completed_snaps: Vec<AggSnapshot> = Vec::new();
+
+        if let Some(data) = resume {
+            framing.retries = data.retries;
+            failures = data.failures;
+            for f in &failures {
+                framing.failure(f);
+            }
+            let completed = start / reps;
+            for (s, snap) in data.snapshots.iter().enumerate().take(completed) {
+                agg.restore(snap);
+                outcomes.push(agg.finish(&scenarios[s], config));
+            }
+            if keep_snaps {
+                completed_snaps = data.snapshots[..completed].to_vec();
+            }
+            if !start.is_multiple_of(reps) {
+                agg.restore(&data.snapshots[completed]);
+            }
+        }
+
+        let policy = config.failure_policy;
+        let faults = self.faults.as_ref();
         let sched = run_ordered(
+            start,
             total,
             config.jobs,
             window,
             || (),
-            |index, (): &mut ()| {
+            |index, ctx: &mut ()| {
                 let (s, r) = (index / reps, (index % reps) as u32);
-                run_replication_on(&models[s], &scenarios[s], config, r)
+                run_with_policy(
+                    policy,
+                    faults,
+                    scenarios[s].id,
+                    r,
+                    ctx,
+                    || (),
+                    |_, _ctx| Ok(run_replication_on(&models[s], &scenarios[s], config, r)),
+                )
             },
-            |index, outcome: ReplicationOutcome| {
+            |index, result: TaskOutput<ReplicationOutcome>| {
                 let (s, r) = (index / reps, index % reps);
                 if r == 0 {
                     agg.begin(stability::classify(&scenarios[s].params).verdict);
                 }
-                framing.record(&ReplicationRecord {
-                    scenario_index: s,
-                    scenario_id: scenarios[s].id,
-                    replication: r as u32,
-                    class: outcome.class,
-                    tail_slope: outcome.tail_slope,
-                    tail_average: outcome.tail_average,
-                    events: 0,
-                    transfers: 0,
-                    truncated: false,
-                    telemetry: None,
-                });
-                agg.push(&outcome);
+                match result {
+                    TaskOutput::Ok {
+                        value: outcome,
+                        retries,
+                    } => {
+                        framing.retries += u64::from(retries);
+                        framing.record(&ReplicationRecord {
+                            scenario_index: s,
+                            scenario_id: scenarios[s].id,
+                            replication: r as u32,
+                            class: outcome.class,
+                            tail_slope: outcome.tail_slope,
+                            tail_average: outcome.tail_average,
+                            events: 0,
+                            transfers: 0,
+                            truncated: false,
+                            telemetry: None,
+                        });
+                        agg.push(&outcome);
+                    }
+                    TaskOutput::Failed { attempts, payload } => quarantine(
+                        &mut framing,
+                        &mut agg.failed,
+                        &mut failures,
+                        policy,
+                        ReplicationFailure {
+                            scenario_index: s,
+                            scenario_id: scenarios[s].id,
+                            replication: r as u32,
+                            attempts,
+                            payload,
+                        },
+                    ),
+                }
                 if r + 1 == reps {
+                    if keep_snaps {
+                        completed_snaps.push(agg.snapshot());
+                    }
                     outcomes.push(agg.finish(&scenarios[s], config));
+                }
+                if let Some(spec) = &self.checkpoint {
+                    write_checkpoint(
+                        spec,
+                        ckpt_digest,
+                        "ctmc",
+                        index,
+                        total,
+                        reps,
+                        &framing,
+                        &failures,
+                        &completed_snaps,
+                        || agg.snapshot(),
+                    );
                 }
             },
         );
@@ -687,68 +966,341 @@ impl Session {
         &self,
         scenarios: &[AgentScenario],
         sink: &mut S,
+        resume: Option<CheckpointData>,
     ) -> Vec<AgentOutcome> {
         let config = &self.config;
-        let mut framing = StreamFraming::begin(config, scenarios.len(), sink);
+        let start = resume.as_ref().map_or(0, |d| d.frontier as usize);
+        let carried = resume.as_ref().map_or(0, |d| d.failures.len());
+        let mut framing = StreamFraming::begin(config, scenarios.len(), start, carried, sink);
         let (total, window, reps) = (framing.total, framing.window, framing.reps);
 
         let mut outcomes: Vec<AgentOutcome> = Vec::with_capacity(scenarios.len());
         let mut agg = AgentAggregate::new();
-        let sched = run_ordered(
-            total,
-            config.jobs,
-            window,
-            // One scratch arena per worker: every replication a worker
-            // serves reuses its buffers, so a warm stream allocates nothing
-            // per task. The scratch never changes the numbers.
-            SimScratch::new,
-            |index, scratch: &mut SimScratch| {
-                let (s, r) = (index / reps, (index % reps) as u32);
-                // The metered path runs the identical simulation through a
-                // counting recorder (no extra draws), so the outcome is
-                // bit-identical either way; only the side channel differs.
-                if config.metrics {
-                    let (outcome, telemetry) =
-                        run_agent_replication_metered(&scenarios[s], config, r, scratch)
-                            .expect("scenarios validated when the session was built");
-                    (outcome, Some(telemetry))
-                } else {
-                    let outcome =
-                        run_agent_replication_with_scratch(&scenarios[s], config, r, scratch)
-                            .expect("scenarios validated when the session was built");
-                    (outcome, None)
-                }
-            },
-            |index,
-             (outcome, telemetry): (
-                crate::agent::AgentReplication,
-                Option<ReplicationTelemetry>,
-            )| {
-                let (s, r) = (index / reps, index % reps);
-                if r == 0 {
-                    agg.begin(crate::agent::scenario_theory(&scenarios[s]));
-                }
-                framing.record(&ReplicationRecord {
-                    scenario_index: s,
-                    scenario_id: scenarios[s].id,
-                    replication: r as u32,
-                    class: outcome.class,
-                    tail_slope: outcome.tail_slope,
-                    tail_average: outcome.tail_average,
-                    events: outcome.events,
-                    transfers: outcome.transfers,
-                    truncated: outcome.truncated,
-                    telemetry,
-                });
-                agg.push(&outcome);
-                if r + 1 == reps {
-                    outcomes.push(agg.finish(&scenarios[s], config));
-                }
-            },
-        );
+        let mut failures: Vec<ReplicationFailure> = Vec::new();
+        let keep_snaps = self.checkpoint.is_some();
+        let ckpt_digest = if keep_snaps {
+            self.checkpoint_digest()
+        } else {
+            0
+        };
+        let mut completed_snaps: Vec<AggSnapshot> = Vec::new();
+
+        if let Some(data) = resume {
+            framing.retries = data.retries;
+            failures = data.failures;
+            for f in &failures {
+                framing.failure(f);
+            }
+            let completed = start / reps;
+            for (s, snap) in data.snapshots.iter().enumerate().take(completed) {
+                agg.restore(snap);
+                outcomes.push(agg.finish(&scenarios[s], config));
+            }
+            if keep_snaps {
+                completed_snaps = data.snapshots[..completed].to_vec();
+            }
+            if !start.is_multiple_of(reps) {
+                agg.restore(&data.snapshots[completed]);
+            }
+        }
+
+        let policy = config.failure_policy;
+        let faults = self.faults.as_ref();
+        let sched =
+            run_ordered(
+                start,
+                total,
+                config.jobs,
+                window,
+                // One scratch arena per worker: every replication a worker
+                // serves reuses its buffers, so a warm stream allocates nothing
+                // per task. The scratch never changes the numbers.
+                SimScratch::new,
+                |index, scratch: &mut SimScratch| {
+                    let (s, r) = (index / reps, (index % reps) as u32);
+                    // The metered path runs the identical simulation through a
+                    // counting recorder (no extra draws), so the outcome is
+                    // bit-identical either way; only the side channel differs.
+                    // A post-validation simulator error is an internal
+                    // invariant violation: it becomes a structured failure (or,
+                    // under FailFast, a panic) instead of an unwrap.
+                    let invariant = |e: swarm::SwarmError| {
+                        format!(
+                            "internal invariant violated: scenario `{}` failed \
+                         after session validation: {e}",
+                            scenarios[s].label
+                        )
+                    };
+                    run_with_policy(
+                        policy,
+                        faults,
+                        scenarios[s].id,
+                        r,
+                        scratch,
+                        SimScratch::new,
+                        |_, scratch| {
+                            if config.metrics {
+                                let (outcome, telemetry) = run_agent_replication_metered(
+                                    &scenarios[s],
+                                    config,
+                                    r,
+                                    scratch,
+                                )
+                                .map_err(invariant)?;
+                                Ok((outcome, Some(telemetry)))
+                            } else {
+                                let outcome = run_agent_replication_with_scratch(
+                                    &scenarios[s],
+                                    config,
+                                    r,
+                                    scratch,
+                                )
+                                .map_err(invariant)?;
+                                Ok((outcome, None))
+                            }
+                        },
+                    )
+                },
+                |index,
+                 result: TaskOutput<(
+                    crate::agent::AgentReplication,
+                    Option<ReplicationTelemetry>,
+                )>| {
+                    let (s, r) = (index / reps, index % reps);
+                    if r == 0 {
+                        agg.begin(crate::agent::scenario_theory(&scenarios[s]));
+                    }
+                    match result {
+                        TaskOutput::Ok {
+                            value: (outcome, telemetry),
+                            retries,
+                        } => {
+                            framing.retries += u64::from(retries);
+                            framing.record(&ReplicationRecord {
+                                scenario_index: s,
+                                scenario_id: scenarios[s].id,
+                                replication: r as u32,
+                                class: outcome.class,
+                                tail_slope: outcome.tail_slope,
+                                tail_average: outcome.tail_average,
+                                events: outcome.events,
+                                transfers: outcome.transfers,
+                                truncated: outcome.truncated,
+                                telemetry,
+                            });
+                            agg.push(&outcome);
+                        }
+                        TaskOutput::Failed { attempts, payload } => quarantine(
+                            &mut framing,
+                            &mut agg.failed,
+                            &mut failures,
+                            policy,
+                            ReplicationFailure {
+                                scenario_index: s,
+                                scenario_id: scenarios[s].id,
+                                replication: r as u32,
+                                attempts,
+                                payload,
+                            },
+                        ),
+                    }
+                    if r + 1 == reps {
+                        if keep_snaps {
+                            completed_snaps.push(agg.snapshot());
+                        }
+                        outcomes.push(agg.finish(&scenarios[s], config));
+                    }
+                    if let Some(spec) = &self.checkpoint {
+                        write_checkpoint(
+                            spec,
+                            ckpt_digest,
+                            "agent",
+                            index,
+                            total,
+                            reps,
+                            &framing,
+                            &failures,
+                            &completed_snaps,
+                            || agg.snapshot(),
+                        );
+                    }
+                },
+            );
 
         framing.end(sched);
         outcomes
+    }
+}
+
+/// The per-failure delivery path shared by the CTMC and agent streams:
+/// forwards the typed failure to the sink, counts it in the scenario
+/// aggregate, and enforces the quarantine budget (exhaustion aborts the
+/// stream by panicking, which [`FailurePolicy::FailFast`]-style propagates
+/// out of `run`/`stream`).
+fn quarantine<S: ReplicationSink>(
+    framing: &mut StreamFraming<'_, S>,
+    agg_failed: &mut u32,
+    failures: &mut Vec<ReplicationFailure>,
+    policy: FailurePolicy,
+    failure: ReplicationFailure,
+) {
+    // The attempts beyond the first were retries, even though they never
+    // produced a record — account for them so the end-frame algebra covers
+    // exhausted replications too.
+    framing.retries += u64::from(failure.attempts.saturating_sub(1));
+    framing.failure(&failure);
+    *agg_failed += 1;
+    failures.push(failure);
+    if let FailurePolicy::Quarantine { max_failures } = policy {
+        if failures.len() as u64 > u64::from(max_failures) {
+            panic!(
+                "session aborted: {} replications failed, exceeding the \
+                 quarantine budget of {max_failures}",
+                failures.len()
+            );
+        }
+    }
+}
+
+/// Writes a checkpoint when the delivery frontier crosses the spec's
+/// interval (or finishes the stream). Write failures warn and continue:
+/// losing a checkpoint must never take down an otherwise healthy run.
+#[allow(clippy::too_many_arguments)]
+fn write_checkpoint<S: ReplicationSink>(
+    spec: &CheckpointSpec,
+    digest: u64,
+    kind: &'static str,
+    index: usize,
+    total: usize,
+    reps: usize,
+    framing: &StreamFraming<'_, S>,
+    failures: &[ReplicationFailure],
+    completed_snaps: &[AggSnapshot],
+    partial: impl FnOnce() -> AggSnapshot,
+) {
+    let frontier = (index + 1) as u64;
+    if !frontier.is_multiple_of(spec.every) && frontier != total as u64 {
+        return;
+    }
+    let mut snapshots = completed_snaps.to_vec();
+    if !frontier.is_multiple_of(reps as u64) {
+        snapshots.push(partial());
+    }
+    let data = CheckpointData {
+        digest,
+        kind,
+        total: total as u64,
+        reps: reps as u64,
+        frontier,
+        retries: framing.retries,
+        failures: failures.to_vec(),
+        snapshots,
+    };
+    if let Err(error) = checkpoint::save(&spec.path, &data) {
+        eprintln!(
+            "warning: failed to write checkpoint {}: {error}",
+            spec.path.display()
+        );
+    }
+}
+
+/// What one replication task produced: a value (possibly after retries) or
+/// a quarantined failure.
+enum TaskOutput<T> {
+    Ok {
+        value: T,
+        /// Extra attempts spent before succeeding (0 on first try).
+        retries: u32,
+    },
+    Failed {
+        /// Total attempts made.
+        attempts: u32,
+        /// Stringified panic payload or invariant message.
+        payload: String,
+    },
+}
+
+/// Stringifies a caught panic payload (`String` and `&str` payloads pass
+/// through verbatim; anything else gets a fixed marker so failure records
+/// stay deterministic).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Runs one replication attempt (or several, under `Retry`) according to
+/// the failure policy, applying any injected faults first.
+///
+/// Under [`FailurePolicy::FailFast`] there is no `catch_unwind` at all —
+/// the historical zero-overhead path: a panic unwinds through the worker
+/// and aborts the session, and an invariant failure is converted into a
+/// panic with the same payload. The other policies catch the unwind and
+/// return a typed [`TaskOutput::Failed`]; after a caught panic the worker
+/// context is rebuilt with `fresh` (the panic may have left it
+/// mid-mutation). Invariant failures (`Err` from `attempt`) are never
+/// retried — they are deterministic, so re-running cannot help.
+fn run_with_policy<T, C>(
+    policy: FailurePolicy,
+    faults: Option<&FaultPlan>,
+    scenario_id: u64,
+    replication: u32,
+    ctx: &mut C,
+    fresh: impl Fn() -> C,
+    attempt: impl Fn(u32, &mut C) -> Result<T, String>,
+) -> TaskOutput<T> {
+    let inject = |n: u32| {
+        if let Some(plan) = faults {
+            plan.apply(scenario_id, replication, n);
+        }
+    };
+    let budget = match policy {
+        FailurePolicy::FailFast => {
+            inject(0);
+            return match attempt(0, ctx) {
+                Ok(value) => TaskOutput::Ok { value, retries: 0 },
+                Err(message) => std::panic::panic_any(message),
+            };
+        }
+        FailurePolicy::Quarantine { .. } => 1,
+        FailurePolicy::Retry { attempts, .. } => attempts.max(1),
+    };
+    let backoff_ms = match policy {
+        FailurePolicy::Retry { backoff_ms, .. } => backoff_ms,
+        _ => 0,
+    };
+    let mut last_payload = String::new();
+    for n in 0..budget {
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            inject(n);
+            attempt(n, &mut *ctx)
+        }));
+        match caught {
+            Ok(Ok(value)) => return TaskOutput::Ok { value, retries: n },
+            Ok(Err(message)) => {
+                return TaskOutput::Failed {
+                    attempts: n + 1,
+                    payload: message,
+                }
+            }
+            Err(payload) => {
+                *ctx = fresh();
+                last_payload = panic_message(payload);
+                if n + 1 < budget && backoff_ms > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(
+                        backoff_ms * u64::from(n + 1),
+                    ));
+                }
+            }
+        }
+    }
+    TaskOutput::Failed {
+        attempts: budget,
+        payload: last_payload,
     }
 }
 
@@ -760,25 +1312,42 @@ impl Session {
 struct StreamFraming<'s, S: ReplicationSink> {
     sink: &'s mut S,
     progress: Option<ProgressSink>,
-    /// Total records the stream will deliver.
+    /// Total records of the full stream (absolute, including any resumed
+    /// prefix).
     total: usize,
     /// Bounded reorder window for this stream's worker count.
     window: usize,
     /// Replications per scenario (clamped to at least one).
     reps: usize,
+    /// Successful records delivered to the sink.
+    delivered: u64,
+    /// Failures delivered to the sink (including re-announced checkpointed
+    /// failures on a resumed stream).
+    failed: u64,
+    /// Retry attempts spent, including any carried over from a checkpoint.
+    retries: u64,
     /// Wall clock of the whole stream, begin to end.
     span: Span,
 }
 
 impl<'s, S: ReplicationSink> StreamFraming<'s, S> {
-    fn begin(config: &EngineConfig, scenarios: usize, sink: &'s mut S) -> Self {
+    /// Announces the plan for a stream resuming at record index `start`
+    /// (0 for a fresh stream) that will additionally re-announce
+    /// `carried_failures` checkpointed failures.
+    fn begin(
+        config: &EngineConfig,
+        scenarios: usize,
+        start: usize,
+        carried_failures: usize,
+        sink: &'s mut S,
+    ) -> Self {
         let reps = config.replications.max(1) as usize;
         let total = scenarios * reps;
         let window = reorder_window(effective_jobs(config.jobs));
         let plan = StreamPlan {
             scenarios,
             replications: reps as u32,
-            total: total as u64,
+            total: (total - start + carried_failures) as u64,
         };
         let mut progress = config.progress.then(|| ProgressSink::new("session"));
         sink.begin(&plan);
@@ -791,20 +1360,34 @@ impl<'s, S: ReplicationSink> StreamFraming<'s, S> {
             total,
             window,
             reps,
+            delivered: 0,
+            failed: 0,
+            retries: 0,
             span: Span::start(),
         }
     }
 
     fn record(&mut self, record: &ReplicationRecord) {
+        self.delivered += 1;
         self.sink.record(record);
         if let Some(p) = &mut self.progress {
             p.record(record);
         }
     }
 
+    fn failure(&mut self, failure: &ReplicationFailure) {
+        self.failed += 1;
+        self.sink.failure(failure);
+        if let Some(p) = &mut self.progress {
+            p.failure(failure);
+        }
+    }
+
     fn end(mut self, sched: SchedulerStats) {
         let stats = StreamStats {
-            delivered: self.total as u64,
+            delivered: self.delivered,
+            failed: self.failed,
+            retries: self.retries,
             max_pending: sched.max_pending,
             reorder_window: self.window,
             workers: sched.workers,
@@ -830,6 +1413,8 @@ struct CtmcAggregate {
     average: Welford,
     agreeing: u32,
     count: u32,
+    /// Replications quarantined (no vote, no sample) for this scenario.
+    failed: u32,
 }
 
 impl CtmcAggregate {
@@ -841,6 +1426,7 @@ impl CtmcAggregate {
             average: Welford::new(),
             agreeing: 0,
             count: 0,
+            failed: 0,
         }
     }
 
@@ -859,6 +1445,34 @@ impl CtmcAggregate {
         self.count += 1;
     }
 
+    /// The full aggregation state, bit-exactly, for checkpointing.
+    fn snapshot(&self) -> AggSnapshot {
+        AggSnapshot {
+            theory: self.theory,
+            votes: self.votes,
+            slope: self.slope,
+            average: self.average,
+            events: Welford::new(),
+            agreeing: self.agreeing,
+            truncated: 0,
+            count: self.count,
+            failed: self.failed,
+        }
+    }
+
+    /// Rebuilds the state captured by [`CtmcAggregate::snapshot`].
+    fn restore(&mut self, snap: &AggSnapshot) {
+        *self = CtmcAggregate {
+            theory: snap.theory,
+            votes: snap.votes,
+            slope: snap.slope,
+            average: snap.average,
+            agreeing: snap.agreeing,
+            count: snap.count,
+            failed: snap.failed,
+        };
+    }
+
     fn finish(&mut self, scenario: &Scenario, config: &EngineConfig) -> ScenarioOutcome {
         let majority = self.votes.majority();
         ScenarioOutcome {
@@ -875,6 +1489,7 @@ impl CtmcAggregate {
                 f64::from(self.agreeing) / f64::from(self.count)
             },
             agrees: verdict_agrees(self.theory, majority),
+            failed_replications: self.failed,
         }
     }
 }
@@ -887,6 +1502,8 @@ struct AgentAggregate {
     average: Welford,
     events: Welford,
     truncated: u32,
+    /// Replications quarantined (no vote, no sample) for this scenario.
+    failed: u32,
 }
 
 impl AgentAggregate {
@@ -898,6 +1515,7 @@ impl AgentAggregate {
             average: Welford::new(),
             events: Welford::new(),
             truncated: 0,
+            failed: 0,
         }
     }
 
@@ -914,6 +1532,34 @@ impl AgentAggregate {
         self.truncated += u32::from(outcome.truncated);
     }
 
+    /// The full aggregation state, bit-exactly, for checkpointing.
+    fn snapshot(&self) -> AggSnapshot {
+        AggSnapshot {
+            theory: self.theory,
+            votes: self.votes,
+            slope: self.slope,
+            average: self.average,
+            events: self.events,
+            agreeing: 0,
+            truncated: self.truncated,
+            count: 0,
+            failed: self.failed,
+        }
+    }
+
+    /// Rebuilds the state captured by [`AgentAggregate::snapshot`].
+    fn restore(&mut self, snap: &AggSnapshot) {
+        *self = AgentAggregate {
+            theory: snap.theory,
+            votes: snap.votes,
+            slope: snap.slope,
+            average: snap.average,
+            events: snap.events,
+            truncated: snap.truncated,
+            failed: snap.failed,
+        };
+    }
+
     fn finish(&mut self, scenario: &AgentScenario, config: &EngineConfig) -> AgentOutcome {
         let majority = self.votes.majority();
         AgentOutcome {
@@ -927,6 +1573,7 @@ impl AgentAggregate {
             agrees: verdict_agrees(self.theory, majority),
             truncated_replications: self.truncated,
             mean_events: self.events.mean(),
+            failed_replications: self.failed,
         }
     }
 }
@@ -991,10 +1638,21 @@ impl<T, D: FnMut(usize, T)> Emitter<T, D> {
     }
 }
 
-/// Runs `total` indexed tasks over `jobs` workers, delivering each result
-/// through `deliver` in strict index order, and returns the scheduler's
-/// self-observation (reorder high-water mark, per-worker load, timing
-/// histograms).
+/// Takes a mutex even when a panicking holder poisoned it. The emitter's
+/// protected state is kept consistent by construction (every mutation is a
+/// complete push or a flag set), and panic delivery is *expected* under
+/// quarantine-budget aborts — surviving workers must still be able to see
+/// `panicked` and retire cleanly rather than amplify the abort into a
+/// poisoned-mutex panic of their own.
+fn lock_clean<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Runs indexed tasks `start..total` over `jobs` workers, delivering each
+/// result through `deliver` in strict index order, and returns the
+/// scheduler's self-observation (reorder high-water mark, per-worker load,
+/// timing histograms). A nonzero `start` is how a resumed session skips
+/// its checkpointed prefix — the frontier opens at `start`, not 0.
 ///
 /// Workers self-schedule off an atomic counter (dynamic load balancing)
 /// but may run at most `window` tasks ahead of the delivery frontier, so
@@ -1005,7 +1663,17 @@ impl<T, D: FnMut(usize, T)> Emitter<T, D> {
 /// count. The instrumentation reads the wall clock per task and merges
 /// worker-local histograms once at exit — it takes no extra locks on the
 /// hot path and never influences scheduling.
+///
+/// If a task or `deliver` panics (a `FailFast` replication, a quarantine
+/// budget abort, a sink bug), every other worker — including ones blocked
+/// on the reorder window — observes the `panicked` flag through
+/// poison-tolerant locking, stops taking work, and retires without
+/// panicking itself. The first panic's payload is captured and re-raised
+/// from the calling thread once the workers have shut down, so callers see
+/// the original panic message rather than the thread scope's generic
+/// "a scoped thread panicked".
 fn run_ordered<T, C, MkCtx, Task, Deliver>(
+    start: usize,
     total: usize,
     jobs: usize,
     window: usize,
@@ -1019,16 +1687,17 @@ where
     Task: Fn(usize, &mut C) -> T + Sync,
     Deliver: FnMut(usize, T) + Send,
 {
-    if total == 0 {
+    let remaining = total.saturating_sub(start);
+    if remaining == 0 {
         return SchedulerStats::default();
     }
-    let jobs = effective_jobs(jobs).min(total);
+    let jobs = effective_jobs(jobs).min(remaining);
     if jobs <= 1 {
         // Single worker: run inline, delivery is trivially in order.
         let mut ctx = make_ctx();
         let mut deliver = deliver;
         let mut task_nanos = Histogram::new();
-        for index in 0..total {
+        for index in start..total {
             let span = Span::start();
             let value = task(index, &mut ctx);
             task_nanos.record(span.nanos());
@@ -1037,7 +1706,7 @@ where
         return SchedulerStats {
             max_pending: 0,
             workers: 1,
-            per_worker: vec![total as u64],
+            per_worker: vec![remaining as u64],
             task_nanos,
             queue_wait_nanos: Histogram::new(),
             reorder_occupancy: Histogram::new(),
@@ -1052,9 +1721,9 @@ where
         queue_wait_nanos: Histogram,
     }
 
-    let counter = AtomicUsize::new(0);
+    let counter = AtomicUsize::new(start);
     let shared = Mutex::new(Emitter {
-        next: 0,
+        next: start,
         pending: BTreeMap::new(),
         max_pending: 0,
         occupancy: Histogram::new(),
@@ -1063,74 +1732,100 @@ where
     });
     let frontier_moved = Condvar::new();
     let locals: Mutex<Vec<WorkerLocal>> = Mutex::new(Vec::with_capacity(jobs));
+    // The first worker panic, re-raised below with its original payload.
+    let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
 
     std::thread::scope(|scope| {
         for _ in 0..jobs {
             scope.spawn(|| {
-                // If this worker panics, mark the stream dead and wake
-                // every window-waiter so the panic propagates through the
-                // scope instead of deadlocking the others.
-                struct Abort<'a, T, D: FnMut(usize, T)> {
-                    shared: &'a Mutex<Emitter<T, D>>,
-                    frontier_moved: &'a Condvar,
-                }
-                impl<T, D: FnMut(usize, T)> Drop for Abort<'_, T, D> {
-                    fn drop(&mut self) {
-                        if std::thread::panicking() {
-                            if let Ok(mut emitter) = self.shared.lock() {
-                                emitter.panicked = true;
+                let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    // If this worker panics, mark the stream dead and wake
+                    // every window-waiter so the panic propagates through the
+                    // scope instead of deadlocking the others.
+                    struct Abort<'a, T, D: FnMut(usize, T)> {
+                        shared: &'a Mutex<Emitter<T, D>>,
+                        frontier_moved: &'a Condvar,
+                    }
+                    impl<T, D: FnMut(usize, T)> Drop for Abort<'_, T, D> {
+                        fn drop(&mut self) {
+                            if std::thread::panicking() {
+                                // A deliver-panic poisons the mutex while this
+                                // very thread unwinds — take it anyway, or the
+                                // flag never gets set and waiters hang.
+                                lock_clean(self.shared).panicked = true;
+                                self.frontier_moved.notify_all();
                             }
-                            self.frontier_moved.notify_all();
                         }
                     }
-                }
-                let _abort = Abort {
-                    shared: &shared,
-                    frontier_moved: &frontier_moved,
-                };
+                    let _abort = Abort {
+                        shared: &shared,
+                        frontier_moved: &frontier_moved,
+                    };
 
-                let mut ctx = make_ctx();
-                let mut local = WorkerLocal {
-                    completed: 0,
-                    task_nanos: Histogram::new(),
-                    queue_wait_nanos: Histogram::new(),
-                };
-                loop {
-                    let index = counter.fetch_add(1, Ordering::Relaxed);
-                    if index >= total {
-                        break;
-                    }
-                    {
-                        // Bounded window: wait until the frontier is close
-                        // enough that this result cannot over-fill the
-                        // reorder buffer.
-                        let mut emitter = shared.lock().unwrap();
-                        if index >= emitter.next + window && !emitter.panicked {
-                            let wait = Span::start();
-                            while index >= emitter.next + window && !emitter.panicked {
-                                emitter = frontier_moved.wait(emitter).unwrap();
-                            }
-                            local.queue_wait_nanos.record(wait.nanos());
+                    let mut ctx = make_ctx();
+                    let mut local = WorkerLocal {
+                        completed: 0,
+                        task_nanos: Histogram::new(),
+                        queue_wait_nanos: Histogram::new(),
+                    };
+                    loop {
+                        let index = counter.fetch_add(1, Ordering::Relaxed);
+                        if index >= total {
+                            break;
                         }
+                        {
+                            // Bounded window: wait until the frontier is close
+                            // enough that this result cannot over-fill the
+                            // reorder buffer.
+                            let mut emitter = lock_clean(&shared);
+                            if index >= emitter.next + window && !emitter.panicked {
+                                let wait = Span::start();
+                                while index >= emitter.next + window && !emitter.panicked {
+                                    emitter = frontier_moved
+                                        .wait(emitter)
+                                        .unwrap_or_else(PoisonError::into_inner);
+                                }
+                                local.queue_wait_nanos.record(wait.nanos());
+                            }
+                            if emitter.panicked {
+                                return;
+                            }
+                        }
+                        let span = Span::start();
+                        let value = task(index, &mut ctx);
+                        local.task_nanos.record(span.nanos());
+                        local.completed += 1;
+                        let mut emitter = lock_clean(&shared);
+                        // The stream may have aborted while this task ran;
+                        // delivering now would call into a sink that is being
+                        // unwound past. Drop the result instead.
                         if emitter.panicked {
                             return;
                         }
+                        emitter.push(index, value);
+                        drop(emitter);
+                        frontier_moved.notify_all();
                     }
-                    let span = Span::start();
-                    let value = task(index, &mut ctx);
-                    local.task_nanos.record(span.nanos());
-                    local.completed += 1;
-                    let mut emitter = shared.lock().unwrap();
-                    emitter.push(index, value);
-                    drop(emitter);
-                    frontier_moved.notify_all();
+                    lock_clean(&locals).push(local);
+                }));
+                if let Err(payload) = caught {
+                    let mut slot = lock_clean(&first_panic);
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
                 }
-                locals.lock().unwrap().push(local);
             });
         }
     });
 
-    let emitter = shared.into_inner().unwrap();
+    if let Some(payload) = first_panic
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+    {
+        std::panic::resume_unwind(payload);
+    }
+
+    let emitter = shared.into_inner().unwrap_or_else(PoisonError::into_inner);
     let mut stats = SchedulerStats {
         max_pending: emitter.max_pending,
         workers: jobs,
@@ -1139,7 +1834,7 @@ where
         queue_wait_nanos: Histogram::new(),
         reorder_occupancy: emitter.occupancy,
     };
-    for local in locals.into_inner().unwrap() {
+    for local in locals.into_inner().unwrap_or_else(PoisonError::into_inner) {
         stats.per_worker.push(local.completed);
         stats.task_nanos.merge(&local.task_nanos);
         stats.queue_wait_nanos.merge(&local.queue_wait_nanos);
@@ -1160,6 +1855,7 @@ mod tests {
         for jobs in [1usize, 2, 4, 8] {
             let mut seen = Vec::new();
             let sched = run_ordered(
+                0,
                 257,
                 jobs,
                 reorder_window(jobs),
@@ -1193,6 +1889,7 @@ mod tests {
         let window = 8;
         let mut count = 0usize;
         let sched = run_ordered(
+            0,
             10_000,
             4,
             window,
@@ -1228,6 +1925,7 @@ mod tests {
         let contexts = AtomicU64::new(0);
         let mut delivered = 0u64;
         run_ordered(
+            0,
             64,
             4,
             64,

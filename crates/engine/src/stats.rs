@@ -107,6 +107,29 @@ impl Welford {
         self.max = self.max.max(other.max);
     }
 
+    /// Decomposes the accumulator into `(count, mean, m2, min, max)` for
+    /// bit-exact external serialization (checkpoint files round-trip the
+    /// three floats through [`f64::to_bits`]). Inverse of
+    /// [`Welford::from_raw_parts`].
+    #[must_use]
+    pub fn to_raw_parts(&self) -> (u64, f64, f64, f64, f64) {
+        (self.count, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuilds an accumulator from parts produced by
+    /// [`Welford::to_raw_parts`]. The parts are trusted verbatim — this is
+    /// a deserialization hook, not a constructor for hand-made state.
+    #[must_use]
+    pub fn from_raw_parts(count: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        Welford {
+            count,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
+
     /// Snapshot with a normal-approximation confidence interval at the
     /// given confidence level.
     #[must_use]
@@ -287,6 +310,19 @@ mod tests {
             s.ci_half_width
         );
         assert!(s.lo() < s.mean && s.mean < s.hi());
+    }
+
+    #[test]
+    fn raw_parts_round_trip_bit_exactly() {
+        let mut w = Welford::new();
+        for i in 0..17 {
+            w.push((i as f64).cos() * 3.0);
+        }
+        let (count, mean, m2, min, max) = w.to_raw_parts();
+        let back = Welford::from_raw_parts(count, mean, m2, min, max);
+        assert_eq!(back, w);
+        assert_eq!(back.mean().to_bits(), w.mean().to_bits());
+        assert_eq!(back.variance().to_bits(), w.variance().to_bits());
     }
 
     #[test]

@@ -29,8 +29,30 @@ pub struct NdjsonSummary {
     pub total_events: u64,
     /// Piece/combination transfers summed over every replication line.
     pub total_transfers: u64,
-    /// Workers reported by the `end` line.
+    /// Workers reported by the `end` line (0 on a truncated export).
     pub workers: u64,
+    /// Quarantined-failure lines present (equals the `end` line's
+    /// `failed`).
+    pub failed: u64,
+    /// Retry attempts reported by the `end` line (0 on a truncated
+    /// export).
+    pub retries: u64,
+    /// `true` when the document ends with the crash closer
+    /// (`"truncated":true`) instead of a full `end` frame — only accepted
+    /// with [`ValidateOptions::allow_truncated`].
+    pub truncated: bool,
+}
+
+/// Knobs for [`validate_with`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ValidateOptions {
+    /// Accept a document closed by the crash closer
+    /// (`{"type":"end","truncated":true,...}`) that a dying
+    /// [`engine::MetricsSink`] writes: the framing may stop short of the
+    /// announced total and the end frame carries no totals or histograms.
+    /// Resumed runs are also accepted (their `begin` total may be smaller
+    /// than scenarios × replications).
+    pub allow_truncated: bool,
 }
 
 fn invalid(line: usize, message: impl std::fmt::Display) -> SpecError {
@@ -122,21 +144,38 @@ fn check_histogram(value: &Json, key: &str, line: usize) -> Result<u64, SpecErro
     Ok(count)
 }
 
+/// Validates a metrics NDJSON document end to end with the strict
+/// defaults. Shorthand for [`validate_with`] and `ValidateOptions::default()`.
+///
+/// # Errors
+///
+/// See [`validate_with`].
+pub fn validate(text: &str) -> Result<NdjsonSummary, SpecError> {
+    validate_with(text, &ValidateOptions::default())
+}
+
 /// Validates a metrics NDJSON document end to end.
 ///
-/// Checks the framing (one `begin`, `total` replication lines, one `end`),
-/// the per-line schema, and the counter algebra: on every metered
+/// Checks the framing (one `begin`, one body line per announced slot, one
+/// `end`), the per-line schema, and the counter algebra: on every metered
 /// replication line `arrivals + contacts + departure_events == events`,
 /// `contacts == useful_transfers + useless_contacts`, and
 /// `useful_transfers == transfers`; the `end` line's `totals` must equal
 /// the sum of all per-line counters, its `per_worker` loads must sum to
-/// `delivered`, and its histograms must be internally consistent.
+/// the task count, and its histograms must be internally consistent.
+/// Quarantined-failure lines count toward the announced total, and the
+/// `end` frame's `delivered`/`failed` must match the body line counts.
+///
+/// With [`ValidateOptions::allow_truncated`] the crash closer
+/// (`{"type":"end","truncated":true,...}`) is accepted in place of a full
+/// `end` frame — the body may stop short of the announced total — and a
+/// resumed run's smaller `begin` total is tolerated.
 ///
 /// # Errors
 ///
 /// Returns [`SpecError::Invalid`] naming the first offending line, or
 /// [`SpecError::Parse`] if a line is not valid JSON.
-pub fn validate(text: &str) -> Result<NdjsonSummary, SpecError> {
+pub fn validate_with(text: &str, options: &ValidateOptions) -> Result<NdjsonSummary, SpecError> {
     let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
     if lines.len() < 2 {
         return Err(SpecError::Invalid(
@@ -159,10 +198,34 @@ pub fn validate(text: &str) -> Result<NdjsonSummary, SpecError> {
     let scenarios = get_u64(&parsed[0], "scenarios", 0)?;
     let replications_per = get_u64(&parsed[0], "replications", 0)?;
     let total = get_u64(&parsed[0], "total", 0)?;
-    if total != scenarios * replications_per {
+    if total != scenarios * replications_per
+        && !(options.allow_truncated && total <= scenarios * replications_per)
+    {
         return Err(invalid(0, "total must equal scenarios × replications"));
     }
-    if parsed.len() as u64 != total + 2 {
+
+    // --- end framing ----------------------------------------------------
+    let last = parsed.len() - 1;
+    let end = &parsed[last];
+    if get_str(end, "type", last)? != "end" {
+        return Err(invalid(last, "last line must have type \"end\""));
+    }
+    let truncated = matches!(end.get("truncated"), Some(Json::Bool(true)));
+    if truncated && !options.allow_truncated {
+        return Err(invalid(
+            last,
+            "export was truncated by a crash or abort (re-run, or validate \
+             with --allow-truncated)",
+        ));
+    }
+    if truncated {
+        if parsed.len() as u64 > total + 2 {
+            return Err(SpecError::Invalid(format!(
+                "metrics NDJSON: truncated export has {} body lines, begin announced {total}",
+                parsed.len() - 2,
+            )));
+        }
+    } else if parsed.len() as u64 != total + 2 {
         return Err(SpecError::Invalid(format!(
             "metrics NDJSON: expected {} lines (begin + {total} replications + end), got {}",
             total + 2,
@@ -170,17 +233,36 @@ pub fn validate(text: &str) -> Result<NdjsonSummary, SpecError> {
         )));
     }
 
-    // --- replication lines ---------------------------------------------
+    // --- replication and failure lines ---------------------------------
     let mut metered = 0u64;
+    let mut delivered_lines = 0u64;
+    let mut failed_lines = 0u64;
     let mut total_events = 0u64;
     let mut total_transfers = 0u64;
     let mut totals = [0u64; Counter::COUNT];
     let body = &parsed[1..parsed.len() - 1];
     for (offset, value) in body.iter().enumerate() {
         let line = offset + 1;
-        if get_str(value, "type", line)? != "replication" {
-            return Err(invalid(line, "expected type \"replication\""));
+        let kind = get_str(value, "type", line)?;
+        if kind == "failure" {
+            let _ = get_u64(value, "scenario_index", line)?;
+            let _ = get_u64(value, "scenario_id", line)?;
+            let _ = get_u64(value, "replication", line)?;
+            let attempts = get_u64(value, "attempts", line)?;
+            if attempts == 0 {
+                return Err(invalid(line, "failure lines must report attempts ≥ 1"));
+            }
+            let _ = get_str(value, "payload", line)?;
+            failed_lines += 1;
+            continue;
         }
+        if kind != "replication" {
+            return Err(invalid(
+                line,
+                "expected type \"replication\" or \"failure\"",
+            ));
+        }
+        delivered_lines += 1;
         let _ = get_u64(value, "scenario_index", line)?;
         let _ = get_u64(value, "scenario_id", line)?;
         let _ = get_u64(value, "replication", line)?;
@@ -243,18 +325,42 @@ pub fn validate(text: &str) -> Result<NdjsonSummary, SpecError> {
     }
 
     // --- end ------------------------------------------------------------
-    let last = parsed.len() - 1;
-    let end = &parsed[last];
-    if get_str(end, "type", last)? != "end" {
-        return Err(invalid(last, "last line must have type \"end\""));
-    }
     let delivered = get_u64(end, "delivered", last)?;
-    if delivered != total {
+    let failed = get_u64(end, "failed", last)?;
+    if delivered != delivered_lines {
         return Err(invalid(
             last,
-            format!("delivered = {delivered}, begin announced {total}"),
+            format!("delivered = {delivered}, but {delivered_lines} replication lines present"),
         ));
     }
+    if failed != failed_lines {
+        return Err(invalid(
+            last,
+            format!("failed = {failed}, but {failed_lines} failure lines present"),
+        ));
+    }
+    if truncated {
+        // The crash closer carries no totals, workers, or histograms — the
+        // line counts are all it can promise.
+        return Ok(NdjsonSummary {
+            scenarios,
+            replications: delivered,
+            metered,
+            total_events,
+            total_transfers,
+            workers: 0,
+            failed,
+            retries: 0,
+            truncated: true,
+        });
+    }
+    if delivered + failed != total {
+        return Err(invalid(
+            last,
+            format!("delivered {delivered} + failed {failed} ≠ announced total {total}"),
+        ));
+    }
+    let retries = get_u64(end, "retries", last)?;
     let workers = get_u64(end, "workers", last)?;
     let end_totals = end
         .get("totals")
@@ -266,6 +372,19 @@ pub fn validate(text: &str) -> Result<NdjsonSummary, SpecError> {
             "end-line totals do not equal the sum of the per-replication counters",
         ));
     }
+    // Every task the scheduler ran (success or quarantined failure) left
+    // one timing sample; a resumed run's carried failures left none, so
+    // the count lands between `delivered` and `delivered + failed`.
+    let task_count = check_histogram(end, "task_nanos", last)?;
+    if task_count < delivered || task_count > delivered + failed {
+        return Err(invalid(
+            last,
+            format!(
+                "task_nanos counted {task_count} tasks, delivered is {delivered} \
+                 with {failed} failures"
+            ),
+        ));
+    }
     match end.get("per_worker") {
         Some(Json::Arr(items)) => {
             let mut sum = 0u64;
@@ -275,13 +394,13 @@ pub fn validate(text: &str) -> Result<NdjsonSummary, SpecError> {
                     _ => return Err(invalid(last, "`per_worker` must hold integers")),
                 }
             }
-            if delivered > 0 && sum != delivered {
+            if task_count > 0 && sum != task_count {
                 return Err(invalid(
                     last,
-                    format!("per_worker loads sum to {sum}, delivered is {delivered}"),
+                    format!("per_worker loads sum to {sum}, the scheduler ran {task_count} tasks"),
                 ));
             }
-            if delivered > 0 && items.len() as u64 != workers {
+            if task_count > 0 && items.len() as u64 != workers {
                 return Err(invalid(
                     last,
                     format!(
@@ -293,13 +412,6 @@ pub fn validate(text: &str) -> Result<NdjsonSummary, SpecError> {
         }
         _ => return Err(invalid(last, "missing `per_worker` array")),
     }
-    let task_count = check_histogram(end, "task_nanos", last)?;
-    if task_count != delivered {
-        return Err(invalid(
-            last,
-            format!("task_nanos counted {task_count} tasks, delivered is {delivered}"),
-        ));
-    }
     let _ = check_histogram(end, "queue_wait_nanos", last)?;
     let _ = check_histogram(end, "reorder_occupancy", last)?;
 
@@ -310,6 +422,9 @@ pub fn validate(text: &str) -> Result<NdjsonSummary, SpecError> {
         total_events,
         total_transfers,
         workers,
+        failed,
+        retries,
+        truncated: false,
     })
 }
 
@@ -371,5 +486,64 @@ mod tests {
         // Garbage is a parse error, not a panic.
         assert!(validate("not json\n{}").is_err());
         assert!(validate("").is_err());
+    }
+
+    /// Runs a chaos scenario under `Quarantine` and exports its telemetry:
+    /// the NDJSON then carries `failure` lines and a non-zero `failed`
+    /// count in the end frame.
+    fn exported_with_failures() -> String {
+        let registry = Registry::builtin();
+        let spec = registry.get("example1-stable").expect("builtin");
+        let options = ScenarioRunOptions {
+            replications: 4,
+            jobs: 1,
+            seed: 11,
+            horizon_override: Some(60.0),
+            metrics: true,
+            failure_policy: engine::FailurePolicy::Quarantine {
+                max_failures: u32::MAX,
+            },
+            faults: Some(engine::FaultPlan::new().panic_at(0, 1)),
+            ..Default::default()
+        };
+        let mut sink = MetricsSink::new(NullSink, Vec::new()).quiet();
+        registry::run_with_sink(spec, &options, &mut sink).expect("runs");
+        let (_, out) = sink.into_parts();
+        String::from_utf8(out).expect("utf-8")
+    }
+
+    #[test]
+    fn failure_lines_validate_and_count_toward_the_end_frame() {
+        let text = exported_with_failures();
+        assert!(text.contains("\"type\":\"failure\""));
+        let summary = validate(&text).expect("valid NDJSON with failures");
+        assert_eq!(summary.replications, 3, "three survivors");
+        assert_eq!(summary.failed, 1, "one quarantined replication");
+        assert!(!summary.truncated);
+    }
+
+    #[test]
+    fn truncated_exports_need_the_allow_flag() {
+        // Cut the stream mid-body and close it the way `MetricsSink`'s
+        // `Drop` impl does after a crash or abort.
+        let good = exported_ndjson(true, 1);
+        let lines: Vec<&str> = good.lines().collect();
+        let mut cut: Vec<String> = lines[..2].iter().map(|&l| l.to_owned()).collect();
+        cut.push("{\"type\":\"end\",\"truncated\":true,\"delivered\":1,\"failed\":0}".to_owned());
+        let text = cut.join("\n");
+
+        let error = validate(&text).expect_err("truncation rejected by default");
+        assert!(error.to_string().contains("--allow-truncated"), "{error}");
+
+        let options = ValidateOptions {
+            allow_truncated: true,
+        };
+        let summary = validate_with(&text, &options).expect("accepted with the flag");
+        assert!(summary.truncated);
+        assert_eq!(summary.replications, 1);
+        // A truncated body whose lines disagree with the closer still
+        // fails: truncation is not a license for inconsistent books.
+        let broken = text.replace("\"delivered\":1", "\"delivered\":2");
+        assert!(validate_with(&broken, &options).is_err());
     }
 }

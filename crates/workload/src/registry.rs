@@ -40,7 +40,9 @@ use crate::error::SpecError;
 use crate::json::{self, Json};
 use crate::report::fmt_num;
 use engine::{
-    AgentOutcome, AgentScenario, EngineConfig, NullSink, ReplicationSink, Session, Workload,
+    AgentOutcome, AgentScenario, CheckpointSpec, EngineConfig, FailurePolicy, FaultPlan, NullSink,
+    ReplicationFailure, ReplicationRecord, ReplicationSink, Session, StreamPlan, StreamStats,
+    Workload,
 };
 use pieceset::{PieceId, PieceSet};
 use swarm::coded::CodedParams;
@@ -967,7 +969,7 @@ impl Registry {
 }
 
 /// Execution budget of a registry scenario run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioRunOptions {
     /// Replications, combined by majority vote.
     pub replications: u32,
@@ -987,6 +989,17 @@ pub struct ScenarioRunOptions {
     /// engine (the CLI's `--metrics` flag); never changes the numbers —
     /// metering consumes no randomness.
     pub metrics: bool,
+    /// How replication failures are handled (the CLI's `--failure-policy`
+    /// flag); part of the checkpoint digest.
+    pub failure_policy: FailurePolicy,
+    /// Deterministic fault injection plan (the CLI's `--chaos` flag).
+    pub faults: Option<FaultPlan>,
+    /// Write crash-consistent checkpoints here (the CLI's `--checkpoint`
+    /// flag).
+    pub checkpoint: Option<CheckpointSpec>,
+    /// Resume from this checkpoint file instead of starting fresh (the
+    /// CLI's `--resume` flag).
+    pub resume: Option<std::path::PathBuf>,
 }
 
 impl Default for ScenarioRunOptions {
@@ -999,6 +1012,10 @@ impl Default for ScenarioRunOptions {
             kernel_override: None,
             progress: false,
             metrics: false,
+            failure_policy: FailurePolicy::FailFast,
+            faults: None,
+            checkpoint: None,
+            resume: None,
         }
     }
 }
@@ -1014,6 +1031,9 @@ pub struct ScenarioRunReport {
     pub horizon: f64,
     /// The replication count used.
     pub replications: u32,
+    /// Every quarantined replication, in stream-key order (empty under
+    /// `FailFast`, which aborts instead).
+    pub failures: Vec<ReplicationFailure>,
 }
 
 impl ScenarioRunReport {
@@ -1075,6 +1095,14 @@ impl ScenarioRunReport {
         } else {
             let _ = writeln!(out, "no replication hit the max_events safety valve");
         }
+        if o.failed_replications > 0 {
+            let _ = writeln!(
+                out,
+                "WARNING: {}/{} replications were quarantined by the failure \
+                 policy — they cast no vote and contribute no sample",
+                o.failed_replications, self.replications
+            );
+        }
         out
     }
 }
@@ -1125,21 +1153,62 @@ pub fn run_with_sink<S: ReplicationSink + Send>(
         .with_master_seed(options.seed)
         .with_jobs(options.jobs)
         .with_progress(options.progress)
-        .with_metrics(options.metrics);
-    let session = Session::builder()
+        .with_metrics(options.metrics)
+        .with_failure_policy(options.failure_policy);
+    let mut builder = Session::builder()
         .config(config)
-        .workload(Workload::agent(vec![scenario]))
-        .build()?;
-    let outcomes = session
-        .stream(sink)
-        .into_agent()
-        .expect("an agent workload");
+        .workload(Workload::agent(vec![scenario]));
+    if let Some(plan) = &options.faults {
+        builder = builder.faults(plan.clone());
+    }
+    if let Some(spec) = &options.checkpoint {
+        builder = builder.checkpoint(spec.clone());
+    }
+    let session = builder.build()?;
+    let mut collecting = CollectFailures {
+        inner: sink,
+        failures: Vec::new(),
+    };
+    let output = match &options.resume {
+        Some(path) => session.resume_stream(path, &mut collecting)?,
+        None => session.stream(&mut collecting),
+    };
+    let failures = collecting.failures;
+    let outcomes = output.into_agent().expect("an agent workload");
     Ok(ScenarioRunReport {
         spec,
         outcome: outcomes.into_iter().next().expect("one scenario in"),
         horizon,
         replications: options.replications,
+        failures,
     })
+}
+
+/// A pass-through sink that additionally keeps every failure it sees, so
+/// the CLI can print a per-replication failure summary after the stream
+/// ends.
+struct CollectFailures<'s, S: ReplicationSink> {
+    inner: &'s mut S,
+    failures: Vec<ReplicationFailure>,
+}
+
+impl<S: ReplicationSink> ReplicationSink for CollectFailures<'_, S> {
+    fn begin(&mut self, plan: &StreamPlan) {
+        self.inner.begin(plan);
+    }
+
+    fn record(&mut self, record: &ReplicationRecord) {
+        self.inner.record(record);
+    }
+
+    fn failure(&mut self, failure: &ReplicationFailure) {
+        self.failures.push(failure.clone());
+        self.inner.failure(failure);
+    }
+
+    fn end(&mut self, stats: &StreamStats) {
+        self.inner.end(stats);
+    }
 }
 
 #[cfg(test)]

@@ -43,6 +43,29 @@
 //!   and artifacts stay byte-identical with it on or off,
 //! * `--check-metrics FILE` — validate a metrics NDJSON file (framing,
 //!   schema, counter algebra) and exit; used by CI,
+//! * `--allow-truncated` — (with `--check-metrics`) accept an export whose
+//!   end frame carries `"truncated": true` (written when a run crashed or
+//!   was aborted mid-stream); the prefix is still validated line by line,
+//! * `--failure-policy failfast|quarantine[:N]|retry[:N[:MS]]` — (with
+//!   `--scenario`) what to do when a replication panics: abort the whole
+//!   run (`failfast`, the default), quarantine up to `N` failed
+//!   replications as typed failure records (default: unlimited), or retry
+//!   each failure up to `N` total attempts with a linear backoff of `MS`
+//!   milliseconds (defaults: 3 attempts, no backoff). Surviving
+//!   replications are bit-identical to a fault-free run either way,
+//! * `--chaos SPEC` — (with `--scenario`) inject deterministic faults,
+//!   keyed by stream key so a chaos run reproduces at any `--jobs`.
+//!   `SPEC` is comma-separated `[SCENARIO.]REP=panic|transient:N|stall:MS`
+//!   entries (see `EXPERIMENTS.md`),
+//! * `--checkpoint[=FILE]` — (with `--scenario`) write a crash-consistent
+//!   checkpoint (default `checkpoint.ckpt`) as the run progresses; a run
+//!   killed at any point can be resumed from it,
+//! * `--resume FILE` — (with `--scenario`) resume a checkpointed run; the
+//!   completed prefix is restored and only the remaining replications
+//!   execute. The finished artifacts are byte-identical to an
+//!   uninterrupted run. The checkpoint records a digest of the
+//!   configuration and scenario, so resuming under a different setup is a
+//!   typed error rather than silent corruption,
 //! * `--list-scenarios` — list the built-in scenario names and exit,
 //! * `--out-dir DIR` — also write `E*.txt` reports plus the Example 1
 //!   phase diagram as `phase.csv` / `phase.json` / `phase.txt` and the E1
@@ -51,10 +74,15 @@
 //!
 //! With a fixed `--seed`, every report and artifact is byte-identical at
 //! any `--jobs` value.
+//!
+//! Exit status: 0 on success, 1 on errors, and 3 when a quarantined
+//! scenario run finishes but one or more replications failed (the report
+//! and artifacts are still written; the failures are summarised on
+//! stderr with their stream keys and payloads).
 
 use p2p_stability::engine::{
-    self, Axis, EngineConfig, GridSpec, MetricsSink, NullSink, ProgressSink, ReplicationSink,
-    Session, Workload,
+    self, Axis, CheckpointSpec, EngineConfig, FailurePolicy, FaultPlan, GridSpec, MetricsSink,
+    NullSink, ProgressSink, ReplicationFailure, ReplicationSink, Session, Workload,
 };
 use p2p_stability::swarm::sim::KernelKind;
 use p2p_stability::workload::experiments::{self, ExperimentConfig};
@@ -84,12 +112,70 @@ struct Cli {
     metrics: Option<PathBuf>,
     /// Validate-and-exit mode (`--check-metrics FILE`).
     check_metrics: Option<PathBuf>,
+    /// Accept a truncated NDJSON export under `--check-metrics`.
+    allow_truncated: bool,
+    /// Replication failure handling (`--failure-policy`).
+    failure_policy: FailurePolicy,
+    /// Deterministic fault injection (`--chaos SPEC`).
+    chaos: Option<FaultPlan>,
+    /// Checkpoint file to write as the run progresses (`--checkpoint[=FILE]`).
+    checkpoint: Option<PathBuf>,
+    /// Checkpoint file to resume from (`--resume FILE`).
+    resume: Option<PathBuf>,
+}
+
+/// Parses `--failure-policy` values: `failfast`, `quarantine[:N]`
+/// (default: unlimited), `retry[:N[:MS]]` (defaults: 3 attempts, no
+/// backoff).
+fn parse_failure_policy(value: &str) -> Result<FailurePolicy, String> {
+    let bad = |detail: &str| {
+        format!(
+            "--failure-policy: {detail} \
+             (expected failfast, quarantine[:N], or retry[:N[:MS]], got `{value}`)"
+        )
+    };
+    let (head, rest) = match value.split_once(':') {
+        Some((head, rest)) => (head, Some(rest)),
+        None => (value, None),
+    };
+    match head {
+        "failfast" | "fail-fast" => match rest {
+            None => Ok(FailurePolicy::FailFast),
+            Some(_) => Err(bad("failfast takes no parameters")),
+        },
+        "quarantine" => {
+            let max_failures = match rest {
+                None => u32::MAX,
+                Some(n) => n.parse().map_err(|_| bad("bad failure budget"))?,
+            };
+            Ok(FailurePolicy::Quarantine { max_failures })
+        }
+        "retry" => {
+            let (attempts, backoff_ms) = match rest {
+                None => (3, 0),
+                Some(rest) => match rest.split_once(':') {
+                    None => (rest.parse().map_err(|_| bad("bad attempt count"))?, 0),
+                    Some((n, ms)) => (
+                        n.parse().map_err(|_| bad("bad attempt count"))?,
+                        ms.parse().map_err(|_| bad("bad backoff"))?,
+                    ),
+                },
+            };
+            Ok(FailurePolicy::Retry {
+                attempts,
+                backoff_ms,
+            })
+        }
+        _ => Err(bad("unknown policy")),
+    }
 }
 
 const USAGE: &str = "usage: run_experiments [quick] [--replications N] [--jobs N] \
 [--seed S] [--horizon T] [--scenario FILE|NAME] \
 [--kernel event|scan|turbo|coded|coded-turbo] \
 [--progress] [--stream] [--metrics[=FILE]] [--check-metrics FILE] \
+[--allow-truncated] [--failure-policy failfast|quarantine[:N]|retry[:N[:MS]]] \
+[--chaos SPEC] [--checkpoint[=FILE]] [--resume FILE] \
 [--list-scenarios] [--out-dir DIR]";
 
 enum CliError {
@@ -135,6 +221,11 @@ fn parse_cli() -> Result<Cli, CliError> {
     let mut kernel = None;
     let mut metrics = None;
     let mut check_metrics = None;
+    let mut allow_truncated = false;
+    let mut failure_policy = FailurePolicy::FailFast;
+    let mut chaos = None;
+    let mut checkpoint = None;
+    let mut resume = None;
     let mut args = raw.into_iter();
     while let Some(arg) = args.next() {
         let mut value_of = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
@@ -188,6 +279,17 @@ fn parse_cli() -> Result<Cli, CliError> {
             "--check-metrics" => {
                 check_metrics = Some(PathBuf::from(value_of("--check-metrics")?));
             }
+            "--allow-truncated" => allow_truncated = true,
+            "--failure-policy" => {
+                failure_policy = parse_failure_policy(&value_of("--failure-policy")?)?;
+            }
+            "--chaos" => {
+                chaos = Some(
+                    FaultPlan::parse(&value_of("--chaos")?).map_err(|e| format!("--chaos: {e}"))?,
+                );
+            }
+            "--checkpoint" => checkpoint = Some(PathBuf::from("checkpoint.ckpt")),
+            "--resume" => resume = Some(PathBuf::from(value_of("--resume")?)),
             "--list-scenarios" => list_scenarios = true,
             "--out-dir" => out_dir = Some(PathBuf::from(value_of("--out-dir")?)),
             "--help" | "-h" => return Err(CliError::Help),
@@ -197,6 +299,11 @@ fn parse_cli() -> Result<Cli, CliError> {
                         return Err(CliError::Invalid("--metrics=: needs a file path".into()));
                     }
                     metrics = Some(PathBuf::from(path));
+                } else if let Some(path) = other.strip_prefix("--checkpoint=") {
+                    if path.is_empty() {
+                        return Err(CliError::Invalid("--checkpoint=: needs a file path".into()));
+                    }
+                    checkpoint = Some(PathBuf::from(path));
                 } else {
                     return Err(CliError::Invalid(format!(
                         "unknown argument `{other}` (try --help)"
@@ -220,6 +327,30 @@ fn parse_cli() -> Result<Cli, CliError> {
             "--metrics applies to scenario runs only; combine it with --scenario".into(),
         ));
     }
+    if scenario.is_none() && !list_scenarios && check_metrics.is_none() {
+        for (set, flag) in [
+            (
+                failure_policy != FailurePolicy::FailFast,
+                "--failure-policy",
+            ),
+            (chaos.is_some(), "--chaos"),
+            (checkpoint.is_some(), "--checkpoint"),
+            (resume.is_some(), "--resume"),
+        ] {
+            if set {
+                return Err(CliError::Invalid(format!(
+                    "{flag} applies to scenario runs only; combine it with --scenario"
+                )));
+            }
+        }
+    }
+    if allow_truncated && check_metrics.is_none() {
+        return Err(CliError::Invalid(
+            "--allow-truncated applies to NDJSON validation only; \
+             combine it with --check-metrics"
+                .into(),
+        ));
+    }
     Ok(Cli {
         config,
         out_dir,
@@ -230,6 +361,11 @@ fn parse_cli() -> Result<Cli, CliError> {
         kernel,
         metrics,
         check_metrics,
+        allow_truncated,
+        failure_policy,
+        chaos,
+        checkpoint,
+        resume,
     })
 }
 
@@ -275,7 +411,7 @@ fn main() -> ExitCode {
         }
     };
     if let Some(path) = &cli.check_metrics {
-        return check_metrics_file(path);
+        return check_metrics_file(path, cli.allow_truncated);
     }
     if cli.list_scenarios {
         let registry = Registry::builtin();
@@ -314,7 +450,7 @@ fn main() -> ExitCode {
 }
 
 /// Validates a metrics NDJSON file and reports its summary (`--check-metrics`).
-fn check_metrics_file(path: &std::path::Path) -> ExitCode {
+fn check_metrics_file(path: &std::path::Path, allow_truncated: bool) -> ExitCode {
     let text = match std::fs::read_to_string(path) {
         Ok(text) => text,
         Err(error) => {
@@ -322,15 +458,18 @@ fn check_metrics_file(path: &std::path::Path) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match ndjson::validate(&text) {
+    let options = ndjson::ValidateOptions { allow_truncated };
+    match ndjson::validate_with(&text, &options) {
         Ok(summary) => {
+            let status = if summary.truncated { "TRUNCATED" } else { "OK" };
             println!(
-                "{} OK: {} scenario(s), {} replication(s) ({} metered) on {} worker(s), \
-                 {} events, {} transfers",
+                "{} {status}: {} scenario(s), {} replication(s) ({} metered, {} failed) \
+                 on {} worker(s), {} events, {} transfers",
                 path.display(),
                 summary.scenarios,
                 summary.replications,
                 summary.metered,
+                summary.failed,
                 summary.workers,
                 summary.total_events,
                 summary.total_transfers
@@ -385,6 +524,10 @@ fn run_scenario(which: &str, cli: &Cli) -> ExitCode {
         kernel_override: cli.kernel,
         progress: cli.config.progress,
         metrics: cli.metrics.is_some(),
+        failure_policy: cli.failure_policy,
+        faults: cli.chaos.clone(),
+        checkpoint: cli.checkpoint.clone().map(CheckpointSpec::new),
+        resume: cli.resume.clone(),
     };
     eprintln!(
         "running scenario `{}`: horizon {}, replications {}, jobs {}, seed {:#x}",
@@ -447,7 +590,35 @@ fn run_scenario(which: &str, cli: &Cli) -> ExitCode {
         }
         eprintln!("scenario report written to {}", path.display());
     }
-    ExitCode::SUCCESS
+    if report.failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        // The run completed under a quarantine/retry policy but lost
+        // replications: the report above is still valid for the survivors,
+        // and the distinct exit status lets CI and scripts notice.
+        summarise_failures(&report.failures);
+        ExitCode::from(QUARANTINED_FAILURES)
+    }
+}
+
+/// Exit status of a scenario run that finished with quarantined
+/// replication failures (distinct from 1, the status of a run that could
+/// not execute at all).
+const QUARANTINED_FAILURES: u8 = 3;
+
+/// Prints the per-replication failure summary on stderr: one line per
+/// quarantined replication with its stream key, attempt count, and payload.
+fn summarise_failures(failures: &[ReplicationFailure]) {
+    eprintln!(
+        "{} replication(s) failed and were quarantined:",
+        failures.len()
+    );
+    for f in failures {
+        eprintln!(
+            "  scenario {} (id {}) replication {}: {} attempt(s) — {}",
+            f.scenario_index, f.scenario_id, f.replication, f.attempts, f.payload
+        );
+    }
 }
 
 fn write_artifacts(
