@@ -75,6 +75,33 @@ impl SojournStats {
         }
         (self.m2 / self.departures as f64).max(0.0)
     }
+
+    /// Merges another accumulator (Chan's parallel moment combination),
+    /// used by the sharded driver to combine shard-local sojourn stats.
+    ///
+    /// Chan's update is *not* bit-identical to recording the same sojourns
+    /// in order, and it does not commute bit-for-bit either — so callers
+    /// needing determinism must merge in a canonical order. The sharded
+    /// driver merges in ascending shard index, which makes the merged stats
+    /// independent of worker scheduling for a fixed `(seed, shards)`.
+    pub fn merge(&mut self, other: &SojournStats) {
+        if other.departures == 0 {
+            return;
+        }
+        if self.departures == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.departures + other.departures;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.departures as f64 / total as f64;
+        self.m2 += other.m2
+            + delta * delta * (self.departures as f64 * other.departures as f64) / total as f64;
+        self.departures = total;
+        if other.max_sojourn > self.max_sojourn {
+            self.max_sojourn = other.max_sojourn;
+        }
+    }
 }
 
 /// Outcome of an agent-based simulation run.
@@ -225,6 +252,37 @@ mod tests {
         assert!((s.mean_sojourn() - 3.0).abs() < 1e-12);
         assert_eq!(s.max_sojourn, 4.0);
         assert!((s.variance_sojourn() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sojourn_merge_matches_sequential_recording() {
+        let sojourns: Vec<f64> = (0..40)
+            .map(|i| 1.0 + (i as f64).sin().abs() * 9.0)
+            .collect();
+        let mut all = SojournStats::default();
+        let mut left = SojournStats::default();
+        let mut right = SojournStats::default();
+        for (i, &s) in sojourns.iter().enumerate() {
+            all.record(s);
+            if i % 3 == 0 {
+                left.record(s);
+            } else {
+                right.record(s);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.departures, all.departures);
+        assert!((left.mean_sojourn() - all.mean_sojourn()).abs() < 1e-9);
+        assert!((left.variance_sojourn() - all.variance_sojourn()).abs() < 1e-9);
+        assert_eq!(left.max_sojourn, all.max_sojourn);
+        // Merging an empty accumulator in either direction is the identity.
+        let mut empty = SojournStats::default();
+        empty.merge(&all);
+        assert_eq!(empty, all);
+        let before = all;
+        let mut merged = all;
+        merged.merge(&SojournStats::default());
+        assert_eq!(merged, before);
     }
 
     #[test]

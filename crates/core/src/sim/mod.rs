@@ -66,8 +66,10 @@ mod coded;
 mod coded_turbo;
 mod event;
 mod scan;
+mod sharded;
 mod turbo;
 
+pub use sharded::{ShardBias, ShardPlan};
 pub use turbo::SimScratch;
 
 use crate::coded::{CodedGifts, CodedParams};

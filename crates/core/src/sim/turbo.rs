@@ -445,6 +445,52 @@ impl<'a, T: Recorder> State<'a, T> {
             }
         }
     }
+
+    /// Draws the uploader for a peer tick whose contact target lives in
+    /// another shard and returns a copy of the uploader's piece collection
+    /// (the cross-shard *offer*). The contact itself — counters, target
+    /// draw, possible transfer — happens at the destination shard when the
+    /// offer is applied at the window boundary ([`State::apply_offer`]), so
+    /// the source side consumes exactly one draw and records nothing; that
+    /// keeps the per-shard counter identities (`arrivals + contacts +
+    /// departure events = events`) exact on both sides.
+    ///
+    /// Returns `None` when the shard is empty. This is unreachable under
+    /// the live peer-tick rate `µ·n` (zero for an empty shard), but the
+    /// method stays total for safety.
+    pub(super) fn offer_pieces<R: Rng>(&mut self, rng: &mut R) -> Option<PieceSet> {
+        let n = self.s.pieces.rows();
+        if n == 0 {
+            return None;
+        }
+        let uploader = rng.gen_range(0..n);
+        Some(self.s.pieces.as_set(uploader))
+    }
+
+    /// Applies a cross-shard offer at the exchange boundary: one contact
+    /// against a uniformly drawn local peer, with the offered collection
+    /// standing in for the remote uploader's matrix row. Mirrors the
+    /// useful/useless accounting of `handle_peer_tick` exactly — the whole
+    /// cross-shard contact is attributed to the destination shard. The
+    /// sharded driver rejects `η > 1`, so no boost bookkeeping applies
+    /// here.
+    pub(super) fn apply_offer<R: Rng>(&mut self, offer: PieceSet, time: f64, rng: &mut R) {
+        self.rec.incr(Counter::Contacts);
+        let n = self.s.pieces.rows();
+        if n == 0 {
+            self.rec.incr(Counter::UselessContacts);
+            return;
+        }
+        let target = rng.gen_range(0..n);
+        let useful = offer.intersection(self.s.pieces.missing_set(target));
+        if useful.is_empty() {
+            self.unsuccessful += 1;
+            self.rec.incr(Counter::UselessContacts);
+            return;
+        }
+        let piece = self.select_piece(useful, rng);
+        self.give_piece(target, piece, time);
+    }
 }
 
 impl<T: Recorder> KernelState for State<'_, T> {

@@ -32,7 +32,7 @@ use markov::{PathClass, PathClassifier};
 use pieceset::PieceSet;
 use serde::{Deserialize, Serialize};
 use swarm::coded::{theorem15_classify, CodedGifts};
-use swarm::sim::{AgentConfig, AgentSwarm, FlashCrowd, SimScratch};
+use swarm::sim::{AgentConfig, AgentSwarm, FlashCrowd, ShardPlan, SimScratch};
 use swarm::{policy, stability, StabilityVerdict, SwarmError, SwarmParams};
 
 /// One agent-simulator scenario to replicate: model parameters plus the
@@ -61,6 +61,16 @@ pub struct AgentScenario {
     /// set, and the theory verdict comes from Theorem 15 instead of
     /// Theorem 1.
     pub coding: Option<CodedGifts>,
+    /// Intra-replication shard count override. `None` inherits
+    /// [`EngineConfig::shards`]; an effective value above 1 runs this
+    /// scenario's swarm through the sharded turbo driver
+    /// ([`swarm::sim::ShardPlan`]), splitting one population across shard
+    /// workers inside each replication.
+    pub shards: Option<u32>,
+    /// Synchronization-window override for the sharded driver. `None`
+    /// inherits [`EngineConfig::sync_window`]; ignored when the effective
+    /// shard count is 1.
+    pub sync_window: Option<f64>,
 }
 
 impl AgentScenario {
@@ -77,6 +87,8 @@ impl AgentScenario {
             initial: Vec::new(),
             flash: Vec::new(),
             coding: None,
+            shards: None,
+            sync_window: None,
         }
     }
 
@@ -133,6 +145,36 @@ impl AgentScenario {
     pub fn validate(&self) -> Result<(), SwarmError> {
         let sim = self.build_sim()?;
         sim.validate_run(&self.initial_population(), &self.flash)
+    }
+
+    /// The effective shard plan of this scenario under `config`: the
+    /// scenario-level override (falling back to [`EngineConfig::shards`] /
+    /// [`EngineConfig::sync_window`]) as a [`ShardPlan`] running its shard
+    /// segments on `shard_jobs` workers, or `None` when the effective
+    /// shard count is 1 (unsharded).
+    #[must_use]
+    pub fn shard_plan(&self, config: &EngineConfig, shard_jobs: usize) -> Option<ShardPlan> {
+        let shards = self.shards.unwrap_or(config.shards);
+        (shards > 1).then(|| {
+            ShardPlan::new(shards, self.sync_window.unwrap_or(config.sync_window))
+                .with_jobs(shard_jobs)
+        })
+    }
+
+    /// Validates the sharding settings this scenario would run with under
+    /// `config` (the sharded driver supports the turbo kernel only, and
+    /// needs a positive finite synchronization window). Unsharded
+    /// scenarios always pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwarmError::InvalidParameter`] describing the first
+    /// incompatibility.
+    pub fn validate_sharding(&self, config: &EngineConfig) -> Result<(), SwarmError> {
+        match self.shard_plan(config, 1) {
+            Some(plan) => self.build_sim()?.validate_sharded(&plan),
+            None => Ok(()),
+        }
     }
 }
 
@@ -216,9 +258,42 @@ pub fn run_agent_replication_with_scratch(
     replication: u32,
     scratch: &mut SimScratch,
 ) -> Result<AgentReplication, SwarmError> {
+    run_agent_replication_opts(scenario, config, replication, scratch, 1)
+}
+
+/// Runs a single replication like [`run_agent_replication_with_scratch`],
+/// additionally honouring the scenario's effective shard plan: when the
+/// scenario (or `config`) asks for more than one shard, the swarm runs
+/// through the sharded turbo driver with its shard segments spread over
+/// `shard_jobs` worker threads. `shard_jobs` affects wall clock only — for
+/// a fixed `(master_seed, shards, sync_window)` the result is bit-identical
+/// at any value. Unsharded scenarios ignore `shard_jobs` and take the
+/// ordinary scratch-reusing path.
+///
+/// # Errors
+///
+/// Returns [`SwarmError::InvalidParameter`] if the scenario's policy or
+/// configuration is invalid, its flash schedule fails validation, or its
+/// sharding settings are incompatible with the kernel.
+pub fn run_agent_replication_opts(
+    scenario: &AgentScenario,
+    config: &EngineConfig,
+    replication: u32,
+    scratch: &mut SimScratch,
+    shard_jobs: usize,
+) -> Result<AgentReplication, SwarmError> {
     let sim = scenario.build_sim()?;
     let initial = scenario.initial_population();
     let mut rng = replication_rng(config.master_seed, scenario.id, u64::from(replication));
+    if let Some(plan) = scenario.shard_plan(config, shard_jobs) {
+        let result = sim.run_sharded(&initial, &scenario.flash, config.horizon, &plan, &mut rng)?;
+        return Ok(classify_result(
+            scenario,
+            replication,
+            &result,
+            initial.len(),
+        ));
+    }
     let result =
         sim.run_with_scratch(&initial, &scenario.flash, config.horizon, &mut rng, scratch)?;
     let outcome = classify_result(scenario, replication, &result, initial.len());
@@ -244,9 +319,57 @@ pub fn run_agent_replication_metered(
     replication: u32,
     scratch: &mut SimScratch,
 ) -> Result<(AgentReplication, ReplicationTelemetry), SwarmError> {
+    run_agent_replication_metered_opts(scenario, config, replication, scratch, 1)
+}
+
+/// Runs a single metered replication like [`run_agent_replication_metered`],
+/// additionally honouring the scenario's effective shard plan (see
+/// [`run_agent_replication_opts`]). A sharded run meters each shard with
+/// its own [`telemetry::CounterRecorder`] — each satisfying the partition
+/// identities on its own — and folds them in ascending shard order into the
+/// returned [`ReplicationTelemetry`].
+///
+/// # Errors
+///
+/// Returns [`SwarmError::InvalidParameter`] if the scenario's policy or
+/// configuration is invalid, its flash schedule fails validation, or its
+/// sharding settings are incompatible with the kernel.
+pub fn run_agent_replication_metered_opts(
+    scenario: &AgentScenario,
+    config: &EngineConfig,
+    replication: u32,
+    scratch: &mut SimScratch,
+    shard_jobs: usize,
+) -> Result<(AgentReplication, ReplicationTelemetry), SwarmError> {
     let sim = scenario.build_sim()?;
     let initial = scenario.initial_population();
     let mut rng = replication_rng(config.master_seed, scenario.id, u64::from(replication));
+    if let Some(plan) = scenario.shard_plan(config, shard_jobs) {
+        let mut recorders =
+            vec![telemetry::CounterRecorder::new(); usize::try_from(plan.shards).unwrap_or(1)];
+        let span = telemetry::Span::start();
+        let result = sim.run_sharded_metered(
+            &initial,
+            &scenario.flash,
+            config.horizon,
+            &plan,
+            &mut rng,
+            &mut recorders,
+        )?;
+        let wall_seconds = span.seconds();
+        let outcome = classify_result(scenario, replication, &result, initial.len());
+        let mut counters = telemetry::CounterSet::new();
+        for recorder in &recorders {
+            counters.merge(&recorder.counters);
+        }
+        return Ok((
+            outcome,
+            ReplicationTelemetry {
+                counters,
+                wall_seconds,
+            },
+        ));
+    }
     let mut recorder = telemetry::CounterRecorder::new();
     let span = telemetry::Span::start();
     let result = sim.run_metered(

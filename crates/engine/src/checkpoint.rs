@@ -112,7 +112,10 @@ pub(crate) struct CheckpointData {
     pub(crate) snapshots: Vec<AggSnapshot>,
 }
 
-const HEADER: &str = "p2p-checkpoint v1";
+/// Format version. v2 added the Welford non-finite rejection counter to
+/// every accumulator (6 tokens per Welford instead of 5); v1 files are
+/// rejected as corrupt rather than silently zero-filling the new field.
+const HEADER: &str = "p2p-checkpoint v2";
 
 /// FNV-1a 64-bit hash, the workspace's standard content digest.
 pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
@@ -142,9 +145,9 @@ fn verdict_from(name: &str) -> Option<StabilityVerdict> {
 }
 
 fn welford_fields(w: &Welford, out: &mut String) {
-    let (count, mean, m2, min, max) = w.to_raw_parts();
+    let (count, non_finite, mean, m2, min, max) = w.to_raw_parts();
     out.push_str(&format!(
-        " {count} {:016x} {:016x} {:016x} {:016x}",
+        " {count} {non_finite} {:016x} {:016x} {:016x} {:016x}",
         mean.to_bits(),
         m2.to_bits(),
         min.to_bits(),
@@ -359,9 +362,9 @@ pub(crate) fn load(path: &Path) -> Result<CheckpointData, Error> {
             .strip_prefix("agg ")
             .ok_or_else(|| corrupt(format!("expected `agg …`, found `{line}`")))?;
         let tokens: Vec<&str> = rest.split(' ').collect();
-        if tokens.len() != 8 + 15 {
+        if tokens.len() != 8 + 18 {
             return Err(corrupt(format!(
-                "agg line has {} fields, expected 23",
+                "agg line has {} fields, expected 26",
                 tokens.len()
             )));
         }
@@ -376,13 +379,17 @@ pub(crate) fn load(path: &Path) -> Result<CheckpointData, Error> {
             let count = tokens[at]
                 .parse::<u64>()
                 .map_err(|e| corrupt(format!("bad welford count: {e}")))?;
+            let non_finite = tokens[at + 1]
+                .parse::<u64>()
+                .map_err(|e| corrupt(format!("bad welford non-finite count: {e}")))?;
             let mut bits = [0u64; 4];
             for (k, slot) in bits.iter_mut().enumerate() {
-                *slot = u64::from_str_radix(tokens[at + 1 + k], 16)
+                *slot = u64::from_str_radix(tokens[at + 2 + k], 16)
                     .map_err(|e| corrupt(format!("bad welford bits: {e}")))?;
             }
             Ok(Welford::from_raw_parts(
                 count,
+                non_finite,
                 f64::from_bits(bits[0]),
                 f64::from_bits(bits[1]),
                 f64::from_bits(bits[2]),
@@ -401,8 +408,8 @@ pub(crate) fn load(path: &Path) -> Result<CheckpointData, Error> {
             count: int(6)?,
             failed: int(7)?,
             slope: welford(8)?,
-            average: welford(13)?,
-            events: welford(18)?,
+            average: welford(14)?,
+            events: welford(20)?,
         });
     }
 

@@ -68,6 +68,22 @@ pub struct EngineConfig {
     pub metrics: bool,
     /// What to do when a replication fails (see [`FailurePolicy`]).
     pub failure_policy: FailurePolicy,
+    /// Shards each agent replication's peer population is split across
+    /// (≤ 1 = unsharded). Sharding runs one giant swarm's shards on
+    /// multiple workers inside a single replication — the turbo kernel
+    /// only — trading exact cross-shard contact timing for a relaxed
+    /// synchronization window ([`EngineConfig::sync_window`]). Results
+    /// remain bit-identical at any [`EngineConfig::jobs`] for a fixed
+    /// `(master_seed, shards)`; changing the shard count changes the
+    /// sampled trajectory (same process, different stream splitting).
+    /// A scenario-level shard setting overrides this engine-wide knob.
+    pub shards: u32,
+    /// Length of the sharded synchronization window in simulated time:
+    /// cross-shard uploads batch into exchange rounds at window
+    /// boundaries, and frozen cross-shard population weights refresh
+    /// there too. Smaller windows track the unsharded process more
+    /// closely at more synchronization cost. Ignored when unsharded.
+    pub sync_window: f64,
 }
 
 impl Default for EngineConfig {
@@ -82,6 +98,8 @@ impl Default for EngineConfig {
             progress: false,
             metrics: false,
             failure_policy: FailurePolicy::FailFast,
+            shards: 1,
+            sync_window: 0.25,
         }
     }
 }
@@ -154,6 +172,26 @@ impl EngineConfig {
         self.failure_policy = policy;
         self
     }
+
+    /// Sets the intra-replication shard count (clamped to at least 1; 1 =
+    /// unsharded).
+    #[must_use]
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Sets the sharded synchronization window (simulated time between
+    /// cross-shard exchange rounds).
+    #[must_use]
+    pub fn with_sync_window(mut self, sync_window: f64) -> Self {
+        assert!(
+            sync_window.is_finite() && sync_window > 0.0,
+            "sync window must be positive and finite"
+        );
+        self.sync_window = sync_window;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -171,8 +209,12 @@ mod tests {
             .with_confidence(0.9)
             .with_progress(true)
             .with_metrics(true)
-            .with_failure_policy(FailurePolicy::Quarantine { max_failures: 2 });
+            .with_failure_policy(FailurePolicy::Quarantine { max_failures: 2 })
+            .with_shards(0)
+            .with_sync_window(0.5);
         assert_eq!(config.replications, 1, "clamped to at least one");
+        assert_eq!(config.shards, 1, "shards clamp to at least one");
+        assert_eq!(config.sync_window, 0.5);
         assert_eq!(config.horizon, 10.0);
         assert_eq!(config.master_seed, 1);
         assert_eq!(config.jobs, 3);

@@ -3,9 +3,11 @@
 //! Everything a [`crate::Session`] can reject is reported through [`Error`]
 //! — scenario validation, stream-key collisions, unusable configurations,
 //! builder misuse — so callers match on variants instead of scraping
-//! strings. Runtime execution is infallible by construction: every failure
-//! mode is caught by [`crate::SessionBuilder::build`] before a single
-//! replication runs.
+//! strings. Nearly every failure mode is caught by
+//! [`crate::SessionBuilder::build`] before a single replication runs; the
+//! one runtime variant, [`Error::Invariant`], covers invariants that can
+//! only be checked against a replication's *output* (e.g. a non-finite
+//! metric) and is routed through the failure policy rather than returned.
 
 use swarm::SwarmError;
 
@@ -53,6 +55,12 @@ pub enum Error {
         /// Digest of the session attempting to resume.
         expected: u64,
     },
+    /// A runtime invariant was violated after validation — e.g. a
+    /// replication produced a non-finite metric that would silently poison
+    /// the Welford aggregation. Under `FailurePolicy::FailFast` this
+    /// surfaces as a panic carrying the rendered message; under quarantine
+    /// it becomes a typed [`crate::ReplicationFailure`].
+    Invariant(String),
 }
 
 impl core::fmt::Display for Error {
@@ -80,6 +88,9 @@ impl core::fmt::Display for Error {
                 "checkpoint `{path}` belongs to a different run \
                  (digest {found:016x}, session expects {expected:016x})"
             ),
+            Error::Invariant(message) => {
+                write!(f, "internal invariant violated: {message}")
+            }
         }
     }
 }
@@ -122,6 +133,9 @@ mod tests {
         };
         assert!(e.to_string().contains("000000000000dead"), "{e}");
         assert!(e.to_string().contains("000000000000beef"), "{e}");
+        let e = Error::Invariant("replication 3 produced a non-finite tail slope".into());
+        assert!(e.to_string().contains("invariant"), "{e}");
+        assert!(e.to_string().contains("non-finite tail slope"), "{e}");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! same replications fail, the same payloads surface, and the surviving
 //! replications are bit-identical to a fault-free run.
 //!
-//! Three fault kinds cover the failure modes the session layer must
+//! Four fault kinds cover the failure modes the session layer must
 //! survive:
 //!
 //! - [`FaultKind::Panic`] — the replication panics on every attempt
@@ -18,6 +18,10 @@
 //! - [`FaultKind::Stall`] — the replication sleeps before running (a slow
 //!   worker; exercises reorder-window backpressure without changing any
 //!   result).
+//! - [`FaultKind::Nan`] — the replication runs normally but its tail
+//!   metrics come back NaN (a poisoned estimator; exercises the session's
+//!   non-finite rejection, which must turn the value into a typed
+//!   invariant failure instead of a silently-NaN artifact).
 //!
 //! Injection happens inside the per-replication execution wrapper, *before*
 //! the simulator draws from its stream, so a stalled or retried replication
@@ -42,6 +46,10 @@ pub enum FaultKind {
         /// Stall duration in milliseconds.
         millis: u64,
     },
+    /// Poison the replication's tail metrics to NaN on every attempt. The
+    /// simulation itself runs (and consumes exactly its own stream); the
+    /// session layer must catch the non-finite output and fail typed.
+    Nan,
 }
 
 /// A deterministic schedule of injected faults, keyed by stream key.
@@ -109,6 +117,24 @@ impl FaultPlan {
         self
     }
 
+    /// Injects NaN metric corruption at one stream key.
+    #[must_use]
+    pub fn nan_at(mut self, scenario_id: u64, replication: u32) -> Self {
+        self.faults
+            .insert((scenario_id, replication), FaultKind::Nan);
+        self
+    }
+
+    /// True when this stream key's metrics must be poisoned to NaN after
+    /// the replication runs. [`FaultPlan::apply`] cannot express this fault
+    /// — it fires before the simulation and can only sleep or panic — so
+    /// the execution wrapper queries it separately, after the outcome
+    /// exists but before any aggregation sees it.
+    #[must_use]
+    pub fn corrupts_metrics(&self, scenario_id: u64, replication: u32) -> bool {
+        self.get(scenario_id, replication) == Some(FaultKind::Nan)
+    }
+
     /// The fault registered at a stream key, if any.
     #[must_use]
     pub fn get(&self, scenario_id: u64, replication: u32) -> Option<FaultKind> {
@@ -137,13 +163,16 @@ impl FaultPlan {
                 ));
             }
             Some(FaultKind::Transient { .. }) => {}
+            // Metric corruption happens after the run, via
+            // `corrupts_metrics` — nothing to do pre-run.
+            Some(FaultKind::Nan) => {}
         }
     }
 
     /// Parses the CLI chaos specification: comma-separated entries of the
     /// form `[SCENARIO.]REPLICATION=KIND` where `KIND` is `panic`,
-    /// `transient:N`, or `stall:MS`. A bare replication index addresses
-    /// scenario id 0.
+    /// `transient:N`, `stall:MS`, or `nan`. A bare replication index
+    /// addresses scenario id 0.
     ///
     /// ```
     /// use engine::{FaultKind, FaultPlan};
@@ -175,6 +204,8 @@ impl FaultPlan {
             let kind = kind.trim();
             let fault = if kind == "panic" {
                 FaultKind::Panic
+            } else if kind == "nan" {
+                FaultKind::Nan
             } else if let Some(n) = kind.strip_prefix("transient:") {
                 FaultKind::Transient {
                     failures: n.trim().parse::<u32>().map_err(|_| bad())?,
@@ -209,7 +240,7 @@ impl fmt::Display for FaultParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "bad chaos entry `{}` (expected `[SCENARIO.]REP=panic|transient:N|stall:MS`)",
+            "bad chaos entry `{}` (expected `[SCENARIO.]REP=panic|transient:N|stall:MS|nan`)",
             self.entry
         )
     }
@@ -256,11 +287,18 @@ mod tests {
 
     #[test]
     fn parse_round_trips_all_kinds() {
-        let plan = FaultPlan::parse(" 1=panic , 2.3=transient:4 , 5.6=stall:7 ").unwrap();
-        assert_eq!(plan.len(), 3);
+        let plan = FaultPlan::parse(" 1=panic , 2.3=transient:4 , 5.6=stall:7 , 8=nan ").unwrap();
+        assert_eq!(plan.len(), 4);
         assert_eq!(plan.get(0, 1), Some(FaultKind::Panic));
         assert_eq!(plan.get(2, 3), Some(FaultKind::Transient { failures: 4 }));
         assert_eq!(plan.get(5, 6), Some(FaultKind::Stall { millis: 7 }));
+        assert_eq!(plan.get(0, 8), Some(FaultKind::Nan));
+        // `nan` never fires pre-run…
+        plan.apply(0, 8, 0);
+        // …it is queried as metric corruption instead, keyed exactly.
+        assert!(plan.corrupts_metrics(0, 8));
+        assert!(!plan.corrupts_metrics(0, 1));
+        assert!(!plan.corrupts_metrics(8, 8));
     }
 
     #[test]

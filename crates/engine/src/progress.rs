@@ -53,10 +53,7 @@ impl Progress {
         if !self.enabled || self.total == 0 {
             return;
         }
-        // Report when `done` crosses a decile of the total (cheap integer
-        // check, no time source needed).
-        let decile = self.total.div_ceil(10);
-        if done == self.total || done.is_multiple_of(decile) {
+        if let Some(percent) = report_percent(done, self.total) {
             let elapsed = self.start.elapsed().as_secs_f64();
             let events = self.events.load(Ordering::Relaxed);
             let rate = if elapsed > 0.0 {
@@ -65,10 +62,8 @@ impl Progress {
                 0.0
             };
             eprintln!(
-                "[{}] {done}/{} replications ({}%) — {elapsed:.1}s elapsed, {rate:.0} ev/s",
-                self.label,
-                self.total,
-                100 * done / self.total
+                "[{}] {done}/{} replications ({percent}%) — {elapsed:.1}s elapsed, {rate:.0} ev/s",
+                self.label, self.total,
             );
         }
     }
@@ -90,6 +85,27 @@ impl Progress {
     pub fn total(&self) -> u64 {
         self.total
     }
+}
+
+/// The report-line policy, as a pure function so it is testable without
+/// capturing stderr: returns `Some(percent)` when completing replication
+/// `done` of `total` should print, `None` otherwise.
+///
+/// At most 10 lines are printed for *any* total: one per crossed decile
+/// step for `total ≥ 10`, and a single completion line for smaller totals
+/// (the old per-`div_ceil(total, 10)` rule degenerated to a stderr line per
+/// replication there). The integer percent is clamped to 99 until the last
+/// replication lands, so a partially complete run never claims 100%.
+fn report_percent(done: u64, total: u64) -> Option<u64> {
+    debug_assert!(total > 0);
+    if done >= total {
+        return Some(100);
+    }
+    let step = total.div_ceil(10);
+    if total < 10 || !done.is_multiple_of(step) {
+        return None;
+    }
+    Some((100 * done / total).min(99))
 }
 
 /// The progress counter as a [`ReplicationSink`]: learns the stream's total
@@ -160,5 +176,48 @@ mod tests {
         assert_eq!(progress.done(), 64);
         assert_eq!(progress.total(), 64);
         assert_eq!(progress.events(), 640);
+    }
+
+    /// For any total, the number of report lines is at most 10 — small
+    /// totals used to print one line per replication because
+    /// `div_ceil(total, 10)` degenerates to 1.
+    #[test]
+    fn at_most_ten_report_lines_for_any_total() {
+        for total in 1..=250u64 {
+            let lines = (1..=total)
+                .filter(|&done| report_percent(done, total).is_some())
+                .count();
+            assert!(lines <= 10, "total {total} would print {lines} lines");
+            // The completion line always prints.
+            assert_eq!(report_percent(total, total), Some(100));
+        }
+        // Small totals report exactly once, at completion.
+        for total in 1..10u64 {
+            let lines: Vec<u64> = (1..=total)
+                .filter(|&done| report_percent(done, total).is_some())
+                .collect();
+            assert_eq!(lines, vec![total], "total {total}");
+        }
+    }
+
+    /// 100% appears on the final replication and never earlier, for every
+    /// (done, total) pair — including steps where naive rounding lands on
+    /// a multiple that integer division maps to 100.
+    #[test]
+    fn percent_is_monotone_and_never_100_early() {
+        for total in 1..=250u64 {
+            let mut last = 0;
+            for done in 1..=total {
+                if let Some(percent) = report_percent(done, total) {
+                    assert!(percent >= last, "percent regressed at {done}/{total}");
+                    if done < total {
+                        assert!(percent < 100, "{done}/{total} reported {percent}%");
+                    } else {
+                        assert_eq!(percent, 100);
+                    }
+                    last = percent;
+                }
+            }
+        }
     }
 }

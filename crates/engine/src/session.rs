@@ -72,7 +72,7 @@
 //! ```
 
 use crate::agent::{
-    run_agent_replication_metered, run_agent_replication_with_scratch, AgentOutcome, AgentScenario,
+    run_agent_replication_metered_opts, run_agent_replication_opts, AgentOutcome, AgentScenario,
 };
 use crate::checkpoint::{self, AggSnapshot, CheckpointData, CheckpointSpec};
 use crate::coded::{CodedGridSpec, CodedPhaseCell, CodedPhaseDiagram};
@@ -190,6 +190,11 @@ pub struct StreamStats {
     /// Extra attempts spent re-running failed replications under
     /// [`FailurePolicy::Retry`].
     pub retries: u64,
+    /// Failures caused by a replication classifying to a non-finite
+    /// statistic (NaN/∞ tail slope or tail average). Each is a subset of
+    /// [`StreamStats::failed`]: the session rejects the value as a typed
+    /// failure instead of letting it poison the scenario aggregates.
+    pub non_finite: u64,
     /// High-water mark of the out-of-order reorder buffer. Always strictly
     /// below [`StreamStats::reorder_window`]; independent of the
     /// replication count.
@@ -230,6 +235,7 @@ impl StreamStats {
             delivered,
             failed: 0,
             retries: 0,
+            non_finite: 0,
             max_pending: 0,
             reorder_window: reorder_window(1),
             workers: 1,
@@ -575,12 +581,12 @@ impl SessionBuilder {
             }
             WorkloadKind::Agent(scenarios) => {
                 check_unique_ids(scenarios.iter().map(|s| s.id))?;
-                validate_agent_scenarios(scenarios)?;
+                validate_agent_scenarios(scenarios, &config)?;
             }
             // Grid cells carry their linear rectangle index as id: unique
             // by construction.
             WorkloadKind::Grid { .. } => {}
-            WorkloadKind::Coded { scenarios, .. } => validate_agent_scenarios(scenarios)?,
+            WorkloadKind::Coded { scenarios, .. } => validate_agent_scenarios(scenarios, &config)?,
         }
         Ok(Session {
             config,
@@ -602,12 +608,18 @@ fn check_unique_ids(ids: impl Iterator<Item = u64>) -> Result<(), Error> {
     Ok(())
 }
 
-fn validate_agent_scenarios(scenarios: &[AgentScenario]) -> Result<(), Error> {
+fn validate_agent_scenarios(
+    scenarios: &[AgentScenario],
+    config: &EngineConfig,
+) -> Result<(), Error> {
     for scenario in scenarios {
-        scenario.validate().map_err(|source| Error::Scenario {
-            label: scenario.label.clone(),
-            source,
-        })?;
+        scenario
+            .validate()
+            .and_then(|()| scenario.validate_sharding(config))
+            .map_err(|source| Error::Scenario {
+                label: scenario.label.clone(),
+                source,
+            })?;
     }
     Ok(())
 }
@@ -731,13 +743,16 @@ impl Session {
         let c = &self.config;
         let mut desc = format!(
             "replications={} horizon={:016x} master_seed={:016x} \
-             initial_one_club={} confidence={:016x} policy={:?} kind={}\n",
+             initial_one_club={} confidence={:016x} policy={:?} shards={} \
+             sync_window={:016x} kind={}\n",
             c.replications,
             c.horizon.to_bits(),
             c.master_seed,
             c.initial_one_club,
             c.confidence.to_bits(),
             c.failure_policy,
+            c.shards,
+            c.sync_window.to_bits(),
             self.kind_tag(),
         );
         match &self.workload.kind {
@@ -1006,6 +1021,14 @@ impl Session {
 
         let policy = config.failure_policy;
         let faults = self.faults.as_ref();
+        // Session-level worker allocation: when the stream has fewer
+        // replication tasks than workers (the single-giant-replication
+        // case sharding exists for), the surplus workers go to each task's
+        // shard segments instead of idling. Pure scheduling — shard_jobs
+        // never changes any result.
+        let workers = effective_jobs(config.jobs);
+        let outer = workers.min(total.saturating_sub(start).max(1));
+        let shard_jobs = (workers / outer).max(1);
         let sched =
             run_ordered(
                 start,
@@ -1039,25 +1062,36 @@ impl Session {
                         scratch,
                         SimScratch::new,
                         |_, scratch| {
-                            if config.metrics {
-                                let (outcome, telemetry) = run_agent_replication_metered(
+                            let mut pair = if config.metrics {
+                                let (outcome, telemetry) = run_agent_replication_metered_opts(
                                     &scenarios[s],
                                     config,
                                     r,
                                     scratch,
+                                    shard_jobs,
                                 )
                                 .map_err(invariant)?;
-                                Ok((outcome, Some(telemetry)))
+                                (outcome, Some(telemetry))
                             } else {
-                                let outcome = run_agent_replication_with_scratch(
+                                let outcome = run_agent_replication_opts(
                                     &scenarios[s],
                                     config,
                                     r,
                                     scratch,
+                                    shard_jobs,
                                 )
                                 .map_err(invariant)?;
-                                Ok((outcome, None))
+                                (outcome, None)
+                            };
+                            // Injected metric corruption (chaos `nan`
+                            // faults) poisons the classification after the
+                            // run, exercising the same rejection a real
+                            // estimator bug would hit.
+                            if faults.is_some_and(|p| p.corrupts_metrics(scenarios[s].id, r)) {
+                                pair.0.tail_slope = f64::NAN;
                             }
+                            check_finite(&pair.0, &scenarios[s].label)?;
+                            Ok(pair)
                         },
                     )
                 },
@@ -1130,6 +1164,34 @@ impl Session {
         framing.end(sched);
         outcomes
     }
+}
+
+/// Prefix of every failure payload produced by [`check_finite`]; the
+/// framing counts payloads carrying it into [`StreamStats::non_finite`].
+const NON_FINITE_MARKER: &str = "non-finite statistic";
+
+/// Rejects a replication whose classification produced a non-finite
+/// statistic: a NaN or infinite tail slope / tail average would silently
+/// poison the scenario's Welford aggregates (the accumulator now counts
+/// rather than absorbs such values, but a vote from a garbage trajectory
+/// is still a vote). The error becomes a typed quarantined failure — or a
+/// panic under [`FailurePolicy::FailFast`] — never a silently-NaN
+/// artifact.
+fn check_finite(outcome: &crate::agent::AgentReplication, label: &str) -> Result<(), String> {
+    for (name, value) in [
+        ("tail_slope", outcome.tail_slope),
+        ("tail_average", outcome.tail_average),
+    ] {
+        if !value.is_finite() {
+            return Err(format!(
+                "{NON_FINITE_MARKER}: scenario `{label}` replication {} \
+                 classified with {name} = {value}; rejecting the replication \
+                 instead of aggregating it",
+                outcome.replication
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// The per-failure delivery path shared by the CTMC and agent streams:
@@ -1326,6 +1388,8 @@ struct StreamFraming<'s, S: ReplicationSink> {
     failed: u64,
     /// Retry attempts spent, including any carried over from a checkpoint.
     retries: u64,
+    /// Failures whose payload marks a non-finite statistic.
+    non_finite: u64,
     /// Wall clock of the whole stream, begin to end.
     span: Span,
 }
@@ -1363,6 +1427,7 @@ impl<'s, S: ReplicationSink> StreamFraming<'s, S> {
             delivered: 0,
             failed: 0,
             retries: 0,
+            non_finite: 0,
             span: Span::start(),
         }
     }
@@ -1377,6 +1442,7 @@ impl<'s, S: ReplicationSink> StreamFraming<'s, S> {
 
     fn failure(&mut self, failure: &ReplicationFailure) {
         self.failed += 1;
+        self.non_finite += u64::from(failure.payload.starts_with(NON_FINITE_MARKER));
         self.sink.failure(failure);
         if let Some(p) = &mut self.progress {
             p.failure(failure);
@@ -1388,6 +1454,7 @@ impl<'s, S: ReplicationSink> StreamFraming<'s, S> {
             delivered: self.delivered,
             failed: self.failed,
             retries: self.retries,
+            non_finite: self.non_finite,
             max_pending: sched.max_pending,
             reorder_window: self.window,
             workers: sched.workers,

@@ -8,9 +8,19 @@ use serde::{Deserialize, Serialize};
 /// Values are pushed one at a time; the engine always pushes in replication
 /// order (0, 1, 2, …) regardless of which worker produced each value, so
 /// the aggregate is bit-for-bit independent of scheduling.
+///
+/// Non-finite observations (NaN, ±∞) are **rejected, not aggregated**:
+/// `min`/`max` would silently ignore a NaN while mean/m2 — and every
+/// confidence interval derived from them — went NaN, so verdict comparisons
+/// would quietly default. [`Welford::push`] instead counts the rejected
+/// observation in [`Welford::non_finite`] and leaves the moments untouched;
+/// callers that must fail loudly check the counter (the session layer turns
+/// a non-finite replication metric into a typed invariant error before the
+/// value ever reaches an accumulator).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Welford {
     count: u64,
+    non_finite: u64,
     mean: f64,
     m2: f64,
     min: f64,
@@ -29,6 +39,7 @@ impl Welford {
     pub fn new() -> Self {
         Welford {
             count: 0,
+            non_finite: 0,
             mean: 0.0,
             m2: 0.0,
             min: f64::INFINITY,
@@ -36,8 +47,14 @@ impl Welford {
         }
     }
 
-    /// Pushes one observation.
+    /// Pushes one observation. A non-finite value (NaN, ±∞) is rejected —
+    /// counted in [`Welford::non_finite`] and excluded from every moment —
+    /// instead of poisoning mean/m2 while `f64::min`/`max` silently skip it.
     pub fn push(&mut self, value: f64) {
+        if !value.is_finite() {
+            self.non_finite += 1;
+            return;
+        }
         self.count += 1;
         let delta = value - self.mean;
         self.mean += delta / self.count as f64;
@@ -50,6 +67,14 @@ impl Welford {
     #[must_use]
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Number of rejected non-finite observations (NaN, ±∞). These were
+    /// counted but never aggregated; a nonzero value means some producer
+    /// emitted a poisoned metric.
+    #[must_use]
+    pub fn non_finite(&self) -> u64 {
+        self.non_finite
     }
 
     /// Sample mean (0 if empty).
@@ -89,12 +114,29 @@ impl Welford {
     /// Merges another accumulator (Chan's parallel update). The engine's
     /// hot path aggregates sequentially in replication order; `merge` is
     /// for callers combining already-aggregated batches.
+    ///
+    /// # Merge order is part of the contract
+    ///
+    /// Chan's update is **not** bit-identical to pushing the same values in
+    /// order, and it is not associative-in-bits either: `a.merge(b)` and
+    /// `b.merge(a)` generally differ in the last ulps of mean/m2 (both are
+    /// correct to floating-point accuracy; neither reproduces in-order
+    /// `push` exactly). Deterministic callers must therefore fix a canonical
+    /// merge order — the sharded simulator merges shard-local accumulators
+    /// in ascending shard index — while the engine's artifact aggregation
+    /// never merges at all: it stays on the in-order `push` path, which is
+    /// what keeps artifacts byte-identical at any `--jobs`. The
+    /// `merge_is_order_sensitive_but_push_path_is_canonical` regression test
+    /// pins both halves of this contract.
     pub fn merge(&mut self, other: &Welford) {
+        self.non_finite += other.non_finite;
         if other.count == 0 {
             return;
         }
         if self.count == 0 {
+            let non_finite = self.non_finite;
             *self = *other;
+            self.non_finite = non_finite;
             return;
         }
         let total = self.count + other.count;
@@ -107,22 +149,37 @@ impl Welford {
         self.max = self.max.max(other.max);
     }
 
-    /// Decomposes the accumulator into `(count, mean, m2, min, max)` for
-    /// bit-exact external serialization (checkpoint files round-trip the
-    /// three floats through [`f64::to_bits`]). Inverse of
+    /// Decomposes the accumulator into `(count, non_finite, mean, m2, min,
+    /// max)` for bit-exact external serialization (checkpoint files
+    /// round-trip the floats through [`f64::to_bits`]). Inverse of
     /// [`Welford::from_raw_parts`].
     #[must_use]
-    pub fn to_raw_parts(&self) -> (u64, f64, f64, f64, f64) {
-        (self.count, self.mean, self.m2, self.min, self.max)
+    pub fn to_raw_parts(&self) -> (u64, u64, f64, f64, f64, f64) {
+        (
+            self.count,
+            self.non_finite,
+            self.mean,
+            self.m2,
+            self.min,
+            self.max,
+        )
     }
 
     /// Rebuilds an accumulator from parts produced by
     /// [`Welford::to_raw_parts`]. The parts are trusted verbatim — this is
     /// a deserialization hook, not a constructor for hand-made state.
     #[must_use]
-    pub fn from_raw_parts(count: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+    pub fn from_raw_parts(
+        count: u64,
+        non_finite: u64,
+        mean: f64,
+        m2: f64,
+        min: f64,
+        max: f64,
+    ) -> Self {
         Welford {
             count,
+            non_finite,
             mean,
             m2,
             min,
@@ -318,11 +375,108 @@ mod tests {
         for i in 0..17 {
             w.push((i as f64).cos() * 3.0);
         }
-        let (count, mean, m2, min, max) = w.to_raw_parts();
-        let back = Welford::from_raw_parts(count, mean, m2, min, max);
+        w.push(f64::NAN);
+        let (count, non_finite, mean, m2, min, max) = w.to_raw_parts();
+        let back = Welford::from_raw_parts(count, non_finite, mean, m2, min, max);
         assert_eq!(back, w);
+        assert_eq!(back.non_finite(), 1);
         assert_eq!(back.mean().to_bits(), w.mean().to_bits());
         assert_eq!(back.variance().to_bits(), w.variance().to_bits());
+    }
+
+    #[test]
+    fn non_finite_observations_are_counted_not_aggregated() {
+        let mut w = Welford::new();
+        w.push(2.0);
+        w.push(f64::NAN);
+        w.push(4.0);
+        w.push(f64::INFINITY);
+        w.push(f64::NEG_INFINITY);
+        assert_eq!(w.count(), 2);
+        assert_eq!(w.non_finite(), 3);
+        // The moments are those of the finite observations alone.
+        assert!((w.mean() - 3.0).abs() < 1e-12);
+        assert!(w.variance().is_finite());
+        assert_eq!(w.min(), 2.0);
+        assert_eq!(w.max(), 4.0);
+        assert!(w.estimate(0.95).mean.is_finite());
+        // Merging carries the rejection count along, in both directions.
+        let mut other = Welford::new();
+        other.push(f64::NAN);
+        other.push(6.0);
+        w.merge(&other);
+        assert_eq!(w.count(), 3);
+        assert_eq!(w.non_finite(), 4);
+        let mut empty = Welford::new();
+        empty.push(f64::NAN);
+        empty.merge(&w);
+        assert_eq!(empty.non_finite(), 5);
+        assert_eq!(empty.count(), 3);
+    }
+
+    /// Pins the merge-order contract documented on [`Welford::merge`]:
+    /// Chan's update is order-sensitive in the last bits, so (a) a fixed
+    /// canonical merge order is deterministic and statistically equal to
+    /// the in-order push path, and (b) nothing may assume `merge` commutes
+    /// bit-for-bit — the engine's artifact aggregation therefore stays on
+    /// in-order `push`, and shard merges fix ascending shard order.
+    #[test]
+    fn merge_is_order_sensitive_but_push_path_is_canonical() {
+        // Three shard-like batches with deliberately mismatched scales so
+        // the floating-point non-associativity is actually visible.
+        let batches: [Vec<f64>; 3] = [
+            (0..31).map(|i| (i as f64).sin() * 1e8).collect(),
+            (0..17).map(|i| (i as f64).cos() * 1e-3).collect(),
+            (0..53).map(|i| ((i * i) as f64).sin() * 42.0).collect(),
+        ];
+        let mut in_order = Welford::new();
+        let mut parts: Vec<Welford> = Vec::new();
+        for batch in &batches {
+            let mut w = Welford::new();
+            for &v in batch {
+                in_order.push(v);
+                w.push(v);
+            }
+            parts.push(w);
+        }
+        // Canonical order: ascending shard index. Deterministic — merging
+        // the same parts in the same order twice is bit-identical.
+        let canonical = |order: &[usize]| {
+            let mut acc = Welford::new();
+            for &i in order {
+                acc.merge(&parts[i]);
+            }
+            acc
+        };
+        let forward = canonical(&[0, 1, 2]);
+        let again = canonical(&[0, 1, 2]);
+        assert_eq!(forward.mean().to_bits(), again.mean().to_bits());
+        assert_eq!(forward.variance().to_bits(), again.variance().to_bits());
+        // Order dependence: some permutation disagrees in the last bits
+        // with the canonical order (if merge were bit-commutative this
+        // regression test would fail and the docs would be wrong).
+        let permutations: [[usize; 3]; 5] = [[0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        let some_order_differs = permutations.iter().any(|order| {
+            let w = canonical(order);
+            w.mean().to_bits() != forward.mean().to_bits()
+                || w.variance().to_bits() != forward.variance().to_bits()
+        });
+        let push_path_differs = forward.mean().to_bits() != in_order.mean().to_bits()
+            || forward.variance().to_bits() != in_order.variance().to_bits();
+        assert!(
+            some_order_differs || push_path_differs,
+            "Chan merge unexpectedly bit-identical across orders and to in-order push"
+        );
+        // Statistically they all agree to floating-point accuracy.
+        for order in &permutations {
+            let w = canonical(order);
+            assert_eq!(w.count(), in_order.count());
+            assert!((w.mean() - in_order.mean()).abs() <= 1e-6 * in_order.mean().abs() + 1e-9);
+            assert!(
+                (w.variance() - in_order.variance()).abs()
+                    <= 1e-6 * in_order.variance().abs() + 1e-9
+            );
+        }
     }
 
     #[test]

@@ -234,6 +234,14 @@ pub struct ScenarioSpec {
     /// Network-coding block; present if and only if the kernel is
     /// [`KernelKind::Coded`].
     pub coding: Option<CodingSpec>,
+    /// Intra-replication shard count (`"shards"` in files; turbo kernel
+    /// only). `None` inherits the engine-wide setting; a value above 1
+    /// splits each replication's population across shard workers.
+    pub shards: Option<u32>,
+    /// Synchronization window of the sharded driver (`"sync_window"` in
+    /// files, simulated time between cross-shard exchange rounds). `None`
+    /// inherits the engine-wide default.
+    pub sync_window: Option<f64>,
 }
 
 impl ScenarioSpec {
@@ -260,6 +268,8 @@ impl ScenarioSpec {
             flash_crowds: Vec::new(),
             kernel: KernelKind::EventDriven,
             coding: None,
+            shards: None,
+            sync_window: None,
         }
     }
 
@@ -400,6 +410,8 @@ impl ScenarioSpec {
             initial,
             flash,
             coding,
+            shards: self.shards,
+            sync_window: self.sync_window,
         })
     }
 
@@ -487,6 +499,12 @@ impl ScenarioSpec {
                 ]),
             ));
         }
+        if let Some(shards) = self.shards {
+            members.push(("shards".into(), Json::Num(f64::from(shards))));
+        }
+        if let Some(window) = self.sync_window {
+            members.push(("sync_window".into(), Json::Num(window)));
+        }
         Json::Obj(members).render()
     }
 
@@ -499,7 +517,7 @@ impl ScenarioSpec {
     /// Returns a [`SpecError::Parse`] naming the offending field or byte
     /// offset.
     pub fn from_json(text: &str) -> Result<Self, SpecError> {
-        const KNOWN: [&str; 17] = [
+        const KNOWN: [&str; 19] = [
             "name",
             "description",
             "num_pieces",
@@ -517,6 +535,8 @@ impl ScenarioSpec {
             "flash_crowds",
             "kernel",
             "coding",
+            "shards",
+            "sync_window",
         ];
         let doc = json::parse(text).map_err(SpecError::Parse)?;
         for key in doc.keys() {
@@ -565,6 +585,22 @@ impl ScenarioSpec {
         }
         if let Some(n) = get_count(&doc, "max_events")? {
             spec.max_events = n as u64;
+        }
+        if let Some(n) = get_count(&doc, "shards")? {
+            let shards = u32::try_from(n)
+                .map_err(|_| SpecError::Parse(format!("`shards` {n} is out of range")))?;
+            if shards == 0 {
+                return Err(SpecError::Parse("`shards` must be at least 1".into()));
+            }
+            spec.shards = Some(shards);
+        }
+        if let Some(x) = get_rate(&doc, "sync_window")? {
+            if !(x.is_finite() && x > 0.0) {
+                return Err(SpecError::Parse(format!(
+                    "`sync_window` {x} must be positive and finite"
+                )));
+            }
+            spec.sync_window = Some(x);
         }
         let kernel_named = doc.get("kernel").is_some();
         match doc.get("kernel") {
@@ -982,6 +1018,13 @@ pub struct ScenarioRunOptions {
     /// Overrides the spec's simulation kernel when set (the CLI's
     /// `--kernel` flag).
     pub kernel_override: Option<KernelKind>,
+    /// Overrides the spec's intra-replication shard count when set (the
+    /// CLI's `--shards` flag). Precedence: CLI flag > scenario file >
+    /// engine default (unsharded).
+    pub shards_override: Option<u32>,
+    /// Overrides the spec's sharded synchronization window when set (the
+    /// CLI's `--sync-window` flag).
+    pub sync_window_override: Option<f64>,
     /// Report replication progress on stderr through the engine's built-in
     /// progress sink (the CLI's `--progress` flag).
     pub progress: bool,
@@ -1010,6 +1053,8 @@ impl Default for ScenarioRunOptions {
             seed: 0xA11CE,
             horizon_override: None,
             kernel_override: None,
+            shards_override: None,
+            sync_window_override: None,
             progress: false,
             metrics: false,
             failure_policy: FailurePolicy::FailFast,
@@ -1144,6 +1189,12 @@ pub fn run_with_sink<S: ReplicationSink + Send>(
     let mut spec = spec.clone();
     if let Some(kernel) = options.kernel_override {
         spec.kernel = kernel;
+    }
+    if let Some(shards) = options.shards_override {
+        spec.shards = Some(shards);
+    }
+    if let Some(window) = options.sync_window_override {
+        spec.sync_window = Some(window);
     }
     let scenario = spec.compile(0)?;
     let horizon = options.horizon_override.unwrap_or(spec.horizon);
@@ -1348,6 +1399,70 @@ mod tests {
         spec.watch_piece = 0;
         spec.arrivals[0].pieces = PieceSelector::Pieces(vec![9]);
         assert!(spec.compile(0).is_err());
+    }
+
+    #[test]
+    fn shard_fields_parse_round_trip_and_compile_through() {
+        let doc = r#"{"name":"x","num_pieces":2,"kernel":"turbo",
+            "shards":4,"sync_window":0.5,
+            "arrivals":[{"pieces":"empty","rate":1}]}"#;
+        let spec = ScenarioSpec::from_json(doc).unwrap();
+        assert_eq!(spec.shards, Some(4));
+        assert_eq!(spec.sync_window, Some(0.5));
+        assert_eq!(ScenarioSpec::from_json(&spec.to_json()).unwrap(), spec);
+        let scenario = spec.compile(0).unwrap();
+        assert_eq!(scenario.shards, Some(4));
+        assert_eq!(scenario.sync_window, Some(0.5));
+        // Absent fields stay inherited (`None`), and stay off the wire.
+        let plain = ScenarioSpec::from_json(
+            r#"{"name":"x","num_pieces":2,"arrivals":[{"pieces":"empty","rate":1}]}"#,
+        )
+        .unwrap();
+        assert_eq!(plain.shards, None);
+        assert!(!plain.to_json().contains("shards"));
+        // Degenerate values are parse errors, not later surprises.
+        for bad in [
+            r#"{"name":"x","num_pieces":2,"shards":0,
+                "arrivals":[{"pieces":"empty","rate":1}]}"#,
+            r#"{"name":"x","num_pieces":2,"sync_window":0,
+                "arrivals":[{"pieces":"empty","rate":1}]}"#,
+            r#"{"name":"x","num_pieces":2,"sync_window":-1.0,
+                "arrivals":[{"pieces":"empty","rate":1}]}"#,
+        ] {
+            assert!(ScenarioSpec::from_json(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn shard_overrides_win_over_the_spec_and_jobs_never_change_the_numbers() {
+        let mut spec = ScenarioSpec::new("sharded", 2);
+        spec.kernel = KernelKind::Turbo;
+        spec.seed_rate = 1.5;
+        spec.seed_departure_rate = 2.0;
+        spec.arrivals = vec![ArrivalSpec {
+            pieces: PieceSelector::Empty,
+            rate: 1.2,
+        }];
+        spec.horizon = 80.0;
+        spec.shards = Some(2);
+        let options = ScenarioRunOptions {
+            replications: 2,
+            jobs: 1,
+            seed: 99,
+            shards_override: Some(3),
+            sync_window_override: Some(0.5),
+            ..Default::default()
+        };
+        let a = run(&spec, &options).unwrap();
+        assert_eq!(
+            a.spec.shards,
+            Some(3),
+            "the report's spec records the shard count that actually ran"
+        );
+        assert_eq!(a.spec.sync_window, Some(0.5));
+        let b = run(&spec, &ScenarioRunOptions { jobs: 4, ..options }).unwrap();
+        assert_eq!(a.outcome, b.outcome, "sharded runs are jobs-independent");
+        assert_eq!(a.render(), b.render());
     }
 
     #[test]

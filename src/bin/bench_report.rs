@@ -1,9 +1,9 @@
 //! Emits the canonical machine-readable kernel benchmark report
-//! (`BENCH_PR7.json`) so the repository tracks a perf trajectory instead of
+//! (`BENCH_PR9.json`) so the repository tracks a perf trajectory instead of
 //! claiming speedups in prose.
 //!
 //! ```text
-//! cargo run --release --bin bench_report                    # write BENCH_PR7.json
+//! cargo run --release --bin bench_report                    # write BENCH_PR9.json
 //! cargo run --release --bin bench_report -- --out my.json   # elsewhere
 //! cargo run --release --bin bench_report -- --check         # CI mode
 //! ```
@@ -41,11 +41,21 @@
 //! event and transfer counts of the unmetered runs, and the counter
 //! partition must add back up to them.
 //!
+//! The sharded workload is the intra-replication scaling row: the same
+//! `K = 32` one-piece-short regime without the retry speed-up (the sharded
+//! driver rejects `η > 1`), measured unsharded and sharded (8 shards,
+//! window 0.25) at operating sizes, plus a **10-million-peer** sharded run
+//! whose row pins that a swarm of that size *completes* — the aggregate
+//! events-per-second figure is whatever the hardware honestly delivers
+//! (shard workers use every available core; on a single-core host the
+//! sharded rows measure the driver's overhead, not a speedup).
+//!
 //! `--check` is the CI mode: it runs a reduced size twice per kernel and
 //! asserts *event-count determinism* (same seed → identical event and
-//! transfer counts; scan ≡ event by draw parity) plus the telemetry
-//! identities above, plus the schema of the committed `BENCH_PR7.json` —
-//! never wall time, which CI hardware cannot promise.
+//! transfer counts; scan ≡ event by draw parity; a sharded run is
+//! byte-stable across `--jobs`) plus the telemetry identities above, plus
+//! the schema of the committed `BENCH_PR9.json` — never wall time, which
+//! CI hardware cannot promise.
 
 use p2p_stability::engine::metrics::counters_json;
 use p2p_stability::engine::{
@@ -62,11 +72,12 @@ use std::process::ExitCode;
 
 const K: usize = 32;
 const SEED: u64 = 0xBE7C;
-const SCHEMA: &str = "p2p-bench/v4";
+const SCHEMA: &str = "p2p-bench/v5";
+const CANONICAL: &str = "BENCH_PR9.json";
 
 /// Required top-level keys of the report — `--check` verifies the committed
 /// file still carries each of them, so schema drift fails CI.
-const SCHEMA_KEYS: [&str; 12] = [
+const SCHEMA_KEYS: [&str; 14] = [
     "\"schema\"",
     "\"pr\"",
     "\"scenario\"",
@@ -79,6 +90,8 @@ const SCHEMA_KEYS: [&str; 12] = [
     "\"coded_turbo_speedup_vs_coded\"",
     "\"coded_million_peer\"",
     "\"telemetry\"",
+    "\"sharded\"",
+    "\"ten_million_peer\"",
 ];
 
 /// The swarm sizes (with their horizons) every kernel is measured at.
@@ -152,6 +165,23 @@ fn make_coded_scenario(kernel: KernelKind, n: usize) -> AgentScenario {
     scenario
 }
 
+/// The sharded-scaling scenario: [`make_scenario`] without the retry
+/// speed-up (the sharded driver models `η = 1` only), optionally sharded.
+/// The unsharded variant is the apples-to-apples baseline for the sharded
+/// rows — same kernel, same `η`, same arrival mix.
+fn make_sharded_scenario(n: usize, shards: Option<u32>) -> AgentScenario {
+    let mut scenario = AgentScenario::new(0, format!("bench-sharded-{n}"), bench_params(n));
+    scenario.config = AgentConfig {
+        kernel: KernelKind::Turbo,
+        snapshot_interval: 0.25,
+        ..Default::default()
+    };
+    scenario.initial = initial_groups(n);
+    scenario.shards = shards;
+    scenario.sync_window = Some(0.25);
+    scenario
+}
+
 /// Captures the single replication's simulator counters off the stream.
 #[derive(Default)]
 struct CaptureSink {
@@ -180,15 +210,18 @@ struct Measurement {
     counters: CounterSet,
 }
 
-/// A single-replication benchmark [`Session`], metered or not.
-fn bench_session(scenario: &AgentScenario, horizon: f64, metrics: bool) -> Session {
+/// A single-replication benchmark [`Session`], metered or not. `jobs` is
+/// the engine worker budget: with one replication the surplus flows to the
+/// scenario's shard segments, so sharded rows pass 0 (one worker per core)
+/// and unsharded rows pass 1.
+fn bench_session(scenario: &AgentScenario, horizon: f64, metrics: bool, jobs: usize) -> Session {
     Session::builder()
         .config(
             EngineConfig::default()
                 .with_replications(1)
                 .with_horizon(horizon)
                 .with_master_seed(SEED)
-                .with_jobs(1)
+                .with_jobs(jobs)
                 .with_metrics(metrics),
         )
         .workload(Workload::agent(vec![scenario.clone()]))
@@ -217,7 +250,19 @@ fn measure(
     horizon: f64,
     repeats: u32,
 ) -> Measurement {
-    let session = bench_session(scenario, horizon, false);
+    measure_with_jobs(scenario, name, horizon, repeats, 1)
+}
+
+/// [`measure`] with an explicit engine worker budget (sharded rows pass 0
+/// so shard segments get one worker per core).
+fn measure_with_jobs(
+    scenario: &AgentScenario,
+    name: &'static str,
+    horizon: f64,
+    repeats: u32,
+    jobs: usize,
+) -> Measurement {
+    let session = bench_session(scenario, horizon, false, jobs);
     let mut best = f64::INFINITY;
     let mut events = 0u64;
     let mut transfers = 0u64;
@@ -240,7 +285,7 @@ fn measure(
         best = best.min(wall);
     }
     let mut sink = CaptureSink::default();
-    let _ = bench_session(scenario, horizon, true).stream(&mut sink);
+    let _ = bench_session(scenario, horizon, true, jobs).stream(&mut sink);
     assert_eq!(events, sink.events, "{name}: metering changed the events");
     assert_eq!(
         transfers, sink.transfers,
@@ -279,8 +324,9 @@ fn measure_logged(
     name: &'static str,
     horizon: f64,
     repeats: u32,
+    jobs: usize,
 ) -> Measurement {
-    let m = measure(scenario, name, horizon, repeats);
+    let m = measure_with_jobs(scenario, name, horizon, repeats, jobs);
     eprintln!(
         "  {:12} {:>9} events in {:.3}s  ({:.0} events/s)",
         m.kernel, m.events, m.wall_seconds, m.events_per_sec
@@ -302,6 +348,19 @@ fn json_num(x: f64) -> String {
     }
 }
 
+/// The sharded-scaling block's inputs: one `(peers, horizon, unsharded,
+/// sharded)` row per measured size, plus the 10M-peer completion row.
+struct ShardedBench {
+    shards: u32,
+    sync_window: f64,
+    shard_jobs: usize,
+    rows: Vec<(usize, f64, Measurement, Measurement)>,
+    ten_million: Measurement,
+    ten_million_peers: usize,
+    ten_million_horizon: f64,
+}
+
+#[allow(clippy::too_many_arguments)]
 fn render_report(
     sizes: &[(usize, f64, Vec<Measurement>)],
     coded: &[(usize, f64, Vec<Measurement>)],
@@ -310,11 +369,12 @@ fn render_report(
     million_peers: usize,
     million_horizon: f64,
     coded_million_horizon: f64,
+    sharded: &ShardedBench,
 ) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
     let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
-    let _ = writeln!(out, "  \"pr\": 7,");
+    let _ = writeln!(out, "  \"pr\": 9,");
     let _ = writeln!(out, "  \"scenario\": \"big-swarm-k32-retry\",");
     let _ = writeln!(
         out,
@@ -421,12 +481,70 @@ fn render_report(
         "  \"coded_million_peer\": {{\"peers\": {million_peers}, \
          \"kernel\": \"coded-turbo\", \"horizon\": {}, \"events\": {}, \
          \"wall_seconds\": {}, \"events_per_sec\": {}, \"completed\": true, \
-         \"telemetry\": {}}}",
+         \"telemetry\": {}}},",
         json_num(coded_million_horizon),
         coded_million.events,
         json_num(coded_million.wall_seconds),
         json_num(coded_million.events_per_sec),
         counters_json(&coded_million.counters),
+    );
+    // Intra-replication sharding: the unsharded η = 1 turbo baseline
+    // against the sharded driver at each size, then the 10M-peer
+    // completion row. `shard_jobs` records how many cores the shard
+    // segments actually ran on — the honest context for every
+    // events-per-second figure in this block.
+    let _ = writeln!(
+        out,
+        "  \"sharded\": {{\"scenario\": \"big-swarm-k32\", \"shards\": {}, \
+         \"sync_window\": {}, \"shard_jobs\": {}, \"sizes\": [",
+        sharded.shards,
+        json_num(sharded.sync_window),
+        sharded.shard_jobs,
+    );
+    for (s, (peers, horizon, unsharded, row)) in sharded.rows.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"peers\": {peers},");
+        let _ = writeln!(out, "      \"horizon\": {},", json_num(*horizon));
+        let _ = writeln!(out, "      \"kernels\": [");
+        for (i, m) in [unsharded, row].into_iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "        {{\"kernel\": \"{}\", \"events\": {}, \"transfers\": {}, \
+                 \"wall_seconds\": {}, \"events_per_sec\": {}, \"telemetry\": {}}}{}",
+                m.kernel,
+                m.events,
+                m.transfers,
+                json_num(m.wall_seconds),
+                json_num(m.events_per_sec),
+                counters_json(&m.counters),
+                if i == 0 { "," } else { "" }
+            );
+        }
+        let _ = writeln!(out, "      ],");
+        let _ = writeln!(
+            out,
+            "      \"sharded_speedup_vs_unsharded\": {}",
+            json_num(row.events_per_sec / unsharded.events_per_sec)
+        );
+        let _ = writeln!(
+            out,
+            "    }}{}",
+            if s + 1 < sharded.rows.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(out, "  ]}},");
+    let _ = writeln!(
+        out,
+        "  \"ten_million_peer\": {{\"peers\": {}, \"kernel\": \"turbo-sharded\", \
+         \"shards\": {}, \"horizon\": {}, \"events\": {}, \"wall_seconds\": {}, \
+         \"events_per_sec\": {}, \"completed\": true, \"telemetry\": {}}}",
+        sharded.ten_million_peers,
+        sharded.shards,
+        json_num(sharded.ten_million_horizon),
+        sharded.ten_million.events,
+        json_num(sharded.ten_million.wall_seconds),
+        json_num(sharded.ten_million.events_per_sec),
+        counters_json(&sharded.ten_million.counters),
     );
     let _ = writeln!(out, "}}");
     out
@@ -524,23 +642,45 @@ fn check() -> ExitCode {
         "coded-turbo", coded_turbo.events, coded_turbo.transfers
     );
 
+    // The sharded driver: deterministic at any worker count (same seed,
+    // jobs 1 vs 4 → identical event and transfer counts) and in the same
+    // statistical ballpark as the unsharded turbo baseline.
+    let sharded_scenario = make_sharded_scenario(n, Some(4));
+    let sharded_1 = measure_with_jobs(&sharded_scenario, "turbo-sharded", horizon, 2, 1);
+    let sharded_4 = measure_with_jobs(&sharded_scenario, "turbo-sharded", horizon, 2, 4);
+    assert_eq!(
+        sharded_1.events, sharded_4.events,
+        "sharded runs diverged across jobs"
+    );
+    assert_eq!(sharded_1.transfers, sharded_4.transfers);
+    let baseline = measure(&make_sharded_scenario(n, None), "turbo-eta1", horizon, 2);
+    let sharded_ratio = sharded_1.events as f64 / baseline.events as f64;
+    assert!(
+        (0.8..1.25).contains(&sharded_ratio),
+        "sharded event count diverges from the unsharded turbo run: ratio {sharded_ratio}"
+    );
+    println!(
+        "  {:12} {:>8} events, {:>8} transfers (jobs-stable)",
+        "turbo-sharded", sharded_1.events, sharded_1.transfers
+    );
+
     // Schema of the committed trajectory file, when present.
-    match std::fs::read_to_string("BENCH_PR7.json") {
+    match std::fs::read_to_string(CANONICAL) {
         Ok(text) => {
             for key in SCHEMA_KEYS {
                 if !text.contains(key) {
-                    eprintln!("BENCH_PR7.json: missing required key {key}");
+                    eprintln!("{CANONICAL}: missing required key {key}");
                     return ExitCode::FAILURE;
                 }
             }
             if !text.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
-                eprintln!("BENCH_PR7.json: schema string is not {SCHEMA}");
+                eprintln!("{CANONICAL}: schema string is not {SCHEMA}");
                 return ExitCode::FAILURE;
             }
-            println!("BENCH_PR7.json schema OK");
+            println!("{CANONICAL} schema OK");
         }
         Err(error) => {
-            eprintln!("cannot read BENCH_PR7.json: {error}");
+            eprintln!("cannot read {CANONICAL}: {error}");
             return ExitCode::FAILURE;
         }
     }
@@ -550,7 +690,7 @@ fn check() -> ExitCode {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut out_path = String::from("BENCH_PR7.json");
+    let mut out_path = String::from(CANONICAL);
     let mut check_mode = false;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -583,7 +723,9 @@ fn main() -> ExitCode {
         eprintln!("measuring {peers}-peer swarm (horizon {horizon}) ...");
         let measurements: Vec<Measurement> = KERNELS
             .iter()
-            .map(|&(kernel, name)| measure_logged(&make_scenario(kernel, peers), name, horizon, 3))
+            .map(|&(kernel, name)| {
+                measure_logged(&make_scenario(kernel, peers), name, horizon, 3, 1)
+            })
             .collect();
         sizes.push((peers, horizon, measurements));
         eprintln!("measuring {peers}-peer coded swarm (horizon {horizon}) ...");
@@ -593,12 +735,14 @@ fn main() -> ExitCode {
                 "coded",
                 horizon,
                 3,
+                1,
             ),
             measure_logged(
                 &make_coded_scenario(KernelKind::CodedTurbo, peers),
                 "coded-turbo",
                 horizon,
                 3,
+                1,
             ),
         ];
         coded.push((peers, horizon, coded_measurements));
@@ -612,6 +756,7 @@ fn main() -> ExitCode {
         "turbo",
         million_horizon,
         1,
+        1,
     );
 
     let coded_million_horizon = 1.5;
@@ -623,6 +768,7 @@ fn main() -> ExitCode {
         "coded-turbo",
         coded_million_horizon,
         1,
+        1,
     );
     // The laziness claim the million-peer row exists to pin: at scale,
     // dimension-only decisions must outnumber basis materializations.
@@ -633,6 +779,55 @@ fn main() -> ExitCode {
         coded_million.counters
     );
 
+    // Intra-replication sharding: the η = 1 turbo baseline against the
+    // sharded driver (8 shards, window 0.25) at each operating size, with
+    // shard segments on every available core (`jobs = 0`), then the
+    // 10M-peer completion row. `measure` asserts `!truncated`, so the row
+    // existing proves the run completed.
+    const SHARDS: u32 = 8;
+    let shard_jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut sharded_rows = Vec::new();
+    for (peers, horizon) in [(100_000, 8.0), (1_000_000, 1.5)] {
+        eprintln!("measuring {peers}-peer sharded swarm (horizon {horizon}, {SHARDS} shards) ...");
+        let unsharded = measure_logged(
+            &make_sharded_scenario(peers, None),
+            "turbo-eta1",
+            horizon,
+            3,
+            1,
+        );
+        let row = measure_logged(
+            &make_sharded_scenario(peers, Some(SHARDS)),
+            "turbo-sharded",
+            horizon,
+            3,
+            0,
+        );
+        sharded_rows.push((peers, horizon, unsharded, row));
+    }
+    let ten_million_peers = 10_000_000;
+    let ten_million_horizon = 1.0;
+    eprintln!(
+        "measuring {ten_million_peers}-peer sharded run \
+         (horizon {ten_million_horizon}, {SHARDS} shards) ..."
+    );
+    let ten_million = measure_logged(
+        &make_sharded_scenario(ten_million_peers, Some(SHARDS)),
+        "turbo-sharded",
+        ten_million_horizon,
+        1,
+        0,
+    );
+    let sharded = ShardedBench {
+        shards: SHARDS,
+        sync_window: 0.25,
+        shard_jobs,
+        rows: sharded_rows,
+        ten_million,
+        ten_million_peers,
+        ten_million_horizon,
+    };
+
     let report = render_report(
         &sizes,
         &coded,
@@ -641,6 +836,7 @@ fn main() -> ExitCode {
         million_peers,
         million_horizon,
         coded_million_horizon,
+        &sharded,
     );
     if let Err(error) = std::fs::write(&out_path, &report) {
         eprintln!("cannot write {out_path}: {error}");

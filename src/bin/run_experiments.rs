@@ -31,6 +31,12 @@
 //!   is the network-coded kernel and needs a scenario with a `"coding"`
 //!   block; `coded-turbo` is its bitsliced GF(2) fast path and additionally
 //!   requires `q = 2`),
+//! * `--shards N` — (with `--scenario`) shard each replication's peer
+//!   population across `N` per-shard clocks (turbo kernel only); for a
+//!   fixed `(seed, shards, sync-window)` the result is byte-identical at
+//!   any `--jobs`,
+//! * `--sync-window W` — (with `--scenario`) the simulated-time length of
+//!   a sharded synchronization round (default from the engine config),
 //! * `--progress` — report replication progress on stderr through the
 //!   engine's built-in `ProgressSink`,
 //! * `--stream` — (with `--scenario`) execute through the streaming
@@ -108,6 +114,10 @@ struct Cli {
     /// Set only when `--kernel` was given explicitly (a scenario's own
     /// kernel must win otherwise).
     kernel: Option<KernelKind>,
+    /// Shard count override (`--shards N`).
+    shards: Option<u32>,
+    /// Synchronization-window override (`--sync-window W`).
+    sync_window: Option<f64>,
     /// NDJSON telemetry export path (`--metrics[=FILE]`).
     metrics: Option<PathBuf>,
     /// Validate-and-exit mode (`--check-metrics FILE`).
@@ -173,6 +183,7 @@ fn parse_failure_policy(value: &str) -> Result<FailurePolicy, String> {
 const USAGE: &str = "usage: run_experiments [quick] [--replications N] [--jobs N] \
 [--seed S] [--horizon T] [--scenario FILE|NAME] \
 [--kernel event|scan|turbo|coded|coded-turbo] \
+[--shards N] [--sync-window W] \
 [--progress] [--stream] [--metrics[=FILE]] [--check-metrics FILE] \
 [--allow-truncated] [--failure-policy failfast|quarantine[:N]|retry[:N[:MS]]] \
 [--chaos SPEC] [--checkpoint[=FILE]] [--resume FILE] \
@@ -219,6 +230,8 @@ fn parse_cli() -> Result<Cli, CliError> {
     let mut stream = false;
     let mut explicit_horizon = None;
     let mut kernel = None;
+    let mut shards = None;
+    let mut sync_window = None;
     let mut metrics = None;
     let mut check_metrics = None;
     let mut allow_truncated = false;
@@ -272,6 +285,26 @@ fn parse_cli() -> Result<Cli, CliError> {
                         )))
                     }
                 });
+            }
+            "--shards" => {
+                let n: u32 = value_of("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+                if n == 0 {
+                    return Err(CliError::Invalid("--shards: must be at least 1".into()));
+                }
+                shards = Some(n);
+            }
+            "--sync-window" => {
+                let window: f64 = value_of("--sync-window")?
+                    .parse()
+                    .map_err(|e| format!("--sync-window: {e}"))?;
+                if !(window.is_finite() && window > 0.0) {
+                    return Err(CliError::Invalid(format!(
+                        "--sync-window: must be a finite positive time, got {window}"
+                    )));
+                }
+                sync_window = Some(window);
             }
             "--progress" => config.progress = true,
             "--stream" => stream = true,
@@ -333,6 +366,8 @@ fn parse_cli() -> Result<Cli, CliError> {
                 failure_policy != FailurePolicy::FailFast,
                 "--failure-policy",
             ),
+            (shards.is_some(), "--shards"),
+            (sync_window.is_some(), "--sync-window"),
             (chaos.is_some(), "--chaos"),
             (checkpoint.is_some(), "--checkpoint"),
             (resume.is_some(), "--resume"),
@@ -359,6 +394,8 @@ fn parse_cli() -> Result<Cli, CliError> {
         stream,
         explicit_horizon,
         kernel,
+        shards,
+        sync_window,
         metrics,
         check_metrics,
         allow_truncated,
@@ -522,6 +559,8 @@ fn run_scenario(which: &str, cli: &Cli) -> ExitCode {
         seed: cli.config.seed,
         horizon_override: cli.explicit_horizon,
         kernel_override: cli.kernel,
+        shards_override: cli.shards,
+        sync_window_override: cli.sync_window,
         progress: cli.config.progress,
         metrics: cli.metrics.is_some(),
         failure_policy: cli.failure_policy,
