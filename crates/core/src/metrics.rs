@@ -143,6 +143,7 @@ impl SimResult {
     /// snapshot.
     #[must_use]
     pub fn final_snapshot(&self) -> &SimSnapshot {
+        // simlint: allow(E001, "SimResult construction always records the t = 0 snapshot")
         self.snapshots.last().expect("at least one snapshot")
     }
 
@@ -150,6 +151,7 @@ impl SimResult {
     /// classification analysis.
     #[must_use]
     pub fn peer_count_path(&self) -> markov::SamplePath {
+        // simlint: allow(E001, "SimResult construction always records the t = 0 snapshot")
         let first = self.snapshots.first().expect("at least one snapshot");
         let mut path = markov::SamplePath::new(first.time, first.total_peers as f64);
         for s in &self.snapshots[1..] {
@@ -162,6 +164,7 @@ impl SimResult {
     /// The one-club size sample path.
     #[must_use]
     pub fn one_club_path(&self) -> markov::SamplePath {
+        // simlint: allow(E001, "SimResult construction always records the t = 0 snapshot")
         let first = self.snapshots.first().expect("at least one snapshot");
         let mut path = markov::SamplePath::new(first.time, first.groups.one_club as f64);
         for s in &self.snapshots[1..] {

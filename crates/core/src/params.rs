@@ -72,6 +72,7 @@ impl SwarmParams {
     /// for small `K`.
     #[must_use]
     pub fn type_space(&self) -> TypeSpace {
+        // simlint: allow(E001, "documented panic (see the # Panics section): enumerating 2^K types is deliberately a caller contract")
         TypeSpace::new(self.num_pieces).expect("K small enough to enumerate 2^K types")
     }
 

@@ -64,6 +64,7 @@ impl PiecePolicy for RandomUseful {
         let count = useful.len();
         debug_assert!(count > 0, "policy invoked with no useful piece");
         let idx = rng.gen_range(0..count);
+        // simlint: allow(E001, "kernels invoke policies only with a non-empty useful set (debug-asserted above)")
         useful.iter().nth(idx).expect("index within set size")
     }
 
@@ -97,6 +98,7 @@ impl PiecePolicy for RarestFirst {
             .iter()
             .map(|p| piece_copies.get(p.index()).copied().unwrap_or(0))
             .min()
+            // simlint: allow(E001, "kernels invoke policies only with a non-empty useful set")
             .expect("non-empty useful set");
         let rarest: Vec<PieceId> = useful
             .iter()
@@ -122,6 +124,7 @@ impl PiecePolicy for Sequential {
         _piece_copies: &[u64],
         _rng: &mut dyn rand::RngCore,
     ) -> PieceId {
+        // simlint: allow(E001, "kernels invoke policies only with a non-empty useful set")
         useful.first().expect("non-empty useful set")
     }
 
@@ -152,6 +155,7 @@ impl PiecePolicy for MostCommonFirst {
             .iter()
             .map(|p| piece_copies.get(p.index()).copied().unwrap_or(0))
             .max()
+            // simlint: allow(E001, "kernels invoke policies only with a non-empty useful set")
             .expect("non-empty useful set");
         let candidates: Vec<PieceId> = useful
             .iter()

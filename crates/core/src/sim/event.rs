@@ -78,6 +78,7 @@ impl<'a, T: Recorder> State<'a, T> {
         let (arrival_types, arrival_weights): (Vec<PieceSet>, Vec<f64>) =
             sim.params.arrivals().unzip();
         let arrival_sampler =
+            // simlint: allow(E001, "SwarmParams validation guarantees lambda_total > 0")
             CumulativeWeights::new(&arrival_weights).expect("λ_total > 0 by construction");
         rec.incr(Counter::AliasRebuilds);
         debug_assert!(snapshots.is_empty(), "recycled buffer arrives cleared");

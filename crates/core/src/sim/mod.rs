@@ -389,6 +389,7 @@ impl AgentSwarm {
     #[must_use]
     pub fn run<R: Rng>(&self, initial: &[PieceSet], horizon: f64, rng: &mut R) -> SimResult {
         self.run_with_schedule(initial, &[], horizon, rng)
+            // simlint: allow(E001, "documented infallible convenience wrapper; fallible callers use run_with_schedule")
             .expect("valid initial population")
     }
 
@@ -551,6 +552,7 @@ impl AgentSwarm {
                 let gifts = self
                     .coded
                     .as_ref()
+                    // simlint: allow(E001, "with_coded establishes the gift mix before the coded kernel is selectable")
                     .expect("with_coded establishes the gift mix for the coded kernel");
                 drive(
                     self,
@@ -564,6 +566,7 @@ impl AgentSwarm {
                 let gifts = self
                     .coded
                     .as_ref()
+                    // simlint: allow(E001, "with_coded_turbo establishes the gift mix before the coded-turbo kernel is selectable")
                     .expect("with_coded_turbo establishes the gift mix for the coded-turbo kernel");
                 drive(
                     self,
@@ -718,6 +721,7 @@ fn drive<S: KernelState, R: Rng>(
         time = new_time;
         events += 1;
 
+        // simlint: allow(E001, "total rate > 0 here: a zero-rate state takes the infinite-horizon break above")
         match sample_weighted_index(rng, &rates).expect("positive total rate") {
             0 => state.handle_arrival(time, rng),
             1 => state.handle_seed_tick(time, rng),

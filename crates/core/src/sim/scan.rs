@@ -228,6 +228,7 @@ impl<T: Recorder> KernelState for State<'_, T> {
         // prefix sums (and therefore the mapping of the shared single
         // uniform draw) are identical to the event kernel's cached table.
         let weights: Vec<f64> = self.arrival_types.iter().map(|(_, r)| *r).collect();
+        // simlint: allow(E001, "SwarmParams validation guarantees lambda_total > 0")
         let sampler = CumulativeWeights::new(&weights).expect("λ_total > 0");
         self.rec.incr(Counter::AliasRebuilds);
         let idx = sampler.sample(rng);

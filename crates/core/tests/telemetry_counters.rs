@@ -97,6 +97,13 @@ fn assert_invariants(result: &swarm::metrics::SimResult, c: &CounterSet, kernel:
         result.events,
         "{kernel}: arrivals + contacts + departure_events == events"
     );
+    // The same partition spelled out, so each member counter is pinned
+    // explicitly (and `event_total` cannot drift from its documentation).
+    assert_eq!(
+        c.get(Counter::Arrivals) + c.get(Counter::Contacts) + c.get(Counter::DepartureEvents),
+        c.event_total(),
+        "{kernel}: event_total is exactly the three-way event partition"
+    );
     assert_eq!(
         c.get(Counter::Contacts),
         c.get(Counter::UsefulTransfers) + c.get(Counter::UselessContacts),

@@ -109,6 +109,7 @@ where
         ));
     }
     // Breadth-first enumeration of the kept, reachable states.
+    // simlint: allow(D001, "lookup-only: the map is insert/get, never iterated; enumeration order lives in `states` (BFS discovery order), pinned by `bfs_enumeration_order_is_discovery_order`")
     let mut index: HashMap<M::State, usize> = HashMap::new();
     let mut states: Vec<M::State> = Vec::new();
     let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
@@ -265,6 +266,30 @@ mod tests {
             stationary_distribution(&model, 0, |s| *s <= 30, StationaryOptions::default()).unwrap();
         assert_eq!(dist.probability_of(&1_000), 0.0);
         assert!(!dist.is_empty());
+    }
+
+    #[test]
+    fn bfs_enumeration_order_is_discovery_order() {
+        // Binary-tree chain: s → 2s+1, 2s+2 (plus a rate back to the
+        // parent, so the truncated chain is irreducible). Level-order
+        // discovery from the root must survive verbatim in `support()`:
+        // the `index` HashMap is lookup-only and may never leak its own
+        // hash-seeded order into the state list.
+        struct Tree;
+        impl Ctmc for Tree {
+            type State = u64;
+            fn transitions(&self, s: &u64, out: &mut Vec<(u64, f64)>) {
+                out.push((2 * s + 1, 1.0));
+                out.push((2 * s + 2, 2.0));
+                if *s > 0 {
+                    out.push(((s - 1) / 2, 3.0));
+                }
+            }
+        }
+        let dist =
+            stationary_distribution(&Tree, 0, |s| *s <= 14, StationaryOptions::default()).unwrap();
+        let order: Vec<u64> = dist.support().map(|(s, _)| *s).collect();
+        assert_eq!(order, (0..=14).collect::<Vec<u64>>());
     }
 
     #[test]

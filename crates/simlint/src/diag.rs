@@ -1,0 +1,175 @@
+//! Diagnostics: severities, rendering (human and JSON), and ordering.
+
+use std::fmt;
+
+/// How serious a finding is.
+///
+/// Errors fail the lint run (exit code 1); warnings are reported but pass.
+/// The driver's `--deny` flag promotes warnings to errors per rule family
+/// or wholesale (`--deny all`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+impl Severity {
+    /// The lowercase name used in human and JSON output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One lint finding, anchored to a file position.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Rule identifier (`"D001"`, `"E001"`, `"X002"`, `"A001"`, …).
+    pub rule: &'static str,
+    pub severity: Severity,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line of the finding.
+    pub line: u32,
+    /// 1-based column of the finding.
+    pub col: u32,
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Sort key: path, then position, then rule — a deterministic report
+    /// order independent of rule execution order.
+    #[must_use]
+    pub fn sort_key(&self) -> (String, u32, u32, &'static str) {
+        (self.path.clone(), self.line, self.col, self.rule)
+    }
+
+    /// Renders the single-line human form:
+    /// `path:line:col: severity[RULE]: message`.
+    #[must_use]
+    pub fn render_human(&self) -> String {
+        format!(
+            "{}:{}:{}: {}[{}]: {}",
+            self.path,
+            self.line,
+            self.col,
+            self.severity.name(),
+            self.rule,
+            self.message
+        )
+    }
+
+    /// Renders one JSON object (no trailing newline).
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        let mut field = |key: &str, value: &str, quoted: bool, first: bool| {
+            if !first {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(key);
+            out.push_str("\":");
+            if quoted {
+                out.push('"');
+                json_escape_into(&mut out, value);
+                out.push('"');
+            } else {
+                out.push_str(value);
+            }
+        };
+        field("rule", self.rule, true, true);
+        field("severity", self.severity.name(), true, false);
+        field("path", &self.path, true, false);
+        field("line", &self.line.to_string(), false, false);
+        field("col", &self.col.to_string(), false, false);
+        field("message", &self.message, true, false);
+        out.push('}');
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render_human())
+    }
+}
+
+/// Renders a full diagnostic list as a JSON array (pretty, one object per
+/// line, stable order — suitable for diffing in CI).
+#[must_use]
+pub fn render_json_report(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  ");
+        out.push_str(&d.render_json());
+    }
+    if !diags.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+fn json_escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Diagnostic {
+        Diagnostic {
+            rule: "D001",
+            severity: Severity::Error,
+            path: "crates/x/src/lib.rs".into(),
+            line: 3,
+            col: 9,
+            message: "iteration over a hash container (`m`)".into(),
+        }
+    }
+
+    #[test]
+    fn human_form_is_single_line() {
+        assert_eq!(
+            sample().render_human(),
+            "crates/x/src/lib.rs:3:9: error[D001]: iteration over a hash container (`m`)"
+        );
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_backslashes() {
+        let mut d = sample();
+        d.message = "say \"hi\" \\ done".into();
+        let json = d.render_json();
+        assert!(json.contains(r#""message":"say \"hi\" \\ done""#));
+    }
+
+    #[test]
+    fn json_report_shape() {
+        assert_eq!(render_json_report(&[]), "[]");
+        let report = render_json_report(&[sample(), sample()]);
+        assert!(report.starts_with("[\n  {"));
+        assert!(report.ends_with("}\n]"));
+        assert_eq!(report.matches("\"rule\":\"D001\"").count(), 2);
+    }
+}

@@ -1,0 +1,466 @@
+//! A token-level lexer for Rust source.
+//!
+//! This is not a parser: it only needs to be exact about what is and is not
+//! a *token*, so that rule patterns never fire inside strings or comments
+//! and so that comments (the carrier of `simlint: allow` directives) are
+//! recovered with their position and layout. It handles the full literal
+//! surface that matters for that goal: nested block comments, raw strings
+//! with any hash depth, byte/C string prefixes, raw identifiers, and the
+//! char-literal/lifetime ambiguity.
+
+/// What kind of token was lexed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (keywords are not distinguished here).
+    Ident,
+    /// A lifetime such as `'a` (not a char literal).
+    Lifetime,
+    /// A numeric literal (integer or float, any base, with suffix).
+    Number,
+    /// A string literal of any flavour (`"…"`, `r#"…"#`, `b"…"`, `c"…"`).
+    Str,
+    /// A char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// A single punctuation character (delimiters included).
+    Punct(char),
+}
+
+/// One code token with its source position (1-based line and column).
+#[derive(Debug, Clone, Copy)]
+pub struct Token<'a> {
+    pub kind: TokenKind,
+    pub text: &'a str,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl<'a> Token<'a> {
+    /// `true` for a punctuation token of exactly `c`.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+
+    /// `true` for an identifier token spelling exactly `name`.
+    #[must_use]
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+}
+
+/// One comment (line or block) with its position and layout.
+#[derive(Debug, Clone, Copy)]
+pub struct Comment<'a> {
+    /// The raw comment text including the `//` / `/*` delimiters.
+    pub text: &'a str,
+    /// Line the comment starts on (1-based).
+    pub line: u32,
+    /// `true` if a code token precedes the comment on the same line
+    /// (a trailing comment), `false` if the comment owns its line.
+    pub trailing: bool,
+}
+
+/// The full lex of one source file.
+#[derive(Debug)]
+pub struct Lexed<'a> {
+    pub tokens: Vec<Token<'a>>,
+    pub comments: Vec<Comment<'a>>,
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    /// Line of the most recently emitted code token.
+    last_token_line: u32,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek_at(&self, byte_offset: usize) -> Option<char> {
+        self.src.get(self.pos + byte_offset..)?.chars().next()
+    }
+
+    /// Advances past one char, maintaining line/column counters.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    /// Consumes chars while `pred` holds.
+    fn bump_while(&mut self, pred: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek() {
+            if !pred(c) {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    /// Consumes a `"…"` body (opening quote already consumed), honouring
+    /// backslash escapes.
+    fn string_body(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consumes a raw-string body: `#…#"…"#…#` with `hashes` hashes
+    /// (the hashes and opening quote already consumed).
+    fn raw_string_body(&mut self, hashes: usize) {
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut seen = 0;
+                while seen < hashes && self.peek() == Some('#') {
+                    self.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Lexes `src` into code tokens and comments.
+#[must_use]
+pub fn lex(src: &str) -> Lexed<'_> {
+    let mut lx = Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        last_token_line: 0,
+    };
+    let mut tokens = Vec::new();
+    let mut comments = Vec::new();
+
+    while let Some(c) = lx.peek() {
+        let start = lx.pos;
+        let (line, col) = (lx.line, lx.col);
+        if c.is_whitespace() {
+            lx.bump();
+            continue;
+        }
+        // Comments.
+        if c == '/' && lx.peek_at(1) == Some('/') {
+            while let Some(c) = lx.peek() {
+                if c == '\n' {
+                    break;
+                }
+                lx.bump();
+            }
+            comments.push(Comment {
+                text: &src[start..lx.pos],
+                line,
+                trailing: lx.last_token_line == line,
+            });
+            continue;
+        }
+        if c == '/' && lx.peek_at(1) == Some('*') {
+            lx.bump();
+            lx.bump();
+            let mut depth = 1usize;
+            while depth > 0 {
+                match lx.bump() {
+                    Some('/') if lx.peek() == Some('*') => {
+                        lx.bump();
+                        depth += 1;
+                    }
+                    Some('*') if lx.peek() == Some('/') => {
+                        lx.bump();
+                        depth -= 1;
+                    }
+                    Some(_) => {}
+                    None => break,
+                }
+            }
+            comments.push(Comment {
+                text: &src[start..lx.pos],
+                line,
+                trailing: lx.last_token_line == line,
+            });
+            continue;
+        }
+        // Identifiers and literal prefixes (r"", r#""#, b"", b'', br"", c"").
+        if is_ident_start(c) {
+            lx.bump();
+            lx.bump_while(is_ident_continue);
+            let word = &src[start..lx.pos];
+            let kind = match (word, lx.peek()) {
+                // Raw identifier r#name — but r#" starts a raw string.
+                ("r", Some('#')) if lx.peek_at(1).is_some_and(is_ident_start) => {
+                    lx.bump();
+                    lx.bump_while(is_ident_continue);
+                    TokenKind::Ident
+                }
+                ("r" | "br" | "cr", Some('#' | '"')) => {
+                    let mut hashes = 0;
+                    while lx.peek() == Some('#') {
+                        lx.bump();
+                        hashes += 1;
+                    }
+                    if lx.peek() == Some('"') {
+                        lx.bump();
+                        lx.raw_string_body(hashes);
+                        TokenKind::Str
+                    } else {
+                        // `r#` followed by neither quote nor ident: emit the
+                        // word alone and let the `#` lex as punctuation.
+                        TokenKind::Ident
+                    }
+                }
+                ("b" | "c", Some('"')) => {
+                    lx.bump();
+                    lx.string_body();
+                    TokenKind::Str
+                }
+                ("b", Some('\'')) => {
+                    lx.bump();
+                    if lx.peek() == Some('\\') {
+                        lx.bump();
+                        lx.bump();
+                    } else {
+                        lx.bump();
+                    }
+                    if lx.peek() == Some('\'') {
+                        lx.bump();
+                    }
+                    TokenKind::Char
+                }
+                _ => TokenKind::Ident,
+            };
+            tokens.push(Token {
+                kind,
+                text: &src[start..lx.pos],
+                line,
+                col,
+            });
+            lx.last_token_line = line;
+            continue;
+        }
+        // Numbers (suffixes and `_` separators fold into the alnum run;
+        // a single `.` joins only when a digit follows, so `1..n` stays
+        // three tokens).
+        if c.is_ascii_digit() {
+            lx.bump();
+            lx.bump_while(is_ident_continue);
+            if lx.peek() == Some('.') && lx.peek_at(1).is_some_and(|d| d.is_ascii_digit()) {
+                lx.bump();
+                lx.bump_while(is_ident_continue);
+            }
+            tokens.push(Token {
+                kind: TokenKind::Number,
+                text: &src[start..lx.pos],
+                line,
+                col,
+            });
+            lx.last_token_line = line;
+            continue;
+        }
+        // Strings.
+        if c == '"' {
+            lx.bump();
+            lx.string_body();
+            tokens.push(Token {
+                kind: TokenKind::Str,
+                text: &src[start..lx.pos],
+                line,
+                col,
+            });
+            lx.last_token_line = line;
+            continue;
+        }
+        // Char literal or lifetime.
+        if c == '\'' {
+            lx.bump();
+            let kind = match lx.peek() {
+                Some('\\') => {
+                    // Escaped char literal: consume through the closing quote.
+                    lx.bump();
+                    lx.bump();
+                    while let Some(c) = lx.peek() {
+                        lx.bump();
+                        if c == '\'' {
+                            break;
+                        }
+                    }
+                    TokenKind::Char
+                }
+                Some(c2) if is_ident_start(c2) || c2.is_ascii_digit() => {
+                    lx.bump();
+                    lx.bump_while(is_ident_continue);
+                    if lx.peek() == Some('\'') {
+                        lx.bump();
+                        TokenKind::Char
+                    } else {
+                        TokenKind::Lifetime
+                    }
+                }
+                Some(_) => {
+                    // Something like '(' — a plain char literal.
+                    lx.bump();
+                    if lx.peek() == Some('\'') {
+                        lx.bump();
+                    }
+                    TokenKind::Char
+                }
+                None => TokenKind::Lifetime,
+            };
+            tokens.push(Token {
+                kind,
+                text: &src[start..lx.pos],
+                line,
+                col,
+            });
+            lx.last_token_line = line;
+            continue;
+        }
+        // Everything else: one punctuation char per token.
+        lx.bump();
+        tokens.push(Token {
+            kind: TokenKind::Punct(c),
+            text: &src[start..lx.pos],
+            line,
+            col,
+        });
+        lx.last_token_line = line;
+    }
+    debug_assert!(lx.pos == lx.bytes.len());
+    Lexed { tokens, comments }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<&str> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"let x = "thread_rng()"; // thread_rng
+        /* thread_rng */ let y = r#"thread_rng"#;"##;
+        assert_eq!(idents(src), ["let", "x", "let", "y"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* a /* b */ c */ fn f() {}";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(idents(src), ["fn", "f"]);
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let lexed = lex("let c = 'a'; fn f<'a>(x: &'a str) {}");
+        let kinds: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Char | TokenKind::Lifetime))
+            .map(|t| (t.kind, t.text))
+            .collect();
+        assert_eq!(
+            kinds,
+            [
+                (TokenKind::Char, "'a'"),
+                (TokenKind::Lifetime, "'a"),
+                (TokenKind::Lifetime, "'a"),
+            ]
+        );
+    }
+
+    #[test]
+    fn escaped_char_literal() {
+        let lexed = lex(r"let c = '\n'; let u = '\u{1F}';");
+        let chars: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(chars, [r"'\n'", r"'\u{1F}'"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r###"let s = r#"quote " inside"#; let t = "tail";"###;
+        let strs: Vec<_> = lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(strs.len(), 2);
+        assert!(strs[0].starts_with("r#\""));
+        assert_eq!(strs[1], "\"tail\"");
+    }
+
+    #[test]
+    fn raw_identifier_is_an_ident() {
+        assert_eq!(idents("r#type r#fn normal"), ["r#type", "r#fn", "normal"]);
+    }
+
+    #[test]
+    fn trailing_vs_own_line_comments() {
+        let src = "let x = 1; // trailing\n// own line\nlet y = 2;";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].trailing);
+        assert!(!lexed.comments[1].trailing);
+    }
+
+    #[test]
+    fn number_ranges_do_not_eat_dots() {
+        let texts: Vec<_> = lex("for i in 1..10 { let f = 2.5e3; }")
+            .tokens
+            .iter()
+            .map(|t| t.text)
+            .collect();
+        assert!(texts.contains(&"1"));
+        assert!(texts.contains(&"10"));
+        assert!(texts.contains(&"2.5e3"));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let lexed = lex("a\n  b");
+        assert_eq!((lexed.tokens[0].line, lexed.tokens[0].col), (1, 1));
+        assert_eq!((lexed.tokens[1].line, lexed.tokens[1].col), (2, 3));
+    }
+}

@@ -1,0 +1,394 @@
+//! A lexed source file plus the two context layers every rule needs:
+//! which tokens are test code, and which lines carry `simlint: allow`
+//! suppressions.
+//!
+//! Test tracking is attribute-driven: `#[test]`, `#[cfg(test)]`, and
+//! `#[cfg(any(test, …))]` mark the annotated item (through its closing
+//! brace or terminating semicolon) as test code; `#![cfg(test)]` marks the
+//! rest of the enclosing block (the whole file at the top level). A
+//! `cfg` attribute mentioning `not` is conservatively treated as
+//! *non*-test, so `#[cfg(not(test))]` code stays linted.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::{lex, Token, TokenKind};
+use crate::rules;
+
+/// One parsed `// simlint: allow(RULE, "reason")` directive.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// The rule the directive suppresses (validated against the registry).
+    pub rule: &'static str,
+    /// The mandatory free-text justification.
+    pub reason: String,
+    /// Line the comment sits on.
+    pub comment_line: u32,
+    /// Line the directive suppresses: the comment's own line for trailing
+    /// comments, the next code line for comments that own their line.
+    pub target_line: u32,
+}
+
+/// A lexed file with test regions and suppressions resolved.
+pub struct SourceFile<'a> {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    pub tokens: Vec<Token<'a>>,
+    /// Parallel to `tokens`: `true` when the token is inside test code.
+    pub in_test: Vec<bool>,
+    pub allows: Vec<Allow>,
+    /// `A002` diagnostics for directives that failed to parse.
+    pub malformed: Vec<Diagnostic>,
+}
+
+impl<'a> SourceFile<'a> {
+    /// Lexes `text` and resolves test regions and allow directives.
+    #[must_use]
+    pub fn parse(path: &str, text: &'a str) -> Self {
+        let lexed = lex(text);
+        let in_test = test_regions(&lexed.tokens);
+        let (allows, malformed) = parse_allows(path, &lexed.comments, &lexed.tokens);
+        SourceFile {
+            path: path.to_string(),
+            tokens: lexed.tokens,
+            in_test,
+            allows,
+            malformed,
+        }
+    }
+
+    /// Convenience: the token at `i` is real (non-test) code.
+    #[must_use]
+    pub fn is_code(&self, i: usize) -> bool {
+        !self.in_test[i]
+    }
+}
+
+/// Does an attribute body (the tokens between `[` and `]`) gate on test?
+fn attr_is_test(body: &[Token<'_>]) -> bool {
+    let mentions_test = body.iter().any(|t| t.is_ident("test"));
+    let mentions_not = body.iter().any(|t| t.is_ident("not"));
+    mentions_test && !mentions_not
+}
+
+/// Finds the index of the `]` matching the `[` at `open` (bracket nesting
+/// only; attribute bodies cannot contain stray unbalanced brackets).
+fn matching_bracket(tokens: &[Token<'_>], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        match t.kind {
+            TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+    }
+    tokens.len() - 1
+}
+
+/// Finds the index of the `}` matching the `{` at `open`.
+fn matching_brace(tokens: &[Token<'_>], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        match t.kind {
+            TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+    }
+    tokens.len() - 1
+}
+
+/// Computes the per-token test mask (see module docs for the contract).
+fn test_regions(tokens: &[Token<'_>]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !tokens[i].is_punct('#') {
+            i += 1;
+            continue;
+        }
+        // `#[…]` (outer) or `#![…]` (inner).
+        let inner = i + 1 < tokens.len() && tokens[i + 1].is_punct('!');
+        let bracket = i + if inner { 2 } else { 1 };
+        if bracket >= tokens.len() || !tokens[bracket].is_punct('[') {
+            i += 1;
+            continue;
+        }
+        let close = matching_bracket(tokens, bracket);
+        if !attr_is_test(&tokens[bracket..=close]) {
+            i = close + 1;
+            continue;
+        }
+        if inner {
+            // `#![cfg(test)]`: the rest of the enclosing block is test code.
+            // Walking forward, the enclosing block ends where brace depth
+            // first goes negative (never, at the top level).
+            let mut depth = 0i64;
+            let mut end = tokens.len() - 1;
+            for (j, t) in tokens.iter().enumerate().skip(close + 1) {
+                match t.kind {
+                    TokenKind::Punct('{') => depth += 1,
+                    TokenKind::Punct('}') => {
+                        depth -= 1;
+                        if depth < 0 {
+                            end = j;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            for m in mask.iter_mut().take(end + 1).skip(i) {
+                *m = true;
+            }
+            i = close + 1;
+            continue;
+        }
+        // Outer attribute: find the annotated item's extent — through the
+        // matching `}` of its first body brace, or through a terminating
+        // `;`, whichever comes first outside parens/brackets. Stacked
+        // attributes between here and the item are skipped.
+        let mut j = close + 1;
+        let mut nesting = 0i64;
+        let mut end = tokens.len() - 1;
+        while j < tokens.len() {
+            match tokens[j].kind {
+                TokenKind::Punct('#')
+                    if nesting == 0 && j + 1 < tokens.len() && tokens[j + 1].is_punct('[') =>
+                {
+                    j = matching_bracket(tokens, j + 1) + 1;
+                    continue;
+                }
+                TokenKind::Punct('(' | '[') => nesting += 1,
+                TokenKind::Punct(')' | ']') => nesting -= 1,
+                TokenKind::Punct('{') if nesting == 0 => {
+                    end = matching_brace(tokens, j);
+                    break;
+                }
+                TokenKind::Punct(';') if nesting == 0 => {
+                    end = j;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        for m in mask.iter_mut().take(end + 1).skip(i) {
+            *m = true;
+        }
+        i = close + 1;
+    }
+    mask
+}
+
+/// Parses every `simlint:` comment into an [`Allow`] or an `A002`
+/// malformed-directive diagnostic.
+fn parse_allows(
+    path: &str,
+    comments: &[crate::lexer::Comment<'_>],
+    tokens: &[Token<'_>],
+) -> (Vec<Allow>, Vec<Diagnostic>) {
+    let mut allows = Vec::new();
+    let mut malformed = Vec::new();
+    for comment in comments {
+        // Strip the comment opener and see whether this is a directive at
+        // all. Doc-text mentions like "`// simlint: allow(...)`" keep their
+        // inner `//` after stripping and are therefore skipped.
+        let body = comment
+            .text
+            .trim_start_matches('/')
+            .trim_start_matches('*')
+            .trim_start_matches('!')
+            .trim();
+        let Some(rest) = body.strip_prefix("simlint:") else {
+            continue;
+        };
+        let mut fail = |why: &str| {
+            malformed.push(Diagnostic {
+                rule: "A002",
+                severity: Severity::Error,
+                path: path.to_string(),
+                line: comment.line,
+                col: 1,
+                message: format!("malformed simlint directive ({why}); expected `// simlint: allow(RULE, \"reason\")`"),
+            });
+        };
+        let rest = rest.trim();
+        let Some(args) = rest.strip_prefix("allow(") else {
+            fail("only `allow(…)` is understood");
+            continue;
+        };
+        let Some(args) = args.trim_end().strip_suffix(')') else {
+            fail("missing closing `)`");
+            continue;
+        };
+        let Some((rule_name, reason_part)) = args.split_once(',') else {
+            fail("missing the reason argument");
+            continue;
+        };
+        let Some(rule) = rules::lookup(rule_name.trim()) else {
+            fail(&format!("unknown rule `{}`", rule_name.trim()));
+            continue;
+        };
+        let reason_part = reason_part.trim();
+        let reason = reason_part
+            .strip_prefix('"')
+            .and_then(|r| r.strip_suffix('"'))
+            .unwrap_or("");
+        if reason.trim().is_empty() {
+            fail("the reason must be a non-empty quoted string");
+            continue;
+        }
+        let target_line = if comment.trailing {
+            comment.line
+        } else {
+            // The next code line after the comment (skipping blank lines
+            // and further comments).
+            match tokens.iter().find(|t| t.line > comment.line) {
+                Some(t) => t.line,
+                None => {
+                    fail("no code follows the directive");
+                    continue;
+                }
+            }
+        };
+        allows.push(Allow {
+            rule,
+            reason: reason.to_string(),
+            comment_line: comment.line,
+            target_line,
+        });
+    }
+    (allows, malformed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mask_of(src: &str) -> Vec<(String, bool)> {
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        f.tokens
+            .iter()
+            .zip(&f.in_test)
+            .map(|(t, &m)| (t.text.to_string(), m))
+            .collect()
+    }
+
+    #[test]
+    fn cfg_test_mod_is_masked_to_its_closing_brace() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n fn t() {}\n}\nfn live2() {}";
+        let mask = mask_of(src);
+        let live: Vec<_> = mask
+            .iter()
+            .filter(|(_, m)| !m)
+            .map(|(t, _)| t.as_str())
+            .collect();
+        assert_eq!(
+            live,
+            ["fn", "live", "(", ")", "{", "}", "fn", "live2", "(", ")", "{", "}"]
+        );
+    }
+
+    #[test]
+    fn test_attribute_masks_one_function() {
+        let src = "#[test]\nfn check() { body(); }\nfn live() {}";
+        let mask = mask_of(src);
+        assert!(mask.iter().any(|(t, m)| t == "body" && *m));
+        assert!(mask.iter().any(|(t, m)| t == "live" && !*m));
+    }
+
+    #[test]
+    fn cfg_not_test_stays_live() {
+        let src = "#[cfg(not(test))]\nfn live() { body(); }";
+        let mask = mask_of(src);
+        assert!(mask.iter().all(|(_, m)| !m));
+    }
+
+    #[test]
+    fn cfg_any_test_is_masked() {
+        let src = "#[cfg(any(test, feature = \"x\"))]\nfn helper() {}\nfn live() {}";
+        let mask = mask_of(src);
+        assert!(mask.iter().any(|(t, m)| t == "helper" && *m));
+        assert!(mask.iter().any(|(t, m)| t == "live" && !*m));
+    }
+
+    #[test]
+    fn inner_cfg_test_masks_the_rest_of_the_file() {
+        let src = "fn live() {}\n#![cfg(test)]\nfn a() {}\nfn b() {}";
+        let mask = mask_of(src);
+        assert!(mask.iter().any(|(t, m)| t == "live" && !*m));
+        assert!(mask.iter().any(|(t, m)| t == "a" && *m));
+        assert!(mask.iter().any(|(t, m)| t == "b" && *m));
+    }
+
+    #[test]
+    fn attribute_on_use_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn live() {}";
+        let mask = mask_of(src);
+        assert!(mask.iter().any(|(t, m)| t == "HashMap" && *m));
+        assert!(mask.iter().any(|(t, m)| t == "live" && !*m));
+    }
+
+    #[test]
+    fn stacked_attributes_are_covered() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nfn t() { body(); }\nfn live() {}";
+        let mask = mask_of(src);
+        assert!(mask.iter().any(|(t, m)| t == "body" && *m));
+        assert!(mask.iter().any(|(t, m)| t == "live" && !*m));
+    }
+
+    fn allows_of(src: &str) -> (Vec<Allow>, Vec<Diagnostic>) {
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        (f.allows, f.malformed)
+    }
+
+    #[test]
+    fn trailing_allow_targets_its_own_line() {
+        let (allows, bad) = allows_of("let x = 1; // simlint: allow(E001, \"why\")\n");
+        assert!(bad.is_empty());
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].rule, "E001");
+        assert_eq!(allows[0].target_line, 1);
+        assert_eq!(allows[0].reason, "why");
+    }
+
+    #[test]
+    fn own_line_allow_targets_next_code_line() {
+        let src = "// simlint: allow(D001, \"audited\")\n\n// plain comment\nlet m = 1;\n";
+        let (allows, bad) = allows_of(src);
+        assert!(bad.is_empty());
+        assert_eq!(allows[0].target_line, 4);
+    }
+
+    #[test]
+    fn malformed_directives_are_a002() {
+        for src in [
+            "// simlint: allow(E001)\nlet x = 1;\n",
+            "// simlint: allow(E001, \"\")\nlet x = 1;\n",
+            "// simlint: allow(NOPE, \"reason\")\nlet x = 1;\n",
+            "// simlint: deny(E001, \"reason\")\nlet x = 1;\n",
+            "// simlint: allow(E001, \"dangling\")\n",
+        ] {
+            let (allows, bad) = allows_of(src);
+            assert!(allows.is_empty(), "{src}");
+            assert_eq!(bad.len(), 1, "{src}");
+            assert_eq!(bad[0].rule, "A002");
+        }
+    }
+
+    #[test]
+    fn doc_text_mention_is_not_a_directive() {
+        let (allows, bad) = allows_of("/// `// simlint: allow(E001, \"x\")`\nfn f() {}\n");
+        assert!(allows.is_empty());
+        assert!(bad.is_empty());
+    }
+}

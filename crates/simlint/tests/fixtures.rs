@@ -1,0 +1,280 @@
+//! Fixture corpus: every rule pinned by one firing and one clean fixture,
+//! with exact-diagnostic assertions (rule, position, and message).
+//!
+//! The fixtures live under `tests/fixtures/` and are linted under synthetic
+//! workspace-relative paths, so each rule's scoping (engine/core for
+//! D004/E001, everywhere for the rest) is exercised too.
+
+use simlint::audit::{run_audit, EnumAudit};
+use simlint::source::SourceFile;
+use simlint::{lint_sources, Diagnostic, Severity};
+
+/// Lints one fixture under a synthetic workspace-relative path.
+fn lint_fixture(path: &str, fixture: &str) -> Vec<Diagnostic> {
+    lint_sources(&[(path.to_string(), fixture.to_string())])
+}
+
+fn rendered(diags: &[Diagnostic]) -> Vec<String> {
+    diags.iter().map(Diagnostic::render_human).collect()
+}
+
+/// D004 and E001 run only here (engine/core scope).
+const ENGINE_PATH: &str = "crates/engine/src/fixture.rs";
+/// A linted path outside the engine/core scope.
+const PLAIN_PATH: &str = "crates/workload/src/fixture.rs";
+
+#[test]
+fn d001_fires_on_binding_and_both_iteration_forms() {
+    let diags = lint_fixture(PLAIN_PATH, include_str!("fixtures/d001_violation.rs"));
+    assert_eq!(
+        rendered(&diags),
+        [
+            "crates/workload/src/fixture.rs:5:5: error[D001]: `counts` binds a `HashMap` in \
+             deterministic code: audit the use (lookup-only is fine) and suppress with \
+             `// simlint: allow(D001, \"\u{2026}\")` documenting why no iteration order escapes",
+            "crates/workload/src/fixture.rs:9:39: error[D001]: `counts.keys()` iterates a hash \
+             container: hash order is nondeterministic and must not reach artifacts; iterate a \
+             sorted or insertion-ordered carrier instead",
+            "crates/workload/src/fixture.rs:10:16: error[D001]: `for \u{2026} in counts` iterates \
+             a hash container: hash order is nondeterministic and must not reach artifacts; \
+             iterate a sorted or insertion-ordered carrier instead",
+        ]
+    );
+}
+
+#[test]
+fn d001_clean_lookup_only_binding_under_allow() {
+    let diags = lint_fixture(PLAIN_PATH, include_str!("fixtures/d001_clean.rs"));
+    assert_eq!(rendered(&diags), [] as [&str; 0]);
+}
+
+#[test]
+fn d002_fires_on_both_wall_clock_shapes() {
+    let diags = lint_fixture(PLAIN_PATH, include_str!("fixtures/d002_violation.rs"));
+    assert_eq!(
+        rendered(&diags),
+        [
+            "crates/workload/src/fixture.rs:3:28: error[D002]: `Instant` reads the wall clock \
+             outside the telemetry/progress allowlist: wall time must never influence \
+             simulation results or artifacts",
+            "crates/workload/src/fixture.rs:4:29: error[D002]: `SystemTime` reads the wall \
+             clock outside the telemetry/progress allowlist: wall time must never influence \
+             simulation results or artifacts",
+        ]
+    );
+}
+
+#[test]
+fn d002_clean_simulated_time_and_test_only_reads() {
+    let diags = lint_fixture(PLAIN_PATH, include_str!("fixtures/d002_clean.rs"));
+    assert_eq!(rendered(&diags), [] as [&str; 0]);
+}
+
+#[test]
+fn d002_allowlisted_paths_may_read_the_clock() {
+    let diags = lint_fixture(
+        "crates/telemetry/src/fixture.rs",
+        include_str!("fixtures/d002_violation.rs"),
+    );
+    assert_eq!(rendered(&diags), [] as [&str; 0]);
+}
+
+#[test]
+fn d003_fires_on_ad_hoc_rng_construction() {
+    let diags = lint_fixture(PLAIN_PATH, include_str!("fixtures/d003_violation.rs"));
+    assert_eq!(
+        rendered(&diags),
+        [
+            "crates/workload/src/fixture.rs:3:25: error[D003]: ad-hoc RNG construction \
+             (`thread_rng`): all randomness must derive from the (master seed, scenario, \
+             replication) stream key via `engine::rng::replication_rng`",
+            "crates/workload/src/fixture.rs:4:38: error[D003]: ad-hoc RNG construction \
+             (`seed_from_u64`): all randomness must derive from the (master seed, scenario, \
+             replication) stream key via `engine::rng::replication_rng`",
+        ]
+    );
+}
+
+#[test]
+fn d003_clean_rng_flows_in_as_an_argument() {
+    let diags = lint_fixture(PLAIN_PATH, include_str!("fixtures/d003_clean.rs"));
+    assert_eq!(rendered(&diags), [] as [&str; 0]);
+}
+
+#[test]
+fn d003_exempt_in_the_blessed_construction_site() {
+    let diags = lint_fixture(
+        "crates/engine/src/rng.rs",
+        include_str!("fixtures/d003_violation.rs"),
+    );
+    assert_eq!(rendered(&diags), [] as [&str; 0]);
+}
+
+#[test]
+fn d004_fires_on_env_and_thread_identity_reads() {
+    let diags = lint_fixture(ENGINE_PATH, include_str!("fixtures/d004_violation.rs"));
+    assert_eq!(
+        rendered(&diags),
+        [
+            "crates/engine/src/fixture.rs:4:16: error[D004]: `std::env` read in a sim/engine \
+             path: results must depend only on (config, master seed), never on the environment \
+             or thread identity",
+            "crates/engine/src/fixture.rs:4:21: error[D004]: `env::var` read in a sim/engine \
+             path: results must depend only on (config, master seed), never on the environment \
+             or thread identity",
+            "crates/engine/src/fixture.rs:5:33: error[D004]: `thread::current` read in a \
+             sim/engine path: results must depend only on (config, master seed), never on the \
+             environment or thread identity",
+        ]
+    );
+}
+
+#[test]
+fn d004_clean_config_as_data() {
+    let diags = lint_fixture(ENGINE_PATH, include_str!("fixtures/d004_clean.rs"));
+    assert_eq!(rendered(&diags), [] as [&str; 0]);
+}
+
+#[test]
+fn d004_does_not_run_outside_engine_core() {
+    let diags = lint_fixture(PLAIN_PATH, include_str!("fixtures/d004_violation.rs"));
+    assert_eq!(rendered(&diags), [] as [&str; 0]);
+}
+
+#[test]
+fn e001_fires_as_a_warning_on_unwrap_and_expect() {
+    let diags = lint_fixture(ENGINE_PATH, include_str!("fixtures/e001_violation.rs"));
+    assert!(diags.iter().all(|d| d.severity == Severity::Warning));
+    assert_eq!(
+        rendered(&diags),
+        [
+            "crates/engine/src/fixture.rs:3:17: warning[E001]: `.unwrap(\u{2026})` in \
+             engine/core non-test code: return a typed `engine::Error`/`SwarmError` instead, \
+             or suppress with `// simlint: allow(E001, \"\u{2026}\")` stating the invariant \
+             that makes the panic unreachable",
+            "crates/engine/src/fixture.rs:7:7: warning[E001]: `.expect(\u{2026})` in \
+             engine/core non-test code: return a typed `engine::Error`/`SwarmError` instead, \
+             or suppress with `// simlint: allow(E001, \"\u{2026}\")` stating the invariant \
+             that makes the panic unreachable",
+        ]
+    );
+}
+
+#[test]
+fn e001_clean_typed_errors_test_unwraps_and_unwrap_or() {
+    let diags = lint_fixture(ENGINE_PATH, include_str!("fixtures/e001_clean.rs"));
+    assert_eq!(rendered(&diags), [] as [&str; 0]);
+}
+
+#[test]
+fn x001_unwired_variants_are_reported_at_their_declaration() {
+    let audit = EnumAudit {
+        rule: "X001",
+        enum_path: "crates/x/src/kind.rs",
+        enum_name: "Kind",
+        targets: &[("crates/x/src/dispatch.rs", "the dispatcher")],
+    };
+    let files = [
+        SourceFile::parse("crates/x/src/kind.rs", include_str!("fixtures/x_enum.rs")),
+        SourceFile::parse(
+            "crates/x/src/dispatch.rs",
+            include_str!("fixtures/x_target_unwired.rs"),
+        ),
+    ];
+    assert_eq!(
+        rendered(&run_audit(&audit, &files)),
+        [
+            "crates/x/src/kind.rs:4:5: error[X001]: `Kind::Beta` is not referenced in \
+             `crates/x/src/dispatch.rs` (the dispatcher): wire the variant through or the \
+             contract is no longer exhaustive",
+            "crates/x/src/kind.rs:5:5: error[X001]: `Kind::Gamma` is not referenced in \
+             `crates/x/src/dispatch.rs` (the dispatcher): wire the variant through or the \
+             contract is no longer exhaustive",
+        ]
+    );
+}
+
+#[test]
+fn x001_fully_wired_target_is_clean() {
+    let audit = EnumAudit {
+        rule: "X001",
+        enum_path: "crates/x/src/kind.rs",
+        enum_name: "Kind",
+        targets: &[("crates/x/src/dispatch.rs", "the dispatcher")],
+    };
+    let files = [
+        SourceFile::parse("crates/x/src/kind.rs", include_str!("fixtures/x_enum.rs")),
+        SourceFile::parse(
+            "crates/x/src/dispatch.rs",
+            include_str!("fixtures/x_target_wired.rs"),
+        ),
+    ];
+    assert_eq!(rendered(&run_audit(&audit, &files)), [] as [&str; 0]);
+}
+
+#[test]
+fn x002_missing_target_file_is_itself_an_error() {
+    // Same mechanism as X001, reported under the counter rule: an audit
+    // whose target file vanished must scream, not silently stop auditing.
+    let audit = EnumAudit {
+        rule: "X002",
+        enum_path: "crates/x/src/kind.rs",
+        enum_name: "Kind",
+        targets: &[("crates/x/tests/partition.rs", "the counter-partition test")],
+    };
+    let files = [SourceFile::parse(
+        "crates/x/src/kind.rs",
+        include_str!("fixtures/x_enum.rs"),
+    )];
+    assert_eq!(
+        rendered(&run_audit(&audit, &files)),
+        [
+            "crates/x/src/kind.rs:1:1: error[X002]: audit target `crates/x/tests/partition.rs` \
+          (the counter-partition test) is missing from the source set"
+        ]
+    );
+}
+
+#[test]
+fn x002_present_target_referencing_every_variant_is_clean() {
+    let audit = EnumAudit {
+        rule: "X002",
+        enum_path: "crates/x/src/kind.rs",
+        enum_name: "Kind",
+        targets: &[("crates/x/tests/partition.rs", "the counter-partition test")],
+    };
+    let files = [
+        SourceFile::parse("crates/x/src/kind.rs", include_str!("fixtures/x_enum.rs")),
+        SourceFile::parse(
+            "crates/x/tests/partition.rs",
+            include_str!("fixtures/x_target_wired.rs"),
+        ),
+    ];
+    assert_eq!(rendered(&run_audit(&audit, &files)), [] as [&str; 0]);
+}
+
+#[test]
+fn a001_stale_allow_is_an_error() {
+    let diags = lint_fixture(ENGINE_PATH, include_str!("fixtures/a001_unused_allow.rs"));
+    assert_eq!(
+        rendered(&diags),
+        [
+            "crates/engine/src/fixture.rs:3:1: error[A001]: unused `simlint: allow(E001)` — the \
+          rule did not fire on line 4; remove the stale directive"
+        ]
+    );
+}
+
+#[test]
+fn a002_malformed_directives_are_errors() {
+    let diags = lint_fixture(ENGINE_PATH, include_str!("fixtures/a002_malformed.rs"));
+    assert_eq!(
+        rendered(&diags),
+        [
+            "crates/engine/src/fixture.rs:3:1: error[A002]: malformed simlint directive \
+             (missing the reason argument); expected `// simlint: allow(RULE, \"reason\")`",
+            "crates/engine/src/fixture.rs:4:1: error[A002]: malformed simlint directive \
+             (unknown rule `BOGUS`); expected `// simlint: allow(RULE, \"reason\")`",
+        ]
+    );
+}

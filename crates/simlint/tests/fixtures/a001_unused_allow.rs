@@ -1,0 +1,5 @@
+// A001 firing fixture: a stale allow whose rule never fires on the target.
+pub fn tidy(x: Option<u32>) -> u32 {
+    // simlint: allow(E001, "stale: the unwrap below was removed")
+    x.unwrap_or(0)
+}

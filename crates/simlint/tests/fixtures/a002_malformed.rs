@@ -1,0 +1,6 @@
+// A002 firing fixture: directives that fail to parse.
+pub fn noop(x: Option<u32>) -> u32 {
+    // simlint: allow(E001)
+    // simlint: allow(BOGUS, "unknown rule")
+    x.unwrap_or(0)
+}

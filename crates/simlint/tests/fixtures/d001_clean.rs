@@ -1,0 +1,15 @@
+// D001 clean fixture: a lookup-only hash binding under a documented allow;
+// every iteration runs over the insertion-ordered carrier.
+use std::collections::HashMap;
+
+pub fn dedup_indices(keys: &[u64]) -> Vec<usize> {
+    // simlint: allow(D001, "lookup-only: insert/get, iteration stays on the input slice")
+    let mut index: HashMap<u64, usize> = HashMap::new();
+    let mut out = Vec::new();
+    for (i, k) in keys.iter().enumerate() {
+        if index.insert(*k, i).is_none() {
+            out.push(i);
+        }
+    }
+    out
+}

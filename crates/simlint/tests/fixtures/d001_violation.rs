@@ -1,0 +1,14 @@
+// D001 firing fixture: an un-audited hash binding plus two iteration forms.
+use std::collections::HashMap;
+
+pub fn histogram(names: &[&str]) -> Vec<String> {
+    let mut counts: HashMap<String, u32> = HashMap::new();
+    for name in names {
+        *counts.entry((*name).to_string()).or_insert(0) += 1;
+    }
+    let mut out: Vec<String> = counts.keys().cloned().collect();
+    for key in counts {
+        out.push(key.0);
+    }
+    out
+}

@@ -1,0 +1,14 @@
+// D002 clean fixture: simulated time is plain data, and a test-only
+// wall-clock read is exempt.
+pub fn advance(now: f64, dt: f64) -> f64 {
+    now + dt
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn wall_clock_in_tests_is_fine() {
+        let _t = std::time::Instant::now();
+        assert_eq!(super::advance(1.0, 0.5), 1.5);
+    }
+}

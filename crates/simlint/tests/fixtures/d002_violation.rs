@@ -1,0 +1,6 @@
+// D002 firing fixture: both wall-clock read shapes.
+pub fn stamp() -> std::time::Duration {
+    let begin = std::time::Instant::now();
+    let _epoch = std::time::SystemTime::UNIX_EPOCH;
+    begin.elapsed()
+}

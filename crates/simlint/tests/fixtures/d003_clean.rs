@@ -1,0 +1,5 @@
+// D003 clean fixture: randomness flows in as a stream-keyed RNG argument;
+// nothing here constructs one.
+pub fn draw<R: rand::Rng>(rng: &mut R) -> f64 {
+    rng.gen::<f64>()
+}

@@ -1,0 +1,6 @@
+// D003 firing fixture: ad-hoc RNG constructions outside engine::rng.
+pub fn entropy_rng() -> u64 {
+    let mut rng = rand::thread_rng();
+    let seeded = rand::rngs::StdRng::seed_from_u64(42);
+    rand::Rng::gen(&mut rng) ^ rand::Rng::gen(&mut { seeded })
+}

@@ -1,0 +1,5 @@
+// D004 clean fixture: configuration arrives as data, never from the
+// environment, and worker identity is an explicit index.
+pub fn worker_tag(jobs: usize, worker: usize) -> String {
+    format!("{worker}/{jobs}")
+}

@@ -1,0 +1,6 @@
+// D004 firing fixture: environment and thread-identity reads in an
+// engine-path file.
+pub fn worker_tag() -> String {
+    let jobs = std::env::var("JOBS").unwrap_or_default();
+    format!("{jobs}/{:?}", std::thread::current().id())
+}

@@ -1,0 +1,18 @@
+// E001 clean fixture: typed fallibility in live code; unwraps confined to
+// the test module (exempt) and the fallible-adjacent combinators
+// (`unwrap_or`) that never panic.
+pub fn head(xs: &[u32]) -> Option<u32> {
+    xs.first().copied()
+}
+
+pub fn head_or_zero(xs: &[u32]) -> u32 {
+    head(xs).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn head_works() {
+        assert_eq!(super::head(&[3]).unwrap(), 3);
+    }
+}

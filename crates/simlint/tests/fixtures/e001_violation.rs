@@ -1,0 +1,8 @@
+// E001 firing fixture: panics in engine/core non-test code.
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn must(x: Option<u32>) -> u32 {
+    x.expect("present by construction")
+}

@@ -1,0 +1,6 @@
+// Shared X-rule fixture: the audited enum.
+pub enum Kind {
+    Alpha,
+    Beta(u32),
+    Gamma { weight: f64 },
+}

@@ -1,0 +1,7 @@
+// X-rule firing fixture: Gamma is missing from the dispatcher.
+pub fn dispatch(kind: &crate::Kind) -> &'static str {
+    match kind {
+        crate::Kind::Alpha => "alpha",
+        _ => "beta",
+    }
+}

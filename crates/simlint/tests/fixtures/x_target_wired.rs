@@ -1,0 +1,8 @@
+// X-rule clean fixture: every Kind variant is wired through the dispatcher.
+pub fn dispatch(kind: &crate::Kind) -> &'static str {
+    match kind {
+        crate::Kind::Alpha => "alpha",
+        crate::Kind::Beta(_) => "beta",
+        crate::Kind::Gamma { .. } => "gamma",
+    }
+}

@@ -1,0 +1,26 @@
+//! The workspace's own sources must lint clean — zero diagnostics, not
+//! merely zero errors. This is the same bar CI enforces with
+//! `simlint --deny all`; keeping it as a cargo test means a plain
+//! `cargo test -q` catches contract regressions without the extra CI step.
+
+#[test]
+fn the_workspace_lints_clean_at_deny_all() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    assert!(
+        root.join("Cargo.toml").is_file(),
+        "fixture assumption broken: {} is not the workspace root",
+        root.display()
+    );
+    let diags = simlint::lint_workspace(&root).expect("workspace sources are readable");
+    let lines: Vec<String> = diags
+        .iter()
+        .map(simlint::Diagnostic::render_human)
+        .collect();
+    assert!(
+        lines.is_empty(),
+        "the workspace no longer lints clean:\n{}",
+        lines.join("\n")
+    );
+}

@@ -11,8 +11,6 @@ use crate::scenario;
 use crate::sweep::{run_sweep, summarise, SweepOptions, SweepPoint};
 use markov::PathClassifier;
 use pieceset::{PieceId, PieceSet};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use swarm::branching_analysis;
 use swarm::coded;
 use swarm::lyapunov::LyapunovFunction;
@@ -75,6 +73,17 @@ impl ExperimentConfig {
             progress: self.progress,
         }
     }
+}
+
+/// Derives the random stream for one illustrative demo trajectory.
+///
+/// Demo runs use the engine's keyed derivation — `(master seed, stream tag,
+/// variant)` — exactly like sweep replications, so no two trajectories ever
+/// share a stream. Each experiment passes a distinct `tag` and numbers its
+/// variants; the earlier ad-hoc `seed ^ CONST` scheme reused one stream
+/// across loop iterations and collided for equal-length policy names.
+fn demo_rng(config: &ExperimentConfig, tag: u64, variant: u64) -> impl rand::Rng {
+    engine::rng::replication_rng(config.seed, tag, variant)
 }
 
 impl Default for ExperimentConfig {
@@ -278,7 +287,10 @@ pub fn one_club_growth(config: &ExperimentConfig) -> ExperimentReport {
         .build()
         .expect("valid parameters");
 
-    for (name, params) in [("transient", transient), ("stable", stable)] {
+    for (variant, (name, params)) in [("transient", transient), ("stable", stable)]
+        .into_iter()
+        .enumerate()
+    {
         let verdict = stability::classify(&params).verdict;
         let delta = stability::delta(&params, params.full_type().without(PieceId::new(0)))
             .expect("µ < γ in both configurations");
@@ -291,7 +303,7 @@ pub fn one_club_growth(config: &ExperimentConfig) -> ExperimentReport {
             Box::new(policy::RandomUseful),
         )
         .expect("valid simulator configuration");
-        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xE4);
+        let mut rng = demo_rng(config, 0xE4, variant as u64);
         let result = sim.run_from_one_club(initial_club, config.horizon, &mut rng);
 
         let mut table = Table::new(
@@ -462,10 +474,13 @@ pub fn policy_insensitivity(config: &ExperimentConfig) -> ExperimentReport {
             "one-club onset time (transient)",
         ],
     );
-    for name in policies {
-        let mut cells = vec![name.to_owned()];
+    for (pi, name) in policies.iter().enumerate() {
+        let mut cells = vec![(*name).to_owned()];
         let mut onset = f64::NAN;
-        for (which, params) in [("stable", &stable_params), ("transient", &transient_params)] {
+        for (wi, (which, params)) in [("stable", &stable_params), ("transient", &transient_params)]
+            .into_iter()
+            .enumerate()
+        {
             let sim = AgentSwarm::with_config(
                 params.clone(),
                 AgentConfig {
@@ -475,7 +490,7 @@ pub fn policy_insensitivity(config: &ExperimentConfig) -> ExperimentReport {
                 policy::by_name(name).expect("known policy"),
             )
             .expect("valid configuration");
-            let mut rng = StdRng::seed_from_u64(config.seed ^ 0xE7 ^ name.len() as u64);
+            let mut rng = demo_rng(config, 0xE7, (pi * 2 + wi) as u64);
             let result = sim.run(&[], config.horizon, &mut rng);
             let classifier = PathClassifier::new(params.total_arrival_rate(), 40.0);
             let class = classifier.classify(&result.peer_count_path()).class;
@@ -550,12 +565,15 @@ pub fn network_coding(config: &ExperimentConfig) -> ExperimentReport {
             "departures",
         ],
     );
-    for f in [lo * 0.3, lo * 0.8, (hi * 1.5).min(1.0), (hi * 4.0).min(1.0)] {
+    for (variant, f) in [lo * 0.3, lo * 0.8, (hi * 1.5).min(1.0), (hi * 4.0).min(1.0)]
+        .into_iter()
+        .enumerate()
+    {
         let params = coded::CodedParams::gift_example(k, q, 1.0, f, 0.0, 1.0, f64::INFINITY)
             .expect("valid coded parameters");
         let theory = coded::theorem15_classify(&params).expect("d ∈ {0,1} arrival model");
         let sim = coded::CodedSwarmSim::new(params).snapshot_interval(config.horizon / 200.0);
-        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xE8);
+        let mut rng = demo_rng(config, 0xE8, variant as u64);
         let result = sim.run(config.horizon, &mut rng);
         let classifier = PathClassifier::new(1.0, 40.0);
         let verdict = classifier.classify(&result.peer_count_path());
@@ -606,7 +624,7 @@ pub fn borderline(config: &ExperimentConfig) -> ExperimentReport {
     ));
 
     // Excursion statistics of the simulated µ = ∞ process.
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xE9);
+    let mut rng = demo_rng(config, 0xE9, 0);
     let sim = markov::Simulator::new(&process).observe(|s| match s {
         MuInfinityState::Empty => 0.0,
         MuInfinityState::Uniform { peers, .. } => *peers as f64,
@@ -654,10 +672,10 @@ pub fn borderline(config: &ExperimentConfig) -> ExperimentReport {
         "Conjecture 17 probe: symmetric K = 3 flat network at finite µ/λ",
         &["µ/λ", "tail slope of N", "tail average N"],
     );
-    for ratio in [0.5, 2.0, 8.0] {
+    for (variant, ratio) in [0.5, 2.0, 8.0].into_iter().enumerate() {
         let params = scenario::example3([1.0, 1.0, 1.0], ratio, f64::INFINITY).unwrap();
         let model = SwarmModel::new(params);
-        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x17);
+        let mut rng = demo_rng(config, 0x17, variant as u64);
         let path = model.simulate_peer_count(model.empty_state(), config.horizon, &mut rng);
         let trend = path.trend(0.5);
         conj.row(&[
@@ -725,7 +743,7 @@ pub fn abs_bounds(config: &ExperimentConfig) -> ExperimentReport {
         Box::new(policy::RandomUseful),
     )
     .expect("valid simulator configuration");
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x10);
+    let mut rng = demo_rng(config, 0x10, 0);
     let result = sim.run_from_one_club(100, config.horizon, &mut rng);
 
     let d_rate =
@@ -850,7 +868,7 @@ pub fn faster_retry(config: &ExperimentConfig) -> ExperimentReport {
             "transfers",
         ],
     );
-    for gifted in [false, true] {
+    for (gi, gifted) in [false, true].into_iter().enumerate() {
         let mut builder = SwarmParams::builder(3)
             .seed_rate(0.3)
             .contact_rate(1.0)
@@ -860,7 +878,7 @@ pub fn faster_retry(config: &ExperimentConfig) -> ExperimentReport {
             builder = builder.arrival(PieceSet::singleton(PieceId::new(0)), 0.4);
         }
         let params = builder.build().expect("valid parameters");
-        for eta in [1.0, 10.0] {
+        for (ei, eta) in [1.0, 10.0].into_iter().enumerate() {
             let sim = AgentSwarm::with_config(
                 params.clone(),
                 AgentConfig {
@@ -871,7 +889,7 @@ pub fn faster_retry(config: &ExperimentConfig) -> ExperimentReport {
                 Box::new(policy::RandomUseful),
             )
             .expect("valid configuration");
-            let mut rng = StdRng::seed_from_u64(config.seed ^ 0x12);
+            let mut rng = demo_rng(config, 0x12, (gi * 2 + ei) as u64);
             let result = sim.run_from_one_club(80, config.horizon, &mut rng);
             let trend = result.peer_count_path().trend(0.5);
             table.row(&[

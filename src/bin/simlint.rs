@@ -1,0 +1,164 @@
+//! `simlint` — static enforcement of the workspace's determinism,
+//! RNG-discipline, and panic-policy contracts.
+//!
+//! ```text
+//! simlint [--root DIR] [--json] [--deny RULE[,RULE…]|all] [--list-rules]
+//! ```
+//!
+//! Exit codes: `0` clean (warnings allowed), `1` at least one error-level
+//! finding, `2` usage or I/O failure. CI runs `simlint --deny all`, which
+//! promotes every warning to an error: the gate passes only on a workspace
+//! with zero findings.
+
+use simlint::{diag, rules, Severity};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+simlint: workspace contract linter (determinism / RNG discipline / panic policy)
+
+USAGE:
+    simlint [--root DIR] [--json] [--deny RULE[,RULE...]|all] [--list-rules]
+
+OPTIONS:
+    --root DIR     Workspace root to lint (default: current directory).
+    --json         Emit diagnostics as a JSON array instead of text.
+    --deny SPEC    Promote warnings to errors: a rule id (E001), a family
+                   letter (D, E, X), `all`, or a comma list of those.
+                   Repeatable.
+    --list-rules   Print the rule registry and exit.
+    --help         Print this help.
+";
+
+struct Options {
+    root: PathBuf,
+    json: bool,
+    deny: Vec<String>,
+    list_rules: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        json: false,
+        deny: Vec::new(),
+        list_rules: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--list-rules" => opts.list_rules = true,
+            "--root" => {
+                let value = it.next().ok_or("--root requires a directory argument")?;
+                opts.root = PathBuf::from(value);
+            }
+            "--deny" => {
+                let value = it.next().ok_or("--deny requires a rule spec argument")?;
+                for part in value.split(',') {
+                    let part = part.trim();
+                    if part.is_empty() {
+                        continue;
+                    }
+                    if part != "all"
+                        && !matches!(part, "D" | "E" | "X")
+                        && !rules::RULES.iter().any(|r| r.id == part)
+                    {
+                        return Err(format!("--deny: unknown rule or family `{part}`"));
+                    }
+                    opts.deny.push(part.to_string());
+                }
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn denied(deny: &[String], rule: &str) -> bool {
+    deny.iter().any(|spec| {
+        spec == "all" || spec == rule || (spec.len() == 1 && rule.starts_with(spec.as_str()))
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("simlint: {msg}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        println!("{:<6} {:<8} SUMMARY", "RULE", "LEVEL");
+        for rule in rules::RULES {
+            println!(
+                "{:<6} {:<8} {}",
+                rule.id,
+                rule.severity.name(),
+                rule.summary
+                    .split_whitespace()
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if !opts.root.join("Cargo.toml").is_file() {
+        eprintln!(
+            "simlint: `{}` does not look like a workspace root (no Cargo.toml); \
+             run from the repository root or pass --root",
+            opts.root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let mut diags = match simlint::lint_workspace(&opts.root) {
+        Ok(diags) => diags,
+        Err(err) => {
+            eprintln!("simlint: failed to read the workspace: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for d in &mut diags {
+        if d.severity == Severity::Warning && denied(&opts.deny, d.rule) {
+            d.severity = Severity::Error;
+        }
+    }
+
+    if opts.json {
+        println!("{}", diag::render_json_report(&diags));
+    } else {
+        for d in &diags {
+            println!("{}", d.render_human());
+        }
+    }
+
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diags.len() - errors;
+    eprintln!(
+        "simlint: {} error{}, {} warning{}",
+        errors,
+        if errors == 1 { "" } else { "s" },
+        warnings,
+        if warnings == 1 { "" } else { "s" },
+    );
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
